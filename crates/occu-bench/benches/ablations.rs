@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! Graphormer depth, decoder type, structural encodings, aggregation
+//! function, and the rayon-parallel matmul.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use occu_core::dataset::make_sample;
+use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+use occu_core::train::OccuPredictor;
+use occu_gpusim::{profile_graph, DeviceSpec};
+use occu_models::{ModelConfig, ModelId};
+use occu_tensor::Matrix;
+use std::hint::black_box;
+
+fn sample() -> occu_core::dataset::Sample {
+    make_sample(
+        ModelId::ResNet18,
+        ModelConfig { batch_size: 32, ..Default::default() },
+        &DeviceSpec::a100(),
+    )
+}
+
+fn bench_graphormer_depth(c: &mut Criterion) {
+    let s = sample();
+    let mut group = c.benchmark_group("ablation/graphormer_layers");
+    for layers in [0usize, 1, 2, 3] {
+        let model = DnnOccu::new(
+            DnnOccuConfig { hidden: 32, graphormer_layers: layers, ..DnnOccuConfig::fast() },
+            1,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &model, |b, m| {
+            b.iter(|| black_box(m.predict(&s.features)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decoder_and_encodings(c: &mut Criterion) {
+    let s = sample();
+    let mut group = c.benchmark_group("ablation/components");
+    let variants: [(&str, DnnOccuConfig); 4] = [
+        ("full", DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }),
+        ("mean_pool_decoder", DnnOccuConfig { hidden: 32, use_set_decoder: false, ..DnnOccuConfig::fast() }),
+        ("no_spatial_bias", DnnOccuConfig { hidden: 32, use_spatial_bias: false, ..DnnOccuConfig::fast() }),
+        ("no_degree_encoding", DnnOccuConfig { hidden: 32, use_degree_encoding: false, ..DnnOccuConfig::fast() }),
+    ];
+    for (label, cfg) in variants {
+        let model = DnnOccu::new(cfg, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, m| {
+            b.iter(|| black_box(m.predict(&s.features)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation_functions(c: &mut Criterion) {
+    // §III-A: the label aggregation can be mean/max/min; compare the
+    // profiler cost of producing each (they share the kernel pass).
+    let graph = ModelId::ResNet50.build(&ModelConfig { batch_size: 32, ..Default::default() });
+    let dev = DeviceSpec::a100();
+    c.bench_function("ablation/aggregations_single_pass", |b| {
+        b.iter(|| {
+            let rep = profile_graph(&graph, &dev);
+            black_box((rep.mean_occupancy, rep.arith_mean_occupancy, rep.max_occupancy, rep.min_occupancy))
+        });
+    });
+}
+
+fn bench_matmul_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/matmul");
+    for n in [64usize, 256, 512] {
+        let a = Matrix::from_fn(n, n, |r, cc| ((r * 31 + cc) % 17) as f32 * 0.1);
+        let b_m = Matrix::from_fn(n, n, |r, cc| ((r + cc * 13) % 19) as f32 * 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b_m), |bench, (a, b_m)| {
+            bench.iter(|| black_box(a.matmul(b_m).sum()));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_graphormer_depth, bench_decoder_and_encodings, bench_aggregation_functions, bench_matmul_parallel
+}
+criterion_main!(benches);

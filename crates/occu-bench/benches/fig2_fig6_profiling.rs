@@ -1,0 +1,53 @@
+//! Benches for the Fig. 2 / Fig. 6 pipeline: computation-graph
+//! construction and occupancy profiling across batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use occu_core::experiments::batch_sweep;
+use occu_gpusim::{profile_graph, DeviceSpec};
+use occu_models::{ModelConfig, ModelId};
+use std::hint::black_box;
+
+fn bench_profile_resnet50(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let mut group = c.benchmark_group("fig2/profile_resnet50");
+    for batch in [8usize, 64, 256] {
+        let graph = ModelId::ResNet50.build(&ModelConfig { batch_size: batch, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &graph, |b, g| {
+            b.iter(|| black_box(profile_graph(g, &dev).mean_occupancy));
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let cfg = ModelConfig { batch_size: 32, ..Default::default() };
+    let mut group = c.benchmark_group("fig2/graph_build");
+    for model in [ModelId::ResNet50, ModelId::VitS, ModelId::SwinS] {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| black_box(model.build(&cfg).num_nodes()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    // The unit of Fig. 2 / Fig. 6 regeneration: one 6-point sweep.
+    let batches = [16usize, 32, 48, 64, 96, 128];
+    c.bench_function("fig6/batch_sweep_vit_s", |b| {
+        b.iter(|| black_box(batch_sweep(ModelId::VitS, &DeviceSpec::a100(), &batches)));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_profile_resnet50, bench_graph_build, bench_full_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benches for the Fig. 4 pipeline: predictor forward passes and
+//! training throughput for DNN-occu and every §IV-D baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occu_core::baselines::all_baselines;
+use occu_core::dataset::{make_sample, Dataset};
+use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+use occu_core::train::{OccuPredictor, TrainConfig, Trainer};
+use occu_gpusim::DeviceSpec;
+use occu_models::{ModelConfig, ModelId};
+use std::hint::black_box;
+
+fn sample() -> occu_core::dataset::Sample {
+    make_sample(
+        ModelId::ResNet18,
+        ModelConfig { batch_size: 32, ..Default::default() },
+        &DeviceSpec::a100(),
+    )
+}
+
+fn bench_forward_passes(c: &mut Criterion) {
+    let s = sample();
+    let mut group = c.benchmark_group("fig4/forward");
+    let dnn = DnnOccu::new(DnnOccuConfig::fast(), 1);
+    group.bench_function("DNN-occu", |b| b.iter(|| black_box(dnn.predict(&s.features))));
+    for model in all_baselines(64, 2) {
+        group.bench_function(model.name(), |b| b.iter(|| black_box(model.predict(&s.features))));
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let data = Dataset {
+        samples: vec![
+            make_sample(ModelId::LeNet, ModelConfig { batch_size: 16, ..Default::default() }, &dev),
+            make_sample(ModelId::AlexNet, ModelConfig { batch_size: 16, ..Default::default() }, &dev),
+        ],
+    };
+    let trainer = Trainer::new(TrainConfig { epochs: 1, batch_size: 2, ..Default::default() });
+    c.bench_function("fig4/train_epoch_dnn_occu", |b| {
+        b.iter_batched(
+            || DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 3),
+            |mut model| {
+                trainer.fit(&mut model, &data);
+                black_box(model.predict(&data.samples[0].features))
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_forward_passes, bench_training_step
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benches for the Fig. 5 pipeline: feature extraction and DNN-occu
+//! inference across the graph-size buckets the figure sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use occu_core::features::featurize;
+use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+use occu_core::train::OccuPredictor;
+use occu_gpusim::DeviceSpec;
+use occu_models::{ModelConfig, ModelId};
+use std::hint::black_box;
+
+/// Representative models per Fig. 5 size bucket (small → large).
+fn bucket_models() -> Vec<(&'static str, occu_graph::CompGraph)> {
+    vec![
+        ("small/LeNet", ModelId::LeNet.build(&ModelConfig { batch_size: 16, ..Default::default() })),
+        ("medium/ResNet-18", ModelId::ResNet18.build(&ModelConfig { batch_size: 16, ..Default::default() })),
+        ("large/ResNet-50", ModelId::ResNet50.build(&ModelConfig { batch_size: 16, ..Default::default() })),
+        ("xlarge/ConvNeXt-B", ModelId::ConvNextB.build(&ModelConfig { batch_size: 16, ..Default::default() })),
+    ]
+}
+
+fn bench_featurize_by_size(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let mut group = c.benchmark_group("fig5/featurize");
+    for (label, graph) in bucket_models() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &graph, |b, g| {
+            b.iter(|| black_box(featurize(g, &dev).num_nodes()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict_by_size(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let model = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 1);
+    let mut group = c.benchmark_group("fig5/predict");
+    group.sample_size(10);
+    for (label, graph) in bucket_models() {
+        let feats = featurize(&graph, &dev);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &feats, |b, f| {
+            b.iter(|| black_box(model.predict(f)));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_featurize_by_size, bench_predict_by_size
+}
+criterion_main!(benches);

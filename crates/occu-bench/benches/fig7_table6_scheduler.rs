@@ -1,0 +1,47 @@
+//! Benches for the scheduling experiments: the Fig. 7 interference
+//! study and the Table VI packing-strategy simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use occu_bench::build_job_pool;
+use occu_gpusim::DeviceSpec;
+use occu_sched::{jct_interference_study, simulate, GpuSpec, PackingPolicy};
+use std::hint::black_box;
+
+fn bench_simulate_policies(c: &mut Criterion) {
+    let pool = build_job_pool(&DeviceSpec::p40(), 24, 1, None);
+    let cluster = GpuSpec::cluster(4);
+    let mut group = c.benchmark_group("table6/simulate_24_jobs_4_gpus");
+    for policy in PackingPolicy::table6() {
+        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
+            b.iter(|| black_box(simulate(&pool, &cluster, p).makespan_us));
+        });
+    }
+    group.finish();
+}
+
+fn bench_interference_study(c: &mut Criterion) {
+    let pool = build_job_pool(&DeviceSpec::p40(), 16, 2, None);
+    c.bench_function("fig7/interference_50_pairs", |b| {
+        b.iter(|| black_box(jct_interference_study(&pool, 50, 3).len()));
+    });
+}
+
+fn bench_job_pool_generation(c: &mut Criterion) {
+    c.bench_function("table6/job_pool_12", |b| {
+        b.iter(|| black_box(build_job_pool(&DeviceSpec::p40(), 12, 4, None).len()));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_simulate_policies, bench_interference_study, bench_job_pool_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benches for the generalization experiments: CLIP multimodal
+//! graphs (Table IV) and the transformer targets of Table V.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use occu_core::dataset::make_sample;
+use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+use occu_core::train::OccuPredictor;
+use occu_gpusim::{profile_graph, DeviceSpec};
+use occu_models::{ModelConfig, ModelId};
+use std::hint::black_box;
+
+fn clip_cfg() -> ModelConfig {
+    ModelConfig { batch_size: 16, input_channels: 3, image_size: 224, seq_len: 77 }
+}
+
+fn bench_clip_profile(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let mut group = c.benchmark_group("table4/profile_clip");
+    for model in [ModelId::ClipRn50, ModelId::ClipVitB32, ModelId::ClipVitB16] {
+        let graph = model.build(&clip_cfg());
+        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &graph, |b, g| {
+            b.iter(|| black_box(profile_graph(g, &dev).mean_occupancy));
+        });
+    }
+    group.finish();
+}
+
+fn bench_clip_predict(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let model = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 1);
+    let sample = make_sample(ModelId::ClipVitB32, clip_cfg(), &dev);
+    c.bench_function("table4/dnn_occu_predict_clip", |b| {
+        b.iter(|| black_box(model.predict(&sample.features)));
+    });
+}
+
+fn bench_table5_targets(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let predictor = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 2);
+    let mut group = c.benchmark_group("table5/predict_target");
+    group.sample_size(10);
+    for model in occu_core::experiments::TABLE5_TARGETS {
+        let cfg = ModelConfig { batch_size: 16, seq_len: 64, ..Default::default() };
+        let sample = make_sample(model, cfg, &dev);
+        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &sample, |b, s| {
+            b.iter(|| black_box(predictor.predict(&s.features)));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_clip_profile, bench_clip_predict, bench_table5_targets
+}
+criterion_main!(benches);

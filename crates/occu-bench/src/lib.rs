@@ -1,0 +1,16 @@
+//! # occu-bench
+//!
+//! The evaluation harness. The [`repro`](../repro/index.html) binary
+//! (`cargo run -p occu-bench --bin repro --release -- all`) regenerates
+//! every table and figure of the paper; the criterion benches under
+//! `benches/` time the components and run the design-choice
+//! ablations listed in DESIGN.md.
+//!
+//! This library crate hosts the two *application* experiments that
+//! span predictor + scheduler (Fig. 7 and Table VI) and the report
+//! formatting shared by the binary and the benches.
+
+pub mod apps;
+pub mod report;
+
+pub use apps::{build_job_pool, fig7_study, table6, Table6Row};

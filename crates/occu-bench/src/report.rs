@@ -1,0 +1,185 @@
+//! Plain-text table/series rendering shared by the `repro` binary.
+
+use occu_core::experiments::{BatchSweepPoint, ClipRow, ComparisonResult, GeneralizationRow, RobustnessBucket};
+use occu_core::metrics::EvalResult;
+use occu_sched::InterferencePoint;
+
+/// Renders a Fig. 2 / Fig. 6 batch sweep as two aligned series.
+pub fn render_batch_sweep(title: &str, points: &[BatchSweepPoint]) -> String {
+    let mut out = format!("== {title} ==\n");
+    out.push_str(&format!("{:>8} {:>14} {:>16} {:>8}\n", "batch", "occupancy(%)", "nvml-util(%)", "fits"));
+    for p in points {
+        out.push_str(&format!(
+            "{:>8} {:>14.2} {:>16.2} {:>8}\n",
+            p.batch,
+            p.occupancy * 100.0,
+            p.nvml * 100.0,
+            if p.fits_memory { "yes" } else { "OOM" }
+        ));
+    }
+    out
+}
+
+fn render_eval_block(label: &str, results: &[EvalResult]) -> String {
+    let mut out = format!("-- {label} --\n");
+    out.push_str(&format!("{:<14} {:>10} {:>12} {:>6}\n", "predictor", "MRE(%)", "MSE", "n"));
+    for r in results {
+        out.push_str(&format!(
+            "{:<14} {:>10.3} {:>12.5} {:>6}\n",
+            r.predictor,
+            r.mre_percent(),
+            r.mse,
+            r.n
+        ));
+    }
+    out
+}
+
+/// Renders one Fig. 4 panel (one device).
+pub fn render_fig4(res: &ComparisonResult) -> String {
+    let mut out = format!("== Fig. 4: prediction accuracy on {} ==\n", res.device);
+    out.push_str(&render_eval_block("seen test models", &res.seen));
+    out.push_str(&render_eval_block("unseen test models", &res.unseen));
+    out
+}
+
+/// Renders Fig. 5 robustness buckets.
+pub fn render_fig5(device: &str, by_nodes: &[RobustnessBucket], by_edges: &[RobustnessBucket]) -> String {
+    let mut out = format!("== Fig. 5: robustness across graph sizes on {device} ==\n");
+    for (title, buckets) in [("#nodes", by_nodes), ("#edges", by_edges)] {
+        out.push_str(&format!("-- bucketed by {title} --\n"));
+        for b in buckets {
+            out.push_str(&format!("[{} ({} samples)]\n", b.label, b.count));
+            for r in &b.results {
+                out.push_str(&format!("  {:<14} MRE {:>8.3}%\n", r.predictor, r.mre_percent()));
+            }
+        }
+    }
+    out
+}
+
+/// Renders Table IV (CLIP multimodal).
+pub fn render_table4(rows: &[ClipRow]) -> String {
+    let mut out = String::from("== Table IV: GPU occupancy prediction on multimodal CLIP ==\n");
+    out.push_str(&format!(
+        "{:<10} {:<16} {:<8} {:>12} {:>12} {:>12}\n",
+        "device", "model", "split", "DNN-occu", "DNNPerf", "BRP-NAS"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} {:<16} {:<8} {:>11.3}% {:>11.3}% {:>11.3}%\n",
+            row.device,
+            row.model,
+            if row.seen { "seen" } else { "unseen" },
+            row.results[0].mre_percent(),
+            row.results[1].mre_percent(),
+            row.results[2].mre_percent()
+        ));
+    }
+    out
+}
+
+/// Renders Table V (generalization from ViT-T).
+pub fn render_table5(rows: &[GeneralizationRow]) -> String {
+    let mut out = String::from("== Table V: generalization (trained on ViT-T only) ==\n");
+    out.push_str(&format!(
+        "{:<10} {:<18} {:>12} {:>12} {:>12}\n",
+        "device", "model", "DNN-occu", "DNNPerf", "BRP-NAS"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} {:<18} {:>11.3}% {:>11.3}% {:>11.3}%\n",
+            row.device,
+            row.model,
+            row.results[0].mre_percent(),
+            row.results[1].mre_percent(),
+            row.results[2].mre_percent()
+        ));
+    }
+    out
+}
+
+/// Renders the Fig. 7 scatter as (cumulative occupancy, slowdown)
+/// pairs plus a binned summary.
+pub fn render_fig7(points: &[InterferencePoint]) -> String {
+    let mut out = String::from("== Fig. 7: JCT slowdown vs cumulative GPU occupancy ==\n");
+    // Binned view (scatter is unreadable in text).
+    let mut bins: Vec<(f64, Vec<f64>)> = (0..8).map(|i| (0.25 * i as f64, Vec::new())).collect();
+    for p in points {
+        let idx = ((p.cumulative_occupancy / 0.25) as usize).min(bins.len() - 1);
+        bins[idx].1.push(p.jct_slowdown);
+    }
+    out.push_str(&format!("{:>18} {:>10} {:>16}\n", "cum-occupancy bin", "pairs", "mean slowdown"));
+    for (lo, vals) in &bins {
+        if vals.is_empty() {
+            continue;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        out.push_str(&format!(
+            "{:>9.2}-{:<8.2} {:>10} {:>15.3}x\n",
+            lo,
+            lo + 0.25,
+            vals.len(),
+            mean
+        ));
+    }
+    out
+}
+
+/// Renders Table VI (packing strategies).
+pub fn render_table6(rows: &[crate::apps::Table6Row]) -> String {
+    let mut out = String::from("== Table VI: packing strategies on a 4xP40 node ==\n");
+    out.push_str(&format!(
+        "{:<20} {:>13} {:>9} {:>14} {:>9}\n",
+        "strategy", "makespan(s)", "gain", "nvml-util(%)", "gain"
+    ));
+    for r in rows {
+        let mk_gain = if r.policy == "slot-packing" { "N/A".to_string() } else { format!("{:.2}%", r.makespan_gain_pct) };
+        let ut_gain = if r.policy == "slot-packing" { "N/A".to_string() } else { format!("{:.2}%", r.util_gain_pct) };
+        out.push_str(&format!(
+            "{:<20} {:>13.2} {:>9} {:>14.2} {:>9}\n",
+            r.policy, r.makespan_s, mk_gain, r.nvml_util_pct, ut_gain
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occu_core::experiments::BatchSweepPoint;
+
+    #[test]
+    fn batch_sweep_renders_rows() {
+        let pts = vec![BatchSweepPoint { batch: 16, occupancy: 0.31, nvml: 0.85, fits_memory: true }];
+        let s = render_batch_sweep("test", &pts);
+        assert!(s.contains("16"));
+        assert!(s.contains("31.00"));
+        assert!(s.contains("85.00"));
+    }
+
+    #[test]
+    fn fig7_bins_points() {
+        let pts = vec![
+            InterferencePoint { cumulative_occupancy: 0.3, jct_slowdown: 1.2 },
+            InterferencePoint { cumulative_occupancy: 0.35, jct_slowdown: 1.4 },
+            InterferencePoint { cumulative_occupancy: 1.4, jct_slowdown: 3.0 },
+        ];
+        let s = render_fig7(&pts);
+        assert!(s.contains("1.300x"), "{s}");
+        assert!(s.contains("3.000x"), "{s}");
+    }
+
+    #[test]
+    fn table6_marks_baseline_na() {
+        let rows = vec![crate::apps::Table6Row {
+            policy: "slot-packing".into(),
+            makespan_s: 100.0,
+            makespan_gain_pct: 0.0,
+            nvml_util_pct: 45.0,
+            util_gain_pct: 0.0,
+        }];
+        let s = render_table6(&rows);
+        assert!(s.contains("N/A"));
+    }
+}

@@ -1,0 +1,115 @@
+//! A small flag parser (no external dependency): `--key value` pairs
+//! plus boolean `--flag`s after a positional subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand + flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// First positional argument.
+    pub command: Option<String>,
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Boolean switches the CLI understands (no value follows them).
+const SWITCHES: &[&str] = &["training", "kernels", "json", "quiet"];
+
+impl Args {
+    /// Parses an iterator of arguments (excluding argv[0]).
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                    out.flags.insert(name.to_string(), value);
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Numeric flag with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not an integer")),
+        }
+    }
+
+    /// Boolean switch.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_flags_switches() {
+        let a = parse("profile --model ResNet-50 --batch 32 --training").unwrap();
+        assert_eq!(a.command.as_deref(), Some("profile"));
+        assert_eq!(a.require("model").unwrap(), "ResNet-50");
+        assert_eq!(a.usize_or("batch", 1).unwrap(), 32);
+        assert!(a.has("training"));
+        assert!(!a.has("json"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("profile").unwrap();
+        assert_eq!(a.get_or("device", "a100"), "a100");
+        assert_eq!(a.usize_or("batch", 16).unwrap(), 16);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse("profile --model").is_err());
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let a = parse("profile --batch many").unwrap();
+        assert!(a.usize_or("batch", 1).is_err());
+    }
+
+    #[test]
+    fn extra_positional_is_error() {
+        assert!(parse("profile extra").is_err());
+    }
+
+    #[test]
+    fn required_flag_missing() {
+        let a = parse("predict").unwrap();
+        assert!(a.require("weights").is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! `occu` — the DNN-occu command line.
+//!
+//! ```text
+//! occu models                                    # list the model zoo
+//! occu devices                                   # list built-in GPUs
+//! occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]
+//! occu train    --out model.json --device a100 --configs 8 --epochs 50
+//! occu predict  --weights model.json --model ResNet-50 --batch 32 --device a100
+//! occu schedule --jobs 24 --gpus 4 [--weights model.json] [--seed 1]
+//! ```
+
+mod args;
+
+use args::Args;
+use occu_core::dataset::{make_sample, Dataset, SEEN_MODELS};
+use occu_core::experiments::ExperimentScale;
+use occu_core::features::featurize;
+use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+use occu_core::train::{OccuPredictor, TrainConfig, Trainer};
+use occu_gpusim::{profile_graph, DeviceSpec};
+use occu_graph::to_training_graph;
+use occu_models::{ModelConfig, ModelId};
+use occu_sched::{simulate, GpuSpec, PackingPolicy};
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => die(&e),
+    };
+    let result = match args.command.as_deref() {
+        Some("models") => cmd_models(),
+        Some("devices") => cmd_devices(),
+        Some("profile") => cmd_profile(&args),
+        Some("train") => cmd_train(&args),
+        Some("predict") => cmd_predict(&args),
+        Some("schedule") => cmd_schedule(&args),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".to_string()),
+    };
+    if let Err(e) = result {
+        die(&e);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("usage: occu <models|devices|profile|train|predict|schedule> [flags]");
+    eprintln!("  occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]");
+    eprintln!("  occu train    --out model.json [--device a100] [--configs 8] [--epochs 50] [--hidden 64]");
+    eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100]");
+    eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--seed 1]");
+    std::process::exit(2);
+}
+
+fn lookup_device(args: &Args) -> Result<DeviceSpec, String> {
+    let name = args.get_or("device", "a100");
+    DeviceSpec::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown device '{name}' (available: {})",
+            DeviceSpec::all_devices().iter().map(|d| d.name.clone()).collect::<Vec<_>>().join(", ")
+        )
+    })
+}
+
+fn lookup_model(args: &Args) -> Result<ModelId, String> {
+    let name = args.require("model")?;
+    ModelId::from_name(name).ok_or_else(|| format!("unknown model '{name}' (see `occu models`)"))
+}
+
+fn config_from(args: &Args, model: ModelId) -> Result<ModelConfig, String> {
+    let mut cfg = model.default_config();
+    cfg.batch_size = args.usize_or("batch", cfg.batch_size)?;
+    cfg.input_channels = args.usize_or("channels", cfg.input_channels)?;
+    if let Ok(seq) = args.usize_or("seq", cfg.seq_len.max(1)) {
+        if cfg.seq_len > 0 || args.require("seq").is_ok() {
+            cfg.seq_len = seq;
+        }
+    }
+    Ok(cfg)
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("{:<16} {:>12} {:>10} {:>10}", "model", "family", "nodes*", "edges*");
+    for &m in ModelId::ALL {
+        let cfg = ModelConfig { batch_size: 8, ..m.default_config() };
+        let g = m.build(&cfg);
+        println!(
+            "{:<16} {:>12} {:>10} {:>10}",
+            m.name(),
+            format!("{:?}", m.family()),
+            g.num_nodes(),
+            g.num_edges()
+        );
+    }
+    println!("* at batch 8 with family-default configuration");
+    Ok(())
+}
+
+fn cmd_devices() -> Result<(), String> {
+    println!(
+        "{:<12} {:<8} {:>5} {:>10} {:>12} {:>9}",
+        "device", "arch", "SMs", "GFLOPS", "BW (GB/s)", "mem(GiB)"
+    );
+    for d in DeviceSpec::all_devices() {
+        println!(
+            "{:<12} {:<8} {:>5} {:>10.0} {:>12.0} {:>9.1}",
+            d.name, d.arch, d.sm_count, d.fp32_gflops, d.mem_bandwidth_gbps, d.memory_gib
+        );
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let model = lookup_model(args)?;
+    let device = lookup_device(args)?;
+    let cfg = config_from(args, model)?;
+    let mut graph = model.build(&cfg);
+    if args.has("training") {
+        graph = to_training_graph(&graph);
+    }
+    let rep = profile_graph(&graph, &device);
+    if args.has("json") {
+        println!("{}", serde_json::to_string_pretty(&rep).expect("report serializes"));
+        return Ok(());
+    }
+    println!(
+        "{} @ batch {} on {}{}",
+        model.name(),
+        cfg.batch_size,
+        device.name,
+        if args.has("training") { " (training)" } else { "" }
+    );
+    println!(
+        "  graph: {} nodes, {} edges, {:.2} GFLOPs",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.total_flops() as f64 / 1e9
+    );
+    println!(
+        "  occupancy {:.2}% (min {:.2}% / max {:.2}%) | NVML util {:.2}%",
+        rep.mean_occupancy * 100.0,
+        rep.min_occupancy * 100.0,
+        rep.max_occupancy * 100.0,
+        rep.nvml_utilization * 100.0
+    );
+    println!(
+        "  {} kernels | {:.3} ms busy / {:.3} ms wall per iteration | {:.2} GiB est. memory",
+        rep.kernels.len(),
+        rep.busy_us / 1e3,
+        rep.wall_us / 1e3,
+        rep.memory_bytes as f64 / (1u64 << 30) as f64
+    );
+    println!("  by kernel family:");
+    for (family, us, occ, n) in rep.category_summary() {
+        println!(
+            "    {:<16} {:>9.1} us ({:>3} launches), occupancy {:>6.2}%",
+            family,
+            us,
+            n,
+            occ * 100.0
+        );
+    }
+    if args.has("kernels") {
+        println!("  kernels:");
+        for k in &rep.kernels {
+            println!(
+                "    {:<48} {:>9.2} us  occ {:>6.2}%  grid {:>8} x {:<4}",
+                k.name,
+                k.duration_us,
+                k.occupancy * 100.0,
+                k.grid_blocks,
+                k.block_threads
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let device = lookup_device(args)?;
+    let out = args.require("out")?.to_string();
+    let configs = args.usize_or("configs", 8)?;
+    let epochs = args.usize_or("epochs", 50)?;
+    let hidden = args.usize_or("hidden", ExperimentScale::full().hidden)?;
+    let seed = args.usize_or("seed", 42)? as u64;
+
+    eprintln!("generating {} configurations x {} models on {}...", configs, SEEN_MODELS.len(), device.name);
+    let data = Dataset::generate(&SEEN_MODELS, configs, &device, seed);
+    let (train, test) = data.split(0.2);
+    let mut model = DnnOccu::new(DnnOccuConfig { hidden, ..DnnOccuConfig::fast() }, seed);
+    eprintln!(
+        "training DNN-occu ({} parameters) on {} samples for {} epochs...",
+        model.num_parameters(),
+        train.len(),
+        epochs
+    );
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        log_every: if args.has("quiet") { 0 } else { 10 },
+        ..Default::default()
+    });
+    trainer.fit(&mut model, &train);
+    let eval = model.evaluate(&test);
+    eprintln!("held-out: {eval}");
+    std::fs::write(&out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("saved model to {out}");
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let weights = args.require("weights")?;
+    let json = std::fs::read_to_string(weights).map_err(|e| format!("reading {weights}: {e}"))?;
+    let predictor = DnnOccu::from_json(&json).map_err(|e| format!("parsing {weights}: {e}"))?;
+    let model = lookup_model(args)?;
+    let device = lookup_device(args)?;
+    let cfg = config_from(args, model)?;
+    let graph = model.build(&cfg);
+    let feats = featurize(&graph, &device);
+    let predicted = predictor.predict(&feats);
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "model": model.name(),
+                "device": device.name,
+                "batch_size": cfg.batch_size,
+                "predicted_occupancy": predicted,
+            })
+        );
+    } else {
+        println!(
+            "{} @ batch {} on {}: predicted GPU occupancy {:.2}%",
+            model.name(),
+            cfg.batch_size,
+            device.name,
+            predicted * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_schedule(args: &Args) -> Result<(), String> {
+    let n_jobs = args.usize_or("jobs", 24)?;
+    let gpus = args.usize_or("gpus", 4)?;
+    let seed = args.usize_or("seed", 1)? as u64;
+    let device = lookup_device(args)?;
+
+    // Optional trained predictor for the scheduler-visible occupancy.
+    let predictor = match args.require("weights") {
+        Ok(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(DnnOccu::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?)
+        }
+        Err(_) => None,
+    };
+
+    eprintln!("profiling a {n_jobs}-job workload mix on {}...", device.name);
+    let mut rng = occu_tensor::SeededRng::new(seed);
+    let jobs: Vec<occu_sched::Job> = (0..n_jobs)
+        .map(|id| {
+            let model = ModelId::ALL[rng.index(ModelId::ALL.len())];
+            let mut cfg = occu_models::sample_config(model.family(), &mut rng);
+            if model.family() != occu_graph::ModelFamily::Rnn {
+                cfg.batch_size = cfg.batch_size.min(64);
+            }
+            cfg.seq_len = cfg.seq_len.clamp(16, 64).max(16);
+            let s = make_sample(model, cfg, &device);
+            let iters = rng.int_range(200, 2000) as f64;
+            let predicted = match &predictor {
+                Some(p) => f64::from(p.predict(&s.features)).clamp(0.0, 1.0),
+                None => f64::from(s.occupancy),
+            };
+            occu_sched::Job {
+                id,
+                name: format!("{}-b{}", s.model_name, cfg.batch_size),
+                true_occupancy: f64::from(s.occupancy),
+                predicted_occupancy: predicted,
+                nvml_utilization: f64::from(s.nvml_utilization),
+                work_us: s.busy_us * iters,
+                memory_bytes: s.memory_bytes,
+                arrival_us: 0.0,
+            }
+        })
+        .collect();
+
+    let cluster: Vec<GpuSpec> = (0..gpus)
+        .map(|_| GpuSpec { memory_bytes: device.memory_bytes(), name: device.name.clone() })
+        .collect();
+    println!(
+        "{:<20} {:>13} {:>14} {:>14} {:>10}",
+        "strategy", "makespan(s)", "mean JCT(s)", "nvml-util(%)", "max coloc"
+    );
+    for policy in PackingPolicy::table6() {
+        let res = simulate(&jobs, &cluster, policy);
+        println!(
+            "{:<20} {:>13.2} {:>14.2} {:>14.2} {:>10}",
+            policy.name(),
+            res.makespan_us / 1e6,
+            res.mean_jct_us / 1e6,
+            res.avg_nvml_utilization * 100.0,
+            res.max_colocation
+        );
+    }
+    Ok(())
+}

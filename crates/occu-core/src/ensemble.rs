@@ -1,0 +1,124 @@
+//! Deep-ensemble prediction with uncertainty.
+//!
+//! Scheduling decisions built on predicted occupancy (§VI-B) benefit
+//! from knowing *how much* to trust a prediction: an over-confident
+//! under-prediction causes over-packing straight into the steep
+//! region of the interference curve (Fig. 7). A deep ensemble — K
+//! independently initialized DNN-occu instances trained on the same
+//! data — provides a mean prediction plus a disagreement-based
+//! uncertainty, the standard recipe when a single network's
+//! calibration is unknown.
+
+use crate::dataset::Dataset;
+use crate::features::FeaturizedGraph;
+use crate::gnn::{DnnOccu, DnnOccuConfig};
+use crate::train::{OccuPredictor, TrainConfig, Trainer};
+use serde::{Deserialize, Serialize};
+
+/// Mean/uncertainty prediction from an ensemble.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UncertainPrediction {
+    /// Ensemble-mean predicted occupancy.
+    pub mean: f32,
+    /// Standard deviation across members (disagreement).
+    pub std: f32,
+    /// Conservative upper estimate `min(1, mean + 2·std)` — the value
+    /// a safe packer should budget for.
+    pub upper: f32,
+}
+
+/// K independently seeded DNN-occu instances trained on the same data.
+pub struct Ensemble {
+    members: Vec<DnnOccu>,
+}
+
+impl Ensemble {
+    /// Builds `k` members with distinct initialization seeds.
+    pub fn new(cfg: DnnOccuConfig, k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "Ensemble: need at least two members");
+        Self { members: (0..k).map(|i| DnnOccu::new(cfg, seed + 1000 * i as u64)).collect() }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Trains every member on `data`. Members are independent, so the
+    /// rayon pool trains them concurrently; shuffling seeds differ per
+    /// member so trajectories decorrelate.
+    pub fn fit(&mut self, data: &Dataset, cfg: TrainConfig) {
+        use rayon::prelude::*;
+        self.members.par_iter_mut().enumerate().for_each(|(i, m)| {
+            let member_cfg = TrainConfig { seed: cfg.seed + i as u64, ..cfg };
+            Trainer::new(member_cfg).fit(m, data);
+        });
+    }
+
+    /// Predicts with uncertainty.
+    pub fn predict(&self, fg: &FeaturizedGraph) -> UncertainPrediction {
+        let preds: Vec<f32> = self.members.iter().map(|m| m.predict(fg)).collect();
+        let n = preds.len() as f32;
+        let mean = preds.iter().sum::<f32>() / n;
+        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f32>() / n;
+        let std = var.sqrt();
+        UncertainPrediction { mean, std, upper: (mean + 2.0 * std).min(1.0) }
+    }
+
+    /// Access to individual members (e.g. for serialization).
+    pub fn members(&self) -> &[DnnOccu] {
+        &self.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::make_sample;
+    use occu_gpusim::DeviceSpec;
+    use occu_models::{ModelConfig, ModelId};
+
+    fn tiny_data() -> Dataset {
+        let dev = DeviceSpec::a100();
+        Dataset {
+            samples: [8usize, 32, 96]
+                .iter()
+                .map(|&b| make_sample(ModelId::LeNet, ModelConfig { batch_size: b, ..Default::default() }, &dev))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn members_disagree_at_init() {
+        let ens = Ensemble::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 3, 5);
+        let s = &tiny_data().samples[0];
+        let p = ens.predict(&s.features);
+        assert!(p.std > 0.0, "untrained members should disagree");
+        assert!(p.upper >= p.mean);
+        assert!((0.0..=1.0).contains(&p.mean) && p.upper <= 1.0);
+    }
+
+    #[test]
+    fn training_tightens_disagreement_on_train_points() {
+        let data = tiny_data();
+        let mut ens = Ensemble::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 3, 6);
+        let before = ens.predict(&data.samples[0].features).std;
+        ens.fit(&data, TrainConfig { epochs: 20, ..Default::default() });
+        let after = ens.predict(&data.samples[0].features);
+        assert!(after.std < before, "fit should shrink disagreement: {before} -> {}", after.std);
+        // Mean lands near the label after training.
+        let truth = data.samples[0].occupancy;
+        assert!((after.mean - truth).abs() < 0.25, "mean {} vs truth {truth}", after.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two members")]
+    fn singleton_ensemble_rejected() {
+        let _ = Ensemble::new(DnnOccuConfig::fast(), 1, 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Feature engineering (Table I): node and edge feature extraction.
+//!
+//! Each node carries its operator type (one-hot), hyperparameter
+//! values, temporary/input/output tensor sizes and FLOPs, and the
+//! runtime configuration (GPU FLOPS, memory capacity, SM count).
+//! Each edge carries its direction, delivered tensor size, and the
+//! bandwidth available for the transfer. Magnitudes span many orders
+//! (batch 16 vs FLOPs 1e12), so all size-like quantities are
+//! `log1p`-scaled.
+
+use occu_gpusim::DeviceSpec;
+use occu_graph::{CompGraph, EdgeKind, OpKind};
+use occu_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameter keys extracted into fixed feature slots (in order).
+const HYPER_KEYS: [&str; 14] = [
+    "kernel_h",
+    "kernel_w",
+    "stride",
+    "padding",
+    "groups",
+    "in_channels",
+    "out_channels",
+    "in_features",
+    "out_features",
+    "hidden_size",
+    "heads",
+    "seq_len",
+    "head_dim",
+    "batch",
+];
+
+/// Size-derived node features: log FLOPs, log temp bytes, log input
+/// elems, log output elems.
+const SIZE_FEATS: usize = 4;
+
+/// Device features: log GFLOPS, log bandwidth, log memory, log SMs.
+const DEVICE_FEATS: usize = 4;
+
+/// Width of the node feature vector: canonical-op one-hot, category
+/// one-hot (so no operator is ever fully out-of-vocabulary),
+/// hyperparameters, sizes, and runtime configuration.
+pub const NODE_FEAT_DIM: usize =
+    OpKind::COUNT + occu_graph::OpCategory::COUNT + HYPER_KEYS.len() + SIZE_FEATS + DEVICE_FEATS;
+
+/// Width of the edge feature vector: forward/backward one-hot, log
+/// tensor elements, log bandwidth, log transfer time proxy.
+pub const EDGE_FEAT_DIM: usize = 5;
+
+/// Width of the graph-level feature vector fed to the prediction
+/// head alongside the pooled node embedding: total FLOPs, total
+/// tensor traffic, node/edge counts, peak node FLOPs, batch size,
+/// sequence length, and the four device features. Set pooling over
+/// hundreds of nodes dilutes configuration-scale signals (batch size
+/// moves every node's log-FLOPs by a fraction); surfacing the graph
+/// totals directly restores them.
+pub const GLOBAL_FEAT_DIM: usize = 11;
+
+/// Shortest-path distances used by Graphormer's spatial encoding are
+/// capped at this many hops (cap value doubles as the
+/// "disconnected/far" bucket).
+pub const SPD_CAP: usize = 7;
+
+/// Degree values are bucketed into `[0, DEGREE_BUCKETS)` for the
+/// centrality encoding.
+pub const DEGREE_BUCKETS: usize = 8;
+
+/// `log1p` feature scaling with a 0.1 gain, compressing 1e0..1e13
+/// into roughly 0..3 — the same scale as the one-hot block, keeping
+/// every predictor's first layer in its well-conditioned regime
+/// (unscaled log features saturate sigmoid heads).
+#[inline]
+fn lg(x: f64) -> f32 {
+    ((x.max(0.0) + 1.0).ln() * 0.1) as f32
+}
+
+/// A computation graph converted to numeric tensors, ready for any
+/// predictor, with the structural side-information the GNN needs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeaturizedGraph {
+    /// `n x NODE_FEAT_DIM` node features.
+    pub node_feats: Matrix,
+    /// `e x EDGE_FEAT_DIM` edge features.
+    pub edge_feats: Matrix,
+    /// Edge source node indices (parallel to `edge_feats` rows).
+    pub edge_src: Vec<usize>,
+    /// Edge destination node indices.
+    pub edge_dst: Vec<usize>,
+    /// Flattened `n x n` shortest-path distances capped at
+    /// [`SPD_CAP`] (row-major).
+    pub spd: Vec<u8>,
+    /// Per-node degree bucket in `[0, DEGREE_BUCKETS)`.
+    pub degree_bucket: Vec<usize>,
+    /// Node order from topological sort (sequence baselines consume
+    /// features in this order).
+    pub topo_order: Vec<usize>,
+    /// `1 x GLOBAL_FEAT_DIM` graph-level summary features.
+    pub global_feats: Matrix,
+}
+
+impl FeaturizedGraph {
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.node_feats.rows()
+    }
+
+    /// Edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edge_feats.rows()
+    }
+
+    /// Shortest-path distance between nodes `(i, j)`.
+    pub fn spd_at(&self, i: usize, j: usize) -> usize {
+        self.spd[i * self.num_nodes() + j] as usize
+    }
+
+    /// Node features reordered topologically (for sequence models).
+    pub fn node_feats_topo(&self) -> Matrix {
+        self.node_feats.gather_rows(&self.topo_order)
+    }
+}
+
+/// Extracts Table I features from a graph/device pair.
+pub fn featurize(graph: &CompGraph, dev: &DeviceSpec) -> FeaturizedGraph {
+    let n = graph.num_nodes();
+    let mut node_feats = Matrix::zeros(n, NODE_FEAT_DIM);
+
+    let dev_feats = [
+        lg(dev.fp32_gflops),
+        lg(dev.mem_bandwidth_gbps),
+        lg(dev.memory_gib),
+        lg(f64::from(dev.sm_count)),
+    ];
+
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let row = node_feats.row_mut(i);
+        // Operator type one-hot (ONNX-canonicalized, see
+        // `OpKind::canonical`).
+        row[node.op.canonical().index()] = 1.0;
+        // Category one-hot.
+        row[OpKind::COUNT + node.op.category().index()] = 1.0;
+        // Hyperparameters.
+        let mut off = OpKind::COUNT + occu_graph::OpCategory::COUNT;
+        for key in HYPER_KEYS {
+            row[off] = lg(node.hyper.get_or(key, 0.0));
+            off += 1;
+        }
+        // Sizes & FLOPs.
+        row[off] = lg(node.flops as f64);
+        row[off + 1] = lg(node.temp_bytes as f64);
+        row[off + 2] = lg(node.input_shapes.iter().map(|s| s.elems()).sum::<u64>() as f64);
+        row[off + 3] = lg(node.output_shape.elems() as f64);
+        off += SIZE_FEATS;
+        // Runtime configuration.
+        row[off..off + DEVICE_FEATS].copy_from_slice(&dev_feats);
+    }
+
+    let e = graph.num_edges();
+    let mut edge_feats = Matrix::zeros(e.max(1), EDGE_FEAT_DIM);
+    let mut edge_src = Vec::with_capacity(e.max(1));
+    let mut edge_dst = Vec::with_capacity(e.max(1));
+    if e == 0 {
+        // Degenerate single-node graphs still need one (self-ish)
+        // edge row so matrix shapes stay valid; use node 0 -> 0 with
+        // zero features. GNN scatter handles it harmlessly.
+        edge_src.push(0);
+        edge_dst.push(0);
+    }
+    for (i, edge) in graph.edges().iter().enumerate() {
+        let row = edge_feats.row_mut(i);
+        match edge.kind {
+            EdgeKind::Forward => row[0] = 1.0,
+            EdgeKind::Backward => row[1] = 1.0,
+        }
+        row[2] = lg(edge.tensor_elems as f64);
+        row[3] = lg(dev.mem_bandwidth_gbps);
+        // Transfer-time proxy: bytes / bandwidth (microseconds).
+        row[4] = lg(edge.tensor_elems as f64 * 4.0 / (dev.mem_bandwidth_gbps * 1e3));
+        edge_src.push(edge.src.0);
+        edge_dst.push(edge.dst.0);
+    }
+
+    let spd_full = graph.all_pairs_shortest_paths(SPD_CAP);
+    let mut spd = Vec::with_capacity(n * n);
+    for row in &spd_full {
+        spd.extend(row.iter().map(|&d| d.min(SPD_CAP) as u8));
+    }
+
+    let in_deg = graph.in_degrees();
+    let out_deg = graph.out_degrees();
+    let degree_bucket = (0..n)
+        .map(|i| (in_deg[i] + out_deg[i]).min(DEGREE_BUCKETS - 1))
+        .collect();
+
+    let topo_order = graph
+        .topo_sort()
+        .expect("featurize: graph must be acyclic")
+        .into_iter()
+        .map(|id| id.0)
+        .collect();
+
+    let total_traffic: u64 = graph.edges().iter().map(|e| e.tensor_elems).sum();
+    let peak_node_flops = graph.nodes().iter().map(|n| n.flops).max().unwrap_or(0);
+    let global_feats = Matrix::row_vector(&[
+        lg(graph.total_flops() as f64),
+        lg(total_traffic as f64),
+        lg(n as f64),
+        lg(e as f64),
+        lg(peak_node_flops as f64),
+        lg(graph.meta.batch_size as f64),
+        lg(graph.meta.seq_len as f64),
+        dev_feats[0],
+        dev_feats[1],
+        dev_feats[2],
+        dev_feats[3],
+    ]);
+
+    FeaturizedGraph { node_feats, edge_feats, edge_src, edge_dst, spd, degree_bucket, topo_order, global_feats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occu_models::{ModelConfig, ModelId};
+
+    fn sample_graph() -> CompGraph {
+        ModelId::LeNet.build(&ModelConfig { batch_size: 8, ..Default::default() })
+    }
+
+    #[test]
+    fn feature_dimensions() {
+        let g = sample_graph();
+        let f = featurize(&g, &DeviceSpec::a100());
+        assert_eq!(f.node_feats.shape(), (g.num_nodes(), NODE_FEAT_DIM));
+        assert_eq!(f.edge_feats.shape(), (g.num_edges(), EDGE_FEAT_DIM));
+        assert_eq!(f.edge_src.len(), g.num_edges());
+        assert_eq!(f.spd.len(), g.num_nodes() * g.num_nodes());
+        assert_eq!(f.degree_bucket.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn one_hot_is_exclusive() {
+        let g = sample_graph();
+        let f = featurize(&g, &DeviceSpec::a100());
+        for (i, node) in g.nodes().iter().enumerate() {
+            let onehot = &f.node_feats.row(i)[..OpKind::COUNT];
+            assert_eq!(onehot.iter().filter(|&&x| x == 1.0).count(), 1);
+            assert_eq!(onehot[node.op.canonical().index()], 1.0);
+            let cats = &f.node_feats.row(i)[OpKind::COUNT..OpKind::COUNT + occu_graph::OpCategory::COUNT];
+            assert_eq!(cats.iter().filter(|&&x| x == 1.0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn depthwise_conv_shares_conv_slot() {
+        // ONNX exports depthwise as Conv+groups: the feature encoding
+        // must map it onto the same one-hot slot so ConvNeXt/MaxViT
+        // are not out-of-vocabulary for CNN-trained predictors.
+        let g = ModelId::ConvNextB.build(&ModelConfig { batch_size: 4, ..Default::default() });
+        let f = featurize(&g, &DeviceSpec::a100());
+        let conv_slot = OpKind::Conv2d.index();
+        let dw_node = g
+            .nodes()
+            .iter()
+            .position(|n| n.op == OpKind::DepthwiseConv2d)
+            .expect("ConvNeXt has depthwise convs");
+        assert_eq!(f.node_feats.get(dw_node, conv_slot), 1.0);
+        assert_eq!(f.node_feats.get(dw_node, OpKind::DepthwiseConv2d.index()), 0.0);
+        // And the groups hyperparameter distinguishes it.
+        let groups_col = OpKind::COUNT + occu_graph::OpCategory::COUNT + 4; // "groups" slot
+        assert!(f.node_feats.get(dw_node, groups_col) > 0.0);
+    }
+
+    #[test]
+    fn device_features_differ_between_gpus() {
+        let g = sample_graph();
+        let fa = featurize(&g, &DeviceSpec::a100());
+        let fp = featurize(&g, &DeviceSpec::p40());
+        assert_ne!(fa.node_feats, fp.node_feats, "runtime features must vary by device");
+        // But the structural part (one-hot + hyper) is identical.
+        let dev_off = NODE_FEAT_DIM - DEVICE_FEATS;
+        for i in 0..g.num_nodes() {
+            assert_eq!(fa.node_feats.row(i)[..dev_off], fp.node_feats.row(i)[..dev_off]);
+        }
+    }
+
+    #[test]
+    fn features_are_finite_and_bounded() {
+        for &m in &[ModelId::ResNet18, ModelId::Gpt2, ModelId::ClipRn50] {
+            let cfg = ModelConfig { batch_size: 8, ..m.default_config() };
+            let g = m.build(&cfg);
+            let f = featurize(&g, &DeviceSpec::rtx2080ti());
+            for &x in f.node_feats.data() {
+                assert!(x.is_finite() && (-50.0..50.0).contains(&x), "feature {x} out of range");
+            }
+            for &x in f.edge_feats.data() {
+                assert!(x.is_finite(), "edge feature {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn spd_capped_and_symmetric() {
+        let g = sample_graph();
+        let f = featurize(&g, &DeviceSpec::a100());
+        let n = f.num_nodes();
+        for i in 0..n {
+            assert_eq!(f.spd_at(i, i), 0);
+            for j in 0..n {
+                assert!(f.spd_at(i, j) <= SPD_CAP);
+                assert_eq!(f.spd_at(i, j), f.spd_at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn topo_reorder_is_permutation() {
+        let g = sample_graph();
+        let f = featurize(&g, &DeviceSpec::a100());
+        let mut seen = vec![false; f.num_nodes()];
+        for &i in &f.topo_order {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(f.node_feats_topo().rows(), f.num_nodes());
+    }
+
+    #[test]
+    fn batch_size_visible_in_features() {
+        // The GNN can only learn batch effects if they move features.
+        let small = featurize(
+            &ModelId::ResNet18.build(&ModelConfig { batch_size: 16, ..Default::default() }),
+            &DeviceSpec::a100(),
+        );
+        let large = featurize(
+            &ModelId::ResNet18.build(&ModelConfig { batch_size: 128, ..Default::default() }),
+            &DeviceSpec::a100(),
+        );
+        assert_ne!(small.node_feats, large.node_feats);
+    }
+}

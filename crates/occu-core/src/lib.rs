@@ -1,0 +1,39 @@
+//! # occu-core
+//!
+//! The paper's primary contribution: **DNN-occu**, a GNN-based
+//! predictor of GPU occupancy for deep-learning models (§III), plus
+//! the five comparison baselines of §IV-D, the dataset pipeline, the
+//! training loop, and drivers for every evaluation experiment
+//! (Fig. 2/4/5/6, Tables IV/V).
+//!
+//! ## Pipeline
+//!
+//! 1. [`features`] turns an `occu-graph` computation graph plus a
+//!    device spec into numeric node/edge feature matrices (Table I).
+//! 2. [`dataset`] samples model configurations (Table II grids),
+//!    profiles them on the simulated devices (`occu-gpusim`, standing
+//!    in for Nsight Compute), and packages `(features, occupancy)`
+//!    samples with seen/unseen splits.
+//! 3. [`gnn`] implements the DNN-occu architecture: one ANEE layer,
+//!    Graphormer layers with degree and shortest-path structural
+//!    encodings, a Set Transformer decoder, and an MLP head.
+//! 4. [`baselines`] implements MLP, LSTM, Transformer, DNNPerf
+//!    (ANEE-only GNN) and BRP-NAS (GCN on structure alone).
+//! 5. [`train`] fits any [`OccuPredictor`] with Adam + MSE (§III-E);
+//!    [`metrics`] provides the paper's MRE/MSE.
+//! 6. [`experiments`] regenerates each table and figure.
+
+pub mod baselines;
+pub mod dataset;
+pub mod ensemble;
+pub mod experiments;
+pub mod features;
+pub mod gnn;
+pub mod metrics;
+pub mod train;
+
+pub use dataset::{Dataset, Sample};
+pub use features::{FeaturizedGraph, EDGE_FEAT_DIM, NODE_FEAT_DIM, SPD_CAP};
+pub use gnn::{DnnOccu, DnnOccuConfig};
+pub use metrics::{mre, mse, EvalResult};
+pub use train::{OccuPredictor, TrainConfig, Trainer};

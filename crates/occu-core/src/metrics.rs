@@ -1,0 +1,120 @@
+//! Evaluation metrics (§IV-C): Mean Relative Error and Mean Squared
+//! Error.
+
+use serde::{Deserialize, Serialize};
+
+/// MRE = (1/N) Σ |ŷ - y| / y, reported as a percentage by the paper.
+///
+/// Targets at or below `floor` are clamped to it to avoid division
+/// blow-ups on near-zero occupancies (the paper's targets are bounded
+/// away from zero in practice).
+pub fn mre(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "mre: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    const FLOOR: f32 = 1e-3;
+    let sum: f32 = pred
+        .iter()
+        .zip(truth.iter())
+        .map(|(&p, &t)| (p - t).abs() / t.max(FLOOR))
+        .sum();
+    sum / pred.len() as f32
+}
+
+/// MSE = (1/N) Σ (ŷ - y)².
+pub fn mse(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "mse: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sum: f32 = pred.iter().zip(truth.iter()).map(|(&p, &t)| (p - t) * (p - t)).sum();
+    sum / pred.len() as f32
+}
+
+/// A (predictor, dataset) evaluation record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Predictor name.
+    pub predictor: String,
+    /// Mean relative error (fraction, not percent).
+    pub mre: f32,
+    /// Mean squared error.
+    pub mse: f32,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl EvalResult {
+    /// Builds a record from prediction/truth pairs.
+    pub fn from_pairs(predictor: &str, pred: &[f32], truth: &[f32]) -> Self {
+        Self { predictor: predictor.to_string(), mre: mre(pred, truth), mse: mse(pred, truth), n: pred.len() }
+    }
+
+    /// MRE as a percentage (the paper's reporting unit).
+    pub fn mre_percent(&self) -> f32 {
+        self.mre * 100.0
+    }
+}
+
+impl std::fmt::Display for EvalResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<14} MRE {:7.3}%  MSE {:.5}  (n={})",
+            self.predictor,
+            self.mre_percent(),
+            self.mse,
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        let y = [0.3, 0.5, 0.9];
+        assert_eq!(mre(&y, &y), 0.0);
+        assert_eq!(mse(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // pred 0.5 vs truth 0.4: rel err 0.25, sq err 0.01.
+        let p = [0.5];
+        let t = [0.4];
+        assert!((mre(&p, &t) - 0.25).abs() < 1e-6);
+        assert!((mse(&p, &t) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mre_floor_prevents_blowup() {
+        let p = [0.5];
+        let t = [0.0];
+        assert!(mre(&p, &t).is_finite());
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(mre(&[], &[]), 0.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mre(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn eval_result_formatting() {
+        let r = EvalResult::from_pairs("Test", &[0.5, 0.6], &[0.4, 0.6]);
+        assert_eq!(r.n, 2);
+        let s = r.to_string();
+        assert!(s.contains("Test") && s.contains("MRE"));
+        assert!((r.mre_percent() - 12.5).abs() < 1e-3);
+    }
+}

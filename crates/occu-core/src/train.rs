@@ -1,0 +1,288 @@
+//! The predictor interface and the Adam/MSE training loop (§III-E, §V).
+
+use crate::dataset::{Dataset, Sample};
+use crate::features::FeaturizedGraph;
+use crate::metrics::EvalResult;
+use occu_nn::{Adam, AdamConfig, Optimizer, ParamStore, Tape, Var};
+use occu_tensor::{Matrix, SeededRng};
+
+/// Occupancy spans more than two orders of magnitude across the
+/// dataset (tiny RNN kernels at <1% up to dense CNNs near 70%), and
+/// the paper's MRE metric is *relative*. Networks therefore regress a
+/// log-scale target `t = 1 + ln(occ) / ln(1/OCC_FLOOR)` that maps
+/// `[OCC_FLOOR, 1]` monotonically onto `[0, 1]` — uniform relative
+/// resolution across the range. [`occupancy_to_target`] /
+/// [`target_to_occupancy`] convert in both directions; evaluation
+/// metrics always operate on raw occupancy.
+pub const OCC_FLOOR: f32 = 0.002;
+
+/// Maps an occupancy in `[0, 1]` to the network's regression target.
+pub fn occupancy_to_target(occ: f32) -> f32 {
+    let scale = (1.0 / OCC_FLOOR).ln();
+    (1.0 + occ.clamp(OCC_FLOOR, 1.0).ln() / scale).clamp(0.0, 1.0)
+}
+
+/// Inverse of [`occupancy_to_target`]. Accepts out-of-range inputs
+/// (unbounded baseline heads) and amplifies them exponentially —
+/// which is exactly how latency-style regressors blow up on unseen
+/// model families in the paper's Tables IV/V.
+pub fn target_to_occupancy(t: f32) -> f32 {
+    let scale = (1.0 / OCC_FLOOR).ln();
+    ((t - 1.0) * scale).exp()
+}
+
+/// Anything that maps a featurized graph to a scalar occupancy
+/// prediction on an autodiff tape. Implemented by [`crate::DnnOccu`]
+/// and every baseline. `Send` so experiment suites can train
+/// predictors on separate rayon workers.
+pub trait OccuPredictor: Send {
+    /// Display name used in result tables.
+    fn name(&self) -> &'static str;
+    /// Parameter store (read).
+    fn store(&self) -> &ParamStore;
+    /// Parameter store (write — gradients and optimizer updates).
+    fn store_mut(&mut self) -> &mut ParamStore;
+    /// Records the forward pass; returns a `1x1` prediction of the
+    /// log-scale target (see [`occupancy_to_target`]).
+    fn forward(&self, tape: &mut Tape, fg: &FeaturizedGraph) -> Var;
+
+    /// Runs a forward pass and returns the predicted *occupancy*.
+    fn predict(&self, fg: &FeaturizedGraph) -> f32 {
+        target_to_occupancy(self.predict_target(fg))
+    }
+
+    /// Runs a forward pass and returns the raw log-scale target.
+    fn predict_target(&self, fg: &FeaturizedGraph) -> f32 {
+        let mut tape = Tape::new();
+        let y = self.forward(&mut tape, fg);
+        tape.value(y).get(0, 0)
+    }
+
+    /// Predicts every sample of a dataset.
+    fn predict_all(&self, data: &Dataset) -> Vec<f32> {
+        data.samples.iter().map(|s| self.predict(&s.features)).collect()
+    }
+
+    /// Evaluates MRE/MSE on a dataset.
+    fn evaluate(&self, data: &Dataset) -> EvalResult {
+        let preds = self.predict_all(data);
+        let truth: Vec<f32> = data.samples.iter().map(|s| s.occupancy).collect();
+        EvalResult::from_pairs(self.name(), &preds, &truth)
+    }
+}
+
+/// Training hyperparameters (paper defaults: Adam, lr = weight decay
+/// = 1e-4; this reproduction exposes them for the ablation benches).
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Gradients are accumulated over this many samples per step.
+    pub batch_size: usize,
+    /// Gradient-norm clip (0 disables).
+    pub clip_norm: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Print a progress line every this many epochs (0 = silent).
+    pub log_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        // The paper's lr of 1e-4 converges too slowly for the small
+        // CPU-budget datasets used here; 3e-3 with the same schedule
+        // reaches the same optimum on this data.
+        Self { epochs: 30, lr: 3e-3, weight_decay: 1e-4, batch_size: 8, clip_norm: 5.0, seed: 0, log_every: 0 }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean MSE loss over the epoch.
+    pub train_loss: f32,
+}
+
+/// Runs the §III-E training loop: shuffled epochs, accumulated
+/// gradients, Adam with decoupled weight decay.
+pub struct Trainer {
+    cfg: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Trains `model` on `data`; returns the loss history.
+    pub fn fit(&self, model: &mut dyn OccuPredictor, data: &Dataset) -> Vec<EpochStats> {
+        assert!(!data.is_empty(), "Trainer::fit: empty training set");
+        let mut opt = Adam::new(
+            model.store(),
+            AdamConfig { lr: self.cfg.lr, weight_decay: self.cfg.weight_decay, ..AdamConfig::default() },
+        );
+        let mut rng = SeededRng::new(self.cfg.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut history = Vec::with_capacity(self.cfg.epochs);
+
+        for epoch in 0..self.cfg.epochs {
+            // Cosine learning-rate decay to 10% of the base rate:
+            // full-rate Adam late in training destabilizes the small
+            // per-graph batches.
+            let progress = epoch as f32 / self.cfg.epochs.max(1) as f32;
+            let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+            opt.set_lr(self.cfg.lr * (0.1 + 0.9 * cos));
+            shuffle(&mut order, &mut rng);
+            let mut epoch_loss = 0.0f32;
+            let mut since_step = 0usize;
+            for &idx in &order {
+                let sample = &data.samples[idx];
+                epoch_loss += self.accumulate(model, sample);
+                since_step += 1;
+                if since_step == self.cfg.batch_size {
+                    self.step(model, &mut opt, since_step);
+                    since_step = 0;
+                }
+            }
+            if since_step > 0 {
+                self.step(model, &mut opt, since_step);
+            }
+            let stats = EpochStats { epoch, train_loss: epoch_loss / data.len() as f32 };
+            if self.cfg.log_every > 0 && epoch % self.cfg.log_every == 0 {
+                eprintln!("[{}] epoch {:3}  loss {:.6}", model.name(), epoch, stats.train_loss);
+            }
+            history.push(stats);
+        }
+        history
+    }
+
+    /// Forward + backward for one sample; returns the loss value.
+    /// The regression target is the log-scale transform of the
+    /// measured occupancy (see [`occupancy_to_target`]).
+    fn accumulate(&self, model: &mut dyn OccuPredictor, sample: &Sample) -> f32 {
+        let mut tape = Tape::new();
+        let y = model.forward(&mut tape, &sample.features);
+        let t = tape.constant(Matrix::from_vec(1, 1, vec![occupancy_to_target(sample.occupancy)]));
+        let loss = tape.mse_loss(y, t);
+        let v = tape.value(loss).get(0, 0);
+        tape.backward(loss, model.store_mut());
+        v
+    }
+
+    fn step(&self, model: &mut dyn OccuPredictor, opt: &mut Adam, accumulated: usize) {
+        // Average the accumulated gradients.
+        if accumulated > 1 {
+            let scale = 1.0 / accumulated as f32;
+            let ids: Vec<_> = model.store().ids().collect();
+            for id in ids {
+                model.store_mut().grad_mut(id).map_inplace(|g| g * scale);
+            }
+        }
+        if self.cfg.clip_norm > 0.0 {
+            model.store_mut().clip_grad_norm(self.cfg.clip_norm);
+        }
+        opt.step(model.store_mut());
+    }
+}
+
+/// Fisher–Yates shuffle driven by the workspace RNG.
+fn shuffle(xs: &mut [usize], rng: &mut SeededRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.index(i + 1);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::make_sample;
+    use crate::gnn::{DnnOccu, DnnOccuConfig};
+    use occu_gpusim::DeviceSpec;
+    use occu_models::{ModelConfig, ModelId};
+
+    fn tiny_dataset() -> Dataset {
+        let dev = DeviceSpec::a100();
+        let samples = vec![
+            make_sample(ModelId::LeNet, ModelConfig { batch_size: 8, ..Default::default() }, &dev),
+            make_sample(ModelId::LeNet, ModelConfig { batch_size: 64, ..Default::default() }, &dev),
+            make_sample(ModelId::LeNet, ModelConfig { batch_size: 128, ..Default::default() }, &dev),
+        ];
+        Dataset { samples }
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let mut model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 7);
+        let data = tiny_dataset();
+        let trainer = Trainer::new(TrainConfig { epochs: 12, lr: 5e-3, batch_size: 3, ..Default::default() });
+        let history = trainer.fit(&mut model, &data);
+        let first = history.first().unwrap().train_loss;
+        let last = history.last().unwrap().train_loss;
+        assert!(last < first, "training diverged: {first} -> {last}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut xs: Vec<usize> = (0..50).collect();
+        let mut rng = SeededRng::new(3);
+        shuffle(&mut xs, &mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn evaluate_reports_name_and_counts() {
+        let model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 8);
+        let data = tiny_dataset();
+        let res = model.evaluate(&data);
+        assert_eq!(res.predictor, "DNN-occu");
+        assert_eq!(res.n, 3);
+        assert!(res.mse >= 0.0 && res.mre >= 0.0);
+    }
+
+    #[test]
+    fn target_transform_roundtrips() {
+        for occ in [0.002f32, 0.01, 0.05, 0.2, 0.45, 0.9, 1.0] {
+            let t = occupancy_to_target(occ);
+            assert!((0.0..=1.0).contains(&t), "target {t} for occ {occ}");
+            let back = target_to_occupancy(t);
+            assert!(
+                (back - occ).abs() / occ < 1e-4,
+                "roundtrip {occ} -> {t} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn target_transform_is_monotone_and_clamped() {
+        let mut prev = -1.0f32;
+        for i in 0..100 {
+            let occ = 0.002 + 0.00998 * i as f32;
+            let t = occupancy_to_target(occ);
+            assert!(t > prev);
+            prev = t;
+        }
+        // Below the floor clamps to 0; above 1 clamps to 1.
+        assert_eq!(occupancy_to_target(0.0), 0.0);
+        assert_eq!(occupancy_to_target(2.0), 1.0);
+        // Out-of-range targets amplify (the blow-up mechanism).
+        assert!(target_to_occupancy(1.5) > 10.0);
+        assert!(target_to_occupancy(-0.5) < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn fit_rejects_empty_dataset() {
+        let mut model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 9);
+        Trainer::new(TrainConfig::default()).fit(&mut model, &Dataset::default());
+    }
+}

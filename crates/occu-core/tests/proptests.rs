@@ -1,0 +1,83 @@
+//! Property tests over the core pipeline: featurization invariants
+//! and metric algebra on randomized models/configurations.
+
+use occu_core::features::{featurize, EDGE_FEAT_DIM, NODE_FEAT_DIM, SPD_CAP};
+use occu_core::metrics::{mre, mse};
+use occu_core::train::{occupancy_to_target, target_to_occupancy};
+use occu_gpusim::DeviceSpec;
+use occu_models::{ModelConfig, ModelId};
+use proptest::prelude::*;
+
+fn arb_cnn_model() -> impl Strategy<Value = ModelId> {
+    prop::sample::select(vec![
+        ModelId::LeNet,
+        ModelId::AlexNet,
+        ModelId::Vgg11,
+        ModelId::ResNet18,
+    ])
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceSpec> {
+    prop::sample::select(DeviceSpec::paper_devices())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn featurize_shapes_hold_for_random_configs(
+        model in arb_cnn_model(),
+        batch in 1usize..64,
+        channels in 1usize..10,
+        dev in arb_device(),
+    ) {
+        let cfg = ModelConfig { batch_size: batch, input_channels: channels, ..Default::default() };
+        let graph = model.build(&cfg);
+        let f = featurize(&graph, &dev);
+        prop_assert_eq!(f.node_feats.shape(), (graph.num_nodes(), NODE_FEAT_DIM));
+        prop_assert_eq!(f.edge_feats.cols(), EDGE_FEAT_DIM);
+        prop_assert_eq!(f.edge_src.len(), f.edge_dst.len());
+        prop_assert!(f.node_feats.data().iter().all(|x| x.is_finite()));
+        prop_assert!(f.global_feats.data().iter().all(|x| x.is_finite()));
+        for i in 0..f.num_nodes() {
+            prop_assert!(f.spd_at(i, i) == 0);
+            prop_assert!(f.degree_bucket[i] < occu_core::features::DEGREE_BUCKETS);
+        }
+        prop_assert!(f.spd.iter().all(|&d| (d as usize) <= SPD_CAP));
+    }
+
+    #[test]
+    fn metrics_are_nonnegative_and_zero_iff_equal(
+        truth in prop::collection::vec(0.01f32..1.0, 1..20),
+        noise in prop::collection::vec(-0.5f32..0.5, 20),
+    ) {
+        let pred: Vec<f32> = truth.iter().zip(noise.iter()).map(|(&t, &n)| (t + n).max(0.0)).collect();
+        prop_assert!(mre(&pred, &truth) >= 0.0);
+        prop_assert!(mse(&pred, &truth) >= 0.0);
+        prop_assert_eq!(mre(&truth, &truth), 0.0);
+        prop_assert_eq!(mse(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn mse_scales_quadratically(truth in prop::collection::vec(0.1f32..0.9, 2..10), eps in 0.01f32..0.2) {
+        let p1: Vec<f32> = truth.iter().map(|&t| t + eps).collect();
+        let p2: Vec<f32> = truth.iter().map(|&t| t + 2.0 * eps).collect();
+        let r = mse(&p2, &truth) / mse(&p1, &truth);
+        prop_assert!((r - 4.0).abs() < 0.05, "ratio {r}");
+    }
+
+    #[test]
+    fn target_transform_bijective_on_range(occ in 0.002f32..1.0) {
+        let t = occupancy_to_target(occ);
+        prop_assert!((0.0..=1.0).contains(&t));
+        let back = target_to_occupancy(t);
+        prop_assert!((back - occ).abs() / occ < 1e-3, "{occ} -> {t} -> {back}");
+    }
+
+    #[test]
+    fn target_transform_order_preserving(a in 0.002f32..1.0, b in 0.002f32..1.0) {
+        prop_assume!((a - b).abs() > 1e-5);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(occupancy_to_target(lo) < occupancy_to_target(hi));
+    }
+}

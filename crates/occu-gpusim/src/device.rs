@@ -1,0 +1,241 @@
+//! GPU device specifications for the paper's three systems (Table III).
+
+use serde::{Deserialize, Serialize};
+
+/// Static hardware description of one GPU model.
+///
+/// Field values for the built-in devices follow the public datasheets
+/// of the GPUs in the paper's Table III test systems.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"A100"`.
+    pub name: String,
+    /// Architecture name (paper Table III row "GPU Arch").
+    pub arch: String,
+    /// Streaming multiprocessor count.
+    pub sm_count: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Register allocation granularity (registers are allocated to
+    /// warps in chunks of this many).
+    pub register_alloc_unit: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Maximum shared memory usable by one block in bytes.
+    pub shared_mem_per_block: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Peak FP32 throughput in GFLOP/s.
+    pub fp32_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Device memory in GiB.
+    pub memory_gib: f64,
+    /// Kernel launch overhead in microseconds (host->device latency
+    /// amortized over a stream of launches).
+    pub launch_overhead_us: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100 80GB (Ampere) — paper System-1.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".into(),
+            arch: "Ampere".into(),
+            sm_count: 108,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 32,
+            registers_per_sm: 65_536,
+            register_alloc_unit: 256,
+            shared_mem_per_sm: 164 * 1024,
+            shared_mem_per_block: 160 * 1024,
+            warp_size: 32,
+            fp32_gflops: 19_500.0,
+            mem_bandwidth_gbps: 2_039.0,
+            memory_gib: 80.0,
+            launch_overhead_us: 3.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 2080 Ti (Turing) — paper System-2.
+    pub fn rtx2080ti() -> Self {
+        Self {
+            name: "RTX 2080Ti".into(),
+            arch: "Turing".into(),
+            sm_count: 68,
+            max_warps_per_sm: 32,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 65_536,
+            register_alloc_unit: 256,
+            shared_mem_per_sm: 64 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            warp_size: 32,
+            fp32_gflops: 13_450.0,
+            mem_bandwidth_gbps: 616.0,
+            memory_gib: 11.0,
+            launch_overhead_us: 4.0,
+        }
+    }
+
+    /// NVIDIA Tesla P40 (Pascal; the paper's Table III labels the
+    /// architecture "Tesla", its product line) — paper System-3.
+    pub fn p40() -> Self {
+        Self {
+            name: "P40".into(),
+            arch: "Pascal".into(),
+            sm_count: 30,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 32,
+            registers_per_sm: 65_536,
+            register_alloc_unit: 256,
+            shared_mem_per_sm: 96 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            warp_size: 32,
+            fp32_gflops: 11_760.0,
+            mem_bandwidth_gbps: 346.0,
+            memory_gib: 22.5,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// NVIDIA V100 SXM2 16GB (Volta) — not in the paper's testbed,
+    /// provided for extensible-device experiments.
+    pub fn v100() -> Self {
+        Self {
+            name: "V100".into(),
+            arch: "Volta".into(),
+            sm_count: 80,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 32,
+            registers_per_sm: 65_536,
+            register_alloc_unit: 256,
+            shared_mem_per_sm: 96 * 1024,
+            shared_mem_per_block: 96 * 1024,
+            warp_size: 32,
+            fp32_gflops: 15_700.0,
+            mem_bandwidth_gbps: 900.0,
+            memory_gib: 16.0,
+            launch_overhead_us: 4.0,
+        }
+    }
+
+    /// NVIDIA T4 (Turing) — inference-class card, also extra.
+    pub fn t4() -> Self {
+        Self {
+            name: "T4".into(),
+            arch: "Turing".into(),
+            sm_count: 40,
+            max_warps_per_sm: 32,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 65_536,
+            register_alloc_unit: 256,
+            shared_mem_per_sm: 64 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            warp_size: 32,
+            fp32_gflops: 8_100.0,
+            mem_bandwidth_gbps: 300.0,
+            memory_gib: 16.0,
+            launch_overhead_us: 4.0,
+        }
+    }
+
+    /// The three devices of the paper's evaluation, in Table III order.
+    pub fn paper_devices() -> Vec<DeviceSpec> {
+        vec![Self::a100(), Self::rtx2080ti(), Self::p40()]
+    }
+
+    /// Every built-in device (paper testbed + extras).
+    pub fn all_devices() -> Vec<DeviceSpec> {
+        vec![Self::a100(), Self::rtx2080ti(), Self::p40(), Self::v100(), Self::t4()]
+    }
+
+    /// Looks a built-in device up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<DeviceSpec> {
+        let n = name.to_ascii_lowercase();
+        match n.as_str() {
+            "a100" => Some(Self::a100()),
+            "rtx 2080ti" | "rtx2080ti" | "2080ti" => Some(Self::rtx2080ti()),
+            "p40" => Some(Self::p40()),
+            "v100" => Some(Self::v100()),
+            "t4" => Some(Self::t4()),
+            _ => None,
+        }
+    }
+
+    /// Maximum resident threads per SM.
+    pub fn max_threads_per_sm(&self) -> u32 {
+        self.max_warps_per_sm * self.warp_size
+    }
+
+    /// Device memory in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.memory_gib * (1u64 << 30) as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_devices_match_table_iii() {
+        let devs = DeviceSpec::paper_devices();
+        assert_eq!(devs.len(), 3);
+        assert_eq!(devs[0].arch, "Ampere");
+        assert_eq!(devs[1].arch, "Turing");
+        assert_eq!(devs[2].name, "P40");
+        assert!((devs[0].memory_gib - 80.0).abs() < f64::EPSILON);
+        assert!((devs[1].memory_gib - 11.0).abs() < f64::EPSILON);
+        assert!((devs[2].memory_gib - 22.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(DeviceSpec::by_name("a100").unwrap().sm_count, 108);
+        assert_eq!(DeviceSpec::by_name("2080Ti").unwrap().max_warps_per_sm, 32);
+        assert_eq!(DeviceSpec::by_name("v100").unwrap().arch, "Volta");
+        assert_eq!(DeviceSpec::by_name("T4").unwrap().sm_count, 40);
+        assert!(DeviceSpec::by_name("h100").is_none());
+    }
+
+    #[test]
+    fn all_devices_superset_of_paper() {
+        let all = DeviceSpec::all_devices();
+        assert_eq!(all.len(), 5);
+        for p in DeviceSpec::paper_devices() {
+            assert!(all.iter().any(|d| d.name == p.name));
+        }
+        // Every device is resolvable by its own name.
+        for d in &all {
+            assert_eq!(DeviceSpec::by_name(&d.name).unwrap().name, d.name);
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let a = DeviceSpec::a100();
+        assert_eq!(a.max_threads_per_sm(), 2048);
+        assert_eq!(a.memory_bytes(), 80 * (1u64 << 30));
+    }
+
+    #[test]
+    fn a100_outclasses_p40() {
+        // Sanity ordering the experiments rely on.
+        let a = DeviceSpec::a100();
+        let p = DeviceSpec::p40();
+        assert!(a.fp32_gflops > p.fp32_gflops);
+        assert!(a.mem_bandwidth_gbps > p.mem_bandwidth_gbps);
+        assert!(a.sm_count > p.sm_count);
+    }
+}

@@ -1,0 +1,183 @@
+//! The GPU kernel abstraction: one launch with its geometry and
+//! resource footprint.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse kernel family; drives achieved-occupancy efficiency and the
+/// roofline's attainable fractions in [`crate::profile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelCategory {
+    /// Dense tiled GEMM (cuBLAS-style).
+    Gemm,
+    /// Implicit-GEMM / winograd convolution kernels.
+    Conv,
+    /// Fused elementwise / activation kernels.
+    Elementwise,
+    /// Row or block reductions (softmax, norms, pooling statistics).
+    Reduction,
+    /// Bandwidth-dominated copies/gathers (embedding, transpose).
+    Memory,
+    /// Fused attention kernels.
+    Attention,
+    /// Recurrent cell pointwise fusion.
+    Recurrent,
+}
+
+impl KernelCategory {
+    /// Warp-scheduler efficiency: the fraction of theoretically
+    /// resident warps that stay active in steady state. Compute-dense
+    /// kernels keep warps busy; memory-bound kernels stall more.
+    pub fn scheduler_efficiency(self) -> f64 {
+        match self {
+            KernelCategory::Gemm => 0.92,
+            KernelCategory::Conv => 0.88,
+            KernelCategory::Elementwise => 0.96,
+            KernelCategory::Reduction => 0.80,
+            KernelCategory::Memory => 0.70,
+            KernelCategory::Attention => 0.85,
+            KernelCategory::Recurrent => 0.75,
+        }
+    }
+
+    /// Fraction of peak FLOP/s this kernel family can attain when
+    /// fully occupied (tensor-core-free FP32 paths).
+    pub fn compute_efficiency(self) -> f64 {
+        match self {
+            KernelCategory::Gemm => 0.85,
+            KernelCategory::Conv => 0.75,
+            KernelCategory::Elementwise => 0.30,
+            KernelCategory::Reduction => 0.25,
+            KernelCategory::Memory => 0.05,
+            KernelCategory::Attention => 0.65,
+            KernelCategory::Recurrent => 0.40,
+        }
+    }
+
+    /// Fraction of peak bandwidth attainable.
+    pub fn bandwidth_efficiency(self) -> f64 {
+        match self {
+            KernelCategory::Gemm => 0.60,
+            KernelCategory::Conv => 0.55,
+            KernelCategory::Elementwise => 0.85,
+            KernelCategory::Reduction => 0.70,
+            KernelCategory::Memory => 0.90,
+            KernelCategory::Attention => 0.65,
+            KernelCategory::Recurrent => 0.60,
+        }
+    }
+}
+
+/// One kernel launch: geometry, resources, and work volume.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Symbolic kernel name (mirrors vendor-library naming, useful in
+    /// reports), e.g. `implicit_gemm_conv2d_128x64`.
+    pub name: String,
+    /// Kernel family.
+    pub category: KernelCategory,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Threads per block (multiple of warp size in practice).
+    pub block_threads: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Static + dynamic shared memory per block, bytes.
+    pub smem_per_block: u32,
+    /// Floating-point operations performed by the whole grid.
+    pub flops: u64,
+    /// DRAM bytes moved by the whole grid (reads + writes).
+    pub bytes: u64,
+}
+
+impl Kernel {
+    /// Total threads across the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks * self.block_threads as u64
+    }
+
+    /// Arithmetic intensity (FLOP per byte); `inf`-safe.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+
+    /// Validates the launch configuration against basic CUDA limits.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grid_blocks == 0 {
+            return Err(format!("{}: empty grid", self.name));
+        }
+        if self.block_threads == 0 || self.block_threads > 1024 {
+            return Err(format!("{}: block size {} out of (0,1024]", self.name, self.block_threads));
+        }
+        if self.regs_per_thread > 255 {
+            return Err(format!("{}: {} registers/thread exceeds 255", self.name, self.regs_per_thread));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel {
+            name: "test".into(),
+            category: KernelCategory::Gemm,
+            grid_blocks: 100,
+            block_threads: 256,
+            regs_per_thread: 64,
+            smem_per_block: 48 * 1024,
+            flops: 1_000_000,
+            bytes: 10_000,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let k = kernel();
+        assert_eq!(k.total_threads(), 25_600);
+        assert!((k.arithmetic_intensity() - 100.0).abs() < 1e-9);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut k = kernel();
+        k.block_threads = 2048;
+        assert!(k.validate().is_err());
+        let mut k = kernel();
+        k.grid_blocks = 0;
+        assert!(k.validate().is_err());
+        let mut k = kernel();
+        k.regs_per_thread = 300;
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn efficiencies_are_fractions() {
+        for c in [
+            KernelCategory::Gemm,
+            KernelCategory::Conv,
+            KernelCategory::Elementwise,
+            KernelCategory::Reduction,
+            KernelCategory::Memory,
+            KernelCategory::Attention,
+            KernelCategory::Recurrent,
+        ] {
+            assert!((0.0..=1.0).contains(&c.scheduler_efficiency()));
+            assert!((0.0..=1.0).contains(&c.compute_efficiency()));
+            assert!((0.0..=1.0).contains(&c.bandwidth_efficiency()));
+        }
+    }
+
+    #[test]
+    fn zero_bytes_intensity_is_zero() {
+        let mut k = kernel();
+        k.bytes = 0;
+        assert_eq!(k.arithmetic_intensity(), 0.0);
+    }
+}

@@ -1,0 +1,542 @@
+//! Operator → kernel-sequence lowering.
+//!
+//! Mirrors how cuDNN/cuBLAS pick algorithms: convolutions become
+//! implicit-GEMM (or winograd triples for small 3x3/stride-1 cases),
+//! dense layers become tiled GEMMs whose tile size — and therefore
+//! register/shared-memory footprint — depends on the problem shape,
+//! elementwise chains become wide fused kernels, and normalizations /
+//! softmax become block-per-row reductions. The chosen launch
+//! geometries drive the occupancy calculator, so operator
+//! hyperparameters flow through to per-kernel occupancy exactly as
+//! they do on real hardware.
+
+use crate::device::DeviceSpec;
+use crate::kernel::{Kernel, KernelCategory};
+use occu_graph::{CompGraph, Node, OpKind};
+
+/// Lowers a whole graph in topological order.
+pub fn lower_graph(graph: &CompGraph, dev: &DeviceSpec) -> Vec<Kernel> {
+    let order = graph.topo_sort().expect("valid graphs are acyclic");
+    let mut kernels = Vec::new();
+    for id in order {
+        kernels.extend(lower_node(graph.node(id), dev));
+    }
+    kernels
+}
+
+/// Lowers one operator node into zero or more kernels.
+pub fn lower_node(node: &Node, dev: &DeviceSpec) -> Vec<Kernel> {
+    use OpKind::*;
+    if node.op.is_no_kernel() {
+        return Vec::new();
+    }
+    let out_elems = node.output_shape.elems();
+    let in_elems: u64 = node.input_shapes.iter().map(|s| s.elems()).sum();
+
+    match node.op {
+        Conv2d | Conv1d | ConvTranspose2d => lower_conv(node, dev),
+        DepthwiseConv2d => vec![direct_kernel(
+            format!("depthwise_conv_{}", node.name),
+            KernelCategory::Conv,
+            out_elems,
+            node.flops,
+            (in_elems + 2 * out_elems) * 4,
+            256,
+            48,
+            4 * 1024,
+        )],
+        Linear | MatMul | BatchMatMul => lower_gemm_like(node, dev),
+        MaxPool2d | AvgPool2d | MaxPool1d => vec![direct_kernel(
+            format!("pool_{}", node.name),
+            KernelCategory::Reduction,
+            out_elems,
+            node.flops,
+            (in_elems + out_elems) * 4,
+            256,
+            32,
+            0,
+        )],
+        AdaptiveAvgPool2d | GlobalAvgPool2d => {
+            // One block per output element-group (N*C rows).
+            let d = node.input_shapes[0].dims();
+            let rows = if d.len() >= 2 { (d[0] * d[1]) as u64 } else { out_elems };
+            let hw: u64 = d.iter().skip(2).map(|&x| x as u64).product::<u64>().max(1);
+            vec![Kernel {
+                name: format!("global_pool_{}", node.name),
+                category: KernelCategory::Reduction,
+                grid_blocks: rows.max(1),
+                block_threads: round_block(hw.min(512) as u32),
+                regs_per_thread: 24,
+                smem_per_block: 2 * 1024,
+                flops: node.flops,
+                bytes: (in_elems + out_elems) * 4,
+            }]
+        }
+        Relu | LeakyRelu | Sigmoid | Tanh | Elu | Neg | Sqrt | Exp | Log => vec![elementwise_kernel(
+            format!("{:?}_{}", node.op, node.name).to_lowercase(),
+            out_elems,
+            node.flops,
+            2 * out_elems * 4,
+            16,
+        )],
+        Gelu | Hardswish | Silu | Erf => vec![elementwise_kernel(
+            format!("{:?}_{}", node.op, node.name).to_lowercase(),
+            out_elems,
+            node.flops,
+            2 * out_elems * 4,
+            24,
+        )],
+        Add | Sub | Mul | Div | Pow => vec![elementwise_kernel(
+            format!("{:?}_{}", node.op, node.name).to_lowercase(),
+            out_elems,
+            node.flops,
+            (in_elems + out_elems) * 4,
+            18,
+        )],
+        Softmax | LogSoftmax => vec![row_reduce_kernel(
+            format!("softmax_{}", node.name),
+            &node.output_shape,
+            node.flops,
+            3 * out_elems * 4,
+            32,
+        )],
+        LayerNorm | GroupNorm => vec![row_reduce_kernel(
+            format!("layer_norm_{}", node.name),
+            &node.output_shape,
+            node.flops,
+            3 * out_elems * 4,
+            40,
+        )],
+        BatchNorm2d | InstanceNorm2d => vec![elementwise_kernel(
+            format!("batch_norm_{}", node.name),
+            out_elems,
+            node.flops,
+            3 * out_elems * 4,
+            24,
+        )],
+        ReduceMean | ReduceSum | ArgMax => {
+            if in_elems > 1 << 20 {
+                // Two-phase tree reduction.
+                let partials = in_elems.div_ceil(256 * 64);
+                vec![
+                    Kernel {
+                        name: format!("reduce_partial_{}", node.name),
+                        category: KernelCategory::Reduction,
+                        grid_blocks: partials.max(1),
+                        block_threads: 256,
+                        regs_per_thread: 28,
+                        smem_per_block: 256 * 4,
+                        flops: node.flops,
+                        bytes: in_elems * 4,
+                    },
+                    Kernel {
+                        name: format!("reduce_final_{}", node.name),
+                        category: KernelCategory::Reduction,
+                        grid_blocks: 1,
+                        block_threads: 256,
+                        regs_per_thread: 28,
+                        smem_per_block: 256 * 4,
+                        flops: partials,
+                        bytes: (partials + out_elems) * 4,
+                    },
+                ]
+            } else {
+                vec![row_reduce_kernel(
+                    format!("reduce_{}", node.name),
+                    &node.output_shape,
+                    node.flops,
+                    (in_elems + out_elems) * 4,
+                    28,
+                )]
+            }
+        }
+        Concat | Slice | Split | Transpose | Permute | Pad | Upsample => vec![copy_kernel(
+            format!("{:?}_{}", node.op, node.name).to_lowercase(),
+            out_elems,
+        )],
+        Gather | Embedding => vec![Kernel {
+            name: format!("gather_{}", node.name),
+            category: KernelCategory::Memory,
+            grid_blocks: out_elems.div_ceil(1024).max(1),
+            block_threads: 256,
+            regs_per_thread: 20,
+            smem_per_block: 0,
+            flops: 0,
+            bytes: 2 * out_elems * 4,
+        }],
+        RnnCell | LstmCell | GruCell => lower_recurrent(node, dev),
+        Attention => lower_attention(node, dev),
+        Input | Output | Constant | Identity | Dropout | Reshape | Flatten | Squeeze | Unsqueeze => {
+            Vec::new()
+        }
+    }
+}
+
+/// Rounds a block size up to a warp multiple within [32, 1024].
+fn round_block(threads: u32) -> u32 {
+    threads.clamp(32, 1024).div_ceil(32) * 32
+}
+
+/// A generic grid-stride kernel over `work` elements (4 elements per
+/// thread, float4-vectorized style).
+fn direct_kernel(
+    name: String,
+    category: KernelCategory,
+    work: u64,
+    flops: u64,
+    bytes: u64,
+    block_threads: u32,
+    regs: u32,
+    smem: u32,
+) -> Kernel {
+    Kernel {
+        name,
+        category,
+        grid_blocks: work.div_ceil(u64::from(block_threads) * 4).max(1),
+        block_threads,
+        regs_per_thread: regs,
+        smem_per_block: smem,
+        flops,
+        bytes,
+    }
+}
+
+fn elementwise_kernel(name: String, elems: u64, flops: u64, bytes: u64, regs: u32) -> Kernel {
+    direct_kernel(name, KernelCategory::Elementwise, elems, flops, bytes, 256, regs, 0)
+}
+
+fn copy_kernel(name: String, elems: u64) -> Kernel {
+    Kernel {
+        name,
+        category: KernelCategory::Memory,
+        grid_blocks: elems.div_ceil(1024).max(1),
+        block_threads: 256,
+        regs_per_thread: 16,
+        smem_per_block: 0,
+        flops: 0,
+        bytes: 2 * elems * 4,
+    }
+}
+
+/// Block-per-row reduction (softmax / layernorm / small reduce):
+/// one block per row, block size fitted to the row width.
+fn row_reduce_kernel(name: String, shape: &occu_graph::TensorShape, flops: u64, bytes: u64, regs: u32) -> Kernel {
+    let dims = shape.dims();
+    let row_width = dims.last().copied().unwrap_or(1) as u64;
+    let rows = (shape.elems() / row_width.max(1)).max(1);
+    let block = round_block(row_width.min(1024) as u32);
+    Kernel {
+        name,
+        category: KernelCategory::Reduction,
+        grid_blocks: rows,
+        block_threads: block,
+        regs_per_thread: regs,
+        smem_per_block: block.max(32) * 8,
+        flops,
+        bytes,
+    }
+}
+
+/// GEMM tile configurations: `(tile_m, tile_n, block, regs, smem)`.
+/// Larger problems take larger tiles — more registers and shared
+/// memory per block, hence *lower* theoretical occupancy but far
+/// better data reuse, exactly the trade cuBLAS makes.
+fn gemm_tile(m: u64, n: u64) -> (u64, u64, u32, u32, u32) {
+    if m >= 256 && n >= 128 {
+        (128, 128, 256, 128, 36 * 1024)
+    } else if m >= 64 && n >= 64 {
+        (64, 64, 128, 96, 24 * 1024)
+    } else {
+        (32, 32, 64, 64, 8 * 1024)
+    }
+}
+
+/// Emits a tiled-GEMM kernel of logical shape `(m x k) * (k x n)`
+/// repeated `batch` times.
+fn gemm_kernel(name: String, category: KernelCategory, m: u64, n: u64, k: u64, batch: u64) -> Kernel {
+    let (tm, tn, block, regs, smem) = gemm_tile(m, n);
+    let grid = m.div_ceil(tm) * n.div_ceil(tn) * batch.max(1);
+    Kernel {
+        name,
+        category,
+        grid_blocks: grid.max(1),
+        block_threads: block,
+        regs_per_thread: regs,
+        smem_per_block: smem,
+        flops: 2 * m * n * k * batch.max(1),
+        bytes: (m * k + k * n + m * n) * 4 * batch.max(1),
+    }
+}
+
+fn lower_conv(node: &Node, _dev: &DeviceSpec) -> Vec<Kernel> {
+    let h = &node.hyper;
+    let out = node.output_shape.dims();
+    let k_ch = h.get_usize_or("out_channels", out.get(1).copied().unwrap_or(1)) as u64;
+    let c = h.get_usize_or("in_channels", 1) as u64;
+    let kh = h.get_usize_or("kernel_h", h.get_usize_or("kernel", 3)) as u64;
+    let kw = h.get_usize_or("kernel_w", h.get_usize_or("kernel", 3)) as u64;
+    let stride = h.get_usize_or("stride", 1);
+    // Implicit GEMM view: M = N*P*Q, N = K, K = C*R*S.
+    let npq = node.output_shape.elems() / k_ch.max(1);
+    let gemm_k = c * kh * kw;
+
+    // Winograd F(2x2, 3x3) for small 3x3 stride-1 convs with enough
+    // channels: input transform + GEMM + output transform.
+    if kh == 3 && kw == 3 && stride == 1 && c >= 32 && k_ch >= 32 {
+        let in_elems: u64 = node.input_shapes.iter().map(|s| s.elems()).sum();
+        let tiles = npq / 4; // 2x2 output tiles
+        let gemm = gemm_kernel(
+            format!("winograd_gemm_{}", node.name),
+            KernelCategory::Conv,
+            tiles.max(1),
+            k_ch,
+            c * 16 / 9, // transformed K dimension (4x4 patches over 3x3)
+            1,
+        );
+        return vec![
+            elementwise_kernel(
+                format!("winograd_input_transform_{}", node.name),
+                in_elems,
+                in_elems * 2,
+                2 * in_elems * 4,
+                40,
+            ),
+            gemm,
+            elementwise_kernel(
+                format!("winograd_output_transform_{}", node.name),
+                node.output_shape.elems(),
+                node.output_shape.elems() * 2,
+                2 * node.output_shape.elems() * 4,
+                40,
+            ),
+        ];
+    }
+
+    let weight_bytes = k_ch * gemm_k * 4;
+    let mut kern = gemm_kernel(
+        format!("implicit_gemm_conv_{}", node.name),
+        KernelCategory::Conv,
+        npq.max(1),
+        k_ch.max(1),
+        gemm_k.max(1),
+        1,
+    );
+    kern.flops = node.flops; // use the IR's exact §III-C count
+    kern.bytes = node.input_shapes.iter().map(|s| s.bytes()).sum::<u64>()
+        + node.output_shape.bytes()
+        + weight_bytes;
+    vec![kern]
+}
+
+fn lower_gemm_like(node: &Node, _dev: &DeviceSpec) -> Vec<Kernel> {
+    let out = node.output_shape.dims();
+    match node.op {
+        OpKind::Linear => {
+            let n = node.hyper.get_usize("out_features") as u64;
+            let k = node.hyper.get_usize("in_features") as u64;
+            let m = node.output_shape.elems() / n.max(1);
+            vec![gemm_kernel(format!("sgemm_{}", node.name), KernelCategory::Gemm, m.max(1), n, k, 1)]
+        }
+        _ => {
+            // (Batch)MatMul: out [..., M, N], inner K from input 0.
+            let rank = out.len();
+            let (m, n) = if rank >= 2 {
+                (out[rank - 2] as u64, out[rank - 1] as u64)
+            } else {
+                (1, node.output_shape.elems())
+            };
+            let batch: u64 = out[..rank.saturating_sub(2)].iter().map(|&d| d as u64).product::<u64>().max(1);
+            let k = node
+                .input_shapes
+                .first()
+                .and_then(|s| s.dims().last().copied())
+                .unwrap_or(1) as u64;
+            vec![gemm_kernel(format!("bgemm_{}", node.name), KernelCategory::Gemm, m, n, k, batch)]
+        }
+    }
+}
+
+fn lower_recurrent(node: &Node, _dev: &DeviceSpec) -> Vec<Kernel> {
+    let h = node.hyper.get_usize("hidden_size") as u64;
+    let i = node.hyper.get_usize("input_size") as u64;
+    let batch = node.hyper.get_usize_or("batch", 1) as u64;
+    let gates: u64 = match node.op {
+        OpKind::LstmCell => 4,
+        OpKind::GruCell => 3,
+        _ => 1,
+    };
+    vec![
+        gemm_kernel(
+            format!("rnn_gemm_{}", node.name),
+            KernelCategory::Gemm,
+            batch,
+            gates * h,
+            i + h,
+            1,
+        ),
+        Kernel {
+            name: format!("rnn_pointwise_{}", node.name),
+            category: KernelCategory::Recurrent,
+            grid_blocks: (batch * h).div_ceil(1024).max(1),
+            block_threads: 256,
+            regs_per_thread: 32,
+            smem_per_block: 0,
+            flops: gates * 5 * batch * h,
+            bytes: (gates + 2) * batch * h * 4,
+        },
+    ]
+}
+
+fn lower_attention(node: &Node, dev: &DeviceSpec) -> Vec<Kernel> {
+    let h = &node.hyper;
+    let batch = h.get_usize_or("batch", 1) as u64;
+    let seq = h.get_usize_or("seq_len", node.input_shapes[0].dims().get(1).copied().unwrap_or(1)) as u64;
+    let head_dim = h.get_usize_or("head_dim", 64) as u64;
+    let heads = h.get_usize_or("heads", 1) as u64;
+    // Flash-style tiling: Br = Bc = 64 rows, smem holds Q/K/V tiles.
+    let tile = 64u64;
+    let smem = ((2 * tile * head_dim + tile * tile) * 4).min(u64::from(dev.shared_mem_per_block)) as u32;
+    vec![Kernel {
+        name: format!("flash_attention_{}", node.name),
+        category: KernelCategory::Attention,
+        grid_blocks: (batch * heads * seq.div_ceil(tile)).max(1),
+        block_threads: 128,
+        regs_per_thread: 144,
+        smem_per_block: smem,
+        flops: node.flops,
+        bytes: (3 * batch * heads * seq * head_dim + batch * heads * seq * head_dim) * 4,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occu_graph::{GraphBuilder, GraphMeta, Hyper, ModelFamily};
+
+    fn conv_node(batch: usize, cin: usize, cout: usize, k: usize, stride: usize) -> occu_graph::CompGraph {
+        let mut b = GraphBuilder::new(GraphMeta::new("t", ModelFamily::Cnn));
+        let x = b.input("x", &[batch, cin, 56, 56]);
+        b.add(
+            OpKind::Conv2d,
+            "conv",
+            Hyper::new()
+                .with("in_channels", cin as f64)
+                .with("out_channels", cout as f64)
+                .with("kernel_h", k as f64)
+                .with("kernel_w", k as f64)
+                .with("stride", stride as f64)
+                .with("padding", (k / 2) as f64),
+            &[x],
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn conv_3x3_stride1_takes_winograd_path() {
+        let g = conv_node(8, 64, 64, 3, 1);
+        let dev = DeviceSpec::a100();
+        let kernels = lower_node(&g.nodes()[1], &dev);
+        assert_eq!(kernels.len(), 3, "winograd = transform + gemm + transform");
+        assert!(kernels[1].name.contains("winograd_gemm"));
+    }
+
+    #[test]
+    fn conv_7x7_takes_implicit_gemm() {
+        let g = conv_node(8, 3, 64, 7, 2);
+        let dev = DeviceSpec::a100();
+        let kernels = lower_node(&g.nodes()[1], &dev);
+        assert_eq!(kernels.len(), 1);
+        assert!(kernels[0].name.contains("implicit_gemm"));
+        assert_eq!(kernels[0].flops, g.nodes()[1].flops, "kernel carries the IR flops");
+    }
+
+    #[test]
+    fn all_lowered_kernels_are_valid() {
+        let g = conv_node(16, 32, 64, 3, 2);
+        for dev in DeviceSpec::paper_devices() {
+            for k in lower_graph(&g, &dev) {
+                k.validate().unwrap_or_else(|e| panic!("invalid kernel: {e}"));
+                assert!(k.smem_per_block <= dev.shared_mem_per_block, "{}: smem over limit", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn no_kernel_ops_lower_to_nothing() {
+        let mut b = GraphBuilder::new(GraphMeta::new("t", ModelFamily::Cnn));
+        let x = b.input("x", &[2, 16]);
+        b.add(OpKind::Reshape, "r", Hyper::new().with("dim0", 4.0).with("dim1", 8.0), &[x]);
+        let g = b.finish();
+        let dev = DeviceSpec::a100();
+        assert!(lower_graph(&g, &dev).is_empty());
+    }
+
+    #[test]
+    fn bigger_batch_means_bigger_grids() {
+        let dev = DeviceSpec::a100();
+        let small: u64 = lower_graph(&conv_node(4, 3, 64, 7, 2), &dev).iter().map(|k| k.grid_blocks).sum();
+        let large: u64 = lower_graph(&conv_node(64, 3, 64, 7, 2), &dev).iter().map(|k| k.grid_blocks).sum();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn gemm_tile_grows_with_problem() {
+        let (tm_small, _, _, regs_small, _) = gemm_tile(16, 16);
+        let (tm_big, _, _, regs_big, _) = gemm_tile(4096, 4096);
+        assert!(tm_big > tm_small);
+        // Bigger tiles use more registers.
+        assert!(regs_big > regs_small);
+    }
+
+    #[test]
+    fn attention_lowering_respects_smem_cap() {
+        let mut b = GraphBuilder::new(GraphMeta::new("t", ModelFamily::Transformer));
+        let x = b.input("x", &[2, 128, 768]);
+        b.add(
+            OpKind::Attention,
+            "attn",
+            Hyper::new()
+                .with("batch", 2.0)
+                .with("seq_len", 128.0)
+                .with("head_dim", 64.0)
+                .with("heads", 12.0),
+            &[x],
+        );
+        let g = b.finish();
+        for dev in DeviceSpec::paper_devices() {
+            let ks = lower_node(&g.nodes()[1], &dev);
+            assert_eq!(ks.len(), 1);
+            assert!(ks[0].smem_per_block <= dev.shared_mem_per_block);
+            assert_eq!(ks[0].category, KernelCategory::Attention);
+        }
+    }
+
+    #[test]
+    fn lstm_cell_lowers_to_gemm_plus_pointwise() {
+        let mut b = GraphBuilder::new(GraphMeta::new("t", ModelFamily::Rnn));
+        let x = b.input("x", &[32, 128]);
+        b.add(
+            OpKind::LstmCell,
+            "lstm",
+            Hyper::new().with("input_size", 128.0).with("hidden_size", 256.0).with("batch", 32.0),
+            &[x],
+        );
+        let g = b.finish();
+        let ks = lower_node(&g.nodes()[1], &DeviceSpec::a100());
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].category, KernelCategory::Gemm);
+        assert_eq!(ks[1].category, KernelCategory::Recurrent);
+    }
+
+    #[test]
+    fn softmax_lowers_block_per_row() {
+        let mut b = GraphBuilder::new(GraphMeta::new("t", ModelFamily::Transformer));
+        let x = b.input("x", &[4, 12, 128, 128]);
+        b.add(OpKind::Softmax, "sm", Hyper::new(), &[x]);
+        let g = b.finish();
+        let ks = lower_node(&g.nodes()[1], &DeviceSpec::a100());
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].grid_blocks, 4 * 12 * 128);
+        assert_eq!(ks[0].block_threads, 128);
+    }
+}

@@ -1,0 +1,221 @@
+//! The CUDA occupancy calculator and the achieved-occupancy model.
+
+use crate::device::DeviceSpec;
+use crate::kernel::Kernel;
+
+/// Breakdown of the per-SM resident-block limits for one kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OccupancyLimits {
+    /// Limit imposed by warp slots.
+    pub by_warps: u32,
+    /// Limit imposed by the register file.
+    pub by_registers: u32,
+    /// Limit imposed by shared memory.
+    pub by_shared_mem: u32,
+    /// Hardware cap on resident blocks.
+    pub by_block_cap: u32,
+    /// Resulting resident blocks per SM (minimum of the above).
+    pub active_blocks: u32,
+    /// Resident warps per SM.
+    pub active_warps: u32,
+}
+
+impl OccupancyLimits {
+    /// The binding constraint as a human-readable label.
+    pub fn binding_constraint(&self) -> &'static str {
+        let m = self.active_blocks;
+        if m == self.by_registers && self.by_registers <= self.by_warps && self.by_registers <= self.by_shared_mem {
+            "registers"
+        } else if m == self.by_shared_mem && self.by_shared_mem <= self.by_warps {
+            "shared_memory"
+        } else if m == self.by_block_cap && self.by_block_cap < self.by_warps {
+            "block_cap"
+        } else {
+            "warps"
+        }
+    }
+}
+
+/// Computes the per-SM resident-block limits for `kernel` on `dev`
+/// following the CUDA occupancy-calculator rules.
+///
+/// Registers are allocated per warp in units of
+/// `dev.register_alloc_unit`; shared memory is allocated per block.
+pub fn occupancy_limits(kernel: &Kernel, dev: &DeviceSpec) -> OccupancyLimits {
+    let warps_per_block = kernel.block_threads.div_ceil(dev.warp_size).max(1);
+
+    let by_warps = dev.max_warps_per_sm / warps_per_block;
+
+    // Registers: per-warp allocation rounded up to the allocation unit.
+    let regs_per_warp_raw = kernel.regs_per_thread * dev.warp_size;
+    let regs_per_warp = regs_per_warp_raw.div_ceil(dev.register_alloc_unit) * dev.register_alloc_unit;
+    let by_registers = if kernel.regs_per_thread == 0 {
+        u32::MAX
+    } else {
+        let warps_by_regs = dev.registers_per_sm / regs_per_warp.max(1);
+        warps_by_regs / warps_per_block
+    };
+
+    let by_shared_mem = if kernel.smem_per_block == 0 {
+        u32::MAX
+    } else {
+        dev.shared_mem_per_sm / kernel.smem_per_block
+    };
+
+    let by_block_cap = dev.max_blocks_per_sm;
+
+    let active_blocks = by_warps.min(by_registers).min(by_shared_mem).min(by_block_cap);
+    let active_warps = active_blocks * warps_per_block;
+
+    OccupancyLimits { by_warps, by_registers, by_shared_mem, by_block_cap, active_blocks, active_warps }
+}
+
+/// Theoretical occupancy: resident warps over the SM's warp capacity,
+/// in `[0, 1]`.
+pub fn theoretical_occupancy(kernel: &Kernel, dev: &DeviceSpec) -> f64 {
+    let lim = occupancy_limits(kernel, dev);
+    f64::from(lim.active_warps) / f64::from(dev.max_warps_per_sm)
+}
+
+/// Achieved occupancy: theoretical occupancy degraded by
+///
+/// 1. **grid quantization / tail effect** — a grid of `g` blocks runs
+///    in `ceil(g / (active_blocks * sm_count))` waves; the last
+///    partial wave leaves SMs idle, so on average only
+///    `g / (waves * capacity)` of the resident slots are used;
+/// 2. **scheduler efficiency** — a per-category steady-state factor
+///    (memory stalls evict warps from the active set as counted by
+///    the hardware's achieved-occupancy metric).
+///
+/// The result is what Nsight Compute's `achieved_occupancy` would
+/// report, in `[0, 1]`.
+pub fn achieved_occupancy(kernel: &Kernel, dev: &DeviceSpec) -> f64 {
+    let theo = theoretical_occupancy(kernel, dev);
+    if theo == 0.0 {
+        return 0.0;
+    }
+    let lim = occupancy_limits(kernel, dev);
+    let wave_capacity = u64::from(lim.active_blocks) * u64::from(dev.sm_count);
+    if wave_capacity == 0 {
+        return 0.0;
+    }
+    let waves = kernel.grid_blocks.div_ceil(wave_capacity);
+    let tail_utilization = kernel.grid_blocks as f64 / (waves * wave_capacity) as f64;
+    (theo * tail_utilization * kernel.category.scheduler_efficiency()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelCategory;
+
+    fn kernel(block_threads: u32, regs: u32, smem: u32, grid: u64) -> Kernel {
+        Kernel {
+            name: "k".into(),
+            category: KernelCategory::Gemm,
+            grid_blocks: grid,
+            block_threads,
+            regs_per_thread: regs,
+            smem_per_block: smem,
+            flops: 1,
+            bytes: 1,
+        }
+    }
+
+    #[test]
+    fn warp_limited_small_kernel_reaches_full_occupancy() {
+        // 256-thread block, tiny regs/smem: A100 fits 8 blocks of 8
+        // warps = 64 warps = 100% theoretical.
+        let dev = DeviceSpec::a100();
+        let k = kernel(256, 16, 0, 1_000_000);
+        let lim = occupancy_limits(&k, &dev);
+        assert_eq!(lim.active_warps, 64);
+        assert!((theoretical_occupancy(&k, &dev) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_limit_matches_hand_computation() {
+        // 128 regs/thread * 32 = 4096 regs/warp (already a multiple of
+        // 256). A100: 65536/4096 = 16 warps; block of 256 threads = 8
+        // warps -> 2 blocks, 16 warps resident, occupancy 16/64 = 25%.
+        let dev = DeviceSpec::a100();
+        let k = kernel(256, 128, 0, 1_000_000);
+        let lim = occupancy_limits(&k, &dev);
+        assert_eq!(lim.by_registers, 2);
+        assert_eq!(lim.active_warps, 16);
+        assert!((theoretical_occupancy(&k, &dev) - 0.25).abs() < 1e-9);
+        assert_eq!(lim.binding_constraint(), "registers");
+    }
+
+    #[test]
+    fn shared_memory_limit() {
+        // 48 KiB smem/block on A100 (164 KiB/SM) -> 3 blocks.
+        let dev = DeviceSpec::a100();
+        let k = kernel(128, 16, 48 * 1024, 1_000_000);
+        let lim = occupancy_limits(&k, &dev);
+        assert_eq!(lim.by_shared_mem, 3);
+        assert_eq!(lim.active_blocks, 3);
+        assert_eq!(lim.binding_constraint(), "shared_memory");
+    }
+
+    #[test]
+    fn turing_warp_capacity_is_half_of_ampere() {
+        // RTX 2080 Ti has 32 warp slots: a 1024-thread block (32 warps)
+        // fills the SM exactly once.
+        let dev = DeviceSpec::rtx2080ti();
+        let k = kernel(1024, 16, 0, 1_000_000);
+        let lim = occupancy_limits(&k, &dev);
+        assert_eq!(lim.by_warps, 1);
+        assert!((theoretical_occupancy(&k, &dev) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_effect_reduces_achieved() {
+        let dev = DeviceSpec::a100();
+        // Huge grid: tail negligible.
+        let big = kernel(256, 16, 0, 108 * 8 * 100);
+        // One block only: most SMs idle.
+        let tiny = kernel(256, 16, 0, 1);
+        let a_big = achieved_occupancy(&big, &dev);
+        let a_tiny = achieved_occupancy(&tiny, &dev);
+        assert!(a_big > 0.9, "large grid achieves ~theoretical: {a_big}");
+        assert!(a_tiny < 0.01, "single block occupies one SM slot: {a_tiny}");
+    }
+
+    #[test]
+    fn achieved_grows_with_grid_until_wave_boundary() {
+        let dev = DeviceSpec::a100();
+        let occ = |g: u64| achieved_occupancy(&kernel(256, 64, 0, g), &dev);
+        assert!(occ(10) < occ(100));
+        assert!(occ(100) < occ(1000));
+        // Exactly one full wave achieves the plateau.
+        let lim = occupancy_limits(&kernel(256, 64, 0, 1), &dev);
+        let full_wave = u64::from(lim.active_blocks) * u64::from(dev.sm_count);
+        let plateau = occ(full_wave);
+        assert!(occ(full_wave + 1) < plateau, "partial second wave dips");
+    }
+
+    #[test]
+    fn achieved_bounded_by_theoretical() {
+        let dev = DeviceSpec::p40();
+        for regs in [16, 32, 64, 128, 255] {
+            for threads in [64, 128, 256, 512, 1024] {
+                for grid in [1, 7, 64, 10_000] {
+                    let k = kernel(threads, regs, 0, grid);
+                    let a = achieved_occupancy(&k, &dev);
+                    let t = theoretical_occupancy(&k, &dev);
+                    assert!(a <= t + 1e-12, "achieved {a} > theoretical {t}");
+                    assert!((0.0..=1.0).contains(&a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_regs_and_smem_do_not_divide_by_zero() {
+        let dev = DeviceSpec::a100();
+        let k = kernel(32, 0, 0, 10);
+        let lim = occupancy_limits(&k, &dev);
+        assert!(lim.active_blocks > 0);
+    }
+}

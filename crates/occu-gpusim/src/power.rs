@@ -1,0 +1,184 @@
+//! GPU power and energy modelling.
+//!
+//! The paper lists power management as a downstream application of
+//! occupancy prediction (§VI: "DNN-occu can be adopted in other
+//! applications, such as power management and GPU kernel
+//! scheduling"). This module provides the substrate: a per-kernel
+//! power model in which dynamic power scales with how much of the
+//! machine a kernel actually keeps busy — which is precisely what
+//! achieved occupancy measures — plus energy accounting over a
+//! profiled iteration.
+
+use crate::device::DeviceSpec;
+use crate::profile::ProfileReport;
+use serde::{Deserialize, Serialize};
+
+/// Power characteristics of a device. Defaults are derived from the
+/// board power of the corresponding NVIDIA products.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PowerSpec {
+    /// Idle board power in watts (context loaded, no kernels).
+    pub idle_w: f64,
+    /// Additional power at full occupancy and full compute
+    /// throughput, watts.
+    pub dynamic_range_w: f64,
+}
+
+impl PowerSpec {
+    /// Power table for a built-in device.
+    pub fn for_device(dev: &DeviceSpec) -> PowerSpec {
+        // (idle, TDP) pairs from product specifications.
+        let (idle, tdp) = match dev.name.as_str() {
+            "A100" => (55.0, 400.0),
+            "RTX 2080Ti" => (40.0, 250.0),
+            "P40" => (50.0, 250.0),
+            "V100" => (45.0, 300.0),
+            "T4" => (20.0, 70.0),
+            _ => (40.0, 250.0),
+        };
+        PowerSpec { idle_w: idle, dynamic_range_w: tdp - idle }
+    }
+
+    /// Instantaneous board power for a kernel running at the given
+    /// achieved occupancy and arithmetic intensity class.
+    ///
+    /// Dynamic power grows sub-linearly with occupancy (clock/energy
+    /// overheads are paid once SMs are awake): `P = idle + range *
+    /// occ^0.8 * activity`, with `activity` in `[0.5, 1.0]` set by
+    /// how compute-dense the kernel is (FLOP-heavy kernels toggle
+    /// more silicon than copies).
+    pub fn kernel_power_w(&self, occupancy: f64, compute_fraction: f64) -> f64 {
+        let activity = 0.5 + 0.5 * compute_fraction.clamp(0.0, 1.0);
+        self.idle_w + self.dynamic_range_w * occupancy.clamp(0.0, 1.0).powf(0.8) * activity
+    }
+}
+
+/// Energy accounting for one profiled iteration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Average board power over the iteration, watts.
+    pub avg_power_w: f64,
+    /// Peak kernel power, watts.
+    pub peak_power_w: f64,
+    /// Energy per iteration, millijoules.
+    pub energy_mj: f64,
+    /// Energy efficiency: GFLOP per joule over the iteration.
+    pub gflop_per_joule: f64,
+}
+
+/// Computes the energy profile of one iteration from its kernel
+/// profile. `total_flops` is the graph's FLOP count (for the
+/// efficiency figure).
+pub fn energy_report(report: &ProfileReport, dev: &DeviceSpec, total_flops: u64) -> EnergyReport {
+    let spec = PowerSpec::for_device(dev);
+    let mut energy_wus = 0.0; // watt-microseconds
+    let mut peak: f64 = 0.0;
+    for k in &report.kernels {
+        // Compute-density proxy: occupancy-weighted share (kernels
+        // with high occupancy on our simulator are the wide
+        // elementwise/GEMM mainline; memory copies sit low).
+        let p = spec.kernel_power_w(k.occupancy, k.occupancy);
+        peak = peak.max(p);
+        energy_wus += p * k.duration_us;
+    }
+    // Idle power during launch gaps and host time.
+    let idle_time = (report.wall_us - report.busy_us).max(0.0);
+    energy_wus += spec.idle_w * idle_time;
+
+    let energy_j = energy_wus / 1e6;
+    EnergyReport {
+        avg_power_w: if report.wall_us > 0.0 { energy_wus / report.wall_us } else { 0.0 },
+        peak_power_w: peak,
+        energy_mj: energy_j * 1e3,
+        gflop_per_joule: if energy_j > 0.0 { total_flops as f64 / 1e9 / energy_j } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_graph;
+    use occu_graph::{GraphBuilder, GraphMeta, Hyper, ModelFamily, OpKind};
+
+    fn conv_graph(batch: usize) -> occu_graph::CompGraph {
+        let mut b = GraphBuilder::new(GraphMeta::new("p", ModelFamily::Cnn));
+        let x = b.input("x", &[batch, 32, 56, 56]);
+        let mut cur = x;
+        for i in 0..6 {
+            let c = b.add(
+                OpKind::Conv2d,
+                format!("conv{i}"),
+                Hyper::new()
+                    .with("in_channels", 32.0)
+                    .with("out_channels", 32.0)
+                    .with("kernel_h", 3.0)
+                    .with("kernel_w", 3.0)
+                    .with("padding", 1.0),
+                &[cur],
+            );
+            cur = b.add(OpKind::Relu, format!("r{i}"), Hyper::new(), &[c]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn power_bounded_by_idle_and_tdp() {
+        for dev in DeviceSpec::all_devices() {
+            let spec = PowerSpec::for_device(&dev);
+            assert_eq!(spec.kernel_power_w(0.0, 0.0), spec.idle_w);
+            let max = spec.kernel_power_w(1.0, 1.0);
+            assert!(max <= spec.idle_w + spec.dynamic_range_w + 1e-9);
+            assert!(max > spec.idle_w);
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_occupancy() {
+        let spec = PowerSpec::for_device(&DeviceSpec::a100());
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p = spec.kernel_power_w(i as f64 / 10.0, 0.8);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn energy_report_consistency() {
+        let dev = DeviceSpec::a100();
+        let g = conv_graph(16);
+        let rep = profile_graph(&g, &dev);
+        let e = energy_report(&rep, &dev, g.total_flops());
+        let spec = PowerSpec::for_device(&dev);
+        assert!(e.avg_power_w >= spec.idle_w, "avg {} >= idle {}", e.avg_power_w, spec.idle_w);
+        assert!(e.peak_power_w <= spec.idle_w + spec.dynamic_range_w + 1e-9);
+        assert!(e.avg_power_w <= e.peak_power_w + 1e-9);
+        assert!(e.energy_mj > 0.0 && e.gflop_per_joule > 0.0);
+    }
+
+    #[test]
+    fn larger_batch_is_more_energy_efficient() {
+        // Higher occupancy amortizes idle power: GFLOP/J improves
+        // with batch until occupancy saturates.
+        let dev = DeviceSpec::a100();
+        let eff = |b: usize| {
+            let g = conv_graph(b);
+            energy_report(&profile_graph(&g, &dev), &dev, g.total_flops()).gflop_per_joule
+        };
+        assert!(eff(32) > eff(2), "batch 32 {} vs batch 2 {}", eff(32), eff(2));
+    }
+
+    #[test]
+    fn t4_draws_less_than_a100() {
+        let g = conv_graph(16);
+        let a = {
+            let d = DeviceSpec::a100();
+            energy_report(&profile_graph(&g, &d), &d, g.total_flops()).avg_power_w
+        };
+        let t = {
+            let d = DeviceSpec::t4();
+            energy_report(&profile_graph(&g, &d), &d, g.total_flops()).avg_power_w
+        };
+        assert!(t < a, "T4 {} < A100 {}", t, a);
+    }
+}

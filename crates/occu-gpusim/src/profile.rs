@@ -1,0 +1,382 @@
+//! Graph profiling: per-kernel occupancy + duration, model-level
+//! occupancy aggregation, the NVML-utilization model, and memory
+//! footprint estimation.
+//!
+//! This is the functional substitute for running the model under
+//! Nsight Compute (`ncu`) and `nvidia-smi` as the paper does (§II-B,
+//! §III-B workflow stage 1-2).
+
+use crate::device::DeviceSpec;
+use crate::kernel::Kernel;
+use crate::lowering::lower_graph;
+use crate::occupancy::achieved_occupancy;
+use occu_graph::CompGraph;
+use serde::{Deserialize, Serialize};
+
+/// Profiling record for one kernel launch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// Achieved occupancy in `[0, 1]`.
+    pub occupancy: f64,
+    /// Execution duration in microseconds (excluding launch gap).
+    pub duration_us: f64,
+    /// Grid size for reference.
+    pub grid_blocks: u64,
+    /// Block size for reference.
+    pub block_threads: u32,
+}
+
+/// Full profiling report for one (graph, device) pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Device the profile was computed for.
+    pub device: String,
+    /// Per-kernel records in execution order.
+    pub kernels: Vec<KernelProfile>,
+    /// Duration-weighted mean occupancy — the paper's target metric
+    /// (Fig. 2: "average metric value weighted by the kernels'
+    /// duration"; §III-A uses `mean` aggregation).
+    pub mean_occupancy: f64,
+    /// Plain arithmetic mean across kernels (alternative `aggr`).
+    pub arith_mean_occupancy: f64,
+    /// Max/min kernel occupancy (other aggregations of §III-A).
+    pub max_occupancy: f64,
+    /// Minimum kernel occupancy.
+    pub min_occupancy: f64,
+    /// NVML utilization in `[0, 1]`: fraction of wall time with a
+    /// kernel resident on the device.
+    pub nvml_utilization: f64,
+    /// Total busy time of one inference iteration, microseconds.
+    pub busy_us: f64,
+    /// Total wall time including launch gaps, microseconds.
+    pub wall_us: f64,
+    /// Estimated device-memory footprint in bytes.
+    pub memory_bytes: u64,
+}
+
+impl ProfileReport {
+    /// Aggregates busy time and mean occupancy per kernel-name prefix
+    /// family (the text before the first `_`), giving the same
+    /// breakdown an `ncu` summary page shows. Returns
+    /// `(family, total_us, duration-weighted occupancy, count)`
+    /// sorted by descending time.
+    pub fn category_summary(&self) -> Vec<(String, f64, f64, usize)> {
+        let mut agg: std::collections::BTreeMap<String, (f64, f64, usize)> = std::collections::BTreeMap::new();
+        for k in &self.kernels {
+            let family = k.name.split('_').next().unwrap_or("other").to_string();
+            let e = agg.entry(family).or_insert((0.0, 0.0, 0));
+            e.0 += k.duration_us;
+            e.1 += k.occupancy * k.duration_us;
+            e.2 += 1;
+        }
+        let mut rows: Vec<(String, f64, f64, usize)> = agg
+            .into_iter()
+            .map(|(fam, (t, wocc, n))| (fam, t, if t > 0.0 { wocc / t } else { 0.0 }, n))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows
+    }
+
+    /// The single kernel that consumed the most time, if any.
+    pub fn hottest_kernel(&self) -> Option<&KernelProfile> {
+        self.kernels.iter().max_by(|a, b| a.duration_us.total_cmp(&b.duration_us))
+    }
+
+    /// Renders the per-kernel records as CSV (the same columns an
+    /// `ncu --csv` export leads with), for offline analysis.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kernel,grid_blocks,block_threads,duration_us,achieved_occupancy\n");
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.6}\n",
+                k.name, k.grid_blocks, k.block_threads, k.duration_us, k.occupancy
+            ));
+        }
+        out
+    }
+}
+
+/// Roofline duration of one kernel in microseconds.
+///
+/// `max(compute_time, memory_time)` with attainable fractions per
+/// kernel category, further derated when achieved occupancy is too
+/// low to hide latency (below ~25% resident warps the machine cannot
+/// keep pipelines full, a standard latency-hiding rule of thumb).
+pub fn kernel_duration_us(kernel: &Kernel, dev: &DeviceSpec) -> f64 {
+    let occ = achieved_occupancy(kernel, dev);
+    // Latency hiding: full efficiency above 25% occupancy, linear
+    // degradation below (with a floor so duration stays finite).
+    let hiding = (occ / 0.25).clamp(0.05, 1.0);
+    let compute_flops_per_us = dev.fp32_gflops * 1e3 * kernel.category.compute_efficiency() * hiding;
+    let mem_bytes_per_us = dev.mem_bandwidth_gbps * 1e3 * kernel.category.bandwidth_efficiency() * hiding;
+    let t_compute = kernel.flops as f64 / compute_flops_per_us.max(1e-9);
+    let t_memory = kernel.bytes as f64 / mem_bytes_per_us.max(1e-9);
+    // Minimum kernel duration: even a trivial kernel takes ~2us.
+    t_compute.max(t_memory).max(2.0)
+}
+
+/// Estimated device-memory footprint of running `graph` on `dev`:
+/// weights + the two largest live activations per edge plus workspace.
+pub fn memory_footprint_bytes(graph: &CompGraph) -> u64 {
+    let mut weights: u64 = 0;
+    let mut peak_activation: u64 = 0;
+    let mut workspace: u64 = 0;
+    for node in graph.nodes() {
+        // Parameter bytes per op (approximate from hyperparameters).
+        let h = &node.hyper;
+        let w = match node.op {
+            occu_graph::OpKind::Conv2d | occu_graph::OpKind::Conv1d | occu_graph::OpKind::ConvTranspose2d => {
+                let k = h.get_usize_or("out_channels", 1) as u64;
+                let c = h.get_usize_or("in_channels", 1) as u64;
+                let r = h.get_usize_or("kernel_h", h.get_usize_or("kernel", 3)) as u64;
+                let s = h.get_usize_or("kernel_w", h.get_usize_or("kernel", 3)) as u64;
+                k * c * r * s * 4
+            }
+            occu_graph::OpKind::Linear => {
+                (h.get_usize_or("in_features", 0) as u64) * (h.get_usize_or("out_features", 0) as u64) * 4
+            }
+            occu_graph::OpKind::Embedding => {
+                (h.get_usize_or("vocab", 0) as u64) * (h.get_usize_or("dim", 0) as u64) * 4
+            }
+            occu_graph::OpKind::LstmCell | occu_graph::OpKind::GruCell | occu_graph::OpKind::RnnCell => {
+                let i = h.get_usize_or("input_size", 0) as u64;
+                let hh = h.get_usize_or("hidden_size", 0) as u64;
+                let gates = match node.op {
+                    occu_graph::OpKind::LstmCell => 4,
+                    occu_graph::OpKind::GruCell => 3,
+                    _ => 1,
+                };
+                gates * (i + hh) * hh * 4
+            }
+            _ => 0,
+        };
+        weights += w;
+        peak_activation = peak_activation.max(node.output_shape.bytes() + node.input_shapes.iter().map(|s| s.bytes()).sum::<u64>());
+        workspace = workspace.max(node.temp_bytes);
+    }
+    // Framework/base context overhead (CUDA context + allocator slack).
+    let base: u64 = 600 << 20;
+    weights + 2 * peak_activation + workspace + base
+}
+
+/// True when the graph's estimated footprint fits the device.
+pub fn fits_memory(graph: &CompGraph, dev: &DeviceSpec) -> bool {
+    memory_footprint_bytes(graph) <= dev.memory_bytes()
+}
+
+/// Profiles one inference iteration of `graph` on `dev`.
+///
+/// Deterministic: the same (graph, device) pair always produces the
+/// same report, which keeps dataset generation reproducible.
+pub fn profile_graph(graph: &CompGraph, dev: &DeviceSpec) -> ProfileReport {
+    let kernels = lower_graph(graph, dev);
+    let mut profiles = Vec::with_capacity(kernels.len());
+    let mut busy = 0.0f64;
+    let mut weighted = 0.0f64;
+    let mut arith = 0.0f64;
+    let mut max_occ = 0.0f64;
+    let mut min_occ = 1.0f64;
+    for k in &kernels {
+        let occ = achieved_occupancy(k, dev);
+        let dur = kernel_duration_us(k, dev);
+        busy += dur;
+        weighted += occ * dur;
+        arith += occ;
+        max_occ = max_occ.max(occ);
+        min_occ = min_occ.min(occ);
+        profiles.push(KernelProfile {
+            name: k.name.clone(),
+            occupancy: occ,
+            duration_us: dur,
+            grid_blocks: k.grid_blocks,
+            block_threads: k.block_threads,
+        });
+    }
+    let n = profiles.len().max(1) as f64;
+    // Wall time = busy time + launch gap per kernel + host-side input
+    // pipeline time per iteration. The pipeline term models data
+    // loading/preprocessing/H2D at an effective 8 GB/s plus a fixed
+    // framework epilogue — this is what keeps real-world NVML
+    // utilization in the ~30-95% band (production average ~52% [54])
+    // instead of pinning at 100%.
+    let gaps = kernels.len() as f64 * dev.launch_overhead_us;
+    let input_bytes: u64 = graph
+        .nodes()
+        .iter()
+        .filter(|node| node.op == occu_graph::OpKind::Input)
+        .map(|node| node.output_shape.bytes())
+        .sum();
+    let host_gap = 30.0 + input_bytes as f64 / 4_000.0; // 4 GB/s in bytes/us
+    let wall = busy + gaps + host_gap;
+    ProfileReport {
+        device: dev.name.clone(),
+        mean_occupancy: if busy > 0.0 { weighted / busy } else { 0.0 },
+        arith_mean_occupancy: arith / n,
+        max_occupancy: if profiles.is_empty() { 0.0 } else { max_occ },
+        min_occupancy: if profiles.is_empty() { 0.0 } else { min_occ },
+        nvml_utilization: if wall > 0.0 { busy / wall } else { 0.0 },
+        busy_us: busy,
+        wall_us: wall,
+        memory_bytes: memory_footprint_bytes(graph),
+        kernels: profiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occu_graph::{GraphBuilder, GraphMeta, Hyper, ModelFamily, OpKind};
+
+    /// Conv stack resembling a real CNN stage: enough compute depth
+    /// that one input feed amortizes over many kernels.
+    fn cnn_block(batch: usize) -> CompGraph {
+        let mut b = GraphBuilder::new(GraphMeta::new("block", ModelFamily::Cnn));
+        let x = b.input("x", &[batch, 3, 56, 56]);
+        let mut cur = b.add(
+            OpKind::Conv2d,
+            "stem",
+            Hyper::new()
+                .with("in_channels", 3.0)
+                .with("out_channels", 64.0)
+                .with("kernel_h", 3.0)
+                .with("kernel_w", 3.0)
+                .with("padding", 1.0),
+            &[x],
+        );
+        for i in 0..12 {
+            let c = b.add(
+                OpKind::Conv2d,
+                format!("conv{i}"),
+                Hyper::new()
+                    .with("in_channels", 64.0)
+                    .with("out_channels", 64.0)
+                    .with("kernel_h", 3.0)
+                    .with("kernel_w", 3.0)
+                    .with("padding", 1.0),
+                &[cur],
+            );
+            cur = b.add(OpKind::Relu, format!("relu{i}"), Hyper::new(), &[c]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let g = cnn_block(8);
+        let dev = DeviceSpec::a100();
+        let rep = profile_graph(&g, &dev);
+        assert!(!rep.kernels.is_empty());
+        assert!(rep.mean_occupancy > 0.0 && rep.mean_occupancy <= 1.0);
+        assert!(rep.min_occupancy <= rep.mean_occupancy);
+        assert!(rep.mean_occupancy <= rep.max_occupancy);
+        assert!(rep.busy_us > 0.0 && rep.wall_us > rep.busy_us);
+        assert!(rep.nvml_utilization > 0.0 && rep.nvml_utilization < 1.0);
+    }
+
+    #[test]
+    fn nvml_exceeds_occupancy_on_compute_heavy_graphs() {
+        // Fig. 2's central observation: NVML utilization is a loose
+        // upper bound; occupancy is far lower.
+        let g = cnn_block(32);
+        let dev = DeviceSpec::a100();
+        let rep = profile_graph(&g, &dev);
+        assert!(
+            rep.nvml_utilization > rep.mean_occupancy,
+            "nvml {} should exceed occupancy {}",
+            rep.nvml_utilization,
+            rep.mean_occupancy
+        );
+    }
+
+    #[test]
+    fn occupancy_rises_with_batch_then_saturates() {
+        let dev = DeviceSpec::a100();
+        let occ = |b: usize| profile_graph(&cnn_block(b), &dev).mean_occupancy;
+        let o1 = occ(1);
+        let o8 = occ(8);
+        let o64 = occ(64);
+        let o128 = occ(128);
+        assert!(o8 > o1, "batch 8 ({o8}) > batch 1 ({o1})");
+        assert!(o64 >= o8);
+        // Saturation: going 64 -> 128 moves occupancy by little.
+        assert!((o128 - o64).abs() < 0.15, "saturated region: {o64} vs {o128}");
+    }
+
+    #[test]
+    fn duration_scales_with_work() {
+        let dev = DeviceSpec::a100();
+        let t8 = profile_graph(&cnn_block(8), &dev).busy_us;
+        let t64 = profile_graph(&cnn_block(64), &dev).busy_us;
+        assert!(t64 > 4.0 * t8, "8x work should take >4x time: {t8} vs {t64}");
+    }
+
+    #[test]
+    fn slower_device_takes_longer() {
+        let g = cnn_block(16);
+        let fast = profile_graph(&g, &DeviceSpec::a100()).busy_us;
+        let slow = profile_graph(&g, &DeviceSpec::p40()).busy_us;
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let g = cnn_block(8);
+        let dev = DeviceSpec::rtx2080ti();
+        let a = profile_graph(&g, &dev);
+        let b = profile_graph(&g, &dev);
+        assert_eq!(a.mean_occupancy, b.mean_occupancy);
+        assert_eq!(a.busy_us, b.busy_us);
+    }
+
+    #[test]
+    fn memory_footprint_grows_with_batch_and_gates_fit() {
+        let small = memory_footprint_bytes(&cnn_block(1));
+        let big = memory_footprint_bytes(&cnn_block(128));
+        assert!(big > small);
+        assert!(fits_memory(&cnn_block(8), &DeviceSpec::a100()));
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let g = cnn_block(4);
+        let rep = profile_graph(&g, &DeviceSpec::a100());
+        let csv = rep.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("kernel,grid_blocks"));
+        assert_eq!(lines.len(), rep.kernels.len() + 1);
+        // Every row has exactly 5 comma-separated fields.
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), 5, "{l}");
+        }
+    }
+
+    #[test]
+    fn category_summary_partitions_time() {
+        let g = cnn_block(8);
+        let rep = profile_graph(&g, &DeviceSpec::a100());
+        let rows = rep.category_summary();
+        assert!(!rows.is_empty());
+        let total: f64 = rows.iter().map(|r| r.1).sum();
+        assert!((total - rep.busy_us).abs() < 1e-6 * rep.busy_us.max(1.0));
+        let count: usize = rows.iter().map(|r| r.3).sum();
+        assert_eq!(count, rep.kernels.len());
+        // Sorted by descending time.
+        assert!(rows.windows(2).all(|w| w[0].1 >= w[1].1));
+        // Hottest kernel belongs to the top family's time budget.
+        let hottest = rep.hottest_kernel().unwrap();
+        assert!(hottest.duration_us <= rows[0].1 + 1e-9);
+    }
+
+    #[test]
+    fn empty_compute_graph_profiles_cleanly() {
+        let mut b = GraphBuilder::new(GraphMeta::new("empty", ModelFamily::Cnn));
+        let x = b.input("x", &[1, 4]);
+        b.add(OpKind::Reshape, "r", Hyper::new().with("dim0", 2.0).with("dim1", 2.0), &[x]);
+        let g = b.finish();
+        let rep = profile_graph(&g, &DeviceSpec::a100());
+        assert!(rep.kernels.is_empty());
+        assert_eq!(rep.mean_occupancy, 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests on the occupancy calculator and profiler.
+
+use occu_gpusim::{
+    achieved_occupancy, profile_graph, theoretical_occupancy, DeviceSpec, Kernel, KernelCategory,
+};
+use occu_graph::{GraphBuilder, GraphMeta, Hyper, ModelFamily, OpKind};
+use proptest::prelude::*;
+
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (
+        1u64..1_000_000,
+        prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]),
+        0u32..=255,
+        prop::sample::select(vec![0u32, 1 << 10, 8 << 10, 16 << 10, 48 << 10]),
+        prop::sample::select(vec![
+            KernelCategory::Gemm,
+            KernelCategory::Conv,
+            KernelCategory::Elementwise,
+            KernelCategory::Reduction,
+            KernelCategory::Memory,
+            KernelCategory::Attention,
+        ]),
+    )
+        .prop_map(|(grid, block, regs, smem, cat)| Kernel {
+            name: "prop".into(),
+            category: cat,
+            grid_blocks: grid,
+            block_threads: block,
+            regs_per_thread: regs,
+            smem_per_block: smem,
+            flops: 1_000,
+            bytes: 1_000,
+        })
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceSpec> {
+    prop::sample::select(DeviceSpec::paper_devices())
+}
+
+proptest! {
+    #[test]
+    fn occupancy_always_in_unit_interval(k in arb_kernel(), dev in arb_device()) {
+        let t = theoretical_occupancy(&k, &dev);
+        let a = achieved_occupancy(&k, &dev);
+        prop_assert!((0.0..=1.0).contains(&t), "theoretical {t}");
+        prop_assert!((0.0..=1.0).contains(&a), "achieved {a}");
+        prop_assert!(a <= t + 1e-12, "achieved {a} must not exceed theoretical {t}");
+    }
+
+    #[test]
+    fn more_registers_never_raises_occupancy(
+        k in arb_kernel(),
+        dev in arb_device(),
+        extra in 1u32..64,
+    ) {
+        let base = theoretical_occupancy(&k, &dev);
+        let mut k2 = k.clone();
+        k2.regs_per_thread = (k.regs_per_thread + extra).min(255);
+        prop_assert!(theoretical_occupancy(&k2, &dev) <= base + 1e-12);
+    }
+
+    #[test]
+    fn more_shared_memory_never_raises_occupancy(
+        k in arb_kernel(),
+        dev in arb_device(),
+        extra in prop::sample::select(vec![1u32 << 10, 4 << 10, 16 << 10]),
+    ) {
+        let base = theoretical_occupancy(&k, &dev);
+        let mut k2 = k.clone();
+        k2.smem_per_block = (k.smem_per_block + extra).min(dev.shared_mem_per_block);
+        prop_assert!(theoretical_occupancy(&k2, &dev) <= base + 1e-12);
+    }
+
+    #[test]
+    fn larger_grids_never_lower_achieved_occupancy_below_much(
+        k in arb_kernel(),
+        dev in arb_device(),
+    ) {
+        // Monotone-ish: multiplying the grid by an exact wave multiple
+        // never decreases achieved occupancy.
+        let lim_one_wave = {
+            let mut k1 = k.clone();
+            k1.grid_blocks = 1;
+            k1
+        };
+        let one = achieved_occupancy(&lim_one_wave, &dev);
+        let mut kbig = k.clone();
+        kbig.grid_blocks = 1_000_000;
+        let big = achieved_occupancy(&kbig, &dev);
+        prop_assert!(big + 1e-12 >= one, "grid growth should help: {one} -> {big}");
+    }
+
+    #[test]
+    fn profile_occupancy_bounds_on_random_mlps(
+        batch in 1usize..64,
+        hidden in prop::sample::select(vec![32usize, 128, 512, 1024]),
+        dev in arb_device(),
+    ) {
+        let mut b = GraphBuilder::new(GraphMeta::new("mlp", ModelFamily::Cnn));
+        let x = b.input("x", &[batch, 256]);
+        let l1 = b.add(
+            OpKind::Linear,
+            "fc1",
+            Hyper::new().with("in_features", 256.0).with("out_features", hidden as f64),
+            &[x],
+        );
+        let r = b.add(OpKind::Relu, "r", Hyper::new(), &[l1]);
+        b.add(
+            OpKind::Linear,
+            "fc2",
+            Hyper::new().with("in_features", hidden as f64).with("out_features", 10.0),
+            &[r],
+        );
+        let g = b.finish();
+        let rep = profile_graph(&g, &dev);
+        prop_assert!((0.0..=1.0).contains(&rep.mean_occupancy));
+        prop_assert!((0.0..=1.0).contains(&rep.nvml_utilization));
+        prop_assert!(rep.busy_us.is_finite() && rep.busy_us > 0.0);
+        prop_assert!(rep.min_occupancy <= rep.max_occupancy);
+    }
+}

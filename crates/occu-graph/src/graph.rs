@@ -1,0 +1,505 @@
+//! DAG construction, validation, topological ordering and statistics.
+
+use crate::op::{op_flops, OpKind};
+use crate::shape::{infer_output_shape, Hyper, TensorShape};
+use serde::{Deserialize, Serialize};
+
+/// Node identifier: index into [`CompGraph::nodes`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Edge direction kind (Table I edge feature "Forward or Backward").
+/// This reproduction predicts inference occupancy, so graphs are
+/// forward-only, but the IR keeps the distinction for completeness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Forward data flow.
+    Forward,
+    /// Gradient flow (training graphs).
+    Backward,
+}
+
+/// A tensor operator instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier (equals position in the node list).
+    pub id: NodeId,
+    /// Operator type.
+    pub op: OpKind,
+    /// Human-readable name, e.g. `layer1.0.conv1`.
+    pub name: String,
+    /// Operator hyperparameters (kernel sizes, channels, ...).
+    pub hyper: Hyper,
+    /// Shapes of the incoming tensors.
+    pub input_shapes: Vec<TensorShape>,
+    /// Shape of the produced tensor.
+    pub output_shape: TensorShape,
+    /// Floating-point operations for one application (§III-C).
+    pub flops: u64,
+    /// Workspace ("temporary tensor") bytes the operator needs beyond
+    /// inputs/outputs — e.g. im2col buffers for convolutions.
+    pub temp_bytes: u64,
+}
+
+/// A data-flow edge between two nodes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producer node.
+    pub src: NodeId,
+    /// Consumer node.
+    pub dst: NodeId,
+    /// Forward or backward flow.
+    pub kind: EdgeKind,
+    /// Elements of the delivered tensor.
+    pub tensor_elems: u64,
+}
+
+/// Coarse model family, used for dataset stratification (Table II
+/// groups models into CNN-based, RNN-based, Transformer-based; CLIP
+/// is multimodal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Convolutional networks (ResNet, VGG, ...).
+    Cnn,
+    /// Recurrent networks (RNN, LSTM).
+    Rnn,
+    /// Transformer-based (ViT, BERT, GPT-2, ...).
+    Transformer,
+    /// Multimodal (CLIP).
+    Multimodal,
+}
+
+/// Metadata describing which model/configuration a graph encodes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphMeta {
+    /// Model name, e.g. `ResNet-50`.
+    pub model_name: String,
+    /// Model family.
+    pub family: ModelFamily,
+    /// Batch size of this configuration.
+    pub batch_size: usize,
+    /// Input channel count (CNN/Transformer vision models).
+    pub input_channels: usize,
+    /// Sequence length (RNN/Transformer models; 0 when inapplicable).
+    pub seq_len: usize,
+}
+
+impl GraphMeta {
+    /// Convenience constructor.
+    pub fn new(model_name: impl Into<String>, family: ModelFamily) -> Self {
+        Self { model_name: model_name.into(), family, batch_size: 1, input_channels: 3, seq_len: 0 }
+    }
+}
+
+/// A computation graph: the IR for one (model, configuration) pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CompGraph {
+    /// Model/configuration metadata.
+    pub meta: GraphMeta,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl CompGraph {
+    /// All nodes in insertion order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Mutable edge access (used by the training-graph expansion to
+    /// relabel gradient-flow edges as backward).
+    pub fn edges_mut(&mut self) -> &mut [Edge] {
+        &mut self.edges
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sum of per-node FLOPs.
+    pub fn total_flops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.flops).sum()
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.dst == id)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.src == id)
+    }
+
+    /// In-degree of every node, indexed by `NodeId.0`.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.nodes.len()];
+        for e in &self.edges {
+            deg[e.dst.0] += 1;
+        }
+        deg
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.nodes.len()];
+        for e in &self.edges {
+            deg[e.src.0] += 1;
+        }
+        deg
+    }
+
+    /// Kahn topological sort.
+    ///
+    /// Returns node ids in a valid execution order, or `Err` with the
+    /// ids stuck in a cycle (an invalid graph).
+    pub fn topo_sort(&self) -> Result<Vec<NodeId>, Vec<NodeId>> {
+        let mut deg = self.in_degrees();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            adj[e.src.0].push(e.dst.0);
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..self.nodes.len()).filter(|&i| deg[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(i) = queue.pop_front() {
+            order.push(NodeId(i));
+            for &j in &adj[i] {
+                deg[j] -= 1;
+                if deg[j] == 0 {
+                    queue.push_back(j);
+                }
+            }
+        }
+        if order.len() == self.nodes.len() {
+            Ok(order)
+        } else {
+            let stuck: Vec<NodeId> = (0..self.nodes.len())
+                .filter(|&i| deg[i] > 0)
+                .map(NodeId)
+                .collect();
+            Err(stuck)
+        }
+    }
+
+    /// Validates structural invariants: edge endpoints exist, node ids
+    /// equal positions, the graph is acyclic, and no self-loops.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.id.0 != i {
+                return Err(format!("node {} has id {:?}", i, n.id));
+            }
+        }
+        for e in &self.edges {
+            if e.src.0 >= self.nodes.len() || e.dst.0 >= self.nodes.len() {
+                return Err(format!("edge {:?}->{:?} out of range", e.src, e.dst));
+            }
+            if e.src == e.dst {
+                return Err(format!("self-loop at {:?}", e.src));
+            }
+        }
+        self.topo_sort()
+            .map(|_| ())
+            .map_err(|stuck| format!("cycle involving {} nodes", stuck.len()))
+    }
+
+    /// Shortest-path distances (in hops, edges taken as undirected)
+    /// from every node, capped at `cap`. Used by the Graphormer
+    /// spatial encoding. Runs one BFS per node: O(V·(V+E)).
+    pub fn all_pairs_shortest_paths(&self, cap: usize) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.src.0].push(e.dst.0);
+            adj[e.dst.0].push(e.src.0);
+        }
+        let mut result = vec![vec![cap; n]; n];
+        for (s, row) in result.iter_mut().enumerate() {
+            row[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                if row[u] >= cap {
+                    continue;
+                }
+                for &v in &adj[u] {
+                    if row[v] > row[u] + 1 {
+                        row[v] = row[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Serializes to JSON (dataset caching / debugging).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("CompGraph serialization cannot fail")
+    }
+
+    /// Restores from [`CompGraph::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Incrementally builds a [`CompGraph`] with shape inference and
+/// FLOPs accounting at every step.
+///
+/// This is the programmatic stand-in for "export the PyTorch model to
+/// ONNX": model-zoo builders call [`GraphBuilder::add`] per operator
+/// and wire data flow by node id.
+pub struct GraphBuilder {
+    meta: GraphMeta,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Starts a new graph with the given metadata.
+    pub fn new(meta: GraphMeta) -> Self {
+        Self { meta, nodes: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Adds an operator node fed by `inputs`, inferring its output
+    /// shape and FLOPs. Returns the new node's id.
+    pub fn add(&mut self, op: OpKind, name: impl Into<String>, hyper: Hyper, inputs: &[NodeId]) -> NodeId {
+        let input_shapes: Vec<TensorShape> =
+            inputs.iter().map(|&i| self.nodes[i.0].output_shape.clone()).collect();
+        let output_shape = infer_output_shape(op, &hyper, &input_shapes);
+        let flops = op_flops(op, &hyper, &input_shapes, &output_shape);
+        let temp_bytes = workspace_bytes(op, &hyper, &input_shapes, &output_shape);
+        let id = NodeId(self.nodes.len());
+        for &src in inputs {
+            self.edges.push(Edge {
+                src,
+                dst: id,
+                kind: EdgeKind::Forward,
+                tensor_elems: self.nodes[src.0].output_shape.elems(),
+            });
+        }
+        self.nodes.push(Node {
+            id,
+            op,
+            name: name.into(),
+            hyper,
+            input_shapes,
+            output_shape,
+            flops,
+            temp_bytes,
+        });
+        id
+    }
+
+    /// Adds a graph `Input` node with the given shape.
+    pub fn input(&mut self, name: impl Into<String>, dims: &[usize]) -> NodeId {
+        let mut hyper = Hyper::new();
+        for (i, &d) in dims.iter().enumerate() {
+            hyper.set(&format!("dim{i}"), d as f64);
+        }
+        self.add(OpKind::Input, name, hyper, &[])
+    }
+
+    /// Shape of an already-added node's output.
+    pub fn shape(&self, id: NodeId) -> &TensorShape {
+        &self.nodes[id.0].output_shape
+    }
+
+    /// Nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finalizes the graph, checking invariants.
+    ///
+    /// # Panics
+    /// If validation fails — builders construct graphs from code, so a
+    /// failure is a bug in the model zoo.
+    pub fn finish(self) -> CompGraph {
+        let g = CompGraph { meta: self.meta, nodes: self.nodes, edges: self.edges };
+        if let Err(e) = g.validate() {
+            panic!("GraphBuilder produced an invalid graph: {e}");
+        }
+        g
+    }
+}
+
+/// Workspace-byte model per operator (the "Temporary Tensor Size"
+/// node feature of Table I). Convolutions dominate: cuDNN's implicit
+/// GEMM needs an im2col-like tile buffer.
+fn workspace_bytes(op: OpKind, hyper: &Hyper, inputs: &[TensorShape], output: &TensorShape) -> u64 {
+    use OpKind::*;
+    match op {
+        Conv2d | ConvTranspose2d | Conv1d => {
+            // im2col: C * R * S * P * Q * N floats, capped to a cuDNN-like
+            // 64 MiB workspace limit.
+            let c = hyper.get_usize_or("in_channels", 1) as u64;
+            let r = hyper.get_usize_or("kernel_h", hyper.get_usize_or("kernel", 3)) as u64;
+            let s = hyper.get_usize_or("kernel_w", hyper.get_usize_or("kernel", 3)) as u64;
+            let k = hyper.get_usize_or("out_channels", 1) as u64;
+            let npq = output.elems() / k.max(1);
+            (c * r * s * npq * 4).min(64 << 20)
+        }
+        DepthwiseConv2d => output.bytes().min(64 << 20),
+        Softmax | LogSoftmax | LayerNorm | GroupNorm => output.bytes() / 4,
+        MatMul | BatchMatMul | Linear | Attention => {
+            // Tiled GEMM accumulators; proportional to output tile count.
+            (output.bytes() / 8).min(16 << 20)
+        }
+        ReduceMean | ReduceSum | GlobalAvgPool2d | AdaptiveAvgPool2d => {
+            inputs.first().map(|s| s.bytes() / 32).unwrap_or(0)
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a tiny LeNet-ish graph used by several tests.
+    fn tiny_graph() -> CompGraph {
+        let mut b = GraphBuilder::new(GraphMeta::new("tiny", ModelFamily::Cnn));
+        let x = b.input("x", &[2, 1, 28, 28]);
+        let c1 = b.add(
+            OpKind::Conv2d,
+            "conv1",
+            Hyper::new()
+                .with("in_channels", 1.0)
+                .with("out_channels", 6.0)
+                .with("kernel_h", 5.0)
+                .with("kernel_w", 5.0)
+                .with("padding", 2.0),
+            &[x],
+        );
+        let r1 = b.add(OpKind::Relu, "relu1", Hyper::new(), &[c1]);
+        let p1 = b.add(
+            OpKind::MaxPool2d,
+            "pool1",
+            Hyper::new().with("kernel", 2.0).with("stride", 2.0),
+            &[r1],
+        );
+        let f = b.add(OpKind::Flatten, "flatten", Hyper::new(), &[p1]);
+        let fc = b.add(
+            OpKind::Linear,
+            "fc",
+            Hyper::new().with("in_features", (6 * 14 * 14) as f64).with("out_features", 10.0),
+            &[f],
+        );
+        let _out = b.add(OpKind::Output, "out", Hyper::new(), &[fc]);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_infers_shapes_through_chain() {
+        let g = tiny_graph();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.node(NodeId(1)).output_shape.dims(), &[2, 6, 28, 28]);
+        assert_eq!(g.node(NodeId(3)).output_shape.dims(), &[2, 6, 14, 14]);
+        assert_eq!(g.node(NodeId(5)).output_shape.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn flops_populated_for_compute_ops() {
+        let g = tiny_graph();
+        assert!(g.node(NodeId(1)).flops > 0, "conv should have flops");
+        assert_eq!(g.node(NodeId(0)).flops, 0, "input is free");
+        assert!(g.total_flops() >= g.node(NodeId(1)).flops);
+    }
+
+    #[test]
+    fn topo_sort_respects_edges() {
+        let g = tiny_graph();
+        let order = g.topo_sort().expect("acyclic");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, id) in order.iter().enumerate() {
+                p[id.0] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            assert!(pos[e.src.0] < pos[e.dst.0], "edge {:?}->{:?} violated", e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn validate_catches_cycle() {
+        let mut g = tiny_graph();
+        // Force a back edge through direct manipulation.
+        g.edges.push(Edge { src: NodeId(5), dst: NodeId(1), kind: EdgeKind::Forward, tensor_elems: 1 });
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_self_loop() {
+        let mut g = tiny_graph();
+        g.edges.push(Edge { src: NodeId(2), dst: NodeId(2), kind: EdgeKind::Forward, tensor_elems: 1 });
+        assert!(g.validate().unwrap_err().contains("self-loop"));
+    }
+
+    #[test]
+    fn degrees_and_edge_iters() {
+        let g = tiny_graph();
+        assert_eq!(g.in_degrees()[0], 0);
+        assert_eq!(g.out_degrees()[6], 0);
+        assert_eq!(g.in_edges(NodeId(1)).count(), 1);
+        assert_eq!(g.out_edges(NodeId(1)).count(), 1);
+        // Edge carries producer's tensor size.
+        let e = g.in_edges(NodeId(1)).next().unwrap();
+        assert_eq!(e.tensor_elems, 2 * 28 * 28);
+    }
+
+    #[test]
+    fn shortest_paths_chain() {
+        let g = tiny_graph();
+        let sp = g.all_pairs_shortest_paths(16);
+        assert_eq!(sp[0][0], 0);
+        assert_eq!(sp[0][1], 1);
+        assert_eq!(sp[0][6], 6);
+        // Symmetric because BFS treats edges as undirected.
+        assert_eq!(sp[6][0], 6);
+    }
+
+    #[test]
+    fn shortest_paths_respect_cap() {
+        let g = tiny_graph();
+        let sp = g.all_pairs_shortest_paths(3);
+        assert_eq!(sp[0][6], 3, "distances clamp at the cap");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = tiny_graph();
+        let j = g.to_json();
+        let g2 = CompGraph::from_json(&j).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.total_flops(), g.total_flops());
+        assert_eq!(g2.meta.model_name, "tiny");
+    }
+
+    #[test]
+    fn conv_workspace_capped() {
+        let g = tiny_graph();
+        assert!(g.node(NodeId(1)).temp_bytes > 0);
+        assert!(g.node(NodeId(1)).temp_bytes <= 64 << 20);
+    }
+}

@@ -1,0 +1,452 @@
+//! Operator vocabulary and per-operator FLOPs accounting.
+
+use crate::shape::{Hyper, TensorShape};
+use serde::{Deserialize, Serialize};
+
+/// Every tensor operator the IR understands.
+///
+/// The set is a superset of what the paper's 20 models need (>30
+/// operator types per §IV-A); each variant has a stable
+/// [`OpKind::index`] used for one-hot encoding in the feature
+/// pipeline. ONNX supports >140 operators; this closed enum covers
+/// the ones reachable from the model zoo plus common structural ops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum OpKind {
+    // Structural
+    Input,
+    Output,
+    Constant,
+    Identity,
+    // Convolutions
+    Conv2d,
+    DepthwiseConv2d,
+    ConvTranspose2d,
+    Conv1d,
+    // Pooling
+    MaxPool2d,
+    AvgPool2d,
+    AdaptiveAvgPool2d,
+    GlobalAvgPool2d,
+    MaxPool1d,
+    // Activations
+    Relu,
+    LeakyRelu,
+    Gelu,
+    Sigmoid,
+    Tanh,
+    Softmax,
+    LogSoftmax,
+    Hardswish,
+    Elu,
+    Silu,
+    Erf,
+    // Normalization
+    BatchNorm2d,
+    LayerNorm,
+    GroupNorm,
+    InstanceNorm2d,
+    // Dense / matmul
+    Linear,
+    MatMul,
+    BatchMatMul,
+    // Elementwise binary
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    // Elementwise unary
+    Sqrt,
+    Neg,
+    Exp,
+    Log,
+    // Shape manipulation
+    Concat,
+    Split,
+    Slice,
+    Reshape,
+    Transpose,
+    Permute,
+    Flatten,
+    Squeeze,
+    Unsqueeze,
+    Pad,
+    Upsample,
+    // Indexing
+    Gather,
+    Embedding,
+    // Recurrent
+    RnnCell,
+    LstmCell,
+    GruCell,
+    // Attention (fused scaled-dot-product; transformers may also be
+    // built from MatMul + Softmax primitives)
+    Attention,
+    // Reductions
+    ReduceMean,
+    ReduceSum,
+    ArgMax,
+    // Regularization (inference no-op, still present in exports)
+    Dropout,
+}
+
+/// Coarse operator families used in analysis and kernel lowering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum OpCategory {
+    Structural,
+    Convolution,
+    Pooling,
+    Activation,
+    Normalization,
+    Dense,
+    Elementwise,
+    ShapeOp,
+    Indexing,
+    Recurrent,
+    Attention,
+    Reduction,
+}
+
+impl OpCategory {
+    /// All categories in stable index order (category one-hot width).
+    pub const ALL: &'static [OpCategory] = &[
+        OpCategory::Structural,
+        OpCategory::Convolution,
+        OpCategory::Pooling,
+        OpCategory::Activation,
+        OpCategory::Normalization,
+        OpCategory::Dense,
+        OpCategory::Elementwise,
+        OpCategory::ShapeOp,
+        OpCategory::Indexing,
+        OpCategory::Recurrent,
+        OpCategory::Attention,
+        OpCategory::Reduction,
+    ];
+
+    /// Number of categories.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable index of this category.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("category registered in ALL")
+    }
+}
+
+/// All operator kinds in index order. Kept in one place so
+/// [`OpKind::index`], [`OpKind::ALL`] and the one-hot width cannot
+/// drift apart.
+const ALL_OPS: &[OpKind] = &[
+    OpKind::Input,
+    OpKind::Output,
+    OpKind::Constant,
+    OpKind::Identity,
+    OpKind::Conv2d,
+    OpKind::DepthwiseConv2d,
+    OpKind::ConvTranspose2d,
+    OpKind::Conv1d,
+    OpKind::MaxPool2d,
+    OpKind::AvgPool2d,
+    OpKind::AdaptiveAvgPool2d,
+    OpKind::GlobalAvgPool2d,
+    OpKind::MaxPool1d,
+    OpKind::Relu,
+    OpKind::LeakyRelu,
+    OpKind::Gelu,
+    OpKind::Sigmoid,
+    OpKind::Tanh,
+    OpKind::Softmax,
+    OpKind::LogSoftmax,
+    OpKind::Hardswish,
+    OpKind::Elu,
+    OpKind::Silu,
+    OpKind::Erf,
+    OpKind::BatchNorm2d,
+    OpKind::LayerNorm,
+    OpKind::GroupNorm,
+    OpKind::InstanceNorm2d,
+    OpKind::Linear,
+    OpKind::MatMul,
+    OpKind::BatchMatMul,
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Mul,
+    OpKind::Div,
+    OpKind::Pow,
+    OpKind::Sqrt,
+    OpKind::Neg,
+    OpKind::Exp,
+    OpKind::Log,
+    OpKind::Concat,
+    OpKind::Split,
+    OpKind::Slice,
+    OpKind::Reshape,
+    OpKind::Transpose,
+    OpKind::Permute,
+    OpKind::Flatten,
+    OpKind::Squeeze,
+    OpKind::Unsqueeze,
+    OpKind::Pad,
+    OpKind::Upsample,
+    OpKind::Gather,
+    OpKind::Embedding,
+    OpKind::RnnCell,
+    OpKind::LstmCell,
+    OpKind::GruCell,
+    OpKind::Attention,
+    OpKind::ReduceMean,
+    OpKind::ReduceSum,
+    OpKind::ArgMax,
+    OpKind::Dropout,
+];
+
+impl OpKind {
+    /// Every operator kind, in stable index order.
+    pub const ALL: &'static [OpKind] = ALL_OPS;
+
+    /// Number of operator kinds (one-hot encoding width).
+    pub const COUNT: usize = ALL_OPS.len();
+
+    /// Stable index of this operator within [`OpKind::ALL`].
+    pub fn index(self) -> usize {
+        // ALL_OPS is small (<64); a linear scan keeps the invariant
+        // single-sourced and is invisible next to feature extraction.
+        ALL_OPS.iter().position(|&k| k == self).expect("op registered in ALL_OPS")
+    }
+
+    /// Coarse category for lowering and analysis.
+    pub fn category(self) -> OpCategory {
+        use OpKind::*;
+        match self {
+            Input | Output | Constant | Identity | Dropout => OpCategory::Structural,
+            Conv2d | DepthwiseConv2d | ConvTranspose2d | Conv1d => OpCategory::Convolution,
+            MaxPool2d | AvgPool2d | AdaptiveAvgPool2d | GlobalAvgPool2d | MaxPool1d => OpCategory::Pooling,
+            Relu | LeakyRelu | Gelu | Sigmoid | Tanh | Softmax | LogSoftmax | Hardswish | Elu | Silu | Erf => {
+                OpCategory::Activation
+            }
+            BatchNorm2d | LayerNorm | GroupNorm | InstanceNorm2d => OpCategory::Normalization,
+            Linear | MatMul | BatchMatMul => OpCategory::Dense,
+            Add | Sub | Mul | Div | Pow | Sqrt | Neg | Exp | Log => OpCategory::Elementwise,
+            Concat | Split | Slice | Reshape | Transpose | Permute | Flatten | Squeeze | Unsqueeze | Pad
+            | Upsample => OpCategory::ShapeOp,
+            Gather | Embedding => OpCategory::Indexing,
+            RnnCell | LstmCell | GruCell => OpCategory::Recurrent,
+            Attention => OpCategory::Attention,
+            ReduceMean | ReduceSum | ArgMax => OpCategory::Reduction,
+        }
+    }
+
+    /// The operator kind whose one-hot slot this operator shares in
+    /// feature encodings. Mirrors ONNX's vocabulary, where several of
+    /// our lowering-level distinctions collapse onto one exported op:
+    /// depthwise/grouped convolution is `Conv` with a `groups`
+    /// attribute, and `LogSoftmax` shares `Softmax`'s compute
+    /// signature. Without this, an operator that never occurs in
+    /// training data would hit a never-trained one-hot dimension even
+    /// though real exports would map it onto a familiar one.
+    pub fn canonical(self) -> OpKind {
+        match self {
+            OpKind::DepthwiseConv2d => OpKind::Conv2d,
+            OpKind::LogSoftmax => OpKind::Softmax,
+            other => other,
+        }
+    }
+
+    /// True for operators that launch no GPU kernel at inference time
+    /// (pure metadata / aliasing ops in framework runtimes).
+    pub fn is_no_kernel(self) -> bool {
+        use OpKind::*;
+        matches!(
+            self,
+            Input | Output | Constant | Identity | Dropout | Reshape | Flatten | Squeeze | Unsqueeze
+        )
+    }
+}
+
+/// Floating-point operation count of one operator application,
+/// following the conventions of §III-C:
+///
+/// * `Conv2d`: `2·K·C·R·S·N·P·Q` (K filters of `C x R x S` over a
+///   batch of N producing `P x Q` maps).
+/// * GEMM-like ops: `2·M·N·K`.
+/// * RNN cells: from input/output tensor sizes.
+/// * Elementwise/normalization: small multiples of the element count.
+pub fn op_flops(op: OpKind, hyper: &Hyper, inputs: &[TensorShape], output: &TensorShape) -> u64 {
+    use OpKind::*;
+    let out_elems = output.elems();
+    let in_elems: u64 = inputs.iter().map(TensorShape::elems).sum();
+    match op {
+        Input | Output | Constant | Identity | Dropout | Reshape | Flatten | Squeeze | Unsqueeze
+        | Transpose | Permute | Slice | Split | Concat | Pad | Gather => 0,
+        Conv2d | Conv1d | ConvTranspose2d => {
+            // 2 * K * C/groups * R * S * N * P * Q
+            let k = hyper.get_usize("out_channels") as u64;
+            let c = hyper.get_usize("in_channels") as u64;
+            let groups = hyper.get_usize_or("groups", 1) as u64;
+            let r = hyper.get_usize_or("kernel_h", hyper.get_usize_or("kernel", 1)) as u64;
+            let s = hyper.get_usize_or("kernel_w", hyper.get_usize_or("kernel", 1)) as u64;
+            // N*P*Q = output elements / K
+            let npq = out_elems / k.max(1);
+            2 * k * (c / groups.max(1)).max(1) * r * s * npq
+        }
+        DepthwiseConv2d => {
+            let r = hyper.get_usize_or("kernel_h", 3) as u64;
+            let s = hyper.get_usize_or("kernel_w", 3) as u64;
+            2 * r * s * out_elems
+        }
+        MaxPool2d | AvgPool2d | MaxPool1d => {
+            let r = hyper.get_usize_or("kernel_h", hyper.get_usize_or("kernel", 2)) as u64;
+            let s = hyper.get_usize_or("kernel_w", hyper.get_usize_or("kernel", 2)) as u64;
+            out_elems * r * s
+        }
+        AdaptiveAvgPool2d | GlobalAvgPool2d | ReduceMean | ReduceSum | ArgMax => in_elems,
+        Relu | LeakyRelu | Sigmoid | Tanh | Neg | Sqrt | Exp | Log | Elu => out_elems,
+        Gelu | Hardswish | Silu | Erf => 4 * out_elems,
+        Softmax | LogSoftmax => 5 * out_elems,
+        BatchNorm2d | InstanceNorm2d => 2 * out_elems,
+        LayerNorm | GroupNorm => 8 * out_elems,
+        Linear => {
+            // inputs[0] = [.., K]; weight K x N implied by hyper.
+            let k = hyper.get_usize("in_features") as u64;
+            2 * k * out_elems
+        }
+        MatMul | BatchMatMul => {
+            // out [.., M, N]; inner dim K = last dim of lhs.
+            let k = inputs
+                .first()
+                .and_then(|s| s.dims().last().copied())
+                .unwrap_or(1) as u64;
+            2 * k * out_elems
+        }
+        Add | Sub | Mul | Div | Pow => out_elems,
+        Upsample => out_elems,
+        Embedding => 0,
+        RnnCell => {
+            // h' = tanh(W_x x + W_h h): 2*(in+h)*h per batch row.
+            let i = hyper.get_usize("input_size") as u64;
+            let h = hyper.get_usize("hidden_size") as u64;
+            let batch = hyper.get_usize_or("batch", 1) as u64;
+            2 * (i + h) * h * batch + 2 * h * batch
+        }
+        LstmCell => {
+            let i = hyper.get_usize("input_size") as u64;
+            let h = hyper.get_usize("hidden_size") as u64;
+            let batch = hyper.get_usize_or("batch", 1) as u64;
+            8 * (i + h) * h * batch + 10 * h * batch
+        }
+        GruCell => {
+            let i = hyper.get_usize("input_size") as u64;
+            let h = hyper.get_usize("hidden_size") as u64;
+            let batch = hyper.get_usize_or("batch", 1) as u64;
+            6 * (i + h) * h * batch + 8 * h * batch
+        }
+        Attention => {
+            // Q K^T (2*B*H*S*S*D) + softmax (5*B*H*S*S) + attn*V.
+            let b = hyper.get_usize_or("batch", 1) as u64;
+            let s = hyper.get_usize("seq_len") as u64;
+            let d = hyper.get_usize("head_dim") as u64;
+            let heads = hyper.get_usize_or("heads", 1) as u64;
+            b * heads * (4 * s * s * d + 5 * s * s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable_and_unique() {
+        assert!(OpKind::COUNT > 30, "paper needs >30 operator types");
+        let mut seen = std::collections::HashSet::new();
+        for (i, &op) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert!(seen.insert(op.index()));
+        }
+    }
+
+    #[test]
+    fn conv2d_flops_formula_matches_paper() {
+        // §III-C: FLOPs(Conv2d) = 2*K*C*R*S*N*P*Q.
+        let mut h = Hyper::new();
+        h.set("out_channels", 64.0);
+        h.set("in_channels", 3.0);
+        h.set("kernel_h", 7.0);
+        h.set("kernel_w", 7.0);
+        let n = 8u64;
+        let (p, q) = (112u64, 112u64);
+        let out = TensorShape::new(vec![n as usize, 64, p as usize, q as usize]);
+        let input = TensorShape::new(vec![n as usize, 3, 224, 224]);
+        let flops = op_flops(OpKind::Conv2d, &h, &[input], &out);
+        assert_eq!(flops, 2 * 64 * 3 * 7 * 7 * n * p * q);
+    }
+
+    #[test]
+    fn linear_flops_is_2mnk() {
+        let mut h = Hyper::new();
+        h.set("in_features", 512.0);
+        h.set("out_features", 1000.0);
+        let input = TensorShape::new(vec![32, 512]);
+        let out = TensorShape::new(vec![32, 1000]);
+        let flops = op_flops(OpKind::Linear, &h, &[input], &out);
+        assert_eq!(flops, 2 * 512 * 32 * 1000);
+    }
+
+    #[test]
+    fn structural_ops_are_free() {
+        let h = Hyper::new();
+        let s = TensorShape::new(vec![4, 4]);
+        for op in [OpKind::Input, OpKind::Reshape, OpKind::Identity, OpKind::Dropout] {
+            assert_eq!(op_flops(op, &h, &[s.clone()], &s), 0);
+            assert!(op.is_no_kernel());
+        }
+        assert!(!OpKind::Conv2d.is_no_kernel());
+    }
+
+    #[test]
+    fn categories_cover_expected_ops() {
+        assert_eq!(OpKind::Conv2d.category(), OpCategory::Convolution);
+        assert_eq!(OpKind::Softmax.category(), OpCategory::Activation);
+        assert_eq!(OpKind::Linear.category(), OpCategory::Dense);
+        assert_eq!(OpKind::LstmCell.category(), OpCategory::Recurrent);
+        assert_eq!(OpKind::Attention.category(), OpCategory::Attention);
+        assert_eq!(OpKind::LayerNorm.category(), OpCategory::Normalization);
+    }
+
+    #[test]
+    fn flops_monotone_in_batch_for_conv() {
+        let mut h = Hyper::new();
+        h.set("out_channels", 16.0);
+        h.set("in_channels", 8.0);
+        h.set("kernel_h", 3.0);
+        h.set("kernel_w", 3.0);
+        let small = op_flops(
+            OpKind::Conv2d,
+            &h,
+            &[TensorShape::new(vec![2, 8, 32, 32])],
+            &TensorShape::new(vec![2, 16, 32, 32]),
+        );
+        let big = op_flops(
+            OpKind::Conv2d,
+            &h,
+            &[TensorShape::new(vec![8, 8, 32, 32])],
+            &TensorShape::new(vec![8, 16, 32, 32]),
+        );
+        assert_eq!(big, 4 * small);
+    }
+
+    #[test]
+    fn attention_flops_quadratic_in_seq() {
+        let mut h = Hyper::new();
+        h.set("batch", 1.0);
+        h.set("seq_len", 64.0);
+        h.set("head_dim", 32.0);
+        h.set("heads", 4.0);
+        let f64seq = op_flops(OpKind::Attention, &h, &[], &TensorShape::new(vec![1, 64, 128]));
+        h.set("seq_len", 128.0);
+        let f128seq = op_flops(OpKind::Attention, &h, &[], &TensorShape::new(vec![1, 128, 128]));
+        assert_eq!(f128seq, 4 * f64seq);
+    }
+}

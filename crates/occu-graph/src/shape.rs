@@ -1,0 +1,499 @@
+//! Tensor shapes, hyperparameter bags, and shape inference.
+
+use crate::op::OpKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A dense tensor shape (dims in row-major order, e.g. `[N, C, H, W]`
+/// for image tensors or `[B, S, D]` for sequence tensors).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape(Vec<usize>);
+
+impl TensorShape {
+    /// Creates a shape from dimensions.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Self(dims)
+    }
+
+    /// A scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Self(vec![])
+    }
+
+    /// Dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Element count (1 for a scalar).
+    pub fn elems(&self) -> u64 {
+        self.0.iter().map(|&d| d as u64).product()
+    }
+
+    /// Byte size assuming f32 storage.
+    pub fn bytes(&self) -> u64 {
+        self.elems() * 4
+    }
+}
+
+impl std::fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Hyperparameter bag attached to each node (Table I: "type and value
+/// of each hyperparameter of the operator").
+///
+/// Keys are stringly-typed to mirror framework exports; accessors
+/// panic on missing *required* keys so model-builder bugs surface
+/// immediately rather than producing silently-wrong features.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Hyper(BTreeMap<String, f64>);
+
+impl Hyper {
+    /// Empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style setter.
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Sets a value.
+    pub fn set(&mut self, key: &str, value: f64) {
+        self.0.insert(key.to_string(), value);
+    }
+
+    /// Gets a value if present.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.0.get(key).copied()
+    }
+
+    /// Gets a required value as usize.
+    ///
+    /// # Panics
+    /// If the key is absent.
+    pub fn get_usize(&self, key: &str) -> usize {
+        self.get(key)
+            .unwrap_or_else(|| panic!("required hyperparameter '{key}' missing"))
+            as usize
+    }
+
+    /// Gets a value as usize with a default.
+    pub fn get_usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key).map(|v| v as usize).unwrap_or(default)
+    }
+
+    /// Gets a value as f64 with a default.
+    pub fn get_or(&self, key: &str, default: f64) -> f64 {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Iterates key/value pairs in key order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.0.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no hyperparameters are set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Computes conv/pool spatial output size with the standard formula
+/// `floor((in + 2*pad - kernel) / stride) + 1`.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "conv_out_dim: stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(padded >= kernel, "conv_out_dim: kernel {kernel} larger than padded input {padded}");
+    (padded - kernel) / stride + 1
+}
+
+/// Infers the output shape of `op` from its input shapes and
+/// hyperparameters.
+///
+/// Covers every operator the model zoo emits; shape-preserving ops
+/// (activations, normalization, elementwise) pass the first input
+/// through unchanged.
+///
+/// # Panics
+/// On malformed inputs — a model-builder bug, not a runtime
+/// condition.
+pub fn infer_output_shape(op: OpKind, hyper: &Hyper, inputs: &[TensorShape]) -> TensorShape {
+    use OpKind::*;
+    let first = || {
+        inputs
+            .first()
+            .unwrap_or_else(|| panic!("{op:?}: needs at least one input"))
+            .clone()
+    };
+    match op {
+        Input | Constant => {
+            // Shape given via hyperparameters dim0..dim3.
+            let mut dims = Vec::new();
+            for i in 0..8 {
+                if let Some(d) = hyper.get(&format!("dim{i}")) {
+                    dims.push(d as usize);
+                }
+            }
+            assert!(!dims.is_empty(), "Input/Constant node requires dim0..k hyperparameters");
+            TensorShape::new(dims)
+        }
+        Output | Identity | Dropout | Relu | LeakyRelu | Gelu | Sigmoid | Tanh | Softmax | LogSoftmax
+        | Hardswish | Elu | Silu | Erf | BatchNorm2d | LayerNorm | GroupNorm | InstanceNorm2d | Sqrt
+        | Neg | Exp | Log | Pad | Upsample => {
+            let mut s = first();
+            if op == Pad {
+                let p = hyper.get_usize_or("pad", 0);
+                if p > 0 && s.rank() == 4 {
+                    let d = s.dims().to_vec();
+                    s = TensorShape::new(vec![d[0], d[1], d[2] + 2 * p, d[3] + 2 * p]);
+                }
+            }
+            if op == Upsample {
+                let f = hyper.get_usize_or("scale", 2);
+                if s.rank() == 4 {
+                    let d = s.dims().to_vec();
+                    s = TensorShape::new(vec![d[0], d[1], d[2] * f, d[3] * f]);
+                }
+            }
+            s
+        }
+        Add | Sub | Mul | Div | Pow => {
+            let s = first();
+            if let Some(other) = inputs.get(1) {
+                // Pick the larger operand to model broadcasting.
+                if other.elems() > s.elems() {
+                    return other.clone();
+                }
+            }
+            s
+        }
+        Conv2d | DepthwiseConv2d => {
+            let s = first();
+            let d = s.dims();
+            assert_eq!(d.len(), 4, "{op:?}: expected NCHW input, got {s}");
+            let k = if op == DepthwiseConv2d {
+                d[1]
+            } else {
+                hyper.get_usize("out_channels")
+            };
+            let kh = hyper.get_usize_or("kernel_h", hyper.get_usize_or("kernel", 3));
+            let kw = hyper.get_usize_or("kernel_w", hyper.get_usize_or("kernel", 3));
+            let st = hyper.get_usize_or("stride", 1);
+            let pad = hyper.get_usize_or("padding", 0);
+            TensorShape::new(vec![d[0], k, conv_out_dim(d[2], kh, st, pad), conv_out_dim(d[3], kw, st, pad)])
+        }
+        ConvTranspose2d => {
+            let s = first();
+            let d = s.dims();
+            let k = hyper.get_usize("out_channels");
+            let kh = hyper.get_usize_or("kernel_h", 2);
+            let st = hyper.get_usize_or("stride", 2);
+            let pad = hyper.get_usize_or("padding", 0);
+            let out_h = (d[2] - 1) * st + kh - 2 * pad;
+            let out_w = (d[3] - 1) * st + kh - 2 * pad;
+            TensorShape::new(vec![d[0], k, out_h, out_w])
+        }
+        Conv1d => {
+            let s = first();
+            let d = s.dims();
+            assert_eq!(d.len(), 3, "Conv1d: expected NCL input");
+            let k = hyper.get_usize("out_channels");
+            let kl = hyper.get_usize_or("kernel", 3);
+            let st = hyper.get_usize_or("stride", 1);
+            let pad = hyper.get_usize_or("padding", 0);
+            TensorShape::new(vec![d[0], k, conv_out_dim(d[2], kl, st, pad)])
+        }
+        MaxPool2d | AvgPool2d => {
+            let s = first();
+            let d = s.dims();
+            assert_eq!(d.len(), 4, "{op:?}: expected NCHW input");
+            let kh = hyper.get_usize_or("kernel_h", hyper.get_usize_or("kernel", 2));
+            let kw = hyper.get_usize_or("kernel_w", hyper.get_usize_or("kernel", 2));
+            let st = hyper.get_usize_or("stride", kh);
+            let pad = hyper.get_usize_or("padding", 0);
+            TensorShape::new(vec![d[0], d[1], conv_out_dim(d[2], kh, st, pad), conv_out_dim(d[3], kw, st, pad)])
+        }
+        MaxPool1d => {
+            let s = first();
+            let d = s.dims();
+            let kl = hyper.get_usize_or("kernel", 2);
+            let st = hyper.get_usize_or("stride", kl);
+            TensorShape::new(vec![d[0], d[1], conv_out_dim(d[2], kl, st, 0)])
+        }
+        AdaptiveAvgPool2d => {
+            let s = first();
+            let d = s.dims();
+            let oh = hyper.get_usize_or("out_h", 1);
+            let ow = hyper.get_usize_or("out_w", 1);
+            TensorShape::new(vec![d[0], d[1], oh, ow])
+        }
+        GlobalAvgPool2d => {
+            let s = first();
+            let d = s.dims();
+            TensorShape::new(vec![d[0], d[1], 1, 1])
+        }
+        Linear => {
+            let s = first();
+            let mut d = s.dims().to_vec();
+            let out_f = hyper.get_usize("out_features");
+            let in_f = hyper.get_usize("in_features");
+            assert_eq!(*d.last().expect("non-scalar"), in_f, "Linear: input width mismatch");
+            *d.last_mut().expect("non-scalar") = out_f;
+            TensorShape::new(d)
+        }
+        MatMul | BatchMatMul => {
+            let a = first();
+            let b = inputs.get(1).expect("MatMul: needs two inputs");
+            let ad = a.dims();
+            let bd = b.dims();
+            assert!(ad.len() >= 2 && bd.len() >= 2, "MatMul: rank >= 2 required");
+            assert_eq!(
+                ad[ad.len() - 1],
+                bd[bd.len() - 2],
+                "MatMul: inner dims differ ({a} x {b})"
+            );
+            let mut d = ad[..ad.len() - 1].to_vec();
+            d.push(bd[bd.len() - 1]);
+            TensorShape::new(d)
+        }
+        Concat => {
+            let axis = hyper.get_usize_or("axis", 1);
+            let s = first();
+            let mut d = s.dims().to_vec();
+            assert!(axis < d.len(), "Concat: axis {axis} out of rank {}", d.len());
+            d[axis] = inputs.iter().map(|i| i.dims()[axis]).sum();
+            TensorShape::new(d)
+        }
+        Split | Slice => {
+            let s = first();
+            let mut d = s.dims().to_vec();
+            let axis = hyper.get_usize_or("axis", 1);
+            let parts = hyper.get_usize_or("parts", 2);
+            d[axis] /= parts.max(1);
+            TensorShape::new(d)
+        }
+        Reshape => {
+            let mut dims = Vec::new();
+            for i in 0..8 {
+                if let Some(dd) = hyper.get(&format!("dim{i}")) {
+                    dims.push(dd as usize);
+                }
+            }
+            let out = TensorShape::new(dims);
+            assert_eq!(out.elems(), first().elems(), "Reshape: element count must be preserved");
+            out
+        }
+        Flatten => {
+            let s = first();
+            let d = s.dims();
+            assert!(!d.is_empty());
+            TensorShape::new(vec![d[0], d[1..].iter().product::<usize>().max(1)])
+        }
+        Transpose | Permute => {
+            let s = first();
+            let mut d = s.dims().to_vec();
+            // Default: swap last two axes; explicit permutation via perm0..k.
+            if let Some(p0) = hyper.get("perm0") {
+                let mut perm = vec![p0 as usize];
+                for i in 1..d.len() {
+                    perm.push(hyper.get_usize(&format!("perm{i}")));
+                }
+                let nd: Vec<usize> = perm.iter().map(|&p| d[p]).collect();
+                return TensorShape::new(nd);
+            }
+            let n = d.len();
+            if n >= 2 {
+                d.swap(n - 1, n - 2);
+            }
+            TensorShape::new(d)
+        }
+        Squeeze => {
+            let s = first();
+            TensorShape::new(s.dims().iter().copied().filter(|&d| d != 1).collect())
+        }
+        Unsqueeze => {
+            let s = first();
+            let axis = hyper.get_usize_or("axis", 0);
+            let mut d = s.dims().to_vec();
+            d.insert(axis.min(d.len()), 1);
+            TensorShape::new(d)
+        }
+        Gather | Embedding => {
+            // indices shape [B, S] gathering rows of width `dim`.
+            let s = first();
+            let dim = hyper.get_usize("dim");
+            let mut d = s.dims().to_vec();
+            d.push(dim);
+            TensorShape::new(d)
+        }
+        RnnCell | LstmCell | GruCell => {
+            let h = hyper.get_usize("hidden_size");
+            let batch = hyper.get_usize_or("batch", first().dims().first().copied().unwrap_or(1));
+            TensorShape::new(vec![batch, h])
+        }
+        Attention => {
+            // Output has the query shape.
+            first()
+        }
+        ReduceMean | ReduceSum => {
+            let s = first();
+            let axis = hyper.get_usize_or("axis", s.rank().saturating_sub(1));
+            let mut d = s.dims().to_vec();
+            if axis < d.len() {
+                d.remove(axis);
+            }
+            TensorShape::new(d)
+        }
+        ArgMax => {
+            let s = first();
+            let mut d = s.dims().to_vec();
+            d.pop();
+            TensorShape::new(d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_out_dim_standard_cases() {
+        // ResNet stem: 224, k=7, s=2, p=3 -> 112.
+        assert_eq!(conv_out_dim(224, 7, 2, 3), 112);
+        // Same-padding 3x3.
+        assert_eq!(conv_out_dim(56, 3, 1, 1), 56);
+        // Pool 2x2 stride 2.
+        assert_eq!(conv_out_dim(112, 2, 2, 0), 56);
+    }
+
+    #[test]
+    fn conv2d_shape_inference() {
+        let h = Hyper::new()
+            .with("out_channels", 64.0)
+            .with("in_channels", 3.0)
+            .with("kernel_h", 7.0)
+            .with("kernel_w", 7.0)
+            .with("stride", 2.0)
+            .with("padding", 3.0);
+        let out = infer_output_shape(OpKind::Conv2d, &h, &[TensorShape::new(vec![8, 3, 224, 224])]);
+        assert_eq!(out.dims(), &[8, 64, 112, 112]);
+    }
+
+    #[test]
+    fn linear_shape_inference() {
+        let h = Hyper::new().with("in_features", 512.0).with("out_features", 10.0);
+        let out = infer_output_shape(OpKind::Linear, &h, &[TensorShape::new(vec![4, 512])]);
+        assert_eq!(out.dims(), &[4, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn linear_rejects_wrong_width() {
+        let h = Hyper::new().with("in_features", 512.0).with("out_features", 10.0);
+        let _ = infer_output_shape(OpKind::Linear, &h, &[TensorShape::new(vec![4, 100])]);
+    }
+
+    #[test]
+    fn matmul_shape_inference() {
+        let out = infer_output_shape(
+            OpKind::MatMul,
+            &Hyper::new(),
+            &[TensorShape::new(vec![2, 8, 16]), TensorShape::new(vec![2, 16, 32])],
+        );
+        assert_eq!(out.dims(), &[2, 8, 32]);
+    }
+
+    #[test]
+    fn concat_sums_axis() {
+        let h = Hyper::new().with("axis", 1.0);
+        let out = infer_output_shape(
+            OpKind::Concat,
+            &h,
+            &[TensorShape::new(vec![2, 3, 8, 8]), TensorShape::new(vec![2, 5, 8, 8])],
+        );
+        assert_eq!(out.dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn flatten_collapses_trailing_dims() {
+        let out = infer_output_shape(OpKind::Flatten, &Hyper::new(), &[TensorShape::new(vec![4, 64, 7, 7])]);
+        assert_eq!(out.dims(), &[4, 64 * 49]);
+    }
+
+    #[test]
+    fn global_pool_and_reduce() {
+        let out = infer_output_shape(OpKind::GlobalAvgPool2d, &Hyper::new(), &[TensorShape::new(vec![4, 512, 7, 7])]);
+        assert_eq!(out.dims(), &[4, 512, 1, 1]);
+        let rm = infer_output_shape(
+            OpKind::ReduceMean,
+            &Hyper::new().with("axis", 1.0),
+            &[TensorShape::new(vec![4, 16, 8])],
+        );
+        assert_eq!(rm.dims(), &[4, 8]);
+    }
+
+    #[test]
+    fn embedding_appends_dim() {
+        let h = Hyper::new().with("dim", 768.0);
+        let out = infer_output_shape(OpKind::Embedding, &h, &[TensorShape::new(vec![2, 128])]);
+        assert_eq!(out.dims(), &[2, 128, 768]);
+    }
+
+    #[test]
+    fn reshape_conserves_elements() {
+        let h = Hyper::new().with("dim0", 2.0).with("dim1", 6.0);
+        let out = infer_output_shape(OpKind::Reshape, &h, &[TensorShape::new(vec![3, 4])]);
+        assert_eq!(out.dims(), &[2, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "element count")]
+    fn reshape_rejects_bad_count() {
+        let h = Hyper::new().with("dim0", 5.0).with("dim1", 5.0);
+        let _ = infer_output_shape(OpKind::Reshape, &h, &[TensorShape::new(vec![3, 4])]);
+    }
+
+    #[test]
+    fn hyper_accessors() {
+        let mut h = Hyper::new();
+        h.set("k", 3.0);
+        assert_eq!(h.get_usize("k"), 3);
+        assert_eq!(h.get_usize_or("missing", 7), 7);
+        assert_eq!(h.len(), 1);
+        let keys: Vec<&str> = h.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["k"]);
+    }
+
+    #[test]
+    fn shape_display_and_bytes() {
+        let s = TensorShape::new(vec![2, 3, 4]);
+        assert_eq!(s.to_string(), "[2x3x4]");
+        assert_eq!(s.elems(), 24);
+        assert_eq!(s.bytes(), 96);
+        assert_eq!(TensorShape::scalar().elems(), 1);
+    }
+}

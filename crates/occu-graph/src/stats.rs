@@ -1,0 +1,143 @@
+//! Graph statistics: operator histograms, critical paths, parameter
+//! totals — the summary quantities used in dataset analysis (the
+//! paper's §IV-A reports node/edge ranges and operator-type counts).
+
+use crate::graph::CompGraph;
+use crate::op::OpKind;
+use std::collections::BTreeMap;
+
+/// Summary statistics of one computation graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub num_nodes: usize,
+    /// Edge count.
+    pub num_edges: usize,
+    /// Distinct operator kinds present.
+    pub distinct_ops: usize,
+    /// Total FLOPs.
+    pub total_flops: u64,
+    /// Longest path length in nodes (the graph's depth; bounds how
+    /// many sequential kernel launches an iteration needs).
+    pub critical_path_len: usize,
+    /// FLOPs along the critical path (work that cannot overlap).
+    pub critical_path_flops: u64,
+    /// Largest single tensor (elements) flowing along any edge.
+    pub max_edge_elems: u64,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn graph_stats(g: &CompGraph) -> GraphStats {
+    let order = g.topo_sort().expect("stats need an acyclic graph");
+    // Longest path DP over topological order, in nodes and in FLOPs.
+    let n = g.num_nodes();
+    let mut depth = vec![1usize; n];
+    let mut path_flops: Vec<u64> = g.nodes().iter().map(|x| x.flops).collect();
+    for &id in &order {
+        for e in g.out_edges(id) {
+            let cand_depth = depth[id.0] + 1;
+            if cand_depth > depth[e.dst.0] {
+                depth[e.dst.0] = cand_depth;
+            }
+            let cand_flops = path_flops[id.0] + g.node(e.dst).flops;
+            if cand_flops > path_flops[e.dst.0] {
+                path_flops[e.dst.0] = cand_flops;
+            }
+        }
+    }
+    GraphStats {
+        num_nodes: n,
+        num_edges: g.num_edges(),
+        distinct_ops: op_histogram(g).len(),
+        total_flops: g.total_flops(),
+        critical_path_len: depth.iter().copied().max().unwrap_or(0),
+        critical_path_flops: path_flops.iter().copied().max().unwrap_or(0),
+        max_edge_elems: g.edges().iter().map(|e| e.tensor_elems).max().unwrap_or(0),
+    }
+}
+
+/// Histogram of operator kinds (sorted map for deterministic output).
+pub fn op_histogram(g: &CompGraph) -> BTreeMap<&'static str, usize> {
+    let mut hist: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for node in g.nodes() {
+        *hist.entry(op_name(node.op)).or_insert(0) += 1;
+    }
+    hist
+}
+
+fn op_name(op: OpKind) -> &'static str {
+    // Debug formatting allocates; map to static names via the
+    // registered index instead.
+    const NAMES: &[&str] = &[
+        "Input", "Output", "Constant", "Identity", "Conv2d", "DepthwiseConv2d", "ConvTranspose2d",
+        "Conv1d", "MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d", "GlobalAvgPool2d", "MaxPool1d",
+        "Relu", "LeakyRelu", "Gelu", "Sigmoid", "Tanh", "Softmax", "LogSoftmax", "Hardswish", "Elu",
+        "Silu", "Erf", "BatchNorm2d", "LayerNorm", "GroupNorm", "InstanceNorm2d", "Linear", "MatMul",
+        "BatchMatMul", "Add", "Sub", "Mul", "Div", "Pow", "Sqrt", "Neg", "Exp", "Log", "Concat",
+        "Split", "Slice", "Reshape", "Transpose", "Permute", "Flatten", "Squeeze", "Unsqueeze",
+        "Pad", "Upsample", "Gather", "Embedding", "RnnCell", "LstmCell", "GruCell", "Attention",
+        "ReduceMean", "ReduceSum", "ArgMax", "Dropout",
+    ];
+    NAMES[op.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, GraphMeta, ModelFamily};
+    use crate::shape::Hyper;
+
+    fn diamond() -> CompGraph {
+        // x -> a -> c ; x -> b -> c (critical path 3 nodes + output).
+        let mut b = GraphBuilder::new(GraphMeta::new("d", ModelFamily::Cnn));
+        let x = b.input("x", &[2, 8]);
+        let a = b.add(OpKind::Relu, "a", Hyper::new(), &[x]);
+        let bb = b.add(OpKind::Gelu, "b", Hyper::new(), &[x]);
+        let c = b.add(OpKind::Add, "c", Hyper::new(), &[a, bb]);
+        b.add(OpKind::Output, "out", Hyper::new(), &[c]);
+        b.finish()
+    }
+
+    #[test]
+    fn stats_on_diamond() {
+        let g = diamond();
+        let s = graph_stats(&g);
+        assert_eq!(s.num_nodes, 5);
+        assert_eq!(s.num_edges, 5);
+        assert_eq!(s.critical_path_len, 4, "x -> a|b -> c -> out");
+        assert_eq!(s.max_edge_elems, 16);
+        assert!(s.total_flops >= s.critical_path_flops);
+    }
+
+    #[test]
+    fn histogram_counts_ops() {
+        let g = diamond();
+        let h = op_histogram(&g);
+        assert_eq!(h["Relu"], 1);
+        assert_eq!(h["Gelu"], 1);
+        assert_eq!(h["Add"], 1);
+        assert_eq!(h.values().sum::<usize>(), 5);
+        assert_eq!(graph_stats(&g).distinct_ops, 5);
+    }
+
+    #[test]
+    fn op_name_covers_every_kind() {
+        for &op in OpKind::ALL {
+            // Must not panic and must be unique per op.
+            let _ = op_name(op);
+        }
+        let names: std::collections::HashSet<&str> = OpKind::ALL.iter().map(|&o| op_name(o)).collect();
+        assert_eq!(names.len(), OpKind::COUNT, "names must be unique");
+    }
+
+    #[test]
+    fn critical_path_of_chain_is_full_length() {
+        let mut b = GraphBuilder::new(GraphMeta::new("chain", ModelFamily::Cnn));
+        let mut cur = b.input("x", &[1, 4]);
+        for i in 0..9 {
+            cur = b.add(OpKind::Relu, format!("r{i}"), Hyper::new(), &[cur]);
+        }
+        let g = b.finish();
+        assert_eq!(graph_stats(&g).critical_path_len, 10);
+    }
+}

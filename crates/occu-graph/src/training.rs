@@ -1,0 +1,424 @@
+//! Training-graph expansion: derive the backward pass (and optimizer
+//! update) of an inference graph.
+//!
+//! The paper's Table I includes the edge feature "Forward or
+//! Backward", and Fig. 2 profiles *training* ResNet-50 — framework
+//! exports of training iterations contain gradient operators wired to
+//! the forward graph by backward edges. This module reproduces that
+//! expansion: every differentiable forward node gains gradient nodes
+//! expressed in the *existing* operator vocabulary (a convolution's
+//! data gradient is a transposed convolution, a linear layer's
+//! gradients are matmuls, an activation's gradient is an elementwise
+//! multiply, ...), mirroring what autodiff emits on real frameworks.
+
+use crate::graph::{CompGraph, EdgeKind, GraphBuilder, Node, NodeId};
+use crate::op::OpKind;
+use crate::shape::Hyper;
+
+/// Expands an inference graph into a full training-iteration graph:
+/// forward nodes (copied verbatim), backward/gradient nodes connected
+/// with [`EdgeKind::Backward`] edges, and one fused optimizer-update
+/// node per parametered operator.
+///
+/// The returned graph's metadata carries the same model identity;
+/// node count roughly triples for compute-dense models, matching the
+/// forward/backward kernel mix seen in real training profiles.
+pub fn to_training_graph(graph: &CompGraph) -> CompGraph {
+    let mut b = GraphBuilder::new(graph.meta.clone());
+
+    // 1. Copy the forward graph (builders re-infer shapes; inputs to
+    //    each node are its original predecessors in insertion order).
+    let mut fwd_map: Vec<NodeId> = Vec::with_capacity(graph.num_nodes());
+    for node in graph.nodes() {
+        let inputs: Vec<NodeId> = graph
+            .in_edges(node.id)
+            .map(|e| fwd_map[e.src.0])
+            .collect();
+        let id = b.add(node.op, node.name.clone(), node.hyper.clone(), &inputs);
+        fwd_map.push(id);
+    }
+
+    // 2. Emit gradient nodes in reverse topological order. grad_map[i]
+    //    is the node producing dL/d(output of forward node i).
+    let order = graph.topo_sort().expect("training expansion needs an acyclic graph");
+    let mut grad_map: Vec<Option<NodeId>> = vec![None; graph.num_nodes()];
+
+    // Seed: the loss gradient at the last node in topo order (or the
+    // Output node if present).
+    let sink = graph
+        .nodes()
+        .iter()
+        .find(|n| n.op == OpKind::Output)
+        .map(|n| n.id)
+        .unwrap_or(*order.last().expect("non-empty graph"));
+    {
+        let dims = graph.node(sink).output_shape.dims().to_vec();
+        let mut hyper = Hyper::new();
+        for (i, d) in dims.iter().enumerate() {
+            hyper.set(&format!("dim{i}"), *d as f64);
+        }
+        let seed = b.add(OpKind::Constant, "grad_seed", hyper, &[]);
+        grad_map[sink.0] = Some(seed);
+    }
+
+    let mut backward_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for &nid in order.iter().rev() {
+        let node = graph.node(nid);
+        let Some(gout) = grad_map[nid.0] else { continue };
+        // Record the backward data-flow edge from the forward node to
+        // its gradient (activations feed gradient kernels).
+        backward_edges.push((fwd_map[nid.0], gout));
+        for pred in predecessor_ids(graph, nid) {
+            let pred_node = graph.node(pred);
+            if !is_differentiable(pred_node.op) && pred_node.op != OpKind::Input {
+                // Gradient flow stops at constants/int inputs.
+            }
+            let gin = emit_input_gradient(&mut b, node, pred_node, gout, fwd_map[pred.0]);
+            match grad_map[pred.0] {
+                None => grad_map[pred.0] = Some(gin),
+                Some(existing) => {
+                    // Multiple consumers: gradients accumulate.
+                    let sum = b.add(
+                        OpKind::Add,
+                        format!("{}.grad_accum", pred_node.name),
+                        Hyper::new(),
+                        &[existing, gin],
+                    );
+                    grad_map[pred.0] = Some(sum);
+                }
+            }
+        }
+        // Parametered ops additionally compute a weight gradient and
+        // a fused optimizer update.
+        if let Some(w_elems) = param_elems(node) {
+            let wgrad = emit_weight_gradient(&mut b, node, gout, fwd_map[nid.0]);
+            let update = b.add(
+                OpKind::Mul,
+                format!("{}.optimizer_update", node.name),
+                Hyper::new(),
+                &[wgrad],
+            );
+            let _ = (update, w_elems);
+        }
+    }
+
+    let mut g = b.finish();
+    // Mark gradient-flow edges as Backward (Table I edge feature).
+    // Heuristic matching real exports: every edge whose destination
+    // is a gradient/update node is a backward edge.
+    let grad_nodes: std::collections::HashSet<usize> = g
+        .nodes()
+        .iter()
+        .filter(|n| {
+            n.name.contains(".grad") || n.name.contains("grad_") || n.name.contains("optimizer_update")
+        })
+        .map(|n| n.id.0)
+        .collect();
+    relabel_backward_edges(&mut g, &grad_nodes);
+    drop(backward_edges);
+    g
+}
+
+/// Marks edges into gradient nodes as [`EdgeKind::Backward`].
+fn relabel_backward_edges(g: &mut CompGraph, grad_nodes: &std::collections::HashSet<usize>) {
+    for e in g.edges_mut() {
+        if grad_nodes.contains(&e.dst.0) {
+            e.kind = EdgeKind::Backward;
+        }
+    }
+}
+
+fn predecessor_ids(graph: &CompGraph, id: NodeId) -> Vec<NodeId> {
+    graph.in_edges(id).map(|e| e.src).collect()
+}
+
+fn is_differentiable(op: OpKind) -> bool {
+    !matches!(op, OpKind::Constant | OpKind::ArgMax)
+}
+
+/// Elements of the trainable parameter of `node`, if it has one.
+fn param_elems(node: &Node) -> Option<u64> {
+    use OpKind::*;
+    match node.op {
+        Conv2d | DepthwiseConv2d | ConvTranspose2d | Conv1d => {
+            let k = node.hyper.get_usize_or("out_channels", 1) as u64;
+            let c = node.hyper.get_usize_or("in_channels", 1) as u64;
+            let r = node.hyper.get_usize_or("kernel_h", node.hyper.get_usize_or("kernel", 3)) as u64;
+            let s = node.hyper.get_usize_or("kernel_w", node.hyper.get_usize_or("kernel", 3)) as u64;
+            Some(k * c * r * s)
+        }
+        Linear => Some(
+            (node.hyper.get_usize_or("in_features", 0) * node.hyper.get_usize_or("out_features", 0)) as u64,
+        ),
+        Embedding => Some((node.hyper.get_usize_or("vocab", 0) * node.hyper.get_usize_or("dim", 0)) as u64),
+        LstmCell | GruCell | RnnCell => {
+            let i = node.hyper.get_usize_or("input_size", 0) as u64;
+            let h = node.hyper.get_usize_or("hidden_size", 0) as u64;
+            Some((i + h) * h)
+        }
+        BatchNorm2d | LayerNorm | GroupNorm | InstanceNorm2d => {
+            node.output_shape.dims().get(1).map(|&c| 2 * c as u64)
+        }
+        _ => None,
+    }
+}
+
+/// Emits the node computing dL/d(input `pred`) of forward node
+/// `node`, given the output gradient `gout`. The operator chosen
+/// mirrors what framework autodiff emits.
+fn emit_input_gradient(
+    b: &mut GraphBuilder,
+    node: &Node,
+    pred: &Node,
+    gout: NodeId,
+    fwd_pred: NodeId,
+) -> NodeId {
+    use OpKind::*;
+    let name = format!("{}.grad_input_from_{}", pred.name, node.name);
+    match node.op {
+        Conv2d | Conv1d => {
+            // Data gradient: transposed convolution back to the input
+            // shape.
+            let c = node.hyper.get_usize_or("in_channels", 1);
+            let k = node.hyper.get_usize_or("kernel_h", node.hyper.get_usize_or("kernel", 3));
+            let stride = node.hyper.get_usize_or("stride", 1);
+            if stride == 1 {
+                // Same-spatial-size: express as a convolution with
+                // swapped channels (what cuDNN's wgrad/dgrad kernels
+                // amount to for stride 1).
+                b.add(
+                    Conv2d,
+                    name,
+                    Hyper::new()
+                        .with("in_channels", node.hyper.get_or("out_channels", 1.0))
+                        .with("out_channels", c as f64)
+                        .with("kernel_h", k as f64)
+                        .with("kernel_w", k as f64)
+                        .with("padding", node.hyper.get_or("padding", 0.0)),
+                    &[gout],
+                )
+            } else {
+                b.add(
+                    ConvTranspose2d,
+                    name,
+                    Hyper::new()
+                        .with("in_channels", node.hyper.get_or("out_channels", 1.0))
+                        .with("out_channels", c as f64)
+                        .with("kernel_h", stride as f64)
+                        .with("kernel_w", stride as f64)
+                        .with("stride", stride as f64),
+                    &[gout],
+                )
+            }
+        }
+        DepthwiseConv2d => b.add(
+            DepthwiseConv2d,
+            name,
+            Hyper::new()
+                .with("in_channels", node.hyper.get_or("in_channels", 1.0))
+                .with("out_channels", node.hyper.get_or("in_channels", 1.0))
+                .with("groups", node.hyper.get_or("in_channels", 1.0))
+                .with("kernel_h", node.hyper.get_or("kernel_h", 3.0))
+                .with("kernel_w", node.hyper.get_or("kernel_w", 3.0))
+                .with("padding", node.hyper.get_or("padding", 1.0)),
+            &[gout],
+        ),
+        Linear => {
+            // dX = dY W^T: a matmul of the same GEMM volume.
+            let in_f = node.hyper.get_usize_or("in_features", 1);
+            let out_f = node.hyper.get_usize_or("out_features", 1);
+            b.add(
+                Linear,
+                name,
+                Hyper::new().with("in_features", out_f as f64).with("out_features", in_f as f64),
+                &[gout],
+            )
+        }
+        MaxPool2d | MaxPool1d => {
+            // Scatter of gradients to argmax positions: an Upsample-
+            // class memory kernel back to the input size.
+            let scale = node.hyper.get_usize_or("stride", node.hyper.get_usize_or("kernel", 2));
+            b.add(Upsample, name, Hyper::new().with("scale", scale as f64), &[gout])
+        }
+        AvgPool2d => {
+            let scale = node.hyper.get_usize_or("stride", node.hyper.get_usize_or("kernel", 2));
+            b.add(Upsample, name, Hyper::new().with("scale", scale as f64), &[gout])
+        }
+        AdaptiveAvgPool2d | GlobalAvgPool2d => {
+            // Broadcast back to the forward input's spatial size: an
+            // elementwise kernel over the input-shaped tensor; wire it
+            // to the forward predecessor so shapes line up.
+            b.add(Mul, name, Hyper::new(), &[fwd_pred, gout])
+        }
+        Relu | LeakyRelu | Gelu | Sigmoid | Tanh | Elu | Silu | Hardswish | Erf | Sqrt | Neg | Exp
+        | Log | Softmax | LogSoftmax | BatchNorm2d | LayerNorm | GroupNorm | InstanceNorm2d | Dropout => {
+            // Elementwise (or row-local) gradient: dX = dY ⊙ f'(X).
+            b.add(Mul, name, Hyper::new(), &[gout, fwd_pred])
+        }
+        MatMul | BatchMatMul => {
+            // dA = dY B^T (same shape as A == pred).
+            b.add(Mul, name, Hyper::new(), &[fwd_pred, gout])
+        }
+        Attention => {
+            // Flash-attention backward: roughly 2x the forward work in
+            // one fused kernel.
+            let mut h = node.hyper.clone();
+            h.set("backward", 1.0);
+            b.add(Attention, name, h, &[gout])
+        }
+        RnnCell | LstmCell | GruCell => {
+            let mut h = node.hyper.clone();
+            h.set("backward", 1.0);
+            b.add(node.op, name, h, &[gout])
+        }
+        Add | Sub | Identity | Output => {
+            // Pass-through gradient.
+            b.add(Identity, name, Hyper::new(), &[gout])
+        }
+        Mul | Div | Pow => b.add(Mul, name, Hyper::new(), &[gout, fwd_pred]),
+        Concat | Slice | Split | Reshape | Flatten | Transpose | Permute | Squeeze | Unsqueeze | Pad
+        | Upsample => {
+            // Shape-op gradients are the inverse shape op: model as a
+            // memory copy of the predecessor's extent.
+            b.add(Identity, name, Hyper::new(), &[fwd_pred])
+        }
+        Gather | Embedding => b.add(Gather, name, Hyper::new().with("dim", 1.0), &[gout]),
+        ConvTranspose2d | Input | Constant | ArgMax | ReduceMean | ReduceSum => {
+            b.add(Identity, name, Hyper::new(), &[gout])
+        }
+    }
+}
+
+/// Emits the weight-gradient node of a parametered forward op.
+fn emit_weight_gradient(b: &mut GraphBuilder, node: &Node, gout: NodeId, fwd: NodeId) -> NodeId {
+    use OpKind::*;
+    let name = format!("{}.grad_weight", node.name);
+    match node.op {
+        Conv2d | DepthwiseConv2d | ConvTranspose2d | Conv1d => {
+            // wgrad is another implicit-GEMM convolution of the same
+            // FLOP volume (activations x output gradients).
+            b.add(
+                Conv2d,
+                name,
+                Hyper::new()
+                    .with("in_channels", node.hyper.get_or("in_channels", 1.0))
+                    .with("out_channels", node.hyper.get_or("out_channels", 1.0))
+                    .with("kernel_h", node.hyper.get_or("kernel_h", node.hyper.get_or("kernel", 3.0)))
+                    .with("kernel_w", node.hyper.get_or("kernel_w", node.hyper.get_or("kernel", 3.0)))
+                    .with("stride", node.hyper.get_or("stride", 1.0))
+                    .with("padding", node.hyper.get_or("padding", 0.0)),
+                &[fwd],
+            )
+        }
+        Linear => {
+            // dW = X^T dY — a GEMM of the same volume as the forward
+            // pass; expressed over the output gradient (width out_f)
+            // so shape inference holds: [*, out_f] -> [*, in_f] is
+            // 2·M·in_f·out_f FLOPs, identical to forward.
+            let _ = fwd;
+            b.add(
+                Linear,
+                name,
+                Hyper::new()
+                    .with("in_features", node.hyper.get_or("out_features", 1.0))
+                    .with("out_features", node.hyper.get_or("in_features", 1.0)),
+                &[gout],
+            )
+        }
+        _ => {
+            // Norm scales/biases, embeddings, recurrent weights:
+            // reduction-class work over the gradient tensor.
+            b.add(ReduceSum, name, Hyper::new().with("axis", 0.0), &[gout])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphMeta, ModelFamily};
+
+    fn small_cnn() -> CompGraph {
+        let mut b = GraphBuilder::new(GraphMeta::new("cnn", ModelFamily::Cnn));
+        let x = b.input("x", &[4, 3, 32, 32]);
+        let c = b.add(
+            OpKind::Conv2d,
+            "conv",
+            Hyper::new()
+                .with("in_channels", 3.0)
+                .with("out_channels", 16.0)
+                .with("kernel_h", 3.0)
+                .with("kernel_w", 3.0)
+                .with("padding", 1.0),
+            &[x],
+        );
+        let r = b.add(OpKind::Relu, "relu", Hyper::new(), &[c]);
+        let f = b.add(OpKind::Flatten, "flatten", Hyper::new(), &[r]);
+        let in_f = b.shape(f).dims()[1];
+        let l = b.add(
+            OpKind::Linear,
+            "fc",
+            Hyper::new().with("in_features", in_f as f64).with("out_features", 10.0),
+            &[f],
+        );
+        b.add(OpKind::Output, "out", Hyper::new(), &[l]);
+        b.finish()
+    }
+
+    #[test]
+    fn training_graph_is_valid_and_larger() {
+        let fwd = small_cnn();
+        let train = to_training_graph(&fwd);
+        assert!(train.validate().is_ok());
+        assert!(train.num_nodes() > fwd.num_nodes(), "{} vs {}", train.num_nodes(), fwd.num_nodes());
+        assert!(train.num_edges() > fwd.num_edges());
+    }
+
+    #[test]
+    fn training_flops_exceed_inference() {
+        // Rule of thumb: one training iteration ~= 3x inference FLOPs
+        // (forward + dgrad + wgrad). Expect at least 2x here.
+        let fwd = small_cnn();
+        let train = to_training_graph(&fwd);
+        assert!(
+            train.total_flops() >= 2 * fwd.total_flops(),
+            "training {} vs inference {}",
+            train.total_flops(),
+            fwd.total_flops()
+        );
+    }
+
+    #[test]
+    fn backward_edges_are_labelled() {
+        let train = to_training_graph(&small_cnn());
+        let backward = train.edges().iter().filter(|e| e.kind == EdgeKind::Backward).count();
+        let forward = train.edges().iter().filter(|e| e.kind == EdgeKind::Forward).count();
+        assert!(backward > 0, "training graphs must carry backward edges");
+        assert!(forward > 0, "forward edges survive");
+    }
+
+    #[test]
+    fn parametered_ops_get_weight_grads_and_updates() {
+        let train = to_training_graph(&small_cnn());
+        let wgrads = train.nodes().iter().filter(|n| n.name.ends_with(".grad_weight")).count();
+        let updates = train.nodes().iter().filter(|n| n.name.ends_with(".optimizer_update")).count();
+        // conv + fc.
+        assert_eq!(wgrads, 2);
+        assert_eq!(updates, 2);
+    }
+
+    #[test]
+    fn gradient_accumulation_on_fanout() {
+        // A tensor consumed twice must get a grad-accumulation Add.
+        let mut b = GraphBuilder::new(GraphMeta::new("fanout", ModelFamily::Cnn));
+        let x = b.input("x", &[2, 8]);
+        let a1 = b.add(OpKind::Relu, "branch_a", Hyper::new(), &[x]);
+        let a2 = b.add(OpKind::Gelu, "branch_b", Hyper::new(), &[x]);
+        let sum = b.add(OpKind::Add, "join", Hyper::new(), &[a1, a2]);
+        b.add(OpKind::Output, "out", Hyper::new(), &[sum]);
+        let train = to_training_graph(&b.finish());
+        assert!(train.validate().is_ok());
+        let accums = train.nodes().iter().filter(|n| n.name.contains("grad_accum")).count();
+        assert!(accums >= 1, "fan-out requires gradient accumulation");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests on the graph IR: random DAGs, topological
+//! order validity, shape/FLOPs invariants.
+
+use occu_graph::{CompGraph, GraphBuilder, GraphMeta, Hyper, ModelFamily, OpKind, TensorShape};
+use proptest::prelude::*;
+
+/// Builds a random layered DAG of elementwise ops: `n` nodes where
+/// node i draws parents from earlier nodes per `links` choices.
+fn random_dag(n: usize, links: Vec<usize>) -> CompGraph {
+    let mut b = GraphBuilder::new(GraphMeta::new("random", ModelFamily::Cnn));
+    let x = b.input("x", &[2, 8]);
+    let mut ids = vec![x];
+    for (i, &l) in links.iter().enumerate().take(n) {
+        let parent = ids[l % ids.len()];
+        let id = b.add(OpKind::Relu, format!("n{i}"), Hyper::new(), &[parent]);
+        ids.push(id);
+    }
+    b.finish()
+}
+
+proptest! {
+    #[test]
+    fn topo_sort_is_valid_on_random_dags(
+        n in 1usize..40,
+        links in prop::collection::vec(0usize..1000, 40),
+    ) {
+        let g = random_dag(n, links);
+        prop_assert!(g.validate().is_ok());
+        let order = g.topo_sort().expect("builder graphs are acyclic");
+        prop_assert_eq!(order.len(), g.num_nodes());
+        let mut pos = vec![0usize; order.len()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.0] = i;
+        }
+        for e in g.edges() {
+            prop_assert!(pos[e.src.0] < pos[e.dst.0]);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure(
+        n in 1usize..20,
+        links in prop::collection::vec(0usize..1000, 20),
+    ) {
+        let g = random_dag(n, links);
+        let g2 = CompGraph::from_json(&g.to_json()).unwrap();
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        prop_assert_eq!(g2.total_flops(), g.total_flops());
+    }
+
+    #[test]
+    fn conv_flops_scale_linearly_with_batch(batch in 1usize..32, k in 1usize..64) {
+        let build = |n: usize| {
+            let mut b = GraphBuilder::new(GraphMeta::new("c", ModelFamily::Cnn));
+            let x = b.input("x", &[n, 3, 32, 32]);
+            b.add(
+                OpKind::Conv2d,
+                "conv",
+                Hyper::new()
+                    .with("in_channels", 3.0)
+                    .with("out_channels", k as f64)
+                    .with("kernel_h", 3.0)
+                    .with("kernel_w", 3.0)
+                    .with("padding", 1.0),
+                &[x],
+            );
+            b.finish()
+        };
+        let f1 = build(batch).total_flops();
+        let f2 = build(batch * 2).total_flops();
+        prop_assert_eq!(f2, 2 * f1);
+    }
+
+    #[test]
+    fn shortest_paths_are_symmetric_and_triangle(
+        n in 2usize..15,
+        links in prop::collection::vec(0usize..1000, 15),
+    ) {
+        let g = random_dag(n, links);
+        let cap = 32;
+        let sp = g.all_pairs_shortest_paths(cap);
+        let v = g.num_nodes();
+        for i in 0..v {
+            prop_assert_eq!(sp[i][i], 0);
+            for j in 0..v {
+                prop_assert_eq!(sp[i][j], sp[j][i]);
+                for k in 0..v {
+                    if sp[i][k] < cap && sp[k][j] < cap {
+                        prop_assert!(sp[i][j] <= sp[i][k] + sp[k][j]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_tensor_elems_match_source_output(
+        n in 1usize..20,
+        links in prop::collection::vec(0usize..1000, 20),
+    ) {
+        let g = random_dag(n, links);
+        for e in g.edges() {
+            prop_assert_eq!(e.tensor_elems, g.node(e.src).output_shape.elems());
+        }
+    }
+
+    #[test]
+    fn elementwise_shapes_propagate(dims in prop::collection::vec(1usize..16, 1..4)) {
+        let mut b = GraphBuilder::new(GraphMeta::new("e", ModelFamily::Cnn));
+        let x = b.input("x", &dims);
+        let r = b.add(OpKind::Gelu, "g", Hyper::new(), &[x]);
+        let g = b.finish();
+        prop_assert_eq!(g.node(r).output_shape.clone(), TensorShape::new(dims));
+    }
+}

@@ -1,0 +1,193 @@
+//! Shared building blocks for the model zoo.
+
+use occu_graph::{GraphBuilder, Hyper, NodeId, OpKind};
+
+/// Adds a 2-D convolution.
+pub fn conv2d(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    cin: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> NodeId {
+    b.add(
+        OpKind::Conv2d,
+        name,
+        Hyper::new()
+            .with("in_channels", cin as f64)
+            .with("out_channels", cout as f64)
+            .with("kernel_h", kernel as f64)
+            .with("kernel_w", kernel as f64)
+            .with("stride", stride as f64)
+            .with("padding", padding as f64),
+        &[x],
+    )
+}
+
+/// Conv → BatchNorm → ReLU, the CNN workhorse.
+pub fn conv_bn_relu(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    cin: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> NodeId {
+    let c = conv2d(b, &format!("{name}.conv"), x, cin, cout, kernel, stride, padding);
+    let n = b.add(OpKind::BatchNorm2d, format!("{name}.bn"), Hyper::new(), &[c]);
+    b.add(OpKind::Relu, format!("{name}.relu"), Hyper::new(), &[n])
+}
+
+/// Affine layer over the last axis.
+pub fn linear(b: &mut GraphBuilder, name: &str, x: NodeId, in_f: usize, out_f: usize) -> NodeId {
+    b.add(
+        OpKind::Linear,
+        name,
+        Hyper::new().with("in_features", in_f as f64).with("out_features", out_f as f64),
+        &[x],
+    )
+}
+
+/// Max-pool 2-D with square kernel.
+pub fn max_pool(b: &mut GraphBuilder, name: &str, x: NodeId, kernel: usize, stride: usize) -> NodeId {
+    b.add(
+        OpKind::MaxPool2d,
+        name,
+        Hyper::new().with("kernel", kernel as f64).with("stride", stride as f64),
+        &[x],
+    )
+}
+
+/// Flatten to `[N, rest]`.
+pub fn flatten(b: &mut GraphBuilder, name: &str, x: NodeId) -> NodeId {
+    b.add(OpKind::Flatten, name, Hyper::new(), &[x])
+}
+
+/// Fused scaled-dot-product attention over `[batch, seq, dim]`
+/// tokens, with the QKV and output projections as explicit Linear
+/// nodes (matching how frameworks decompose `nn.MultiheadAttention`).
+pub fn attention(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    batch: usize,
+    seq: usize,
+    dim: usize,
+    heads: usize,
+) -> NodeId {
+    let qkv = linear(b, &format!("{name}.qkv"), x, dim, 3 * dim);
+    // The fused kernel consumes the packed QKV tensor; output keeps
+    // the token shape, so declare via the Attention node's hyper.
+    let attn = b.add(
+        OpKind::Attention,
+        format!("{name}.sdpa"),
+        Hyper::new()
+            .with("batch", batch as f64)
+            .with("seq_len", seq as f64)
+            .with("head_dim", (dim / heads.max(1)) as f64)
+            .with("heads", heads as f64),
+        &[qkv],
+    );
+    // Attention passes the qkv shape through ([batch, seq, 3*dim]);
+    // narrow back to dim with the output projection.
+    linear(b, &format!("{name}.proj"), attn, 3 * dim, dim)
+}
+
+/// Pre-norm transformer encoder block:
+/// `x + Attn(LN(x))` then `x + FFN(LN(x))`.
+pub fn transformer_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    batch: usize,
+    seq: usize,
+    dim: usize,
+    heads: usize,
+    mlp_ratio: usize,
+) -> NodeId {
+    let ln1 = b.add(OpKind::LayerNorm, format!("{name}.ln1"), Hyper::new(), &[x]);
+    let att = attention(b, &format!("{name}.attn"), ln1, batch, seq, dim, heads);
+    let res1 = b.add(OpKind::Add, format!("{name}.add1"), Hyper::new(), &[x, att]);
+    let ln2 = b.add(OpKind::LayerNorm, format!("{name}.ln2"), Hyper::new(), &[res1]);
+    let fc1 = linear(b, &format!("{name}.fc1"), ln2, dim, dim * mlp_ratio);
+    let act = b.add(OpKind::Gelu, format!("{name}.gelu"), Hyper::new(), &[fc1]);
+    let fc2 = linear(b, &format!("{name}.fc2"), act, dim * mlp_ratio, dim);
+    b.add(OpKind::Add, format!("{name}.add2"), Hyper::new(), &[res1, fc2])
+}
+
+/// Patch embedding: strided conv + reshape to `[B, tokens, dim]`.
+pub fn patch_embed(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    cin: usize,
+    dim: usize,
+    patch: usize,
+    image: usize,
+    batch: usize,
+) -> NodeId {
+    let conv = conv2d(b, &format!("{name}.proj"), x, cin, dim, patch, patch, 0);
+    let tokens = (image / patch) * (image / patch);
+    b.add(
+        OpKind::Reshape,
+        format!("{name}.reshape"),
+        Hyper::new()
+            .with("dim0", batch as f64)
+            .with("dim1", tokens as f64)
+            .with("dim2", dim as f64),
+        &[conv],
+    )
+}
+
+/// Mean-pool tokens over the sequence axis: `[B, S, D] -> [B, D]`.
+pub fn token_mean_pool(b: &mut GraphBuilder, name: &str, x: NodeId) -> NodeId {
+    b.add(OpKind::ReduceMean, name, Hyper::new().with("axis", 1.0), &[x])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occu_graph::{GraphMeta, ModelFamily};
+
+    #[test]
+    fn transformer_block_preserves_token_shape() {
+        let mut b = GraphBuilder::new(GraphMeta::new("t", ModelFamily::Transformer));
+        let x = b.input("x", &[4, 16, 64]);
+        let y = transformer_block(&mut b, "blk", x, 4, 16, 64, 4, 4);
+        assert_eq!(b.shape(y).dims(), &[4, 16, 64]);
+        let g = b.finish();
+        assert!(g.validate().is_ok());
+        // Two residual adds exist.
+        assert_eq!(g.nodes().iter().filter(|n| n.op == OpKind::Add).count(), 2);
+    }
+
+    #[test]
+    fn patch_embed_tokenizes() {
+        let mut b = GraphBuilder::new(GraphMeta::new("t", ModelFamily::Transformer));
+        let x = b.input("x", &[2, 3, 224, 224]);
+        let y = patch_embed(&mut b, "pe", x, 3, 192, 16, 224, 2);
+        assert_eq!(b.shape(y).dims(), &[2, 196, 192]);
+    }
+
+    #[test]
+    fn conv_bn_relu_chains() {
+        let mut b = GraphBuilder::new(GraphMeta::new("t", ModelFamily::Cnn));
+        let x = b.input("x", &[2, 3, 32, 32]);
+        let y = conv_bn_relu(&mut b, "s", x, 3, 16, 3, 1, 1);
+        assert_eq!(b.shape(y).dims(), &[2, 16, 32, 32]);
+        assert_eq!(b.num_nodes(), 4);
+    }
+
+    #[test]
+    fn token_mean_pool_drops_seq_axis() {
+        let mut b = GraphBuilder::new(GraphMeta::new("t", ModelFamily::Transformer));
+        let x = b.input("x", &[2, 49, 96]);
+        let y = token_mean_pool(&mut b, "pool", x);
+        assert_eq!(b.shape(y).dims(), &[2, 96]);
+    }
+}

@@ -1,0 +1,339 @@
+//! CNN-based model builders: LeNet, AlexNet, VGG, ResNet, ConvNeXt.
+
+use crate::blocks::{conv2d, conv_bn_relu, flatten, linear, max_pool};
+use crate::config::ModelConfig;
+use occu_graph::{CompGraph, GraphBuilder, GraphMeta, Hyper, ModelFamily, NodeId, OpKind};
+
+fn meta(name: &str, cfg: &ModelConfig) -> GraphMeta {
+    GraphMeta {
+        model_name: name.to_string(),
+        family: ModelFamily::Cnn,
+        batch_size: cfg.batch_size,
+        input_channels: cfg.input_channels,
+        seq_len: 0,
+    }
+}
+
+/// LeNet-5 (the paper's smallest graph; 13 nodes in Table II terms).
+pub fn lenet(cfg: &ModelConfig) -> CompGraph {
+    let mut b = GraphBuilder::new(meta("LeNet", cfg));
+    let x = b.input("input", &[cfg.batch_size, cfg.input_channels, 32, 32]);
+    let c1 = conv2d(&mut b, "conv1", x, cfg.input_channels, 6, 5, 1, 2);
+    let r1 = b.add(OpKind::Tanh, "tanh1", Hyper::new(), &[c1]);
+    // LeNet-5 historically uses average pooling ("subsampling").
+    let pool_h = Hyper::new().with("kernel", 2.0).with("stride", 2.0);
+    let p1 = b.add(OpKind::AvgPool2d, "pool1", pool_h.clone(), &[r1]);
+    let c2 = conv2d(&mut b, "conv2", p1, 6, 16, 5, 1, 0);
+    let r2 = b.add(OpKind::Tanh, "tanh2", Hyper::new(), &[c2]);
+    let p2 = b.add(OpKind::AvgPool2d, "pool2", pool_h, &[r2]);
+    let f = flatten(&mut b, "flatten", p2);
+    let in_f = b.shape(f).dims()[1];
+    let f1 = linear(&mut b, "fc1", f, in_f, 120);
+    let t1 = b.add(OpKind::Tanh, "tanh3", Hyper::new(), &[f1]);
+    let f2 = linear(&mut b, "fc2", t1, 120, 84);
+    let t2 = b.add(OpKind::Tanh, "tanh4", Hyper::new(), &[f2]);
+    let f3 = linear(&mut b, "fc3", t2, 84, 10);
+    b.add(OpKind::Output, "output", Hyper::new(), &[f3]);
+    b.finish()
+}
+
+/// AlexNet.
+pub fn alexnet(cfg: &ModelConfig) -> CompGraph {
+    let mut b = GraphBuilder::new(meta("AlexNet", cfg));
+    let x = b.input("input", &[cfg.batch_size, cfg.input_channels, cfg.image_size, cfg.image_size]);
+    let c1 = conv2d(&mut b, "conv1", x, cfg.input_channels, 64, 11, 4, 2);
+    let r1 = b.add(OpKind::Relu, "relu1", Hyper::new(), &[c1]);
+    let p1 = max_pool(&mut b, "pool1", r1, 3, 2);
+    let c2 = conv2d(&mut b, "conv2", p1, 64, 192, 5, 1, 2);
+    let r2 = b.add(OpKind::Relu, "relu2", Hyper::new(), &[c2]);
+    let p2 = max_pool(&mut b, "pool2", r2, 3, 2);
+    let c3 = conv2d(&mut b, "conv3", p2, 192, 384, 3, 1, 1);
+    let r3 = b.add(OpKind::Relu, "relu3", Hyper::new(), &[c3]);
+    let c4 = conv2d(&mut b, "conv4", r3, 384, 256, 3, 1, 1);
+    let r4 = b.add(OpKind::Relu, "relu4", Hyper::new(), &[c4]);
+    let c5 = conv2d(&mut b, "conv5", r4, 256, 256, 3, 1, 1);
+    let r5 = b.add(OpKind::Relu, "relu5", Hyper::new(), &[c5]);
+    let p5 = max_pool(&mut b, "pool5", r5, 3, 2);
+    let ap = b.add(
+        OpKind::AdaptiveAvgPool2d,
+        "avgpool",
+        Hyper::new().with("out_h", 6.0).with("out_w", 6.0),
+        &[p5],
+    );
+    let f = flatten(&mut b, "flatten", ap);
+    let d1 = b.add(OpKind::Dropout, "dropout1", Hyper::new(), &[f]);
+    let f1 = linear(&mut b, "fc1", d1, 256 * 36, 4096);
+    let fr1 = b.add(OpKind::Relu, "relu6", Hyper::new(), &[f1]);
+    let d2 = b.add(OpKind::Dropout, "dropout2", Hyper::new(), &[fr1]);
+    let f2 = linear(&mut b, "fc2", d2, 4096, 4096);
+    let fr2 = b.add(OpKind::Relu, "relu7", Hyper::new(), &[f2]);
+    let f3 = linear(&mut b, "fc3", fr2, 4096, 1000);
+    b.add(OpKind::Output, "output", Hyper::new(), &[f3]);
+    b.finish()
+}
+
+/// VGG-N for N in {11, 13, 16} (configurations A, B, D).
+pub fn vgg(cfg: &ModelConfig, depth: usize) -> CompGraph {
+    // 0 marks a max-pool.
+    let plan: &[usize] = match depth {
+        11 => &[64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
+        13 => &[64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
+        16 => &[64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0],
+        19 => &[64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0, 512, 512, 512, 512, 0, 512, 512, 512, 512, 0],
+        _ => panic!("vgg: unsupported depth {depth} (want 11, 13, 16 or 19)"),
+    };
+    let mut b = GraphBuilder::new(meta(&format!("VGG-{depth}"), cfg));
+    let x = b.input("input", &[cfg.batch_size, cfg.input_channels, cfg.image_size, cfg.image_size]);
+    let mut cur = x;
+    let mut cin = cfg.input_channels;
+    let mut conv_i = 0;
+    let mut pool_i = 0;
+    for &c in plan {
+        if c == 0 {
+            pool_i += 1;
+            cur = max_pool(&mut b, &format!("pool{pool_i}"), cur, 2, 2);
+        } else {
+            conv_i += 1;
+            let conv = conv2d(&mut b, &format!("conv{conv_i}"), cur, cin, c, 3, 1, 1);
+            cur = b.add(OpKind::Relu, format!("relu{conv_i}"), Hyper::new(), &[conv]);
+            cin = c;
+        }
+    }
+    let f = flatten(&mut b, "flatten", cur);
+    let in_f = b.shape(f).dims()[1];
+    let f1 = linear(&mut b, "fc1", f, in_f, 4096);
+    let r1 = b.add(OpKind::Relu, "fc_relu1", Hyper::new(), &[f1]);
+    let r1 = b.add(OpKind::Dropout, "fc_dropout1", Hyper::new(), &[r1]);
+    let f2 = linear(&mut b, "fc2", r1, 4096, 4096);
+    let r2 = b.add(OpKind::Relu, "fc_relu2", Hyper::new(), &[f2]);
+    let f3 = linear(&mut b, "fc3", r2, 4096, 1000);
+    b.add(OpKind::Output, "output", Hyper::new(), &[f3]);
+    b.finish()
+}
+
+/// ResNet basic block (two 3x3 convs) with optional downsample.
+fn basic_block(b: &mut GraphBuilder, name: &str, x: NodeId, cin: usize, cout: usize, stride: usize) -> NodeId {
+    let c1 = conv2d(b, &format!("{name}.conv1"), x, cin, cout, 3, stride, 1);
+    let n1 = b.add(OpKind::BatchNorm2d, format!("{name}.bn1"), Hyper::new(), &[c1]);
+    let r1 = b.add(OpKind::Relu, format!("{name}.relu1"), Hyper::new(), &[n1]);
+    let c2 = conv2d(b, &format!("{name}.conv2"), r1, cout, cout, 3, 1, 1);
+    let n2 = b.add(OpKind::BatchNorm2d, format!("{name}.bn2"), Hyper::new(), &[c2]);
+    let shortcut = if stride != 1 || cin != cout {
+        let sc = conv2d(b, &format!("{name}.downsample"), x, cin, cout, 1, stride, 0);
+        b.add(OpKind::BatchNorm2d, format!("{name}.downsample_bn"), Hyper::new(), &[sc])
+    } else {
+        x
+    };
+    let add = b.add(OpKind::Add, format!("{name}.add"), Hyper::new(), &[n2, shortcut]);
+    b.add(OpKind::Relu, format!("{name}.relu2"), Hyper::new(), &[add])
+}
+
+/// ResNet bottleneck block (1x1 -> 3x3 -> 1x1, expansion 4).
+fn bottleneck(b: &mut GraphBuilder, name: &str, x: NodeId, cin: usize, width: usize, stride: usize) -> NodeId {
+    let cout = width * 4;
+    let c1 = conv2d(b, &format!("{name}.conv1"), x, cin, width, 1, 1, 0);
+    let n1 = b.add(OpKind::BatchNorm2d, format!("{name}.bn1"), Hyper::new(), &[c1]);
+    let r1 = b.add(OpKind::Relu, format!("{name}.relu1"), Hyper::new(), &[n1]);
+    let c2 = conv2d(b, &format!("{name}.conv2"), r1, width, width, 3, stride, 1);
+    let n2 = b.add(OpKind::BatchNorm2d, format!("{name}.bn2"), Hyper::new(), &[c2]);
+    let r2 = b.add(OpKind::Relu, format!("{name}.relu2"), Hyper::new(), &[n2]);
+    let c3 = conv2d(b, &format!("{name}.conv3"), r2, width, cout, 1, 1, 0);
+    let n3 = b.add(OpKind::BatchNorm2d, format!("{name}.bn3"), Hyper::new(), &[c3]);
+    let shortcut = if stride != 1 || cin != cout {
+        let sc = conv2d(b, &format!("{name}.downsample"), x, cin, cout, 1, stride, 0);
+        b.add(OpKind::BatchNorm2d, format!("{name}.downsample_bn"), Hyper::new(), &[sc])
+    } else {
+        x
+    };
+    let add = b.add(OpKind::Add, format!("{name}.add"), Hyper::new(), &[n3, shortcut]);
+    b.add(OpKind::Relu, format!("{name}.relu3"), Hyper::new(), &[add])
+}
+
+/// Appends a full ResNet feature extractor (stem through stage 4) to
+/// an existing builder; returns the feature-map node and its channel
+/// count. Shared between the standalone ResNets and CLIP's RN50
+/// vision tower.
+pub fn resnet_backbone(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    x: NodeId,
+    cin_input: usize,
+    depth: usize,
+) -> (NodeId, usize) {
+    let (layers, use_bottleneck): (&[usize], bool) = match depth {
+        18 => (&[2, 2, 2, 2], false),
+        34 => (&[3, 4, 6, 3], false),
+        50 => (&[3, 4, 6, 3], true),
+        101 => (&[3, 4, 23, 3], true),
+        152 => (&[3, 8, 36, 3], true),
+        _ => panic!("resnet: unsupported depth {depth} (want 18, 34, 50, 101 or 152)"),
+    };
+    let stem = conv_bn_relu(b, &format!("{prefix}.stem"), x, cin_input, 64, 7, 2, 3);
+    let mut cur = max_pool(b, &format!("{prefix}.maxpool"), stem, 2, 2);
+    let widths = [64usize, 128, 256, 512];
+    let mut cin = 64;
+    for (stage, (&n_blocks, &width)) in layers.iter().zip(widths.iter()).enumerate() {
+        for blk in 0..n_blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let name = format!("{prefix}.layer{}.{}", stage + 1, blk);
+            if use_bottleneck {
+                cur = bottleneck(b, &name, cur, cin, width, stride);
+                cin = width * 4;
+            } else {
+                cur = basic_block(b, &name, cur, cin, width, stride);
+                cin = width;
+            }
+        }
+    }
+    (cur, cin)
+}
+
+/// ResNet-N for N in {18, 34, 50}.
+pub fn resnet(cfg: &ModelConfig, depth: usize) -> CompGraph {
+    let mut b = GraphBuilder::new(meta(&format!("ResNet-{depth}"), cfg));
+    let x = b.input("input", &[cfg.batch_size, cfg.input_channels, cfg.image_size, cfg.image_size]);
+    let (features, cin) = resnet_backbone(&mut b, "backbone", x, cfg.input_channels, depth);
+    let gap = b.add(OpKind::GlobalAvgPool2d, "avgpool", Hyper::new(), &[features]);
+    let f = flatten(&mut b, "flatten", gap);
+    let fc = linear(&mut b, "fc", f, cin, 1000);
+    b.add(OpKind::Output, "output", Hyper::new(), &[fc]);
+    b.finish()
+}
+
+/// ConvNeXt block: 7x7 depthwise conv, LayerNorm, two 1x1 convs
+/// (pointwise MLP) with GELU, residual add.
+fn convnext_block(b: &mut GraphBuilder, name: &str, x: NodeId, dim: usize) -> NodeId {
+    let dw = b.add(
+        OpKind::DepthwiseConv2d,
+        format!("{name}.dwconv"),
+        Hyper::new()
+            .with("in_channels", dim as f64)
+            .with("out_channels", dim as f64)
+            .with("groups", dim as f64)
+            .with("kernel_h", 7.0)
+            .with("kernel_w", 7.0)
+            .with("padding", 3.0),
+        &[x],
+    );
+    let ln = b.add(OpKind::LayerNorm, format!("{name}.norm"), Hyper::new(), &[dw]);
+    let pw1 = conv2d(b, &format!("{name}.pwconv1"), ln, dim, dim * 4, 1, 1, 0);
+    let act = b.add(OpKind::Gelu, format!("{name}.gelu"), Hyper::new(), &[pw1]);
+    let pw2 = conv2d(b, &format!("{name}.pwconv2"), act, dim * 4, dim, 1, 1, 0);
+    b.add(OpKind::Add, format!("{name}.add"), Hyper::new(), &[x, pw2])
+}
+
+/// ConvNeXt-B: dims [128, 256, 512, 1024], depths [3, 3, 27, 3].
+pub fn convnext_b(cfg: &ModelConfig) -> CompGraph {
+    let dims = [128usize, 256, 512, 1024];
+    let depths = [3usize, 3, 27, 3];
+    let mut b = GraphBuilder::new(meta("ConvNeXt-B", cfg));
+    let x = b.input("input", &[cfg.batch_size, cfg.input_channels, cfg.image_size, cfg.image_size]);
+    // Patchify stem: 4x4 stride-4 conv + LN.
+    let stem = conv2d(&mut b, "stem.conv", x, cfg.input_channels, dims[0], 4, 4, 0);
+    let mut cur = b.add(OpKind::LayerNorm, "stem.norm", Hyper::new(), &[stem]);
+    for (stage, (&dim, &depth)) in dims.iter().zip(depths.iter()).enumerate() {
+        if stage > 0 {
+            // Downsample: LN + 2x2 stride-2 conv.
+            let ln = b.add(OpKind::LayerNorm, format!("down{stage}.norm"), Hyper::new(), &[cur]);
+            cur = conv2d(&mut b, &format!("down{stage}.conv"), ln, dims[stage - 1], dim, 2, 2, 0);
+        }
+        for blk in 0..depth {
+            cur = convnext_block(&mut b, &format!("stage{stage}.{blk}"), cur, dim);
+        }
+    }
+    let gap = b.add(OpKind::GlobalAvgPool2d, "head.pool", Hyper::new(), &[cur]);
+    let f = flatten(&mut b, "head.flatten", gap);
+    let ln = b.add(OpKind::LayerNorm, "head.norm", Hyper::new(), &[f]);
+    let fc = linear(&mut b, "head.fc", ln, dims[3], 1000);
+    b.add(OpKind::Output, "output", Hyper::new(), &[fc]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig { batch_size: 8, input_channels: 3, image_size: 224, seq_len: 0 }
+    }
+
+    #[test]
+    fn lenet_is_small_and_valid() {
+        let g = lenet(&cfg());
+        assert!(g.validate().is_ok());
+        assert!(g.num_nodes() >= 13, "LeNet has {} nodes", g.num_nodes());
+        assert!(g.num_nodes() < 25);
+    }
+
+    #[test]
+    fn vgg_depths_order_by_flops() {
+        let f11 = vgg(&cfg(), 11).total_flops();
+        let f13 = vgg(&cfg(), 13).total_flops();
+        let f16 = vgg(&cfg(), 16).total_flops();
+        assert!(f11 < f13 && f13 < f16);
+    }
+
+    #[test]
+    fn resnet_block_counts() {
+        // ResNet-18: 2+2+2+2 basic blocks; -50 uses bottlenecks.
+        let g18 = resnet(&cfg(), 18);
+        let g50 = resnet(&cfg(), 50);
+        assert!(g18.validate().is_ok());
+        assert!(g50.validate().is_ok());
+        assert!(g50.num_nodes() > g18.num_nodes());
+        assert!(g50.total_flops() > g18.total_flops());
+    }
+
+    #[test]
+    fn extended_zoo_depths_build() {
+        // Beyond Table II: deeper variants for downstream users.
+        let r101 = resnet(&cfg(), 101);
+        let r152 = resnet(&cfg(), 152);
+        let v19 = vgg(&cfg(), 19);
+        assert!(r101.validate().is_ok() && r152.validate().is_ok() && v19.validate().is_ok());
+        assert!(r152.total_flops() > r101.total_flops());
+        assert!(r101.total_flops() > resnet(&cfg(), 50).total_flops());
+        assert!(v19.total_flops() > vgg(&cfg(), 16).total_flops());
+    }
+
+    #[test]
+    fn resnet50_flops_in_expected_range() {
+        // Reference: ~4.1 GFLOPs (multiply-accumulate counted as 2)
+        // per 224x224 image at 3 channels => ~8.2e9 "FLOPs" x batch.
+        let g = resnet(&ModelConfig { batch_size: 1, ..cfg() }, 50);
+        let gf = g.total_flops() as f64 / 1e9;
+        assert!((4.0..14.0).contains(&gf), "ResNet-50 flops {gf} GF out of plausible range");
+    }
+
+    #[test]
+    fn alexnet_valid_and_has_fc_stack() {
+        let g = alexnet(&cfg());
+        assert!(g.validate().is_ok());
+        let linears = g.nodes().iter().filter(|n| n.op == OpKind::Linear).count();
+        assert_eq!(linears, 3);
+    }
+
+    #[test]
+    fn convnext_b_is_deep() {
+        let g = convnext_b(&cfg());
+        assert!(g.validate().is_ok());
+        // 36 blocks x 6 nodes + stem/head.
+        assert!(g.num_nodes() > 200, "{} nodes", g.num_nodes());
+        let dw = g.nodes().iter().filter(|n| n.op == OpKind::DepthwiseConv2d).count();
+        assert_eq!(dw, 36);
+    }
+
+    #[test]
+    fn input_channels_propagate() {
+        let g = resnet(&ModelConfig { input_channels: 7, ..cfg() }, 18);
+        let stem = g.nodes().iter().find(|n| n.name == "backbone.stem.conv").unwrap();
+        assert_eq!(stem.hyper.get_usize("in_channels"), 7);
+    }
+
+    #[test]
+    fn batch_scales_flops_linearly() {
+        let f8 = resnet(&cfg(), 18).total_flops();
+        let f16 = resnet(&ModelConfig { batch_size: 16, ..cfg() }, 18).total_flops();
+        assert_eq!(f16, 2 * f8);
+    }
+}

@@ -1,0 +1,128 @@
+//! Model configuration and the Table II hyperparameter grids.
+
+use occu_graph::ModelFamily;
+use occu_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// One model configuration: the knobs the paper sweeps (§IV-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Batch size.
+    pub batch_size: usize,
+    /// Input channel count (CNN / vision-transformer inputs).
+    pub input_channels: usize,
+    /// Input image side length (paper fixes 224).
+    pub image_size: usize,
+    /// Sequence length (RNN / language-transformer inputs).
+    pub seq_len: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self { batch_size: 32, input_channels: 3, image_size: 224, seq_len: 128 }
+    }
+}
+
+impl ModelConfig {
+    /// Config with just a batch size, other fields default.
+    pub fn with_batch(batch_size: usize) -> Self {
+        Self { batch_size, ..Self::default() }
+    }
+
+    /// Builder-style setter for input channels.
+    pub fn channels(mut self, c: usize) -> Self {
+        self.input_channels = c;
+        self
+    }
+
+    /// Builder-style setter for sequence length.
+    pub fn seq(mut self, s: usize) -> Self {
+        self.seq_len = s;
+        self
+    }
+}
+
+/// Samples a configuration from the Table II grid for a family:
+///
+/// * CNN-based: batch 16..=128 step 4, input channels 1..=10,
+///   input 224x224.
+/// * RNN-based: batch 128..=512 step 8, sequence length 16..=128
+///   step 8.
+/// * Transformer-based (and multimodal): batch 16..=128 step 4,
+///   input channels 1..=10, sequence length 20..=512.
+pub fn sample_config(family: ModelFamily, rng: &mut SeededRng) -> ModelConfig {
+    match family {
+        ModelFamily::Cnn => ModelConfig {
+            batch_size: 16 + 4 * rng.int_range(0, 28),
+            input_channels: rng.int_range(1, 10),
+            image_size: 224,
+            seq_len: 0,
+        },
+        ModelFamily::Rnn => ModelConfig {
+            batch_size: 128 + 8 * rng.int_range(0, 48),
+            input_channels: 0,
+            image_size: 0,
+            seq_len: 16 + 8 * rng.int_range(0, 14),
+        },
+        ModelFamily::Transformer | ModelFamily::Multimodal => ModelConfig {
+            batch_size: 16 + 4 * rng.int_range(0, 28),
+            input_channels: rng.int_range(1, 10),
+            image_size: 224,
+            seq_len: 20 + rng.int_range(0, 492),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnn_grid_bounds() {
+        let mut rng = SeededRng::new(1);
+        for _ in 0..200 {
+            let c = sample_config(ModelFamily::Cnn, &mut rng);
+            assert!((16..=128).contains(&c.batch_size));
+            assert_eq!(c.batch_size % 4, 0);
+            assert!((1..=10).contains(&c.input_channels));
+            assert_eq!(c.image_size, 224);
+        }
+    }
+
+    #[test]
+    fn rnn_grid_bounds() {
+        let mut rng = SeededRng::new(2);
+        for _ in 0..200 {
+            let c = sample_config(ModelFamily::Rnn, &mut rng);
+            assert!((128..=512).contains(&c.batch_size));
+            assert_eq!(c.batch_size % 8, 0);
+            assert!((16..=128).contains(&c.seq_len));
+            assert_eq!(c.seq_len % 8, 0);
+        }
+    }
+
+    #[test]
+    fn transformer_grid_bounds() {
+        let mut rng = SeededRng::new(3);
+        for _ in 0..200 {
+            let c = sample_config(ModelFamily::Transformer, &mut rng);
+            assert!((16..=128).contains(&c.batch_size));
+            assert!((20..=512).contains(&c.seq_len));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sample_config(ModelFamily::Cnn, &mut SeededRng::new(7));
+        let b = sample_config(ModelFamily::Cnn, &mut SeededRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = ModelConfig::with_batch(64).channels(5).seq(77);
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(c.input_channels, 5);
+        assert_eq!(c.seq_len, 77);
+    }
+}

@@ -1,0 +1,30 @@
+//! # occu-models
+//!
+//! Programmatic computation-graph builders for every model of the
+//! paper's Table II dataset:
+//!
+//! * **CNN-based**: LeNet, AlexNet, VGG-11/13/16, ResNet-18/34/50,
+//!   ConvNeXt-B
+//! * **RNN-based**: vanilla RNN, LSTM
+//! * **Transformer-based**: ViT-T/S, Swin-S, MaxViT-T, DistilBERT,
+//!   GPT-2
+//! * **Multimodal**: CLIP (RN50, ViT-B/32, ViT-B/16)
+//!
+//! Builders are the substitute for "export the PyTorch model via
+//! ONNX" (§III-B): they produce `occu-graph` IR with full shape and
+//! FLOPs information, parameterized by a [`ModelConfig`] following the
+//! hyperparameter grids of Table II. Architectural simplifications
+//! versus the reference implementations (e.g. window attention
+//! expressed as a batched fused-attention node) preserve tensor
+//! shapes, FLOPs, and kernel-relevant structure; see each builder's
+//! docs.
+
+pub mod blocks;
+pub mod cnn;
+pub mod config;
+pub mod registry;
+pub mod rnn;
+pub mod transformer;
+
+pub use config::{sample_config, ModelConfig};
+pub use registry::ModelId;

@@ -1,0 +1,204 @@
+//! The model registry: every Table II model behind one enum.
+
+use crate::config::ModelConfig;
+use crate::transformer::ClipVisual;
+use crate::{cnn, rnn, transformer};
+use occu_graph::{CompGraph, ModelFamily};
+use serde::{Deserialize, Serialize};
+
+/// Identifier for each of the paper's 20 models (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ModelId {
+    LeNet,
+    AlexNet,
+    Vgg11,
+    Vgg13,
+    Vgg16,
+    ResNet18,
+    ResNet34,
+    ResNet50,
+    ConvNextB,
+    Rnn,
+    Lstm,
+    VitT,
+    VitS,
+    SwinS,
+    MaxVitT,
+    DistilBert,
+    Gpt2,
+    ClipRn50,
+    ClipVitB32,
+    ClipVitB16,
+}
+
+impl ModelId {
+    /// All 20 models, grouped by family in Table II order.
+    pub const ALL: &'static [ModelId] = &[
+        ModelId::ConvNextB,
+        ModelId::ResNet18,
+        ModelId::ResNet34,
+        ModelId::ResNet50,
+        ModelId::Vgg11,
+        ModelId::Vgg13,
+        ModelId::Vgg16,
+        ModelId::AlexNet,
+        ModelId::LeNet,
+        ModelId::Lstm,
+        ModelId::Rnn,
+        ModelId::VitS,
+        ModelId::VitT,
+        ModelId::SwinS,
+        ModelId::MaxVitT,
+        ModelId::DistilBert,
+        ModelId::Gpt2,
+        ModelId::ClipRn50,
+        ModelId::ClipVitB32,
+        ModelId::ClipVitB16,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::LeNet => "LeNet",
+            ModelId::AlexNet => "AlexNet",
+            ModelId::Vgg11 => "VGG-11",
+            ModelId::Vgg13 => "VGG-13",
+            ModelId::Vgg16 => "VGG-16",
+            ModelId::ResNet18 => "ResNet-18",
+            ModelId::ResNet34 => "ResNet-34",
+            ModelId::ResNet50 => "ResNet-50",
+            ModelId::ConvNextB => "ConvNeXt-B",
+            ModelId::Rnn => "RNN",
+            ModelId::Lstm => "LSTM",
+            ModelId::VitT => "ViT-T",
+            ModelId::VitS => "ViT-S",
+            ModelId::SwinS => "Swin-S",
+            ModelId::MaxVitT => "MaxViT-T",
+            ModelId::DistilBert => "BERT",
+            ModelId::Gpt2 => "GPT-2",
+            ModelId::ClipRn50 => "CLIP-RN50",
+            ModelId::ClipVitB32 => "CLIP-ViT-B/32",
+            ModelId::ClipVitB16 => "CLIP-ViT-B/16",
+        }
+    }
+
+    /// Model family (Table II markers).
+    pub fn family(self) -> ModelFamily {
+        match self {
+            ModelId::LeNet
+            | ModelId::AlexNet
+            | ModelId::Vgg11
+            | ModelId::Vgg13
+            | ModelId::Vgg16
+            | ModelId::ResNet18
+            | ModelId::ResNet34
+            | ModelId::ResNet50
+            | ModelId::ConvNextB => ModelFamily::Cnn,
+            ModelId::Rnn | ModelId::Lstm => ModelFamily::Rnn,
+            ModelId::VitT
+            | ModelId::VitS
+            | ModelId::SwinS
+            | ModelId::MaxVitT
+            | ModelId::DistilBert
+            | ModelId::Gpt2 => ModelFamily::Transformer,
+            ModelId::ClipRn50 | ModelId::ClipVitB32 | ModelId::ClipVitB16 => ModelFamily::Multimodal,
+        }
+    }
+
+    /// Builds the computation graph for this model under `cfg`.
+    pub fn build(self, cfg: &ModelConfig) -> CompGraph {
+        match self {
+            ModelId::LeNet => cnn::lenet(cfg),
+            ModelId::AlexNet => cnn::alexnet(cfg),
+            ModelId::Vgg11 => cnn::vgg(cfg, 11),
+            ModelId::Vgg13 => cnn::vgg(cfg, 13),
+            ModelId::Vgg16 => cnn::vgg(cfg, 16),
+            ModelId::ResNet18 => cnn::resnet(cfg, 18),
+            ModelId::ResNet34 => cnn::resnet(cfg, 34),
+            ModelId::ResNet50 => cnn::resnet(cfg, 50),
+            ModelId::ConvNextB => cnn::convnext_b(cfg),
+            ModelId::Rnn => rnn::rnn(cfg),
+            ModelId::Lstm => rnn::lstm(cfg),
+            ModelId::VitT => transformer::vit_t(cfg),
+            ModelId::VitS => transformer::vit_s(cfg),
+            ModelId::SwinS => transformer::swin_s(cfg),
+            ModelId::MaxVitT => transformer::maxvit_t(cfg),
+            ModelId::DistilBert => transformer::distilbert(cfg),
+            ModelId::Gpt2 => transformer::gpt2(cfg),
+            ModelId::ClipRn50 => transformer::clip(cfg, ClipVisual::Rn50),
+            ModelId::ClipVitB32 => transformer::clip(cfg, ClipVisual::VitB32),
+            ModelId::ClipVitB16 => transformer::clip(cfg, ClipVisual::VitB16),
+        }
+    }
+
+    /// A family-appropriate default configuration (RNN models need a
+    /// sequence length and larger batches per Table II).
+    pub fn default_config(self) -> ModelConfig {
+        match self.family() {
+            ModelFamily::Rnn => ModelConfig { batch_size: 128, input_channels: 0, image_size: 0, seq_len: 64 },
+            _ => ModelConfig::default(),
+        }
+    }
+
+    /// Parses a paper-style display name.
+    pub fn from_name(name: &str) -> Option<ModelId> {
+        ModelId::ALL.iter().copied().find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_twenty_models() {
+        assert_eq!(ModelId::ALL.len(), 20);
+    }
+
+    #[test]
+    fn every_model_builds_a_valid_graph() {
+        for &m in ModelId::ALL {
+            let cfg = ModelConfig { batch_size: 4, ..m.default_config() };
+            let g = m.build(&cfg);
+            assert!(g.validate().is_ok(), "{} invalid", m.name());
+            assert!(g.num_nodes() > 5, "{} suspiciously small", m.name());
+            assert!(g.total_flops() > 0, "{} has no work", m.name());
+            assert_eq!(g.meta.family, m.family());
+        }
+    }
+
+    #[test]
+    fn node_counts_span_paper_range() {
+        // §IV-A: graphs span 13 to 2664 nodes. Check we cover a wide
+        // range: LeNet small, LSTM@128 + CLIP large.
+        let small = ModelId::LeNet.build(&ModelConfig { batch_size: 4, ..Default::default() });
+        let rnn_cfg = ModelConfig { batch_size: 128, input_channels: 0, image_size: 0, seq_len: 128 };
+        let large = ModelId::Lstm.build(&rnn_cfg);
+        assert!(small.num_nodes() < 25);
+        assert!(large.num_nodes() > 130);
+        let clip = ModelId::ClipVitB16.build(&ModelConfig { batch_size: 4, ..Default::default() });
+        assert!(clip.num_nodes() > 250, "CLIP is the widest graph: {}", clip.num_nodes());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for &m in ModelId::ALL {
+            assert_eq!(ModelId::from_name(m.name()), Some(m));
+        }
+        assert_eq!(ModelId::from_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn operator_diversity_exceeds_thirty_types() {
+        // §IV-A: dataset spans >30 operator types.
+        let mut kinds = std::collections::HashSet::new();
+        for &m in ModelId::ALL {
+            let cfg = ModelConfig { batch_size: 4, ..m.default_config() };
+            for n in m.build(&cfg).nodes() {
+                kinds.insert(n.op);
+            }
+        }
+        assert!(kinds.len() > 30, "only {} operator kinds", kinds.len());
+    }
+}

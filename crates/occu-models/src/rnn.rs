@@ -1,0 +1,112 @@
+//! RNN-based model builders: vanilla RNN and LSTM sequence models.
+//!
+//! The framework unrolls recurrent layers over the sequence at export
+//! time, so the graph contains one cell node per time step — this is
+//! why RNN-family graphs in the paper's dataset reach thousands of
+//! nodes and edges.
+
+use crate::blocks::linear;
+use crate::config::ModelConfig;
+use occu_graph::{CompGraph, GraphBuilder, GraphMeta, Hyper, ModelFamily, OpKind};
+
+const EMBED_DIM: usize = 256;
+const HIDDEN: usize = 256;
+const VOCAB: usize = 10_000;
+const NUM_CLASSES: usize = 10;
+
+fn meta(name: &str, cfg: &ModelConfig) -> GraphMeta {
+    GraphMeta {
+        model_name: name.to_string(),
+        family: ModelFamily::Rnn,
+        batch_size: cfg.batch_size,
+        input_channels: 0,
+        seq_len: cfg.seq_len,
+    }
+}
+
+/// Shared RNN/LSTM skeleton: embedding, unrolled cells, classifier.
+fn recurrent_model(cfg: &ModelConfig, name: &str, cell_op: OpKind) -> CompGraph {
+    assert!(cfg.seq_len > 0, "{name}: sequence length required");
+    let mut b = GraphBuilder::new(meta(name, cfg));
+    let tokens = b.input("tokens", &[cfg.batch_size, cfg.seq_len]);
+    let embed = b.add(
+        OpKind::Embedding,
+        "embedding",
+        Hyper::new().with("vocab", VOCAB as f64).with("dim", EMBED_DIM as f64),
+        &[tokens],
+    );
+    let cell_hyper = Hyper::new()
+        .with("input_size", EMBED_DIM as f64)
+        .with("hidden_size", HIDDEN as f64)
+        .with("batch", cfg.batch_size as f64);
+    // Unrolled chain: step t consumes the embedding and step t-1's
+    // hidden state.
+    let mut prev = b.add(cell_op, "cell.0", cell_hyper.clone(), &[embed]);
+    for t in 1..cfg.seq_len {
+        prev = b.add(cell_op, format!("cell.{t}"), cell_hyper.clone(), &[embed, prev]);
+    }
+    let fc = linear(&mut b, "classifier", prev, HIDDEN, NUM_CLASSES);
+    let sm = b.add(OpKind::Softmax, "softmax", Hyper::new(), &[fc]);
+    b.add(OpKind::Output, "output", Hyper::new(), &[sm]);
+    b.finish()
+}
+
+/// Vanilla RNN sequence classifier.
+pub fn rnn(cfg: &ModelConfig) -> CompGraph {
+    recurrent_model(cfg, "RNN", OpKind::RnnCell)
+}
+
+/// LSTM sequence classifier.
+pub fn lstm(cfg: &ModelConfig) -> CompGraph {
+    recurrent_model(cfg, "LSTM", OpKind::LstmCell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seq: usize) -> ModelConfig {
+        ModelConfig { batch_size: 128, input_channels: 0, image_size: 0, seq_len: seq }
+    }
+
+    #[test]
+    fn node_count_scales_with_sequence_length() {
+        let g16 = lstm(&cfg(16));
+        let g128 = lstm(&cfg(128));
+        assert!(g16.validate().is_ok());
+        assert!(g128.validate().is_ok());
+        assert_eq!(g128.num_nodes() - g16.num_nodes(), 128 - 16);
+    }
+
+    #[test]
+    fn lstm_has_more_flops_than_rnn() {
+        let l = lstm(&cfg(32)).total_flops();
+        let r = rnn(&cfg(32)).total_flops();
+        assert!(l > 2 * r, "LSTM (4 gates) should dwarf vanilla RNN: {l} vs {r}");
+    }
+
+    #[test]
+    fn chain_structure_is_linear() {
+        let g = rnn(&cfg(8));
+        // Every cell after the first has exactly two inputs.
+        let cells: Vec<_> = g.nodes().iter().filter(|n| n.op == OpKind::RnnCell).collect();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(g.in_edges(cells[0].id).count(), 1);
+        for c in &cells[1..] {
+            assert_eq!(g.in_edges(c.id).count(), 2);
+        }
+    }
+
+    #[test]
+    fn cell_output_shape_is_batch_by_hidden() {
+        let g = lstm(&cfg(4));
+        let cell = g.nodes().iter().find(|n| n.op == OpKind::LstmCell).unwrap();
+        assert_eq!(cell.output_shape.dims(), &[128, HIDDEN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length required")]
+    fn zero_seq_len_rejected() {
+        let _ = lstm(&cfg(0));
+    }
+}

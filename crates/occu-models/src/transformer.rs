@@ -1,0 +1,465 @@
+//! Transformer-based and multimodal model builders: ViT, Swin,
+//! MaxViT, DistilBERT, GPT-2, and CLIP.
+//!
+//! Architectural notes (simplifications that preserve shapes, FLOPs
+//! and kernel structure):
+//!
+//! * Window/grid attention (Swin, MaxViT) is expressed as one fused
+//!   attention node whose `batch` hyperparameter is multiplied by the
+//!   window count and whose `seq_len` is the window area — the exact
+//!   batching real implementations use after their reshape.
+//! * Class tokens are omitted; sequence pooling uses `ReduceMean`,
+//!   which changes the head input by one token but nothing else.
+
+use crate::blocks::{attention, conv2d, flatten, linear, patch_embed, token_mean_pool, transformer_block};
+use crate::config::ModelConfig;
+use occu_graph::{CompGraph, GraphBuilder, GraphMeta, Hyper, ModelFamily, NodeId, OpKind};
+
+fn meta(name: &str, family: ModelFamily, cfg: &ModelConfig) -> GraphMeta {
+    GraphMeta {
+        model_name: name.to_string(),
+        family,
+        batch_size: cfg.batch_size,
+        input_channels: cfg.input_channels,
+        seq_len: cfg.seq_len,
+    }
+}
+
+/// L2-normalizes `[B, D]` feature rows:
+/// `x / sqrt(reduce_sum(x^2, axis=1))`.
+fn l2_normalize(b: &mut GraphBuilder, name: &str, x: NodeId) -> NodeId {
+    let sq = b.add(OpKind::Pow, format!("{name}.square"), Hyper::new().with("exponent", 2.0), &[x]);
+    let ss = b.add(OpKind::ReduceSum, format!("{name}.sum"), Hyper::new().with("axis", 1.0), &[sq]);
+    let norm = b.add(OpKind::Sqrt, format!("{name}.sqrt"), Hyper::new(), &[ss]);
+    b.add(OpKind::Div, format!("{name}.div"), Hyper::new(), &[x, norm])
+}
+
+/// Adds a learned positional embedding (a constant tensor + add).
+fn pos_embed(b: &mut GraphBuilder, name: &str, x: NodeId) -> NodeId {
+    let dims = b.shape(x).dims().to_vec();
+    let mut h = Hyper::new();
+    for (i, d) in dims.iter().enumerate() {
+        h.set(&format!("dim{i}"), *d as f64);
+    }
+    let pos = b.add(OpKind::Constant, format!("{name}.pos"), h, &[]);
+    b.add(OpKind::Add, format!("{name}.add_pos"), Hyper::new(), &[x, pos])
+}
+
+/// Vision Transformer (ViT-T: dim 192 / 3 heads; ViT-S: 384 / 6;
+/// ViT-B: 768 / 12), patch 16, depth 12.
+pub fn vit(cfg: &ModelConfig, dim: usize, heads: usize, patch: usize, name: &str) -> CompGraph {
+    let mut b = GraphBuilder::new(meta(name, ModelFamily::Transformer, cfg));
+    let x = b.input("input", &[cfg.batch_size, cfg.input_channels, cfg.image_size, cfg.image_size]);
+    let tokens = patch_embed(&mut b, "patch_embed", x, cfg.input_channels, dim, patch, cfg.image_size, cfg.batch_size);
+    let seq = (cfg.image_size / patch) * (cfg.image_size / patch);
+    let mut cur = pos_embed(&mut b, "embed", tokens);
+    for i in 0..12 {
+        cur = transformer_block(&mut b, &format!("block{i}"), cur, cfg.batch_size, seq, dim, heads, 4);
+    }
+    let ln = b.add(OpKind::LayerNorm, "norm", Hyper::new(), &[cur]);
+    let pooled = token_mean_pool(&mut b, "pool", ln);
+    let head = linear(&mut b, "head", pooled, dim, 1000);
+    b.add(OpKind::Output, "output", Hyper::new(), &[head]);
+    b.finish()
+}
+
+/// ViT-Tiny.
+pub fn vit_t(cfg: &ModelConfig) -> CompGraph {
+    vit(cfg, 192, 3, 16, "ViT-T")
+}
+
+/// ViT-Small.
+pub fn vit_s(cfg: &ModelConfig) -> CompGraph {
+    vit(cfg, 384, 6, 16, "ViT-S")
+}
+
+/// Swin transformer block: window attention over 7x7 windows. Odd
+/// blocks use shifted windows; the cyclic roll is expressed as a
+/// slice/slice/concat triple on the token axis, as ONNX exports it.
+fn swin_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    batch: usize,
+    side: usize,
+    dim: usize,
+    heads: usize,
+    shifted: bool,
+) -> NodeId {
+    const WINDOW: usize = 7;
+    let windows = (side / WINDOW).max(1).pow(2);
+    let x = if shifted {
+        let part = Hyper::new().with("axis", 1.0).with("parts", 2.0);
+        let s1 = b.add(OpKind::Slice, format!("{name}.roll_lo"), part.clone(), &[x]);
+        let s2 = b.add(OpKind::Slice, format!("{name}.roll_hi"), part, &[x]);
+        b.add(OpKind::Concat, format!("{name}.roll_cat"), Hyper::new().with("axis", 1.0), &[s2, s1])
+    } else {
+        x
+    };
+    // Window attention == fused attention with batch*windows sequences
+    // of window-area tokens.
+    let ln1 = b.add(OpKind::LayerNorm, format!("{name}.ln1"), Hyper::new(), &[x]);
+    // Window area is the attention sequence (side is always a
+    // multiple of 7 for 224-px inputs: 56 -> 28 -> 14 -> 7).
+    let area = (side * side / windows).max(1);
+    let att = attention(b, &format!("{name}.w_attn"), ln1, batch * windows, area, dim, heads);
+    let res1 = b.add(OpKind::Add, format!("{name}.add1"), Hyper::new(), &[x, att]);
+    let ln2 = b.add(OpKind::LayerNorm, format!("{name}.ln2"), Hyper::new(), &[res1]);
+    let fc1 = linear(b, &format!("{name}.fc1"), ln2, dim, dim * 4);
+    let act = b.add(OpKind::Gelu, format!("{name}.gelu"), Hyper::new(), &[fc1]);
+    let fc2 = linear(b, &format!("{name}.fc2"), act, dim * 4, dim);
+    b.add(OpKind::Add, format!("{name}.add2"), Hyper::new(), &[res1, fc2])
+}
+
+/// Swin-S: patch 4, dims [96,192,384,768], depths [2,2,18,2],
+/// heads [3,6,12,24], window 7.
+pub fn swin_s(cfg: &ModelConfig) -> CompGraph {
+    let dims = [96usize, 192, 384, 768];
+    let depths = [2usize, 2, 18, 2];
+    let heads = [3usize, 6, 12, 24];
+    let mut b = GraphBuilder::new(meta("Swin-S", ModelFamily::Transformer, cfg));
+    let x = b.input("input", &[cfg.batch_size, cfg.input_channels, cfg.image_size, cfg.image_size]);
+    let mut cur = patch_embed(&mut b, "patch_embed", x, cfg.input_channels, dims[0], 4, cfg.image_size, cfg.batch_size);
+    let mut side = cfg.image_size / 4;
+    for (stage, ((&dim, &depth), &nh)) in dims.iter().zip(depths.iter()).zip(heads.iter()).enumerate() {
+        if stage > 0 {
+            // Patch merging: 2x2 neighborhoods -> 4C channels -> 2C.
+            let tokens = side * side / 4;
+            let merged = b.add(
+                OpKind::Reshape,
+                format!("merge{stage}.reshape"),
+                Hyper::new()
+                    .with("dim0", cfg.batch_size as f64)
+                    .with("dim1", tokens as f64)
+                    .with("dim2", (4 * dims[stage - 1]) as f64),
+                &[cur],
+            );
+            let ln = b.add(OpKind::LayerNorm, format!("merge{stage}.norm"), Hyper::new(), &[merged]);
+            cur = linear(&mut b, &format!("merge{stage}.reduce"), ln, 4 * dims[stage - 1], dim);
+            side /= 2;
+        }
+        for blk in 0..depth {
+            cur = swin_block(&mut b, &format!("stage{stage}.{blk}"), cur, cfg.batch_size, side, dim, nh, blk % 2 == 1);
+        }
+    }
+    let ln = b.add(OpKind::LayerNorm, "norm", Hyper::new(), &[cur]);
+    let pooled = token_mean_pool(&mut b, "pool", ln);
+    let head = linear(&mut b, "head", pooled, dims[3], 1000);
+    b.add(OpKind::Output, "output", Hyper::new(), &[head]);
+    b.finish()
+}
+
+/// MBConv block with squeeze-excitation (MaxViT's convolutional half).
+fn mbconv(b: &mut GraphBuilder, name: &str, x: NodeId, cin: usize, cout: usize, stride: usize) -> NodeId {
+    let expanded = cin * 4;
+    let e = conv2d(b, &format!("{name}.expand"), x, cin, expanded, 1, 1, 0);
+    let bn1 = b.add(OpKind::BatchNorm2d, format!("{name}.bn1"), Hyper::new(), &[e]);
+    let g1 = b.add(OpKind::Gelu, format!("{name}.gelu1"), Hyper::new(), &[bn1]);
+    let dw = b.add(
+        OpKind::DepthwiseConv2d,
+        format!("{name}.dwconv"),
+        Hyper::new()
+            .with("in_channels", expanded as f64)
+            .with("out_channels", expanded as f64)
+            .with("groups", expanded as f64)
+            .with("kernel_h", 3.0)
+            .with("kernel_w", 3.0)
+            .with("stride", stride as f64)
+            .with("padding", 1.0),
+        &[g1],
+    );
+    let bn2 = b.add(OpKind::BatchNorm2d, format!("{name}.bn2"), Hyper::new(), &[dw]);
+    // Squeeze-excitation.
+    let se_pool = b.add(OpKind::GlobalAvgPool2d, format!("{name}.se_pool"), Hyper::new(), &[bn2]);
+    let se_flat = flatten(b, &format!("{name}.se_flatten"), se_pool);
+    let se_fc1 = linear(b, &format!("{name}.se_fc1"), se_flat, expanded, expanded / 4);
+    let se_relu = b.add(OpKind::Relu, format!("{name}.se_relu"), Hyper::new(), &[se_fc1]);
+    let se_fc2 = linear(b, &format!("{name}.se_fc2"), se_relu, expanded / 4, expanded);
+    let se_sig = b.add(OpKind::Sigmoid, format!("{name}.se_sigmoid"), Hyper::new(), &[se_fc2]);
+    let spatial = b.shape(bn2).dims().to_vec();
+    let se_re = b.add(
+        OpKind::Reshape,
+        format!("{name}.se_reshape"),
+        Hyper::new()
+            .with("dim0", spatial[0] as f64)
+            .with("dim1", spatial[1] as f64)
+            .with("dim2", 1.0)
+            .with("dim3", 1.0),
+        &[se_sig],
+    );
+    let gated = b.add(OpKind::Mul, format!("{name}.se_mul"), Hyper::new(), &[bn2, se_re]);
+    let proj = conv2d(b, &format!("{name}.project"), gated, expanded, cout, 1, 1, 0);
+    let bn3 = b.add(OpKind::BatchNorm2d, format!("{name}.bn3"), Hyper::new(), &[proj]);
+    if stride == 1 && cin == cout {
+        b.add(OpKind::Add, format!("{name}.add"), Hyper::new(), &[x, bn3])
+    } else {
+        bn3
+    }
+}
+
+/// MaxViT block: MBConv, then block (window) attention, then grid
+/// attention, each attention over tokens reshaped from the feature
+/// map.
+fn maxvit_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    cin: usize,
+    cout: usize,
+    stride: usize,
+    batch: usize,
+    heads: usize,
+) -> NodeId {
+    let conv = mbconv(b, &format!("{name}.mbconv"), x, cin, cout, stride);
+    let dims = b.shape(conv).dims().to_vec();
+    let (h, w) = (dims[2], dims[3]);
+    let tokens = h * w;
+    let seq = b.add(
+        OpKind::Reshape,
+        format!("{name}.to_tokens"),
+        Hyper::new()
+            .with("dim0", batch as f64)
+            .with("dim1", tokens as f64)
+            .with("dim2", cout as f64),
+        &[conv],
+    );
+    const P: usize = 7;
+    let windows = (h / P).max(1) * (w / P).max(1);
+    let area = (tokens / windows.max(1)).max(1);
+    // Block attention: partition into PxP windows.
+    let block_attn = transformer_block(b, &format!("{name}.block_attn"), seq, batch * windows, area, cout, heads, 4);
+    // Grid attention: the dual partitioning (same geometry).
+    let grid_attn = transformer_block(b, &format!("{name}.grid_attn"), block_attn, batch * area, windows.max(1), cout, heads, 4);
+    b.add(
+        OpKind::Reshape,
+        format!("{name}.to_map"),
+        Hyper::new()
+            .with("dim0", batch as f64)
+            .with("dim1", cout as f64)
+            .with("dim2", h as f64)
+            .with("dim3", w as f64),
+        &[grid_attn],
+    )
+}
+
+/// MaxViT-T: stem 64, dims [64,128,256,512], depths [2,2,5,2].
+pub fn maxvit_t(cfg: &ModelConfig) -> CompGraph {
+    let dims = [64usize, 128, 256, 512];
+    let depths = [2usize, 2, 5, 2];
+    let mut b = GraphBuilder::new(meta("MaxViT-T", ModelFamily::Transformer, cfg));
+    let x = b.input("input", &[cfg.batch_size, cfg.input_channels, cfg.image_size, cfg.image_size]);
+    let s1 = conv2d(&mut b, "stem.conv1", x, cfg.input_channels, 64, 3, 2, 1);
+    let s1g = b.add(OpKind::Gelu, "stem.gelu", Hyper::new(), &[s1]);
+    let mut cur = conv2d(&mut b, "stem.conv2", s1g, 64, 64, 3, 1, 1);
+    let mut cin = 64usize;
+    for (stage, (&dim, &depth)) in dims.iter().zip(depths.iter()).enumerate() {
+        for blk in 0..depth {
+            let stride = if blk == 0 { 2 } else { 1 };
+            let heads = (dim / 32).max(1);
+            cur = maxvit_block(&mut b, &format!("stage{stage}.{blk}"), cur, cin, dim, stride, cfg.batch_size, heads);
+            cin = dim;
+        }
+    }
+    let gap = b.add(OpKind::GlobalAvgPool2d, "head.pool", Hyper::new(), &[cur]);
+    let f = flatten(&mut b, "head.flatten", gap);
+    let ln = b.add(OpKind::LayerNorm, "head.norm", Hyper::new(), &[f]);
+    let head = linear(&mut b, "head.fc", ln, dims[3], 1000);
+    b.add(OpKind::Output, "output", Hyper::new(), &[head]);
+    b.finish()
+}
+
+/// Language-model trunk shared by DistilBERT / GPT-2 / CLIP-text.
+fn lm_trunk(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    tokens: NodeId,
+    batch: usize,
+    seq: usize,
+    dim: usize,
+    heads: usize,
+    layers: usize,
+    vocab: usize,
+) -> NodeId {
+    let embed = b.add(
+        OpKind::Embedding,
+        format!("{prefix}.embeddings"),
+        Hyper::new().with("vocab", vocab as f64).with("dim", dim as f64),
+        &[tokens],
+    );
+    let mut cur = pos_embed(b, &format!("{prefix}.embed"), embed);
+    for i in 0..layers {
+        cur = transformer_block(b, &format!("{prefix}.layer{i}"), cur, batch, seq, dim, heads, 4);
+    }
+    b.add(OpKind::LayerNorm, format!("{prefix}.final_norm"), Hyper::new(), &[cur])
+}
+
+/// DistilBERT (distilbert-base-uncased-finetuned-sst-2-english): 6
+/// layers, dim 768, 12 heads, 2-way classification head.
+pub fn distilbert(cfg: &ModelConfig) -> CompGraph {
+    let seq = cfg.seq_len.max(20);
+    let mut b = GraphBuilder::new(meta("DistilBERT", ModelFamily::Transformer, cfg));
+    let tokens = b.input("input_ids", &[cfg.batch_size, seq]);
+    let trunk = lm_trunk(&mut b, "distilbert", tokens, cfg.batch_size, seq, 768, 12, 6, 30_522);
+    let pooled = token_mean_pool(&mut b, "pool", trunk);
+    let pre = linear(&mut b, "pre_classifier", pooled, 768, 768);
+    let act = b.add(OpKind::Relu, "pre_relu", Hyper::new(), &[pre]);
+    let cls = linear(&mut b, "classifier", act, 768, 2);
+    let log_probs = b.add(OpKind::LogSoftmax, "log_softmax", Hyper::new(), &[cls]);
+    b.add(OpKind::Output, "output", Hyper::new(), &[log_probs]);
+    b.finish()
+}
+
+/// GPT-2 (117M): 12 layers, dim 768, 12 heads, tied LM head to a
+/// 50257-token vocabulary.
+pub fn gpt2(cfg: &ModelConfig) -> CompGraph {
+    let seq = cfg.seq_len.max(20);
+    let mut b = GraphBuilder::new(meta("GPT-2", ModelFamily::Transformer, cfg));
+    let tokens = b.input("input_ids", &[cfg.batch_size, seq]);
+    let trunk = lm_trunk(&mut b, "gpt2", tokens, cfg.batch_size, seq, 768, 12, 12, 50_257);
+    let lm_head = linear(&mut b, "lm_head", trunk, 768, 50_257);
+    let sm = b.add(OpKind::Softmax, "softmax", Hyper::new(), &[lm_head]);
+    b.add(OpKind::Output, "output", Hyper::new(), &[sm]);
+    b.finish()
+}
+
+/// CLIP visual-encoder selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClipVisual {
+    /// Modified ResNet-50 tower.
+    Rn50,
+    /// ViT-B with 32x32 patches.
+    VitB32,
+    /// ViT-B with 16x16 patches.
+    VitB16,
+}
+
+/// CLIP: a vision tower and a 12-layer text tower (width 512, 8
+/// heads, context 77) joined by projection + cosine-similarity logits
+/// (§V-A2 runs both encoders simultaneously and fuses the graphs).
+pub fn clip(cfg: &ModelConfig, visual: ClipVisual) -> CompGraph {
+    const EMBED: usize = 512;
+    const TEXT_CTX: usize = 77;
+    let name = match visual {
+        ClipVisual::Rn50 => "CLIP-RN50",
+        ClipVisual::VitB32 => "CLIP-ViT-B/32",
+        ClipVisual::VitB16 => "CLIP-ViT-B/16",
+    };
+    let mut b = GraphBuilder::new(meta(name, ModelFamily::Multimodal, cfg));
+
+    // --- vision tower ---
+    let image = b.input("image", &[cfg.batch_size, cfg.input_channels, cfg.image_size, cfg.image_size]);
+    let image_feat = match visual {
+        ClipVisual::Rn50 => {
+            let (feat, channels) = crate::cnn::resnet_backbone(&mut b, "visual", image, cfg.input_channels, 50);
+            let gap = b.add(OpKind::GlobalAvgPool2d, "visual.attnpool", Hyper::new(), &[feat]);
+            let f = flatten(&mut b, "visual.flatten", gap);
+            linear(&mut b, "visual.proj", f, channels, EMBED)
+        }
+        ClipVisual::VitB32 | ClipVisual::VitB16 => {
+            let patch = if visual == ClipVisual::VitB32 { 32 } else { 16 };
+            let dim = 768;
+            let tokens = patch_embed(&mut b, "visual.patch_embed", image, cfg.input_channels, dim, patch, cfg.image_size, cfg.batch_size);
+            let seq = (cfg.image_size / patch) * (cfg.image_size / patch);
+            let mut cur = pos_embed(&mut b, "visual.embed", tokens);
+            for i in 0..12 {
+                cur = transformer_block(&mut b, &format!("visual.block{i}"), cur, cfg.batch_size, seq, dim, 12, 4);
+            }
+            let ln = b.add(OpKind::LayerNorm, "visual.norm", Hyper::new(), &[cur]);
+            let pooled = token_mean_pool(&mut b, "visual.pool", ln);
+            linear(&mut b, "visual.proj", pooled, dim, EMBED)
+        }
+    };
+
+    // --- text tower ---
+    let text = b.input("text", &[cfg.batch_size, TEXT_CTX]);
+    let trunk = lm_trunk(&mut b, "text", text, cfg.batch_size, TEXT_CTX, EMBED, 8, 12, 49_408);
+    let text_pooled = token_mean_pool(&mut b, "text.pool", trunk);
+    let text_feat = linear(&mut b, "text.proj", text_pooled, EMBED, EMBED);
+
+    // --- joint similarity head ---
+    // CLIP L2-normalizes both embeddings before the dot product.
+    let image_feat = l2_normalize(&mut b, "visual.l2norm", image_feat);
+    let text_feat = l2_normalize(&mut b, "text.l2norm", text_feat);
+    let text_t = b.add(OpKind::Transpose, "logits.text_t", Hyper::new(), &[text_feat]);
+    let logits = b.add(OpKind::MatMul, "logits.matmul", Hyper::new(), &[image_feat, text_t]);
+    let probs = b.add(OpKind::Softmax, "logits.softmax", Hyper::new(), &[logits]);
+    b.add(OpKind::Output, "output", Hyper::new(), &[probs]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig { batch_size: 8, input_channels: 3, image_size: 224, seq_len: 64 }
+    }
+
+    #[test]
+    fn vit_sizes_order() {
+        let t = vit_t(&cfg());
+        let s = vit_s(&cfg());
+        assert!(t.validate().is_ok() && s.validate().is_ok());
+        assert!(s.total_flops() > t.total_flops());
+        // 12 blocks x 2 adds + pos add.
+        assert_eq!(t.nodes().iter().filter(|n| n.op == OpKind::Add).count(), 25);
+    }
+
+    #[test]
+    fn swin_has_four_stages_of_window_attention() {
+        let g = swin_s(&cfg());
+        assert!(g.validate().is_ok());
+        let attn = g.nodes().iter().filter(|n| n.op == OpKind::Attention).count();
+        assert_eq!(attn, 2 + 2 + 18 + 2);
+    }
+
+    #[test]
+    fn maxvit_mixes_conv_and_attention() {
+        let g = maxvit_t(&cfg());
+        assert!(g.validate().is_ok());
+        let convs = g.nodes().iter().filter(|n| n.op == OpKind::Conv2d).count();
+        let attns = g.nodes().iter().filter(|n| n.op == OpKind::Attention).count();
+        let dws = g.nodes().iter().filter(|n| n.op == OpKind::DepthwiseConv2d).count();
+        assert!(convs > 10 && dws == 11, "convs={convs} dw={dws}");
+        assert_eq!(attns, 2 * 11, "block+grid attention per block");
+    }
+
+    #[test]
+    fn distilbert_is_half_of_gpt2_layers() {
+        let db = distilbert(&cfg());
+        let g2 = gpt2(&cfg());
+        let layers = |g: &CompGraph| g.nodes().iter().filter(|n| n.op == OpKind::Attention).count();
+        assert_eq!(layers(&db), 6);
+        assert_eq!(layers(&g2), 12);
+        // GPT-2's LM head over 50k vocab dominates FLOPs.
+        assert!(g2.total_flops() > db.total_flops());
+    }
+
+    #[test]
+    fn seq_len_scales_transformer_flops_superlinearly() {
+        let short = gpt2(&ModelConfig { seq_len: 64, ..cfg() }).total_flops();
+        let long = gpt2(&ModelConfig { seq_len: 256, ..cfg() }).total_flops();
+        // Attention is quadratic; overall > 4x when seq grows 4x.
+        assert!(long > 4 * short);
+    }
+
+    #[test]
+    fn clip_has_two_inputs_and_joint_head() {
+        for v in [ClipVisual::Rn50, ClipVisual::VitB32, ClipVisual::VitB16] {
+            let g = clip(&cfg(), v);
+            assert!(g.validate().is_ok(), "{v:?}");
+            let inputs = g.nodes().iter().filter(|n| n.op == OpKind::Input).count();
+            assert_eq!(inputs, 2, "{v:?} image + text");
+            let logits = g.nodes().iter().find(|n| n.name == "logits.matmul").unwrap();
+            assert_eq!(logits.output_shape.dims(), &[8, 8], "B x B similarity");
+            assert_eq!(g.meta.family, ModelFamily::Multimodal);
+        }
+    }
+
+    #[test]
+    fn clip_vitb16_heavier_than_vitb32() {
+        let f32p = clip(&cfg(), ClipVisual::VitB32).total_flops();
+        let f16p = clip(&cfg(), ClipVisual::VitB16).total_flops();
+        assert!(f16p > 2 * f32p, "4x tokens -> much more work");
+    }
+}

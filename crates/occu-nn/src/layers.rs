@@ -1,0 +1,661 @@
+//! Neural layers built from tape primitives.
+//!
+//! Layers own no matrices — only [`ParamId`] handles into a
+//! [`ParamStore`] — so a model is (layer structs + store), and the
+//! store alone is what gets serialized.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use occu_tensor::{Matrix, SeededRng};
+
+/// Pointwise nonlinearity selector used by [`Mlp`] and [`FeedForward`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// max(0, x)
+    Relu,
+    /// LeakyReLU with the given negative slope.
+    LeakyRelu(f32),
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::None => x,
+            Activation::Relu => tape.relu(x),
+            Activation::LeakyRelu(a) => tape.leaky_relu(x, a),
+            Activation::Gelu => tape.gelu(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Tanh => tape.tanh(x),
+        }
+    }
+}
+
+/// Affine layer `y = x W + b` mapping `n x in` to `n x out`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialized linear layer with bias.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Self {
+        let w = store.register_xavier(format!("{name}.w"), in_dim, out_dim, rng);
+        let b = Some(store.register_zeros(format!("{name}.b"), 1, out_dim));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Creates a linear layer without bias (used where the paper's
+    /// equations are pure matrix products, e.g. ANEE's `W_u`, `W_e`).
+    pub fn new_no_bias(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Self {
+        let w = store.register_xavier(format!("{name}.w"), in_dim, out_dim, rng);
+        Self { w, b: None, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Records `x W (+ b)` on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        assert_eq!(
+            tape.shape(x).1,
+            self.in_dim,
+            "Linear::forward: input width {} != layer in_dim {}",
+            tape.shape(x).1, self.in_dim
+        );
+        let w = tape.param(store, self.w);
+        let y = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = tape.param(store, b);
+                tape.add_row_broadcast(y, bv)
+            }
+            None => y,
+        }
+    }
+}
+
+/// Row-wise layer normalization with learnable gain and bias.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    dim: usize,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over feature width `dim` (gamma=1, beta=0).
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.register(format!("{name}.gamma"), Matrix::ones(1, dim));
+        let beta = store.register_zeros(format!("{name}.beta"), 1, dim);
+        Self { gamma, beta, dim }
+    }
+
+    /// Records `LN(x) * gamma + beta` on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        assert_eq!(tape.shape(x).1, self.dim, "LayerNorm::forward: width mismatch");
+        let normed = tape.layer_norm_rows(x);
+        let g = tape.param(store, self.gamma);
+        let scaled = tape.mul_row_broadcast(normed, g);
+        let b = tape.param(store, self.beta);
+        tape.add_row_broadcast(scaled, b)
+    }
+}
+
+/// Transformer feed-forward block: `Linear -> activation -> Linear`.
+#[derive(Clone, Debug)]
+pub struct FeedForward {
+    l1: Linear,
+    l2: Linear,
+    act: Activation,
+}
+
+impl FeedForward {
+    /// Creates an FFN `dim -> hidden -> dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, hidden: usize, act: Activation, rng: &mut SeededRng) -> Self {
+        Self {
+            l1: Linear::new(store, &format!("{name}.ff1"), dim, hidden, rng),
+            l2: Linear::new(store, &format!("{name}.ff2"), hidden, dim, rng),
+            act,
+        }
+    }
+
+    /// Records the block on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let h = self.l1.forward(tape, store, x);
+        let h = self.act.apply(tape, h);
+        self.l2.forward(tape, store, h)
+    }
+}
+
+/// Multi-head scaled dot-product attention.
+///
+/// Supports cross-attention `MHA(X, Y, Y)` (queries from `X`, keys and
+/// values from `Y`) as required by the Set Transformer's MAB
+/// (§III-D), plus an optional additive attention bias shared across
+/// heads — the hook used by the Graphormer layer's structural
+/// (shortest-path) encoding.
+#[derive(Clone, Debug)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an MHA block over model width `dim` with `heads` heads.
+    ///
+    /// # Panics
+    /// If `dim` is not divisible by `heads`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, rng: &mut SeededRng) -> Self {
+        assert!(heads > 0 && dim % heads == 0, "MHA: dim {} must divide into {} heads", dim, heads);
+        Self {
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), dim, dim, rng),
+            heads,
+            dim,
+            head_dim: dim / heads,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Self-attention: `MHA(x, x, x)`.
+    pub fn forward_self(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        self.forward(tape, store, x, x, None)
+    }
+
+    /// Cross-attention with an optional additive `n x m` score bias.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var, y: Var, attn_bias: Option<Var>) -> Var {
+        assert_eq!(tape.shape(x).1, self.dim, "MHA: query width mismatch");
+        assert_eq!(tape.shape(y).1, self.dim, "MHA: key/value width mismatch");
+        let q = self.wq.forward(tape, store, x);
+        let k = self.wk.forward(tape, store, y);
+        let v = self.wv.forward(tape, store, y);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        let mut merged: Option<Var> = None;
+        for h in 0..self.heads {
+            let lo = h * self.head_dim;
+            let hi = lo + self.head_dim;
+            let qh = tape.slice_cols(q, lo, hi);
+            let kh = tape.slice_cols(k, lo, hi);
+            let vh = tape.slice_cols(v, lo, hi);
+            let scores = tape.matmul_transb(qh, kh);
+            let scores = tape.scale(scores, scale);
+            let scores = match attn_bias {
+                Some(bias) => tape.add(scores, bias),
+                None => scores,
+            };
+            let attn = tape.softmax_rows(scores);
+            let out_h = tape.matmul(attn, vh);
+            merged = Some(match merged {
+                Some(acc) => tape.hcat(acc, out_h),
+                None => out_h,
+            });
+        }
+        let concat = merged.expect("at least one head");
+        self.wo.forward(tape, store, concat)
+    }
+}
+
+/// A plain multilayer perceptron (the paper's MLP baseline and the
+/// final DNN-occu prediction head).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    output_act: Activation,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths, e.g. `[80, 512,
+    /// 512, 256, 1]` builds four affine layers (matching §IV-D's MLP
+    /// baseline plus a scalar head).
+    ///
+    /// # Panics
+    /// If fewer than two widths are given.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        widths: &[usize],
+        hidden_act: Activation,
+        output_act: Activation,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(widths.len() >= 2, "Mlp: need at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.l{i}"), w[0], w[1], rng))
+            .collect();
+        Self { layers, hidden_act, output_act }
+    }
+
+    /// Input width of the first layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output width of the last layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Records the full MLP on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            h = if i == last {
+                self.output_act.apply(tape, h)
+            } else {
+                self.hidden_act.apply(tape, h)
+            };
+        }
+        h
+    }
+}
+
+/// A single LSTM cell with fused gate weights (the LSTM baseline of
+/// §IV-D processes node-feature sequences through two of these).
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    /// `in_dim x 4*hidden` input-to-gates weights, gate order i,f,g,o.
+    w_x: ParamId,
+    /// `hidden x 4*hidden` hidden-to-gates weights.
+    w_h: ParamId,
+    /// `1 x 4*hidden` bias.
+    b: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Creates an LSTM cell. The forget-gate bias is initialized to 1,
+    /// the standard trick for gradient flow early in training.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut SeededRng) -> Self {
+        let w_x = store.register_xavier(format!("{name}.w_x"), in_dim, 4 * hidden, rng);
+        let w_h = store.register_xavier(format!("{name}.w_h"), hidden, 4 * hidden, rng);
+        let mut bias = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            bias.set(0, c, 1.0);
+        }
+        let b = store.register(format!("{name}.b"), bias);
+        Self { w_x, w_h, b, in_dim, hidden }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Fresh zero state for a batch of `batch` sequences.
+    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> (Var, Var) {
+        let h = tape.constant(Matrix::zeros(batch, self.hidden));
+        let c = tape.constant(Matrix::zeros(batch, self.hidden));
+        (h, c)
+    }
+
+    /// One time step: consumes `x` (`batch x in_dim`) and state, returns
+    /// the next `(h, c)`.
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var, c: Var) -> (Var, Var) {
+        assert_eq!(tape.shape(x).1, self.in_dim, "LstmCell::step: input width mismatch");
+        let wx = tape.param(store, self.w_x);
+        let wh = tape.param(store, self.w_h);
+        let b = tape.param(store, self.b);
+        let gx = tape.matmul(x, wx);
+        let gh = tape.matmul(h, wh);
+        let gates = tape.add(gx, gh);
+        let gates = tape.add_row_broadcast(gates, b);
+        let hsz = self.hidden;
+        let i_g = tape.slice_cols(gates, 0, hsz);
+        let f_g = tape.slice_cols(gates, hsz, 2 * hsz);
+        let g_g = tape.slice_cols(gates, 2 * hsz, 3 * hsz);
+        let o_g = tape.slice_cols(gates, 3 * hsz, 4 * hsz);
+        let i_s = tape.sigmoid(i_g);
+        let f_s = tape.sigmoid(f_g);
+        let g_t = tape.tanh(g_g);
+        let o_s = tape.sigmoid(o_g);
+        let fc = tape.mul(f_s, c);
+        let ig = tape.mul(i_s, g_t);
+        let c_next = tape.add(fc, ig);
+        let c_tanh = tape.tanh(c_next);
+        let h_next = tape.mul(o_s, c_tanh);
+        (h_next, c_next)
+    }
+}
+
+/// A single GRU cell with fused gate weights (gate order r, z, n).
+/// Completes the recurrent family next to [`LstmCell`]; used by
+/// downstream experiments that swap recurrent cores.
+#[derive(Clone, Debug)]
+pub struct GruCell {
+    /// `in_dim x 3*hidden` input-to-gates weights.
+    w_x: ParamId,
+    /// `hidden x 3*hidden` hidden-to-gates weights.
+    w_h: ParamId,
+    /// `1 x 3*hidden` bias.
+    b: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Creates a GRU cell.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut SeededRng) -> Self {
+        Self {
+            w_x: store.register_xavier(format!("{name}.w_x"), in_dim, 3 * hidden, rng),
+            w_h: store.register_xavier(format!("{name}.w_h"), hidden, 3 * hidden, rng),
+            b: store.register_zeros(format!("{name}.b"), 1, 3 * hidden),
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh zero hidden state for `batch` sequences.
+    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> Var {
+        tape.constant(Matrix::zeros(batch, self.hidden))
+    }
+
+    /// One step: `h' = (1-z) ⊙ n + z ⊙ h` with
+    /// `r = σ(..), z = σ(..), n = tanh(W_n x + r ⊙ (U_n h))`.
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
+        assert_eq!(tape.shape(x).1, self.in_dim, "GruCell::step: input width mismatch");
+        let wx = tape.param(store, self.w_x);
+        let wh = tape.param(store, self.w_h);
+        let b = tape.param(store, self.b);
+        let gx = tape.matmul(x, wx);
+        let gx = tape.add_row_broadcast(gx, b);
+        let gh = tape.matmul(h, wh);
+        let hsz = self.hidden;
+        let r_pre = {
+            let a = tape.slice_cols(gx, 0, hsz);
+            let bq = tape.slice_cols(gh, 0, hsz);
+            tape.add(a, bq)
+        };
+        let z_pre = {
+            let a = tape.slice_cols(gx, hsz, 2 * hsz);
+            let bq = tape.slice_cols(gh, hsz, 2 * hsz);
+            tape.add(a, bq)
+        };
+        let r = tape.sigmoid(r_pre);
+        let z = tape.sigmoid(z_pre);
+        let n_pre = {
+            let a = tape.slice_cols(gx, 2 * hsz, 3 * hsz);
+            let uh = tape.slice_cols(gh, 2 * hsz, 3 * hsz);
+            let gated = tape.mul(r, uh);
+            tape.add(a, gated)
+        };
+        let n = tape.tanh(n_pre);
+        // h' = (1 - z) * n + z * h  ==  n + z * (h - n)
+        let h_minus_n = tape.sub(h, n);
+        let zh = tape.mul(z, h_minus_n);
+        tape.add(n, zh)
+    }
+}
+
+/// Inverted dropout for training-time regularization.
+///
+/// The forward pass multiplies by a Bernoulli mask scaled by
+/// `1/(1-p)`; the mask is a tape constant, so backward routes
+/// gradients only through kept units. Call with `train = false` (or
+/// `p = 0`) for the identity.
+#[derive(Clone, Debug)]
+pub struct Dropout {
+    /// Drop probability.
+    pub p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1)");
+        Self { p }
+    }
+
+    /// Applies dropout using `rng` for the mask; identity when
+    /// `train` is false.
+    pub fn forward(&self, tape: &mut Tape, x: Var, train: bool, rng: &mut SeededRng) -> Var {
+        if !train || self.p == 0.0 {
+            return x;
+        }
+        let (r, c) = tape.shape(x);
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Matrix::zeros(r, c);
+        for v in mask.data_mut() {
+            *v = if rng.chance(f64::from(keep)) { scale } else { 0.0 };
+        }
+        let m = tape.constant(mask);
+        tape.mul(x, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ParamStore, SeededRng) {
+        (ParamStore::new(), SeededRng::new(42))
+    }
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let (mut store, mut rng) = setup();
+        let l = Linear::new(&mut store, "l", 4, 3, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(5, 4));
+        let y = l.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(y), (5, 3));
+        // Zero input => output equals bias (zeros at init).
+        assert_eq!(tape.value(y).sum(), 0.0);
+    }
+
+    #[test]
+    fn layer_norm_affine_identity_at_init() {
+        let (mut store, _) = setup();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_vec(1, 4, vec![2.0, 4.0, 6.0, 8.0]));
+        let y = ln.forward(&mut tape, &store, x);
+        // gamma=1, beta=0 => plain normalization: mean 0.
+        let mean: f32 = tape.value(y).row(0).iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn mha_self_attention_shape_preserving() {
+        let (mut store, mut rng) = setup();
+        let mha = MultiHeadAttention::new(&mut store, "mha", 8, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::randn(5, 8, 1.0, &mut rng));
+        let y = mha.forward_self(&mut tape, &store, x);
+        assert_eq!(tape.shape(y), (5, 8));
+    }
+
+    #[test]
+    fn mha_cross_attention_uses_query_rows() {
+        let (mut store, mut rng) = setup();
+        let mha = MultiHeadAttention::new(&mut store, "mha", 8, 4, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::randn(3, 8, 1.0, &mut rng)); // 3 queries
+        let y = tape.constant(Matrix::randn(7, 8, 1.0, &mut rng)); // 7 keys/values
+        let out = mha.forward(&mut tape, &store, x, y, None);
+        assert_eq!(tape.shape(out), (3, 8));
+    }
+
+    #[test]
+    fn mha_bias_shifts_attention() {
+        let (mut store, mut rng) = setup();
+        let mha = MultiHeadAttention::new(&mut store, "mha", 4, 1, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::randn(2, 4, 1.0, &mut rng));
+        let no_bias = mha.forward(&mut tape, &store, x, x, None);
+        // A huge negative bias on column 1 forces attention to key 0.
+        let bias = tape.constant(Matrix::from_vec(2, 2, vec![0.0, -1e9, 0.0, -1e9]));
+        let with_bias = mha.forward(&mut tape, &store, x, x, Some(bias));
+        assert_ne!(tape.value(no_bias), tape.value(with_bias));
+    }
+
+    #[test]
+    fn mlp_paper_baseline_dims() {
+        // §IV-D: MLP baseline uses four layers 80, 512, 512, 256.
+        let (mut store, mut rng) = setup();
+        let mlp = Mlp::new(
+            &mut store,
+            "mlp",
+            &[80, 512, 512, 256, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        assert_eq!(mlp.in_dim(), 80);
+        assert_eq!(mlp.out_dim(), 1);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::randn(2, 80, 1.0, &mut rng));
+        let y = mlp.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(y), (2, 1));
+        // Sigmoid output stays in (0, 1) — occupancy range.
+        assert!(tape.value(y).data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn lstm_step_shapes_and_state_evolution() {
+        let (mut store, mut rng) = setup();
+        let cell = LstmCell::new(&mut store, "lstm", 6, 10, &mut rng);
+        let mut tape = Tape::new();
+        let (h0, c0) = cell.zero_state(&mut tape, 3);
+        let x = tape.constant(Matrix::randn(3, 6, 1.0, &mut rng));
+        let (h1, c1) = cell.step(&mut tape, &store, x, h0, c0);
+        assert_eq!(tape.shape(h1), (3, 10));
+        assert_eq!(tape.shape(c1), (3, 10));
+        // Non-zero input must move the state.
+        assert!(tape.value(h1).norm() > 0.0);
+        let (h2, _) = cell.step(&mut tape, &store, x, h1, c1);
+        assert_ne!(tape.value(h1), tape.value(h2));
+    }
+
+    #[test]
+    fn gru_step_shapes_and_gating() {
+        let (mut store, mut rng) = setup();
+        let cell = GruCell::new(&mut store, "gru", 5, 7, &mut rng);
+        let mut tape = Tape::new();
+        let h0 = cell.zero_state(&mut tape, 3);
+        let x = tape.constant(Matrix::randn(3, 5, 1.0, &mut rng));
+        let h1 = cell.step(&mut tape, &store, x, h0);
+        assert_eq!(tape.shape(h1), (3, 7));
+        assert!(tape.value(h1).norm() > 0.0);
+        // tanh bounds the new state.
+        assert!(tape.value(h1).data().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn gru_gradients_flow() {
+        let (mut store, mut rng) = setup();
+        let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
+        let x = Matrix::randn(2, 3, 0.8, &mut rng);
+        let mut tape = Tape::new();
+        let h0 = cell.zero_state(&mut tape, 2);
+        let xv = tape.constant(x);
+        let h1 = cell.step(&mut tape, &store, xv, h0);
+        let h2 = cell.step(&mut tape, &store, xv, h1);
+        let sq = tape.square(h2);
+        let loss = tape.mean_all(sq);
+        tape.backward(loss, &mut store);
+        assert!(store.grad_norm() > 0.0, "gradients reach GRU weights");
+    }
+
+    #[test]
+    fn dropout_identity_at_eval_and_scales_at_train() {
+        let (_, mut rng) = setup();
+        let d = Dropout::new(0.5);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::ones(100, 10));
+        let eval = d.forward(&mut tape, x, false, &mut rng);
+        assert_eq!(eval, x, "eval mode is the identity (same var)");
+        let train = d.forward(&mut tape, x, true, &mut rng);
+        let v = tape.value(train);
+        // Kept units are scaled to 2.0; dropped to 0; mean ~1.
+        assert!(v.data().iter().all(|&e| e == 0.0 || (e - 2.0).abs() < 1e-6));
+        let mean = v.mean();
+        assert!((mean - 1.0).abs() < 0.15, "inverted dropout preserves expectation: {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Dropout: p must be in")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+
+    #[test]
+    fn mlp_trains_toward_target() {
+        // One gradient step on a fixed input must reduce the loss —
+        // the minimal end-to-end check that forward+backward agree.
+        let (mut store, mut rng) = setup();
+        let mlp = Mlp::new(&mut store, "m", &[3, 8, 1], Activation::Tanh, Activation::None, &mut rng);
+        let x = Matrix::randn(4, 3, 1.0, &mut rng);
+        let t = Matrix::from_vec(4, 1, vec![0.5, -0.5, 0.25, 0.0]);
+
+        let loss_of = |store: &ParamStore| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let tv = tape.constant(t.clone());
+            let y = mlp.forward(&mut tape, store, xv);
+            let l = tape.mse_loss(y, tv);
+            (tape, l)
+        };
+
+        let (tape, l) = loss_of(&store);
+        let before = tape.value(l).get(0, 0);
+        tape.backward(l, &mut store);
+        // Manual SGD step.
+        let lr = 0.05;
+        for id in store.ids().collect::<Vec<_>>() {
+            let g = store.grad(id).clone();
+            store.value_mut(id).add_scaled_assign(&g, -lr);
+        }
+        store.zero_grads();
+        let (tape2, l2) = loss_of(&store);
+        let after = tape2.value(l2).get(0, 0);
+        assert!(after < before, "loss should drop: {before} -> {after}");
+    }
+}

@@ -1,0 +1,195 @@
+//! The parameter store: owns values, gradients, and optimizer state.
+
+use occu_tensor::{Matrix, SeededRng};
+use serde::{Deserialize, Serialize};
+
+/// Handle to a trainable parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// Owns every trainable matrix of a model plus its gradient buffer.
+///
+/// Layers register parameters at construction time and keep only
+/// [`ParamId`] handles; each forward pass copies the current value
+/// onto the [`crate::Tape`], and `Tape::backward` accumulates into
+/// [`ParamStore::grad_mut`]. The optimizer then consumes the gradients
+/// and zeroes them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self { values: Vec::new(), grads: Vec::new(), names: Vec::new() }
+    }
+
+    /// Registers a parameter with an initial value and a debug name.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Matrix::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Registers a zero-initialized parameter (biases, LayerNorm beta).
+    pub fn register_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.register(name, Matrix::zeros(rows, cols))
+    }
+
+    /// Registers a Xavier-uniform initialized `fan_in x fan_out` weight.
+    pub fn register_xavier(
+        &mut self,
+        name: impl Into<String>,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut SeededRng,
+    ) -> ParamId {
+        self.register(name, occu_tensor::xavier_uniform(fan_in, fan_out, rng))
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|m| m.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (used by optimizers and tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Mutable gradient buffer.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.grads[id.0]
+    }
+
+    /// Debug name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Zeroes every gradient buffer (call after each optimizer step).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Global L2 norm of all gradients — useful for clipping and for
+    /// monitoring training health.
+    pub fn grad_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .map(|g| g.data().iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips gradients so their global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                g.map_inplace(|x| x * s);
+            }
+        }
+    }
+
+    /// Serializes parameter values to JSON (gradients are transient and
+    /// excluded by reconstruction on load).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore serialization cannot fail")
+    }
+
+    /// Restores a store from [`ParamStore::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_access() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::ones(2, 3));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 6);
+        assert_eq!(store.value(id).shape(), (2, 3));
+        assert_eq!(store.grad(id).shape(), (2, 3));
+        assert_eq!(store.name(id), "w");
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::ones(2, 2));
+        store.grad_mut(id).add_assign(&Matrix::ones(2, 2));
+        assert_eq!(store.grad(id).sum(), 4.0);
+        store.zero_grads();
+        assert_eq!(store.grad(id).sum(), 0.0);
+    }
+
+    #[test]
+    fn grad_norm_and_clip() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::zeros(1, 2));
+        *store.grad_mut(id) = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((store.grad_norm() - 5.0).abs() < 1e-6);
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+        // Clipping below the threshold is a no-op.
+        store.clip_grad_norm(10.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut store = ParamStore::new();
+        let mut rng = SeededRng::new(5);
+        store.register_xavier("w1", 4, 8, &mut rng);
+        store.register_zeros("b1", 1, 8);
+        let json = store.to_json();
+        let restored = ParamStore::from_json(&json).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.value(ParamId(0)), store.value(ParamId(0)));
+    }
+}

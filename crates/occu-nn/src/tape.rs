@@ -1,0 +1,744 @@
+//! The autodiff tape: a per-forward-pass record of operations with
+//! reverse-mode gradient propagation.
+
+use crate::params::{ParamId, ParamStore};
+use occu_tensor::Matrix;
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// One recorded operation. Parents are earlier tape indices, so a
+/// single reverse sweep over the node list is a valid reverse
+/// topological order.
+enum Op {
+    /// Constant input (no gradient flows out of the tape).
+    Leaf,
+    /// Trainable parameter; backward accumulates into the store.
+    Param(ParamId),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `x + broadcast(row)` where `row` is `1 x cols`.
+    AddRowBroadcast(Var, Var),
+    /// `x * broadcast(row)` elementwise per row.
+    MulRowBroadcast(Var, Var),
+    Matmul(Var, Var),
+    /// `a * b^T` without materializing the transpose.
+    MatmulTransB(Var, Var),
+    Scale(Var, f32),
+    /// The added constant is recorded for debugging; its gradient is
+    /// the identity so backward never reads it.
+    AddScalar(Var, #[allow(dead_code)] f32),
+    /// `x * s` where `s` is a `1x1` tape value (used for learnable
+    /// scalar gates such as Graphormer spatial-bias coefficients).
+    ScaleByScalar(Var, Var),
+    LeakyRelu(Var, f32),
+    Relu(Var),
+    Gelu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    SoftmaxRows(Var),
+    /// Row-wise layer normalization (no affine; compose with
+    /// `mul_row_broadcast`/`add_row_broadcast` for gamma/beta).
+    LayerNormRows(Var),
+    MeanAll(Var),
+    SumAll(Var),
+    MeanRows(Var),
+    Transpose(Var),
+    HCat(Var, Var),
+    VCat(Var, Var),
+    SliceCols(Var, usize, usize),
+    GatherRows(Var, Vec<usize>),
+    /// `out[indices[i]] += x[i]` over `out_rows` output rows (the row
+    /// count is implied by the output's stored value in backward).
+    ScatterAddRows(Var, Vec<usize>, #[allow(dead_code)] usize),
+    Square(Var),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Records a computation graph for one forward pass.
+///
+/// The tape is append-only; [`Var`]s index into it. Values are stored
+/// eagerly (define-by-run), so any intermediate can be inspected with
+/// [`Tape::value`]. Call [`Tape::backward`] on a scalar (`1x1`) output
+/// to populate parameter gradients in the [`ParamStore`].
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a constant input.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records a trainable parameter by copying its current value from
+    /// the store; backward accumulates into the store's grad buffer.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Current value of a recorded variable.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Shape of a recorded variable.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    // --- elementwise/binary ---
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Adds a `1 x cols` row vector to every row of `x`.
+    pub fn add_row_broadcast(&mut self, x: Var, row: Var) -> Var {
+        let v = self.value(x).add_row_broadcast(self.value(row));
+        self.push(v, Op::AddRowBroadcast(x, row))
+    }
+
+    /// Multiplies every row of `x` elementwise by a `1 x cols` vector.
+    pub fn mul_row_broadcast(&mut self, x: Var, row: Var) -> Var {
+        let (r, c) = self.shape(x);
+        assert_eq!(self.shape(row), (1, c), "mul_row_broadcast: width mismatch");
+        let mut out = self.value(x).clone();
+        let rowv = self.value(row).row(0).to_vec();
+        for i in 0..r {
+            for (o, &m) in out.row_mut(i).iter_mut().zip(rowv.iter()) {
+                *o *= m;
+            }
+        }
+        self.push(out, Op::MulRowBroadcast(x, row))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// `a * b^T`.
+    pub fn matmul_transb(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_transb(self.value(b));
+        self.push(v, Op::MatmulTransB(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, x: Var, s: f32) -> Var {
+        let v = self.value(x).scale(s);
+        self.push(v, Op::Scale(x, s))
+    }
+
+    /// Adds a constant scalar to every element.
+    pub fn add_scalar(&mut self, x: Var, s: f32) -> Var {
+        let v = self.value(x).map(|e| e + s);
+        self.push(v, Op::AddScalar(x, s))
+    }
+
+    /// Multiplies `x` by a learnable `1x1` scalar variable.
+    pub fn scale_by_scalar(&mut self, x: Var, s: Var) -> Var {
+        assert_eq!(self.shape(s), (1, 1), "scale_by_scalar: scalar must be 1x1");
+        let sv = self.value(s).get(0, 0);
+        let v = self.value(x).scale(sv);
+        self.push(v, Op::ScaleByScalar(x, s))
+    }
+
+    // --- activations ---
+
+    /// LeakyReLU with negative slope `alpha` (paper's ANEE uses this).
+    pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
+        let v = self.value(x).map(|e| if e >= 0.0 { e } else { alpha * e });
+        self.push(v, Op::LeakyRelu(x, alpha))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|e| e.max(0.0));
+        self.push(v, Op::Relu(x))
+    }
+
+    /// GELU (tanh approximation), used inside transformer FFNs.
+    pub fn gelu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(gelu_fwd);
+        self.push(v, Op::Gelu(x))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|e| 1.0 / (1.0 + (-e).exp()));
+        self.push(v, Op::Sigmoid(x))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(f32::tanh);
+        self.push(v, Op::Tanh(x))
+    }
+
+    /// Numerically stable softmax over each row.
+    pub fn softmax_rows(&mut self, x: Var) -> Var {
+        let v = self.value(x).softmax_rows();
+        self.push(v, Op::SoftmaxRows(x))
+    }
+
+    /// Row-wise layer normalization with epsilon `1e-5`, no affine.
+    pub fn layer_norm_rows(&mut self, x: Var) -> Var {
+        let v = layer_norm_fwd(self.value(x));
+        self.push(v, Op::LayerNormRows(x))
+    }
+
+    // --- reductions & reshapes ---
+
+    /// Mean of all elements, producing a `1x1` scalar.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.value(x).mean()]);
+        self.push(v, Op::MeanAll(x))
+    }
+
+    /// Sum of all elements, producing a `1x1` scalar.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
+        self.push(v, Op::SumAll(x))
+    }
+
+    /// Column-wise mean, producing a `1 x cols` row vector (mean
+    /// pooling over a set of row embeddings).
+    pub fn mean_rows(&mut self, x: Var) -> Var {
+        let v = self.value(x).mean_rows();
+        self.push(v, Op::MeanRows(x))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let v = self.value(x).transpose();
+        self.push(v, Op::Transpose(x))
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn hcat(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hcat(self.value(b));
+        self.push(v, Op::HCat(a, b))
+    }
+
+    /// Vertical concatenation (a above b).
+    pub fn vcat(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).vcat(self.value(b));
+        self.push(v, Op::VCat(a, b))
+    }
+
+    /// Column slice `[start, end)` of every row.
+    pub fn slice_cols(&mut self, x: Var, start: usize, end: usize) -> Var {
+        let src = self.value(x);
+        assert!(start <= end && end <= src.cols(), "slice_cols: {}..{} out of {} cols", start, end, src.cols());
+        let mut out = Matrix::zeros(src.rows(), end - start);
+        for r in 0..src.rows() {
+            out.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
+        }
+        self.push(out, Op::SliceCols(x, start, end))
+    }
+
+    /// Gathers rows by index (differentiable; backward scatter-adds).
+    pub fn gather_rows(&mut self, x: Var, indices: &[usize]) -> Var {
+        let v = self.value(x).gather_rows(indices);
+        self.push(v, Op::GatherRows(x, indices.to_vec()))
+    }
+
+    /// Scatter-add: output has `out_rows` rows; row `i` of `x` is added
+    /// into output row `indices[i]`. This is the message-aggregation
+    /// primitive for GNN layers.
+    pub fn scatter_add_rows(&mut self, x: Var, indices: &[usize], out_rows: usize) -> Var {
+        let src = self.value(x);
+        assert_eq!(indices.len(), src.rows(), "scatter_add_rows: one index per row required");
+        let mut out = Matrix::zeros(out_rows, src.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < out_rows, "scatter_add_rows: index {} out of {}", idx, out_rows);
+            for (o, &v) in out.row_mut(idx).iter_mut().zip(src.row(i).iter()) {
+                *o += v;
+            }
+        }
+        self.push(out, Op::ScatterAddRows(x, indices.to_vec(), out_rows))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|e| e * e);
+        self.push(v, Op::Square(x))
+    }
+
+    /// Mean-squared-error loss between prediction and target, as a
+    /// `1x1` scalar tape value.
+    pub fn mse_loss(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let sq = self.square(d);
+        self.mean_all(sq)
+    }
+
+    /// Runs reverse-mode differentiation from scalar `output`,
+    /// accumulating parameter gradients into `store`.
+    ///
+    /// # Panics
+    /// If `output` is not `1x1`.
+    pub fn backward(&self, output: Var, store: &mut ParamStore) {
+        assert_eq!(self.shape(output), (1, 1), "backward: output must be a 1x1 scalar");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[output.0] = Some(Matrix::ones(1, 1));
+
+        for i in (0..=output.0).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match &self.nodes[i].op {
+                Op::Leaf => {}
+                Op::Param(id) => {
+                    store.grad_mut(*id).add_assign(&g);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, &g);
+                    accumulate(&mut grads, b.0, &g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a.0, &g);
+                    accumulate(&mut grads, b.0, &g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.mul(&self.nodes[b.0].value);
+                    let gb = g.mul(&self.nodes[a.0].value);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::AddRowBroadcast(x, row) => {
+                    accumulate(&mut grads, x.0, &g);
+                    accumulate(&mut grads, row.0, &g.sum_rows());
+                }
+                Op::MulRowBroadcast(x, row) => {
+                    let rowv = &self.nodes[row.0].value;
+                    let xv = &self.nodes[x.0].value;
+                    // dx = g * broadcast(row)
+                    let gx = g.zip_map(&broadcast_rows(rowv, g.rows()), |a, b| a * b);
+                    accumulate(&mut grads, x.0, &gx);
+                    // drow = sum_rows(g ⊙ x)
+                    accumulate(&mut grads, row.0, &g.mul(xv).sum_rows());
+                }
+                Op::Matmul(a, b) => {
+                    let ga = g.matmul_transb(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.matmul_transa(&g);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::MatmulTransB(a, b) => {
+                    // y = a b^T : dA = g * b ; dB = g^T * a
+                    let ga = g.matmul(&self.nodes[b.0].value);
+                    let gb = g.matmul_transa(&self.nodes[a.0].value);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::Scale(x, s) => accumulate(&mut grads, x.0, &g.scale(*s)),
+                Op::AddScalar(x, _) => accumulate(&mut grads, x.0, &g),
+                Op::ScaleByScalar(x, s) => {
+                    let sv = self.nodes[s.0].value.get(0, 0);
+                    accumulate(&mut grads, x.0, &g.scale(sv));
+                    let gs = g.mul(&self.nodes[x.0].value).sum();
+                    accumulate(&mut grads, s.0, &Matrix::from_vec(1, 1, vec![gs]));
+                }
+                Op::LeakyRelu(x, alpha) => {
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip_map(xv, |gi, xi| if xi >= 0.0 { gi } else { *alpha * gi });
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::Relu(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip_map(xv, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::Gelu(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip_map(xv, |gi, xi| gi * gelu_bwd(xi));
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::Sigmoid(x) => {
+                    let yv = &self.nodes[i].value;
+                    let gx = g.zip_map(yv, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::Tanh(x) => {
+                    let yv = &self.nodes[i].value;
+                    let gx = g.zip_map(yv, |gi, yi| gi * (1.0 - yi * yi));
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::SoftmaxRows(x) => {
+                    let yv = &self.nodes[i].value;
+                    let mut gx = Matrix::zeros(g.rows(), g.cols());
+                    for r in 0..g.rows() {
+                        let dot: f32 = g.row(r).iter().zip(yv.row(r).iter()).map(|(a, b)| a * b).sum();
+                        for ((o, &gi), &yi) in gx.row_mut(r).iter_mut().zip(g.row(r)).zip(yv.row(r)) {
+                            *o = yi * (gi - dot);
+                        }
+                    }
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::LayerNormRows(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let gx = layer_norm_bwd(xv, &g);
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::MeanAll(x) => {
+                    let (r, c) = self.nodes[x.0].value.shape();
+                    let gi = g.get(0, 0) / (r * c) as f32;
+                    accumulate(&mut grads, x.0, &Matrix::full(r, c, gi));
+                }
+                Op::SumAll(x) => {
+                    let (r, c) = self.nodes[x.0].value.shape();
+                    accumulate(&mut grads, x.0, &Matrix::full(r, c, g.get(0, 0)));
+                }
+                Op::MeanRows(x) => {
+                    let (r, c) = self.nodes[x.0].value.shape();
+                    let gx = broadcast_rows(&g, r).scale(1.0 / r as f32);
+                    debug_assert_eq!(gx.shape(), (r, c));
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::Transpose(x) => accumulate(&mut grads, x.0, &g.transpose()),
+                Op::HCat(a, b) => {
+                    let ca = self.nodes[a.0].value.cols();
+                    let mut ga = Matrix::zeros(g.rows(), ca);
+                    let mut gb = Matrix::zeros(g.rows(), g.cols() - ca);
+                    for r in 0..g.rows() {
+                        ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                        gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::VCat(a, b) => {
+                    let ra = self.nodes[a.0].value.rows();
+                    accumulate(&mut grads, a.0, &g.slice_rows(0, ra));
+                    accumulate(&mut grads, b.0, &g.slice_rows(ra, g.rows()));
+                }
+                Op::SliceCols(x, start, end) => {
+                    let (r, c) = self.nodes[x.0].value.shape();
+                    let mut gx = Matrix::zeros(r, c);
+                    for row in 0..r {
+                        gx.row_mut(row)[*start..*end].copy_from_slice(g.row(row));
+                    }
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::GatherRows(x, indices) => {
+                    let (r, c) = self.nodes[x.0].value.shape();
+                    let mut gx = Matrix::zeros(r, c);
+                    for (i2, &idx) in indices.iter().enumerate() {
+                        for (o, &v) in gx.row_mut(idx).iter_mut().zip(g.row(i2).iter()) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::ScatterAddRows(x, indices, _) => {
+                    // Backward of scatter-add is gather.
+                    let gx = g.gather_rows(indices);
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::Square(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip_map(xv, |gi, xi| 2.0 * gi * xi);
+                    accumulate(&mut grads, x.0, &gx);
+                }
+            }
+        }
+    }
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: &Matrix) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+fn broadcast_rows(row: &Matrix, rows: usize) -> Matrix {
+    debug_assert_eq!(row.rows(), 1);
+    let mut out = Matrix::zeros(rows, row.cols());
+    for r in 0..rows {
+        out.row_mut(r).copy_from_slice(row.row(0));
+    }
+    out
+}
+
+const LN_EPS: f32 = 1e-5;
+
+fn layer_norm_fwd(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    let cols = x.cols() as f32;
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let mean: f32 = row.iter().sum::<f32>() / cols;
+        let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols;
+        let inv = 1.0 / (var + LN_EPS).sqrt();
+        for v in row.iter_mut() {
+            *v = (*v - mean) * inv;
+        }
+    }
+    out
+}
+
+fn layer_norm_bwd(x: &Matrix, g: &Matrix) -> Matrix {
+    let cols = x.cols() as f32;
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let xr = x.row(r);
+        let gr = g.row(r);
+        let mean: f32 = xr.iter().sum::<f32>() / cols;
+        let var: f32 = xr.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols;
+        let inv = 1.0 / (var + LN_EPS).sqrt();
+        let xhat: Vec<f32> = xr.iter().map(|v| (v - mean) * inv).collect();
+        let g_mean: f32 = gr.iter().sum::<f32>() / cols;
+        let gx_mean: f32 = gr.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum::<f32>() / cols;
+        for ((o, &gi), &xh) in out.row_mut(r).iter_mut().zip(gr).zip(xhat.iter()) {
+            *o = inv * (gi - g_mean - xh * gx_mean);
+        }
+    }
+    out
+}
+
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occu_tensor::{assert_close, SeededRng};
+
+    #[test]
+    fn forward_values() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = tape.constant(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let s = tape.add(a, b);
+        assert_eq!(tape.value(s).data(), &[4.0, 6.0]);
+        let p = tape.mul(a, b);
+        assert_eq!(tape.value(p).data(), &[3.0, 8.0]);
+        let m = tape.mean_all(p);
+        assert_eq!(tape.value(m).get(0, 0), 5.5);
+    }
+
+    #[test]
+    fn simple_gradient_linear() {
+        // y = mean((w*x)^2); dy/dw known analytically for scalar case.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 1, vec![3.0]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let x = tape.constant(Matrix::from_vec(1, 1, vec![2.0]));
+        let y = tape.mul(wv, x);
+        let sq = tape.square(y);
+        let loss = tape.mean_all(sq);
+        assert_eq!(tape.value(loss).get(0, 0), 36.0);
+        tape.backward(loss, &mut store);
+        // d/dw (w*x)^2 = 2*w*x^2 = 2*3*4 = 24
+        assert!((store.grad(w).get(0, 0) - 24.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_gradients_match_finite_difference() {
+        let mut rng = SeededRng::new(1);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::randn(3, 4, 0.5, &mut rng));
+        let x = Matrix::randn(2, 3, 0.5, &mut rng);
+        let run = |store: &ParamStore| {
+            let mut tape = Tape::new();
+            let wv = tape.param(store, w);
+            let xv = tape.constant(x.clone());
+            let y = tape.matmul(xv, wv);
+            let sq = tape.square(y);
+            let loss = tape.mean_all(sq);
+            (tape, loss)
+        };
+        let (tape, loss) = run(&store);
+        tape.backward(loss, &mut store);
+        let analytic = store.grad(w).clone();
+
+        // central finite differences
+        let h = 1e-2_f32;
+        let mut fd = Matrix::zeros(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                let orig = store.value(w).get(r, c);
+                store.value_mut(w).set(r, c, orig + h);
+                let (t1, l1) = run(&store);
+                let up = t1.value(l1).get(0, 0);
+                store.value_mut(w).set(r, c, orig - h);
+                let (t2, l2) = run(&store);
+                let dn = t2.value(l2).get(0, 0);
+                store.value_mut(w).set(r, c, orig);
+                fd.set(r, c, (up - dn) / (2.0 * h));
+            }
+        }
+        assert_close(&analytic, &fd, 2e-2);
+    }
+
+    #[test]
+    fn gather_scatter_inverse_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        // Gather rows [2, 0, 2] then scatter back into 3 rows at [0, 1, 1].
+        let gathered = tape.gather_rows(wv, &[2, 0, 2]);
+        let scattered = tape.scatter_add_rows(gathered, &[0, 1, 1], 3);
+        // scattered row0 = w[2], row1 = w[0]+w[2], row2 = 0
+        assert_eq!(tape.value(scattered).row(0), &[5.0, 6.0]);
+        assert_eq!(tape.value(scattered).row(1), &[6.0, 8.0]);
+        assert_eq!(tape.value(scattered).row(2), &[0.0, 0.0]);
+        let loss = tape.sum_all(scattered);
+        tape.backward(loss, &mut store);
+        // d(loss)/dw: w[2] appears twice, w[0] once, w[1] never.
+        assert_eq!(store.grad(w).row(0), &[1.0, 1.0]);
+        assert_eq!(store.grad(w).row(1), &[0.0, 0.0]);
+        assert_eq!(store.grad(w).row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn layer_norm_rows_normalizes() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_vec(2, 4, vec![1., 2., 3., 4., 10., 10., 10., 10.]));
+        let y = tape.layer_norm_rows(x);
+        let v = tape.value(y);
+        // Row 0: mean 0, unit variance (up to eps).
+        let mean: f32 = v.row(0).iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        // Constant row maps to ~0.
+        assert!(v.row(1).iter().all(|x| x.abs() < 1e-2));
+    }
+
+    #[test]
+    fn softmax_backward_is_zero_for_uniform_grad() {
+        // For g constant across a row, softmax gradient is exactly 0
+        // (shift invariance).
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.9]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let sm = tape.softmax_rows(wv);
+        let loss = tape.sum_all(sm); // sum of softmax == 1 always
+        tape.backward(loss, &mut store);
+        for &g in store.grad(w).data() {
+            assert!(g.abs() < 1e-6, "grad {g} should vanish");
+        }
+    }
+
+    #[test]
+    fn hcat_vcat_slice_gradients_route_correctly() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::ones(2, 2));
+        let b = store.register("b", Matrix::ones(2, 3));
+        let mut tape = Tape::new();
+        let av = tape.param(&store, a);
+        let bv = tape.param(&store, b);
+        let h = tape.hcat(av, bv); // 2x5
+        let sl = tape.slice_cols(h, 1, 4); // touches last col of a, first 2 of b
+        let loss = tape.sum_all(sl);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(a).data(), &[0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(store.grad(b).data(), &[1.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Matrix::from_vec(1, 2, vec![1.0, 3.0]));
+        let mut tape = Tape::new();
+        let pv = tape.param(&store, p);
+        let t = tape.constant(Matrix::from_vec(1, 2, vec![0.0, 1.0]));
+        let loss = tape.mse_loss(pv, t);
+        // ((1-0)^2 + (3-1)^2)/2 = 2.5
+        assert!((tape.value(loss).get(0, 0) - 2.5).abs() < 1e-6);
+        tape.backward(loss, &mut store);
+        // d/dp mean((p-t)^2) = 2(p-t)/n
+        assert_close(store.grad(p), &Matrix::from_vec(1, 2, vec![1.0, 2.0]), 1e-5);
+    }
+
+    #[test]
+    fn scale_by_scalar_gradients() {
+        let mut store = ParamStore::new();
+        let s = store.register("s", Matrix::from_vec(1, 1, vec![2.0]));
+        let mut tape = Tape::new();
+        let sv = tape.param(&store, s);
+        let x = tape.constant(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let y = tape.scale_by_scalar(x, sv);
+        assert_eq!(tape.value(y).data(), &[6.0, 8.0]);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut store);
+        // d/ds sum(s*x) = sum(x) = 7
+        assert_eq!(store.grad(s).get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // GELU(0)=0, GELU is odd-ish around 0, GELU(large) ~ x.
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_vec(1, 3, vec![0.0, 5.0, -5.0]));
+        let y = tape.gelu(x);
+        let v = tape.value(y);
+        assert!(v.get(0, 0).abs() < 1e-6);
+        assert!((v.get(0, 1) - 5.0).abs() < 1e-3);
+        assert!(v.get(0, 2).abs() < 1e-3);
+    }
+}

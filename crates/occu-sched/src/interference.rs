@@ -1,0 +1,131 @@
+//! The co-location interference model calibrated to Fig. 7.
+
+use crate::cluster::{simulate, GpuSpec};
+use crate::job::Job;
+use crate::policy::PackingPolicy;
+use occu_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// JCT slowdown factor for a job whose GPU carries `cumulative_occ`
+/// total (true) occupancy.
+///
+/// Shape from Fig. 7: co-location always costs ~10%, cost grows
+/// roughly linearly to ~60% as cumulative occupancy approaches 100%,
+/// and "starts to rise dramatically, especially when the cumulative
+/// occupancy exceeds 100%".
+pub fn slowdown(cumulative_occ: f64) -> f64 {
+    debug_assert!(cumulative_occ >= 0.0);
+    if cumulative_occ <= 0.0 {
+        return 1.0;
+    }
+    let base = 1.0 + 0.10 + 0.50 * cumulative_occ.min(1.0);
+    let over = (cumulative_occ - 1.0).max(0.0);
+    base + 3.0 * over.powf(1.5)
+}
+
+/// Slowdown experienced by one job given its co-residents: the
+/// argument is the *sum over all jobs on the GPU* of true occupancy.
+/// Solo jobs (cumulative equal to their own occupancy, no residents)
+/// take no penalty.
+pub fn colocated_slowdown(own_occ: f64, others_occ: f64) -> f64 {
+    if others_occ <= 0.0 {
+        1.0
+    } else {
+        slowdown(own_occ + others_occ)
+    }
+}
+
+/// One point of the Fig. 7 scatter: a random co-location pair.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct InterferencePoint {
+    /// Sum of the pair's true occupancies.
+    pub cumulative_occupancy: f64,
+    /// Measured JCT of the first job co-located over its solo JCT.
+    pub jct_slowdown: f64,
+}
+
+/// §VI-B's preliminary study: run random co-location pairs through
+/// the simulator and record (cumulative occupancy, JCT slowdown).
+/// The paper uses 200 combinations; pass `n_pairs` accordingly.
+pub fn jct_interference_study(pool: &[Job], n_pairs: usize, seed: u64) -> Vec<InterferencePoint> {
+    assert!(pool.len() >= 2, "need at least two jobs to co-locate");
+    let mut rng = SeededRng::new(seed);
+    let gpu = GpuSpec { memory_bytes: u64::MAX, ..GpuSpec::p40() };
+    let mut points = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let i = rng.index(pool.len());
+        let mut j = rng.index(pool.len());
+        if j == i {
+            j = (j + 1) % pool.len();
+        }
+        let mut a = pool[i].clone();
+        let mut b = pool[j].clone();
+        a.id = 0;
+        b.id = 1;
+        // Give both jobs equal work so they overlap for the whole run
+        // (the study measures steady-state co-location interference).
+        let work = a.work_us.max(b.work_us);
+        a.work_us = work;
+        b.work_us = work;
+        // Force co-location on a single GPU with an always-admit
+        // policy (the study measures interference, not packing).
+        let res = simulate(&[a.clone(), b], &[gpu.clone()], PackingPolicy::Unbounded);
+        let jct = res.jcts[0];
+        points.push(InterferencePoint {
+            cumulative_occupancy: pool[i].true_occupancy + pool[j].true_occupancy,
+            jct_slowdown: jct / work,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_has_no_penalty() {
+        assert_eq!(colocated_slowdown(0.5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn slowdown_shape_matches_fig7() {
+        // ~10% floor at tiny cumulative occupancy.
+        assert!(slowdown(0.05) >= 1.1 && slowdown(0.05) < 1.2);
+        // ~60% at 100% cumulative.
+        assert!((slowdown(1.0) - 1.6).abs() < 1e-9);
+        // Dramatic beyond 100%.
+        assert!(slowdown(1.5) > 2.5);
+        assert!(slowdown(2.0) > 4.0);
+    }
+
+    #[test]
+    fn slowdown_is_monotone() {
+        let mut prev = 0.0;
+        for i in 0..40 {
+            let x = i as f64 * 0.05;
+            let s = slowdown(x);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn interference_study_points_in_band() {
+        let pool: Vec<Job> = (0..6)
+            .map(|i| Job::exact(i, format!("j{i}"), 0.15 + 0.1 * i as f64, 0.9, 1e6, 1 << 30))
+            .collect();
+        let pts = jct_interference_study(&pool, 50, 3);
+        assert_eq!(pts.len(), 50);
+        for p in &pts {
+            assert!(p.jct_slowdown >= 1.0, "co-location never speeds up: {}", p.jct_slowdown);
+            assert!(p.jct_slowdown < 8.0, "bounded: {}", p.jct_slowdown);
+        }
+        // Positive correlation: split by median occupancy.
+        let mut sorted = pts.clone();
+        sorted.sort_by(|a, b| a.cumulative_occupancy.total_cmp(&b.cumulative_occupancy));
+        let lo: f64 = sorted[..25].iter().map(|p| p.jct_slowdown).sum::<f64>() / 25.0;
+        let hi: f64 = sorted[25..].iter().map(|p| p.jct_slowdown).sum::<f64>() / 25.0;
+        assert!(hi > lo, "slowdown should rise with occupancy: {lo} vs {hi}");
+    }
+}

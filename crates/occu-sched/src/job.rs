@@ -1,0 +1,95 @@
+//! The job model consumed by the scheduler.
+
+use serde::{Deserialize, Serialize};
+
+/// One schedulable DL inference job.
+///
+/// The scheduler's admission decisions see only `predicted_occupancy`
+/// (DNN-occu's output) — the simulation's interference acts on
+/// `true_occupancy`, so prediction error translates directly into
+/// over- or under-packing, exactly the mechanism the paper evaluates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable id.
+    pub id: usize,
+    /// Model/config label for reports.
+    pub name: String,
+    /// Ground-truth duration-weighted occupancy in `[0, 1]`.
+    pub true_occupancy: f64,
+    /// The occupancy the scheduler believes (predictor output).
+    pub predicted_occupancy: f64,
+    /// NVML utilization of the job running alone.
+    pub nvml_utilization: f64,
+    /// Total solo execution time (work) in microseconds.
+    pub work_us: f64,
+    /// Device-memory footprint in bytes.
+    pub memory_bytes: u64,
+    /// Submission time in microseconds (0 = present at simulation
+    /// start; later values model an online arrival trace).
+    #[serde(default)]
+    pub arrival_us: f64,
+}
+
+impl Job {
+    /// Convenience constructor with perfect prediction.
+    pub fn exact(id: usize, name: impl Into<String>, occupancy: f64, nvml: f64, work_us: f64, memory_bytes: u64) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            true_occupancy: occupancy,
+            predicted_occupancy: occupancy,
+            nvml_utilization: nvml,
+            work_us,
+            memory_bytes,
+            arrival_us: 0.0,
+        }
+    }
+
+    /// Builder-style arrival time setter.
+    pub fn arriving_at(mut self, arrival_us: f64) -> Self {
+        self.arrival_us = arrival_us;
+        self
+    }
+
+    /// Validates the invariants the simulator assumes.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.true_occupancy) || !(0.0..=1.0).contains(&self.predicted_occupancy) {
+            return Err(format!("job {}: occupancy out of [0,1]", self.id));
+        }
+        if !(0.0..=1.0).contains(&self.nvml_utilization) {
+            return Err(format!("job {}: nvml out of [0,1]", self.id));
+        }
+        if !self.work_us.is_finite() || self.work_us <= 0.0 {
+            return Err(format!("job {}: non-positive work", self.id));
+        }
+        if !self.arrival_us.is_finite() || self.arrival_us < 0.0 {
+            return Err(format!("job {}: invalid arrival time", self.id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sets_both_occupancies() {
+        let j = Job::exact(1, "r50", 0.45, 0.92, 1e6, 4 << 30);
+        assert_eq!(j.true_occupancy, j.predicted_occupancy);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_jobs() {
+        let mut j = Job::exact(1, "x", 0.5, 0.9, 1e6, 0);
+        j.true_occupancy = 1.5;
+        assert!(j.validate().is_err());
+        let mut j = Job::exact(1, "x", 0.5, 0.9, 1e6, 0);
+        j.work_us = 0.0;
+        assert!(j.validate().is_err());
+        let mut j = Job::exact(1, "x", 0.5, 0.9, 1e6, 0);
+        j.nvml_utilization = -0.1;
+        assert!(j.validate().is_err());
+    }
+}

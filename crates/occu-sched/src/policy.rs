@@ -1,0 +1,115 @@
+//! Packing policies (§VI-B): the admission rule each scheduler uses.
+
+use crate::job::Job;
+use serde::{Deserialize, Serialize};
+
+/// The three §VI-B policies plus an experiment-only unbounded mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PackingPolicy {
+    /// Co-location keyed on predicted GPU occupancy: admit while the
+    /// cumulative *predicted* occupancy stays at most 100%
+    /// ("occu-packing", the paper's approach).
+    OccuPacking,
+    /// Co-location keyed on NVML utilization ≤ 100%
+    /// ("nvml-util-packing").
+    NvmlUtilPacking,
+    /// Co-location disabled: one job per GPU ("slot-packing").
+    SlotPacking,
+    /// Always admit (used by the interference study to force
+    /// co-location).
+    Unbounded,
+}
+
+impl PackingPolicy {
+    /// Paper display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PackingPolicy::OccuPacking => "occu-packing",
+            PackingPolicy::NvmlUtilPacking => "nvml-util-packing",
+            PackingPolicy::SlotPacking => "slot-packing",
+            PackingPolicy::Unbounded => "unbounded",
+        }
+    }
+
+    /// The Table VI comparison set.
+    pub fn table6() -> [PackingPolicy; 3] {
+        [PackingPolicy::OccuPacking, PackingPolicy::NvmlUtilPacking, PackingPolicy::SlotPacking]
+    }
+
+    /// Whether `candidate` may join `resident` jobs on a GPU with
+    /// `gpu_memory` bytes. All policies enforce the memory cap (an
+    /// OOM would force resubmission regardless of strategy).
+    pub fn admits(self, resident: &[Job], candidate: &Job, gpu_memory: u64) -> bool {
+        let mem: u64 = resident.iter().map(|j| j.memory_bytes).sum();
+        if mem.saturating_add(candidate.memory_bytes) > gpu_memory {
+            return false;
+        }
+        match self {
+            PackingPolicy::SlotPacking => resident.is_empty(),
+            PackingPolicy::NvmlUtilPacking => {
+                let util: f64 = resident.iter().map(|j| j.nvml_utilization).sum();
+                util + candidate.nvml_utilization <= 1.0
+            }
+            PackingPolicy::OccuPacking => {
+                let occ: f64 = resident.iter().map(|j| j.predicted_occupancy).sum();
+                occ + candidate.predicted_occupancy <= 1.0
+            }
+            PackingPolicy::Unbounded => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(occ: f64, nvml: f64, mem: u64) -> Job {
+        Job::exact(0, "j", occ, nvml, 1e6, mem)
+    }
+
+    #[test]
+    fn slot_packing_rejects_second_job() {
+        let p = PackingPolicy::SlotPacking;
+        let a = job(0.2, 0.9, 1 << 30);
+        assert!(p.admits(&[], &a, 10 << 30));
+        assert!(!p.admits(&[a.clone()], &a, 10 << 30));
+    }
+
+    #[test]
+    fn nvml_packing_saturates_with_one_typical_job() {
+        // Typical DL jobs report ~0.9 NVML utilization: a second one
+        // never fits, which is exactly why the metric packs poorly.
+        let p = PackingPolicy::NvmlUtilPacking;
+        let a = job(0.3, 0.9, 1 << 30);
+        assert!(p.admits(&[], &a, 10 << 30));
+        assert!(!p.admits(&[a.clone()], &a, 10 << 30));
+    }
+
+    #[test]
+    fn occu_packing_colocates_low_occupancy_jobs() {
+        let p = PackingPolicy::OccuPacking;
+        let a = job(0.3, 0.9, 1 << 30);
+        assert!(p.admits(&[a.clone()], &a, 10 << 30), "0.3 + 0.3 <= 1.0");
+        assert!(p.admits(&[a.clone(), a.clone()], &a, 10 << 30), "0.9 <= 1.0");
+        assert!(!p.admits(&[a.clone(), a.clone(), a.clone()], &a, 10 << 30), "1.2 > 1.0");
+    }
+
+    #[test]
+    fn occu_packing_uses_predicted_not_true() {
+        let p = PackingPolicy::OccuPacking;
+        let mut optimist = job(0.9, 0.9, 1 << 30);
+        optimist.predicted_occupancy = 0.1; // badly underpredicted
+        let resident = job(0.5, 0.9, 1 << 30);
+        // Admission trusts the (wrong) prediction.
+        assert!(p.admits(&[resident], &optimist, 10 << 30));
+    }
+
+    #[test]
+    fn memory_cap_binds_all_policies() {
+        for p in PackingPolicy::table6() {
+            let big = job(0.1, 0.1, 8 << 30);
+            assert!(!p.admits(&[big.clone()], &big, 12 << 30), "{}", p.name());
+            assert!(p.admits(&[], &big, 12 << 30), "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Spatial multitasking: SM-partitioned co-execution.
+//!
+//! The paper's other future-work application (§VI: "GPU kernel
+//! scheduling"; cf. its Themis [34] discussion of spatial
+//! multitasking GPUs). Instead of time-sharing whole GPUs, spatial
+//! multitasking splits the SMs between co-resident jobs — and the
+//! right split is exactly an occupancy question: a job that can only
+//! fill 30% of the machine's warp slots loses nothing when confined
+//! to a third of the SMs.
+//!
+//! The model: a job with solo achieved occupancy `occ` (fraction of
+//! the whole GPU's warp slots it keeps busy) confined to an SM
+//! fraction `f` runs at relative rate `min(1, f / occ)`, degraded by
+//! a mild shared-bandwidth factor per co-runner. This reproduces the
+//! qualitative behaviour of spatial-multitasking studies: partitioning
+//! is near-free for low-occupancy jobs and expensive for saturating
+//! ones.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-co-runner shared-bandwidth penalty (L2/DRAM contention).
+const BW_PENALTY_PER_CORUNNER: f64 = 0.06;
+
+/// One job's allocation and resulting execution rate under a spatial
+/// partition.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SpatialShare {
+    /// Fraction of SMs assigned, in `(0, 1]`.
+    pub sm_fraction: f64,
+    /// Relative execution rate vs running alone on the whole GPU,
+    /// in `(0, 1]`.
+    pub rate: f64,
+}
+
+/// Occupancy-proportional SM split: each job receives SMs in
+/// proportion to its predicted occupancy (jobs that can use more of
+/// the machine get more of it). Zero-occupancy jobs receive an equal
+/// floor share.
+pub fn proportional_shares(occupancies: &[f64]) -> Vec<f64> {
+    assert!(!occupancies.is_empty(), "proportional_shares: no jobs");
+    let total: f64 = occupancies.iter().map(|o| o.max(1e-6)).sum();
+    occupancies.iter().map(|o| o.max(1e-6) / total).collect()
+}
+
+/// Execution rates of co-resident jobs under the given SM shares.
+///
+/// # Panics
+/// If shares don't partition the GPU (sum != 1 within tolerance) or
+/// lengths mismatch.
+pub fn spatial_rates(occupancies: &[f64], shares: &[f64]) -> Vec<SpatialShare> {
+    assert_eq!(occupancies.len(), shares.len(), "spatial_rates: length mismatch");
+    let sum: f64 = shares.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-6, "spatial_rates: shares must partition the GPU (sum {sum})");
+    let k = occupancies.len();
+    // Shared-resource penalty: a per-co-runner bandwidth term plus the
+    // Fig. 7-style steep term once the jobs' combined occupancy
+    // exceeds the machine (SM partitioning isolates compute, not L2
+    // and DRAM).
+    let total_occ: f64 = occupancies.iter().sum();
+    let penalty = 1.0
+        + BW_PENALTY_PER_CORUNNER * (k.saturating_sub(1)) as f64
+        + 1.2 * (total_occ - 1.0).max(0.0).powf(1.5);
+    occupancies
+        .iter()
+        .zip(shares.iter())
+        .map(|(&occ, &f)| {
+            assert!(f > 0.0, "every resident job needs a positive share");
+            let compute = (f / occ.max(1e-6)).min(1.0);
+            SpatialShare { sm_fraction: f, rate: compute / penalty }
+        })
+        .collect()
+}
+
+/// Aggregate throughput (sum of rates) of a spatial partition.
+pub fn spatial_throughput(occupancies: &[f64], shares: &[f64]) -> f64 {
+    spatial_rates(occupancies, shares).iter().map(|s| s.rate).sum()
+}
+
+/// Aggregate throughput of time-slicing the same jobs on the whole
+/// GPU (each runs at rate `1/k`, no partition or contention losses).
+pub fn temporal_throughput(num_jobs: usize) -> f64 {
+    assert!(num_jobs > 0);
+    1.0
+}
+
+/// Decides, from predicted occupancies, whether spatial co-execution
+/// beats time-slicing for this job set — the scheduling decision
+/// DNN-occu's predictions enable without profiling.
+pub fn spatial_beats_temporal(occupancies: &[f64]) -> bool {
+    let shares = proportional_shares(occupancies);
+    spatial_throughput(occupancies, &shares) > temporal_throughput(occupancies.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_shares_partition() {
+        let s = proportional_shares(&[0.2, 0.6]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(s[1] > s[0], "higher occupancy earns more SMs");
+        assert!((s[1] / s[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn low_occupancy_jobs_run_near_full_rate_when_partitioned() {
+        // Two 25%-occupancy jobs split 50/50: each partition (50% of
+        // SMs) exceeds what either job can fill, so both run at ~1.
+        let rates = spatial_rates(&[0.25, 0.25], &[0.5, 0.5]);
+        for r in &rates {
+            assert!(r.rate > 0.9, "rate {}", r.rate);
+        }
+        let thr = spatial_throughput(&[0.25, 0.25], &[0.5, 0.5]);
+        assert!(thr > 1.8, "near-2x aggregate throughput: {thr}");
+    }
+
+    #[test]
+    fn saturating_jobs_prefer_temporal_sharing() {
+        // Two 90%-occupancy jobs: halving the machine halves each
+        // job's rate, and bandwidth contention makes it worse than
+        // time-slicing.
+        assert!(!spatial_beats_temporal(&[0.9, 0.9]));
+        assert!(spatial_beats_temporal(&[0.25, 0.25]));
+    }
+
+    #[test]
+    fn crossover_exists_between_regimes() {
+        // Somewhere between "both tiny" and "both saturating" the
+        // decision flips — the knob occupancy prediction turns.
+        let mut last = true;
+        let mut flipped = false;
+        for i in 1..=9 {
+            let occ = i as f64 / 10.0;
+            let now = spatial_beats_temporal(&[occ, occ]);
+            if now != last {
+                flipped = true;
+            }
+            last = now;
+        }
+        assert!(flipped, "decision must flip across the occupancy range");
+    }
+
+    #[test]
+    fn rates_bounded_and_shares_checked() {
+        let rates = spatial_rates(&[0.5, 0.1, 0.05], &proportional_shares(&[0.5, 0.1, 0.05]));
+        for r in &rates {
+            assert!(r.rate > 0.0 && r.rate <= 1.0);
+            assert!(r.sm_fraction > 0.0 && r.sm_fraction <= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the GPU")]
+    fn invalid_shares_rejected() {
+        let _ = spatial_rates(&[0.5, 0.5], &[0.3, 0.3]);
+    }
+
+    #[test]
+    fn asymmetric_split_helps_mixed_pairs() {
+        // A 60%-occ job and a 15%-occ job: proportional shares beat an
+        // even split on aggregate throughput.
+        let occ = [0.6, 0.15];
+        let prop = spatial_throughput(&occ, &proportional_shares(&occ));
+        let even = spatial_throughput(&occ, &[0.5, 0.5]);
+        assert!(prop > even, "proportional {prop} vs even {even}");
+    }
+}

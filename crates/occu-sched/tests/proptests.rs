@@ -1,0 +1,82 @@
+//! Property tests on the scheduler: conservation, policy dominance,
+//! and interference-model invariants.
+
+use occu_sched::{simulate, slowdown, GpuSpec, Job, PackingPolicy};
+use proptest::prelude::*;
+
+fn arb_job(id: usize) -> impl Strategy<Value = Job> {
+    (0.05f64..0.95, 0.3f64..1.0, 1e5f64..5e6, 1u64..8)
+        .prop_map(move |(occ, nvml, work, mem_gib)| {
+            Job::exact(id, format!("j{id}"), occ, nvml, work, mem_gib << 30)
+        })
+}
+
+fn arb_pool(max: usize) -> impl Strategy<Value = Vec<Job>> {
+    (2..=max).prop_flat_map(|n| {
+        (0..n).map(arb_job).collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_job_finishes(pool in arb_pool(10), gpus in 1usize..5) {
+        for policy in PackingPolicy::table6() {
+            let res = simulate(&pool, &GpuSpec::cluster(gpus), policy);
+            prop_assert!(res.jcts.iter().all(|x| x.is_finite()), "{}", policy.name());
+            prop_assert!(res.makespan_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn makespan_at_least_longest_job(pool in arb_pool(8)) {
+        let longest = pool.iter().map(|j| j.work_us).fold(0.0, f64::max);
+        for policy in PackingPolicy::table6() {
+            let res = simulate(&pool, &GpuSpec::cluster(2), policy);
+            prop_assert!(res.makespan_us + 1e-3 >= longest);
+        }
+    }
+
+    #[test]
+    fn slot_packing_makespan_bounded_by_serial_sum(pool in arb_pool(8), gpus in 1usize..4) {
+        let serial: f64 = pool.iter().map(|j| j.work_us).sum();
+        let res = simulate(&pool, &GpuSpec::cluster(gpus), PackingPolicy::SlotPacking);
+        // No interference under slot packing, so makespan never
+        // exceeds running everything serially on one GPU.
+        prop_assert!(res.makespan_us <= serial + 1e-3);
+    }
+
+    #[test]
+    fn more_gpus_never_hurt_slot_packing(pool in arb_pool(8)) {
+        let one = simulate(&pool, &GpuSpec::cluster(1), PackingPolicy::SlotPacking);
+        let four = simulate(&pool, &GpuSpec::cluster(4), PackingPolicy::SlotPacking);
+        prop_assert!(four.makespan_us <= one.makespan_us + 1e-3);
+    }
+
+    #[test]
+    fn utilization_in_unit_interval(pool in arb_pool(8)) {
+        for policy in PackingPolicy::table6() {
+            let res = simulate(&pool, &GpuSpec::cluster(3), policy);
+            prop_assert!((0.0..=1.0).contains(&res.avg_nvml_utilization));
+        }
+    }
+
+    #[test]
+    fn jcts_are_ordered_within_work_and_policy(pool in arb_pool(6)) {
+        // A job's JCT is at least its own work (rates never exceed 1).
+        for policy in PackingPolicy::table6() {
+            let res = simulate(&pool, &GpuSpec::cluster(2), policy);
+            for j in &pool {
+                prop_assert!(res.jcts[j.id] + 1e-3 >= j.work_us, "{}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_monotone_nonneg(a in 0.0f64..3.0, b in 0.0f64..3.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(slowdown(lo) <= slowdown(hi) + 1e-12);
+        prop_assert!(slowdown(lo) >= 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # occu-tensor
+//!
+//! Dense, row-major `f32` matrix kernels used by the rest of the
+//! DNN-occu reproduction. The crate deliberately exposes a small,
+//! allocation-conscious surface:
+//!
+//! * [`Matrix`] — the only data type; a 2-D dense array.
+//! * Blocked, cache-friendly matrix multiplication with a
+//!   [rayon](https://docs.rs/rayon)-parallel outer loop
+//!   ([`Matrix::matmul`], [`Matrix::matmul_transb`],
+//!   [`Matrix::matmul_transa`]).
+//! * Elementwise and row-wise primitives (softmax, layer-norm
+//!   statistics, reductions) needed by the neural-network layers in
+//!   `occu-nn`.
+//!
+//! Everything is pure CPU code; determinism is preserved by using
+//! explicitly seeded RNGs ([`Matrix::randn`]) so that experiments in
+//! the paper reproduction are repeatable bit-for-bit on one machine.
+
+mod matrix;
+mod ops;
+mod random;
+
+pub use matrix::Matrix;
+pub use random::{xavier_uniform, he_normal, SeededRng};
+
+/// Numerical tolerance used across the workspace for float comparisons
+/// in tests and gradient checks.
+pub const EPS: f32 = 1e-5;
+
+/// Asserts that two matrices are elementwise close within `tol`.
+///
+/// Intended for tests; panics with a descriptive message on mismatch.
+pub fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch: {:?} vs {:?}", a.shape(), b.shape());
+    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        let diff = (x - y).abs();
+        let scale = 1.0_f32.max(x.abs()).max(y.abs());
+        assert!(
+            diff <= tol * scale,
+            "element {} differs: {} vs {} (|diff|={}, tol={})",
+            i, x, y, diff, tol
+        );
+    }
+}

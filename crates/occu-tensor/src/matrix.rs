@@ -1,0 +1,322 @@
+//! The [`Matrix`] type: a dense, row-major 2-D array of `f32`.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f32`.
+///
+/// `Matrix` is the workhorse of the whole reproduction: neural-network
+/// activations, weights, gradients, and feature tables are all plain
+/// matrices. Element `(r, c)` lives at index `r * cols + c`.
+///
+/// Shapes are checked at call boundaries with `assert!` — in an HPC
+/// setting a shape mismatch is a programming error, not a recoverable
+/// condition, so panicking with a precise message is the right
+/// behaviour.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {}x{}",
+            data.len(), rows, cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(r, c)` at every coordinate.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a square identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Creates a 1 x n row vector from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Creates an n x 1 column vector from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Stacks row slices (all the same length) into a matrix.
+    ///
+    /// # Panics
+    /// If rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: need at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "from_rows: row {} has length {}, expected {}", i, r.len(), cols);
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major storage.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable slice view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutable slice view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Copies row `r` into a fresh 1 x cols matrix.
+    pub fn row_matrix(&self, r: usize) -> Matrix {
+        Matrix::from_vec(1, self.cols, self.row(r).to_vec())
+    }
+
+    /// Extracts column `c` as a plain vector.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Returns a new matrix containing rows `[start, end)`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "slice_rows: {}..{} out of {} rows", start, end, self.rows);
+        Matrix::from_vec(end - start, self.cols, self.data[start * self.cols..end * self.cols].to_vec())
+    }
+
+    /// Gathers the given rows (with repetition allowed) into a new matrix.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather_rows: index {} out of {} rows", idx, self.rows);
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Vertically concatenates `self` above `other`.
+    ///
+    /// # Panics
+    /// If column counts differ.
+    pub fn vcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vcat: column mismatch {} vs {}", self.cols, other.cols);
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+    }
+
+    /// Horizontally concatenates `self` to the left of `other`.
+    ///
+    /// # Panics
+    /// If row counts differ.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat: row mismatch {} vs {}", self.rows, other.rows);
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        // Blocked transpose for cache friendliness on larger matrices.
+        const B: usize = 32;
+        for rb in (0..self.rows).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                for r in rb..(rb + B).min(self.rows) {
+                    for c in cb..(cb + B).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two equally-shaped matrices.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(m.col(2), vec![2.0, 5.0]);
+        assert_eq!(Matrix::eye(3).get(2, 2), 1.0);
+        assert_eq!(Matrix::eye(3).get(0, 2), 0.0);
+        assert_eq!(Matrix::full(2, 2, 7.0).data(), &[7.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(5, 7, |r, c| (r * 100 + c) as f32);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (7, 5));
+        assert_eq!(t.get(3, 4), m.get(4, 3));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        let b = Matrix::ones(1, 2);
+        let v = a.vcat(&b);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[1.0, 1.0]);
+        let h = a.hcat(&Matrix::full(2, 3, 9.0));
+        assert_eq!(h.shape(), (2, 5));
+        assert_eq!(h.get(0, 4), 9.0);
+        assert_eq!(v.slice_rows(1, 3).rows(), 2);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let m = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let g = m.gather_rows(&[3, 0, 3]);
+        assert_eq!(g.col(0), vec![3.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+        assert_eq!(a.map(|x| x * 2.0).get(1, 1), 6.0);
+        let b = Matrix::ones(2, 2);
+        assert_eq!(a.zip_map(&b, |x, y| x + y).get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,425 @@
+//! Arithmetic, reductions, and the blocked parallel matmul.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Row count above which matmul fans out across the rayon pool.
+/// Below this the parallel dispatch overhead dominates.
+const PAR_THRESHOLD_ROWS: usize = 64;
+
+impl Matrix {
+    /// Elementwise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient (`other` must be zero-free; debug builds
+    /// assert this).
+    pub fn div(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| {
+            debug_assert!(b != 0.0, "div: zero divisor");
+            a / b
+        })
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Matrix {
+        assert!(lo <= hi, "clamp: lo > hi");
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a += *b;
+        }
+    }
+
+    /// In-place `self += s * other` (axpy).
+    pub fn add_scaled_assign(&mut self, other: &Matrix, s: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
+        for (a, b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a += s * *b;
+        }
+    }
+
+    /// Adds a 1 x cols row vector to every row (broadcast add).
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows(), 1, "add_row_broadcast: expected row vector");
+        assert_eq!(row.cols(), self.cols(), "add_row_broadcast: width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for (a, b) in out.row_mut(r).iter_mut().zip(row.row(0).iter()) {
+                *a += *b;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams both the `B`
+    /// row and the output row, which auto-vectorizes well; rows of the
+    /// output are computed independently in parallel across the rayon
+    /// pool once the matrix is large enough to amortize the fork.
+    ///
+    /// # Panics
+    /// If `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: inner dimensions differ ({}x{} * {}x{})",
+            self.rows(), self.cols(), other.rows(), other.cols()
+        );
+        let (m, k) = self.shape();
+        let n = other.cols();
+        let mut out = Matrix::zeros(m, n);
+
+        let body = |r: usize, out_row: &mut [f32]| {
+            let a_row = self.row(r);
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data()[kk * n..kk * n + n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        };
+
+        if m >= PAR_THRESHOLD_ROWS && k * n >= 4096 {
+            out.data_mut()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, out_row)| body(r, out_row));
+        } else {
+            for r in 0..m {
+                let start = r * n;
+                // Split borrow: take the row slice out of `out` manually.
+                let (_, rest) = out.data_mut().split_at_mut(start);
+                body(r, &mut rest[..n]);
+            }
+        }
+        out
+    }
+
+    /// Computes `self * other^T` without materializing the transpose.
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transb: inner dimensions differ ({}x{} * ({}x{})^T)",
+            self.rows(), self.cols(), other.rows(), other.cols()
+        );
+        let m = self.rows();
+        let n = other.rows();
+        let mut out = Matrix::zeros(m, n);
+        let compute_row = |r: usize, out_row: &mut [f32]| {
+            let a_row = self.row(r);
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(c);
+                *o = dot(a_row, b_row);
+            }
+        };
+        if m >= PAR_THRESHOLD_ROWS && self.cols() * n >= 4096 {
+            out.data_mut()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, row)| compute_row(r, row));
+        } else {
+            for r in 0..m {
+                let start = r * n;
+                let (_, rest) = out.data_mut().split_at_mut(start);
+                compute_row(r, &mut rest[..n]);
+            }
+        }
+        out
+    }
+
+    /// Computes `self^T * other` without materializing the transpose.
+    pub fn matmul_transa(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_transa: inner dimensions differ (({}x{})^T * {}x{})",
+            self.rows(), self.cols(), other.rows(), other.cols()
+        );
+        let m = self.cols();
+        let n = other.cols();
+        let k = self.rows();
+        let mut out = Matrix::zeros(m, n);
+        // out[i][j] = sum_k self[k][i] * other[k][j]; accumulate row by row of
+        // the inputs so both reads stream.
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data_mut()[i * n..i * n + n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Column-wise sum, producing a 1 x cols row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        for r in 0..self.rows() {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(self.row(r).iter()) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Column-wise mean, producing a 1 x cols row vector.
+    pub fn mean_rows(&self) -> Matrix {
+        assert!(self.rows() > 0, "mean_rows: empty matrix");
+        self.sum_rows().scale(1.0 / self.rows() as f32)
+    }
+
+    /// Row-wise sum, producing an n x 1 column vector.
+    pub fn sum_cols(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), 1);
+        for r in 0..self.rows() {
+            out.set(r, 0, self.row(r).iter().sum());
+        }
+        out
+    }
+
+    /// Row-wise mean, producing an n x 1 column vector.
+    pub fn mean_cols(&self) -> Matrix {
+        assert!(self.cols() > 0, "mean_cols: empty matrix");
+        self.sum_cols().scale(1.0 / self.cols() as f32)
+    }
+
+    /// Maximum element (NaN-free input assumed); `-inf` for empty.
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element; `+inf` for empty.
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data().iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Numerically stable softmax applied independently to each row.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            softmax_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Index of the largest element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// Written as a simple fold over a zipped iterator; LLVM vectorizes
+/// this into packed FMA on x86-64.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Numerically stable in-place softmax over a slice.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Matrix::from_fn(7, 5, |r, c| ((r * 31 + c * 7) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(5, 9, |r, c| ((r * 13 + c * 3) % 7) as f32 - 3.0);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches() {
+        // Big enough to take the rayon path.
+        let a = Matrix::from_fn(128, 64, |r, c| ((r + 2 * c) % 17) as f32 * 0.25 - 1.0);
+        let b = Matrix::from_fn(64, 96, |r, c| ((3 * r + c) % 13) as f32 * 0.5 - 2.0);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn matmul_transb_matches() {
+        let a = Matrix::from_fn(6, 4, |r, c| (r as f32) - (c as f32) * 0.5);
+        let b = Matrix::from_fn(8, 4, |r, c| (c as f32) * 0.3 - (r as f32) * 0.1);
+        assert_close(&a.matmul_transb(&b), &naive_matmul(&a, &b.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn matmul_transa_matches() {
+        let a = Matrix::from_fn(4, 6, |r, c| (r * c) as f32 * 0.1 - 0.5);
+        let b = Matrix::from_fn(4, 5, |r, c| (r + c) as f32 * 0.2);
+        assert_close(&a.matmul_transa(&b), &naive_matmul(&a.transpose(), &b), 1e-5);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(5, 5, |r, c| (r * 5 + c) as f32);
+        assert_close(&a.matmul(&Matrix::eye(5)), &a, 1e-6);
+        assert_close(&Matrix::eye(5).matmul(&a), &a, 1e-6);
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.sum(), 21.0);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.max(), 6.0);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.sum_rows().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(m.mean_rows().data(), &[2.5, 3.5, 4.5]);
+        assert!((m.norm() - 91.0_f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -10.0, 0.0, 10.0]);
+        let s = m.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Softmax is monotone in its inputs.
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![1001.0, 1002.0, 1003.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_axpy() {
+        let m = Matrix::zeros(3, 2);
+        let row = Matrix::row_vector(&[1.0, 2.0]);
+        let b = m.add_row_broadcast(&row);
+        assert_eq!(b.row(2), &[1.0, 2.0]);
+
+        let mut acc = Matrix::ones(2, 2);
+        acc.add_scaled_assign(&Matrix::ones(2, 2), 0.5);
+        assert_eq!(acc.data(), &[1.5; 4]);
+    }
+
+    #[test]
+    fn div_clamp_and_col_reductions() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let d = m.div(&Matrix::full(2, 3, 2.0));
+        assert_eq!(d.get(1, 2), 3.0);
+        let c = m.clamp(2.0, 5.0);
+        assert_eq!(c.get(0, 0), 2.0);
+        assert_eq!(c.get(1, 2), 5.0);
+        assert_eq!(m.sum_cols().col(0), vec![6.0, 15.0]);
+        assert_eq!(m.mean_cols().col(0), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp: lo > hi")]
+    fn clamp_rejects_inverted_bounds() {
+        let _ = Matrix::zeros(1, 1).clamp(2.0, 1.0);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let m = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+}

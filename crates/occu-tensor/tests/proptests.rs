@@ -1,0 +1,120 @@
+//! Property-based tests for the tensor kernels.
+
+use occu_tensor::{assert_close, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with dimensions in [1, 12] and small-valued
+/// elements (keeps float error bounded so tolerances stay tight).
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-4.0f32..4.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Two chain-compatible matrices A (m x k), B (k x n).
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=10, 1usize..=10, 1usize..=10).prop_flat_map(|(m, k, n)| {
+        let a = prop::collection::vec(-3.0f32..3.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = prop::collection::vec(-3.0f32..3.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in matmul_pair()) {
+        // (AB)^T == B^T A^T
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        assert_close(&left, &right, 1e-4);
+    }
+
+    #[test]
+    fn matmul_transb_consistent((a, b) in matmul_pair()) {
+        let bt = b.transpose();
+        assert_close(&a.matmul_transb(&bt), &a.matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_transa_consistent((a, b) in matmul_pair()) {
+        let at = a.transpose();
+        assert_close(&at.matmul_transa(&b), &a.matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((a, b) in matmul_pair(), scale in -2.0f32..2.0) {
+        // A(B + sB) == AB + s*AB
+        let b2 = b.scale(scale);
+        let left = a.matmul(&b.add(&b2));
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&b2));
+        assert_close(&left, &right, 1e-3);
+    }
+
+    #[test]
+    fn add_commutes(m in small_matrix(8)) {
+        let n = m.map(|x| x * 0.5 - 1.0);
+        prop_assert_eq!(m.add(&n), n.add(&m));
+    }
+
+    #[test]
+    fn scale_compose(m in small_matrix(8), s in -3.0f32..3.0, t in -3.0f32..3.0) {
+        assert_close(&m.scale(s).scale(t), &m.scale(s * t), 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_is_distribution(m in small_matrix(10)) {
+        let s = m.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn vcat_preserves_rows(m in small_matrix(8)) {
+        let v = m.vcat(&m);
+        prop_assert_eq!(v.rows(), 2 * m.rows());
+        prop_assert_eq!(v.slice_rows(0, m.rows()), m.clone());
+        prop_assert_eq!(v.slice_rows(m.rows(), 2 * m.rows()), m);
+    }
+
+    #[test]
+    fn hcat_preserves_cols(m in small_matrix(8)) {
+        let h = m.hcat(&m);
+        prop_assert_eq!(h.cols(), 2 * m.cols());
+        for r in 0..m.rows() {
+            prop_assert_eq!(&h.row(r)[..m.cols()], m.row(r));
+            prop_assert_eq!(&h.row(r)[m.cols()..], m.row(r));
+        }
+    }
+
+    #[test]
+    fn sum_rows_matches_total(m in small_matrix(10)) {
+        let total: f32 = m.sum();
+        let by_cols: f32 = m.sum_rows().sum();
+        prop_assert!((total - by_cols).abs() <= 1e-3 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn gather_rows_identity(m in small_matrix(8)) {
+        let idx: Vec<usize> = (0..m.rows()).collect();
+        prop_assert_eq!(m.gather_rows(&idx), m);
+    }
+
+    #[test]
+    fn norm_scales_absolutely(m in small_matrix(8), s in -3.0f32..3.0) {
+        let scaled = m.scale(s).norm();
+        let expect = m.norm() * s.abs();
+        prop_assert!((scaled - expect).abs() <= 1e-3 * (1.0 + expect));
+    }
+}

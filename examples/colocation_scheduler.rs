@@ -1,0 +1,93 @@
+//! Co-location scheduling with predicted occupancy (§VI-B, Table VI):
+//! pack a mixed DL workload onto a 4-GPU node under the three packing
+//! strategies and compare makespan and utilization.
+//!
+//! ```text
+//! cargo run --release --example colocation_scheduler
+//! ```
+
+use dnn_occu::prelude::*;
+
+fn main() {
+    let device = DeviceSpec::p40();
+    let mut rng = SeededRng::new(11);
+
+    // A mixed workload: (model, batch) pairs spanning Table II
+    // families, each job = a few thousand inference iterations.
+    let mix: Vec<(ModelId, usize)> = vec![
+        (ModelId::LeNet, 64),
+        (ModelId::AlexNet, 32),
+        (ModelId::ResNet18, 48),
+        (ModelId::ResNet50, 32),
+        (ModelId::Vgg11, 32),
+        (ModelId::VitT, 32),
+        (ModelId::VitS, 24),
+        (ModelId::DistilBert, 32),
+        (ModelId::Lstm, 256),
+        (ModelId::Rnn, 256),
+        (ModelId::SwinS, 24),
+        (ModelId::LeNet, 128),
+    ];
+
+    let jobs: Vec<Job> = mix
+        .iter()
+        .enumerate()
+        .map(|(id, &(m, batch))| {
+            let mut cfg = m.default_config();
+            cfg.batch_size = batch;
+            let s = make_sample(m, cfg, &device);
+            let iters = rng.int_range(500, 4000) as f64;
+            Job {
+                id,
+                name: format!("{}-b{}", m.name(), batch),
+                true_occupancy: f64::from(s.occupancy),
+                // This example uses exact predictions; swap in a
+                // trained DnnOccu (see examples/train_and_save.rs)
+                // for the full pipeline.
+                predicted_occupancy: f64::from(s.occupancy),
+                nvml_utilization: f64::from(s.nvml_utilization),
+                work_us: s.busy_us * iters,
+                memory_bytes: s.memory_bytes,
+                arrival_us: 0.0,
+            }
+        })
+        .collect();
+
+    println!("{:<18} {:>10} {:>10} {:>12}", "job", "occ(%)", "nvml(%)", "work(s)");
+    for j in &jobs {
+        println!(
+            "{:<18} {:>10.1} {:>10.1} {:>12.2}",
+            j.name,
+            j.true_occupancy * 100.0,
+            j.nvml_utilization * 100.0,
+            j.work_us / 1e6
+        );
+    }
+
+    let cluster = GpuSpec::cluster(4);
+    println!("\nscheduling {} jobs onto {} GPUs:", jobs.len(), cluster.len());
+    println!(
+        "{:<20} {:>13} {:>14} {:>14} {:>12}",
+        "strategy", "makespan(s)", "mean JCT(s)", "nvml-util(%)", "max coloc"
+    );
+    let mut slot_makespan = 0.0;
+    for policy in PackingPolicy::table6() {
+        let res = simulate(&jobs, &cluster, policy);
+        if policy == PackingPolicy::SlotPacking {
+            slot_makespan = res.makespan_us;
+        }
+        println!(
+            "{:<20} {:>13.2} {:>14.2} {:>14.1} {:>12}",
+            policy.name(),
+            res.makespan_us / 1e6,
+            res.mean_jct_us / 1e6,
+            res.avg_nvml_utilization * 100.0,
+            res.max_colocation
+        );
+    }
+    let occu = simulate(&jobs, &cluster, PackingPolicy::OccuPacking);
+    println!(
+        "\noccu-packing makespan gain over slot-packing: {:.2}%",
+        (slot_makespan - occu.makespan_us) / slot_makespan * 100.0
+    );
+}

@@ -1,0 +1,65 @@
+//! Hyperparameter optimization with DNN-occu (§VI-A, Fig. 6): pick
+//! the batch size that maximizes GPU occupancy *without* profiling
+//! every candidate — train the predictor on a few profiled
+//! configurations, then rank the rest from predictions alone.
+//!
+//! ```text
+//! cargo run --release --example hyperparameter_tuning
+//! ```
+
+use dnn_occu::prelude::*;
+
+fn main() {
+    let device = DeviceSpec::a100();
+    let model_id = ModelId::VitT;
+
+    // Profile a sparse set of batch sizes (the expensive step the
+    // predictor amortizes away).
+    let profiled: Vec<usize> = vec![16, 40, 72, 104, 128];
+    let train = Dataset {
+        samples: profiled
+            .iter()
+            .map(|&b| make_sample(model_id, ModelConfig { batch_size: b, ..Default::default() }, &device))
+            .collect(),
+    };
+    println!("profiled {} configurations of {} on {}", profiled.len(), model_id.name(), device.name);
+
+    let mut predictor = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 7);
+    Trainer::new(TrainConfig { epochs: 40, ..Default::default() })
+        .fit(&mut predictor, &train);
+
+    // Rank every candidate batch size by *predicted* occupancy.
+    println!("\n{:>8} {:>14} {:>14} {:>16}", "batch", "predicted(%)", "measured(%)", "nvml-util(%)");
+    let candidates: Vec<usize> = (4..=32).map(|x| 4 * x).collect();
+    let mut best = (0usize, 0.0f32);
+    for &batch in &candidates {
+        let cfg = ModelConfig { batch_size: batch, ..Default::default() };
+        let graph = model_id.build(&cfg);
+        let feats = dnn_occu::core::features::featurize(&graph, &device);
+        let pred = predictor.predict(&feats);
+        if pred > best.1 {
+            best = (batch, pred);
+        }
+        // Print a subset with ground truth for comparison.
+        if batch % 24 == 16 || batch == 128 {
+            let report = profile_graph(&graph, &device);
+            println!(
+                "{:>8} {:>14.2} {:>14.2} {:>16.2}",
+                batch,
+                pred * 100.0,
+                report.mean_occupancy * 100.0,
+                report.nvml_utilization * 100.0
+            );
+        }
+    }
+
+    // Verify the pick against ground truth.
+    let verify = make_sample(model_id, ModelConfig { batch_size: best.0, ..Default::default() }, &device);
+    println!(
+        "\npredicted-optimal batch size: {} (predicted {:.1}%, measured {:.1}%)",
+        best.0,
+        best.1 * 100.0,
+        verify.occupancy * 100.0
+    );
+    println!("note: NVML utilization would have suggested far less headroom (Fig. 6).");
+}

@@ -1,0 +1,85 @@
+//! Online co-location scheduling: jobs arrive over time (Poisson
+//! process) instead of all at once, and the occupancy-based packer
+//! decides at each arrival whether the newcomer can join a busy GPU.
+//!
+//! ```text
+//! cargo run --release --example online_scheduling
+//! ```
+
+use dnn_occu::prelude::*;
+use dnn_occu::sched::{assign_poisson_arrivals, load_factor};
+
+fn main() {
+    let device = DeviceSpec::p40();
+    let mut rng = SeededRng::new(23);
+
+    // Profile a pool of jobs from the Table II mix.
+    let models = [
+        ModelId::LeNet,
+        ModelId::AlexNet,
+        ModelId::ResNet18,
+        ModelId::VitT,
+        ModelId::Lstm,
+        ModelId::DistilBert,
+    ];
+    let mut jobs: Vec<Job> = (0..18)
+        .map(|id| {
+            let model = models[rng.index(models.len())];
+            let mut cfg = model.default_config();
+            cfg.batch_size = 16 + 8 * rng.int_range(0, 6);
+            let s = make_sample(model, cfg, &device);
+            let iters = rng.int_range(200, 1500) as f64;
+            Job::exact(
+                id,
+                format!("{}-b{}", model.name(), cfg.batch_size),
+                f64::from(s.occupancy),
+                f64::from(s.nvml_utilization),
+                s.busy_us * iters,
+                s.memory_bytes,
+            )
+        })
+        .collect();
+
+    let cluster = GpuSpec::cluster(2);
+    println!(
+        "{:<24} {:>13} {:>14} {:>14}",
+        "scenario", "makespan(s)", "mean JCT(s)", "nvml-util(%)"
+    );
+
+    // Batch submission (the Table VI setting) vs increasingly sparse
+    // online arrivals.
+    for (label, mean_gap_us) in [
+        ("batch (all at t=0)", 0.0),
+        ("online, heavy load", 2e5),
+        ("online, light load", 3e6),
+    ] {
+        let mut trace = jobs.clone();
+        let mut trace_rng = SeededRng::new(99);
+        assign_poisson_arrivals(&mut trace, mean_gap_us, &mut trace_rng);
+        let lf = load_factor(&trace, cluster.len());
+        let res = simulate(&trace, &cluster, PackingPolicy::OccuPacking);
+        println!(
+            "{:<24} {:>13.2} {:>14.2} {:>14.1}   (load factor {:.2})",
+            label,
+            res.makespan_us / 1e6,
+            res.mean_jct_us / 1e6,
+            res.avg_nvml_utilization * 100.0,
+            lf
+        );
+    }
+
+    // Under heavy online load, compare policies: occupancy packing
+    // absorbs bursts that slot packing queues.
+    let mut trace_rng = SeededRng::new(7);
+    assign_poisson_arrivals(&mut jobs, 2e5, &mut trace_rng);
+    println!("\nheavy-load policy comparison:");
+    for policy in PackingPolicy::table6() {
+        let res = simulate(&jobs, &cluster, policy);
+        println!(
+            "  {:<20} mean JCT {:>8.2}s  p-max coloc {}",
+            policy.name(),
+            res.mean_jct_us / 1e6,
+            res.max_colocation
+        );
+    }
+}

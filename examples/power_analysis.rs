@@ -1,0 +1,67 @@
+//! Power/energy analysis from occupancy profiles — the paper's
+//! stated future-work application ("power management", §VI). Sweeps
+//! batch sizes and devices, showing how occupancy-driven dynamic
+//! power shapes energy-per-inference and efficiency.
+//!
+//! ```text
+//! cargo run --release --example power_analysis
+//! ```
+
+use dnn_occu::gpusim::{energy_report, PowerSpec};
+use dnn_occu::prelude::*;
+
+fn main() {
+    let model = ModelId::ResNet50;
+
+    // Batch sweep on one device: efficiency improves as occupancy
+    // amortizes idle power, then saturates.
+    let device = DeviceSpec::a100();
+    println!("{} on {}:", model.name(), device.name);
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "batch", "occ(%)", "avg W", "peak W", "mJ/iter", "GFLOP/J"
+    );
+    for batch in [4usize, 16, 64, 128] {
+        let cfg = ModelConfig { batch_size: batch, ..Default::default() };
+        let graph = model.build(&cfg);
+        let rep = profile_graph(&graph, &device);
+        let e = energy_report(&rep, &device, graph.total_flops());
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>12.1} {:>14.1} {:>12.2}",
+            batch,
+            rep.mean_occupancy * 100.0,
+            e.avg_power_w,
+            e.peak_power_w,
+            e.energy_mj,
+            e.gflop_per_joule
+        );
+    }
+
+    // Device sweep at a fixed batch: who serves this model cheapest?
+    let cfg = ModelConfig { batch_size: 32, ..Default::default() };
+    let graph = model.build(&cfg);
+    println!("\n{} @ batch 32 across devices:", model.name());
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>12} {:>14}",
+        "device", "occ(%)", "avg W", "mJ/iter", "GFLOP/J", "ms/iter"
+    );
+    for device in DeviceSpec::all_devices() {
+        let rep = profile_graph(&graph, &device);
+        let e = energy_report(&rep, &device, graph.total_flops());
+        println!(
+            "{:>12} {:>12.1} {:>12.1} {:>14.1} {:>12.2} {:>14.2}",
+            device.name,
+            rep.mean_occupancy * 100.0,
+            e.avg_power_w,
+            e.energy_mj,
+            e.gflop_per_joule,
+            rep.wall_us / 1e3
+        );
+    }
+    let spec = PowerSpec::for_device(&DeviceSpec::t4());
+    println!(
+        "\n(T4 idles at {:.0} W with a {:.0} W dynamic range — the efficiency pick for low-occupancy workloads.)",
+        spec.idle_w,
+        spec.dynamic_range_w
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a model graph, profile its GPU occupancy on a
+//! simulated A100, train a small DNN-occu on a handful of
+//! configurations, and predict an unseen configuration.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dnn_occu::prelude::*;
+
+fn main() {
+    // 1. A DL model is a computation graph (§II-A). Build ResNet-18
+    //    at batch 32 — the programmatic equivalent of an ONNX export.
+    let cfg = ModelConfig { batch_size: 32, ..Default::default() };
+    let graph = ModelId::ResNet18.build(&cfg);
+    println!(
+        "ResNet-18 @ batch 32: {} nodes, {} edges, {:.1} GFLOPs",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.total_flops() as f64 / 1e9
+    );
+
+    // 2. Profile it on an A100 (the Nsight Compute substitute).
+    let device = DeviceSpec::a100();
+    let report = profile_graph(&graph, &device);
+    println!(
+        "profiled: {} kernels | occupancy {:.1}% | NVML util {:.1}% | {:.2} ms/iter",
+        report.kernels.len(),
+        report.mean_occupancy * 100.0,
+        report.nvml_utilization * 100.0,
+        report.wall_us / 1e3
+    );
+
+    // 3. Train DNN-occu on a few batch-size configurations...
+    let train = Dataset {
+        samples: [8usize, 16, 48, 64, 96, 128]
+            .iter()
+            .map(|&b| {
+                make_sample(ModelId::ResNet18, ModelConfig { batch_size: b, ..Default::default() }, &device)
+            })
+            .collect(),
+    };
+    let mut model = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 42);
+    println!("training DNN-occu ({} parameters) on {} configs...", model.num_parameters(), train.len());
+    let trainer = Trainer::new(TrainConfig { epochs: 40, ..Default::default() });
+    let history = trainer.fit(&mut model, &train);
+    println!(
+        "loss {:.5} -> {:.5}",
+        history.first().unwrap().train_loss,
+        history.last().unwrap().train_loss
+    );
+
+    // 4. ...and predict a configuration it never saw.
+    let unseen = make_sample(ModelId::ResNet18, ModelConfig { batch_size: 72, ..Default::default() }, &device);
+    let predicted = model.predict(&unseen.features);
+    println!(
+        "batch 72 (unseen): predicted occupancy {:.1}% | measured {:.1}% | rel. error {:.1}%",
+        predicted * 100.0,
+        unseen.occupancy * 100.0,
+        ((predicted - unseen.occupancy).abs() / unseen.occupancy) * 100.0
+    );
+}

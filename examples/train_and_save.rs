@@ -1,0 +1,48 @@
+//! Train DNN-occu across several models, evaluate seen vs unseen
+//! generalization, and round-trip the trained weights through JSON.
+//!
+//! ```text
+//! cargo run --release --example train_and_save
+//! ```
+
+use dnn_occu::nn::ParamStore;
+use dnn_occu::prelude::*;
+
+fn main() {
+    let device = DeviceSpec::a100();
+
+    // Training pool: three seen architectures, several configs each.
+    println!("generating training data (profiling simulated GPUs)...");
+    let train = Dataset::generate(
+        &[ModelId::LeNet, ModelId::AlexNet, ModelId::ResNet18],
+        4,
+        &device,
+        0xD15EA5E,
+    );
+    println!("{} samples, mean occupancy {:.1}%", train.len(), train.mean_occupancy() * 100.0);
+
+    let mut model = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 9);
+    let trainer = Trainer::new(TrainConfig { epochs: 25, log_every: 5, ..Default::default() });
+    trainer.fit(&mut model, &train);
+
+    // Evaluate on a seen model (fresh configs) and an unseen one.
+    let seen_eval = Dataset::generate(&[ModelId::ResNet18], 4, &device, 77);
+    let unseen_eval = Dataset::generate(&[ModelId::ResNet34], 4, &device, 78);
+    println!("\nseen   (ResNet-18 fresh configs): {}", model.evaluate(&seen_eval));
+    println!("unseen (ResNet-34):               {}", model.evaluate(&unseen_eval));
+
+    // Serialize the trained parameters and prove the round-trip is
+    // exact.
+    let json = model.store().to_json();
+    println!("\nserialized parameter store: {:.1} KiB", json.len() as f64 / 1024.0);
+    let restored = ParamStore::from_json(&json).expect("valid JSON");
+    assert_eq!(restored.num_scalars(), model.store().num_scalars());
+
+    let mut clone = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 9);
+    *clone.store_mut() = restored;
+    let probe = &seen_eval.samples[0];
+    let a = model.predict(&probe.features);
+    let b = clone.predict(&probe.features);
+    assert_eq!(a, b, "restored model must predict identically");
+    println!("round-trip OK: restored model predicts identically ({:.4})", a);
+}

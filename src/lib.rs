@@ -1,0 +1,59 @@
+//! # dnn-occu
+//!
+//! Umbrella crate for the reproduction of *"GPU Occupancy Prediction
+//! of Deep Learning Models Using Graph Neural Network"* (CLUSTER
+//! 2023). Re-exports every subsystem so downstream users depend on a
+//! single crate:
+//!
+//! ```
+//! use dnn_occu::prelude::*;
+//!
+//! // Build a model's computation graph (the ONNX-export substitute).
+//! let cfg = ModelConfig { batch_size: 32, ..Default::default() };
+//! let graph = ModelId::ResNet50.build(&cfg);
+//!
+//! // Profile it on a simulated A100 (the Nsight Compute substitute).
+//! let report = profile_graph(&graph, &DeviceSpec::a100());
+//! assert!(report.mean_occupancy > 0.0 && report.mean_occupancy < 1.0);
+//!
+//! // Featurize and predict with (an untrained) DNN-occu.
+//! let features = featurize(&graph, &DeviceSpec::a100());
+//! let model = DnnOccu::new(DnnOccuConfig::fast(), 42);
+//! let predicted = model.predict(&features);
+//! assert!((0.0..=1.0).contains(&predicted));
+//! ```
+//!
+//! The subsystems, bottom-up:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`tensor`] | `occu-tensor` | dense matrix kernels |
+//! | [`nn`] | `occu-nn` | tape autodiff + layers |
+//! | [`graph`] | `occu-graph` | computation-graph IR |
+//! | [`models`] | `occu-models` | Table II model zoo |
+//! | [`gpusim`] | `occu-gpusim` | occupancy simulator (ground truth) |
+//! | [`core`] | `occu-core` | DNN-occu + baselines + experiments |
+//! | [`sched`] | `occu-sched` | co-location scheduler simulation |
+
+pub use occu_core as core;
+pub use occu_gpusim as gpusim;
+pub use occu_graph as graph;
+pub use occu_models as models;
+pub use occu_nn as nn;
+pub use occu_sched as sched;
+pub use occu_tensor as tensor;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use occu_core::dataset::{make_sample, AggrKind, Dataset, Sample, SEEN_MODELS, UNSEEN_MODELS};
+    pub use occu_core::ensemble::{Ensemble, UncertainPrediction};
+    pub use occu_core::features::{featurize, FeaturizedGraph};
+    pub use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+    pub use occu_core::metrics::{mre, mse, EvalResult};
+    pub use occu_core::train::{OccuPredictor, TrainConfig, Trainer};
+    pub use occu_gpusim::{profile_graph, DeviceSpec, ProfileReport};
+    pub use occu_graph::{to_training_graph, CompGraph, GraphBuilder, GraphMeta, ModelFamily, OpKind};
+    pub use occu_models::{ModelConfig, ModelId};
+    pub use occu_sched::{simulate, GpuSpec, Job, PackingPolicy};
+    pub use occu_tensor::{Matrix, SeededRng};
+}

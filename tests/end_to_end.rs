@@ -1,0 +1,129 @@
+//! Cross-crate integration: model zoo → simulator → features →
+//! training → prediction, exactly the paper's pipeline.
+
+use dnn_occu::prelude::*;
+
+/// The full DNN-occu pipeline on one device: generate data, train,
+/// and check the predictor actually learned (beats the
+/// predict-the-mean strawman on held-out configs).
+#[test]
+fn train_predict_beats_mean_baseline() {
+    let device = DeviceSpec::a100();
+    let data = Dataset::generate(&[ModelId::LeNet, ModelId::AlexNet, ModelId::ResNet18], 6, &device, 1);
+    let (train, test) = data.split(0.25);
+    assert!(test.len() >= 3);
+
+    let mut model = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 2);
+    Trainer::new(TrainConfig { epochs: 25, ..Default::default() }).fit(&mut model, &train);
+
+    let result = model.evaluate(&test);
+    // Strawman: always predict the training mean.
+    let mean = train.mean_occupancy();
+    let strawman_preds: Vec<f32> = vec![mean; test.len()];
+    let truth: Vec<f32> = test.samples.iter().map(|s| s.occupancy).collect();
+    let strawman_mse = mse(&strawman_preds, &truth);
+
+    assert!(
+        result.mse < strawman_mse,
+        "trained model (mse {}) must beat predict-the-mean (mse {})",
+        result.mse,
+        strawman_mse
+    );
+}
+
+/// Occupancy labels vary by device for the same model configuration —
+/// the extensible-device claim rests on this.
+#[test]
+fn labels_differ_across_devices() {
+    let cfg = ModelConfig { batch_size: 32, ..Default::default() };
+    let occs: Vec<f32> = DeviceSpec::paper_devices()
+        .iter()
+        .map(|d| make_sample(ModelId::ResNet18, cfg, d).occupancy)
+        .collect();
+    assert!(occs.windows(2).any(|w| (w[0] - w[1]).abs() > 0.01), "device must matter: {occs:?}");
+}
+
+/// Every Table II model survives the full pipeline (build → profile →
+/// featurize → predict) on every paper device.
+#[test]
+fn all_models_flow_through_pipeline_on_all_devices() {
+    let predictor = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 3);
+    for device in DeviceSpec::paper_devices() {
+        for &model in ModelId::ALL {
+            let mut cfg = model.default_config();
+            cfg.batch_size = 8;
+            cfg.seq_len = cfg.seq_len.min(32);
+            let sample = make_sample(model, cfg, &device);
+            assert!(
+                (0.0..=1.0).contains(&sample.occupancy),
+                "{} on {}: occupancy {}",
+                model.name(),
+                device.name,
+                sample.occupancy
+            );
+            let pred = predictor.predict(&sample.features);
+            assert!((0.0..=1.0).contains(&pred), "{} prediction {}", model.name(), pred);
+        }
+    }
+}
+
+/// The seen/unseen protocol of §V: training never touches unseen
+/// models, and the unseen evaluation still produces finite errors for
+/// the whole suite.
+#[test]
+fn seen_unseen_protocol() {
+    use dnn_occu::core::experiments::{fig4_comparison, ExperimentScale};
+    let res = fig4_comparison(&DeviceSpec::rtx2080ti(), ExperimentScale::quick(), 9);
+    assert_eq!(res.seen.len(), 6);
+    assert_eq!(res.unseen.len(), 6);
+    for r in res.seen.iter().chain(res.unseen.iter()) {
+        assert!(r.mre.is_finite(), "{}", r.predictor);
+    }
+    // DNN-occu is the first entry by construction.
+    assert_eq!(res.seen[0].predictor, "DNN-occu");
+}
+
+/// Training graphs flow through the whole pipeline: expand, profile,
+/// featurize, predict — and behave like real training profiles
+/// (more kernels, more FLOPs, backward edges present).
+#[test]
+fn training_graphs_flow_through_pipeline() {
+    let device = DeviceSpec::a100();
+    let cfg = ModelConfig { batch_size: 16, ..Default::default() };
+    let inference = ModelId::ResNet18.build(&cfg);
+    let training = to_training_graph(&inference);
+    assert!(training.validate().is_ok());
+    assert!(training.total_flops() > 2 * inference.total_flops());
+    assert!(training
+        .edges()
+        .iter()
+        .any(|e| e.kind == dnn_occu::graph::EdgeKind::Backward));
+
+    let inf_rep = profile_graph(&inference, &device);
+    let train_rep = profile_graph(&training, &device);
+    assert!(train_rep.kernels.len() > inf_rep.kernels.len());
+    assert!(train_rep.busy_us > inf_rep.busy_us);
+    assert!((0.0..=1.0).contains(&train_rep.mean_occupancy));
+
+    // The predictor consumes training graphs like any other.
+    let feats = featurize(&training, &device);
+    let model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 4);
+    let pred = model.predict(&feats);
+    assert!((0.0..=1.0).contains(&pred));
+}
+
+/// Training is reproducible: same seed, same data, same losses.
+#[test]
+fn training_is_deterministic() {
+    let device = DeviceSpec::p40();
+    let data = Dataset::generate(&[ModelId::LeNet], 4, &device, 5);
+    let run = || {
+        let mut m = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 6);
+        let h = Trainer::new(TrainConfig { epochs: 5, ..Default::default() }).fit(&mut m, &data);
+        (h.last().unwrap().train_loss, m.predict(&data.samples[0].features))
+    };
+    let (l1, p1) = run();
+    let (l2, p2) = run();
+    assert_eq!(l1, l2);
+    assert_eq!(p1, p2);
+}
