@@ -11,6 +11,8 @@
 //! formatting shared by the binary and the benches.
 
 pub mod apps;
+pub mod perf;
 pub mod report;
 
 pub use apps::{build_job_pool, fig7_study, table6, Table6Row};
+pub use perf::{perf_study, render_perf, PerfReport};

@@ -6,9 +6,11 @@
 //! ```
 //!
 //! Subcommands: `fig2 fig4 fig5 fig45 fig6 fig7 table4 table5 table6
-//! ablation aggr device-gen all`. `--quick` shrinks dataset sizes and
-//! epochs for smoke runs; `--device <name>` restricts the multi-device
-//! experiments to one GPU (useful for piecewise archive runs).
+//! ablation aggr device-gen perf all`. `--quick` shrinks dataset sizes
+//! and epochs for smoke runs; `--device <name>` restricts the
+//! multi-device experiments to one GPU (useful for piecewise archive
+//! runs); `perf` times training at several worker counts and writes a
+//! throughput JSON report (`--out <path>`, default perf_report.json).
 
 use occu_bench::report;
 use occu_bench::{fig7_study, table6};
@@ -164,6 +166,34 @@ fn run_aggr(quick: bool) {
     println!();
 }
 
+fn run_perf(quick: bool, args: &[String]) {
+    let scale = scale_of(quick);
+    // `--workers 1,2,4` overrides the host-derived ladder (useful for
+    // recording multi-worker rows from constrained containers).
+    let counts: Vec<usize> = match args.iter().position(|a| a == "--workers") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--workers expects a comma-separated list")
+            .split(',')
+            .map(|w| w.trim().parse().expect("--workers: integers only"))
+            .collect(),
+        None => occu_bench::perf::default_worker_counts(),
+    };
+    let rep = occu_bench::perf_study(scale, &counts, 51);
+    print!("{}", occu_bench::render_perf(&rep));
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => args.get(i + 1).expect("--out expects a path").clone(),
+        None => "perf_report.json".to_string(),
+    };
+    let json = serde_json::to_string_pretty(&rep).expect("perf report serializes");
+    if let Some(dir) = std::path::Path::new(&out).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    }
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+    println!();
+}
+
 fn run_device_generalization(quick: bool) {
     let scale = scale_of(quick);
     let rows = occu_core::experiments::device_generalization(scale, 50);
@@ -194,7 +224,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--device" {
+        if a == "--device" || a == "--out" || a == "--workers" {
             skip_next = true;
         } else if !a.starts_with("--") && positional.is_none() {
             positional = Some(a.as_str());
@@ -224,6 +254,7 @@ fn main() {
         "ablation" => run_ablation(quick),
         "aggr" => run_aggr(quick),
         "device-gen" => run_device_generalization(quick),
+        "perf" => run_perf(quick, &args),
         "all" => {
             run_fig2();
             run_fig6();
@@ -245,7 +276,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [fig2|fig4|fig5|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|all] [--quick]");
+            eprintln!("usage: repro [fig2|fig4|fig5|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|all] [--quick] [--out perf_report.json]");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,188 @@
+//! Throughput measurement for the parallel training pipeline.
+//!
+//! `repro perf` times `Trainer::fit` at several worker counts and
+//! `predict_all` on the full pool, then emits a machine-readable JSON
+//! report (train samples/sec, predict graphs/sec, speedup versus the
+//! serial run). Because training is bit-deterministic in the worker
+//! count, every row of the table reaches the *same* parameters — the
+//! report isolates wall-clock effects from model quality.
+
+use occu_core::dataset::{Dataset, SEEN_MODELS};
+use occu_core::experiments::ExperimentScale;
+use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+use occu_core::train::{OccuPredictor, Parallelism, TrainConfig, Trainer};
+use occu_gpusim::DeviceSpec;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One training run at a fixed worker count.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TrainPerfRow {
+    /// Gradient workers used (`Parallelism::fixed`).
+    pub workers: usize,
+    /// Wall-clock time of the whole `fit` call, milliseconds.
+    pub wall_ms: f64,
+    /// Sample gradients computed per second (epochs x samples / wall).
+    pub samples_per_sec: f64,
+    /// Wall-clock speedup versus the `workers = 1` row.
+    pub speedup_vs_serial: f64,
+}
+
+/// Inference throughput over the evaluation pool.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PredictPerf {
+    /// Graphs predicted (one forward pass each).
+    pub graphs: usize,
+    /// Wall-clock time for the whole pool, milliseconds.
+    pub wall_ms: f64,
+    /// Forward passes per second.
+    pub graphs_per_sec: f64,
+}
+
+/// The full `repro perf` report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Cores the OS reports (`available_parallelism`).
+    pub host_cores: usize,
+    /// Device whose profiles form the workload.
+    pub device: String,
+    /// Training-set size (samples).
+    pub train_samples: usize,
+    /// Epochs each timed run trains for.
+    pub epochs: usize,
+    /// Hidden width of the timed DNN-occu.
+    pub hidden: usize,
+    /// One row per worker count, `workers = 1` first.
+    pub train: Vec<TrainPerfRow>,
+    /// `predict_all` throughput (auto parallelism).
+    pub predict: PredictPerf,
+}
+
+/// Worker counts worth timing on this host: serial, then powers of
+/// two up to the core count (always including the core count itself).
+pub fn default_worker_counts() -> Vec<usize> {
+    let cores = Parallelism::auto().resolve();
+    let mut counts = vec![1];
+    let mut w = 2;
+    while w < cores {
+        counts.push(w);
+        w *= 2;
+    }
+    if cores > 1 {
+        counts.push(cores);
+    }
+    counts
+}
+
+/// Runs the throughput study and returns the report.
+pub fn perf_study(scale: ExperimentScale, worker_counts: &[usize], seed: u64) -> PerfReport {
+    let device = DeviceSpec::a100();
+    let data = Dataset::generate(&SEEN_MODELS, scale.configs_per_model, &device, seed);
+    let cfg = DnnOccuConfig { hidden: scale.hidden, ..DnnOccuConfig::fast() };
+
+    let mut train_rows = Vec::new();
+    let mut serial_ms = f64::NAN;
+    for &workers in worker_counts {
+        // Fresh model per row so every run does identical work from
+        // identical initialization.
+        let mut model = DnnOccu::new(cfg, seed);
+        let train_cfg = TrainConfig {
+            epochs: scale.epochs,
+            seed,
+            parallelism: Parallelism::fixed(workers),
+            ..TrainConfig::default()
+        };
+        let start = Instant::now();
+        Trainer::new(train_cfg).fit(&mut model, &data);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if train_rows.is_empty() {
+            serial_ms = wall_ms;
+        }
+        train_rows.push(TrainPerfRow {
+            workers,
+            wall_ms,
+            samples_per_sec: (scale.epochs * data.len()) as f64 / (wall_ms / 1e3),
+            speedup_vs_serial: serial_ms / wall_ms,
+        });
+    }
+
+    // Inference throughput on the trained model (any row's parameters
+    // are identical; retrain once more at auto parallelism).
+    let mut model = DnnOccu::new(cfg, seed);
+    Trainer::new(TrainConfig { epochs: scale.epochs, seed, ..TrainConfig::default() })
+        .fit(&mut model, &data);
+    let start = Instant::now();
+    let preds = model.predict_all(&data);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let predict = PredictPerf {
+        graphs: preds.len(),
+        wall_ms,
+        graphs_per_sec: preds.len() as f64 / (wall_ms / 1e3),
+    };
+
+    PerfReport {
+        host_cores: Parallelism::auto().resolve(),
+        device: device.name.clone(),
+        train_samples: data.len(),
+        epochs: scale.epochs,
+        hidden: scale.hidden,
+        train: train_rows,
+        predict,
+    }
+}
+
+/// Renders the report as an aligned console table.
+pub fn render_perf(rep: &PerfReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Throughput: {} samples x {} epochs, hidden {}, {} host cores ({}) ==",
+        rep.train_samples, rep.epochs, rep.hidden, rep.host_cores, rep.device
+    );
+    let _ = writeln!(out, "{:<9} {:>12} {:>16} {:>10}", "workers", "wall (ms)", "samples/sec", "speedup");
+    for r in &rep.train {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>12.1} {:>16.1} {:>9.2}x",
+            r.workers, r.wall_ms, r.samples_per_sec, r.speedup_vs_serial
+        );
+    }
+    let _ = writeln!(
+        out,
+        "predict: {} graphs in {:.1} ms ({:.1} graphs/sec)",
+        rep.predict.graphs, rep.predict.wall_ms, rep.predict.graphs_per_sec
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_study_produces_consistent_report() {
+        let scale = ExperimentScale { configs_per_model: 1, epochs: 2, hidden: 16 };
+        let rep = perf_study(scale, &[1, 2], 3);
+        assert_eq!(rep.train.len(), 2);
+        assert_eq!(rep.train[0].workers, 1);
+        assert!((rep.train[0].speedup_vs_serial - 1.0).abs() < 1e-9);
+        for r in &rep.train {
+            assert!(r.wall_ms > 0.0 && r.samples_per_sec > 0.0);
+        }
+        assert_eq!(rep.predict.graphs, rep.train_samples);
+        assert!(rep.predict.graphs_per_sec > 0.0);
+        // JSON round-trip through the report type.
+        let json = serde_json::to_string_pretty(&rep).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.train.len(), rep.train.len());
+        assert_eq!(back.host_cores, rep.host_cores);
+    }
+
+    #[test]
+    fn worker_counts_start_serial_and_cover_cores() {
+        let counts = default_worker_counts();
+        assert_eq!(counts[0], 1);
+        assert!(counts.contains(&Parallelism::auto().resolve()) || counts == [1]);
+    }
+}

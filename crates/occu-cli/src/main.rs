@@ -4,7 +4,7 @@
 //! occu models                                    # list the model zoo
 //! occu devices                                   # list built-in GPUs
 //! occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]
-//! occu train    --out model.json --device a100 --configs 8 --epochs 50
+//! occu train    --out model.json --device a100 --configs 8 --epochs 50 --workers 0
 //! occu predict  --weights model.json --model ResNet-50 --batch 32 --device a100
 //! occu schedule --jobs 24 --gpus 4 [--weights model.json] [--seed 1]
 //! ```
@@ -16,7 +16,7 @@ use occu_core::dataset::{make_sample, Dataset, SEEN_MODELS};
 use occu_core::experiments::ExperimentScale;
 use occu_core::features::featurize;
 use occu_core::gnn::{DnnOccu, DnnOccuConfig};
-use occu_core::train::{OccuPredictor, TrainConfig, Trainer};
+use occu_core::train::{OccuPredictor, Parallelism, TrainConfig, Trainer};
 use occu_gpusim::{profile_graph, DeviceSpec};
 use occu_graph::to_training_graph;
 use occu_models::{ModelConfig, ModelId};
@@ -47,7 +47,7 @@ fn die(msg: &str) -> ! {
     eprintln!();
     eprintln!("usage: occu <models|devices|profile|train|predict|schedule> [flags]");
     eprintln!("  occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]");
-    eprintln!("  occu train    --out model.json [--device a100] [--configs 8] [--epochs 50] [--hidden 64]");
+    eprintln!("  occu train    --out model.json [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0]");
     eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100]");
     eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--seed 1]");
     std::process::exit(2);
@@ -184,6 +184,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let epochs = args.usize_or("epochs", 50)?;
     let hidden = args.usize_or("hidden", ExperimentScale::full().hidden)?;
     let seed = args.usize_or("seed", 42)? as u64;
+    // 0 = auto-detect cores. Trained parameters are identical for any
+    // worker count, so this only affects wall-clock time.
+    let workers = args.usize_or("workers", 0)?;
 
     eprintln!("generating {} configurations x {} models on {}...", configs, SEEN_MODELS.len(), device.name);
     let data = Dataset::generate(&SEEN_MODELS, configs, &device, seed);
@@ -198,6 +201,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let trainer = Trainer::new(TrainConfig {
         epochs,
         log_every: if args.has("quiet") { 0 } else { 10 },
+        parallelism: Parallelism { workers },
         ..Default::default()
     });
     trainer.fit(&mut model, &train);

@@ -12,7 +12,7 @@
 use crate::dataset::Dataset;
 use crate::features::FeaturizedGraph;
 use crate::gnn::{DnnOccu, DnnOccuConfig};
-use crate::train::{OccuPredictor, TrainConfig, Trainer};
+use crate::train::{OccuPredictor, Parallelism, TrainConfig, Trainer};
 use serde::{Deserialize, Serialize};
 
 /// Mean/uncertainty prediction from an ensemble.
@@ -51,18 +51,25 @@ impl Ensemble {
 
     /// Trains every member on `data`. Members are independent, so the
     /// rayon pool trains them concurrently; shuffling seeds differ per
-    /// member so trajectories decorrelate.
+    /// member so trajectories decorrelate. Each member trains with
+    /// serial gradient workers — the member-level fan-out already
+    /// saturates the cores, and nesting thread pools only adds
+    /// spawn overhead. (Results are worker-count-invariant anyway.)
     pub fn fit(&mut self, data: &Dataset, cfg: TrainConfig) {
         use rayon::prelude::*;
         self.members.par_iter_mut().enumerate().for_each(|(i, m)| {
-            let member_cfg = TrainConfig { seed: cfg.seed + i as u64, ..cfg };
+            let member_cfg =
+                TrainConfig { seed: cfg.seed + i as u64, parallelism: Parallelism::serial(), ..cfg };
             Trainer::new(member_cfg).fit(m, data);
         });
     }
 
-    /// Predicts with uncertainty.
+    /// Predicts with uncertainty. Member forward passes are
+    /// independent and read-only, so they run concurrently; `collect`
+    /// keeps member order, so the reduction below is deterministic.
     pub fn predict(&self, fg: &FeaturizedGraph) -> UncertainPrediction {
-        let preds: Vec<f32> = self.members.iter().map(|m| m.predict(fg)).collect();
+        use rayon::prelude::*;
+        let preds: Vec<f32> = self.members.par_iter().map(|m| m.predict(fg)).collect();
         let n = preds.len() as f32;
         let mean = preds.iter().sum::<f32>() / n;
         let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f32>() / n;

@@ -8,7 +8,7 @@ use crate::baselines::all_baselines;
 use crate::dataset::{Dataset, SEEN_MODELS, UNSEEN_MODELS};
 use crate::gnn::{DnnOccu, DnnOccuConfig};
 use crate::metrics::EvalResult;
-use crate::train::{OccuPredictor, TrainConfig, Trainer};
+use crate::train::{OccuPredictor, Parallelism, TrainConfig, Trainer};
 use occu_gpusim::{profile_graph, DeviceSpec};
 use occu_models::{ModelConfig, ModelId};
 use serde::{Deserialize, Serialize};
@@ -86,7 +86,10 @@ impl Suite {
     ) -> Suite {
         use rayon::prelude::*;
         predictors.par_iter_mut().for_each(|p| {
-            let mut cfg = scale.train_config(seed);
+            // Serial gradient workers: the predictor-level fan-out
+            // already fills the pool, and training results don't
+            // depend on the worker count anyway.
+            let mut cfg = TrainConfig { parallelism: Parallelism::serial(), ..scale.train_config(seed) };
             // Per-predictor tuning, as §IV-D tunes each baseline: the
             // deep GNN converges more slowly than the shallow
             // baselines and gets a doubled epoch budget.
@@ -403,8 +406,12 @@ pub fn device_generalization(scale: ExperimentScale, seed: u64) -> Vec<DeviceGen
         (DeviceSpec::v100(), false),
         (DeviceSpec::t4(), false),
     ];
+    // Profiling + evaluation per device is read-only on the trained
+    // model, so the five devices run concurrently; collect preserves
+    // row order.
+    use rayon::prelude::*;
     eval_devices
-        .into_iter()
+        .into_par_iter()
         .map(|(d, seen_device)| {
             // Fresh configurations (disjoint seed) on each device.
             let data = Dataset::generate(&SEEN_MODELS, scale.configs_per_model / 2 + 1, &d, seed + 33);
@@ -430,10 +437,15 @@ pub struct AggregationRow {
 /// chosen mean.
 pub fn aggregation_study(device: &DeviceSpec, scale: ExperimentScale, seed: u64) -> Vec<AggregationRow> {
     use crate::dataset::AggrKind;
+    use rayon::prelude::*;
     let all = Dataset::generate(&SEEN_MODELS, scale.configs_per_model, device, seed);
-    let trainer = Trainer::new(scale.train_config(seed));
+    // One independent model per aggregation target: train the three
+    // concurrently (serial inner workers, same rationale as
+    // `Suite::fit_parallel`).
+    let trainer =
+        Trainer::new(TrainConfig { parallelism: Parallelism::serial(), ..scale.train_config(seed) });
     [AggrKind::Mean, AggrKind::Max, AggrKind::Min]
-        .into_iter()
+        .into_par_iter()
         .map(|aggr| {
             let (train, test) = all.retarget(aggr).split(0.2);
             let mut model = DnnOccu::new(scale.dnn_occu_config(), seed + 11);
@@ -473,8 +485,9 @@ pub fn ablation_study(device: &DeviceSpec, scale: ExperimentScale, seed: u64) ->
         ("1-graphormer-layer", DnnOccuConfig { graphormer_layers: 1, ..base }),
     ];
     // Same doubled epoch budget the comparison suite gives DNN-occu,
-    // so ablation rows are comparable to the Fig. 4 entries.
-    let mut cfg = scale.train_config(seed);
+    // so ablation rows are comparable to the Fig. 4 entries. Serial
+    // inner workers: the variant-level fan-out fills the pool.
+    let mut cfg = TrainConfig { parallelism: Parallelism::serial(), ..scale.train_config(seed) };
     cfg.epochs *= 2;
     let trainer = Trainer::new(cfg);
     use rayon::prelude::*;

@@ -36,4 +36,4 @@ pub use dataset::{Dataset, Sample};
 pub use features::{FeaturizedGraph, EDGE_FEAT_DIM, NODE_FEAT_DIM, SPD_CAP};
 pub use gnn::{DnnOccu, DnnOccuConfig};
 pub use metrics::{mre, mse, EvalResult};
-pub use train::{OccuPredictor, TrainConfig, Trainer};
+pub use train::{OccuPredictor, Parallelism, TrainConfig, Trainer};

@@ -3,8 +3,9 @@
 use crate::dataset::{Dataset, Sample};
 use crate::features::FeaturizedGraph;
 use crate::metrics::EvalResult;
-use occu_nn::{Adam, AdamConfig, Optimizer, ParamStore, Tape, Var};
+use occu_nn::{Adam, AdamConfig, GradBuffer, Optimizer, ParamStore, Tape, Var};
 use occu_tensor::{Matrix, SeededRng};
+use rayon::prelude::*;
 
 /// Occupancy spans more than two orders of magnitude across the
 /// dataset (tiny RNN kernels at <1% up to dense CNNs near 70%), and
@@ -33,9 +34,11 @@ pub fn target_to_occupancy(t: f32) -> f32 {
 
 /// Anything that maps a featurized graph to a scalar occupancy
 /// prediction on an autodiff tape. Implemented by [`crate::DnnOccu`]
-/// and every baseline. `Send` so experiment suites can train
-/// predictors on separate rayon workers.
-pub trait OccuPredictor: Send {
+/// and every baseline. `Send + Sync` so experiment suites can train
+/// predictors on separate rayon workers and the trainer can share one
+/// predictor across per-sample gradient workers (`forward` takes
+/// `&self`; all mutation goes through [`OccuPredictor::store_mut`]).
+pub trait OccuPredictor: Send + Sync {
     /// Display name used in result tables.
     fn name(&self) -> &'static str;
     /// Parameter store (read).
@@ -58,9 +61,11 @@ pub trait OccuPredictor: Send {
         tape.value(y).get(0, 0)
     }
 
-    /// Predicts every sample of a dataset.
+    /// Predicts every sample of a dataset. Forward passes are
+    /// independent, so they run on all available workers; `collect`
+    /// preserves sample order, keeping the output deterministic.
     fn predict_all(&self, data: &Dataset) -> Vec<f32> {
-        data.samples.iter().map(|s| self.predict(&s.features)).collect()
+        data.samples.par_iter().map(|s| self.predict(&s.features)).collect()
     }
 
     /// Evaluates MRE/MSE on a dataset.
@@ -68,6 +73,51 @@ pub trait OccuPredictor: Send {
         let preds = self.predict_all(data);
         let truth: Vec<f32> = data.samples.iter().map(|s| s.occupancy).collect();
         EvalResult::from_pairs(self.name(), &preds, &truth)
+    }
+}
+
+/// Worker-count policy for data-parallel training and evaluation.
+///
+/// Training results are bit-identical for every worker count (see
+/// [`Trainer::fit`]), so `auto` is always safe; `serial` exists to
+/// skip thread spawning entirely on single-core machines or inside
+/// outer parallel loops (ensemble members, experiment sweeps) that
+/// already saturate the cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads. `0` means auto-detect the machine's cores.
+    pub workers: usize,
+}
+
+impl Parallelism {
+    /// Run everything on the calling thread (no spawning).
+    pub fn serial() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// Use every available core.
+    pub fn auto() -> Self {
+        Self { workers: 0 }
+    }
+
+    /// Use exactly `n` workers (clamped to at least one).
+    pub fn fixed(n: usize) -> Self {
+        Self { workers: n.max(1) }
+    }
+
+    /// Concrete worker count for this machine.
+    pub fn resolve(self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::auto()
     }
 }
 
@@ -89,6 +139,9 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print a progress line every this many epochs (0 = silent).
     pub log_every: usize,
+    /// Worker threads for per-sample gradient computation. Any value
+    /// yields bit-identical parameters for the same seed.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TrainConfig {
@@ -96,7 +149,16 @@ impl Default for TrainConfig {
         // The paper's lr of 1e-4 converges too slowly for the small
         // CPU-budget datasets used here; 3e-3 with the same schedule
         // reaches the same optimum on this data.
-        Self { epochs: 30, lr: 3e-3, weight_decay: 1e-4, batch_size: 8, clip_norm: 5.0, seed: 0, log_every: 0 }
+        Self {
+            epochs: 30,
+            lr: 3e-3,
+            weight_decay: 1e-4,
+            batch_size: 8,
+            clip_norm: 5.0,
+            seed: 0,
+            log_every: 0,
+            parallelism: Parallelism::auto(),
+        }
     }
 }
 
@@ -111,6 +173,19 @@ pub struct EpochStats {
 
 /// Runs the §III-E training loop: shuffled epochs, accumulated
 /// gradients, Adam with decoupled weight decay.
+///
+/// # Parallel gradient computation
+///
+/// Within a batch, each sample's forward + backward runs on its own
+/// worker against a *read-only* model ([`occu_nn::Tape::backward_into`]
+/// collects gradients into a per-sample [`GradBuffer`] instead of
+/// mutating the store). Workers process contiguous slices of the
+/// shuffled batch, each reusing one tape arena via
+/// [`occu_nn::Tape::clear`]. The per-sample buffers are then folded
+/// into the store sequentially, in the batch's (global shuffled)
+/// sample order — the identical left-fold the serial path performs —
+/// so final parameters are bit-identical for every worker count given
+/// the same seed.
 pub struct Trainer {
     cfg: TrainConfig,
 }
@@ -124,6 +199,7 @@ impl Trainer {
     /// Trains `model` on `data`; returns the loss history.
     pub fn fit(&self, model: &mut dyn OccuPredictor, data: &Dataset) -> Vec<EpochStats> {
         assert!(!data.is_empty(), "Trainer::fit: empty training set");
+        let workers = self.cfg.parallelism.resolve();
         let mut opt = Adam::new(
             model.store(),
             AdamConfig { lr: self.cfg.lr, weight_decay: self.cfg.weight_decay, ..AdamConfig::default() },
@@ -141,18 +217,8 @@ impl Trainer {
             opt.set_lr(self.cfg.lr * (0.1 + 0.9 * cos));
             shuffle(&mut order, &mut rng);
             let mut epoch_loss = 0.0f32;
-            let mut since_step = 0usize;
-            for &idx in &order {
-                let sample = &data.samples[idx];
-                epoch_loss += self.accumulate(model, sample);
-                since_step += 1;
-                if since_step == self.cfg.batch_size {
-                    self.step(model, &mut opt, since_step);
-                    since_step = 0;
-                }
-            }
-            if since_step > 0 {
-                self.step(model, &mut opt, since_step);
+            for batch in order.chunks(self.cfg.batch_size.max(1)) {
+                epoch_loss += self.train_batch(model, data, batch, workers, &mut opt);
             }
             let stats = EpochStats { epoch, train_loss: epoch_loss / data.len() as f32 };
             if self.cfg.log_every > 0 && epoch % self.cfg.log_every == 0 {
@@ -163,17 +229,42 @@ impl Trainer {
         history
     }
 
-    /// Forward + backward for one sample; returns the loss value.
-    /// The regression target is the log-scale transform of the
-    /// measured occupancy (see [`occupancy_to_target`]).
-    fn accumulate(&self, model: &mut dyn OccuPredictor, sample: &Sample) -> f32 {
-        let mut tape = Tape::new();
-        let y = model.forward(&mut tape, &sample.features);
-        let t = tape.constant(Matrix::from_vec(1, 1, vec![occupancy_to_target(sample.occupancy)]));
-        let loss = tape.mse_loss(y, t);
-        let v = tape.value(loss).get(0, 0);
-        tape.backward(loss, model.store_mut());
-        v
+    /// Computes per-sample gradients for one batch (parallel across
+    /// `workers`), merges them deterministically, and takes one
+    /// optimizer step. Returns the summed sample losses.
+    fn train_batch(
+        &self,
+        model: &mut dyn OccuPredictor,
+        data: &Dataset,
+        batch: &[usize],
+        workers: usize,
+        opt: &mut Adam,
+    ) -> f32 {
+        let per_sample: Vec<(f32, GradBuffer)> = if workers <= 1 || batch.len() <= 1 {
+            sample_grads(&*model, data, batch)
+        } else {
+            // Contiguous slices keep each worker's tape arena hot and
+            // make the flattened result order independent of timing.
+            let chunk_len = batch.len().div_ceil(workers);
+            let chunks: Vec<Vec<usize>> = batch.chunks(chunk_len).map(<[usize]>::to_vec).collect();
+            let shared: &dyn OccuPredictor = &*model;
+            chunks
+                .into_par_iter()
+                .map(|ids| sample_grads(shared, data, &ids))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        // Fixed left-fold in global sample order: identical summation
+        // tree for any worker count, hence bit-identical training.
+        let mut batch_loss = 0.0f32;
+        for (loss, buf) in &per_sample {
+            batch_loss += loss;
+            buf.apply_to(model.store_mut());
+        }
+        self.step(model, opt, batch.len());
+        batch_loss
     }
 
     fn step(&self, model: &mut dyn OccuPredictor, opt: &mut Adam, accumulated: usize) {
@@ -190,6 +281,36 @@ impl Trainer {
         }
         opt.step(model.store_mut());
     }
+}
+
+/// Worker body: forward + backward for a contiguous slice of sample
+/// indices, reusing one tape arena across the slice via
+/// [`occu_nn::Tape::clear`]. Returns `(loss, gradients)` per sample in
+/// slice order; the model is only read, so many workers can run this
+/// concurrently against the same predictor.
+fn sample_grads(model: &dyn OccuPredictor, data: &Dataset, ids: &[usize]) -> Vec<(f32, GradBuffer)> {
+    let mut tape = Tape::new();
+    ids.iter()
+        .map(|&idx| {
+            tape.clear();
+            let (loss, buf) = sample_grad(model, &mut tape, &data.samples[idx]);
+            (loss, buf)
+        })
+        .collect()
+}
+
+/// Forward + backward for one sample on the given (cleared) tape;
+/// returns the loss value and the sample's parameter gradients. The
+/// regression target is the log-scale transform of the measured
+/// occupancy (see [`occupancy_to_target`]).
+fn sample_grad(model: &dyn OccuPredictor, tape: &mut Tape, sample: &Sample) -> (f32, GradBuffer) {
+    let y = model.forward(tape, &sample.features);
+    let t = tape.constant(Matrix::from_vec(1, 1, vec![occupancy_to_target(sample.occupancy)]));
+    let loss = tape.mse_loss(y, t);
+    let v = tape.value(loss).get(0, 0);
+    let mut buf = GradBuffer::for_store(model.store());
+    tape.backward_into(loss, model.store(), &mut buf);
+    (v, buf)
 }
 
 /// Fisher–Yates shuffle driven by the workspace RNG.
@@ -277,6 +398,46 @@ mod tests {
         // Out-of-range targets amplify (the blow-up mechanism).
         assert!(target_to_occupancy(1.5) > 10.0);
         assert!(target_to_occupancy(-0.5) < 1e-3);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_trained_parameters() {
+        // The parallel gradient path merges per-sample buffers in a
+        // fixed global order, so any worker count must produce the
+        // exact same bits as serial training with the same seed.
+        let data = tiny_dataset();
+        let fit_with = |workers: usize| {
+            let mut model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 5);
+            let cfg = TrainConfig {
+                epochs: 4,
+                batch_size: 2,
+                parallelism: Parallelism::fixed(workers),
+                ..Default::default()
+            };
+            Trainer::new(cfg).fit(&mut model, &data);
+            model
+        };
+        let serial = fit_with(1);
+        for workers in [2, 3, 8] {
+            let parallel = fit_with(workers);
+            for id in serial.store().ids() {
+                assert_eq!(
+                    serial.store().value(id).data(),
+                    parallel.store().value(id).data(),
+                    "param {} differs between 1 and {workers} workers",
+                    serial.store().name(id),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_resolves_to_at_least_one_worker() {
+        assert_eq!(Parallelism::serial().resolve(), 1);
+        assert_eq!(Parallelism::fixed(4).resolve(), 4);
+        assert_eq!(Parallelism::fixed(0).resolve(), 1);
+        assert!(Parallelism::auto().resolve() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::auto());
     }
 
     #[test]

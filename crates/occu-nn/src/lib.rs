@@ -33,4 +33,4 @@ pub mod tape;
 pub use layers::{Activation, Dropout, FeedForward, GruCell, LayerNorm, Linear, LstmCell, Mlp, MultiHeadAttention};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
-pub use tape::{Tape, Var};
+pub use tape::{GradBuffer, Tape, Var};

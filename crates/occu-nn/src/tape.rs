@@ -61,12 +61,86 @@ struct Node {
     op: Op,
 }
 
+/// Per-sample parameter-gradient accumulator, keyed by [`ParamId`].
+///
+/// Holds one gradient matrix per parameter in a store, letting
+/// [`Tape::backward_into`] run without mutating the shared
+/// [`ParamStore`]. Training workers each own a `GradBuffer`, compute
+/// gradients side-effect-free in parallel, and the trainer merges
+/// buffers into the store afterwards in ascending param-id order so
+/// the result is identical regardless of worker count.
+pub struct GradBuffer {
+    grads: Vec<Matrix>,
+}
+
+impl GradBuffer {
+    /// Creates a zeroed buffer shaped like `store`'s parameters.
+    pub fn for_store(store: &ParamStore) -> Self {
+        let grads = store
+            .ids()
+            .map(|id| {
+                let (r, c) = store.value(id).shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        Self { grads }
+    }
+
+    /// Number of parameters tracked.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// True when no parameters are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Resets every gradient to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.data_mut().fill(0.0);
+        }
+    }
+
+    /// Accumulated gradient for one parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    fn accumulate(&mut self, id: ParamId, g: &Matrix) {
+        self.grads[id.0].add_assign(g);
+    }
+
+    /// Adds another buffer into this one, in fixed param-id order.
+    pub fn merge(&mut self, other: &GradBuffer) {
+        assert_eq!(self.grads.len(), other.grads.len(), "merge: buffer sizes differ");
+        for (dst, src) in self.grads.iter_mut().zip(other.grads.iter()) {
+            dst.add_assign(src);
+        }
+    }
+
+    /// Adds this buffer's gradients into `store`'s gradient slots, in
+    /// ascending param-id order (the fixed merge order that keeps
+    /// parallel training bit-deterministic).
+    pub fn apply_to(&self, store: &mut ParamStore) {
+        let ids: Vec<ParamId> = store.ids().collect();
+        assert_eq!(ids.len(), self.grads.len(), "apply_to: store size differs");
+        for id in ids {
+            store.grad_mut(id).add_assign(&self.grads[id.0]);
+        }
+    }
+}
+
 /// Records a computation graph for one forward pass.
 ///
 /// The tape is append-only; [`Var`]s index into it. Values are stored
 /// eagerly (define-by-run), so any intermediate can be inspected with
 /// [`Tape::value`]. Call [`Tape::backward`] on a scalar (`1x1`) output
-/// to populate parameter gradients in the [`ParamStore`].
+/// to populate parameter gradients in the [`ParamStore`], or
+/// [`Tape::backward_into`] to collect them in a [`GradBuffer`] without
+/// touching the store. Reuse one tape across samples with
+/// [`Tape::clear`] to keep the node arena's allocation.
 pub struct Tape {
     nodes: Vec<Node>,
 }
@@ -85,6 +159,13 @@ impl Tape {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Drops all recorded nodes but keeps the arena's capacity, so a
+    /// worker can run many forward/backward passes without reallocating
+    /// the node vector each time.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
@@ -321,6 +402,24 @@ impl Tape {
     /// # Panics
     /// If `output` is not `1x1`.
     pub fn backward(&self, output: Var, store: &mut ParamStore) {
+        self.backward_impl(output, |id, g| store.grad_mut(id).add_assign(g));
+    }
+
+    /// Like [`Tape::backward`], but collects parameter gradients into a
+    /// [`GradBuffer`] instead of mutating the shared store. This is the
+    /// side-effect-free path parallel training workers use: each worker
+    /// owns a buffer, and the trainer merges buffers deterministically.
+    ///
+    /// # Panics
+    /// If `output` is not `1x1`, or if `buf` was not sized for `store`.
+    pub fn backward_into(&self, output: Var, store: &ParamStore, buf: &mut GradBuffer) {
+        assert_eq!(buf.len(), store.len(), "backward_into: buffer does not match store");
+        self.backward_impl(output, |id, g| buf.accumulate(id, g));
+    }
+
+    /// Shared reverse sweep; `sink` receives each parameter's gradient
+    /// contribution (a parameter reached twice gets two calls).
+    fn backward_impl(&self, output: Var, mut sink: impl FnMut(ParamId, &Matrix)) {
         assert_eq!(self.shape(output), (1, 1), "backward: output must be a 1x1 scalar");
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[output.0] = Some(Matrix::ones(1, 1));
@@ -333,7 +432,7 @@ impl Tape {
             match &self.nodes[i].op {
                 Op::Leaf => {}
                 Op::Param(id) => {
-                    store.grad_mut(*id).add_assign(&g);
+                    sink(*id, &g);
                 }
                 Op::Add(a, b) => {
                     accumulate(&mut grads, a.0, &g);
@@ -740,5 +839,89 @@ mod tests {
         assert!(v.get(0, 0).abs() < 1e-6);
         assert!((v.get(0, 1) - 5.0).abs() < 1e-3);
         assert!(v.get(0, 2).abs() < 1e-3);
+    }
+
+    /// Records a small but representative graph (matmul, bias
+    /// broadcast, gelu, layer norm, mse) and returns its scalar loss.
+    fn record_mlp_loss(tape: &mut Tape, store: &ParamStore, w: ParamId, b: ParamId, x: &Matrix) -> Var {
+        let wv = tape.param(store, w);
+        let bv = tape.param(store, b);
+        let xv = tape.constant(x.clone());
+        let h = tape.matmul(xv, wv);
+        let h = tape.add_row_broadcast(h, bv);
+        let h = tape.gelu(h);
+        let h = tape.layer_norm_rows(h);
+        let target = tape.constant(Matrix::full(2, 4, 0.5));
+        tape.mse_loss(h, target)
+    }
+
+    #[test]
+    fn backward_into_matches_backward() {
+        let mut rng = SeededRng::new(7);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::randn(3, 4, 0.5, &mut rng));
+        let b = store.register("b", Matrix::randn(1, 4, 0.5, &mut rng));
+        let x = Matrix::randn(2, 3, 0.5, &mut rng);
+
+        let mut tape = Tape::new();
+        let loss = record_mlp_loss(&mut tape, &store, w, b, &x);
+
+        let mut buf = GradBuffer::for_store(&store);
+        tape.backward_into(loss, &store, &mut buf);
+        tape.backward(loss, &mut store);
+
+        // Same sweep, same accumulation order: bit-identical gradients.
+        assert_eq!(store.grad(w).data(), buf.grad(w).data());
+        assert_eq!(store.grad(b).data(), buf.grad(b).data());
+        assert!(store.grad(w).data().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn cleared_tape_reproduces_fresh_gradients() {
+        // Regression test for arena reuse: a tape that has been used
+        // and cleared must produce exactly the gradients a fresh tape
+        // does — no stale nodes, no leftover state.
+        let mut rng = SeededRng::new(11);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::randn(3, 4, 0.5, &mut rng));
+        let b = store.register("b", Matrix::randn(1, 4, 0.5, &mut rng));
+        let x1 = Matrix::randn(2, 3, 0.5, &mut rng);
+        let x2 = Matrix::randn(2, 3, 0.5, &mut rng);
+
+        let mut fresh = Tape::new();
+        let loss = record_mlp_loss(&mut fresh, &store, w, b, &x2);
+        let mut want = GradBuffer::for_store(&store);
+        fresh.backward_into(loss, &store, &mut want);
+
+        // Reused tape: run an unrelated pass on x1 first, then clear.
+        let mut reused = Tape::new();
+        let loss1 = record_mlp_loss(&mut reused, &store, w, b, &x1);
+        let mut scratch = GradBuffer::for_store(&store);
+        reused.backward_into(loss1, &store, &mut scratch);
+        reused.clear();
+        assert!(reused.is_empty());
+
+        let loss2 = record_mlp_loss(&mut reused, &store, w, b, &x2);
+        let mut got = GradBuffer::for_store(&store);
+        reused.backward_into(loss2, &store, &mut got);
+
+        assert_eq!(want.grad(w).data(), got.grad(w).data());
+        assert_eq!(want.grad(b).data(), got.grad(b).data());
+    }
+
+    #[test]
+    fn grad_buffer_zero_merge_and_apply() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::ones(2, 2));
+        let mut a = GradBuffer::for_store(&store);
+        let mut bbuf = GradBuffer::for_store(&store);
+        a.accumulate(w, &Matrix::full(2, 2, 1.5));
+        bbuf.accumulate(w, &Matrix::full(2, 2, 0.5));
+        a.merge(&bbuf);
+        assert_eq!(a.grad(w).data(), &[2.0; 4]);
+        a.apply_to(&mut store);
+        assert_eq!(store.grad(w).data(), &[2.0; 4]);
+        a.zero();
+        assert_eq!(a.grad(w).data(), &[0.0; 4]);
     }
 }

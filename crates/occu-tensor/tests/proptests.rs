@@ -23,6 +23,38 @@ fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
     })
 }
 
+/// A matmul pair whose dimensions straddle the parallel dispatch
+/// thresholds (`PAR_THRESHOLD_ROWS = 64` rows; `k * n >= 4096`
+/// inner work), so generated cases land on both sides of each
+/// condition and right on the boundary.
+fn threshold_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (62usize..=66, 28usize..=36, 110usize..=135).prop_flat_map(|(m, k, n)| {
+        let a = prop::collection::vec(-1.0f32..1.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = prop::collection::vec(-1.0f32..1.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+/// Textbook i-j-k triple loop: the unambiguous reference both matmul
+/// dispatch paths (serial i-k-j and row-parallel) must agree with.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.get(i, kk) * b.get(kk, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
 proptest! {
     #[test]
     fn transpose_is_involution(m in small_matrix(12)) {
@@ -35,6 +67,23 @@ proptest! {
         let left = a.matmul(&b).transpose();
         let right = b.transpose().matmul(&a.transpose());
         assert_close(&left, &right, 1e-4);
+    }
+
+    #[test]
+    fn matmul_matches_naive_across_par_threshold((a, b) in threshold_matmul_pair()) {
+        // Row counts straddle PAR_THRESHOLD_ROWS and k*n straddles the
+        // inner-work gate, so this exercises the serial path, the
+        // parallel path, and the exact boundary between them. The two
+        // paths use the same per-row accumulation order, so any
+        // divergence from the reference beyond float tolerance means a
+        // dispatch-path bug (stale rows, wrong chunking, bad offsets).
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn matmul_transb_matches_naive_across_par_threshold((a, b) in threshold_matmul_pair()) {
+        let bt = b.transpose();
+        assert_close(&a.matmul_transb(&bt), &naive_matmul(&a, &b), 1e-3);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion` with
+//! `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function`, `benchmark_group`, `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, `BenchmarkId`, `BatchSize`, and
+//! `black_box` — backed by a simple wall-clock loop instead of
+//! criterion's statistical machinery. Each benchmark reports the mean
+//! iteration time to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` inputs are grouped (accepted, not acted on).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark identifier (`"name"` or `BenchmarkId::from_parameter(x)`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean wall-clock time per iteration from the last `iter*` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: bounded by time, may run zero times for slow routines.
+        let warm_deadline = Instant::now() + self.config.warm_up_time.min(Duration::from_millis(200));
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let budget = self.config.measurement_time.min(Duration::from_millis(500));
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            // Time budget is the primary stop; sample_size only extends
+            // the run for routines fast enough to afford it.
+            if start.elapsed() >= budget {
+                break;
+            }
+            if iters as usize >= self.config.sample_size.saturating_mul(100_000) {
+                break;
+            }
+        }
+        self.last_mean = Some(start.elapsed() / iters);
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = self.config.measurement_time.min(Duration::from_millis(500));
+        let mut total = Duration::ZERO;
+        let mut iters: u32 = 0;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if total >= budget {
+                break;
+            }
+            if iters as usize >= self.config.sample_size.saturating_mul(100_000) {
+                break;
+            }
+        }
+        self.last_mean = Some(total / iters);
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.config.clone(), _parent: self }
+    }
+}
+
+/// A named group of related benchmarks with its own config overrides.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<ID, F>(&mut self, id: ID, f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&self.config, &format!("{}/{}", self.name, id.id), f);
+        self
+    }
+
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&self.config, &format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Config, label: &str, mut f: F) {
+    let mut bencher = Bencher { config, last_mean: None };
+    f(&mut bencher);
+    match bencher.last_mean {
+        Some(mean) => println!("bench {label:<60} {mean:>12.3?}/iter"),
+        None => println!("bench {label:<60} (no measurement)"),
+    }
+}
+
+/// `criterion_group!` — both the positional and the
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7usize), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function("plain", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

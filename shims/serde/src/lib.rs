@@ -1,0 +1,418 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's zero-copy visitor architecture, this shim routes
+//! everything through an owned JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] converts `&self` into a [`Value`];
+//! * [`Deserialize`] reconstructs `Self` from a `&Value`.
+//!
+//! The companion `serde_derive` proc-macro generates these impls for
+//! plain named-field structs, newtype/tuple structs, and fieldless
+//! enums — exactly the shapes this workspace derives — honouring
+//! `#[serde(default)]`. `serde_json` (also shimmed) handles the
+//! text encoding on top of `Value`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON document tree (shared between `serde` and
+/// `serde_json`; `serde_json::Value` re-exports this type).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Write `x` with the shortest representation that round-trips. Values
+/// that originated as `f32` compare bit-equal after an f32 round-trip
+/// and are printed via `f32`'s shortest-display, keeping files compact.
+fn write_number(out: &mut impl fmt::Write, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        // JSON has no inf/nan; match serde_json's `null` behaviour.
+        return out.write_str("null");
+    }
+    if x == x.trunc() && x.abs() < 9.0e15 {
+        return write!(out, "{}", x as i64);
+    }
+    let as32 = x as f32;
+    if (as32 as f64).to_bits() == x.to_bits() {
+        write!(out, "{}", as32)
+    } else {
+        write!(out, "{}", x)
+    }
+}
+
+fn write_escaped(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+impl Value {
+    /// Compact single-line JSON encoding.
+    pub fn write_compact(&self, out: &mut impl fmt::Write) -> fmt::Result {
+        match self {
+            Value::Null => out.write_str("null"),
+            Value::Bool(b) => write!(out, "{}", b),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.write_char('[')?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    v.write_compact(out)?;
+                }
+                out.write_char(']')
+            }
+            Value::Object(map) => {
+                out.write_char('{')?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    write_escaped(out, k)?;
+                    out.write_char(':')?;
+                    v.write_compact(out)?;
+                }
+                out.write_char('}')
+            }
+        }
+    }
+
+    /// Pretty-printed JSON with two-space indentation.
+    pub fn write_pretty(&self, out: &mut impl fmt::Write, indent: usize) -> fmt::Result {
+        const STEP: usize = 2;
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.write_str("[\n")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_str(",\n")?;
+                    }
+                    write!(out, "{:width$}", "", width = indent + STEP)?;
+                    v.write_pretty(out, indent + STEP)?;
+                }
+                write!(out, "\n{:width$}]", "", width = indent)
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.write_str("{\n")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.write_str(",\n")?;
+                    }
+                    write!(out, "{:width$}", "", width = indent + STEP)?;
+                    write_escaped(out, k)?;
+                    out.write_str(": ")?;
+                    v.write_pretty(out, indent + STEP)?;
+                }
+                write!(out, "\n{:width$}}}", "", width = indent)
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+/// `Display` renders compact JSON, mirroring `serde_json::Value`.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_compact(f)
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(Error::custom(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {}-tuple array, found {}", LEN, other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_formatting_roundtrips_f32() {
+        let mut s = String::new();
+        write_number(&mut s, 0.30000001192092896).unwrap(); // 0.3f32 as f64
+        assert_eq!(s, "0.3");
+        let mut s = String::new();
+        write_number(&mut s, 2.0).unwrap();
+        assert_eq!(s, "2");
+        let mut s = String::new();
+        write_number(&mut s, 0.1).unwrap(); // true f64, not f32-representable
+        assert_eq!(s, "0.1");
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let mut obj = BTreeMap::new();
+        obj.insert("a".to_string(), Value::Array(vec![Value::Number(1.0), Value::Null]));
+        obj.insert("b".to_string(), Value::String("x\"y".to_string()));
+        let v = Value::Object(obj);
+        assert_eq!(v.to_string(), r#"{"a":[1,null],"b":"x\"y"}"#);
+    }
+
+    #[test]
+    fn option_vec_roundtrip() {
+        let x: Option<Vec<u32>> = Some(vec![1, 2, 3]);
+        let v = x.to_value();
+        let back: Option<Vec<u32>> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, x);
+    }
+}

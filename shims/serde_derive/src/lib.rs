@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (which are `Value`-tree based, not visitor based). Supported
+//! input shapes — the full set used by this workspace:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`);
+//! * tuple structs (a single field serializes transparently as its
+//!   inner value, like serde's newtype structs; wider tuples as arrays);
+//! * enums whose variants all carry no data (serialized as the variant
+//!   name string).
+//!
+//! Generic types, data-carrying enums, and other serde attributes are
+//! rejected with a `compile_error!` naming the construct, so an
+//! unsupported use fails loudly at build time instead of misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match ident_at(&tokens, i) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        _ => return compile_error("serde shim derive: expected `struct` or `enum`"),
+    };
+    i += 1;
+
+    let name = match ident_at(&tokens, i) {
+        Some(n) => n,
+        None => return compile_error("serde shim derive: expected type name"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return compile_error(&format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    let shape = if kind == "enum" {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return compile_error("serde shim derive: expected enum body"),
+        };
+        match parse_unit_enum(body, &name) {
+            Ok(vs) => Shape::UnitEnum(vs),
+            Err(msg) => return compile_error(&msg),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                match parse_named_fields(g.stream(), &name) {
+                    Ok(fs) => Shape::Named(fs),
+                    Err(msg) => return compile_error(&msg),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => {
+                return compile_error(&format!(
+                    "serde shim derive: unsupported struct body for `{name}`"
+                ))
+            }
+        }
+    };
+
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&name, &shape),
+        Mode::Deserialize => gen_deserialize(&name, &shape),
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(_) => compile_error(&format!(
+            "serde shim derive: internal codegen error for `{name}`"
+        )),
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attribute sequences, returning whether any of them was
+/// `#[serde(...)]` containing the bare ident `default`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if attr_is_serde_default(g.stream()) {
+                        has_default = true;
+                    }
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+fn attr_is_serde_default(attr: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream().into_iter().any(
+                |t| matches!(t, TokenTree::Ident(ref id) if id.to_string() == "default"),
+            )
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if ident_at(tokens, *i).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream, type_name: &str) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let has_default = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = ident_at(&tokens, i).ok_or_else(|| {
+            format!("serde shim derive: could not parse field name in `{type_name}`")
+        })?;
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}` in `{type_name}`"
+                ))
+            }
+        }
+        // Consume the field type: everything up to the next comma at
+        // angle-bracket depth zero.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_unit_enum(body: TokenStream, type_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = ident_at(&tokens, i).ok_or_else(|| {
+            format!("serde shim derive: could not parse variant in `{type_name}`")
+        })?;
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive: variant `{type_name}::{name}` carries data, \
+                     only fieldless enums are supported"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim derive: discriminant on `{type_name}::{name}` is not supported"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            _ => {
+                return Err(format!(
+                    "serde shim derive: unexpected token after `{type_name}::{name}`"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut map = ::std::collections::BTreeMap::new();\n\
+                 {inserts}\
+                 ::serde::Value::Object(map)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "::serde::Value::String(match self {{\n{arms}}}.to_string())"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let field_exprs: String = fields
+                .iter()
+                .map(|f| {
+                    let fallback = if f.has_default {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::core::result::Result::Err(::serde::Error::custom(\
+                             concat!(\"missing field `{}` in `{}`\")))",
+                            f.name, name
+                        )
+                    };
+                    format!(
+                        "{n}: match map.get({n:?}) {{\n\
+                             ::core::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                             ::core::option::Option::None => {fallback},\n\
+                         }},\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let map = match v {{\n\
+                     ::serde::Value::Object(m) => m,\n\
+                     other => return ::core::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected object for `{name}`, found {{:?}}\", other))),\n\
+                 }};\n\
+                 ::core::result::Result::Ok({name} {{\n{field_exprs}}})"
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::core::result::Result::Ok({name}({list})),\n\
+                     _ => ::core::result::Result::Err(::serde::Error::custom(\
+                         \"expected {n}-element array for `{name}`\")),\n\
+                 }}",
+                list = items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {arms}\
+                         other => ::core::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{}}` for `{name}`\", other))),\n\
+                     }},\n\
+                     other => ::core::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected string for enum `{name}`, found {{:?}}\", other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

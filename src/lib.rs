@@ -50,7 +50,7 @@ pub mod prelude {
     pub use occu_core::features::{featurize, FeaturizedGraph};
     pub use occu_core::gnn::{DnnOccu, DnnOccuConfig};
     pub use occu_core::metrics::{mre, mse, EvalResult};
-    pub use occu_core::train::{OccuPredictor, TrainConfig, Trainer};
+    pub use occu_core::train::{OccuPredictor, Parallelism, TrainConfig, Trainer};
     pub use occu_gpusim::{profile_graph, DeviceSpec, ProfileReport};
     pub use occu_graph::{to_training_graph, CompGraph, GraphBuilder, GraphMeta, ModelFamily, OpKind};
     pub use occu_models::{ModelConfig, ModelId};
