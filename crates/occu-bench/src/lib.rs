@@ -15,4 +15,4 @@ pub mod perf;
 pub mod report;
 
 pub use apps::{build_job_pool, fig7_study, table6, Table6Row};
-pub use perf::{perf_study, render_perf, PerfReport};
+pub use perf::{obs_overhead_study, perf_study, render_obs_overhead, render_perf, ObsOverheadReport, PerfReport};

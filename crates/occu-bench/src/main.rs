@@ -6,11 +6,15 @@
 //! ```
 //!
 //! Subcommands: `fig2 fig4 fig5 fig45 fig6 fig7 table4 table5 table6
-//! ablation aggr device-gen perf all`. `--quick` shrinks dataset sizes
-//! and epochs for smoke runs; `--device <name>` restricts the
-//! multi-device experiments to one GPU (useful for piecewise archive
-//! runs); `perf` times training at several worker counts and writes a
-//! throughput JSON report (`--out <path>`, default perf_report.json).
+//! ablation aggr device-gen perf obs-overhead all`. `--quick` shrinks
+//! dataset sizes and epochs for smoke runs; `--device <name>` restricts
+//! the multi-device experiments to one GPU (useful for piecewise
+//! archive runs); `perf` times training at several worker counts and
+//! writes a throughput JSON report (`--out <path>`, default
+//! perf_report.json); `obs-overhead` measures the cost of enabling
+//! observability and fails when it exceeds its budget. All subcommands
+//! accept `--trace-out <spans.jsonl>`, `--metrics-out <metrics.json>`,
+//! and `--log-level <level>`.
 
 use occu_bench::report;
 use occu_bench::{fig7_study, table6};
@@ -194,6 +198,32 @@ fn run_perf(quick: bool, args: &[String]) {
     println!();
 }
 
+fn run_obs_overhead(quick: bool, args: &[String]) {
+    let scale = scale_of(quick);
+    let reps = if quick { 2 } else { 3 };
+    let rep = occu_bench::obs_overhead_study(scale, reps, 52);
+    print!("{}", occu_bench::render_obs_overhead(&rep));
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => args.get(i + 1).expect("--out expects a path").clone(),
+        None => "reports/obs_overhead.json".to_string(),
+    };
+    let json = serde_json::to_string_pretty(&rep).expect("overhead report serializes");
+    if let Some(dir) = std::path::Path::new(&out).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    }
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+    println!();
+    if !rep.within_budget() {
+        occu_obs::error!(
+            "obs-overhead: factor {:.3}x exceeds the {:.1}x budget",
+            rep.overhead_factor,
+            rep.budget_factor
+        );
+        std::process::exit(1);
+    }
+}
+
 fn run_device_generalization(quick: bool) {
     let scale = scale_of(quick);
     let rows = occu_core::experiments::device_generalization(scale, 50);
@@ -212,10 +242,50 @@ fn run_device_generalization(quick: bool) {
     println!();
 }
 
+/// Value of a `--flag value` pair, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{flag} expects a value")).as_str())
+}
+
+/// Applies `--log-level` / `--trace-out` / `--metrics-out`; returns
+/// the output paths for [`finish_obs`].
+fn init_obs(args: &[String]) -> (Option<String>, Option<String>) {
+    if let Some(level) = flag_value(args, "--log-level") {
+        occu_obs::set_level_from_str(level).unwrap_or_else(|e| panic!("{e}"));
+    }
+    let trace = flag_value(args, "--trace-out").map(String::from);
+    let metrics = flag_value(args, "--metrics-out").map(String::from);
+    if trace.is_some() || metrics.is_some() {
+        occu_obs::enable();
+    }
+    (trace, metrics)
+}
+
+/// Drains the recorded spans/metrics into the requested files.
+fn finish_obs(trace: Option<String>, metrics: Option<String>) {
+    if trace.is_none() && metrics.is_none() {
+        return;
+    }
+    let spans = occu_obs::take_spans();
+    let snapshot = occu_obs::metrics_snapshot();
+    if let Some(path) = trace {
+        std::fs::write(&path, occu_obs::spans_to_jsonl(&spans))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        occu_obs::info!("wrote {} spans to {path}", spans.len());
+    }
+    if let Some(path) = metrics {
+        std::fs::write(&path, snapshot.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        occu_obs::info!("wrote {} metrics to {path}", snapshot.entries.len());
+    }
+    occu_obs::info!("{}", occu_obs::render_summary(&spans, &snapshot));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    // `--device <name>` takes a value; exclude it from subcommand
+    // Flags that take a value; exclude their values from subcommand
     // detection.
     let mut positional = None;
     let mut skip_next = false;
@@ -224,13 +294,20 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--device" || a == "--out" || a == "--workers" {
+        if a == "--device"
+            || a == "--out"
+            || a == "--workers"
+            || a == "--trace-out"
+            || a == "--metrics-out"
+            || a == "--log-level"
+        {
             skip_next = true;
         } else if !a.starts_with("--") && positional.is_none() {
             positional = Some(a.as_str());
         }
     }
     let cmd = positional.unwrap_or("all");
+    let (trace_out, metrics_out) = init_obs(&args);
 
     match cmd {
         "fig2" => run_fig2(),
@@ -255,6 +332,7 @@ fn main() {
         "aggr" => run_aggr(quick),
         "device-gen" => run_device_generalization(quick),
         "perf" => run_perf(quick, &args),
+        "obs-overhead" => run_obs_overhead(quick, &args),
         "all" => {
             run_fig2();
             run_fig6();
@@ -276,8 +354,10 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [fig2|fig4|fig5|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|all] [--quick] [--out perf_report.json]");
+            eprintln!("usage: repro [fig2|fig4|fig5|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|obs-overhead|all] [--quick] [--out perf_report.json]");
+            eprintln!("observability: --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
             std::process::exit(2);
         }
     }
+    finish_obs(trace_out, metrics_out);
 }

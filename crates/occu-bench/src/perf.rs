@@ -98,12 +98,17 @@ pub fn perf_study(scale: ExperimentScale, worker_counts: &[usize], seed: u64) ->
         if train_rows.is_empty() {
             serial_ms = wall_ms;
         }
-        train_rows.push(TrainPerfRow {
+        let row = TrainPerfRow {
             workers,
             wall_ms,
             samples_per_sec: (scale.epochs * data.len()) as f64 / (wall_ms / 1e3),
             speedup_vs_serial: serial_ms / wall_ms,
-        });
+        };
+        if occu_obs::enabled() {
+            occu_obs::gauge(&format!("perf.train.w{workers}.samples_per_sec")).set(row.samples_per_sec);
+            occu_obs::gauge(&format!("perf.train.w{workers}.wall_ms")).set(row.wall_ms);
+        }
+        train_rows.push(row);
     }
 
     // Inference throughput on the trained model (any row's parameters
@@ -119,6 +124,9 @@ pub fn perf_study(scale: ExperimentScale, worker_counts: &[usize], seed: u64) ->
         wall_ms,
         graphs_per_sec: preds.len() as f64 / (wall_ms / 1e3),
     };
+    if occu_obs::enabled() {
+        occu_obs::gauge("perf.predict.graphs_per_sec").set(predict.graphs_per_sec);
+    }
 
     PerfReport {
         host_cores: Parallelism::auto().resolve(),
@@ -129,6 +137,131 @@ pub fn perf_study(scale: ExperimentScale, worker_counts: &[usize], seed: u64) ->
         train: train_rows,
         predict,
     }
+}
+
+/// The `repro obs-overhead` report: the same training run timed with
+/// observability off and on, proving the instrumentation honors its
+/// overhead budget.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObsOverheadReport {
+    /// Cores the OS reports (`available_parallelism`).
+    pub host_cores: usize,
+    /// Training-set size (samples).
+    pub train_samples: usize,
+    /// Epochs each timed run trains for.
+    pub epochs: usize,
+    /// Hidden width of the timed DNN-occu.
+    pub hidden: usize,
+    /// Timed repetitions per mode (best of N is reported).
+    pub reps: usize,
+    /// Best wall time with recording off, milliseconds.
+    pub baseline_ms: f64,
+    /// Best wall time with recording on, milliseconds.
+    pub instrumented_ms: f64,
+    /// `instrumented_ms / baseline_ms`.
+    pub overhead_factor: f64,
+    /// Spans recorded by one instrumented run.
+    pub spans_recorded: usize,
+    /// Metric entries recorded by one instrumented run.
+    pub metrics_entries: usize,
+    /// Largest acceptable `overhead_factor`.
+    pub budget_factor: f64,
+}
+
+impl ObsOverheadReport {
+    /// True when the measured overhead is inside the budget.
+    pub fn within_budget(&self) -> bool {
+        self.overhead_factor <= self.budget_factor
+    }
+}
+
+/// Times `Trainer::fit` with recording off and on (best of `reps`
+/// each, interleaved) and reports the overhead factor. Restores the
+/// recording state it found and leaves the global registry/buffers
+/// clean.
+pub fn obs_overhead_study(scale: ExperimentScale, reps: usize, seed: u64) -> ObsOverheadReport {
+    // Span/metric recording is process-global; remember what we found.
+    let was_enabled = occu_obs::enabled();
+    let device = DeviceSpec::a100();
+    let data = Dataset::generate(&SEEN_MODELS, scale.configs_per_model, &device, seed);
+    let cfg = DnnOccuConfig { hidden: scale.hidden, ..DnnOccuConfig::fast() };
+    let reps = reps.max(2);
+
+    let time_fit = |enabled: bool| -> f64 {
+        if enabled {
+            occu_obs::enable();
+        } else {
+            occu_obs::disable();
+        }
+        let mut model = DnnOccu::new(cfg, seed);
+        let train_cfg =
+            TrainConfig { epochs: scale.epochs, seed, ..TrainConfig::default() };
+        let start = Instant::now();
+        Trainer::new(train_cfg).fit(&mut model, &data);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+
+    // Warm both paths once (allocator, thread pool, registry lookups),
+    // then interleave the timed reps so drift hits both modes equally.
+    time_fit(false);
+    time_fit(true);
+    occu_obs::take_spans();
+    occu_obs::clear_metrics();
+
+    let mut baseline_ms = f64::INFINITY;
+    let mut instrumented_ms = f64::INFINITY;
+    let mut spans_recorded = 0;
+    let mut metrics_entries = 0;
+    for _ in 0..reps {
+        baseline_ms = baseline_ms.min(time_fit(false));
+        instrumented_ms = instrumented_ms.min(time_fit(true));
+        spans_recorded = occu_obs::take_spans().len();
+        metrics_entries = occu_obs::metrics_snapshot().entries.len();
+        occu_obs::clear_metrics();
+    }
+    if was_enabled {
+        occu_obs::enable();
+    } else {
+        occu_obs::disable();
+    }
+
+    ObsOverheadReport {
+        host_cores: Parallelism::auto().resolve(),
+        train_samples: data.len(),
+        epochs: scale.epochs,
+        hidden: scale.hidden,
+        reps,
+        baseline_ms,
+        instrumented_ms,
+        overhead_factor: instrumented_ms / baseline_ms,
+        spans_recorded,
+        metrics_entries,
+        // Per-batch spans + atomics should stay well under 3x even on
+        // the quick scale, where batches are tiny and overhead is
+        // proportionally largest.
+        budget_factor: 3.0,
+    }
+}
+
+/// Renders the overhead report for the console.
+pub fn render_obs_overhead(rep: &ObsOverheadReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Observability overhead: {} samples x {} epochs, hidden {}, {} host cores ==",
+        rep.train_samples, rep.epochs, rep.hidden, rep.host_cores
+    );
+    let _ = writeln!(out, "baseline (obs off):     {:>10.1} ms  (best of {})", rep.baseline_ms, rep.reps);
+    let _ = writeln!(out, "instrumented (obs on):  {:>10.1} ms  ({} spans, {} metrics)", rep.instrumented_ms, rep.spans_recorded, rep.metrics_entries);
+    let _ = writeln!(
+        out,
+        "overhead factor:        {:>10.3}x  (budget {:.1}x) {}",
+        rep.overhead_factor,
+        rep.budget_factor,
+        if rep.within_budget() { "OK" } else { "OVER BUDGET" }
+    );
+    out
 }
 
 /// Renders the report as an aligned console table.
@@ -160,8 +293,13 @@ pub fn render_perf(rep: &PerfReport) -> String {
 mod tests {
     use super::*;
 
+    /// Serializes tests that run `fit` while the global recording
+    /// switch may flip (obs state is process-wide).
+    static GLOBAL_OBS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn perf_study_produces_consistent_report() {
+        let _guard = GLOBAL_OBS.lock().unwrap();
         let scale = ExperimentScale { configs_per_model: 1, epochs: 2, hidden: 16 };
         let rep = perf_study(scale, &[1, 2], 3);
         assert_eq!(rep.train.len(), 2);
@@ -177,6 +315,25 @@ mod tests {
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.train.len(), rep.train.len());
         assert_eq!(back.host_cores, rep.host_cores);
+    }
+
+    #[test]
+    fn obs_overhead_study_measures_both_modes() {
+        let _guard = GLOBAL_OBS.lock().unwrap();
+        let scale = ExperimentScale { configs_per_model: 1, epochs: 2, hidden: 16 };
+        let rep = obs_overhead_study(scale, 2, 7);
+        assert!(rep.baseline_ms > 0.0 && rep.baseline_ms.is_finite());
+        assert!(rep.instrumented_ms > 0.0 && rep.instrumented_ms.is_finite());
+        assert!(rep.overhead_factor > 0.0);
+        // The instrumented run must actually have recorded something.
+        assert!(rep.spans_recorded > 0, "no spans recorded");
+        assert!(rep.metrics_entries > 0, "no metrics recorded");
+        // The study must leave the process in its default quiet state.
+        assert!(!occu_obs::enabled());
+        assert!(occu_obs::take_spans().is_empty());
+        let json = serde_json::to_string_pretty(&rep).unwrap();
+        let back: ObsOverheadReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.reps, rep.reps);
     }
 
     #[test]

@@ -44,6 +44,11 @@ impl Args {
         self.flags.get(key).map(String::as_str).unwrap_or(default)
     }
 
+    /// Optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
     /// Required string flag.
     pub fn require(&self, key: &str) -> Result<&str, String> {
         self.flags

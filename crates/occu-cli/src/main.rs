@@ -8,6 +8,10 @@
 //! occu predict  --weights model.json --model ResNet-50 --batch 32 --device a100
 //! occu schedule --jobs 24 --gpus 4 [--weights model.json] [--seed 1]
 //! ```
+//!
+//! Every command additionally accepts `--trace-out <spans.jsonl>`,
+//! `--metrics-out <metrics.json>`, and `--log-level <level>`; `train`
+//! writes a `<out stem>.manifest.json` run manifest next to the model.
 
 mod args;
 
@@ -27,6 +31,10 @@ fn main() {
         Ok(a) => a,
         Err(e) => die(&e),
     };
+    let obs = match ObsSession::init(&args) {
+        Ok(o) => o,
+        Err(e) => die(&e),
+    };
     let result = match args.command.as_deref() {
         Some("models") => cmd_models(),
         Some("devices") => cmd_devices(),
@@ -37,7 +45,7 @@ fn main() {
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".to_string()),
     };
-    if let Err(e) = result {
+    if let Err(e) = result.and_then(|()| obs.finish()) {
         die(&e);
     }
 }
@@ -47,10 +55,60 @@ fn die(msg: &str) -> ! {
     eprintln!();
     eprintln!("usage: occu <models|devices|profile|train|predict|schedule> [flags]");
     eprintln!("  occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]");
-    eprintln!("  occu train    --out model.json [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0]");
+    eprintln!("  occu train    [--out model.json] [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0]");
     eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100]");
     eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--seed 1]");
+    eprintln!("observability (any command): --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     std::process::exit(2);
+}
+
+/// Observability lifecycle for one CLI invocation: `--trace-out` /
+/// `--metrics-out` switch recording on; at exit the span timeline and
+/// metrics snapshot are written and a summary goes to stderr.
+/// `--log-level <error|warn|info|debug|trace>` gates progress lines
+/// independently (default `info` keeps the historical output).
+struct ObsSession {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+impl ObsSession {
+    fn init(args: &Args) -> Result<Self, String> {
+        if let Some(level) = args.get("log-level") {
+            occu_obs::set_level_from_str(level)?;
+        }
+        let session = Self {
+            trace_out: args.get("trace-out").map(String::from),
+            metrics_out: args.get("metrics-out").map(String::from),
+        };
+        if session.active() {
+            occu_obs::enable();
+        }
+        Ok(session)
+    }
+
+    fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if !self.active() {
+            return Ok(());
+        }
+        let spans = occu_obs::take_spans();
+        let snapshot = occu_obs::metrics_snapshot();
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, occu_obs::spans_to_jsonl(&spans))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            occu_obs::info!("wrote {} spans to {path}", spans.len());
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, snapshot.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            occu_obs::info!("wrote {} metrics to {path}", snapshot.entries.len());
+        }
+        occu_obs::info!("{}", occu_obs::render_summary(&spans, &snapshot));
+        Ok(())
+    }
 }
 
 fn lookup_device(args: &Args) -> Result<DeviceSpec, String> {
@@ -178,8 +236,9 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
+    let started = std::time::Instant::now();
     let device = lookup_device(args)?;
-    let out = args.require("out")?.to_string();
+    let out = args.get_or("out", "model.json").to_string();
     let configs = args.usize_or("configs", 8)?;
     let epochs = args.usize_or("epochs", 50)?;
     let hidden = args.usize_or("hidden", ExperimentScale::full().hidden)?;
@@ -188,11 +247,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     // worker count, so this only affects wall-clock time.
     let workers = args.usize_or("workers", 0)?;
 
-    eprintln!("generating {} configurations x {} models on {}...", configs, SEEN_MODELS.len(), device.name);
+    occu_obs::info!(
+        "generating {} configurations x {} models on {}...",
+        configs,
+        SEEN_MODELS.len(),
+        device.name
+    );
     let data = Dataset::generate(&SEEN_MODELS, configs, &device, seed);
     let (train, test) = data.split(0.2);
     let mut model = DnnOccu::new(DnnOccuConfig { hidden, ..DnnOccuConfig::fast() }, seed);
-    eprintln!(
+    occu_obs::info!(
         "training DNN-occu ({} parameters) on {} samples for {} epochs...",
         model.num_parameters(),
         train.len(),
@@ -204,11 +268,36 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         parallelism: Parallelism { workers },
         ..Default::default()
     });
-    trainer.fit(&mut model, &train);
+    let history = trainer.fit(&mut model, &train);
     let eval = model.evaluate(&test);
-    eprintln!("held-out: {eval}");
+    occu_obs::info!("held-out: {eval}");
     std::fs::write(&out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
-    eprintln!("saved model to {out}");
+    occu_obs::info!("saved model to {out}");
+
+    let mut manifest = occu_obs::RunManifest::new("occu train")
+        .with_config("device", &device.name)
+        .with_config("configs", &configs.to_string())
+        .with_config("epochs", &epochs.to_string())
+        .with_config("hidden", &hidden.to_string())
+        .with_config("workers", &workers.to_string())
+        .with_config("train_samples", &train.len().to_string())
+        .with_config("test_samples", &test.len().to_string())
+        .with_config("parameters", &model.num_parameters().to_string())
+        .with_metric("heldout_mre", f64::from(eval.mre))
+        .with_metric("heldout_mse", f64::from(eval.mse));
+    if let Some(last) = history.last() {
+        manifest = manifest.with_metric("final_train_loss", f64::from(last.train_loss));
+    }
+    manifest.seed = seed;
+    manifest.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    manifest.artifacts = vec![out.clone()];
+    if occu_obs::enabled() {
+        manifest.metrics = Some(occu_obs::metrics_snapshot());
+    }
+    let manifest_path = manifest
+        .write_next_to(std::path::Path::new(&out))
+        .map_err(|e| format!("writing manifest: {e}"))?;
+    occu_obs::info!("wrote run manifest to {}", manifest_path.display());
     Ok(())
 }
 
@@ -259,7 +348,7 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
         Err(_) => None,
     };
 
-    eprintln!("profiling a {n_jobs}-job workload mix on {}...", device.name);
+    occu_obs::info!("profiling a {n_jobs}-job workload mix on {}...", device.name);
     let mut rng = occu_tensor::SeededRng::new(seed);
     let jobs: Vec<occu_sched::Job> = (0..n_jobs)
         .map(|id| {

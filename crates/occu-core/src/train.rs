@@ -197,9 +197,22 @@ impl Trainer {
     }
 
     /// Trains `model` on `data`; returns the loss history.
+    ///
+    /// When observability is enabled (`occu_obs::enable`), the run
+    /// records a `train.fit` → `train.epoch` → `train.batch` span
+    /// timeline plus loss/grad-norm/throughput metrics and per-worker
+    /// sample counts; disabled, each site is a single atomic check.
     pub fn fit(&self, model: &mut dyn OccuPredictor, data: &Dataset) -> Vec<EpochStats> {
         assert!(!data.is_empty(), "Trainer::fit: empty training set");
         let workers = self.cfg.parallelism.resolve();
+        let fit_start = std::time::Instant::now();
+        let _fit_span = occu_obs::span!(
+            "train.fit",
+            model = model.name(),
+            epochs = self.cfg.epochs,
+            samples = data.len(),
+            workers = workers,
+        );
         let mut opt = Adam::new(
             model.store(),
             AdamConfig { lr: self.cfg.lr, weight_decay: self.cfg.weight_decay, ..AdamConfig::default() },
@@ -209,6 +222,7 @@ impl Trainer {
         let mut history = Vec::with_capacity(self.cfg.epochs);
 
         for epoch in 0..self.cfg.epochs {
+            let _epoch_span = occu_obs::span!("train.epoch", epoch = epoch);
             // Cosine learning-rate decay to 10% of the base rate:
             // full-rate Adam late in training destabilizes the small
             // per-graph batches.
@@ -217,14 +231,28 @@ impl Trainer {
             opt.set_lr(self.cfg.lr * (0.1 + 0.9 * cos));
             shuffle(&mut order, &mut rng);
             let mut epoch_loss = 0.0f32;
-            for batch in order.chunks(self.cfg.batch_size.max(1)) {
-                epoch_loss += self.train_batch(model, data, batch, workers, &mut opt);
+            for (bi, batch) in order.chunks(self.cfg.batch_size.max(1)).enumerate() {
+                let _batch_span = occu_obs::span!("train.batch", batch = bi, size = batch.len());
+                let batch_loss = self.train_batch(model, data, batch, workers, &mut opt);
+                if occu_obs::enabled() {
+                    occu_obs::histogram("train.batch_loss", &BATCH_LOSS_EDGES)
+                        .observe(f64::from(batch_loss / batch.len() as f32));
+                }
+                epoch_loss += batch_loss;
             }
             let stats = EpochStats { epoch, train_loss: epoch_loss / data.len() as f32 };
+            if occu_obs::enabled() {
+                occu_obs::gauge("train.loss").set(f64::from(stats.train_loss));
+            }
             if self.cfg.log_every > 0 && epoch % self.cfg.log_every == 0 {
-                eprintln!("[{}] epoch {:3}  loss {:.6}", model.name(), epoch, stats.train_loss);
+                occu_obs::info!("[{}] epoch {:3}  loss {:.6}", model.name(), epoch, stats.train_loss);
             }
             history.push(stats);
+        }
+        if occu_obs::enabled() {
+            let secs = fit_start.elapsed().as_secs_f64();
+            occu_obs::gauge("train.samples_per_sec")
+                .set((self.cfg.epochs * data.len()) as f64 / secs.max(1e-9));
         }
         history
     }
@@ -241,16 +269,26 @@ impl Trainer {
         opt: &mut Adam,
     ) -> f32 {
         let per_sample: Vec<(f32, GradBuffer)> = if workers <= 1 || batch.len() <= 1 {
+            if occu_obs::enabled() {
+                occu_obs::counter("train.samples.worker0").add(batch.len() as u64);
+            }
             sample_grads(&*model, data, batch)
         } else {
             // Contiguous slices keep each worker's tape arena hot and
             // make the flattened result order independent of timing.
             let chunk_len = batch.len().div_ceil(workers);
-            let chunks: Vec<Vec<usize>> = batch.chunks(chunk_len).map(<[usize]>::to_vec).collect();
+            let chunks: Vec<(usize, Vec<usize>)> =
+                batch.chunks(chunk_len).map(<[usize]>::to_vec).enumerate().collect();
             let shared: &dyn OccuPredictor = &*model;
             chunks
                 .into_par_iter()
-                .map(|ids| sample_grads(shared, data, &ids))
+                .map(|(w, ids)| {
+                    let _span = occu_obs::span!("train.grad_worker", worker = w, samples = ids.len());
+                    if occu_obs::enabled() {
+                        occu_obs::counter(&format!("train.samples.worker{w}")).add(ids.len() as u64);
+                    }
+                    sample_grads(shared, data, &ids)
+                })
                 .collect::<Vec<_>>()
                 .into_iter()
                 .flatten()
@@ -276,12 +314,21 @@ impl Trainer {
                 model.store_mut().grad_mut(id).map_inplace(|g| g * scale);
             }
         }
+        if occu_obs::enabled() {
+            // Pre-clip norm: the true gradient magnitude of the step.
+            occu_obs::gauge("train.grad_norm").set(f64::from(model.store().grad_norm()));
+        }
         if self.cfg.clip_norm > 0.0 {
             model.store_mut().clip_grad_norm(self.cfg.clip_norm);
         }
         opt.step(model.store_mut());
     }
 }
+
+/// Bucket edges for the per-batch mean-loss histogram. MSE on the
+/// `[0, 1]` log-scale target starts around ~1e-1 and converges toward
+/// ~1e-3, so the edges are log-spaced over that range.
+const BATCH_LOSS_EDGES: [f64; 9] = [1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0];
 
 /// Worker body: forward + backward for a contiguous slice of sample
 /// indices, reusing one tape arena across the slice via
@@ -438,6 +485,44 @@ mod tests {
         assert_eq!(Parallelism::fixed(0).resolve(), 1);
         assert!(Parallelism::auto().resolve() >= 1);
         assert_eq!(Parallelism::default(), Parallelism::auto());
+    }
+
+    #[test]
+    fn instrumented_fit_matches_uninstrumented_bits() {
+        // Observability records but never perturbs: parameters after
+        // training with tracing + metrics on are bit-identical to the
+        // silent run, and the run leaves an epoch/batch span timeline
+        // plus the headline metrics behind.
+        let data = tiny_dataset();
+        let fit = || {
+            let mut model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 11);
+            let cfg = TrainConfig { epochs: 3, batch_size: 2, parallelism: Parallelism::fixed(2), ..Default::default() };
+            Trainer::new(cfg).fit(&mut model, &data);
+            model
+        };
+        let silent = fit();
+        occu_obs::enable();
+        let traced = fit();
+        occu_obs::disable();
+        for id in silent.store().ids() {
+            assert_eq!(silent.store().value(id).data(), traced.store().value(id).data());
+        }
+        let spans = occu_obs::take_spans();
+        assert!(spans.iter().any(|s| s.name == "train.fit"));
+        assert!(spans.iter().any(|s| s.name == "train.epoch"));
+        let fit_span = spans.iter().find(|s| s.name == "train.fit").unwrap();
+        assert!(
+            spans.iter().filter(|s| s.name == "train.batch").any(|s| {
+                s.parent.is_some_and(|p| spans.iter().any(|e| e.id == p && e.name == "train.epoch"))
+            }),
+            "batches nest under epochs"
+        );
+        assert!(fit_span.dur_us > 0.0);
+        let snap = occu_obs::metrics_snapshot();
+        assert!(snap.get("train.loss").is_some());
+        assert!(snap.get("train.samples_per_sec").is_some());
+        assert!(snap.get("train.grad_norm").is_some());
+        assert!(snap.get("train.samples.worker0").is_some());
     }
 
     #[test]

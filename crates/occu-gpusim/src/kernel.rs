@@ -24,6 +24,20 @@ pub enum KernelCategory {
 }
 
 impl KernelCategory {
+    /// Lowercase category name, used as a stable metric-key segment
+    /// (`gpusim.kernels.<category>`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelCategory::Gemm => "gemm",
+            KernelCategory::Conv => "conv",
+            KernelCategory::Elementwise => "elementwise",
+            KernelCategory::Reduction => "reduction",
+            KernelCategory::Memory => "memory",
+            KernelCategory::Attention => "attention",
+            KernelCategory::Recurrent => "recurrent",
+        }
+    }
+
     /// Warp-scheduler efficiency: the fraction of theoretically
     /// resident warps that stay active in steady state. Compute-dense
     /// kernels keep warps busy; memory-bound kernels stall more.

@@ -85,17 +85,88 @@ impl ProfileReport {
     }
 
     /// Renders the per-kernel records as CSV (the same columns an
-    /// `ncu --csv` export leads with), for offline analysis.
+    /// `ncu --csv` export leads with), for offline analysis. Kernel
+    /// names containing commas, quotes, or newlines are quoted per
+    /// RFC 4180 so rows always parse back to five fields.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("kernel,grid_blocks,block_threads,duration_us,achieved_occupancy\n");
         for k in &self.kernels {
             out.push_str(&format!(
                 "{},{},{},{:.3},{:.6}\n",
-                k.name, k.grid_blocks, k.block_threads, k.duration_us, k.occupancy
+                csv_field(&k.name),
+                k.grid_blocks,
+                k.block_threads,
+                k.duration_us,
+                k.occupancy
             ));
         }
         out
     }
+
+    /// Parses [`ProfileReport::to_csv`] output back into kernel
+    /// records (quoted fields included). The inverse used by tests
+    /// and offline tooling; header must match the export's.
+    pub fn kernels_from_csv(csv: &str) -> Result<Vec<KernelProfile>, String> {
+        let mut lines = csv.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        if header != "kernel,grid_blocks,block_threads,duration_us,achieved_occupancy" {
+            return Err(format!("unexpected CSV header '{header}'"));
+        }
+        lines
+            .enumerate()
+            .map(|(i, line)| {
+                let fields = split_csv_row(line);
+                if fields.len() != 5 {
+                    return Err(format!("row {}: expected 5 fields, got {}", i + 1, fields.len()));
+                }
+                let num = |j: usize, what: &str| {
+                    fields[j].parse::<f64>().map_err(|_| format!("row {}: bad {what} '{}'", i + 1, fields[j]))
+                };
+                Ok(KernelProfile {
+                    name: fields[0].clone(),
+                    grid_blocks: num(1, "grid_blocks")? as u64,
+                    block_threads: num(2, "block_threads")? as u32,
+                    duration_us: num(3, "duration_us")?,
+                    occupancy: num(4, "achieved_occupancy")?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote, or
+/// newline (RFC 4180: embedded quotes double).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Splits one CSV row honoring RFC 4180 quoting.
+fn split_csv_row(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() => quoted = true,
+            ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
 }
 
 /// Roofline duration of one kernel in microseconds.
@@ -166,11 +237,24 @@ pub fn fits_memory(graph: &CompGraph, dev: &DeviceSpec) -> bool {
     memory_footprint_bytes(graph) <= dev.memory_bytes()
 }
 
+/// Bucket edges for the per-kernel achieved-occupancy histogram
+/// (`gpusim.kernel_occupancy`): ten uniform buckets over `[0, 1]`.
+pub const OCCUPANCY_EDGES: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
 /// Profiles one inference iteration of `graph` on `dev`.
 ///
 /// Deterministic: the same (graph, device) pair always produces the
-/// same report, which keeps dataset generation reproducible.
+/// same report, which keeps dataset generation reproducible. When
+/// observability is enabled, each call records a `gpusim.profile`
+/// span, per-category kernel counters, the kernel-occupancy
+/// histogram, and a memory-footprint gauge.
 pub fn profile_graph(graph: &CompGraph, dev: &DeviceSpec) -> ProfileReport {
+    let _span = occu_obs::span!(
+        "gpusim.profile",
+        device = dev.name.as_str(),
+        graph = graph.meta.model_name.as_str(),
+        nodes = graph.num_nodes(),
+    );
     let kernels = lower_graph(graph, dev);
     let mut profiles = Vec::with_capacity(kernels.len());
     let mut busy = 0.0f64;
@@ -210,6 +294,20 @@ pub fn profile_graph(graph: &CompGraph, dev: &DeviceSpec) -> ProfileReport {
         .sum();
     let host_gap = 30.0 + input_bytes as f64 / 4_000.0; // 4 GB/s in bytes/us
     let wall = busy + gaps + host_gap;
+    let memory = memory_footprint_bytes(graph);
+    if occu_obs::enabled() {
+        occu_obs::counter("gpusim.profiles").inc();
+        let hist = occu_obs::histogram("gpusim.kernel_occupancy", &OCCUPANCY_EDGES);
+        let mut by_category: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+        for (k, p) in kernels.iter().zip(&profiles) {
+            hist.observe(p.occupancy);
+            *by_category.entry(k.category.as_str()).or_insert(0) += 1;
+        }
+        for (category, n) in by_category {
+            occu_obs::counter(&format!("gpusim.kernels.{category}")).add(n);
+        }
+        occu_obs::gauge("gpusim.memory_bytes").set(memory as f64);
+    }
     ProfileReport {
         device: dev.name.clone(),
         mean_occupancy: if busy > 0.0 { weighted / busy } else { 0.0 },
@@ -219,7 +317,7 @@ pub fn profile_graph(graph: &CompGraph, dev: &DeviceSpec) -> ProfileReport {
         nvml_utilization: if wall > 0.0 { busy / wall } else { 0.0 },
         busy_us: busy,
         wall_us: wall,
-        memory_bytes: memory_footprint_bytes(graph),
+        memory_bytes: memory,
         kernels: profiles,
     }
 }
@@ -353,6 +451,77 @@ mod tests {
     }
 
     #[test]
+    fn csv_roundtrips_kernel_names_with_commas() {
+        // ncu-style kernel names can carry template argument lists —
+        // commas and quotes included; the export must keep rows
+        // parseable.
+        let rep = ProfileReport {
+            device: "a100".into(),
+            kernels: vec![
+                KernelProfile {
+                    name: "gemm_tn<128,64,8>".into(),
+                    occupancy: 0.51,
+                    duration_us: 12.345,
+                    grid_blocks: 432,
+                    block_threads: 256,
+                },
+                KernelProfile {
+                    name: "plain_kernel".into(),
+                    occupancy: 0.25,
+                    duration_us: 3.5,
+                    grid_blocks: 16,
+                    block_threads: 128,
+                },
+                KernelProfile {
+                    name: "odd \"quoted\", name".into(),
+                    occupancy: 1.0,
+                    duration_us: 2.0,
+                    grid_blocks: 1,
+                    block_threads: 32,
+                },
+            ],
+            mean_occupancy: 0.5,
+            arith_mean_occupancy: 0.5,
+            max_occupancy: 1.0,
+            min_occupancy: 0.25,
+            nvml_utilization: 0.5,
+            busy_us: 17.845,
+            wall_us: 50.0,
+            memory_bytes: 1 << 30,
+        };
+        let csv = rep.to_csv();
+        let back = ProfileReport::kernels_from_csv(&csv).expect("roundtrip parses");
+        assert_eq!(back.len(), rep.kernels.len());
+        for (a, b) in rep.kernels.iter().zip(&back) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.grid_blocks, b.grid_blocks);
+            assert_eq!(a.block_threads, b.block_threads);
+            assert!((a.duration_us - b.duration_us).abs() < 1e-3);
+            assert!((a.occupancy - b.occupancy).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn csv_header_mismatch_is_rejected() {
+        assert!(ProfileReport::kernels_from_csv("bogus,header\n1,2\n").is_err());
+        assert!(ProfileReport::kernels_from_csv("").is_err());
+        // Header alone parses to zero kernels.
+        let header = "kernel,grid_blocks,block_threads,duration_us,achieved_occupancy\n";
+        assert_eq!(ProfileReport::kernels_from_csv(header).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn real_profile_csv_roundtrips() {
+        let rep = profile_graph(&cnn_block(4), &DeviceSpec::a100());
+        let back = ProfileReport::kernels_from_csv(&rep.to_csv()).unwrap();
+        assert_eq!(back.len(), rep.kernels.len());
+        for (a, b) in rep.kernels.iter().zip(&back) {
+            assert_eq!(a.name, b.name);
+            assert!((a.occupancy - b.occupancy).abs() < 1e-6);
+        }
+    }
+
+    #[test]
     fn category_summary_partitions_time() {
         let g = cnn_block(8);
         let rep = profile_graph(&g, &DeviceSpec::a100());
@@ -367,6 +536,28 @@ mod tests {
         // Hottest kernel belongs to the top family's time budget.
         let hottest = rep.hottest_kernel().unwrap();
         assert!(hottest.duration_us <= rows[0].1 + 1e-9);
+    }
+
+    #[test]
+    fn profiling_records_kernel_metrics_when_enabled() {
+        let g = cnn_block(8);
+        let dev = DeviceSpec::a100();
+        occu_obs::enable();
+        let rep = profile_graph(&g, &dev);
+        occu_obs::disable();
+        let snap = occu_obs::metrics_snapshot();
+        let Some(occu_obs::MetricValue::Histogram { counts, count, .. }) = snap.get("gpusim.kernel_occupancy")
+        else {
+            panic!("kernel occupancy histogram missing");
+        };
+        assert!(*count >= rep.kernels.len() as u64);
+        assert_eq!(counts.iter().sum::<u64>(), *count);
+        assert!(snap.get("gpusim.kernels.conv").is_some(), "conv kernels counted");
+        match snap.get("gpusim.memory_bytes") {
+            Some(occu_obs::MetricValue::Gauge(v)) => assert!(*v > 0.0),
+            other => panic!("memory gauge missing: {other:?}"),
+        }
+        assert!(occu_obs::take_spans().iter().any(|s| s.name == "gpusim.profile"));
     }
 
     #[test]

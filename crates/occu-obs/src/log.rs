@@ -1,0 +1,106 @@
+//! Leveled stderr logging.
+//!
+//! Messages print *bare* (no level prefix, no timestamp) so routing
+//! the pre-existing `eprintln!` progress lines through [`info!`]
+//! keeps the default output byte-identical; the level gate is the
+//! only new behaviour. Default level: `Info`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or wrong-result conditions.
+    Error = 0,
+    /// Suspicious but survivable conditions.
+    Warn = 1,
+    /// Progress lines (the default).
+    Info = 2,
+    /// Per-phase detail.
+    Debug = 3,
+    /// Per-item detail.
+    Trace = 4,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive).
+    pub fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown log level '{other}' (error|warn|info|debug|trace)")),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Sets the global log level from its name.
+pub fn set_level_from_str(s: &str) -> Result<(), String> {
+    set_level(Level::from_str(s)?);
+    Ok(())
+}
+
+/// The current global log level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// True when a message at `l` would print.
+pub fn level_enabled(l: Level) -> bool {
+    l <= level()
+}
+
+/// Prints `args` to stderr when `l` passes the global level. Prefer
+/// the [`error!`](crate::error!) … [`trace!`](crate::trace!) macros.
+pub fn log(l: Level, args: fmt::Arguments<'_>) {
+    if level_enabled(l) {
+        eprintln!("{args}");
+    }
+}
+
+/// Logs at `Error` level (format-args like `eprintln!`).
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)*) => { $crate::log::log($crate::log::Level::Error, format_args!($($t)*)) };
+}
+
+/// Logs at `Warn` level.
+#[macro_export]
+macro_rules! warn {
+    ($($t:tt)*) => { $crate::log::log($crate::log::Level::Warn, format_args!($($t)*)) };
+}
+
+/// Logs at `Info` level — the default progress stream.
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => { $crate::log::log($crate::log::Level::Info, format_args!($($t)*)) };
+}
+
+/// Logs at `Debug` level.
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => { $crate::log::log($crate::log::Level::Debug, format_args!($($t)*)) };
+}
+
+/// Logs at `Trace` level.
+#[macro_export]
+macro_rules! trace {
+    ($($t:tt)*) => { $crate::log::log($crate::log::Level::Trace, format_args!($($t)*)) };
+}

@@ -1,0 +1,162 @@
+//! Run manifests: a JSON record of how an artifact was produced.
+//!
+//! A manifest captures the command line, configuration, seed, code
+//! version, wall time, final metrics, and (when recording is on) the
+//! full metrics snapshot, and is written next to the artifact it
+//! describes — turning every saved model into a reproducible
+//! experiment record.
+
+use crate::metrics::{json_f64, MetricsSnapshot};
+use crate::sink::push_json_str;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A run manifest. Populate the public fields, then
+/// [`RunManifest::write_next_to`] an artifact.
+#[derive(Clone, Debug)]
+pub struct RunManifest {
+    /// Tool/subcommand that produced the artifact (e.g. `occu train`).
+    pub tool: String,
+    /// Code version (see [`version_string`]).
+    pub version: String,
+    /// Full command line (`argv`).
+    pub command: Vec<String>,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Configuration key/value pairs (ordered as inserted).
+    pub config: Vec<(String, String)>,
+    /// End-to-end wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Paths of artifacts this run produced.
+    pub artifacts: Vec<String>,
+    /// Headline result metrics (name → value).
+    pub final_metrics: Vec<(String, f64)>,
+    /// Full metrics snapshot, when observability was enabled.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl RunManifest {
+    /// A manifest for `tool`, capturing the process's command line
+    /// and code version.
+    pub fn new(tool: &str) -> Self {
+        Self {
+            tool: tool.to_string(),
+            version: version_string(),
+            command: std::env::args().collect(),
+            seed: 0,
+            config: Vec::new(),
+            wall_ms: 0.0,
+            artifacts: Vec::new(),
+            final_metrics: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Adds a configuration pair (builder-style).
+    pub fn with_config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Records a headline metric (builder-style).
+    pub fn with_metric(mut self, name: &str, value: f64) -> Self {
+        self.final_metrics.push((name.to_string(), value));
+        self
+    }
+
+    /// Pretty-printed JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(out, "  \"tool\": ");
+        push_json_str(&mut out, &self.tool);
+        let _ = write!(out, ",\n  \"version\": ");
+        push_json_str(&mut out, &self.version);
+        out.push_str(",\n  \"command\": [");
+        for (i, a) in self.command.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_json_str(&mut out, a);
+        }
+        let _ = write!(out, "],\n  \"seed\": {},\n  \"config\": {{", self.seed);
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            out.push_str(if i > 0 { ", " } else { "" });
+            push_json_str(&mut out, k);
+            out.push_str(": ");
+            push_json_str(&mut out, v);
+        }
+        let _ = write!(out, "}},\n  \"wall_ms\": {},\n  \"artifacts\": [", json_f64(self.wall_ms));
+        for (i, a) in self.artifacts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_json_str(&mut out, a);
+        }
+        out.push_str("],\n  \"final_metrics\": {");
+        for (i, (k, v)) in self.final_metrics.iter().enumerate() {
+            out.push_str(if i > 0 { ", " } else { "" });
+            push_json_str(&mut out, k);
+            let _ = write!(out, ": {}", json_f64(*v));
+        }
+        out.push('}');
+        if let Some(snap) = &self.metrics {
+            // Indent the nested snapshot to keep the document readable.
+            let nested = snap.to_json().replace('\n', "\n  ");
+            let _ = write!(out, ",\n  \"metrics\": {nested}");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The manifest path for an artifact: `model.json` →
+    /// `model.manifest.json` (non-`.json` artifacts just gain the
+    /// `.manifest.json` suffix).
+    pub fn manifest_path_for(artifact: &Path) -> PathBuf {
+        let name = artifact.file_name().and_then(|n| n.to_str()).unwrap_or("run");
+        let stem = name.strip_suffix(".json").unwrap_or(name);
+        artifact.with_file_name(format!("{stem}.manifest.json"))
+    }
+
+    /// Writes the manifest next to `artifact`; returns the path
+    /// written.
+    pub fn write_next_to(&self, artifact: &Path) -> std::io::Result<PathBuf> {
+        let path = Self::manifest_path_for(artifact);
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// A git-describe-style version: the crate version plus the current
+/// commit's short hash when a `.git` directory is reachable from the
+/// working directory (`0.1.0+g1a2b3c4`, falling back to plain
+/// `0.1.0`). Read at runtime — no build script, no git binary.
+pub fn version_string() -> String {
+    let base = env!("CARGO_PKG_VERSION");
+    match git_short_hash() {
+        Some(hash) => format!("{base}+g{hash}"),
+        None => base.to_string(),
+    }
+}
+
+fn git_short_hash() -> Option<String> {
+    // Walk a few levels up so binaries run from crate subdirectories
+    // still find the repository root.
+    let mut dir = std::env::current_dir().ok()?;
+    for _ in 0..5 {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+            let head = head.trim();
+            let commit = match head.strip_prefix("ref: ") {
+                Some(r) => std::fs::read_to_string(git.join(r)).ok()?.trim().to_string(),
+                None => head.to_string(),
+            };
+            if commit.len() >= 7 && commit.chars().all(|c| c.is_ascii_hexdigit()) {
+                return Some(commit[..7].to_string());
+            }
+            return None;
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+    None
+}

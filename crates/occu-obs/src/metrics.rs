@@ -1,0 +1,321 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms backed by atomics.
+//!
+//! Handles are `Arc`s into the registry, so hot paths look a metric
+//! up once and then update lock-free. Floating-point atomics are
+//! plain `AtomicU64`s holding `f64` bit patterns, with CAS loops for
+//! read-modify-write updates.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point metric.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` (CAS loop).
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram. Bucket `i < edges.len()` counts
+/// observations `v <= edges[i]` (and greater than the previous edge);
+/// one overflow bucket catches everything above the last edge.
+#[derive(Debug)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(edges: &[f64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one bucket edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing: {edges:?}"
+        );
+        Self {
+            edges: edges.to_vec(),
+            counts: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.edges.partition_point(|&e| e < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// The bucket upper edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts (`edges.len() + 1` entries; last = overflow).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram {
+        /// Bucket upper edges.
+        edges: Vec<f64>,
+        /// Per-bucket counts (last = overflow above the final edge).
+        counts: Vec<u64>,
+        /// Sum of observations.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// A point-in-time copy of a whole registry, name-sorted.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Metric name → value.
+    pub entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// True when no metrics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the snapshot as a pretty-printed JSON object keyed by
+    /// metric name; every value carries a `"type"` discriminant.
+    pub fn to_json(&self) -> String {
+        use crate::sink::push_json_str;
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            out.push_str("  ");
+            push_json_str(&mut out, name);
+            out.push_str(": ");
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {}}}", json_f64(*v));
+                }
+                MetricValue::Histogram { edges, counts, sum, count } => {
+                    let e: Vec<String> = edges.iter().map(|x| json_f64(*x)).collect();
+                    let c: Vec<String> = counts.iter().map(u64::to_string).collect();
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"histogram\", \"edges\": [{}], \"counts\": [{}], \"sum\": {}, \"count\": {}}}",
+                        e.join(", "),
+                        c.join(", "),
+                        json_f64(*sum),
+                        count
+                    );
+                }
+            }
+            out.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// JSON-safe float rendering (JSON has no NaN/Inf literals).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` prints the shortest representation that round-trips;
+        // integral floats get a ".0" suffix so they stay floats.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A named-metric registry. The workspace normally uses the global
+/// one (via [`crate::counter`] etc.); tests build their own for
+/// isolation.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self { inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Get-or-create a counter. Panics if `name` already holds a
+    /// different metric type (a misconfiguration worth failing fast on).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// Get-or-create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// Get-or-create a histogram. `edges` (strictly increasing bucket
+    /// upper bounds) only apply on first creation.
+    pub fn histogram(&self, name: &str, edges: &[f64]) -> Arc<Histogram> {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(edges))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// Point-in-time copy of every metric (does not reset anything).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let entries = map
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        edges: h.edges().to_vec(),
+                        counts: h.bucket_counts(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
+    /// Drops every metric.
+    pub fn clear(&self) {
+        self.inner.lock().expect("metrics registry poisoned").clear();
+    }
+}
+
+/// The process-wide registry behind [`crate::counter`] /
+/// [`crate::gauge`] / [`crate::histogram`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}

@@ -1,0 +1,151 @@
+//! Export sinks: JSONL span timelines and the human-readable
+//! end-of-run summary.
+
+use crate::metrics::{json_f64, MetricValue, MetricsSnapshot};
+use crate::span::{FieldVal, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders spans as JSONL: one JSON object per line, in input order.
+/// Each line carries `type`, `id`, `parent` (null at the root),
+/// `thread`, `name`, `start_us`, `dur_us`, and a `fields` object, so
+/// the timeline reconstructs with any JSON-lines reader.
+pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str("{\"type\": \"span\", \"id\": ");
+        let _ = write!(out, "{}", s.id);
+        out.push_str(", \"parent\": ");
+        match s.parent {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ", \"thread\": {}", s.thread);
+        out.push_str(", \"name\": ");
+        push_json_str(&mut out, &s.name);
+        let _ = write!(out, ", \"start_us\": {}, \"dur_us\": {}", json_f64(s.start_us), json_f64(s.dur_us));
+        out.push_str(", \"fields\": {");
+        for (i, (k, v)) in s.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_json_str(&mut out, k);
+            out.push_str(": ");
+            match v {
+                FieldVal::Num(n) => out.push_str(&json_f64(*n)),
+                FieldVal::Str(t) => push_json_str(&mut out, t),
+            }
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Per-path aggregate used by the summary renderer.
+struct PathStats {
+    count: u64,
+    total_us: f64,
+    max_us: f64,
+}
+
+/// Renders the end-of-run report: a span tree aggregated by call path
+/// (`fit > epoch > batch`) with call counts and total/mean/max wall
+/// time, followed by every metric. Lines are prefixed with two spaces
+/// per nesting level.
+pub fn render_summary(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== observability summary ==");
+    if spans.is_empty() {
+        let _ = writeln!(out, "(no spans recorded)");
+    } else {
+        // Resolve each span's name-path by walking parent links.
+        let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+        let mut agg: BTreeMap<Vec<String>, PathStats> = BTreeMap::new();
+        for s in spans {
+            let mut path = vec![s.name.clone()];
+            let mut cur = s.parent;
+            while let Some(pid) = cur {
+                match by_id.get(&pid) {
+                    Some(p) => {
+                        path.push(p.name.clone());
+                        cur = p.parent;
+                    }
+                    // Parent still open (not yet drained): root here.
+                    None => break,
+                }
+            }
+            path.reverse();
+            let e = agg.entry(path).or_insert(PathStats { count: 0, total_us: 0.0, max_us: 0.0 });
+            e.count += 1;
+            e.total_us += s.dur_us;
+            e.max_us = e.max_us.max(s.dur_us);
+        }
+        let _ = writeln!(out, "{:<44} {:>8} {:>12} {:>10} {:>10}", "span", "calls", "total ms", "mean ms", "max ms");
+        for (path, st) in &agg {
+            let depth = path.len() - 1;
+            let label = format!("{}{}", "  ".repeat(depth), path.last().expect("non-empty path"));
+            let _ = writeln!(
+                out,
+                "{:<44} {:>8} {:>12.3} {:>10.3} {:>10.3}",
+                label,
+                st.count,
+                st.total_us / 1e3,
+                st.total_us / st.count as f64 / 1e3,
+                st.max_us / 1e3
+            );
+        }
+    }
+    if !metrics.is_empty() {
+        let _ = writeln!(out, "-- metrics --");
+        for (name, value) in &metrics.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name:<44} counter {v:>14}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name:<44} gauge   {v:>14.4}");
+                }
+                MetricValue::Histogram { edges, counts, sum, count } => {
+                    let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                    let _ = writeln!(out, "{name:<44} hist    n={count} mean={mean:.4}");
+                    let mut parts: Vec<String> = edges
+                        .iter()
+                        .zip(counts.iter())
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(e, c)| format!("<={e}: {c}"))
+                        .collect();
+                    if let Some(&overflow) = counts.last() {
+                        if overflow > 0 {
+                            parts.push(format!(">{}: {}", edges.last().expect("non-empty edges"), overflow));
+                        }
+                    }
+                    if !parts.is_empty() {
+                        let _ = writeln!(out, "{:<44}         [{}]", "", parts.join("  "));
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,261 @@
+//! Integration tests for the observability layer. JSON outputs are
+//! parsed back through the vendored `serde_json` shim to prove the
+//! hand-rolled emitters produce standard JSON.
+
+use occu_obs::metrics::Registry;
+use occu_obs::{span, MetricValue, RunManifest};
+use std::sync::Mutex;
+
+/// Tests that toggle the process-wide enable flag or drain the global
+/// span buffers serialize on this lock so they cannot steal each
+/// other's records.
+static GLOBAL_OBS: Mutex<()> = Mutex::new(());
+
+#[test]
+fn histogram_bucket_edges_are_upper_inclusive() {
+    let reg = Registry::new();
+    let h = reg.histogram("h", &[0.1, 0.2, 0.5]);
+    // On-edge values land in the bucket they bound; above-last goes
+    // to the overflow bucket.
+    h.observe(0.05); // <= 0.1
+    h.observe(0.1); // <= 0.1 (edge itself)
+    h.observe(0.11); // <= 0.2
+    h.observe(0.2); // <= 0.2
+    h.observe(0.35); // <= 0.5
+    h.observe(0.5); // <= 0.5
+    h.observe(0.51); // overflow
+    h.observe(9.0); // overflow
+    assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+    assert_eq!(h.count(), 8);
+    assert!((h.sum() - 10.82).abs() < 1e-9);
+    assert!((h.mean() - 10.82 / 8.0).abs() < 1e-9);
+}
+
+#[test]
+#[should_panic(expected = "strictly increasing")]
+fn histogram_rejects_unsorted_edges() {
+    Registry::new().histogram("bad", &[0.5, 0.1]);
+}
+
+#[test]
+fn counters_sum_exactly_under_concurrent_increments() {
+    let reg = Registry::new();
+    let c = reg.counter("c");
+    let g = reg.gauge("g");
+    let h = reg.histogram("h", &[10.0]);
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let (c, g, h) = (c.clone(), g.clone(), h.clone());
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                    g.add(1.0);
+                    h.observe(1.0);
+                }
+            });
+        }
+    });
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(c.get(), total);
+    assert_eq!(g.get(), total as f64);
+    assert_eq!(h.count(), total);
+    assert_eq!(h.sum(), total as f64);
+}
+
+#[test]
+fn nested_span_durations_account_child_within_parent() {
+    let _lock = GLOBAL_OBS.lock().unwrap();
+    occu_obs::take_spans(); // discard leftovers from other tests
+    occu_obs::enable();
+    {
+        let _parent = span!("parent", step = 1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _child = span!("child", kind = "inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _child = span!("child", kind = "inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    occu_obs::disable();
+    let spans = occu_obs::take_spans();
+    let parent = spans.iter().find(|s| s.name == "parent").expect("parent recorded");
+    let children: Vec<_> = spans.iter().filter(|s| s.name == "child").collect();
+    assert_eq!(children.len(), 2);
+    let child_total: f64 = children.iter().map(|c| c.dur_us).sum();
+    for c in &children {
+        assert_eq!(c.parent, Some(parent.id), "child links to parent");
+        assert_eq!(c.thread, parent.thread);
+        assert!(c.start_us >= parent.start_us);
+        assert!(c.start_us + c.dur_us <= parent.start_us + parent.dur_us + 1.0);
+    }
+    assert!(
+        child_total <= parent.dur_us,
+        "children ({child_total} us) exceed parent ({} us)",
+        parent.dur_us
+    );
+    assert!(parent.parent.is_none());
+}
+
+#[test]
+fn spans_record_across_worker_threads_without_loss() {
+    let _lock = GLOBAL_OBS.lock().unwrap();
+    occu_obs::take_spans();
+    occu_obs::enable();
+    const WORKERS: usize = 6;
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            s.spawn(move || {
+                let _span = span!("worker", idx = w);
+            });
+        }
+    });
+    occu_obs::disable();
+    let spans = occu_obs::take_spans();
+    let workers: Vec<_> = spans.iter().filter(|s| s.name == "worker").collect();
+    assert_eq!(workers.len(), WORKERS, "every exited thread's buffer was retired and drained");
+    // Thread ids are distinct per worker thread.
+    let mut tids: Vec<u64> = workers.iter().map(|s| s.thread).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), WORKERS);
+}
+
+#[test]
+fn disabled_spans_record_nothing() {
+    let _lock = GLOBAL_OBS.lock().unwrap();
+    occu_obs::take_spans();
+    occu_obs::disable();
+    {
+        let g = span!("invisible");
+        assert!(g.id().is_none());
+    }
+    assert!(occu_obs::take_spans().is_empty());
+}
+
+#[test]
+fn jsonl_sink_output_parses_via_serde_json() {
+    let _lock = GLOBAL_OBS.lock().unwrap();
+    occu_obs::take_spans();
+    occu_obs::enable();
+    {
+        let _outer = span!("epoch", epoch = 3, model = "DNN-occu");
+        let _inner = span!("batch", size = 8);
+    }
+    occu_obs::disable();
+    let spans = occu_obs::take_spans();
+    let jsonl = occu_obs::spans_to_jsonl(&spans);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), spans.len());
+    let mut saw_child = false;
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("line parses as JSON");
+        assert_eq!(v.get("type").and_then(|t| t.as_str()), Some("span"));
+        assert!(v.get("id").and_then(|x| x.as_f64()).is_some());
+        assert!(v.get("dur_us").and_then(|x| x.as_f64()).unwrap() >= 0.0);
+        let name = v.get("name").and_then(|n| n.as_str()).unwrap();
+        if name == "batch" {
+            saw_child = true;
+            assert!(!v.get("parent").unwrap().is_null(), "batch nests under epoch");
+            let fields = v.get("fields").unwrap();
+            assert_eq!(fields.get("size").and_then(|x| x.as_f64()), Some(8.0));
+        } else if name == "epoch" {
+            let fields = v.get("fields").unwrap();
+            assert_eq!(fields.get("model").and_then(|x| x.as_str()), Some("DNN-occu"));
+        }
+    }
+    assert!(saw_child);
+}
+
+#[test]
+fn snapshot_json_parses_and_preserves_values() {
+    let reg = Registry::new();
+    reg.counter("kernels.gemm").add(17);
+    reg.gauge("memory_gib").set(4.25);
+    let h = reg.histogram("occ \"quoted\"", &[0.5, 1.0]);
+    h.observe(0.25);
+    h.observe(0.75);
+    let snap = reg.snapshot();
+    let v: serde_json::Value = serde_json::from_str(&snap.to_json()).expect("snapshot JSON parses");
+    let obj = v.as_object().unwrap();
+    assert_eq!(obj["kernels.gemm"].get("value").and_then(|x| x.as_f64()), Some(17.0));
+    assert_eq!(obj["memory_gib"].get("value").and_then(|x| x.as_f64()), Some(4.25));
+    let hist = &obj["occ \"quoted\""];
+    assert_eq!(hist.get("count").and_then(|x| x.as_f64()), Some(2.0));
+    let counts: Vec<f64> =
+        hist.get("counts").unwrap().as_array().unwrap().iter().map(|c| c.as_f64().unwrap()).collect();
+    assert_eq!(counts, vec![1.0, 1.0, 0.0]);
+    // And the typed accessor agrees.
+    assert_eq!(snap.get("kernels.gemm"), Some(&MetricValue::Counter(17)));
+}
+
+#[test]
+fn manifest_json_parses_with_escaped_content() {
+    let manifest = RunManifest::new("occu train")
+        .with_config("device", "a100")
+        .with_config("note", "path\\with \"quotes\"\nand newline")
+        .with_metric("heldout_mre", 0.234);
+    let v: serde_json::Value = serde_json::from_str(&manifest.to_json()).expect("manifest parses");
+    assert_eq!(v.get("tool").and_then(|t| t.as_str()), Some("occu train"));
+    let cfg = v.get("config").unwrap();
+    assert_eq!(cfg.get("device").and_then(|d| d.as_str()), Some("a100"));
+    assert_eq!(
+        cfg.get("note").and_then(|n| n.as_str()),
+        Some("path\\with \"quotes\"\nand newline")
+    );
+    let fm = v.get("final_metrics").unwrap();
+    assert_eq!(fm.get("heldout_mre").and_then(|x| x.as_f64()), Some(0.234));
+    assert!(!v.get("version").and_then(|x| x.as_str()).unwrap().is_empty());
+}
+
+#[test]
+fn manifest_path_replaces_json_suffix() {
+    use std::path::Path;
+    assert_eq!(
+        RunManifest::manifest_path_for(Path::new("out/model.json")),
+        Path::new("out/model.manifest.json")
+    );
+    assert_eq!(
+        RunManifest::manifest_path_for(Path::new("weights.bin")),
+        Path::new("weights.bin.manifest.json")
+    );
+}
+
+#[test]
+fn log_levels_parse_and_gate() {
+    use occu_obs::Level;
+    assert_eq!(Level::from_str("WARN").unwrap(), Level::Warn);
+    assert!(Level::from_str("loud").is_err());
+    assert!(Level::Error < Level::Trace);
+    // Default level prints info but not debug.
+    assert!(occu_obs::log::level_enabled(Level::Info));
+    assert!(!occu_obs::log::level_enabled(Level::Debug));
+}
+
+#[test]
+fn summary_renders_span_tree_and_metrics() {
+    let _lock = GLOBAL_OBS.lock().unwrap();
+    occu_obs::take_spans();
+    occu_obs::enable();
+    {
+        let _fit = span!("fit");
+        for _ in 0..3 {
+            let _epoch = span!("epoch");
+        }
+    }
+    occu_obs::disable();
+    let spans = occu_obs::take_spans();
+    let reg = Registry::new();
+    reg.counter("placements").add(5);
+    let text = occu_obs::render_summary(&spans, &reg.snapshot());
+    assert!(text.contains("fit"), "{text}");
+    assert!(text.contains("  epoch"), "epoch indented under fit: {text}");
+    assert!(text.contains("placements"), "{text}");
+    // The epoch row aggregates all three calls.
+    let epoch_line = text.lines().find(|l| l.trim_start().starts_with("epoch")).unwrap();
+    assert!(epoch_line.contains(" 3 "), "{epoch_line}");
+}

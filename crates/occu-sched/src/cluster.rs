@@ -59,6 +59,13 @@ struct Running {
 /// resident (the metric saturates — §II-B).
 pub fn simulate(jobs: &[Job], gpus: &[GpuSpec], policy: PackingPolicy) -> SimResult {
     assert!(!gpus.is_empty(), "simulate: need at least one GPU");
+    let _span = occu_obs::span!(
+        "sched.simulate",
+        policy = policy.name(),
+        jobs = jobs.len(),
+        gpus = gpus.len(),
+    );
+    let obs_on = occu_obs::enabled();
     for j in jobs {
         j.validate().unwrap_or_else(|e| panic!("simulate: {e}"));
         assert!(
@@ -102,11 +109,23 @@ pub fn simulate(jobs: &[Job], gpus: &[GpuSpec], policy: PackingPolicy) -> SimRes
                     let job = queue.remove(i).expect("index in range");
                     running[g].push(Running { remaining: job.work_us, job });
                     max_coloc = max_coloc.max(running[g].len());
+                    if obs_on {
+                        occu_obs::counter("sched.placements").inc();
+                        // Scheduler-visible (predicted) occupancy the
+                        // packing decision just committed this GPU to.
+                        let load: f64 = running[g].iter().map(|r| r.job.predicted_occupancy).sum();
+                        occu_obs::gauge(&format!("sched.gpu{g}.occupancy_sum")).set(load);
+                    }
                     placed = true;
                     break;
                 }
             }
             if !placed {
+                // The job fits no GPU under this policy right now; it
+                // waits in the FCFS queue for the next event.
+                if obs_on {
+                    occu_obs::counter("sched.rejections").inc();
+                }
                 i += 1;
             }
         }
@@ -168,6 +187,9 @@ pub fn simulate(jobs: &[Job], gpus: &[GpuSpec], policy: PackingPolicy) -> SimRes
         }
     }
 
+    if obs_on {
+        occu_obs::gauge("sched.max_colocation").set(max_coloc as f64);
+    }
     let mean_jct = if jcts.is_empty() {
         0.0
     } else {
@@ -317,6 +339,30 @@ mod tests {
         assert_eq!(res.max_colocation, 2);
         // Makespan below strictly serial (2e5 + 2e6 + 1e6).
         assert!(res.makespan_us < 3.2e6);
+    }
+
+    #[test]
+    fn simulation_records_placements_and_gpu_load_when_enabled() {
+        let pool = jobs(6, 0.3, 0.3);
+        occu_obs::enable();
+        let res = simulate(&pool, &GpuSpec::cluster(2), PackingPolicy::OccuPacking);
+        occu_obs::disable();
+        let snap = occu_obs::metrics_snapshot();
+        match snap.get("sched.placements") {
+            Some(occu_obs::MetricValue::Counter(n)) => assert!(*n >= 6, "all jobs placed: {n}"),
+            other => panic!("placements counter missing: {other:?}"),
+        }
+        assert!(snap.get("sched.gpu0.occupancy_sum").is_some());
+        match snap.get("sched.max_colocation") {
+            Some(occu_obs::MetricValue::Gauge(v)) => assert!(*v >= res.max_colocation as f64),
+            other => panic!("max colocation gauge missing: {other:?}"),
+        }
+        let spans = occu_obs::take_spans();
+        let sim = spans.iter().find(|s| s.name == "sched.simulate").expect("simulate span");
+        assert!(sim
+            .fields
+            .iter()
+            .any(|(k, v)| k == "policy" && *v == occu_obs::FieldVal::Str("occu-packing".into())));
     }
 
     #[test]
