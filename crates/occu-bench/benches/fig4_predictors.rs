@@ -42,7 +42,7 @@ fn bench_training_step(c: &mut Criterion) {
         b.iter_batched(
             || DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 3),
             |mut model| {
-                trainer.fit(&mut model, &data);
+                trainer.fit(&mut model, &data).expect("bench config is valid");
                 black_box(model.predict(&data.samples[0].features))
             },
             criterion::BatchSize::LargeInput,

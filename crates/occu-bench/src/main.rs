@@ -9,12 +9,22 @@
 //! ablation aggr device-gen perf obs-overhead all`. `--quick` shrinks
 //! dataset sizes and epochs for smoke runs; `--device <name>` restricts
 //! the multi-device experiments to one GPU (useful for piecewise
-//! archive runs); `perf` times training at several worker counts and
-//! writes a throughput JSON report (`--out <path>`, default
-//! perf_report.json); `obs-overhead` measures the cost of enabling
-//! observability and fails when it exceeds its budget. All subcommands
-//! accept `--trace-out <spans.jsonl>`, `--metrics-out <metrics.json>`,
-//! and `--log-level <level>`.
+//! archive runs) and also accepts a device-spec JSON path; `perf`
+//! times training at several worker counts and writes a throughput
+//! JSON report (`--out <path>`, default perf_report.json);
+//! `obs-overhead` measures the cost of enabling observability and
+//! fails when it exceeds its budget. All subcommands accept
+//! `--trace-out <spans.jsonl>`, `--metrics-out <metrics.json>`, and
+//! `--log-level <level>`.
+//!
+//! ## Exit codes
+//!
+//! Usage mistakes exit 2. Pipeline failures print one `error:` line
+//! and exit with the `OccuError` code for the failure class: 3 io,
+//! 4 parse, 5 shape, 6 config, 7 data. `obs-overhead` exits 1 when
+//! the measured overhead blows its budget.
+
+#![warn(clippy::unwrap_used)]
 
 use occu_bench::report;
 use occu_bench::{fig7_study, table6};
@@ -22,8 +32,28 @@ use occu_core::experiments::{
     ablation_study, batch_sweep, fig4_comparison, fig5_robustness, table4_clip,
     table5_generalization, ExperimentScale,
 };
+use occu_error::{IoContext, OccuError};
 use occu_gpusim::DeviceSpec;
 use occu_models::ModelId;
+
+/// Either a command-line usage mistake (exit 2 + usage text) or a
+/// typed pipeline failure (its own exit code, one `error:` line).
+enum CliError {
+    Usage(String),
+    Pipeline(OccuError),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<OccuError> for CliError {
+    fn from(e: OccuError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
 
 fn scale_of(quick: bool) -> ExperimentScale {
     if quick {
@@ -33,14 +63,23 @@ fn scale_of(quick: bool) -> ExperimentScale {
     }
 }
 
-/// Devices selected by `--device <name>` (default: the paper's three).
-fn devices_of(args: &[String]) -> Vec<DeviceSpec> {
-    match args.iter().position(|a| a == "--device") {
-        Some(i) => {
-            let name = args.get(i + 1).expect("--device expects a name");
-            vec![DeviceSpec::by_name(name).unwrap_or_else(|| panic!("unknown device '{name}'"))]
-        }
-        None => DeviceSpec::paper_devices(),
+/// Value of a `--flag value` pair, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.as_str())),
+            None => Err(format!("{flag} expects a value")),
+        },
+    }
+}
+
+/// Devices selected by `--device <name-or-path>` (default: the
+/// paper's three).
+fn devices_of(args: &[String]) -> Result<Vec<DeviceSpec>, CliError> {
+    match flag_value(args, "--device")? {
+        Some(name) => Ok(vec![DeviceSpec::resolve(name)?]),
+        None => Ok(DeviceSpec::paper_devices()),
     }
 }
 
@@ -85,26 +124,40 @@ fn run_fig6() {
     }
 }
 
-fn run_fig4(quick: bool, args: &[String]) {
+fn run_fig4(quick: bool, args: &[String]) -> Result<(), CliError> {
     let scale = scale_of(quick);
-    for dev in devices_of(args) {
+    for dev in devices_of(args)? {
         let res = fig4_comparison(&dev, scale, 42);
         println!("{}", report::render_fig4(&res));
     }
+    Ok(())
 }
 
-fn run_fig5(quick: bool, args: &[String]) {
+fn run_fig5(quick: bool, args: &[String]) -> Result<(), CliError> {
     let scale = scale_of(quick);
-    for dev in devices_of(args) {
+    for dev in devices_of(args)? {
         let (nodes, edges) = fig5_robustness(&dev, scale, 43);
         println!("{}", report::render_fig5(&dev.name, &nodes, &edges));
     }
+    Ok(())
 }
 
-fn run_table4(quick: bool, args: &[String]) {
+fn run_fig45(quick: bool, args: &[String]) -> Result<(), CliError> {
+    // Fig. 4 + Fig. 5 sharing one trained suite per device.
+    let scale = scale_of(quick);
+    for dev in devices_of(args)? {
+        let art = occu_core::experiments::prepare_comparison(&dev, scale, 42);
+        println!("{}", report::render_fig4(&occu_core::experiments::fig4_from(&art)));
+        let (nodes, edges) = occu_core::experiments::fig5_from(&art);
+        println!("{}", report::render_fig5(&dev.name, &nodes, &edges));
+    }
+    Ok(())
+}
+
+fn run_table4(quick: bool, args: &[String]) -> Result<(), CliError> {
     let scale = scale_of(quick);
     let devs: Vec<DeviceSpec> = if args.iter().any(|a| a == "--device") {
-        devices_of(args)
+        devices_of(args)?
     } else {
         vec![DeviceSpec::a100(), DeviceSpec::p40()] // the paper's Table IV devices
     };
@@ -113,15 +166,17 @@ fn run_table4(quick: bool, args: &[String]) {
         rows.extend(table4_clip(&dev, scale, 44));
     }
     println!("{}", report::render_table4(&rows));
+    Ok(())
 }
 
-fn run_table5(quick: bool, args: &[String]) {
+fn run_table5(quick: bool, args: &[String]) -> Result<(), CliError> {
     let scale = scale_of(quick);
     let mut rows = Vec::new();
-    for dev in devices_of(args) {
+    for dev in devices_of(args)? {
         rows.extend(table5_generalization(&dev, scale, 45));
     }
     println!("{}", report::render_table5(&rows));
+    Ok(())
 }
 
 fn run_fig7(quick: bool) {
@@ -170,50 +225,51 @@ fn run_aggr(quick: bool) {
     println!();
 }
 
-fn run_perf(quick: bool, args: &[String]) {
+/// Writes a JSON report to `out`, creating parent directories.
+fn write_report(out: &str, json: &str) -> Result<(), OccuError> {
+    if let Some(dir) = std::path::Path::new(out).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).io_context(dir.display().to_string())?;
+    }
+    std::fs::write(out, json).io_context(out)?;
+    println!("wrote {out}");
+    println!();
+    Ok(())
+}
+
+fn run_perf(quick: bool, args: &[String]) -> Result<(), CliError> {
     let scale = scale_of(quick);
     // `--workers 1,2,4` overrides the host-derived ladder (useful for
     // recording multi-worker rows from constrained containers).
-    let counts: Vec<usize> = match args.iter().position(|a| a == "--workers") {
-        Some(i) => args
-            .get(i + 1)
-            .expect("--workers expects a comma-separated list")
+    let counts: Vec<usize> = match flag_value(args, "--workers")? {
+        Some(list) => list
             .split(',')
-            .map(|w| w.trim().parse().expect("--workers: integers only"))
-            .collect(),
+            .map(|w| {
+                w.trim()
+                    .parse()
+                    .map_err(|_| format!("--workers: '{w}' is not an integer"))
+            })
+            .collect::<Result<_, String>>()?,
         None => occu_bench::perf::default_worker_counts(),
     };
+    if counts.is_empty() || counts.contains(&0) {
+        return Err(OccuError::config("--workers", "worker counts must be positive").into());
+    }
     let rep = occu_bench::perf_study(scale, &counts, 51);
     print!("{}", occu_bench::render_perf(&rep));
-    let out = match args.iter().position(|a| a == "--out") {
-        Some(i) => args.get(i + 1).expect("--out expects a path").clone(),
-        None => "perf_report.json".to_string(),
-    };
+    let out = flag_value(args, "--out")?.unwrap_or("perf_report.json");
     let json = serde_json::to_string_pretty(&rep).expect("perf report serializes");
-    if let Some(dir) = std::path::Path::new(&out).parent().filter(|d| !d.as_os_str().is_empty()) {
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
-    }
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    println!("wrote {out}");
-    println!();
+    write_report(out, &json)?;
+    Ok(())
 }
 
-fn run_obs_overhead(quick: bool, args: &[String]) {
+fn run_obs_overhead(quick: bool, args: &[String]) -> Result<(), CliError> {
     let scale = scale_of(quick);
     let reps = if quick { 2 } else { 3 };
     let rep = occu_bench::obs_overhead_study(scale, reps, 52);
     print!("{}", occu_bench::render_obs_overhead(&rep));
-    let out = match args.iter().position(|a| a == "--out") {
-        Some(i) => args.get(i + 1).expect("--out expects a path").clone(),
-        None => "reports/obs_overhead.json".to_string(),
-    };
+    let out = flag_value(args, "--out")?.unwrap_or("reports/obs_overhead.json");
     let json = serde_json::to_string_pretty(&rep).expect("overhead report serializes");
-    if let Some(dir) = std::path::Path::new(&out).parent().filter(|d| !d.as_os_str().is_empty()) {
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
-    }
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    println!("wrote {out}");
-    println!();
+    write_report(out, &json)?;
     if !rep.within_budget() {
         occu_obs::error!(
             "obs-overhead: factor {:.3}x exceeds the {:.1}x budget",
@@ -222,6 +278,7 @@ fn run_obs_overhead(quick: bool, args: &[String]) {
         );
         std::process::exit(1);
     }
+    Ok(())
 }
 
 fn run_device_generalization(quick: bool) {
@@ -242,44 +299,86 @@ fn run_device_generalization(quick: bool) {
     println!();
 }
 
-/// Value of a `--flag value` pair, if present.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{flag} expects a value")).as_str())
-}
-
 /// Applies `--log-level` / `--trace-out` / `--metrics-out`; returns
 /// the output paths for [`finish_obs`].
-fn init_obs(args: &[String]) -> (Option<String>, Option<String>) {
-    if let Some(level) = flag_value(args, "--log-level") {
-        occu_obs::set_level_from_str(level).unwrap_or_else(|e| panic!("{e}"));
+fn init_obs(args: &[String]) -> Result<(Option<String>, Option<String>), CliError> {
+    if let Some(level) = flag_value(args, "--log-level")? {
+        occu_obs::set_level_from_str(level).map_err(|e| OccuError::config("--log-level", e))?;
     }
-    let trace = flag_value(args, "--trace-out").map(String::from);
-    let metrics = flag_value(args, "--metrics-out").map(String::from);
+    let trace = flag_value(args, "--trace-out")?.map(String::from);
+    let metrics = flag_value(args, "--metrics-out")?.map(String::from);
     if trace.is_some() || metrics.is_some() {
         occu_obs::enable();
     }
-    (trace, metrics)
+    Ok((trace, metrics))
 }
 
 /// Drains the recorded spans/metrics into the requested files.
-fn finish_obs(trace: Option<String>, metrics: Option<String>) {
+fn finish_obs(trace: Option<String>, metrics: Option<String>) -> Result<(), OccuError> {
     if trace.is_none() && metrics.is_none() {
-        return;
+        return Ok(());
     }
     let spans = occu_obs::take_spans();
     let snapshot = occu_obs::metrics_snapshot();
     if let Some(path) = trace {
-        std::fs::write(&path, occu_obs::spans_to_jsonl(&spans))
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        std::fs::write(&path, occu_obs::spans_to_jsonl(&spans)).io_context(&*path)?;
         occu_obs::info!("wrote {} spans to {path}", spans.len());
     }
     if let Some(path) = metrics {
-        std::fs::write(&path, snapshot.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        std::fs::write(&path, snapshot.to_json()).io_context(&*path)?;
         occu_obs::info!("wrote {} metrics to {path}", snapshot.entries.len());
     }
     occu_obs::info!("{}", occu_obs::render_summary(&spans, &snapshot));
+    Ok(())
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|obs-overhead|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
+    eprintln!("observability: --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
+    std::process::exit(2);
+}
+
+fn try_main(cmd: &str, quick: bool, args: &[String]) -> Result<(), CliError> {
+    let (trace_out, metrics_out) = init_obs(args)?;
+    match cmd {
+        "fig2" => run_fig2(),
+        "fig4" => run_fig4(quick, args)?,
+        "fig5" => run_fig5(quick, args)?,
+        "fig45" => run_fig45(quick, args)?,
+        "fig6" => run_fig6(),
+        "fig7" => run_fig7(quick),
+        "table4" => run_table4(quick, args)?,
+        "table5" => run_table5(quick, args)?,
+        "table6" => run_table6(quick),
+        "ablation" => run_ablation(quick),
+        "aggr" => run_aggr(quick),
+        "device-gen" => run_device_generalization(quick),
+        "perf" => run_perf(quick, args)?,
+        "obs-overhead" => run_obs_overhead(quick, args)?,
+        "all" => {
+            run_fig2();
+            run_fig6();
+            run_fig7(quick);
+            // Fig. 4 and Fig. 5 share one trained suite per device.
+            let scale = scale_of(quick);
+            for dev in DeviceSpec::paper_devices() {
+                let art = occu_core::experiments::prepare_comparison(&dev, scale, 42);
+                println!("{}", report::render_fig4(&occu_core::experiments::fig4_from(&art)));
+                let (nodes, edges) = occu_core::experiments::fig5_from(&art);
+                println!("{}", report::render_fig5(&dev.name, &nodes, &edges));
+            }
+            run_table4(quick, args)?;
+            run_table5(quick, args)?;
+            run_table6(quick);
+            run_ablation(quick);
+            run_aggr(quick);
+            run_device_generalization(quick);
+        }
+        other => return Err(CliError::Usage(format!("unknown experiment '{other}'"))),
+    }
+    finish_obs(trace_out, metrics_out)?;
+    Ok(())
 }
 
 fn main() {
@@ -307,57 +406,13 @@ fn main() {
         }
     }
     let cmd = positional.unwrap_or("all");
-    let (trace_out, metrics_out) = init_obs(&args);
-
-    match cmd {
-        "fig2" => run_fig2(),
-        "fig4" => run_fig4(quick, &args),
-        "fig5" => run_fig5(quick, &args),
-        "fig45" => {
-            // Fig. 4 + Fig. 5 sharing one trained suite per device.
-            let scale = scale_of(quick);
-            for dev in devices_of(&args) {
-                let art = occu_core::experiments::prepare_comparison(&dev, scale, 42);
-                println!("{}", report::render_fig4(&occu_core::experiments::fig4_from(&art)));
-                let (nodes, edges) = occu_core::experiments::fig5_from(&art);
-                println!("{}", report::render_fig5(&dev.name, &nodes, &edges));
+    if let Err(e) = try_main(cmd, quick, &args) {
+        match e {
+            CliError::Usage(msg) => usage_exit(&msg),
+            CliError::Pipeline(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(err.exit_code());
             }
-        }
-        "fig6" => run_fig6(),
-        "fig7" => run_fig7(quick),
-        "table4" => run_table4(quick, &args),
-        "table5" => run_table5(quick, &args),
-        "table6" => run_table6(quick),
-        "ablation" => run_ablation(quick),
-        "aggr" => run_aggr(quick),
-        "device-gen" => run_device_generalization(quick),
-        "perf" => run_perf(quick, &args),
-        "obs-overhead" => run_obs_overhead(quick, &args),
-        "all" => {
-            run_fig2();
-            run_fig6();
-            run_fig7(quick);
-            // Fig. 4 and Fig. 5 share one trained suite per device.
-            let scale = scale_of(quick);
-            for dev in DeviceSpec::paper_devices() {
-                let art = occu_core::experiments::prepare_comparison(&dev, scale, 42);
-                println!("{}", report::render_fig4(&occu_core::experiments::fig4_from(&art)));
-                let (nodes, edges) = occu_core::experiments::fig5_from(&art);
-                println!("{}", report::render_fig5(&dev.name, &nodes, &edges));
-            }
-            run_table4(quick, &args);
-            run_table5(quick, &args);
-            run_table6(quick);
-            run_ablation(quick);
-            run_aggr(quick);
-            run_device_generalization(quick);
-        }
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [fig2|fig4|fig5|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|obs-overhead|all] [--quick] [--out perf_report.json]");
-            eprintln!("observability: --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
-            std::process::exit(2);
         }
     }
-    finish_obs(trace_out, metrics_out);
 }

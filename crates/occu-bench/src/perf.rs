@@ -93,7 +93,7 @@ pub fn perf_study(scale: ExperimentScale, worker_counts: &[usize], seed: u64) ->
             ..TrainConfig::default()
         };
         let start = Instant::now();
-        Trainer::new(train_cfg).fit(&mut model, &data);
+        Trainer::new(train_cfg).fit(&mut model, &data).expect("perf study uses in-tree config");
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         if train_rows.is_empty() {
             serial_ms = wall_ms;
@@ -115,7 +115,8 @@ pub fn perf_study(scale: ExperimentScale, worker_counts: &[usize], seed: u64) ->
     // are identical; retrain once more at auto parallelism).
     let mut model = DnnOccu::new(cfg, seed);
     Trainer::new(TrainConfig { epochs: scale.epochs, seed, ..TrainConfig::default() })
-        .fit(&mut model, &data);
+        .fit(&mut model, &data)
+        .expect("perf study uses in-tree config");
     let start = Instant::now();
     let preds = model.predict_all(&data);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -197,7 +198,7 @@ pub fn obs_overhead_study(scale: ExperimentScale, reps: usize, seed: u64) -> Obs
         let train_cfg =
             TrainConfig { epochs: scale.epochs, seed, ..TrainConfig::default() };
         let start = Instant::now();
-        Trainer::new(train_cfg).fit(&mut model, &data);
+        Trainer::new(train_cfg).fit(&mut model, &data).expect("overhead study uses in-tree config");
         start.elapsed().as_secs_f64() * 1e3
     };
 

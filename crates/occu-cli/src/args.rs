@@ -65,6 +65,16 @@ impl Args {
         }
     }
 
+    /// Float flag with a default. Rejects strings that are not
+    /// numbers at all; range checks (NaN, out-of-bounds) belong to
+    /// the consumer, which reports them as `Config` errors.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not a number")),
+        }
+    }
+
     /// Boolean switch.
     pub fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
@@ -105,6 +115,18 @@ mod tests {
     fn bad_number_is_error() {
         let a = parse("profile --batch many").unwrap();
         assert!(a.usize_or("batch", 1).is_err());
+    }
+
+    #[test]
+    fn float_flags_parse_with_defaults() {
+        let a = parse("train --test-fraction 0.3").unwrap();
+        assert_eq!(a.f64_or("test-fraction", 0.2).unwrap(), 0.3);
+        assert_eq!(a.f64_or("absent", 0.2).unwrap(), 0.2);
+        let bad = parse("train --test-fraction lots").unwrap();
+        assert!(bad.f64_or("test-fraction", 0.2).is_err());
+        // NaN parses here; the pipeline rejects it as a Config error.
+        let nan = parse("train --test-fraction NaN").unwrap();
+        assert!(nan.f64_or("test-fraction", 0.2).unwrap().is_nan());
     }
 
     #[test]

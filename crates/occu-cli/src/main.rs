@@ -6,12 +6,23 @@
 //! occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]
 //! occu train    --out model.json --device a100 --configs 8 --epochs 50 --workers 0
 //! occu predict  --weights model.json --model ResNet-50 --batch 32 --device a100
-//! occu schedule --jobs 24 --gpus 4 [--weights model.json] [--seed 1]
+//! occu schedule --jobs 24 --gpus 4 [--weights model.json] [--trace jobs.csv] [--seed 1]
 //! ```
 //!
-//! Every command additionally accepts `--trace-out <spans.jsonl>`,
-//! `--metrics-out <metrics.json>`, and `--log-level <level>`; `train`
-//! writes a `<out stem>.manifest.json` run manifest next to the model.
+//! `--device` accepts a built-in name (`a100`) or a path to a device
+//! spec JSON. Every command additionally accepts `--trace-out
+//! <spans.jsonl>`, `--metrics-out <metrics.json>`, and `--log-level
+//! <level>`; `train` writes a `<out stem>.manifest.json` run manifest
+//! next to the model.
+//!
+//! ## Exit codes
+//!
+//! Usage mistakes (unknown command/flag, missing value) exit 2 with
+//! the usage text. Pipeline failures print one `error:` line — no
+//! backtrace — and exit with the [`OccuError`] code for the failure
+//! class: 3 io, 4 parse, 5 shape, 6 config, 7 data.
+
+#![warn(clippy::unwrap_used)]
 
 mod args;
 
@@ -21,43 +32,72 @@ use occu_core::experiments::ExperimentScale;
 use occu_core::features::featurize;
 use occu_core::gnn::{DnnOccu, DnnOccuConfig};
 use occu_core::train::{OccuPredictor, Parallelism, TrainConfig, Trainer};
+use occu_error::{ErrContext, IoContext, OccuError};
 use occu_gpusim::{profile_graph, DeviceSpec};
 use occu_graph::to_training_graph;
 use occu_models::{ModelConfig, ModelId};
 use occu_sched::{simulate, GpuSpec, PackingPolicy};
 
-fn main() {
-    let args = match Args::parse(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(e) => die(&e),
-    };
-    let obs = match ObsSession::init(&args) {
-        Ok(o) => o,
-        Err(e) => die(&e),
-    };
-    let result = match args.command.as_deref() {
-        Some("models") => cmd_models(),
-        Some("devices") => cmd_devices(),
-        Some("profile") => cmd_profile(&args),
-        Some("train") => cmd_train(&args),
-        Some("predict") => cmd_predict(&args),
-        Some("schedule") => cmd_schedule(&args),
-        Some(other) => Err(format!("unknown command '{other}'")),
-        None => Err("no command given".to_string()),
-    };
-    if let Err(e) = result.and_then(|()| obs.finish()) {
-        die(&e);
+/// A CLI failure: either the user misused the command line (exit 2,
+/// usage text) or the pipeline rejected the inputs (typed exit code,
+/// single `error:` line).
+enum CliError {
+    Usage(String),
+    Pipeline(OccuError),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
     }
 }
 
-fn die(msg: &str) -> ! {
+impl From<OccuError> for CliError {
+    fn from(e: OccuError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => die_usage(&e),
+    };
+    if let Err(e) = run(&args) {
+        match e {
+            CliError::Usage(msg) => die_usage(&msg),
+            CliError::Pipeline(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(err.exit_code());
+            }
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), CliError> {
+    let obs = ObsSession::init(args)?;
+    match args.command.as_deref() {
+        Some("models") => cmd_models(),
+        Some("devices") => cmd_devices(),
+        Some("profile") => cmd_profile(args),
+        Some("train") => cmd_train(args),
+        Some("predict") => cmd_predict(args),
+        Some("schedule") => cmd_schedule(args),
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
+        None => Err(CliError::Usage("no command given".to_string())),
+    }?;
+    obs.finish()
+}
+
+fn die_usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!();
     eprintln!("usage: occu <models|devices|profile|train|predict|schedule> [flags]");
     eprintln!("  occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]");
-    eprintln!("  occu train    [--out model.json] [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0]");
+    eprintln!("  occu train    [--out model.json] [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0] [--test-fraction 0.2]");
     eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100]");
-    eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--seed 1]");
+    eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--trace jobs.csv] [--save-trace jobs.csv] [--seed 1]");
+    eprintln!("--device takes a built-in name or a device-spec JSON path");
     eprintln!("observability (any command): --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     std::process::exit(2);
 }
@@ -73,9 +113,10 @@ struct ObsSession {
 }
 
 impl ObsSession {
-    fn init(args: &Args) -> Result<Self, String> {
+    fn init(args: &Args) -> Result<Self, CliError> {
         if let Some(level) = args.get("log-level") {
-            occu_obs::set_level_from_str(level)?;
+            occu_obs::set_level_from_str(level)
+                .map_err(|e| OccuError::config("--log-level", e))?;
         }
         let session = Self {
             trace_out: args.get("trace-out").map(String::from),
@@ -91,19 +132,18 @@ impl ObsSession {
         self.trace_out.is_some() || self.metrics_out.is_some()
     }
 
-    fn finish(self) -> Result<(), String> {
+    fn finish(self) -> Result<(), CliError> {
         if !self.active() {
             return Ok(());
         }
         let spans = occu_obs::take_spans();
         let snapshot = occu_obs::metrics_snapshot();
         if let Some(path) = &self.trace_out {
-            std::fs::write(path, occu_obs::spans_to_jsonl(&spans))
-                .map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(path, occu_obs::spans_to_jsonl(&spans)).io_context(path)?;
             occu_obs::info!("wrote {} spans to {path}", spans.len());
         }
         if let Some(path) = &self.metrics_out {
-            std::fs::write(path, snapshot.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(path, snapshot.to_json()).io_context(path)?;
             occu_obs::info!("wrote {} metrics to {path}", snapshot.entries.len());
         }
         occu_obs::info!("{}", occu_obs::render_summary(&spans, &snapshot));
@@ -111,14 +151,10 @@ impl ObsSession {
     }
 }
 
-fn lookup_device(args: &Args) -> Result<DeviceSpec, String> {
-    let name = args.get_or("device", "a100");
-    DeviceSpec::by_name(name).ok_or_else(|| {
-        format!(
-            "unknown device '{name}' (available: {})",
-            DeviceSpec::all_devices().iter().map(|d| d.name.clone()).collect::<Vec<_>>().join(", ")
-        )
-    })
+/// `--device` resolution: a built-in name, or a path to a device spec
+/// JSON (missing file → `Io`, corrupt → `Parse`, impossible → `Config`).
+fn lookup_device(args: &Args) -> Result<DeviceSpec, CliError> {
+    Ok(DeviceSpec::resolve(args.get_or("device", "a100"))?)
 }
 
 fn lookup_model(args: &Args) -> Result<ModelId, String> {
@@ -138,7 +174,7 @@ fn config_from(args: &Args, model: ModelId) -> Result<ModelConfig, String> {
     Ok(cfg)
 }
 
-fn cmd_models() -> Result<(), String> {
+fn cmd_models() -> Result<(), CliError> {
     println!("{:<16} {:>12} {:>10} {:>10}", "model", "family", "nodes*", "edges*");
     for &m in ModelId::ALL {
         let cfg = ModelConfig { batch_size: 8, ..m.default_config() };
@@ -155,7 +191,7 @@ fn cmd_models() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_devices() -> Result<(), String> {
+fn cmd_devices() -> Result<(), CliError> {
     println!(
         "{:<12} {:<8} {:>5} {:>10} {:>12} {:>9}",
         "device", "arch", "SMs", "GFLOPS", "BW (GB/s)", "mem(GiB)"
@@ -169,7 +205,7 @@ fn cmd_devices() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(args: &Args) -> Result<(), String> {
+fn cmd_profile(args: &Args) -> Result<(), CliError> {
     let model = lookup_model(args)?;
     let device = lookup_device(args)?;
     let cfg = config_from(args, model)?;
@@ -235,7 +271,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &Args) -> Result<(), String> {
+fn cmd_train(args: &Args) -> Result<(), CliError> {
     let started = std::time::Instant::now();
     let device = lookup_device(args)?;
     let out = args.get_or("out", "model.json").to_string();
@@ -246,6 +282,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     // 0 = auto-detect cores. Trained parameters are identical for any
     // worker count, so this only affects wall-clock time.
     let workers = args.usize_or("workers", 0)?;
+    let test_fraction = args.f64_or("test-fraction", 0.2)?;
 
     occu_obs::info!(
         "generating {} configurations x {} models on {}...",
@@ -254,7 +291,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         device.name
     );
     let data = Dataset::generate(&SEEN_MODELS, configs, &device, seed);
-    let (train, test) = data.split(0.2);
+    let (train, test) = data.split(test_fraction)?;
     let mut model = DnnOccu::new(DnnOccuConfig { hidden, ..DnnOccuConfig::fast() }, seed);
     occu_obs::info!(
         "training DNN-occu ({} parameters) on {} samples for {} epochs...",
@@ -268,21 +305,21 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         parallelism: Parallelism { workers },
         ..Default::default()
     });
-    let history = trainer.fit(&mut model, &train);
+    let history = trainer.fit(&mut model, &train)?;
     let eval = model.evaluate(&test);
     occu_obs::info!("held-out: {eval}");
-    std::fs::write(&out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(&out, model.to_json()).io_context(&*out)?;
     occu_obs::info!("saved model to {out}");
 
     let mut manifest = occu_obs::RunManifest::new("occu train")
         .with_config("device", &device.name)
-        .with_config("configs", &configs.to_string())
-        .with_config("epochs", &epochs.to_string())
-        .with_config("hidden", &hidden.to_string())
-        .with_config("workers", &workers.to_string())
-        .with_config("train_samples", &train.len().to_string())
-        .with_config("test_samples", &test.len().to_string())
-        .with_config("parameters", &model.num_parameters().to_string())
+        .with_config("configs", configs)
+        .with_config("epochs", epochs)
+        .with_config("hidden", hidden)
+        .with_config("workers", workers)
+        .with_config("train_samples", train.len())
+        .with_config("test_samples", test.len())
+        .with_config("parameters", model.num_parameters())
         .with_metric("heldout_mre", f64::from(eval.mre))
         .with_metric("heldout_mse", f64::from(eval.mse));
     if let Some(last) = history.last() {
@@ -296,15 +333,15 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     }
     let manifest_path = manifest
         .write_next_to(std::path::Path::new(&out))
-        .map_err(|e| format!("writing manifest: {e}"))?;
+        .io_context("run manifest")?;
     occu_obs::info!("wrote run manifest to {}", manifest_path.display());
     Ok(())
 }
 
-fn cmd_predict(args: &Args) -> Result<(), String> {
+fn cmd_predict(args: &Args) -> Result<(), CliError> {
     let weights = args.require("weights")?;
-    let json = std::fs::read_to_string(weights).map_err(|e| format!("reading {weights}: {e}"))?;
-    let predictor = DnnOccu::from_json(&json).map_err(|e| format!("parsing {weights}: {e}"))?;
+    let json = std::fs::read_to_string(weights).io_context(weights)?;
+    let predictor = DnnOccu::from_json(&json).err_context(weights)?;
     let model = lookup_model(args)?;
     let device = lookup_device(args)?;
     let cfg = config_from(args, model)?;
@@ -333,49 +370,61 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_schedule(args: &Args) -> Result<(), String> {
+fn cmd_schedule(args: &Args) -> Result<(), CliError> {
     let n_jobs = args.usize_or("jobs", 24)?;
     let gpus = args.usize_or("gpus", 4)?;
     let seed = args.usize_or("seed", 1)? as u64;
     let device = lookup_device(args)?;
 
     // Optional trained predictor for the scheduler-visible occupancy.
-    let predictor = match args.require("weights") {
-        Ok(path) => {
-            let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            Some(DnnOccu::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?)
+    let predictor = match args.get("weights") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).io_context(path)?;
+            Some(DnnOccu::from_json(&json).err_context(path)?)
         }
-        Err(_) => None,
+        None => None,
     };
 
-    occu_obs::info!("profiling a {n_jobs}-job workload mix on {}...", device.name);
-    let mut rng = occu_tensor::SeededRng::new(seed);
-    let jobs: Vec<occu_sched::Job> = (0..n_jobs)
-        .map(|id| {
-            let model = ModelId::ALL[rng.index(ModelId::ALL.len())];
-            let mut cfg = occu_models::sample_config(model.family(), &mut rng);
-            if model.family() != occu_graph::ModelFamily::Rnn {
-                cfg.batch_size = cfg.batch_size.min(64);
-            }
-            cfg.seq_len = cfg.seq_len.clamp(16, 64).max(16);
-            let s = make_sample(model, cfg, &device);
-            let iters = rng.int_range(200, 2000) as f64;
-            let predicted = match &predictor {
-                Some(p) => f64::from(p.predict(&s.features)).clamp(0.0, 1.0),
-                None => f64::from(s.occupancy),
-            };
-            occu_sched::Job {
-                id,
-                name: format!("{}-b{}", s.model_name, cfg.batch_size),
-                true_occupancy: f64::from(s.occupancy),
-                predicted_occupancy: predicted,
-                nvml_utilization: f64::from(s.nvml_utilization),
-                work_us: s.busy_us * iters,
-                memory_bytes: s.memory_bytes,
-                arrival_us: 0.0,
-            }
-        })
-        .collect();
+    // `--trace jobs.csv` replays a saved workload instead of
+    // generating one; a corrupt or impossible trace fails loudly here.
+    let jobs: Vec<occu_sched::Job> = if let Some(path) = args.get("trace") {
+        let jobs = occu_sched::load_trace(path)?;
+        occu_obs::info!("loaded {} jobs from {path}", jobs.len());
+        jobs
+    } else {
+        occu_obs::info!("profiling a {n_jobs}-job workload mix on {}...", device.name);
+        let mut rng = occu_tensor::SeededRng::new(seed);
+        (0..n_jobs)
+            .map(|id| {
+                let model = ModelId::ALL[rng.index(ModelId::ALL.len())];
+                let mut cfg = occu_models::sample_config(model.family(), &mut rng);
+                if model.family() != occu_graph::ModelFamily::Rnn {
+                    cfg.batch_size = cfg.batch_size.min(64);
+                }
+                cfg.seq_len = cfg.seq_len.clamp(16, 64).max(16);
+                let s = make_sample(model, cfg, &device);
+                let iters = rng.int_range(200, 2000) as f64;
+                let predicted = match &predictor {
+                    Some(p) => f64::from(p.predict(&s.features)).clamp(0.0, 1.0),
+                    None => f64::from(s.occupancy),
+                };
+                occu_sched::Job {
+                    id,
+                    name: format!("{}-b{}", s.model_name, cfg.batch_size),
+                    true_occupancy: f64::from(s.occupancy),
+                    predicted_occupancy: predicted,
+                    nvml_utilization: f64::from(s.nvml_utilization),
+                    work_us: s.busy_us * iters,
+                    memory_bytes: s.memory_bytes,
+                    arrival_us: 0.0,
+                }
+            })
+            .collect()
+    };
+    if let Some(path) = args.get("save-trace") {
+        occu_sched::save_trace(path, &jobs)?;
+        occu_obs::info!("saved {} jobs to {path}", jobs.len());
+    }
 
     let cluster: Vec<GpuSpec> = (0..gpus)
         .map(|_| GpuSpec { memory_bytes: device.memory_bytes(), name: device.name.clone() })

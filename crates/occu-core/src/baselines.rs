@@ -403,7 +403,7 @@ mod tests {
         };
         let trainer = Trainer::new(TrainConfig { epochs: 6, lr: 5e-3, batch_size: 2, ..Default::default() });
         for mut model in all_baselines(16, 3) {
-            let hist = trainer.fit(model.as_mut(), &data);
+            let hist = trainer.fit(model.as_mut(), &data).unwrap();
             let first = hist.first().unwrap().train_loss;
             let last = hist.last().unwrap().train_loss;
             assert!(

@@ -2,6 +2,7 @@
 //! `(features, occupancy)` samples with seen/unseen splits.
 
 use crate::features::{featurize, FeaturizedGraph};
+use occu_error::{ErrContext, IoContext, OccuError};
 use occu_gpusim::{profile_graph, DeviceSpec};
 use occu_models::{sample_config, ModelConfig, ModelId};
 use occu_tensor::SeededRng;
@@ -108,19 +109,30 @@ impl Dataset {
     /// Splits into (train, test) by taking every k-th sample into the
     /// test set such that roughly `test_fraction` is held out,
     /// stratified across the sample order (deterministic).
-    pub fn split(&self, test_fraction: f64) -> (Dataset, Dataset) {
-        assert!((0.0..1.0).contains(&test_fraction), "test_fraction in [0,1)");
-        let period = if test_fraction <= 0.0 { usize::MAX } else { (1.0 / test_fraction).round() as usize };
+    ///
+    /// `test_fraction` must be a finite value in `(0, 1]`; anything
+    /// else (NaN, 0, 1.5) is a `Config` error. The old assertion
+    /// accepted NaN and values ≥ 1, which drove the stride to zero
+    /// and panicked on the modulo below.
+    pub fn split(&self, test_fraction: f64) -> occu_error::Result<(Dataset, Dataset)> {
+        if !(test_fraction > 0.0 && test_fraction <= 1.0) {
+            return Err(OccuError::config(
+                "test_fraction",
+                format!("must be in (0, 1], got {test_fraction}"),
+            ));
+        }
+        // In (0, 1] the reciprocal is ≥ 1, so the stride is never 0.
+        let period = (1.0 / test_fraction).round() as usize;
         let mut train = Vec::new();
         let mut test = Vec::new();
         for (i, s) in self.samples.iter().enumerate() {
-            if period != usize::MAX && i % period == period - 1 {
+            if i % period == period - 1 {
                 test.push(s.clone());
             } else {
                 train.push(s.clone());
             }
         }
-        (Dataset { samples: train }, Dataset { samples: test })
+        Ok((Dataset { samples: train }, Dataset { samples: test }))
     }
 
     /// Samples restricted to the given models.
@@ -143,17 +155,50 @@ impl Dataset {
         self.samples.iter().map(|s| s.occupancy).sum::<f32>() / self.samples.len() as f32
     }
 
-    /// Writes the dataset to a JSON file (profiling is the expensive
-    /// step; cached datasets make experiment iteration cheap).
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).expect("Dataset serialization cannot fail");
-        std::fs::write(path, json)
+    /// Checks the semantic invariants a well-formed dataset file must
+    /// still satisfy: labels are occupancies/utilizations in `[0, 1]`
+    /// and busy times are positive finite durations. A hand-edited
+    /// cache that decodes but violates these fails here with a `Data`
+    /// error instead of corrupting training.
+    pub fn validate(&self) -> occu_error::Result<()> {
+        for (i, s) in self.samples.iter().enumerate() {
+            let ctx = || format!("sample {i} ({})", s.model_name);
+            for (what, v) in [
+                ("occupancy", s.occupancy),
+                ("occupancy_max", s.occupancy_max),
+                ("occupancy_min", s.occupancy_min),
+                ("nvml_utilization", s.nvml_utilization),
+            ] {
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                    return Err(OccuError::data(ctx(), format!("{what} {v} outside [0, 1]")));
+                }
+            }
+            if !s.busy_us.is_finite() || s.busy_us <= 0.0 {
+                return Err(OccuError::data(ctx(), format!("busy_us {} is not a positive duration", s.busy_us)));
+            }
+        }
+        Ok(())
     }
 
-    /// Loads a dataset written by [`Dataset::save`].
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Dataset> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    /// Writes the dataset to a JSON file (profiling is the expensive
+    /// step; cached datasets make experiment iteration cheap).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> occu_error::Result<()> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(self).expect("Dataset serialization cannot fail");
+        std::fs::write(path, json).io_context(path.display().to_string())
+    }
+
+    /// Loads a dataset written by [`Dataset::save`], rejecting files
+    /// that are unreadable (`Io`), undecodable (`Parse`), or decodable
+    /// but semantically impossible (`Data`, via [`Dataset::validate`]).
+    pub fn load(path: impl AsRef<std::path::Path>) -> occu_error::Result<Dataset> {
+        let path = path.as_ref();
+        let ctx = path.display().to_string();
+        let json = std::fs::read_to_string(path).io_context(&*ctx)?;
+        let ds: Dataset =
+            serde_json::from_str(&json).map_err(|e| OccuError::parse(&*ctx, e.to_string()))?;
+        ds.validate().err_context(&ctx)?;
+        Ok(ds)
     }
 
     /// Loads the dataset from `path` if present, otherwise generates
@@ -274,9 +319,52 @@ mod tests {
     fn split_fractions() {
         let dev = DeviceSpec::a100();
         let d = Dataset::generate(&[ModelId::LeNet], 10, &dev, 3);
-        let (train, test) = d.split(0.2);
+        let (train, test) = d.split(0.2).unwrap();
         assert_eq!(train.len() + test.len(), 10);
         assert_eq!(test.len(), 2);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_fractions() {
+        let dev = DeviceSpec::a100();
+        let d = Dataset::generate(&[ModelId::LeNet], 4, &dev, 3);
+        for bad in [f64::NAN, 0.0, 1.5, -0.2, f64::INFINITY] {
+            let e = d.split(bad).unwrap_err();
+            assert_eq!(e.kind(), "config", "{bad} should be rejected");
+            assert!(e.to_string().contains("test_fraction"), "{e}");
+        }
+        // 1.0 is the valid upper bound: everything held out.
+        let (train, test) = d.split(1.0).unwrap();
+        assert_eq!(train.len(), 0);
+        assert_eq!(test.len(), 4);
+    }
+
+    #[test]
+    fn load_rejects_truncated_and_impossible_files() {
+        let dir = std::env::temp_dir().join("occu-dataset-hostile-test");
+        let _ = std::fs::create_dir_all(&dir);
+
+        // Missing file -> Io.
+        assert_eq!(Dataset::load(dir.join("absent.json")).unwrap_err().kind(), "io");
+
+        // Truncated JSON -> Parse.
+        let dev = DeviceSpec::a100();
+        let d = Dataset::generate(&[ModelId::LeNet], 2, &dev, 9);
+        let json = serde_json::to_string(&d).unwrap();
+        let trunc = dir.join("truncated.json");
+        std::fs::write(&trunc, &json[..json.len() / 2]).unwrap();
+        assert_eq!(Dataset::load(&trunc).unwrap_err().kind(), "parse");
+
+        // Decodes, but occupancy is impossible -> Data.
+        let mut bad = d.clone();
+        bad.samples[0].occupancy = 2.5;
+        let impossible = dir.join("impossible.json");
+        bad.save(&impossible).unwrap();
+        let e = Dataset::load(&impossible).unwrap_err();
+        assert_eq!(e.kind(), "data");
+        assert!(e.to_string().contains("occupancy"), "{e}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -55,13 +55,21 @@ impl Ensemble {
     /// serial gradient workers — the member-level fan-out already
     /// saturates the cores, and nesting thread pools only adds
     /// spawn overhead. (Results are worker-count-invariant anyway.)
-    pub fn fit(&mut self, data: &Dataset, cfg: TrainConfig) {
+    pub fn fit(&mut self, data: &Dataset, cfg: TrainConfig) -> occu_error::Result<()> {
         use rayon::prelude::*;
+        // Validate once up front so the fan-out below cannot fail.
+        cfg.validate()?;
+        if data.is_empty() {
+            return Err(occu_error::OccuError::data("Ensemble::fit", "empty training set"));
+        }
         self.members.par_iter_mut().enumerate().for_each(|(i, m)| {
             let member_cfg =
                 TrainConfig { seed: cfg.seed + i as u64, parallelism: Parallelism::serial(), ..cfg };
-            Trainer::new(member_cfg).fit(m, data);
+            Trainer::new(member_cfg)
+                .fit(m, data)
+                .expect("config and data were validated before the member fan-out");
         });
+        Ok(())
     }
 
     /// Predicts with uncertainty. Member forward passes are
@@ -115,7 +123,7 @@ mod tests {
         let data = tiny_data();
         let mut ens = Ensemble::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 3, 6);
         let before = ens.predict(&data.samples[0].features).std;
-        ens.fit(&data, TrainConfig { epochs: 20, ..Default::default() });
+        ens.fit(&data, TrainConfig { epochs: 20, ..Default::default() }).unwrap();
         let after = ens.predict(&data.samples[0].features);
         assert!(after.std < before, "fit should shrink disagreement: {before} -> {}", after.std);
         // Mean lands near the label after training.

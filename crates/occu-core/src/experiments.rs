@@ -96,7 +96,7 @@ impl Suite {
             if p.name() == "DNN-occu" {
                 cfg.epochs *= 2;
             }
-            Trainer::new(cfg).fit(p.as_mut(), train);
+            Trainer::new(cfg).fit(p.as_mut(), train).expect("in-tree scale config, non-empty train set");
         });
         Suite { predictors }
     }
@@ -188,7 +188,7 @@ pub struct ComparisonArtifacts {
 /// seen-model configurations (the §V protocol).
 pub fn prepare_comparison(device: &DeviceSpec, scale: ExperimentScale, seed: u64) -> ComparisonArtifacts {
     let all = Dataset::generate(&SEEN_MODELS, scale.configs_per_model, device, seed);
-    let (train, test_seen) = all.split(0.2);
+    let (train, test_seen) = all.split(0.2).expect("0.2 is a valid fraction");
     let unseen = Dataset::generate(&UNSEEN_MODELS, scale.configs_per_model, device, seed + 1);
     let suite = Suite::train(&train, scale, seed);
     ComparisonArtifacts { device: device.name.clone(), test_seen, unseen, suite }
@@ -305,7 +305,7 @@ pub fn table4_clip(device: &DeviceSpec, scale: ExperimentScale, seed: u64) -> Ve
         device,
         seed + 2,
     );
-    let (clip_train, clip_test) = clip_seen.split(0.25);
+    let (clip_train, clip_test) = clip_seen.split(0.25).expect("0.25 is a valid fraction");
     train.samples.extend(clip_train.samples);
     let unseen_b32 = Dataset::generate(&[ModelId::ClipVitB32], scale.configs_per_model, device, seed + 3);
 
@@ -397,7 +397,7 @@ pub fn device_generalization(scale: ExperimentScale, seed: u64) -> Vec<DeviceGen
     let mut model = DnnOccu::new(scale.dnn_occu_config(), seed + 21);
     let mut cfg = scale.train_config(seed);
     cfg.epochs *= 2;
-    Trainer::new(cfg).fit(&mut model, &train);
+    Trainer::new(cfg).fit(&mut model, &train).expect("in-tree scale config, non-empty train set");
 
     let eval_devices = [
         (DeviceSpec::a100(), true),
@@ -447,9 +447,9 @@ pub fn aggregation_study(device: &DeviceSpec, scale: ExperimentScale, seed: u64)
     [AggrKind::Mean, AggrKind::Max, AggrKind::Min]
         .into_par_iter()
         .map(|aggr| {
-            let (train, test) = all.retarget(aggr).split(0.2);
+            let (train, test) = all.retarget(aggr).split(0.2).expect("0.2 is a valid fraction");
             let mut model = DnnOccu::new(scale.dnn_occu_config(), seed + 11);
-            trainer.fit(&mut model, &train);
+            trainer.fit(&mut model, &train).expect("in-tree scale config, non-empty train set");
             AggregationRow { aggr, seen: model.evaluate(&test) }
         })
         .collect()
@@ -473,7 +473,7 @@ pub struct AblationRow {
 /// table — it substantiates the design choices of §III-D.
 pub fn ablation_study(device: &DeviceSpec, scale: ExperimentScale, seed: u64) -> Vec<AblationRow> {
     let all = Dataset::generate(&SEEN_MODELS, scale.configs_per_model, device, seed);
-    let (train, test_seen) = all.split(0.2);
+    let (train, test_seen) = all.split(0.2).expect("0.2 is a valid fraction");
     let unseen = Dataset::generate(&UNSEEN_MODELS, scale.configs_per_model, device, seed + 1);
     let base = scale.dnn_occu_config();
     let variants: Vec<(&str, DnnOccuConfig)> = vec![
@@ -495,7 +495,7 @@ pub fn ablation_study(device: &DeviceSpec, scale: ExperimentScale, seed: u64) ->
         .into_par_iter()
         .map(|(label, cfg)| {
             let mut model = DnnOccu::new(cfg, seed + 9);
-            trainer.fit(&mut model, &train);
+            trainer.fit(&mut model, &train).expect("in-tree scale config, non-empty train set");
             AblationRow {
                 variant: label.to_string(),
                 seen: model.evaluate(&test_seen),

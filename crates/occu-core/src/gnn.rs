@@ -379,21 +379,31 @@ impl DnnOccu {
     ///
     /// Layer wiring is reconstructed from the config (parameter
     /// registration order is deterministic), then the stored values
-    /// replace the fresh initialization.
-    pub fn from_json(s: &str) -> Result<DnnOccu, serde_json::Error> {
+    /// replace the fresh initialization. Truncated or non-JSON bytes
+    /// are `Parse` errors; a well-formed document whose parameter
+    /// count disagrees with its own architecture config is a `Data`
+    /// error (the file was edited or mixed from two saves).
+    pub fn from_json(s: &str) -> occu_error::Result<DnnOccu> {
         #[derive(serde::Deserialize)]
         struct Doc {
             config: DnnOccuConfig,
             params: serde_json::Value,
         }
-        let doc: Doc = serde_json::from_str(s)?;
+        let ctx = "model JSON";
+        let doc: Doc = serde_json::from_str(s).map_err(|e| occu_error::OccuError::parse(ctx, e.to_string()))?;
         let mut model = DnnOccu::new(doc.config, 0);
-        let store: ParamStore = serde_json::from_value(doc.params)?;
-        assert_eq!(
-            store.num_scalars(),
-            model.store.num_scalars(),
-            "saved parameters do not match the saved architecture config"
-        );
+        let store: ParamStore = serde_json::from_value(doc.params)
+            .map_err(|e| occu_error::OccuError::parse(ctx, e.to_string()))?;
+        if store.num_scalars() != model.store.num_scalars() {
+            return Err(occu_error::OccuError::data(
+                ctx,
+                format!(
+                    "saved parameter count {} does not match the saved architecture config (expects {})",
+                    store.num_scalars(),
+                    model.store.num_scalars()
+                ),
+            ));
+        }
         model.store = store;
         Ok(model)
     }

@@ -23,6 +23,8 @@
 //!    [`metrics`] provides the paper's MRE/MSE.
 //! 6. [`experiments`] regenerates each table and figure.
 
+#![warn(clippy::unwrap_used)]
+
 pub mod baselines;
 pub mod dataset;
 pub mod ensemble;
@@ -35,5 +37,5 @@ pub mod train;
 pub use dataset::{Dataset, Sample};
 pub use features::{FeaturizedGraph, EDGE_FEAT_DIM, NODE_FEAT_DIM, SPD_CAP};
 pub use gnn::{DnnOccu, DnnOccuConfig};
-pub use metrics::{mre, mse, EvalResult};
+pub use metrics::{floored_targets, mre, mse, EvalResult, MRE_FLOOR};
 pub use train::{OccuPredictor, Parallelism, TrainConfig, Trainer};

@@ -3,23 +3,35 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Targets at or below this are clamped before the MRE division (see
+/// [`mre`]).
+pub const MRE_FLOOR: f32 = 1e-3;
+
 /// MRE = (1/N) Σ |ŷ - y| / y, reported as a percentage by the paper.
 ///
-/// Targets at or below `floor` are clamped to it to avoid division
-/// blow-ups on near-zero occupancies (the paper's targets are bounded
-/// away from zero in practice).
+/// Targets at or below [`MRE_FLOOR`] are clamped to it to avoid
+/// division blow-ups on near-zero occupancies (the paper's targets are
+/// bounded away from zero in practice). Clamping silently *understates*
+/// the relative error on those samples, so [`EvalResult`] reports how
+/// many targets were floored — a nonzero count flags that the headline
+/// MRE is optimistic.
 pub fn mre(pred: &[f32], truth: &[f32]) -> f32 {
     assert_eq!(pred.len(), truth.len(), "mre: length mismatch");
     if pred.is_empty() {
         return 0.0;
     }
-    const FLOOR: f32 = 1e-3;
     let sum: f32 = pred
         .iter()
         .zip(truth.iter())
-        .map(|(&p, &t)| (p - t).abs() / t.max(FLOOR))
+        .map(|(&p, &t)| (p - t).abs() / t.max(MRE_FLOOR))
         .sum();
     sum / pred.len() as f32
+}
+
+/// Number of targets at or below [`MRE_FLOOR`], i.e. samples whose
+/// relative error the floored [`mre`] understates.
+pub fn floored_targets(truth: &[f32]) -> usize {
+    truth.iter().filter(|&&t| t <= MRE_FLOOR).count()
 }
 
 /// MSE = (1/N) Σ (ŷ - y)².
@@ -43,12 +55,23 @@ pub struct EvalResult {
     pub mse: f32,
     /// Sample count.
     pub n: usize,
+    /// How many targets sat at or below [`MRE_FLOOR`] and so were
+    /// clamped in the MRE division (their relative error is
+    /// understated). Defaults to 0 when absent in older records.
+    #[serde(default)]
+    pub floored: usize,
 }
 
 impl EvalResult {
     /// Builds a record from prediction/truth pairs.
     pub fn from_pairs(predictor: &str, pred: &[f32], truth: &[f32]) -> Self {
-        Self { predictor: predictor.to_string(), mre: mre(pred, truth), mse: mse(pred, truth), n: pred.len() }
+        Self {
+            predictor: predictor.to_string(),
+            mre: mre(pred, truth),
+            mse: mse(pred, truth),
+            n: pred.len(),
+            floored: floored_targets(truth),
+        }
     }
 
     /// MRE as a percentage (the paper's reporting unit).
@@ -66,7 +89,11 @@ impl std::fmt::Display for EvalResult {
             self.mre_percent(),
             self.mse,
             self.n
-        )
+        )?;
+        if self.floored > 0 {
+            write!(f, "  [{} floored target{}]", self.floored, if self.floored == 1 { "" } else { "s" })?;
+        }
+        Ok(())
     }
 }
 
@@ -95,6 +122,24 @@ mod tests {
         let p = [0.5];
         let t = [0.0];
         assert!(mre(&p, &t).is_finite());
+    }
+
+    #[test]
+    fn floored_targets_are_counted_and_reported() {
+        let p = [0.5, 0.5, 0.5];
+        let t = [0.0, 5e-4, 0.4];
+        assert_eq!(floored_targets(&t), 2);
+        let r = EvalResult::from_pairs("Floored", &p, &t);
+        assert_eq!(r.floored, 2);
+        assert!(r.to_string().contains("2 floored targets"), "{r}");
+        // A clean evaluation stays visually unchanged.
+        let clean = EvalResult::from_pairs("Clean", &p, &[0.4, 0.5, 0.6]);
+        assert_eq!(clean.floored, 0);
+        assert!(!clean.to_string().contains("floored"), "{clean}");
+        // Older serialized records without the field still decode.
+        let old: EvalResult =
+            serde_json::from_str(r#"{"predictor":"Old","mre":0.1,"mse":0.01,"n":4}"#).unwrap();
+        assert_eq!(old.floored, 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::dataset::{Dataset, Sample};
 use crate::features::FeaturizedGraph;
 use crate::metrics::EvalResult;
+use occu_error::OccuError;
 use occu_nn::{Adam, AdamConfig, GradBuffer, Optimizer, ParamStore, Tape, Var};
 use occu_tensor::{Matrix, SeededRng};
 use rayon::prelude::*;
@@ -162,6 +163,38 @@ impl Default for TrainConfig {
     }
 }
 
+impl TrainConfig {
+    /// Rejects hyperparameter values the loop cannot run with: the
+    /// optimizer needs a finite positive learning rate, at least one
+    /// epoch and a nonzero batch, and finite non-negative decay/clip
+    /// (a NaN here would silently poison every parameter).
+    pub fn validate(&self) -> occu_error::Result<()> {
+        let ctx = "train config";
+        if !self.lr.is_finite() || self.lr <= 0.0 {
+            return Err(OccuError::config(ctx, format!("lr must be a finite positive rate, got {}", self.lr)));
+        }
+        if self.epochs == 0 {
+            return Err(OccuError::config(ctx, "epochs must be at least 1"));
+        }
+        if self.batch_size == 0 {
+            return Err(OccuError::config(ctx, "batch_size must be at least 1"));
+        }
+        if !self.weight_decay.is_finite() || self.weight_decay < 0.0 {
+            return Err(OccuError::config(
+                ctx,
+                format!("weight_decay must be finite and non-negative, got {}", self.weight_decay),
+            ));
+        }
+        if !self.clip_norm.is_finite() || self.clip_norm < 0.0 {
+            return Err(OccuError::config(
+                ctx,
+                format!("clip_norm must be finite and non-negative (0 disables), got {}", self.clip_norm),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Per-epoch training record.
 #[derive(Clone, Copy, Debug)]
 pub struct EpochStats {
@@ -198,12 +231,19 @@ impl Trainer {
 
     /// Trains `model` on `data`; returns the loss history.
     ///
+    /// Fails with `Config` when the hyperparameters are unusable
+    /// ([`TrainConfig::validate`]) and `Data` when the training set is
+    /// empty.
+    ///
     /// When observability is enabled (`occu_obs::enable`), the run
     /// records a `train.fit` → `train.epoch` → `train.batch` span
     /// timeline plus loss/grad-norm/throughput metrics and per-worker
     /// sample counts; disabled, each site is a single atomic check.
-    pub fn fit(&self, model: &mut dyn OccuPredictor, data: &Dataset) -> Vec<EpochStats> {
-        assert!(!data.is_empty(), "Trainer::fit: empty training set");
+    pub fn fit(&self, model: &mut dyn OccuPredictor, data: &Dataset) -> occu_error::Result<Vec<EpochStats>> {
+        self.cfg.validate()?;
+        if data.is_empty() {
+            return Err(OccuError::data("Trainer::fit", "empty training set"));
+        }
         let workers = self.cfg.parallelism.resolve();
         let fit_start = std::time::Instant::now();
         let _fit_span = occu_obs::span!(
@@ -254,7 +294,7 @@ impl Trainer {
             occu_obs::gauge("train.samples_per_sec")
                 .set((self.cfg.epochs * data.len()) as f64 / secs.max(1e-9));
         }
-        history
+        Ok(history)
     }
 
     /// Computes per-sample gradients for one batch (parallel across
@@ -391,7 +431,7 @@ mod tests {
         let mut model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 7);
         let data = tiny_dataset();
         let trainer = Trainer::new(TrainConfig { epochs: 12, lr: 5e-3, batch_size: 3, ..Default::default() });
-        let history = trainer.fit(&mut model, &data);
+        let history = trainer.fit(&mut model, &data).unwrap();
         let first = history.first().unwrap().train_loss;
         let last = history.last().unwrap().train_loss;
         assert!(last < first, "training diverged: {first} -> {last}");
@@ -461,7 +501,7 @@ mod tests {
                 parallelism: Parallelism::fixed(workers),
                 ..Default::default()
             };
-            Trainer::new(cfg).fit(&mut model, &data);
+            Trainer::new(cfg).fit(&mut model, &data).unwrap();
             model
         };
         let serial = fit_with(1);
@@ -497,7 +537,7 @@ mod tests {
         let fit = || {
             let mut model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 11);
             let cfg = TrainConfig { epochs: 3, batch_size: 2, parallelism: Parallelism::fixed(2), ..Default::default() };
-            Trainer::new(cfg).fit(&mut model, &data);
+            Trainer::new(cfg).fit(&mut model, &data).unwrap();
             model
         };
         let silent = fit();
@@ -526,9 +566,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty training set")]
     fn fit_rejects_empty_dataset() {
         let mut model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 9);
-        Trainer::new(TrainConfig::default()).fit(&mut model, &Dataset::default());
+        let e = Trainer::new(TrainConfig::default()).fit(&mut model, &Dataset::default()).unwrap_err();
+        assert_eq!(e.kind(), "data");
+        assert!(e.to_string().contains("empty training set"), "{e}");
+    }
+
+    #[test]
+    fn fit_rejects_hostile_hyperparameters() {
+        let mut model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 9);
+        let data = tiny_dataset();
+        let bad = [
+            TrainConfig { lr: f32::NAN, ..Default::default() },
+            TrainConfig { lr: 0.0, ..Default::default() },
+            TrainConfig { lr: -1e-3, ..Default::default() },
+            TrainConfig { epochs: 0, ..Default::default() },
+            TrainConfig { batch_size: 0, ..Default::default() },
+            TrainConfig { weight_decay: f32::NAN, ..Default::default() },
+            TrainConfig { clip_norm: f32::INFINITY, ..Default::default() },
+        ];
+        for cfg in bad {
+            let e = Trainer::new(cfg).fit(&mut model, &data).unwrap_err();
+            assert_eq!(e.kind(), "config", "{cfg:?}");
+        }
     }
 }

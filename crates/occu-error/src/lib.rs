@@ -1,0 +1,244 @@
+//! Typed error layer for the occupancy-prediction pipeline.
+//!
+//! Every fallible boundary that is reachable from *user input* — file
+//! loading, JSON/CSV parsing, shape inference over user-built graphs,
+//! configuration validation — returns [`Result<T>`] instead of
+//! panicking. Internal invariants (tape indices, builder misuse from
+//! the in-tree model zoo) may keep asserting; the contract is that no
+//! byte a user can feed the system through a file or a CLI flag
+//! reaches an `unwrap`.
+//!
+//! The five variants partition failures by *who must act*:
+//!
+//! | Variant  | Meaning                                   | CLI exit |
+//! |----------|-------------------------------------------|----------|
+//! | `Io`     | the OS refused (missing file, perms, ...) | 3        |
+//! | `Parse`  | bytes were not valid JSON/CSV/numbers     | 4        |
+//! | `Shape`  | tensor/graph dimensions are inconsistent  | 5        |
+//! | `Config` | a knob is out of its documented range     | 6        |
+//! | `Data`   | well-formed input with impossible values  | 7        |
+//!
+//! Exit code 2 is reserved for CLI usage errors (unknown flag or
+//! subcommand) and is produced by the binaries themselves, not by
+//! this crate.
+
+#![warn(clippy::unwrap_used)]
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, OccuError>;
+
+/// A typed, single-line-printable pipeline error.
+///
+/// Every variant carries a `context` naming the operation or artifact
+/// (usually a path or a graph node) and a `detail` explaining what was
+/// wrong with it. [`fmt::Display`] renders exactly one line.
+#[derive(Debug)]
+pub enum OccuError {
+    /// The operating system failed the operation (open, read, write).
+    Io {
+        /// What was being accessed, e.g. a path.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// Input bytes could not be decoded (JSON, CSV, numeric fields).
+    Parse {
+        /// What was being decoded.
+        context: String,
+        /// Why decoding failed.
+        detail: String,
+    },
+    /// Tensor or graph dimensions are mutually inconsistent.
+    Shape {
+        /// The op or artifact whose shapes disagree.
+        context: String,
+        /// The disagreement.
+        detail: String,
+    },
+    /// A configuration value is outside its documented range.
+    Config {
+        /// The knob that was set.
+        context: String,
+        /// Why the value is rejected.
+        detail: String,
+    },
+    /// Structurally valid input carrying semantically impossible
+    /// values (NaN occupancy, zero-duration kernel, cyclic graph).
+    Data {
+        /// The artifact that failed validation.
+        context: String,
+        /// The violated invariant.
+        detail: String,
+    },
+}
+
+impl OccuError {
+    /// Builds an [`OccuError::Io`] with `context` naming the target.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        OccuError::Io { context: context.into(), source }
+    }
+
+    /// Builds an [`OccuError::Parse`].
+    pub fn parse(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        OccuError::Parse { context: context.into(), detail: detail.into() }
+    }
+
+    /// Builds an [`OccuError::Shape`].
+    pub fn shape(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        OccuError::Shape { context: context.into(), detail: detail.into() }
+    }
+
+    /// Builds an [`OccuError::Config`].
+    pub fn config(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        OccuError::Config { context: context.into(), detail: detail.into() }
+    }
+
+    /// Builds an [`OccuError::Data`].
+    pub fn data(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        OccuError::Data { context: context.into(), detail: detail.into() }
+    }
+
+    /// The variant name, for log fields and test assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OccuError::Io { .. } => "io",
+            OccuError::Parse { .. } => "parse",
+            OccuError::Shape { .. } => "shape",
+            OccuError::Config { .. } => "config",
+            OccuError::Data { .. } => "data",
+        }
+    }
+
+    /// The process exit code a CLI should use for this error.
+    ///
+    /// Distinct per variant so scripts driving the binaries can
+    /// distinguish "file missing" from "file corrupt" without parsing
+    /// stderr. Code 2 is reserved for usage errors; 0 and 1 keep
+    /// their conventional meanings.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            OccuError::Io { .. } => 3,
+            OccuError::Parse { .. } => 4,
+            OccuError::Shape { .. } => 5,
+            OccuError::Config { .. } => 6,
+            OccuError::Data { .. } => 7,
+        }
+    }
+
+    /// Returns the same error with `outer` prepended to its context,
+    /// e.g. `err.in_context("loading trace")` →
+    /// `"loading trace: jobs.csv: ..."`.
+    pub fn in_context(self, outer: impl fmt::Display) -> Self {
+        let wrap = |context: String| format!("{outer}: {context}");
+        match self {
+            OccuError::Io { context, source } => OccuError::Io { context: wrap(context), source },
+            OccuError::Parse { context, detail } => OccuError::Parse { context: wrap(context), detail },
+            OccuError::Shape { context, detail } => OccuError::Shape { context: wrap(context), detail },
+            OccuError::Config { context, detail } => OccuError::Config { context: wrap(context), detail },
+            OccuError::Data { context, detail } => OccuError::Data { context: wrap(context), detail },
+        }
+    }
+}
+
+impl fmt::Display for OccuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OccuError::Io { context, source } => write!(f, "{context}: {source}"),
+            OccuError::Parse { context, detail } => write!(f, "{context}: invalid input: {detail}"),
+            OccuError::Shape { context, detail } => write!(f, "{context}: shape mismatch: {detail}"),
+            OccuError::Config { context, detail } => write!(f, "{context}: invalid configuration: {detail}"),
+            OccuError::Data { context, detail } => write!(f, "{context}: invalid data: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for OccuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OccuError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Adds operation context to bare `std::io` results at call sites:
+/// `fs::read_to_string(path).io_context(path)?`.
+pub trait IoContext<T> {
+    /// Converts an `io::Result` into [`Result`], naming the target.
+    fn io_context(self, context: impl Into<String>) -> Result<T>;
+}
+
+impl<T> IoContext<T> for std::result::Result<T, std::io::Error> {
+    fn io_context(self, context: impl Into<String>) -> Result<T> {
+        self.map_err(|e| OccuError::io(context, e))
+    }
+}
+
+/// Adds outer context to any [`Result`]:
+/// `load(path).err_context("loading trace")?`.
+pub trait ErrContext<T> {
+    /// Prepends `outer` to the error's context, passing `Ok` through.
+    fn err_context(self, outer: impl fmt::Display) -> Result<T>;
+}
+
+impl<T> ErrContext<T> for Result<T> {
+    fn err_context(self, outer: impl fmt::Display) -> Result<T> {
+        self.map_err(|e| e.in_context(outer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line() {
+        let errs = [
+            OccuError::io("model.json", std::io::Error::new(std::io::ErrorKind::NotFound, "not found")),
+            OccuError::parse("model.json", "unexpected end of input"),
+            OccuError::shape("conv1", "expects rank-4 NCHW, got [3, 32]"),
+            OccuError::config("--test-fraction", "must be in (0, 1], got NaN"),
+            OccuError::data("trace.csv row 3", "occupancy 1.7 outside [0, 1]"),
+        ];
+        for e in errs {
+            let line = e.to_string();
+            assert!(!line.contains('\n'), "multi-line display: {line:?}");
+            assert!(!line.is_empty());
+        }
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errs = [
+            OccuError::io("f", std::io::Error::other("x")),
+            OccuError::parse("f", "x"),
+            OccuError::shape("f", "x"),
+            OccuError::config("f", "x"),
+            OccuError::data("f", "x"),
+        ];
+        let codes: Vec<i32> = errs.iter().map(OccuError::exit_code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len(), "exit codes collide: {codes:?}");
+        assert!(codes.iter().all(|&c| c > 2), "codes 0-2 are reserved: {codes:?}");
+    }
+
+    #[test]
+    fn context_chaining_prepends() {
+        let e = OccuError::parse("jobs.csv", "row 2: bad float").in_context("loading trace");
+        assert_eq!(e.to_string(), "loading trace: jobs.csv: invalid input: row 2: bad float");
+        assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn io_context_helper() {
+        let r: std::result::Result<(), std::io::Error> =
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        let e = r.io_context("weights.json").unwrap_err();
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().starts_with("weights.json:"));
+    }
+}

@@ -1,5 +1,7 @@
-//! GPU device specifications for the paper's three systems (Table III).
+//! GPU device specifications for the paper's three systems (Table III),
+//! plus loading/validation of user-supplied device JSON files.
 
+use occu_error::{ErrContext, IoContext, OccuError};
 use serde::{Deserialize, Serialize};
 
 /// Static hardware description of one GPU model.
@@ -173,6 +175,90 @@ impl DeviceSpec {
         }
     }
 
+    /// Checks that every field is physically plausible: counts and
+    /// granularities positive, rates finite and positive, overheads
+    /// finite and non-negative. Returns a `Config` error naming the
+    /// first offending field.
+    pub fn validate(&self) -> occu_error::Result<()> {
+        let ctx = || format!("device '{}'", self.name);
+        if self.name.trim().is_empty() {
+            return Err(OccuError::config("device", "name must not be empty"));
+        }
+        let positive_counts = [
+            ("sm_count", self.sm_count),
+            ("max_warps_per_sm", self.max_warps_per_sm),
+            ("max_threads_per_block", self.max_threads_per_block),
+            ("max_blocks_per_sm", self.max_blocks_per_sm),
+            ("registers_per_sm", self.registers_per_sm),
+            ("register_alloc_unit", self.register_alloc_unit),
+            ("shared_mem_per_sm", self.shared_mem_per_sm),
+            ("shared_mem_per_block", self.shared_mem_per_block),
+            ("warp_size", self.warp_size),
+        ];
+        for (field, v) in positive_counts {
+            if v == 0 {
+                return Err(OccuError::config(ctx(), format!("{field} must be positive")));
+            }
+        }
+        let positive_rates = [
+            ("fp32_gflops", self.fp32_gflops),
+            ("mem_bandwidth_gbps", self.mem_bandwidth_gbps),
+            ("memory_gib", self.memory_gib),
+        ];
+        for (field, v) in positive_rates {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(OccuError::config(ctx(), format!("{field} must be finite and positive, got {v}")));
+            }
+        }
+        if !self.launch_overhead_us.is_finite() || self.launch_overhead_us < 0.0 {
+            return Err(OccuError::config(
+                ctx(),
+                format!("launch_overhead_us must be finite and >= 0, got {}", self.launch_overhead_us),
+            ));
+        }
+        if self.shared_mem_per_block > self.shared_mem_per_sm {
+            return Err(OccuError::config(
+                ctx(),
+                "shared_mem_per_block cannot exceed shared_mem_per_sm",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Decodes a device from JSON and validates it. `Parse` on bad
+    /// bytes, `Config` on implausible values.
+    pub fn from_json(s: &str) -> occu_error::Result<DeviceSpec> {
+        let dev: DeviceSpec =
+            serde_json::from_str(s).map_err(|e| OccuError::parse("device spec", e.to_string()))?;
+        dev.validate()?;
+        Ok(dev)
+    }
+
+    /// Loads and validates a device spec from a JSON file.
+    pub fn load(path: &str) -> occu_error::Result<DeviceSpec> {
+        let json = std::fs::read_to_string(path).io_context(path)?;
+        Self::from_json(&json).err_context(path)
+    }
+
+    /// Resolves a `--device` argument: a built-in name first, then a
+    /// path to a device JSON file. An argument that is neither is a
+    /// `Config` error listing the built-ins.
+    pub fn resolve(name_or_path: &str) -> occu_error::Result<DeviceSpec> {
+        if let Some(dev) = Self::by_name(name_or_path) {
+            return Ok(dev);
+        }
+        if std::path::Path::new(name_or_path).exists() {
+            return Self::load(name_or_path);
+        }
+        Err(OccuError::config(
+            "--device",
+            format!(
+                "unknown device '{name_or_path}' and no such file (built-ins: {})",
+                Self::all_devices().iter().map(|d| d.name.clone()).collect::<Vec<_>>().join(", ")
+            ),
+        ))
+    }
+
     /// Maximum resident threads per SM.
     pub fn max_threads_per_sm(&self) -> u32 {
         self.max_warps_per_sm * self.warp_size
@@ -220,6 +306,56 @@ mod tests {
         for d in &all {
             assert_eq!(DeviceSpec::by_name(&d.name).unwrap().name, d.name);
         }
+    }
+
+    #[test]
+    fn builtin_devices_pass_validation() {
+        for d in DeviceSpec::all_devices() {
+            d.validate().unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_implausible_fields() {
+        let mut d = DeviceSpec::a100();
+        d.sm_count = 0;
+        assert_eq!(d.validate().unwrap_err().kind(), "config");
+        let mut d = DeviceSpec::a100();
+        d.fp32_gflops = f64::NAN;
+        assert!(d.validate().unwrap_err().to_string().contains("fp32_gflops"));
+        let mut d = DeviceSpec::a100();
+        d.launch_overhead_us = -1.0;
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::a100();
+        d.shared_mem_per_block = d.shared_mem_per_sm + 1;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn from_json_distinguishes_parse_and_config() {
+        let good = serde_json::to_string(&DeviceSpec::t4()).unwrap();
+        assert_eq!(DeviceSpec::from_json(&good).unwrap().name, "T4");
+        // Truncated JSON -> Parse.
+        assert_eq!(DeviceSpec::from_json(&good[..good.len() / 2]).unwrap_err().kind(), "parse");
+        // Valid JSON with an impossible field -> Config.
+        let zeroed = good.replace("\"warp_size\":32", "\"warp_size\":0");
+        assert_eq!(DeviceSpec::from_json(&zeroed).unwrap_err().kind(), "config");
+    }
+
+    #[test]
+    fn resolve_handles_names_files_and_garbage() {
+        assert_eq!(DeviceSpec::resolve("a100").unwrap().name, "A100");
+        let dir = std::env::temp_dir().join("occu_device_resolve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("custom.json");
+        std::fs::write(&path, serde_json::to_string(&DeviceSpec::v100()).unwrap()).unwrap();
+        let path = path.to_str().unwrap();
+        assert_eq!(DeviceSpec::resolve(path).unwrap().arch, "Volta");
+        let e = DeviceSpec::resolve("h100").unwrap_err();
+        assert_eq!(e.kind(), "config");
+        assert!(e.to_string().contains("A100"), "lists built-ins: {e}");
+        // Missing file referenced explicitly -> Io.
+        assert_eq!(DeviceSpec::load("/nonexistent/dev.json").unwrap_err().kind(), "io");
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //! while occupancy plateaus much lower — follows the real mechanisms,
 //! which is what the learning problem needs.
 
+#![warn(clippy::unwrap_used)]
+
 pub mod device;
 pub mod kernel;
 pub mod lowering;
@@ -45,4 +47,4 @@ pub use device::DeviceSpec;
 pub use kernel::{Kernel, KernelCategory};
 pub use occupancy::{achieved_occupancy, theoretical_occupancy, OccupancyLimits};
 pub use power::{energy_report, EnergyReport, PowerSpec};
-pub use profile::{profile_graph, KernelProfile, ProfileReport};
+pub use profile::{csv_field, profile_graph, split_csv_row, KernelProfile, ProfileReport};

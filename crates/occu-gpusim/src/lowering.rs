@@ -179,6 +179,7 @@ fn round_block(threads: u32) -> u32 {
 
 /// A generic grid-stride kernel over `work` elements (4 elements per
 /// thread, float4-vectorized style).
+#[allow(clippy::too_many_arguments)]
 fn direct_kernel(
     name: String,
     category: KernelCategory,

@@ -52,15 +52,11 @@ pub fn occupancy_limits(kernel: &Kernel, dev: &DeviceSpec) -> OccupancyLimits {
     let by_registers = if kernel.regs_per_thread == 0 {
         u32::MAX
     } else {
-        let warps_by_regs = dev.registers_per_sm / regs_per_warp.max(1);
+        let warps_by_regs = dev.registers_per_sm.checked_div(regs_per_warp).unwrap_or(u32::MAX);
         warps_by_regs / warps_per_block
     };
 
-    let by_shared_mem = if kernel.smem_per_block == 0 {
-        u32::MAX
-    } else {
-        dev.shared_mem_per_sm / kernel.smem_per_block
-    };
+    let by_shared_mem = dev.shared_mem_per_sm.checked_div(kernel.smem_per_block).unwrap_or(u32::MAX);
 
     let by_block_cap = dev.max_blocks_per_sm;
 

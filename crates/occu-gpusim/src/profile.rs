@@ -10,6 +10,7 @@ use crate::device::DeviceSpec;
 use crate::kernel::Kernel;
 use crate::lowering::lower_graph;
 use crate::occupancy::achieved_occupancy;
+use occu_error::{ErrContext, IoContext, OccuError};
 use occu_graph::CompGraph;
 use serde::{Deserialize, Serialize};
 
@@ -106,37 +107,71 @@ impl ProfileReport {
     /// Parses [`ProfileReport::to_csv`] output back into kernel
     /// records (quoted fields included). The inverse used by tests
     /// and offline tooling; header must match the export's.
-    pub fn kernels_from_csv(csv: &str) -> Result<Vec<KernelProfile>, String> {
+    ///
+    /// Returns `Parse` on structural problems (wrong header, field
+    /// count, unparseable numbers) and `Data` when a row is
+    /// well-formed but physically impossible (non-finite duration,
+    /// occupancy outside `[0, 1]`).
+    pub fn kernels_from_csv(csv: &str) -> occu_error::Result<Vec<KernelProfile>> {
+        let ctx = "kernel CSV";
         let mut lines = csv.lines();
-        let header = lines.next().ok_or("empty CSV")?;
+        let header = lines.next().ok_or_else(|| OccuError::parse(ctx, "empty CSV"))?;
         if header != "kernel,grid_blocks,block_threads,duration_us,achieved_occupancy" {
-            return Err(format!("unexpected CSV header '{header}'"));
+            return Err(OccuError::parse(ctx, format!("unexpected CSV header '{header}'")));
         }
         lines
             .enumerate()
             .map(|(i, line)| {
+                let row = i + 1;
                 let fields = split_csv_row(line);
                 if fields.len() != 5 {
-                    return Err(format!("row {}: expected 5 fields, got {}", i + 1, fields.len()));
+                    return Err(OccuError::parse(
+                        ctx,
+                        format!("row {row}: expected 5 fields, got {}", fields.len()),
+                    ));
                 }
                 let num = |j: usize, what: &str| {
-                    fields[j].parse::<f64>().map_err(|_| format!("row {}: bad {what} '{}'", i + 1, fields[j]))
+                    fields[j]
+                        .parse::<f64>()
+                        .map_err(|_| OccuError::parse(ctx, format!("row {row}: bad {what} '{}'", fields[j])))
                 };
+                let duration_us = num(3, "duration_us")?;
+                let occupancy = num(4, "achieved_occupancy")?;
+                if !duration_us.is_finite() || duration_us < 0.0 {
+                    return Err(OccuError::data(
+                        ctx,
+                        format!("row {row}: duration_us {duration_us} must be finite and >= 0"),
+                    ));
+                }
+                if !occupancy.is_finite() || !(0.0..=1.0).contains(&occupancy) {
+                    return Err(OccuError::data(
+                        ctx,
+                        format!("row {row}: occupancy {occupancy} outside [0, 1]"),
+                    ));
+                }
                 Ok(KernelProfile {
                     name: fields[0].clone(),
                     grid_blocks: num(1, "grid_blocks")? as u64,
                     block_threads: num(2, "block_threads")? as u32,
-                    duration_us: num(3, "duration_us")?,
-                    occupancy: num(4, "achieved_occupancy")?,
+                    duration_us,
+                    occupancy,
                 })
             })
             .collect()
     }
+
+    /// Loads kernel records from a CSV file written by
+    /// [`ProfileReport::to_csv`].
+    pub fn kernels_from_csv_file(path: &str) -> occu_error::Result<Vec<KernelProfile>> {
+        let csv = std::fs::read_to_string(path).io_context(path)?;
+        Self::kernels_from_csv(&csv).err_context(path)
+    }
 }
 
 /// Quotes a CSV field when it contains a delimiter, quote, or
-/// newline (RFC 4180: embedded quotes double).
-fn csv_field(s: &str) -> String {
+/// newline (RFC 4180: embedded quotes double). Shared with the
+/// scheduler's trace format, which uses the same quoting rules.
+pub fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -145,7 +180,7 @@ fn csv_field(s: &str) -> String {
 }
 
 /// Splits one CSV row honoring RFC 4180 quoting.
-fn split_csv_row(line: &str) -> Vec<String> {
+pub fn split_csv_row(line: &str) -> Vec<String> {
     let mut fields = Vec::new();
     let mut cur = String::new();
     let mut quoted = false;
@@ -503,11 +538,31 @@ mod tests {
 
     #[test]
     fn csv_header_mismatch_is_rejected() {
-        assert!(ProfileReport::kernels_from_csv("bogus,header\n1,2\n").is_err());
-        assert!(ProfileReport::kernels_from_csv("").is_err());
+        assert_eq!(ProfileReport::kernels_from_csv("bogus,header\n1,2\n").unwrap_err().kind(), "parse");
+        assert_eq!(ProfileReport::kernels_from_csv("").unwrap_err().kind(), "parse");
         // Header alone parses to zero kernels.
         let header = "kernel,grid_blocks,block_threads,duration_us,achieved_occupancy\n";
         assert_eq!(ProfileReport::kernels_from_csv(header).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn csv_rejects_corrupt_and_impossible_rows() {
+        let header = "kernel,grid_blocks,block_threads,duration_us,achieved_occupancy\n";
+        // Wrong field count -> Parse.
+        let e = ProfileReport::kernels_from_csv(&format!("{header}k,1,2\n")).unwrap_err();
+        assert_eq!(e.kind(), "parse");
+        assert!(e.to_string().contains("row 1"), "{e}");
+        // Unparseable number -> Parse.
+        let e = ProfileReport::kernels_from_csv(&format!("{header}k,1,2,zebra,0.5\n")).unwrap_err();
+        assert_eq!(e.kind(), "parse");
+        // NaN duration -> Data.
+        let e = ProfileReport::kernels_from_csv(&format!("{header}k,1,2,NaN,0.5\n")).unwrap_err();
+        assert_eq!(e.kind(), "data");
+        // Occupancy outside [0, 1] -> Data.
+        let e = ProfileReport::kernels_from_csv(&format!("{header}k,1,2,3.0,1.7\n")).unwrap_err();
+        assert_eq!(e.kind(), "data");
+        // File loader reports Io on a missing path.
+        assert_eq!(ProfileReport::kernels_from_csv_file("/nonexistent/k.csv").unwrap_err().kind(), "io");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::op::{op_flops, OpKind};
 use crate::shape::{infer_output_shape, Hyper, TensorShape};
+use occu_error::{ErrContext, OccuError};
 use serde::{Deserialize, Serialize};
 
 /// Node identifier: index into [`CompGraph::nodes`].
@@ -200,23 +201,27 @@ impl CompGraph {
 
     /// Validates structural invariants: edge endpoints exist, node ids
     /// equal positions, the graph is acyclic, and no self-loops.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// Returns a `Data` error naming the violated invariant; graphs
+    /// restored from JSON run this before being trusted.
+    pub fn validate(&self) -> occu_error::Result<()> {
+        let ctx = || format!("graph '{}'", self.meta.model_name);
         for (i, n) in self.nodes.iter().enumerate() {
             if n.id.0 != i {
-                return Err(format!("node {} has id {:?}", i, n.id));
+                return Err(OccuError::data(ctx(), format!("node {} has id {:?}", i, n.id)));
             }
         }
         for e in &self.edges {
             if e.src.0 >= self.nodes.len() || e.dst.0 >= self.nodes.len() {
-                return Err(format!("edge {:?}->{:?} out of range", e.src, e.dst));
+                return Err(OccuError::data(ctx(), format!("edge {:?}->{:?} out of range", e.src, e.dst)));
             }
             if e.src == e.dst {
-                return Err(format!("self-loop at {:?}", e.src));
+                return Err(OccuError::data(ctx(), format!("self-loop at {:?}", e.src)));
             }
         }
         self.topo_sort()
             .map(|_| ())
-            .map_err(|stuck| format!("cycle involving {} nodes", stuck.len()))
+            .map_err(|stuck| OccuError::data(ctx(), format!("cycle involving {} nodes", stuck.len())))
     }
 
     /// Shortest-path distances (in hops, edges taken as undirected)
@@ -254,8 +259,15 @@ impl CompGraph {
     }
 
     /// Restores from [`CompGraph::to_json`] output.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    ///
+    /// Returns a `Parse` error on malformed JSON and a `Data` error
+    /// when the decoded graph fails [`CompGraph::validate`] — a graph
+    /// from a file is user input and is never trusted structurally.
+    pub fn from_json(s: &str) -> occu_error::Result<Self> {
+        let g: CompGraph =
+            serde_json::from_str(s).map_err(|e| OccuError::parse("computation graph", e.to_string()))?;
+        g.validate()?;
+        Ok(g)
     }
 }
 
@@ -279,10 +291,38 @@ impl GraphBuilder {
 
     /// Adds an operator node fed by `inputs`, inferring its output
     /// shape and FLOPs. Returns the new node's id.
+    ///
+    /// # Panics
+    /// On a shape-inference failure — model-zoo builders construct
+    /// graphs from code, so this is a bug, not a runtime condition.
+    /// Code assembling graphs from user input uses
+    /// [`GraphBuilder::try_add`] instead.
     pub fn add(&mut self, op: OpKind, name: impl Into<String>, hyper: Hyper, inputs: &[NodeId]) -> NodeId {
+        let name = name.into();
+        self.try_add(op, name.clone(), hyper, inputs)
+            .unwrap_or_else(|e| panic!("GraphBuilder::add '{name}': {e}"))
+    }
+
+    /// Fallible twin of [`GraphBuilder::add`]: returns a `Shape` error
+    /// (with the node name as context) instead of panicking when the
+    /// operator's inputs or hyperparameters are inconsistent.
+    pub fn try_add(
+        &mut self,
+        op: OpKind,
+        name: impl Into<String>,
+        hyper: Hyper,
+        inputs: &[NodeId],
+    ) -> occu_error::Result<NodeId> {
+        let name = name.into();
+        for &i in inputs {
+            if i.0 >= self.nodes.len() {
+                return Err(OccuError::shape(format!("node '{name}'"), format!("unknown input {i:?}")));
+            }
+        }
         let input_shapes: Vec<TensorShape> =
             inputs.iter().map(|&i| self.nodes[i.0].output_shape.clone()).collect();
-        let output_shape = infer_output_shape(op, &hyper, &input_shapes);
+        let output_shape =
+            infer_output_shape(op, &hyper, &input_shapes).err_context(format!("node '{name}'"))?;
         let flops = op_flops(op, &hyper, &input_shapes, &output_shape);
         let temp_bytes = workspace_bytes(op, &hyper, &input_shapes, &output_shape);
         let id = NodeId(self.nodes.len());
@@ -297,14 +337,14 @@ impl GraphBuilder {
         self.nodes.push(Node {
             id,
             op,
-            name: name.into(),
+            name,
             hyper,
             input_shapes,
             output_shape,
             flops,
             temp_bytes,
         });
-        id
+        Ok(id)
     }
 
     /// Adds a graph `Input` node with the given shape.
@@ -452,7 +492,9 @@ mod tests {
     fn validate_catches_self_loop() {
         let mut g = tiny_graph();
         g.edges.push(Edge { src: NodeId(2), dst: NodeId(2), kind: EdgeKind::Forward, tensor_elems: 1 });
-        assert!(g.validate().unwrap_err().contains("self-loop"));
+        let e = g.validate().unwrap_err();
+        assert_eq!(e.kind(), "data");
+        assert!(e.to_string().contains("self-loop"));
     }
 
     #[test]
@@ -483,6 +525,33 @@ mod tests {
         let g = tiny_graph();
         let sp = g.all_pairs_shortest_paths(3);
         assert_eq!(sp[0][6], 3, "distances clamp at the cap");
+    }
+
+    #[test]
+    fn try_add_reports_shape_errors_with_node_context() {
+        let mut b = GraphBuilder::new(GraphMeta::new("bad", ModelFamily::Cnn));
+        let x = b.input("x", &[2, 8]);
+        let e = b
+            .try_add(OpKind::Conv2d, "conv_bad", Hyper::new().with("out_channels", 4.0), &[x])
+            .unwrap_err();
+        assert_eq!(e.kind(), "shape");
+        assert!(e.to_string().contains("conv_bad"), "{e}");
+        // Unknown input id is caught before indexing.
+        let e = b.try_add(OpKind::Relu, "r", Hyper::new(), &[NodeId(99)]).unwrap_err();
+        assert!(e.to_string().contains("unknown input"), "{e}");
+    }
+
+    #[test]
+    fn from_json_rejects_hostile_input() {
+        // Truncated JSON -> Parse.
+        let j = tiny_graph().to_json();
+        let e = CompGraph::from_json(&j[..j.len() / 2]).unwrap_err();
+        assert_eq!(e.kind(), "parse");
+        // Well-formed JSON encoding an invalid graph (self-loop) -> Data.
+        let mut g = tiny_graph();
+        g.edges.push(Edge { src: NodeId(2), dst: NodeId(2), kind: EdgeKind::Forward, tensor_elems: 1 });
+        let e = CompGraph::from_json(&serde_json::to_string(&g).unwrap()).unwrap_err();
+        assert_eq!(e.kind(), "data");
     }
 
     #[test]

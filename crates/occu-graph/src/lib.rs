@@ -19,6 +19,8 @@
 //!   and summary statistics; serializable with serde for dataset
 //!   caching.
 
+#![warn(clippy::unwrap_used)]
+
 pub mod graph;
 pub mod op;
 pub mod shape;
@@ -27,6 +29,6 @@ pub mod training;
 
 pub use graph::{CompGraph, Edge, EdgeKind, GraphBuilder, GraphMeta, ModelFamily, Node, NodeId};
 pub use op::{op_flops, OpCategory, OpKind};
-pub use shape::{infer_output_shape, Hyper, TensorShape};
+pub use shape::{conv_out_dim, infer_output_shape, Hyper, TensorShape};
 pub use stats::{graph_stats, op_histogram, GraphStats};
 pub use training::to_training_graph;

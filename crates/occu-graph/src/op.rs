@@ -359,7 +359,7 @@ mod tests {
 
     #[test]
     fn indices_are_stable_and_unique() {
-        assert!(OpKind::COUNT > 30, "paper needs >30 operator types");
+        const { assert!(OpKind::COUNT > 30, "paper needs >30 operator types") };
         let mut seen = std::collections::HashSet::new();
         for (i, &op) in OpKind::ALL.iter().enumerate() {
             assert_eq!(op.index(), i);
@@ -399,7 +399,7 @@ mod tests {
         let h = Hyper::new();
         let s = TensorShape::new(vec![4, 4]);
         for op in [OpKind::Input, OpKind::Reshape, OpKind::Identity, OpKind::Dropout] {
-            assert_eq!(op_flops(op, &h, &[s.clone()], &s), 0);
+            assert_eq!(op_flops(op, &h, std::slice::from_ref(&s), &s), 0);
             assert!(op.is_no_kernel());
         }
         assert!(!OpKind::Conv2d.is_no_kernel());

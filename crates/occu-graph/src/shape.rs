@@ -1,6 +1,7 @@
 //! Tensor shapes, hyperparameter bags, and shape inference.
 
 use crate::op::OpKind;
+use occu_error::{OccuError, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -57,9 +58,10 @@ impl std::fmt::Display for TensorShape {
 /// Hyperparameter bag attached to each node (Table I: "type and value
 /// of each hyperparameter of the operator").
 ///
-/// Keys are stringly-typed to mirror framework exports; accessors
-/// panic on missing *required* keys so model-builder bugs surface
-/// immediately rather than producing silently-wrong features.
+/// Keys are stringly-typed to mirror framework exports. The in-tree
+/// model zoo uses the panicking [`Hyper::get_usize`] so builder bugs
+/// surface immediately; code handling user-supplied graphs goes
+/// through [`Hyper::try_usize`], which returns a typed error instead.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Hyper(BTreeMap<String, f64>);
 
@@ -95,9 +97,35 @@ impl Hyper {
             as usize
     }
 
+    /// Gets a required value as a validated `usize`: present, finite,
+    /// non-negative, and at most `u32::MAX` (no real tensor dimension
+    /// exceeds that). Unlike [`Hyper::get_usize`] this never panics —
+    /// it is the accessor for graphs that arrived as user input.
+    pub fn try_usize(&self, ctx: &str, key: &str) -> Result<usize> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| OccuError::shape(ctx, format!("required hyperparameter '{key}' missing")))?;
+        if !v.is_finite() || v < 0.0 || v > u32::MAX as f64 {
+            return Err(OccuError::shape(
+                ctx,
+                format!("hyperparameter '{key}' = {v} is not a valid dimension"),
+            ));
+        }
+        Ok(v as usize)
+    }
+
     /// Gets a value as usize with a default.
     pub fn get_usize_or(&self, key: &str, default: usize) -> usize {
         self.get(key).map(|v| v as usize).unwrap_or(default)
+    }
+
+    /// Like [`Hyper::get_usize_or`], but rejects non-finite or
+    /// negative values instead of silently casting them to 0.
+    pub fn try_usize_or(&self, ctx: &str, key: &str, default: usize) -> Result<usize> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(_) => self.try_usize(ctx, key),
+        }
     }
 
     /// Gets a value as f64 with a default.
@@ -123,11 +151,21 @@ impl Hyper {
 
 /// Computes conv/pool spatial output size with the standard formula
 /// `floor((in + 2*pad - kernel) / stride) + 1`.
-pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
-    assert!(stride > 0, "conv_out_dim: stride must be positive");
+///
+/// Returns a `Shape` error on a zero stride or a kernel larger than
+/// the padded input — both reachable from user-supplied graphs.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize> {
+    if stride == 0 {
+        return Err(OccuError::shape("conv_out_dim", "stride must be positive"));
+    }
     let padded = input + 2 * pad;
-    assert!(padded >= kernel, "conv_out_dim: kernel {kernel} larger than padded input {padded}");
-    (padded - kernel) / stride + 1
+    if padded < kernel {
+        return Err(OccuError::shape(
+            "conv_out_dim",
+            format!("kernel {kernel} larger than padded input {padded}"),
+        ));
+    }
+    Ok((padded - kernel) / stride + 1)
 }
 
 /// Infers the output shape of `op` from its input shapes and
@@ -137,241 +175,305 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> u
 /// (activations, normalization, elementwise) pass the first input
 /// through unchanged.
 ///
-/// # Panics
-/// On malformed inputs — a model-builder bug, not a runtime
-/// condition.
-pub fn infer_output_shape(op: OpKind, hyper: &Hyper, inputs: &[TensorShape]) -> TensorShape {
+/// Returns a `Shape` error on malformed inputs (wrong rank, missing
+/// hyperparameters, inconsistent dims) so graphs that arrived from a
+/// file degrade gracefully; the model-zoo builders funnel through
+/// [`crate::GraphBuilder::add`], which converts the error back into a
+/// panic because there it is a code bug.
+pub fn infer_output_shape(op: OpKind, hyper: &Hyper, inputs: &[TensorShape]) -> Result<TensorShape> {
     use OpKind::*;
-    let first = || {
+    let ctx = format!("{op:?}");
+    let first = || -> Result<TensorShape> {
         inputs
             .first()
-            .unwrap_or_else(|| panic!("{op:?}: needs at least one input"))
-            .clone()
+            .cloned()
+            .ok_or_else(|| OccuError::shape(&ctx, "needs at least one input"))
     };
+    let err = |detail: String| Err(OccuError::shape(&ctx, detail));
     match op {
         Input | Constant => {
             // Shape given via hyperparameters dim0..dim3.
             let mut dims = Vec::new();
             for i in 0..8 {
-                if let Some(d) = hyper.get(&format!("dim{i}")) {
-                    dims.push(d as usize);
+                if hyper.get(&format!("dim{i}")).is_some() {
+                    dims.push(hyper.try_usize(&ctx, &format!("dim{i}"))?);
                 }
             }
-            assert!(!dims.is_empty(), "Input/Constant node requires dim0..k hyperparameters");
-            TensorShape::new(dims)
+            if dims.is_empty() {
+                return err("Input/Constant node requires dim0..k hyperparameters".into());
+            }
+            Ok(TensorShape::new(dims))
         }
         Output | Identity | Dropout | Relu | LeakyRelu | Gelu | Sigmoid | Tanh | Softmax | LogSoftmax
         | Hardswish | Elu | Silu | Erf | BatchNorm2d | LayerNorm | GroupNorm | InstanceNorm2d | Sqrt
         | Neg | Exp | Log | Pad | Upsample => {
-            let mut s = first();
+            let mut s = first()?;
             if op == Pad {
-                let p = hyper.get_usize_or("pad", 0);
+                let p = hyper.try_usize_or(&ctx, "pad", 0)?;
                 if p > 0 && s.rank() == 4 {
                     let d = s.dims().to_vec();
                     s = TensorShape::new(vec![d[0], d[1], d[2] + 2 * p, d[3] + 2 * p]);
                 }
             }
             if op == Upsample {
-                let f = hyper.get_usize_or("scale", 2);
+                let f = hyper.try_usize_or(&ctx, "scale", 2)?;
                 if s.rank() == 4 {
                     let d = s.dims().to_vec();
                     s = TensorShape::new(vec![d[0], d[1], d[2] * f, d[3] * f]);
                 }
             }
-            s
+            Ok(s)
         }
         Add | Sub | Mul | Div | Pow => {
-            let s = first();
+            let s = first()?;
             if let Some(other) = inputs.get(1) {
                 // Pick the larger operand to model broadcasting.
                 if other.elems() > s.elems() {
-                    return other.clone();
+                    return Ok(other.clone());
                 }
             }
-            s
+            Ok(s)
         }
         Conv2d | DepthwiseConv2d => {
-            let s = first();
+            let s = first()?;
             let d = s.dims();
-            assert_eq!(d.len(), 4, "{op:?}: expected NCHW input, got {s}");
-            let k = if op == DepthwiseConv2d {
-                d[1]
-            } else {
-                hyper.get_usize("out_channels")
-            };
-            let kh = hyper.get_usize_or("kernel_h", hyper.get_usize_or("kernel", 3));
-            let kw = hyper.get_usize_or("kernel_w", hyper.get_usize_or("kernel", 3));
-            let st = hyper.get_usize_or("stride", 1);
-            let pad = hyper.get_usize_or("padding", 0);
-            TensorShape::new(vec![d[0], k, conv_out_dim(d[2], kh, st, pad), conv_out_dim(d[3], kw, st, pad)])
+            if d.len() != 4 {
+                return err(format!("expected NCHW input, got {s}"));
+            }
+            let k = if op == DepthwiseConv2d { d[1] } else { hyper.try_usize(&ctx, "out_channels")? };
+            let kh = hyper.try_usize_or(&ctx, "kernel_h", hyper.try_usize_or(&ctx, "kernel", 3)?)?;
+            let kw = hyper.try_usize_or(&ctx, "kernel_w", hyper.try_usize_or(&ctx, "kernel", 3)?)?;
+            let st = hyper.try_usize_or(&ctx, "stride", 1)?;
+            let pad = hyper.try_usize_or(&ctx, "padding", 0)?;
+            Ok(TensorShape::new(vec![
+                d[0],
+                k,
+                conv_out_dim(d[2], kh, st, pad)?,
+                conv_out_dim(d[3], kw, st, pad)?,
+            ]))
         }
         ConvTranspose2d => {
-            let s = first();
+            let s = first()?;
             let d = s.dims();
-            let k = hyper.get_usize("out_channels");
-            let kh = hyper.get_usize_or("kernel_h", 2);
-            let st = hyper.get_usize_or("stride", 2);
-            let pad = hyper.get_usize_or("padding", 0);
-            let out_h = (d[2] - 1) * st + kh - 2 * pad;
-            let out_w = (d[3] - 1) * st + kh - 2 * pad;
-            TensorShape::new(vec![d[0], k, out_h, out_w])
+            if d.len() != 4 {
+                return err(format!("expected NCHW input, got {s}"));
+            }
+            let k = hyper.try_usize(&ctx, "out_channels")?;
+            let kh = hyper.try_usize_or(&ctx, "kernel_h", 2)?;
+            let st = hyper.try_usize_or(&ctx, "stride", 2)?;
+            let pad = hyper.try_usize_or(&ctx, "padding", 0)?;
+            let grow = |dim: usize| -> Result<usize> {
+                ((dim.saturating_sub(1)) * st + kh)
+                    .checked_sub(2 * pad)
+                    .ok_or_else(|| OccuError::shape(&ctx, format!("padding {pad} exceeds output extent")))
+            };
+            Ok(TensorShape::new(vec![d[0], k, grow(d[2])?, grow(d[3])?]))
         }
         Conv1d => {
-            let s = first();
+            let s = first()?;
             let d = s.dims();
-            assert_eq!(d.len(), 3, "Conv1d: expected NCL input");
-            let k = hyper.get_usize("out_channels");
-            let kl = hyper.get_usize_or("kernel", 3);
-            let st = hyper.get_usize_or("stride", 1);
-            let pad = hyper.get_usize_or("padding", 0);
-            TensorShape::new(vec![d[0], k, conv_out_dim(d[2], kl, st, pad)])
+            if d.len() != 3 {
+                return err(format!("expected NCL input, got {s}"));
+            }
+            let k = hyper.try_usize(&ctx, "out_channels")?;
+            let kl = hyper.try_usize_or(&ctx, "kernel", 3)?;
+            let st = hyper.try_usize_or(&ctx, "stride", 1)?;
+            let pad = hyper.try_usize_or(&ctx, "padding", 0)?;
+            Ok(TensorShape::new(vec![d[0], k, conv_out_dim(d[2], kl, st, pad)?]))
         }
         MaxPool2d | AvgPool2d => {
-            let s = first();
+            let s = first()?;
             let d = s.dims();
-            assert_eq!(d.len(), 4, "{op:?}: expected NCHW input");
-            let kh = hyper.get_usize_or("kernel_h", hyper.get_usize_or("kernel", 2));
-            let kw = hyper.get_usize_or("kernel_w", hyper.get_usize_or("kernel", 2));
-            let st = hyper.get_usize_or("stride", kh);
-            let pad = hyper.get_usize_or("padding", 0);
-            TensorShape::new(vec![d[0], d[1], conv_out_dim(d[2], kh, st, pad), conv_out_dim(d[3], kw, st, pad)])
+            if d.len() != 4 {
+                return err(format!("expected NCHW input, got {s}"));
+            }
+            let kh = hyper.try_usize_or(&ctx, "kernel_h", hyper.try_usize_or(&ctx, "kernel", 2)?)?;
+            let kw = hyper.try_usize_or(&ctx, "kernel_w", hyper.try_usize_or(&ctx, "kernel", 2)?)?;
+            let st = hyper.try_usize_or(&ctx, "stride", kh)?;
+            let pad = hyper.try_usize_or(&ctx, "padding", 0)?;
+            Ok(TensorShape::new(vec![
+                d[0],
+                d[1],
+                conv_out_dim(d[2], kh, st, pad)?,
+                conv_out_dim(d[3], kw, st, pad)?,
+            ]))
         }
         MaxPool1d => {
-            let s = first();
+            let s = first()?;
             let d = s.dims();
-            let kl = hyper.get_usize_or("kernel", 2);
-            let st = hyper.get_usize_or("stride", kl);
-            TensorShape::new(vec![d[0], d[1], conv_out_dim(d[2], kl, st, 0)])
+            if d.len() != 3 {
+                return err(format!("expected NCL input, got {s}"));
+            }
+            let kl = hyper.try_usize_or(&ctx, "kernel", 2)?;
+            let st = hyper.try_usize_or(&ctx, "stride", kl)?;
+            Ok(TensorShape::new(vec![d[0], d[1], conv_out_dim(d[2], kl, st, 0)?]))
         }
         AdaptiveAvgPool2d => {
-            let s = first();
+            let s = first()?;
             let d = s.dims();
-            let oh = hyper.get_usize_or("out_h", 1);
-            let ow = hyper.get_usize_or("out_w", 1);
-            TensorShape::new(vec![d[0], d[1], oh, ow])
+            if d.len() < 2 {
+                return err(format!("expected rank >= 2 input, got {s}"));
+            }
+            let oh = hyper.try_usize_or(&ctx, "out_h", 1)?;
+            let ow = hyper.try_usize_or(&ctx, "out_w", 1)?;
+            Ok(TensorShape::new(vec![d[0], d[1], oh, ow]))
         }
         GlobalAvgPool2d => {
-            let s = first();
+            let s = first()?;
             let d = s.dims();
-            TensorShape::new(vec![d[0], d[1], 1, 1])
+            if d.len() < 2 {
+                return err(format!("expected rank >= 2 input, got {s}"));
+            }
+            Ok(TensorShape::new(vec![d[0], d[1], 1, 1]))
         }
         Linear => {
-            let s = first();
+            let s = first()?;
             let mut d = s.dims().to_vec();
-            let out_f = hyper.get_usize("out_features");
-            let in_f = hyper.get_usize("in_features");
-            assert_eq!(*d.last().expect("non-scalar"), in_f, "Linear: input width mismatch");
-            *d.last_mut().expect("non-scalar") = out_f;
-            TensorShape::new(d)
+            let out_f = hyper.try_usize(&ctx, "out_features")?;
+            let in_f = hyper.try_usize(&ctx, "in_features")?;
+            let Some(last) = d.last_mut() else {
+                return err("scalar input has no feature axis".into());
+            };
+            if *last != in_f {
+                return err(format!("input width mismatch: input {s} vs in_features {in_f}"));
+            }
+            *last = out_f;
+            Ok(TensorShape::new(d))
         }
         MatMul | BatchMatMul => {
-            let a = first();
-            let b = inputs.get(1).expect("MatMul: needs two inputs");
+            let a = first()?;
+            let Some(b) = inputs.get(1) else {
+                return err("needs two inputs".into());
+            };
             let ad = a.dims();
             let bd = b.dims();
-            assert!(ad.len() >= 2 && bd.len() >= 2, "MatMul: rank >= 2 required");
-            assert_eq!(
-                ad[ad.len() - 1],
-                bd[bd.len() - 2],
-                "MatMul: inner dims differ ({a} x {b})"
-            );
+            if ad.len() < 2 || bd.len() < 2 {
+                return err(format!("rank >= 2 required ({a} x {b})"));
+            }
+            if ad[ad.len() - 1] != bd[bd.len() - 2] {
+                return err(format!("inner dims differ ({a} x {b})"));
+            }
             let mut d = ad[..ad.len() - 1].to_vec();
             d.push(bd[bd.len() - 1]);
-            TensorShape::new(d)
+            Ok(TensorShape::new(d))
         }
         Concat => {
-            let axis = hyper.get_usize_or("axis", 1);
-            let s = first();
+            let axis = hyper.try_usize_or(&ctx, "axis", 1)?;
+            let s = first()?;
             let mut d = s.dims().to_vec();
-            assert!(axis < d.len(), "Concat: axis {axis} out of rank {}", d.len());
-            d[axis] = inputs.iter().map(|i| i.dims()[axis]).sum();
-            TensorShape::new(d)
+            if axis >= d.len() {
+                return err(format!("axis {axis} out of rank {}", d.len()));
+            }
+            let mut total = 0;
+            for i in inputs {
+                let Some(&dim) = i.dims().get(axis) else {
+                    return err(format!("input {i} has no axis {axis}"));
+                };
+                total += dim;
+            }
+            d[axis] = total;
+            Ok(TensorShape::new(d))
         }
         Split | Slice => {
-            let s = first();
+            let s = first()?;
             let mut d = s.dims().to_vec();
-            let axis = hyper.get_usize_or("axis", 1);
-            let parts = hyper.get_usize_or("parts", 2);
-            d[axis] /= parts.max(1);
-            TensorShape::new(d)
+            let axis = hyper.try_usize_or(&ctx, "axis", 1)?;
+            let parts = hyper.try_usize_or(&ctx, "parts", 2)?;
+            let Some(dim) = d.get_mut(axis) else {
+                return err(format!("axis {axis} out of rank {}", s.rank()));
+            };
+            *dim /= parts.max(1);
+            Ok(TensorShape::new(d))
         }
         Reshape => {
             let mut dims = Vec::new();
             for i in 0..8 {
-                if let Some(dd) = hyper.get(&format!("dim{i}")) {
-                    dims.push(dd as usize);
+                if hyper.get(&format!("dim{i}")).is_some() {
+                    dims.push(hyper.try_usize(&ctx, &format!("dim{i}"))?);
                 }
             }
             let out = TensorShape::new(dims);
-            assert_eq!(out.elems(), first().elems(), "Reshape: element count must be preserved");
-            out
+            let input = first()?;
+            if out.elems() != input.elems() {
+                return err(format!("element count must be preserved ({input} -> {out})"));
+            }
+            Ok(out)
         }
         Flatten => {
-            let s = first();
+            let s = first()?;
             let d = s.dims();
-            assert!(!d.is_empty());
-            TensorShape::new(vec![d[0], d[1..].iter().product::<usize>().max(1)])
+            if d.is_empty() {
+                return err("cannot flatten a scalar".into());
+            }
+            Ok(TensorShape::new(vec![d[0], d[1..].iter().product::<usize>().max(1)]))
         }
         Transpose | Permute => {
-            let s = first();
+            let s = first()?;
             let mut d = s.dims().to_vec();
             // Default: swap last two axes; explicit permutation via perm0..k.
-            if let Some(p0) = hyper.get("perm0") {
-                let mut perm = vec![p0 as usize];
+            if hyper.get("perm0").is_some() {
+                let mut perm = vec![hyper.try_usize(&ctx, "perm0")?];
                 for i in 1..d.len() {
-                    perm.push(hyper.get_usize(&format!("perm{i}")));
+                    perm.push(hyper.try_usize(&ctx, &format!("perm{i}"))?);
                 }
-                let nd: Vec<usize> = perm.iter().map(|&p| d[p]).collect();
-                return TensorShape::new(nd);
+                let mut nd = Vec::with_capacity(perm.len());
+                for &p in &perm {
+                    let Some(&dim) = d.get(p) else {
+                        return err(format!("permutation index {p} out of rank {}", d.len()));
+                    };
+                    nd.push(dim);
+                }
+                return Ok(TensorShape::new(nd));
             }
             let n = d.len();
             if n >= 2 {
                 d.swap(n - 1, n - 2);
             }
-            TensorShape::new(d)
+            Ok(TensorShape::new(d))
         }
         Squeeze => {
-            let s = first();
-            TensorShape::new(s.dims().iter().copied().filter(|&d| d != 1).collect())
+            let s = first()?;
+            Ok(TensorShape::new(s.dims().iter().copied().filter(|&d| d != 1).collect()))
         }
         Unsqueeze => {
-            let s = first();
-            let axis = hyper.get_usize_or("axis", 0);
+            let s = first()?;
+            let axis = hyper.try_usize_or(&ctx, "axis", 0)?;
             let mut d = s.dims().to_vec();
             d.insert(axis.min(d.len()), 1);
-            TensorShape::new(d)
+            Ok(TensorShape::new(d))
         }
         Gather | Embedding => {
             // indices shape [B, S] gathering rows of width `dim`.
-            let s = first();
-            let dim = hyper.get_usize("dim");
+            let s = first()?;
+            let dim = hyper.try_usize(&ctx, "dim")?;
             let mut d = s.dims().to_vec();
             d.push(dim);
-            TensorShape::new(d)
+            Ok(TensorShape::new(d))
         }
         RnnCell | LstmCell | GruCell => {
-            let h = hyper.get_usize("hidden_size");
-            let batch = hyper.get_usize_or("batch", first().dims().first().copied().unwrap_or(1));
-            TensorShape::new(vec![batch, h])
+            let h = hyper.try_usize(&ctx, "hidden_size")?;
+            let default_batch = inputs.first().and_then(|s| s.dims().first().copied()).unwrap_or(1);
+            let batch = hyper.try_usize_or(&ctx, "batch", default_batch)?;
+            Ok(TensorShape::new(vec![batch, h]))
         }
         Attention => {
             // Output has the query shape.
             first()
         }
         ReduceMean | ReduceSum => {
-            let s = first();
-            let axis = hyper.get_usize_or("axis", s.rank().saturating_sub(1));
+            let s = first()?;
+            let axis = hyper.try_usize_or(&ctx, "axis", s.rank().saturating_sub(1))?;
             let mut d = s.dims().to_vec();
             if axis < d.len() {
                 d.remove(axis);
             }
-            TensorShape::new(d)
+            Ok(TensorShape::new(d))
         }
         ArgMax => {
-            let s = first();
+            let s = first()?;
             let mut d = s.dims().to_vec();
             d.pop();
-            TensorShape::new(d)
+            Ok(TensorShape::new(d))
         }
     }
 }
@@ -383,11 +485,17 @@ mod tests {
     #[test]
     fn conv_out_dim_standard_cases() {
         // ResNet stem: 224, k=7, s=2, p=3 -> 112.
-        assert_eq!(conv_out_dim(224, 7, 2, 3), 112);
+        assert_eq!(conv_out_dim(224, 7, 2, 3).unwrap(), 112);
         // Same-padding 3x3.
-        assert_eq!(conv_out_dim(56, 3, 1, 1), 56);
+        assert_eq!(conv_out_dim(56, 3, 1, 1).unwrap(), 56);
         // Pool 2x2 stride 2.
-        assert_eq!(conv_out_dim(112, 2, 2, 0), 56);
+        assert_eq!(conv_out_dim(112, 2, 2, 0).unwrap(), 56);
+    }
+
+    #[test]
+    fn conv_out_dim_rejects_degenerate_inputs() {
+        assert_eq!(conv_out_dim(8, 3, 0, 0).unwrap_err().kind(), "shape");
+        assert_eq!(conv_out_dim(2, 7, 1, 0).unwrap_err().kind(), "shape");
     }
 
     #[test]
@@ -399,22 +507,23 @@ mod tests {
             .with("kernel_w", 7.0)
             .with("stride", 2.0)
             .with("padding", 3.0);
-        let out = infer_output_shape(OpKind::Conv2d, &h, &[TensorShape::new(vec![8, 3, 224, 224])]);
+        let out = infer_output_shape(OpKind::Conv2d, &h, &[TensorShape::new(vec![8, 3, 224, 224])]).unwrap();
         assert_eq!(out.dims(), &[8, 64, 112, 112]);
     }
 
     #[test]
     fn linear_shape_inference() {
         let h = Hyper::new().with("in_features", 512.0).with("out_features", 10.0);
-        let out = infer_output_shape(OpKind::Linear, &h, &[TensorShape::new(vec![4, 512])]);
+        let out = infer_output_shape(OpKind::Linear, &h, &[TensorShape::new(vec![4, 512])]).unwrap();
         assert_eq!(out.dims(), &[4, 10]);
     }
 
     #[test]
-    #[should_panic(expected = "input width mismatch")]
     fn linear_rejects_wrong_width() {
         let h = Hyper::new().with("in_features", 512.0).with("out_features", 10.0);
-        let _ = infer_output_shape(OpKind::Linear, &h, &[TensorShape::new(vec![4, 100])]);
+        let e = infer_output_shape(OpKind::Linear, &h, &[TensorShape::new(vec![4, 100])]).unwrap_err();
+        assert_eq!(e.kind(), "shape");
+        assert!(e.to_string().contains("input width mismatch"), "{e}");
     }
 
     #[test]
@@ -423,8 +532,21 @@ mod tests {
             OpKind::MatMul,
             &Hyper::new(),
             &[TensorShape::new(vec![2, 8, 16]), TensorShape::new(vec![2, 16, 32])],
-        );
+        )
+        .unwrap();
         assert_eq!(out.dims(), &[2, 8, 32]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let e = infer_output_shape(
+            OpKind::MatMul,
+            &Hyper::new(),
+            &[TensorShape::new(vec![2, 8, 16]), TensorShape::new(vec![2, 17, 32])],
+        )
+        .unwrap_err();
+        assert_eq!(e.kind(), "shape");
+        assert!(e.to_string().contains("inner dims differ"), "{e}");
     }
 
     #[test]
@@ -434,47 +556,74 @@ mod tests {
             OpKind::Concat,
             &h,
             &[TensorShape::new(vec![2, 3, 8, 8]), TensorShape::new(vec![2, 5, 8, 8])],
-        );
+        )
+        .unwrap();
         assert_eq!(out.dims(), &[2, 8, 8, 8]);
     }
 
     #[test]
     fn flatten_collapses_trailing_dims() {
-        let out = infer_output_shape(OpKind::Flatten, &Hyper::new(), &[TensorShape::new(vec![4, 64, 7, 7])]);
+        let out =
+            infer_output_shape(OpKind::Flatten, &Hyper::new(), &[TensorShape::new(vec![4, 64, 7, 7])]).unwrap();
         assert_eq!(out.dims(), &[4, 64 * 49]);
     }
 
     #[test]
     fn global_pool_and_reduce() {
-        let out = infer_output_shape(OpKind::GlobalAvgPool2d, &Hyper::new(), &[TensorShape::new(vec![4, 512, 7, 7])]);
+        let out =
+            infer_output_shape(OpKind::GlobalAvgPool2d, &Hyper::new(), &[TensorShape::new(vec![4, 512, 7, 7])])
+                .unwrap();
         assert_eq!(out.dims(), &[4, 512, 1, 1]);
         let rm = infer_output_shape(
             OpKind::ReduceMean,
             &Hyper::new().with("axis", 1.0),
             &[TensorShape::new(vec![4, 16, 8])],
-        );
+        )
+        .unwrap();
         assert_eq!(rm.dims(), &[4, 8]);
     }
 
     #[test]
     fn embedding_appends_dim() {
         let h = Hyper::new().with("dim", 768.0);
-        let out = infer_output_shape(OpKind::Embedding, &h, &[TensorShape::new(vec![2, 128])]);
+        let out = infer_output_shape(OpKind::Embedding, &h, &[TensorShape::new(vec![2, 128])]).unwrap();
         assert_eq!(out.dims(), &[2, 128, 768]);
     }
 
     #[test]
     fn reshape_conserves_elements() {
         let h = Hyper::new().with("dim0", 2.0).with("dim1", 6.0);
-        let out = infer_output_shape(OpKind::Reshape, &h, &[TensorShape::new(vec![3, 4])]);
+        let out = infer_output_shape(OpKind::Reshape, &h, &[TensorShape::new(vec![3, 4])]).unwrap();
         assert_eq!(out.dims(), &[2, 6]);
     }
 
     #[test]
-    #[should_panic(expected = "element count")]
     fn reshape_rejects_bad_count() {
         let h = Hyper::new().with("dim0", 5.0).with("dim1", 5.0);
-        let _ = infer_output_shape(OpKind::Reshape, &h, &[TensorShape::new(vec![3, 4])]);
+        let e = infer_output_shape(OpKind::Reshape, &h, &[TensorShape::new(vec![3, 4])]).unwrap_err();
+        assert!(e.to_string().contains("element count"), "{e}");
+    }
+
+    #[test]
+    fn missing_inputs_and_hypers_error_instead_of_panicking() {
+        // No inputs where one is required.
+        assert_eq!(infer_output_shape(OpKind::Relu, &Hyper::new(), &[]).unwrap_err().kind(), "shape");
+        // Missing required hyperparameter.
+        let e = infer_output_shape(OpKind::Conv2d, &Hyper::new(), &[TensorShape::new(vec![1, 3, 8, 8])])
+            .unwrap_err();
+        assert!(e.to_string().contains("out_channels"), "{e}");
+        // NaN hyperparameter is rejected, not cast to 0.
+        let h = Hyper::new().with("out_channels", f64::NAN);
+        let e = infer_output_shape(OpKind::Conv2d, &h, &[TensorShape::new(vec![1, 3, 8, 8])]).unwrap_err();
+        assert!(e.to_string().contains("not a valid dimension"), "{e}");
+        // Wrong rank.
+        let h = Hyper::new().with("out_channels", 4.0);
+        let e = infer_output_shape(OpKind::Conv2d, &h, &[TensorShape::new(vec![3, 32])]).unwrap_err();
+        assert!(e.to_string().contains("NCHW"), "{e}");
+        // Out-of-range permutation index.
+        let h = Hyper::new().with("perm0", 9.0).with("perm1", 0.0);
+        let e = infer_output_shape(OpKind::Permute, &h, &[TensorShape::new(vec![2, 3])]).unwrap_err();
+        assert!(e.to_string().contains("permutation index"), "{e}");
     }
 
     #[test]
@@ -483,9 +632,14 @@ mod tests {
         h.set("k", 3.0);
         assert_eq!(h.get_usize("k"), 3);
         assert_eq!(h.get_usize_or("missing", 7), 7);
-        assert_eq!(h.len(), 1);
+        assert_eq!(h.try_usize("t", "k").unwrap(), 3);
+        assert_eq!(h.try_usize("t", "missing").unwrap_err().kind(), "shape");
+        assert_eq!(h.try_usize_or("t", "missing", 7).unwrap(), 7);
+        h.set("bad", -1.0);
+        assert!(h.try_usize("t", "bad").is_err());
+        assert_eq!(h.len(), 2);
         let keys: Vec<&str> = h.iter().map(|(k, _)| k).collect();
-        assert_eq!(keys, vec!["k"]);
+        assert_eq!(keys, vec!["bad", "k"]);
     }
 
     #[test]

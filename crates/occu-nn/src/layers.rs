@@ -170,7 +170,7 @@ impl MultiHeadAttention {
     /// # Panics
     /// If `dim` is not divisible by `heads`.
     pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, rng: &mut SeededRng) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "MHA: dim {} must divide into {} heads", dim, heads);
+        assert!(heads > 0 && dim.is_multiple_of(heads), "MHA: dim {} must divide into {} heads", dim, heads);
         Self {
             wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
             wk: Linear::new(store, &format!("{name}.wk"), dim, dim, rng),

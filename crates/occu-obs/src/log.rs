@@ -24,9 +24,11 @@ pub enum Level {
     Trace = 4,
 }
 
-impl Level {
+impl std::str::FromStr for Level {
+    type Err = String;
+
     /// Parses a level name (case-insensitive).
-    pub fn from_str(s: &str) -> Result<Level, String> {
+    fn from_str(s: &str) -> Result<Level, String> {
         match s.to_ascii_lowercase().as_str() {
             "error" => Ok(Level::Error),
             "warn" | "warning" => Ok(Level::Warn),
@@ -47,7 +49,7 @@ pub fn set_level(level: Level) {
 
 /// Sets the global log level from its name.
 pub fn set_level_from_str(s: &str) -> Result<(), String> {
-    set_level(Level::from_str(s)?);
+    set_level(s.parse::<Level>()?);
     Ok(())
 }
 

@@ -228,6 +228,7 @@ fn manifest_path_replaces_json_suffix() {
 #[test]
 fn log_levels_parse_and_gate() {
     use occu_obs::Level;
+    use std::str::FromStr;
     assert_eq!(Level::from_str("WARN").unwrap(), Level::Warn);
     assert!(Level::from_str("loud").is_err());
     assert!(Level::Error < Level::Trace);

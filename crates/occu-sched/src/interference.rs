@@ -69,7 +69,7 @@ pub fn jct_interference_study(pool: &[Job], n_pairs: usize, seed: u64) -> Vec<In
         b.work_us = work;
         // Force co-location on a single GPU with an always-admit
         // policy (the study measures interference, not packing).
-        let res = simulate(&[a.clone(), b], &[gpu.clone()], PackingPolicy::Unbounded);
+        let res = simulate(&[a.clone(), b], std::slice::from_ref(&gpu), PackingPolicy::Unbounded);
         let jct = res.jcts[0];
         points.push(InterferencePoint {
             cumulative_occupancy: pool[i].true_occupancy + pool[j].true_occupancy,

@@ -1,5 +1,6 @@
 //! The job model consumed by the scheduler.
 
+use occu_error::OccuError;
 use serde::{Deserialize, Serialize};
 
 /// One schedulable DL inference job.
@@ -51,19 +52,29 @@ impl Job {
         self
     }
 
-    /// Validates the invariants the simulator assumes.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the invariants the simulator assumes, returning a
+    /// `Data` error naming the job and the violated bound. (NaN
+    /// fails every range check, so non-finite occupancies are
+    /// rejected too.)
+    pub fn validate(&self) -> occu_error::Result<()> {
+        let ctx = || format!("job {}", self.id);
         if !(0.0..=1.0).contains(&self.true_occupancy) || !(0.0..=1.0).contains(&self.predicted_occupancy) {
-            return Err(format!("job {}: occupancy out of [0,1]", self.id));
+            return Err(OccuError::data(
+                ctx(),
+                format!(
+                    "occupancy out of [0,1] (true {}, predicted {})",
+                    self.true_occupancy, self.predicted_occupancy
+                ),
+            ));
         }
         if !(0.0..=1.0).contains(&self.nvml_utilization) {
-            return Err(format!("job {}: nvml out of [0,1]", self.id));
+            return Err(OccuError::data(ctx(), format!("nvml utilization {} out of [0,1]", self.nvml_utilization)));
         }
         if !self.work_us.is_finite() || self.work_us <= 0.0 {
-            return Err(format!("job {}: non-positive work", self.id));
+            return Err(OccuError::data(ctx(), format!("work_us {} must be finite and positive", self.work_us)));
         }
         if !self.arrival_us.is_finite() || self.arrival_us < 0.0 {
-            return Err(format!("job {}: invalid arrival time", self.id));
+            return Err(OccuError::data(ctx(), format!("arrival_us {} must be finite and >= 0", self.arrival_us)));
         }
         Ok(())
     }

@@ -18,6 +18,8 @@
 //! tighter measure of real SM usage — safely packs two or three jobs,
 //! raising utilization and cutting makespan (Table VI).
 
+#![warn(clippy::unwrap_used)]
+
 pub mod cluster;
 pub mod interference;
 pub mod job;
@@ -30,4 +32,6 @@ pub use interference::{jct_interference_study, slowdown, InterferencePoint};
 pub use job::Job;
 pub use policy::PackingPolicy;
 pub use spatial::{proportional_shares, spatial_beats_temporal, spatial_rates, spatial_throughput, SpatialShare};
-pub use trace::{assign_poisson_arrivals, load_factor};
+pub use trace::{
+    assign_poisson_arrivals, jobs_from_csv, jobs_to_csv, load_factor, load_trace, save_trace, TRACE_HEADER,
+};

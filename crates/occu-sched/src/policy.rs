@@ -3,6 +3,14 @@
 use crate::job::Job;
 use serde::{Deserialize, Serialize};
 
+/// Tolerance for the 100% admission caps. Summed `f64` occupancies
+/// accumulate representation error (0.2 five times sums to slightly
+/// more than 1.0 in one order and slightly less in another), so a
+/// strict `<= 1.0` makes admission depend on arrival order. The
+/// epsilon is far below any real occupancy difference (predictions
+/// carry ~1e-2 error) but far above accumulated f64 noise.
+const ADMIT_EPS: f64 = 1e-9;
+
 /// The three §VI-B policies plus an experiment-only unbounded mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PackingPolicy {
@@ -48,11 +56,11 @@ impl PackingPolicy {
             PackingPolicy::SlotPacking => resident.is_empty(),
             PackingPolicy::NvmlUtilPacking => {
                 let util: f64 = resident.iter().map(|j| j.nvml_utilization).sum();
-                util + candidate.nvml_utilization <= 1.0
+                util + candidate.nvml_utilization <= 1.0 + ADMIT_EPS
             }
             PackingPolicy::OccuPacking => {
                 let occ: f64 = resident.iter().map(|j| j.predicted_occupancy).sum();
-                occ + candidate.predicted_occupancy <= 1.0
+                occ + candidate.predicted_occupancy <= 1.0 + ADMIT_EPS
             }
             PackingPolicy::Unbounded => true,
         }
@@ -72,7 +80,7 @@ mod tests {
         let p = PackingPolicy::SlotPacking;
         let a = job(0.2, 0.9, 1 << 30);
         assert!(p.admits(&[], &a, 10 << 30));
-        assert!(!p.admits(&[a.clone()], &a, 10 << 30));
+        assert!(!p.admits(std::slice::from_ref(&a), &a, 10 << 30));
     }
 
     #[test]
@@ -82,14 +90,14 @@ mod tests {
         let p = PackingPolicy::NvmlUtilPacking;
         let a = job(0.3, 0.9, 1 << 30);
         assert!(p.admits(&[], &a, 10 << 30));
-        assert!(!p.admits(&[a.clone()], &a, 10 << 30));
+        assert!(!p.admits(std::slice::from_ref(&a), &a, 10 << 30));
     }
 
     #[test]
     fn occu_packing_colocates_low_occupancy_jobs() {
         let p = PackingPolicy::OccuPacking;
         let a = job(0.3, 0.9, 1 << 30);
-        assert!(p.admits(&[a.clone()], &a, 10 << 30), "0.3 + 0.3 <= 1.0");
+        assert!(p.admits(std::slice::from_ref(&a), &a, 10 << 30), "0.3 + 0.3 <= 1.0");
         assert!(p.admits(&[a.clone(), a.clone()], &a, 10 << 30), "0.9 <= 1.0");
         assert!(!p.admits(&[a.clone(), a.clone(), a.clone()], &a, 10 << 30), "1.2 > 1.0");
     }
@@ -105,10 +113,40 @@ mod tests {
     }
 
     #[test]
+    fn exact_fractions_pack_to_capacity_in_any_order() {
+        // Five 0.2 jobs sum to exactly 1.0 mathematically, but the f64
+        // partial sums differ per order; both orders must admit all 5.
+        let fifth = 0.2f64;
+        let tenth_x4 = [0.1, 0.1, 0.1, 0.1];
+        for p in [PackingPolicy::OccuPacking, PackingPolicy::NvmlUtilPacking] {
+            let mut resident: Vec<Job> = Vec::new();
+            for _ in 0..5 {
+                let c = job(fifth, fifth, 1 << 28);
+                assert!(p.admits(&resident, &c, 1 << 40), "{}: 5 x 0.2 should fit", p.name());
+                resident.push(c);
+            }
+            // Mixed order: 0.2 then four 0.1s then 0.2 then 0.2.
+            let mut resident: Vec<Job> = vec![job(fifth, fifth, 1 << 28)];
+            for &o in &tenth_x4 {
+                let c = job(o, o, 1 << 28);
+                assert!(p.admits(&resident, &c, 1 << 40), "{}", p.name());
+                resident.push(c);
+            }
+            for _ in 0..2 {
+                let c = job(fifth, fifth, 1 << 28);
+                assert!(p.admits(&resident, &c, 1 << 40), "{}: mixed order should also reach 1.0", p.name());
+                resident.push(c);
+            }
+            // Anything meaningfully above 1.0 is still rejected.
+            assert!(!p.admits(&resident, &job(0.01, 0.01, 1 << 28), 1 << 40), "{}", p.name());
+        }
+    }
+
+    #[test]
     fn memory_cap_binds_all_policies() {
         for p in PackingPolicy::table6() {
             let big = job(0.1, 0.1, 8 << 30);
-            assert!(!p.admits(&[big.clone()], &big, 12 << 30), "{}", p.name());
+            assert!(!p.admits(std::slice::from_ref(&big), &big, 12 << 30), "{}", p.name());
             assert!(p.admits(&[], &big, 12 << 30), "{}", p.name());
         }
     }

@@ -1,7 +1,96 @@
-//! Arrival-trace generation for online-scheduling experiments.
+//! Arrival-trace generation for online-scheduling experiments, plus
+//! the CSV trace format so workloads can be saved, edited, and
+//! replayed (`occu schedule --trace jobs.csv`).
 
 use crate::job::Job;
+use occu_error::{ErrContext, IoContext, OccuError};
+use occu_gpusim::{csv_field, split_csv_row};
 use occu_tensor::SeededRng;
+
+/// Header of the job-trace CSV format (one row per job).
+pub const TRACE_HEADER: &str =
+    "id,name,true_occupancy,predicted_occupancy,nvml_utilization,work_us,memory_bytes,arrival_us";
+
+/// Renders jobs as a trace CSV, the inverse of [`jobs_from_csv`].
+/// Names are quoted per RFC 4180 when they contain delimiters.
+pub fn jobs_to_csv(jobs: &[Job]) -> String {
+    let mut out = String::from(TRACE_HEADER);
+    out.push('\n');
+    for j in jobs {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            j.id,
+            csv_field(&j.name),
+            j.true_occupancy,
+            j.predicted_occupancy,
+            j.nvml_utilization,
+            j.work_us,
+            j.memory_bytes,
+            j.arrival_us
+        ));
+    }
+    out
+}
+
+/// Parses a trace CSV back into jobs.
+///
+/// Structural problems (wrong header, field count, unparseable
+/// numbers) are `Parse` errors; rows that decode but violate the
+/// simulator's invariants (NaN occupancy, zero work) are `Data`
+/// errors from [`Job::validate`]. Either way the offending row is
+/// named, so a corrupt trace fails with a pointed one-line message
+/// instead of a panic mid-simulation.
+pub fn jobs_from_csv(csv: &str) -> occu_error::Result<Vec<Job>> {
+    let ctx = "job trace CSV";
+    let mut lines = csv.lines();
+    let header = lines.next().ok_or_else(|| OccuError::parse(ctx, "empty trace"))?;
+    if header != TRACE_HEADER {
+        return Err(OccuError::parse(ctx, format!("unexpected header '{header}' (want '{TRACE_HEADER}')")));
+    }
+    lines
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            let row = i + 1;
+            let fields = split_csv_row(line);
+            if fields.len() != 8 {
+                return Err(OccuError::parse(ctx, format!("row {row}: expected 8 fields, got {}", fields.len())));
+            }
+            let f64_at = |j: usize, what: &str| {
+                fields[j]
+                    .parse::<f64>()
+                    .map_err(|_| OccuError::parse(ctx, format!("row {row}: bad {what} '{}'", fields[j])))
+            };
+            let job = Job {
+                id: fields[0]
+                    .parse::<usize>()
+                    .map_err(|_| OccuError::parse(ctx, format!("row {row}: bad id '{}'", fields[0])))?,
+                name: fields[1].clone(),
+                true_occupancy: f64_at(2, "true_occupancy")?,
+                predicted_occupancy: f64_at(3, "predicted_occupancy")?,
+                nvml_utilization: f64_at(4, "nvml_utilization")?,
+                work_us: f64_at(5, "work_us")?,
+                memory_bytes: fields[6]
+                    .parse::<u64>()
+                    .map_err(|_| OccuError::parse(ctx, format!("row {row}: bad memory_bytes '{}'", fields[6])))?,
+                arrival_us: f64_at(7, "arrival_us")?,
+            };
+            job.validate().err_context(format!("{ctx} row {row}"))?;
+            Ok(job)
+        })
+        .collect()
+}
+
+/// Loads a job trace from a CSV file.
+pub fn load_trace(path: &str) -> occu_error::Result<Vec<Job>> {
+    let csv = std::fs::read_to_string(path).io_context(path)?;
+    jobs_from_csv(&csv).err_context(path)
+}
+
+/// Writes a job trace to a CSV file.
+pub fn save_trace(path: &str, jobs: &[Job]) -> occu_error::Result<()> {
+    std::fs::write(path, jobs_to_csv(jobs)).io_context(path)
+}
 
 /// Assigns Poisson-process arrival times (exponential inter-arrival
 /// gaps with the given mean) to a batch of jobs, in place, in job
@@ -112,6 +201,62 @@ mod tests {
         let s = simulate(&sparse, &gpu, PackingPolicy::SlotPacking);
         assert!(s.mean_jct_us < b.mean_jct_us);
         assert!((s.mean_jct_us - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn trace_csv_roundtrips() {
+        let mut js = jobs(6);
+        js[3].name = "odd, \"name\"".into();
+        let mut rng = SeededRng::new(11);
+        assign_poisson_arrivals(&mut js, 1e5, &mut rng);
+        let back = jobs_from_csv(&jobs_to_csv(&js)).unwrap();
+        assert_eq!(back.len(), js.len());
+        for (a, b) in js.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.true_occupancy, b.true_occupancy);
+            assert_eq!(a.memory_bytes, b.memory_bytes);
+            assert_eq!(a.arrival_us, b.arrival_us);
+        }
+    }
+
+    #[test]
+    fn trace_csv_rejects_hostile_input() {
+        // Wrong header -> Parse.
+        assert_eq!(jobs_from_csv("who,what\n").unwrap_err().kind(), "parse");
+        // Empty -> Parse.
+        assert_eq!(jobs_from_csv("").unwrap_err().kind(), "parse");
+        // Truncated row -> Parse, naming the row.
+        let e = jobs_from_csv(&format!("{TRACE_HEADER}\n0,j0,0.3\n")).unwrap_err();
+        assert_eq!(e.kind(), "parse");
+        assert!(e.to_string().contains("row 1"), "{e}");
+        // Unparseable number -> Parse.
+        let e = jobs_from_csv(&format!("{TRACE_HEADER}\n0,j0,zebra,0.3,0.5,1e6,1024,0\n")).unwrap_err();
+        assert_eq!(e.kind(), "parse");
+        // NaN occupancy decodes but fails validation -> Data.
+        let e = jobs_from_csv(&format!("{TRACE_HEADER}\n0,j0,NaN,0.3,0.5,1e6,1024,0\n")).unwrap_err();
+        assert_eq!(e.kind(), "data");
+        // Occupancy above 1 -> Data.
+        let e = jobs_from_csv(&format!("{TRACE_HEADER}\n0,j0,1.7,0.3,0.5,1e6,1024,0\n")).unwrap_err();
+        assert_eq!(e.kind(), "data");
+        // Zero work -> Data.
+        let e = jobs_from_csv(&format!("{TRACE_HEADER}\n0,j0,0.3,0.3,0.5,0,1024,0\n")).unwrap_err();
+        assert_eq!(e.kind(), "data");
+        // Missing file -> Io.
+        assert_eq!(load_trace("/nonexistent/trace.csv").unwrap_err().kind(), "io");
+    }
+
+    #[test]
+    fn saved_trace_loads_and_simulates() {
+        let dir = std::env::temp_dir().join("occu_trace_roundtrip_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let path = path.to_str().unwrap();
+        let js = jobs(8);
+        save_trace(path, &js).unwrap();
+        let back = load_trace(path).unwrap();
+        let res = simulate(&back, &GpuSpec::cluster(2), PackingPolicy::OccuPacking);
+        assert_eq!(res.jcts.len(), 8);
     }
 
     #[test]

@@ -26,7 +26,8 @@ fn main() {
 
     let mut predictor = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 7);
     Trainer::new(TrainConfig { epochs: 40, ..Default::default() })
-        .fit(&mut predictor, &train);
+        .fit(&mut predictor, &train)
+        .expect("example data and config are valid");
 
     // Rank every candidate batch size by *predicted* occupancy.
     println!("\n{:>8} {:>14} {:>14} {:>16}", "batch", "predicted(%)", "measured(%)", "nvml-util(%)");

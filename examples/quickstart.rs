@@ -43,7 +43,7 @@ fn main() {
     let mut model = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 42);
     println!("training DNN-occu ({} parameters) on {} configs...", model.num_parameters(), train.len());
     let trainer = Trainer::new(TrainConfig { epochs: 40, ..Default::default() });
-    let history = trainer.fit(&mut model, &train);
+    let history = trainer.fit(&mut model, &train).expect("example data and config are valid");
     println!(
         "loss {:.5} -> {:.5}",
         history.first().unwrap().train_loss,

@@ -23,7 +23,7 @@ fn main() {
 
     let mut model = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 9);
     let trainer = Trainer::new(TrainConfig { epochs: 25, log_every: 5, ..Default::default() });
-    trainer.fit(&mut model, &train);
+    trainer.fit(&mut model, &train).expect("example data and config are valid");
 
     // Evaluate on a seen model (fresh configs) and an unseen one.
     let seen_eval = Dataset::generate(&[ModelId::ResNet18], 4, &device, 77);

@@ -315,7 +315,7 @@ mod tests {
 
     #[test]
     fn panics_propagate() {
-        let v = vec![1usize, 2, 3];
+        let v = [1usize, 2, 3];
         let r = std::panic::catch_unwind(|| {
             v.par_iter().for_each(|_| panic!("boom"));
         });

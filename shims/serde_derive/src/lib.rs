@@ -188,8 +188,8 @@ fn parse_named_fields(body: TokenStream, type_name: &str) -> Result<Vec<Field>, 
         // angle-bracket depth zero.
         let mut depth = 0i32;
         while i < tokens.len() {
-            match &tokens[i] {
-                TokenTree::Punct(p) => match p.as_char() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
                     '<' => depth += 1,
                     '>' => depth -= 1,
                     ',' if depth == 0 => {
@@ -197,8 +197,7 @@ fn parse_named_fields(body: TokenStream, type_name: &str) -> Result<Vec<Field>, 
                         break;
                     }
                     _ => {}
-                },
-                _ => {}
+                }
             }
             i += 1;
         }
@@ -212,8 +211,8 @@ fn count_tuple_fields(body: TokenStream) -> usize {
     let mut fields = 0usize;
     let mut saw_tokens = false;
     for t in body {
-        match &t {
-            TokenTree::Punct(p) => match p.as_char() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
                 '<' => depth += 1,
                 '>' => depth -= 1,
                 ',' if depth == 0 => {
@@ -222,8 +221,7 @@ fn count_tuple_fields(body: TokenStream) -> usize {
                     continue;
                 }
                 _ => {}
-            },
-            _ => {}
+            }
         }
         saw_tokens = true;
     }

@@ -27,6 +27,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`error`] | `occu-error` | typed error layer (`OccuError`) |
 //! | [`tensor`] | `occu-tensor` | dense matrix kernels |
 //! | [`nn`] | `occu-nn` | tape autodiff + layers |
 //! | [`graph`] | `occu-graph` | computation-graph IR |
@@ -34,12 +35,15 @@
 //! | [`gpusim`] | `occu-gpusim` | occupancy simulator (ground truth) |
 //! | [`core`] | `occu-core` | DNN-occu + baselines + experiments |
 //! | [`sched`] | `occu-sched` | co-location scheduler simulation |
+//! | [`obs`] | `occu-obs` | tracing, metrics, run manifests |
 
 pub use occu_core as core;
+pub use occu_error as error;
 pub use occu_gpusim as gpusim;
 pub use occu_graph as graph;
 pub use occu_models as models;
 pub use occu_nn as nn;
+pub use occu_obs as obs;
 pub use occu_sched as sched;
 pub use occu_tensor as tensor;
 
@@ -49,8 +53,9 @@ pub mod prelude {
     pub use occu_core::ensemble::{Ensemble, UncertainPrediction};
     pub use occu_core::features::{featurize, FeaturizedGraph};
     pub use occu_core::gnn::{DnnOccu, DnnOccuConfig};
-    pub use occu_core::metrics::{mre, mse, EvalResult};
+    pub use occu_core::metrics::{floored_targets, mre, mse, EvalResult, MRE_FLOOR};
     pub use occu_core::train::{OccuPredictor, Parallelism, TrainConfig, Trainer};
+    pub use occu_error::{ErrContext, IoContext, OccuError};
     pub use occu_gpusim::{profile_graph, DeviceSpec, ProfileReport};
     pub use occu_graph::{to_training_graph, CompGraph, GraphBuilder, GraphMeta, ModelFamily, OpKind};
     pub use occu_models::{ModelConfig, ModelId};

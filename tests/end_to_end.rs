@@ -10,11 +10,11 @@ use dnn_occu::prelude::*;
 fn train_predict_beats_mean_baseline() {
     let device = DeviceSpec::a100();
     let data = Dataset::generate(&[ModelId::LeNet, ModelId::AlexNet, ModelId::ResNet18], 6, &device, 1);
-    let (train, test) = data.split(0.25);
+    let (train, test) = data.split(0.25).unwrap();
     assert!(test.len() >= 3);
 
     let mut model = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 2);
-    Trainer::new(TrainConfig { epochs: 25, ..Default::default() }).fit(&mut model, &train);
+    Trainer::new(TrainConfig { epochs: 25, ..Default::default() }).fit(&mut model, &train).unwrap();
 
     let result = model.evaluate(&test);
     // Strawman: always predict the training mean.
@@ -112,6 +112,45 @@ fn training_graphs_flow_through_pipeline() {
     assert!((0.0..=1.0).contains(&pred));
 }
 
+/// Model persistence round-trip: a trained model written to disk as
+/// `model.json` (plus its `model.manifest.json`) reloads to a
+/// predictor with bit-identical outputs, and a truncated file is
+/// rejected with a `Parse` error instead of a panic.
+#[test]
+fn model_save_load_round_trip() {
+    let device = DeviceSpec::a100();
+    let data = Dataset::generate(&[ModelId::LeNet, ModelId::AlexNet], 3, &device, 11);
+    let mut model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 7);
+    Trainer::new(TrainConfig { epochs: 5, ..Default::default() })
+        .fit(&mut model, &data)
+        .unwrap();
+
+    let dir = std::env::temp_dir().join("dnn_occu_round_trip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    let json = model.to_json();
+    std::fs::write(&path, &json).unwrap();
+    let manifest_path = dnn_occu::obs::RunManifest::new("end_to_end round trip")
+        .with_config("hidden", 16)
+        .with_config("samples", data.len())
+        .write_next_to(&path)
+        .unwrap();
+    assert!(manifest_path.ends_with("model.manifest.json"), "{}", manifest_path.display());
+
+    let restored = DnnOccu::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(restored.num_parameters(), model.num_parameters());
+    for s in &data.samples {
+        let (a, b) = (model.predict(&s.features), restored.predict(&s.features));
+        assert_eq!(a.to_bits(), b.to_bits(), "prediction drifted after reload: {a} vs {b}");
+    }
+
+    let err = match DnnOccu::from_json(&json[..json.len() / 2]) {
+        Ok(_) => panic!("truncated file must be rejected"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), "parse", "truncated file must be a Parse error, got: {err}");
+}
+
 /// Training is reproducible: same seed, same data, same losses.
 #[test]
 fn training_is_deterministic() {
@@ -119,7 +158,7 @@ fn training_is_deterministic() {
     let data = Dataset::generate(&[ModelId::LeNet], 4, &device, 5);
     let run = || {
         let mut m = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 6);
-        let h = Trainer::new(TrainConfig { epochs: 5, ..Default::default() }).fit(&mut m, &data);
+        let h = Trainer::new(TrainConfig { epochs: 5, ..Default::default() }).fit(&mut m, &data).unwrap();
         (h.last().unwrap().train_loss, m.predict(&data.samples[0].features))
     };
     let (l1, p1) = run();

@@ -36,7 +36,7 @@ fn trained_predictions_schedule_comparably_to_oracle() {
     // seed 1 reaches ~12% train MRE in 40 epochs, comfortably inside
     // the quality gate below; some seeds land in a slow basin.
     let mut predictor = DnnOccu::new(DnnOccuConfig { hidden: 32, ..DnnOccuConfig::fast() }, 1);
-    Trainer::new(TrainConfig { epochs: 40, ..Default::default() }).fit(&mut predictor, &train);
+    Trainer::new(TrainConfig { epochs: 40, ..Default::default() }).fit(&mut predictor, &train).unwrap();
     // The scheduler result below depends on prediction quality; make
     // the precondition explicit so a regression here is attributed to
     // the predictor, not the scheduler.
