@@ -1,0 +1,430 @@
+//! Load generator for `occu-serve`: measures end-to-end serving
+//! throughput and latency the way a co-location scheduler would see
+//! it — concurrent keep-alive clients, a repeating working set of
+//! prediction specs (so the LRU cache carries the steady state), and
+//! one model hot-reload fired mid-run to prove in-flight requests
+//! survive a swap.
+//!
+//! With `--url` it drives an external server; without, it boots an
+//! in-process `occu-serve` on an ephemeral port so
+//! `repro loadgen --quick` is a self-contained smoke test.
+
+use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+use occu_error::{IoContext, OccuError};
+use occu_serve::{ModelRegistry, ServeConfig, Server};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generation knobs (`repro loadgen` flags).
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Target `host:port`; `None` boots an in-process server.
+    pub url: Option<String>,
+    /// Total requests across all client threads.
+    pub requests: usize,
+    /// Concurrent keep-alive client connections.
+    pub concurrency: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            url: None,
+            requests: 40_000,
+            concurrency: 8,
+        }
+    }
+}
+
+/// The machine-readable result (written to `reports/serve_perf.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests sent.
+    pub requests: usize,
+    /// Responses received with status 200.
+    pub ok: usize,
+    /// Responses received with any non-200 status.
+    pub errors: usize,
+    /// Requests with no response at all (transport failure). The
+    /// acceptance bar: this stays 0 across the mid-run hot-reload.
+    pub dropped: usize,
+    /// Client connections used.
+    pub concurrency: usize,
+    /// Wall-clock of the timed phase, seconds.
+    pub duration_s: f64,
+    /// Completed predictions per second.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Fraction of responses answered from the prediction cache.
+    pub cache_hit_rate: f64,
+    /// Whether the mid-run `POST /reload` was issued and succeeded.
+    pub reload_ok: bool,
+    /// Model version reported after the reload (0 if none ran).
+    pub model_version_after: u64,
+}
+
+/// One keep-alive HTTP/1.1 client connection.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: &str) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// One POST round-trip; returns (status, body).
+    fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        write!(
+            self.writer,
+            "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            let trimmed = header.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some(v) = trimmed
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok())
+            {
+                content_length = v;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(&mut self.reader, &mut body)?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
+/// The repeating working set. Small on purpose: steady state is all
+/// cache hits, which is the serving regime the cache exists for.
+fn working_set() -> Vec<String> {
+    let mut specs = Vec::new();
+    for model in ["LeNet", "AlexNet"] {
+        for batch in [1, 2] {
+            for device in ["a100", "v100"] {
+                specs.push(format!(
+                    "{{\"model\": \"{model}\", \"batch\": {batch}, \"device\": \"{device}\"}}"
+                ));
+            }
+        }
+    }
+    specs
+}
+
+struct ThreadTally {
+    ok: usize,
+    errors: usize,
+    dropped: usize,
+    cache_hits: usize,
+    latencies_us: Vec<u64>,
+}
+
+fn client_thread(
+    addr: String,
+    specs: Vec<String>,
+    count: usize,
+    offset: usize,
+    completed: Arc<AtomicU64>,
+) -> ThreadTally {
+    let mut tally = ThreadTally {
+        ok: 0,
+        errors: 0,
+        dropped: 0,
+        cache_hits: 0,
+        latencies_us: Vec::with_capacity(count),
+    };
+    let mut conn = Conn::open(&addr).ok();
+    for i in 0..count {
+        let spec = &specs[(offset + i) % specs.len()];
+        // One reconnect attempt per request: the server may close an
+        // idle keep-alive connection, which is not a dropped request.
+        let mut attempt = 0;
+        loop {
+            if conn.is_none() {
+                conn = Conn::open(&addr).ok();
+            }
+            let Some(c) = conn.as_mut() else {
+                tally.dropped += 1;
+                break;
+            };
+            let started = Instant::now();
+            match c.post("/predict", spec) {
+                Ok((status, body)) => {
+                    tally
+                        .latencies_us
+                        .push(started.elapsed().as_micros() as u64);
+                    if status == 200 {
+                        tally.ok += 1;
+                        if body.contains("\"cached\":true") {
+                            tally.cache_hits += 1;
+                        }
+                    } else {
+                        tally.errors += 1;
+                    }
+                    break;
+                }
+                Err(_) => {
+                    conn = None;
+                    attempt += 1;
+                    if attempt > 1 {
+                        tally.dropped += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        completed.fetch_add(1, Ordering::Relaxed);
+    }
+    tally
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Runs the load test. When `cfg.url` is `None`, an in-process server
+/// (and a temp weights file for its reload) is booted and torn down
+/// around the run.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
+    if cfg.requests == 0 || cfg.concurrency == 0 {
+        return Err(OccuError::config(
+            "loadgen",
+            "--requests and --concurrency must be positive",
+        ));
+    }
+
+    // Boot the local server unless an external one was named.
+    let mut local: Option<(Server, std::path::PathBuf)> = None;
+    let addr = match &cfg.url {
+        Some(url) => url.trim_start_matches("http://").to_string(),
+        None => {
+            let dir = std::env::temp_dir().join(format!("occu_loadgen_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).io_context(dir.display().to_string())?;
+            let weights = dir.join("model.json");
+            let model = DnnOccu::new(DnnOccuConfig::fast(), 17);
+            std::fs::write(&weights, model.to_json()).io_context(weights.display().to_string())?;
+            let registry = Arc::new(ModelRegistry::load(&weights)?);
+            let server = Server::start(
+                ServeConfig {
+                    workers: cfg.concurrency.clamp(2, 16),
+                    batch_window_us: 200,
+                    ..ServeConfig::default()
+                },
+                registry,
+            )?;
+            let addr = server.local_addr().to_string();
+            local = Some((server, dir));
+            addr
+        }
+    };
+
+    let specs = working_set();
+
+    // Warm phase: drive every spec through once so the timed phase
+    // measures the cached steady state.
+    {
+        let mut warm =
+            Conn::open(&addr).map_err(|e| OccuError::io(format!("connect {addr}"), e))?;
+        for spec in &specs {
+            let (status, body) = warm
+                .post("/predict", spec)
+                .map_err(|e| OccuError::io("warmup request", e))?;
+            if status != 200 {
+                return Err(OccuError::data(
+                    "loadgen warmup",
+                    format!("spec {spec} answered {status}: {body}"),
+                ));
+            }
+        }
+    }
+
+    // Timed phase: clients at full throttle, one hot-reload at the
+    // halfway mark from a separate control connection.
+    let completed = Arc::new(AtomicU64::new(0));
+    let per_thread = cfg.requests / cfg.concurrency;
+    let total = per_thread * cfg.concurrency;
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..cfg.concurrency {
+        let addr = addr.clone();
+        let specs = specs.clone();
+        let completed = Arc::clone(&completed);
+        handles.push(std::thread::spawn(move || {
+            client_thread(addr, specs, per_thread, t, completed)
+        }));
+    }
+
+    let reload_handle = {
+        let addr = addr.clone();
+        let completed = Arc::clone(&completed);
+        let half = (total as u64) / 2;
+        std::thread::spawn(move || -> (bool, u64) {
+            while completed.load(Ordering::Relaxed) < half {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let Ok(mut conn) = Conn::open(&addr) else {
+                return (false, 0);
+            };
+            match conn.post("/reload", "") {
+                Ok((200, body)) => {
+                    let version = body
+                        .split("\"version\":")
+                        .nth(1)
+                        .and_then(|rest| {
+                            rest.trim_start()
+                                .split(|c: char| !c.is_ascii_digit())
+                                .next()
+                                .and_then(|d| d.parse().ok())
+                        })
+                        .unwrap_or(0);
+                    (true, version)
+                }
+                _ => (false, 0),
+            }
+        })
+    };
+
+    let mut tallies = Vec::new();
+    for h in handles {
+        tallies.push(
+            h.join()
+                .map_err(|_| OccuError::data("loadgen", "client thread panicked"))?,
+        );
+    }
+    let duration_s = started.elapsed().as_secs_f64();
+    let (reload_ok, model_version_after) = reload_handle
+        .join()
+        .map_err(|_| OccuError::data("loadgen", "reload thread panicked"))?;
+
+    if let Some((server, dir)) = local {
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let mut latencies: Vec<u64> = tallies.iter().flat_map(|t| t.latencies_us.clone()).collect();
+    latencies.sort_unstable();
+    let ok: usize = tallies.iter().map(|t| t.ok).sum();
+    let errors: usize = tallies.iter().map(|t| t.errors).sum();
+    let dropped: usize = tallies.iter().map(|t| t.dropped).sum();
+    let cache_hits: usize = tallies.iter().map(|t| t.cache_hits).sum();
+
+    Ok(ServeReport {
+        requests: total,
+        ok,
+        errors,
+        dropped,
+        concurrency: cfg.concurrency,
+        duration_s,
+        throughput_rps: if duration_s > 0.0 {
+            ok as f64 / duration_s
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        cache_hit_rate: if ok > 0 {
+            cache_hits as f64 / ok as f64
+        } else {
+            0.0
+        },
+        reload_ok,
+        model_version_after,
+    })
+}
+
+/// Console rendering of a [`ServeReport`].
+pub fn render_loadgen(rep: &ServeReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Serve load test: {} requests over {} connections ==",
+        rep.requests, rep.concurrency
+    );
+    let _ = writeln!(
+        out,
+        "throughput:     {:>12.0} predictions/sec  ({:.2} s wall)",
+        rep.throughput_rps, rep.duration_s
+    );
+    let _ = writeln!(
+        out,
+        "latency:        {:>9} us p50   {:>9} us p99",
+        rep.p50_us, rep.p99_us
+    );
+    let _ = writeln!(out, "cache hit rate: {:>12.1}%", rep.cache_hit_rate * 100.0);
+    let _ = writeln!(
+        out,
+        "ok/errors/dropped: {}/{}/{}   hot-reload: {} (model v{})",
+        rep.ok,
+        rep.errors,
+        rep.dropped,
+        if rep.reload_ok { "ok" } else { "FAILED" },
+        rep.model_version_after
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+        // Nearest-rank on [1, 100]: (99 * 0.5).round() = 50 -> v[50].
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 51);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn working_set_is_small_and_distinct() {
+        let specs = working_set();
+        let unique: std::collections::HashSet<_> = specs.iter().collect();
+        assert_eq!(unique.len(), specs.len());
+        assert!(specs.len() <= 16, "working set must fit any cache");
+    }
+
+    // The full in-process round-trip smoke lives in
+    // `tests/loadgen_smoke.rs`: booting a server flips the
+    // process-global obs switch, which the perf tests in this binary
+    // assert against, so it needs its own process.
+}

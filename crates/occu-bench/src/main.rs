@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `fig2 fig4 fig5 fig45 fig6 fig7 table4 table5 table6
-//! ablation aggr device-gen perf obs-overhead all`. `--quick` shrinks
+//! ablation aggr device-gen perf obs-overhead loadgen all`. `--quick` shrinks
 //! dataset sizes and epochs for smoke runs; `--device <name>` restricts
 //! the multi-device experiments to one GPU (useful for piecewise
 //! archive runs) and also accepts a device-spec JSON path; `perf`
@@ -22,7 +22,8 @@
 //! Usage mistakes exit 2. Pipeline failures print one `error:` line
 //! and exit with the `OccuError` code for the failure class: 3 io,
 //! 4 parse, 5 shape, 6 config, 7 data. `obs-overhead` exits 1 when
-//! the measured overhead blows its budget.
+//! the measured overhead blows its budget; `loadgen` exits 1 when any
+//! request errored or was dropped.
 
 #![warn(clippy::unwrap_used)]
 
@@ -254,20 +255,59 @@ fn run_perf(quick: bool, args: &[String]) -> Result<(), CliError> {
     if counts.is_empty() || counts.contains(&0) {
         return Err(OccuError::config("--workers", "worker counts must be positive").into());
     }
+    // Validate the output target *before* the expensive study so a
+    // clobber mistake fails in milliseconds, not minutes.
+    let out = flag_value(args, "--out")?.unwrap_or("perf_report.json");
+    occu_bench::validate_out_path(out)?;
     let rep = occu_bench::perf_study(scale, &counts, 51);
     print!("{}", occu_bench::render_perf(&rep));
-    let out = flag_value(args, "--out")?.unwrap_or("perf_report.json");
     let json = serde_json::to_string_pretty(&rep).expect("perf report serializes");
     write_report(out, &json)?;
+    Ok(())
+}
+
+fn run_loadgen(quick: bool, args: &[String]) -> Result<(), CliError> {
+    let out = flag_value(args, "--out")?.unwrap_or("reports/serve_perf.json");
+    occu_bench::validate_out_path(out)?;
+    let mut cfg = occu_bench::LoadgenConfig {
+        url: flag_value(args, "--url")?.map(String::from),
+        ..occu_bench::LoadgenConfig::default()
+    };
+    if quick {
+        cfg.requests = 4_000;
+    }
+    if let Some(n) = flag_value(args, "--requests")? {
+        cfg.requests = n
+            .parse()
+            .map_err(|_| format!("--requests: '{n}' is not an integer"))?;
+    }
+    if let Some(n) = flag_value(args, "--concurrency")? {
+        cfg.concurrency = n
+            .parse()
+            .map_err(|_| format!("--concurrency: '{n}' is not an integer"))?;
+    }
+    let rep = occu_bench::run_loadgen(&cfg)?;
+    print!("{}", occu_bench::render_loadgen(&rep));
+    let json = serde_json::to_string_pretty(&rep).expect("serve report serializes");
+    write_report(out, &json)?;
+    if rep.errors > 0 || rep.dropped > 0 {
+        occu_obs::error!(
+            "loadgen: {} errors, {} dropped requests",
+            rep.errors,
+            rep.dropped
+        );
+        std::process::exit(1);
+    }
     Ok(())
 }
 
 fn run_obs_overhead(quick: bool, args: &[String]) -> Result<(), CliError> {
     let scale = scale_of(quick);
     let reps = if quick { 2 } else { 3 };
+    let out = flag_value(args, "--out")?.unwrap_or("reports/obs_overhead.json");
+    occu_bench::validate_out_path(out)?;
     let rep = occu_bench::obs_overhead_study(scale, reps, 52);
     print!("{}", occu_bench::render_obs_overhead(&rep));
-    let out = flag_value(args, "--out")?.unwrap_or("reports/obs_overhead.json");
     let json = serde_json::to_string_pretty(&rep).expect("overhead report serializes");
     write_report(out, &json)?;
     if !rep.within_budget() {
@@ -334,8 +374,9 @@ fn finish_obs(trace: Option<String>, metrics: Option<String>) -> Result<(), Occu
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|obs-overhead|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
+    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|obs-overhead|loadgen|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
     eprintln!("observability: --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
+    eprintln!("loadgen: --url <host:port> --requests <n> --concurrency <n> --out reports/serve_perf.json");
     std::process::exit(2);
 }
 
@@ -356,6 +397,7 @@ fn try_main(cmd: &str, quick: bool, args: &[String]) -> Result<(), CliError> {
         "device-gen" => run_device_generalization(quick),
         "perf" => run_perf(quick, args)?,
         "obs-overhead" => run_obs_overhead(quick, args)?,
+        "loadgen" => run_loadgen(quick, args)?,
         "all" => {
             run_fig2();
             run_fig6();
@@ -396,6 +438,9 @@ fn main() {
         if a == "--device"
             || a == "--out"
             || a == "--workers"
+            || a == "--url"
+            || a == "--requests"
+            || a == "--concurrency"
             || a == "--trace-out"
             || a == "--metrics-out"
             || a == "--log-level"

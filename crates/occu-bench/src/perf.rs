@@ -265,6 +265,43 @@ pub fn render_obs_overhead(rep: &ObsOverheadReport) -> String {
     out
 }
 
+/// Guards report output paths *before* a study runs: refuses to
+/// clobber anything that is not a JSON report. Regenerating an
+/// existing `.json` report is the normal workflow and stays allowed;
+/// overwriting a directory or an arbitrary non-JSON file is a typed
+/// `Config` error so the mistake costs seconds, not a study plus a
+/// file.
+pub fn validate_out_path(out: &str) -> Result<(), occu_error::OccuError> {
+    use occu_error::OccuError;
+    let path = std::path::Path::new(out);
+    if !out.to_ascii_lowercase().ends_with(".json") {
+        return Err(OccuError::config(
+            "--out",
+            format!("report path '{out}' must end in .json"),
+        ));
+    }
+    if path.is_dir() {
+        return Err(OccuError::config(
+            "--out",
+            format!("'{out}' is a directory, not a report file"),
+        ));
+    }
+    // A pre-existing file is only overwritten when it actually holds a
+    // JSON document (i.e. it is a previous report being regenerated).
+    if path.is_file() {
+        let head = std::fs::read(path)
+            .ok()
+            .and_then(|bytes| bytes.iter().find(|b| !b.is_ascii_whitespace()).copied());
+        if !matches!(head, None | Some(b'{') | Some(b'[')) {
+            return Err(OccuError::config(
+                "--out",
+                format!("refusing to overwrite '{out}': existing file is not a JSON report"),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Renders the report as an aligned console table.
 pub fn render_perf(rep: &PerfReport) -> String {
     use std::fmt::Write as _;
@@ -335,6 +372,37 @@ mod tests {
         let json = serde_json::to_string_pretty(&rep).unwrap();
         let back: ObsOverheadReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.reps, rep.reps);
+    }
+
+    #[test]
+    fn out_path_guard_rejects_clobber_targets() {
+        let dir = std::env::temp_dir().join(format!("occu_outguard_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Wrong extension, even for a fresh path.
+        let txt = dir.join("notes.txt");
+        let err = validate_out_path(txt.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.kind(), "config");
+
+        // A directory target (even one named like a report).
+        let sub = dir.join("sub.json");
+        std::fs::create_dir_all(&sub).unwrap();
+        let err = validate_out_path(sub.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.kind(), "config");
+
+        // An existing file that is not JSON must not be clobbered.
+        let victim = dir.join("victim.json");
+        std::fs::write(&victim, "important plaintext, not a report").unwrap();
+        let err = validate_out_path(victim.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("refusing to overwrite"));
+
+        // A previous JSON report is fair game, as is a fresh path.
+        let report = dir.join("report.json");
+        std::fs::write(&report, "{\"ok\": true}").unwrap();
+        assert!(validate_out_path(report.to_str().unwrap()).is_ok());
+        assert!(validate_out_path(dir.join("fresh.json").to_str().unwrap()).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -53,6 +53,37 @@ fn bad_log_level_exits_6() {
     assert_clean_failure(&repro(&["fig7", "--quick", "--log-level", "shouty"]), 6, "--log-level");
 }
 
+/// The clobber guard fires before the study runs, so these fail in
+/// milliseconds even without `--quick`-sized work behind them.
+#[test]
+fn out_clobber_guard_exits_6() {
+    let dir = std::env::temp_dir().join("repro_clobber_guard");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // An existing file that is not a JSON report must be refused.
+    let victim = dir.join("notes.json");
+    std::fs::write(&victim, "irreplaceable lab notes\n").expect("write");
+    let out = repro(&["perf", "--out", victim.to_str().expect("utf8")]);
+    assert_clean_failure(&out, 6, "refusing to overwrite");
+
+    // So must a target without a .json extension — for every report
+    // writer, not just perf.
+    let out = repro(&["loadgen", "--out", "serve_perf.txt"]);
+    assert_clean_failure(&out, 6, ".json");
+    let out = repro(&["obs-overhead", "--out", "overhead.csv"]);
+    assert_clean_failure(&out, 6, ".json");
+}
+
+#[test]
+fn loadgen_usage_errors_exit_2() {
+    assert_clean_failure(
+        &repro(&["loadgen", "--requests", "many"]),
+        2,
+        "not an integer",
+    );
+    assert_clean_failure(&repro(&["loadgen", "--concurrency"]), 2, "expects a value");
+}
+
 #[test]
 fn unwritable_report_path_exits_3() {
     let out = repro(&["fig7", "--quick", "--trace-out", "/nonexistent-dir/spans.jsonl"]);

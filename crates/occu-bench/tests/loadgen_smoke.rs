@@ -1,0 +1,29 @@
+//! In-process loadgen round-trip, isolated in its own test binary:
+//! booting a server flips the process-global observability switch,
+//! which the perf tests in the library binary assert against.
+
+use occu_bench::{run_loadgen, LoadgenConfig, ServeReport};
+
+/// Full smoke: boots the server, runs a short burst, asserts the
+/// acceptance invariants (no errors, no drops across the hot-reload,
+/// cache carrying the load).
+#[test]
+fn loadgen_round_trip_in_process() {
+    let cfg = LoadgenConfig {
+        url: None,
+        requests: 400,
+        concurrency: 4,
+    };
+    let rep = run_loadgen(&cfg).expect("loadgen run");
+    assert_eq!(rep.requests, 400);
+    assert_eq!(rep.errors, 0, "no request may fail");
+    assert_eq!(rep.dropped, 0, "no request may be dropped");
+    assert_eq!(rep.ok, 400);
+    assert!(rep.reload_ok, "mid-run reload must succeed");
+    assert!(rep.model_version_after >= 2);
+    assert!(rep.cache_hit_rate > 0.5, "rate: {}", rep.cache_hit_rate);
+    assert!(rep.p99_us > 0 && rep.p50_us <= rep.p99_us);
+    let json = serde_json::to_string_pretty(&rep).expect("serializes");
+    let back: ServeReport = serde_json::from_str(&json).expect("round-trips");
+    assert_eq!(back.requests, rep.requests);
+}

@@ -7,6 +7,7 @@
 //! occu train    --out model.json --device a100 --configs 8 --epochs 50 --workers 0
 //! occu predict  --weights model.json --model ResNet-50 --batch 32 --device a100
 //! occu schedule --jobs 24 --gpus 4 [--weights model.json] [--trace jobs.csv] [--seed 1]
+//! occu serve    --weights model.json --port 7071 --threads 4     # batched, cached HTTP server
 //! ```
 //!
 //! `--device` accepts a built-in name (`a100`) or a path to a device
@@ -83,6 +84,7 @@ fn run(args: &Args) -> Result<(), CliError> {
         Some("train") => cmd_train(args),
         Some("predict") => cmd_predict(args),
         Some("schedule") => cmd_schedule(args),
+        Some("serve") => cmd_serve(args),
         Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
         None => Err(CliError::Usage("no command given".to_string())),
     }?;
@@ -92,11 +94,12 @@ fn run(args: &Args) -> Result<(), CliError> {
 fn die_usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!();
-    eprintln!("usage: occu <models|devices|profile|train|predict|schedule> [flags]");
+    eprintln!("usage: occu <models|devices|profile|train|predict|schedule|serve> [flags]");
     eprintln!("  occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]");
     eprintln!("  occu train    [--out model.json] [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0] [--test-fraction 0.2]");
     eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100]");
     eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--trace jobs.csv] [--save-trace jobs.csv] [--seed 1]");
+    eprintln!("  occu serve    --weights model.json [--addr 127.0.0.1] [--port 7071] [--threads 4] [--queue 128] [--batch-window-us 1000] [--max-batch 32] [--cache 4096]");
     eprintln!("--device takes a built-in name or a device-spec JSON path");
     eprintln!("observability (any command): --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     std::process::exit(2);
@@ -367,6 +370,47 @@ fn cmd_predict(args: &Args) -> Result<(), CliError> {
             predicted * 100.0
         );
     }
+    Ok(())
+}
+
+/// `occu serve` — runs the batched, cached prediction server until
+/// SIGTERM/SIGINT, then drains in-flight work and reports counters.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let weights = args.require("weights")?;
+    let cfg = occu_serve::ServeConfig {
+        addr: format!(
+            "{}:{}",
+            args.get_or("addr", "127.0.0.1"),
+            args.usize_or("port", 7071)?
+        ),
+        workers: args.usize_or("threads", 4)?,
+        queue_cap: args.usize_or("queue", 128)?,
+        batch_window_us: args.usize_or("batch-window-us", 1000)? as u64,
+        max_batch: args.usize_or("max-batch", 32)?,
+        cache_cap: args.usize_or("cache", 4096)?,
+        ..occu_serve::ServeConfig::default()
+    };
+    let registry = std::sync::Arc::new(occu_serve::ModelRegistry::load(weights)?);
+    occu_serve::signal::install();
+    let server = occu_serve::Server::start(cfg, registry)?;
+    occu_obs::info!(
+        "serving predictions on http://{} ({}); POST /predict, /predict_batch, /reload; GET /healthz, /metrics",
+        server.local_addr(),
+        weights
+    );
+    while !occu_serve::signal::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    occu_obs::info!("shutdown requested; draining in-flight requests...");
+    let stats = server.shutdown();
+    occu_obs::info!(
+        "drained: {} requests ({} errors, {} rejected, {} reloads), cache {:.1}% hit rate",
+        stats.requests,
+        stats.errors,
+        stats.rejected,
+        stats.reloads,
+        stats.cache.hit_rate() * 100.0
+    );
     Ok(())
 }
 

@@ -42,6 +42,24 @@ fn usage_errors_exit_2() {
     assert_clean_failure(&occu(&["predict"]), 2, "missing required flag --weights");
     assert_clean_failure(&occu(&["profile", "--model", "NoSuchNet-9000"]), 2, "unknown model");
     assert_clean_failure(&occu(&["schedule", "--jobs", "many"]), 2, "not an integer");
+    assert_clean_failure(&occu(&["serve"]), 2, "missing required flag --weights");
+}
+
+#[test]
+fn serve_rejects_bad_weights_and_config() {
+    // Missing weights file: Io, exit 3 — before any socket is bound.
+    let out = occu(&["serve", "--weights", "/nonexistent/model.json"]);
+    assert_clean_failure(&out, 3, "/nonexistent/model.json");
+
+    // Impossible server shape: Config, exit 6. Weights must be
+    // readable so the failure is attributable to the config check.
+    let dir = tmp_dir("serve_config");
+    let weights = dir.join("model.json");
+    let out = occu(&["train", "--configs", "1", "--epochs", "1", "--hidden", "8",
+        "--out", weights.to_str().expect("utf8"), "--quiet"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = occu(&["serve", "--weights", weights.to_str().expect("utf8"), "--threads", "0"]);
+    assert_clean_failure(&out, 6, "serve --threads");
 }
 
 #[test]

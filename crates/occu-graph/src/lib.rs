@@ -21,12 +21,14 @@
 
 #![warn(clippy::unwrap_used)]
 
+pub mod fingerprint;
 pub mod graph;
 pub mod op;
 pub mod shape;
 pub mod stats;
 pub mod training;
 
+pub use fingerprint::GraphFingerprint;
 pub use graph::{CompGraph, Edge, EdgeKind, GraphBuilder, GraphMeta, ModelFamily, Node, NodeId};
 pub use op::{op_flops, OpCategory, OpKind};
 pub use shape::{conv_out_dim, infer_output_shape, Hyper, TensorShape};

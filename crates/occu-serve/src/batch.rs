@@ -1,0 +1,126 @@
+//! The micro-batch collector.
+//!
+//! Worker threads submit one [`PredictJob`] per cache miss. A single
+//! collector thread drains the job channel, coalescing everything
+//! that arrives within a short window (or until `max_batch`) into one
+//! call to [`OccuPredictor::predict_batch`] — the same parallel
+//! inference path the offline pipeline uses — then fans the scalars
+//! back out over per-job reply channels.
+//!
+//! The model `Arc` is snapshotted once per batch, so a hot-reload
+//! that lands mid-batch takes effect on the *next* batch; jobs
+//! already collected finish on the model they were batched under.
+
+use crate::registry::ModelRegistry;
+use occu_core::{FeaturizedGraph, OccuPredictor};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Collector tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// How long the collector waits after the first job for
+    /// companions before running the batch.
+    pub window: Duration,
+    /// Upper bound on jobs per batch; reached → run immediately.
+    pub max_batch: usize,
+}
+
+/// One cache-missed prediction waiting for the model.
+pub struct PredictJob {
+    /// Featurized input, ready for the forward pass.
+    pub features: FeaturizedGraph,
+    /// Where the scalar occupancy goes. Send failures are ignored —
+    /// the requester may have timed out and hung up.
+    pub reply: SyncSender<f32>,
+}
+
+/// Handle to the collector thread.
+pub struct Batcher {
+    tx: SyncSender<PredictJob>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Depth of the job channel. Submitters block (backpressure) once
+/// this many jobs are queued ahead of the collector.
+const JOB_QUEUE_DEPTH: usize = 1024;
+
+impl Batcher {
+    /// Spawns the collector thread. It runs until `shutdown` is set
+    /// *and* the queue is drained, or every sender is dropped.
+    pub fn start(cfg: BatchConfig, registry: Arc<ModelRegistry>, shutdown: Arc<AtomicBool>) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<PredictJob>(JOB_QUEUE_DEPTH);
+        let max_batch = cfg.max_batch.max(1);
+        let window = cfg.window;
+        let handle = thread::Builder::new()
+            .name("occu-serve-batcher".into())
+            .spawn(move || {
+                let batches = occu_obs::counter("serve.batches");
+                let predictions = occu_obs::counter("serve.predictions");
+                let batch_size =
+                    occu_obs::histogram("serve.batch.size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]);
+                loop {
+                    // Block for the first job of the next batch.
+                    let first = match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(job) => job,
+                        Err(RecvTimeoutError::Timeout) => {
+                            if shutdown.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    };
+                    let mut jobs = vec![first];
+                    let deadline = Instant::now() + window;
+                    while jobs.len() < max_batch {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(job) => jobs.push(job),
+                            Err(_) => break,
+                        }
+                    }
+
+                    // Snapshot the model once for the whole batch.
+                    let loaded = registry.current();
+                    let (feats, replies): (Vec<_>, Vec<_>) =
+                        jobs.into_iter().map(|j| (j.features, j.reply)).unzip();
+                    let preds = loaded.model.predict_batch(&feats);
+                    batches.inc();
+                    predictions.add(preds.len() as u64);
+                    batch_size.observe(preds.len() as f64);
+                    for (reply, pred) in replies.into_iter().zip(preds) {
+                        let _ = reply.send(pred);
+                    }
+                }
+            })
+            .expect("spawn batcher thread");
+        Self {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// A sender for submitting jobs (cheap to clone per worker).
+    pub fn sender(&self) -> SyncSender<PredictJob> {
+        self.tx.clone()
+    }
+
+}
+
+impl Drop for Batcher {
+    /// Joins the collector. Set the shutdown flag (and join the
+    /// workers holding sender clones) before dropping, or this blocks
+    /// until the collector's next idle poll observes the flag.
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

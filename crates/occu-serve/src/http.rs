@@ -1,0 +1,314 @@
+//! Minimal HTTP/1.1 framing over `std::net`.
+//!
+//! This is deliberately a small subset: request line + headers +
+//! `Content-Length` body, keep-alive by default, no chunked encoding,
+//! no TLS. Anything outside the subset gets a clean 4xx and a closed
+//! connection — the framing layer never panics on hostile bytes and
+//! never buffers more than the configured limits.
+
+use crate::ServeError;
+use std::io::{self, BufRead, Read, Write};
+
+/// Hard cap on the request line + header section, independent of the
+/// body limit. 16 KiB is far beyond anything the clients here send.
+pub const MAX_HEADER_BYTES: u64 = 16 * 1024;
+
+/// Hard cap on header count (defense against header floods).
+pub const MAX_HEADERS: usize = 100;
+
+/// A parsed request: enough structure for routing, nothing more.
+#[derive(Debug)]
+pub struct Request {
+    /// Method verb, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to drop the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Result of reading one request off a keep-alive connection.
+pub enum ReadOutcome {
+    /// A complete request was framed.
+    Request(Request),
+    /// The peer closed (or went quiet past the read timeout) between
+    /// requests — not an error, just the end of the connection.
+    Closed,
+}
+
+/// Reads one request. Framing violations come back as `ServeError`
+/// (the caller writes the status and closes); transport-level quiet
+/// (EOF, timeout before any byte) is `Closed`.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body_bytes: usize,
+) -> Result<ReadOutcome, ServeError> {
+    let mut limited = reader.take(MAX_HEADER_BYTES);
+
+    // Request line. EOF or timeout here means the keep-alive
+    // connection simply ended.
+    let mut line = String::new();
+    match limited.read_line(&mut line) {
+        Ok(0) => return Ok(ReadOutcome::Closed),
+        Ok(_) => {}
+        Err(e) if is_quiet(&e) => return Ok(ReadOutcome::Closed),
+        Err(e) => return Err(ServeError::bad_request(format!("read failed: {e}"))),
+    }
+    if !line.ends_with('\n') {
+        return Err(ServeError::too_large("request line exceeds header limit"));
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => return Err(ServeError::bad_request("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::bad_request(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) || method.is_empty() {
+        return Err(ServeError::bad_request("malformed method token"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(ServeError::bad_request("request target must be a path"));
+    }
+    let method = method.to_string();
+
+    // Header section up to the blank line.
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        match limited.read_line(&mut line) {
+            Ok(0) => return Err(ServeError::bad_request("connection closed mid-headers")),
+            Ok(_) => {}
+            Err(e) if is_quiet(&e) => {
+                return Err(ServeError::bad_request("timed out mid-headers"))
+            }
+            Err(e) => return Err(ServeError::bad_request(format!("read failed: {e}"))),
+        }
+        if !line.ends_with('\n') {
+            return Err(ServeError::too_large("header section exceeds 16KiB limit"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ServeError::bad_request("malformed header line (missing ':')"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(ServeError::bad_request("malformed header name"));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(ServeError::too_large("too many headers"));
+        }
+    }
+
+    // Body, gated on Content-Length *before* reading a single byte so
+    // an oversized announcement cannot make us buffer it.
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.as_str());
+    if let Some(raw) = content_length {
+        let len: usize = raw
+            .parse()
+            .map_err(|_| ServeError::bad_request(format!("invalid content-length '{raw}'")))?;
+        if len > max_body_bytes {
+            return Err(ServeError::too_large(format!(
+                "body of {len} bytes exceeds limit of {max_body_bytes}"
+            )));
+        }
+        body.resize(len, 0);
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| ServeError::bad_request(format!("body shorter than content-length: {e}")))?;
+    } else if headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("transfer-encoding"))
+    {
+        return Err(ServeError::bad_request(
+            "transfer-encoding is not supported; send content-length",
+        ));
+    }
+
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+fn is_quiet(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+    )
+}
+
+/// Canonical reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response. `keep_alive` controls the
+/// `Connection` header; the caller owns actually closing the socket.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        connection,
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Writes the one-line error body for `err` and requests close.
+pub fn write_error<W: Write>(writer: &mut W, err: &ServeError) -> io::Result<()> {
+    write_response(writer, err.status, "text/plain", err.body().as_bytes(), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<ReadOutcome, ServeError> {
+        let mut r = BufReader::new(raw);
+        read_request(&mut r, 1024)
+    }
+
+    fn expect_request(raw: &[u8]) -> Request {
+        match parse(raw) {
+            Ok(ReadOutcome::Request(req)) => req,
+            Ok(ReadOutcome::Closed) => panic!("unexpected close"),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    fn expect_status(raw: &[u8]) -> u16 {
+        match parse(raw) {
+            Err(e) => e.status,
+            _ => panic!("expected framing error"),
+        }
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = expect_request(
+            b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+        );
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn strips_query_string_and_detects_close() {
+        let req = expect_request(b"GET /metrics?verbose=1 HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn eof_before_request_is_closed() {
+        assert!(matches!(parse(b""), Ok(ReadOutcome::Closed)));
+    }
+
+    #[test]
+    fn garbage_request_line_is_400() {
+        assert_eq!(expect_status(b"not http at all\r\n\r\n"), 400);
+        assert_eq!(expect_status(b"GET /\r\n\r\n"), 400);
+        assert_eq!(expect_status(b"GET / SMTP/1.0\r\n\r\n"), 400);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_reading_it() {
+        let status = expect_status(b"POST /p HTTP/1.1\r\nContent-Length: 99999\r\n\r\n");
+        assert_eq!(status, 413);
+    }
+
+    #[test]
+    fn bad_content_length_is_400() {
+        assert_eq!(
+            expect_status(b"POST /p HTTP/1.1\r\nContent-Length: soon\r\n\r\n"),
+            400
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        assert_eq!(
+            expect_status(b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            400
+        );
+    }
+
+    #[test]
+    fn unbounded_header_line_is_413() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_HEADER_BYTES as usize + 64));
+        assert_eq!(expect_status(&raw), 413);
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

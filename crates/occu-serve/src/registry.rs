@@ -1,0 +1,137 @@
+//! The hot-reloadable model slot.
+//!
+//! The live model sits behind `RwLock<Arc<LoadedModel>>`. Request
+//! handlers and the batch collector clone the `Arc` out (cheap, no
+//! contention beyond the read lock), so a `POST /reload` swapping the
+//! slot never disturbs work already in flight: those batches finish
+//! on the model version they snapshotted. Each successful (re)load
+//! bumps a monotonically increasing version, which is part of the
+//! prediction cache key — stale cached predictions from an older
+//! model can never be served after a reload.
+
+use occu_core::gnn::DnnOccu;
+use occu_error::{IoContext, Result};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One loaded model plus its provenance.
+pub struct LoadedModel {
+    /// The predictor itself (plain data, `Send + Sync`).
+    pub model: DnnOccu,
+    /// Where the weights came from (reload defaults back to this).
+    pub path: PathBuf,
+    /// Monotonic version, starting at 1 for the initial load.
+    pub version: u64,
+}
+
+/// Registry holding the current model and serving atomic swaps.
+pub struct ModelRegistry {
+    slot: RwLock<Arc<LoadedModel>>,
+    next_version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Loads the initial model from a weights JSON file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let model = read_model(path)?;
+        Ok(Self::from_model(model, path))
+    }
+
+    /// Wraps an already-constructed model (tests, in-process servers).
+    pub fn from_model(model: DnnOccu, path: impl Into<PathBuf>) -> Self {
+        Self {
+            slot: RwLock::new(Arc::new(LoadedModel {
+                model,
+                path: path.into(),
+                version: 1,
+            })),
+            next_version: AtomicU64::new(2),
+        }
+    }
+
+    /// The current model snapshot. Hold the returned `Arc` for the
+    /// duration of one unit of work; re-fetch for the next.
+    pub fn current(&self) -> Arc<LoadedModel> {
+        match self.slot.read() {
+            Ok(guard) => Arc::clone(&guard),
+            // A poisoned lock only means a writer panicked mid-swap;
+            // the previous Arc is still intact and safe to serve.
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Atomically replaces the model from `path` (or the current
+    /// model's own path when `None`). On any failure the old model
+    /// stays live and the version does not advance.
+    pub fn reload(&self, path: Option<&Path>) -> Result<Arc<LoadedModel>> {
+        let target: PathBuf = match path {
+            Some(p) => p.to_path_buf(),
+            None => self.current().path.clone(),
+        };
+        let model = read_model(&target)?;
+        let version = self.next_version.fetch_add(1, Ordering::SeqCst);
+        let loaded = Arc::new(LoadedModel {
+            model,
+            path: target,
+            version,
+        });
+        match self.slot.write() {
+            Ok(mut guard) => *guard = Arc::clone(&loaded),
+            Err(poisoned) => *poisoned.into_inner() = Arc::clone(&loaded),
+        }
+        Ok(loaded)
+    }
+}
+
+fn read_model(path: &Path) -> Result<DnnOccu> {
+    let text = std::fs::read_to_string(path).io_context(path.display().to_string())?;
+    DnnOccu::from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occu_core::gnn::DnnOccuConfig;
+
+    fn tiny_model(seed: u64) -> DnnOccu {
+        let cfg = DnnOccuConfig {
+            hidden: 8,
+            ..DnnOccuConfig::fast()
+        };
+        DnnOccu::new(cfg, seed)
+    }
+
+    #[test]
+    fn reload_bumps_version_and_old_snapshot_survives() {
+        let dir = std::env::temp_dir().join(format!("occu_reg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("m.json");
+        std::fs::write(&p, tiny_model(1).to_json()).expect("write");
+
+        let reg = ModelRegistry::load(&p).expect("load");
+        let before = reg.current();
+        assert_eq!(before.version, 1);
+
+        std::fs::write(&p, tiny_model(2).to_json()).expect("write");
+        let after = reg.reload(None).expect("reload");
+        assert_eq!(after.version, 2);
+        assert_eq!(reg.current().version, 2);
+        // The pre-reload snapshot is still fully usable.
+        assert_eq!(before.version, 1);
+        assert!(before.model.num_parameters() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_reload_keeps_old_model() {
+        let reg = ModelRegistry::from_model(tiny_model(3), "unused.json");
+        let err = match reg.reload(Some(Path::new("/nonexistent/occu/model.json"))) {
+            Err(e) => e,
+            Ok(_) => panic!("reload of a missing file must fail"),
+        };
+        assert_eq!(err.kind(), "io");
+        assert_eq!(reg.current().version, 1);
+    }
+}

@@ -1,0 +1,874 @@
+//! The server proper: listener, worker pool, router, graceful drain.
+//!
+//! Threading model:
+//!
+//! * one accept thread feeding a **bounded** connection queue — when
+//!   the queue is full the connection gets an immediate `503` instead
+//!   of growing memory (backpressure by construction);
+//! * `workers` threads each pulling connections off the queue and
+//!   speaking keep-alive HTTP/1.1;
+//! * one batch-collector thread (see [`crate::batch`]).
+//!
+//! Shutdown: [`Server::shutdown`] flips the shared flag, joins the
+//! accept thread (no new connections), then joins the workers — which
+//! first drain every connection already queued, answering each with
+//! `Connection: close` — and finally the collector. Nothing accepted
+//! is ever dropped.
+
+use crate::batch::{BatchConfig, Batcher, PredictJob};
+use crate::cache::{CacheStats, LruCache};
+use crate::http::{self, ReadOutcome, Request};
+use crate::registry::ModelRegistry;
+use crate::ServeError;
+use occu_core::features::featurize;
+use occu_error::{IoContext, OccuError};
+use occu_gpusim::DeviceSpec;
+use occu_graph::{CompGraph, GraphFingerprint};
+use occu_models::{ModelConfig, ModelId};
+use occu_obs::{Counter, Histogram};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Device names accepted by `/predict` (the `occu-gpusim` built-ins).
+const BUILTIN_DEVICES: &str = "a100, rtx2080ti, p40, v100, t4";
+
+/// Upper bound on specs per `/predict_batch` call.
+const MAX_BATCH_ITEMS: usize = 256;
+
+/// How long a worker waits for the collector's reply before giving
+/// the client a 500. Far above any sane batch latency.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server tuning knobs; `Default` is sized for local use.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Fixed worker-thread count.
+    pub workers: usize,
+    /// Accept-queue depth; overflow is answered with 503.
+    pub queue_cap: usize,
+    /// Micro-batch collection window, microseconds.
+    pub batch_window_us: u64,
+    /// Max predictions folded into one batch.
+    pub max_batch: usize,
+    /// LRU prediction-cache capacity (0 disables caching).
+    pub cache_cap: usize,
+    /// Max accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 128,
+            batch_window_us: 1000,
+            max_batch: 32,
+            cache_cap: 4096,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Rejects configurations that cannot serve.
+    pub fn validate(&self) -> occu_error::Result<()> {
+        if self.workers == 0 || self.workers > 256 {
+            return Err(OccuError::config(
+                "serve --threads",
+                format!("must be in 1..=256, got {}", self.workers),
+            ));
+        }
+        if self.queue_cap == 0 {
+            return Err(OccuError::config("serve --queue", "must be at least 1"));
+        }
+        if self.max_batch == 0 || self.max_batch > 1024 {
+            return Err(OccuError::config(
+                "serve --max-batch",
+                format!("must be in 1..=1024, got {}", self.max_batch),
+            ));
+        }
+        if self.max_body_bytes < 1024 {
+            return Err(OccuError::config(
+                "serve max body size",
+                "must be at least 1024 bytes",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative server counters, returned by [`Server::stats`] and
+/// [`Server::shutdown`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DrainStats {
+    /// Requests fully parsed and routed.
+    pub requests: u64,
+    /// Responses with a 4xx/5xx status (framing errors included).
+    pub errors: u64,
+    /// Connections bounced with 503 at the accept queue.
+    pub rejected: u64,
+    /// Successful model reloads.
+    pub reloads: u64,
+    /// Prediction-cache counters.
+    pub cache: CacheStats,
+}
+
+/// What one prediction spec resolves to in the cache.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    /// Named-model request: the config tuple identifies the graph, so
+    /// cache hits skip graph construction entirely.
+    Named {
+        model: String,
+        batch: usize,
+        channels: usize,
+        seq: usize,
+        device: String,
+        version: u64,
+    },
+    /// Inline-graph request, keyed by the canonical structural
+    /// fingerprint (order-independent, so re-serialized or re-ordered
+    /// submissions of the same graph still hit).
+    Graph {
+        fp: GraphFingerprint,
+        device: String,
+        version: u64,
+    },
+}
+
+#[derive(Clone)]
+struct CachedPrediction {
+    occupancy: f32,
+    fingerprint: String,
+}
+
+/// One parsed `/predict` spec.
+struct PredictSpec {
+    model: Option<String>,
+    graph: Option<Value>,
+    batch: Option<usize>,
+    channels: Option<usize>,
+    seq: Option<usize>,
+    device: String,
+}
+
+/// One answered prediction.
+struct Outcome {
+    occupancy: f32,
+    cached: bool,
+    fingerprint: String,
+    model: Option<String>,
+    device: String,
+    model_version: u64,
+}
+
+/// Spec resolution result: answered from cache, or waiting on the
+/// batch collector.
+enum Prepared {
+    Done(Outcome),
+    Pending {
+        key: CacheKey,
+        rx: Receiver<f32>,
+        outcome: Outcome, // occupancy filled in on reply
+    },
+}
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    reloads: AtomicU64,
+}
+
+/// Pre-resolved metric handles so the hot path never takes the
+/// registry lock.
+struct ObsHandles {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    rejected: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    request_us: Arc<Histogram>,
+}
+
+impl ObsHandles {
+    fn new() -> Self {
+        Self {
+            requests: occu_obs::counter("serve.requests"),
+            errors: occu_obs::counter("serve.errors"),
+            rejected: occu_obs::counter("serve.rejected"),
+            cache_hits: occu_obs::counter("serve.cache.hits"),
+            cache_misses: occu_obs::counter("serve.cache.misses"),
+            request_us: occu_obs::histogram(
+                "serve.request_us",
+                &[50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0],
+            ),
+        }
+    }
+}
+
+struct ServerState {
+    cfg: ServeConfig,
+    registry: Arc<ModelRegistry>,
+    cache: Mutex<LruCache<CacheKey, CachedPrediction>>,
+    job_tx: SyncSender<PredictJob>,
+    shutdown: Arc<AtomicBool>,
+    stats: Stats,
+    obs: ObsHandles,
+}
+
+impl ServerState {
+    fn lock_cache(&self) -> MutexGuard<'_, LruCache<CacheKey, CachedPrediction>> {
+        // A poisoned cache lock only means a panicking thread held it;
+        // the LRU structure is updated atomically enough to reuse.
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// A running server. Dropping without [`Server::shutdown`] still
+/// joins every thread (via the owned handles), but `shutdown` is the
+/// intended exit: it returns the drain statistics.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<Batcher>,
+}
+
+impl Server {
+    /// Binds, spawns the thread pool, and starts serving.
+    pub fn start(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> occu_error::Result<Server> {
+        cfg.validate()?;
+        let listener = TcpListener::bind(&cfg.addr).io_context(format!("bind {}", cfg.addr))?;
+        listener
+            .set_nonblocking(true)
+            .io_context("listener set_nonblocking")?;
+        let addr = listener.local_addr().io_context("listener local_addr")?;
+
+        occu_obs::enable();
+        occu_obs::gauge("serve.model_version").set(registry.current().version as f64);
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let batcher = Batcher::start(
+            BatchConfig {
+                window: Duration::from_micros(cfg.batch_window_us),
+                max_batch: cfg.max_batch,
+            },
+            Arc::clone(&registry),
+            Arc::clone(&shutdown),
+        );
+
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.queue_cap);
+        let state = Arc::new(ServerState {
+            cache: Mutex::new(LruCache::new(cfg.cache_cap)),
+            job_tx: batcher.sender(),
+            registry,
+            shutdown,
+            stats: Stats::default(),
+            obs: ObsHandles::new(),
+            cfg,
+        });
+
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(state.cfg.workers);
+        for i in 0..state.cfg.workers {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&conn_rx);
+            let handle = thread::Builder::new()
+                .name(format!("occu-serve-worker-{i}"))
+                .spawn(move || worker_loop(&state, &rx))
+                .io_context("spawn worker thread")?;
+            workers.push(handle);
+        }
+        let accept = {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("occu-serve-accept".to_string())
+                .spawn(move || accept_loop(&state, &listener, &conn_tx))
+                .io_context("spawn accept thread")?
+        };
+
+        occu_obs::info!("serve: listening on {addr} with {} workers", state.cfg.workers);
+        Ok(Server {
+            state,
+            addr,
+            accept: Some(accept),
+            workers,
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flags shutdown without blocking (signal-handler path); follow
+    /// with [`Server::shutdown`] to join.
+    pub fn request_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Counter snapshot without stopping the server.
+    pub fn stats(&self) -> DrainStats {
+        snapshot_stats(&self.state)
+    }
+
+    /// Stops accepting, drains every queued and in-flight request,
+    /// joins all threads, and reports final counters.
+    pub fn shutdown(mut self) -> DrainStats {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Workers are gone, so no new jobs can arrive; the collector
+        // exits at its next idle poll.
+        self.batcher = None;
+        occu_obs::info!("serve: drained and stopped");
+        snapshot_stats(&self.state)
+    }
+}
+
+fn snapshot_stats(state: &ServerState) -> DrainStats {
+    DrainStats {
+        requests: state.stats.requests.load(Ordering::SeqCst),
+        errors: state.stats.errors.load(Ordering::SeqCst),
+        rejected: state.stats.rejected.load(Ordering::SeqCst),
+        reloads: state.stats.reloads.load(Ordering::SeqCst),
+        cache: state.lock_cache().stats(),
+    }
+}
+
+fn accept_loop(state: &ServerState, listener: &TcpListener, conn_tx: &SyncSender<TcpStream>) {
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is nonblocking; accepted sockets must not be.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        state.stats.rejected.fetch_add(1, Ordering::SeqCst);
+                        state.obs.rejected.inc();
+                        let err = ServeError::unavailable("accept queue full, retry later");
+                        let _ = http::write_error(&mut stream, &err);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn worker_loop(state: &ServerState, conn_rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let next = {
+            let guard = match conn_rx.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            guard.recv_timeout(Duration::from_millis(100))
+        };
+        match next {
+            Ok(stream) => handle_connection(state, stream),
+            Err(RecvTimeoutError::Timeout) => {
+                // Keep draining until the accept thread drops the
+                // sender; that is the authoritative end-of-queue.
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match http::read_request(&mut reader, state.cfg.max_body_bytes) {
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Request(req)) => {
+                state.stats.requests.fetch_add(1, Ordering::SeqCst);
+                state.obs.requests.inc();
+                let started = Instant::now();
+                let keep = !req.wants_close() && !state.shutdown.load(Ordering::SeqCst);
+                // Safety net: a panic in a handler must cost one 500,
+                // not a worker thread.
+                let (status, ctype, body) =
+                    match catch_unwind(AssertUnwindSafe(|| route(state, &req))) {
+                        Ok(resp) => resp,
+                        Err(_) => {
+                            let err = ServeError::internal("handler panicked");
+                            (err.status, "text/plain", err.body().into_bytes())
+                        }
+                    };
+                if status >= 400 {
+                    state.stats.errors.fetch_add(1, Ordering::SeqCst);
+                    state.obs.errors.inc();
+                }
+                state
+                    .obs
+                    .request_us
+                    .observe(started.elapsed().as_micros() as f64);
+                if http::write_response(&mut writer, status, ctype, &body, keep).is_err() {
+                    return;
+                }
+                if !keep {
+                    return;
+                }
+            }
+            Err(err) => {
+                state.stats.errors.fetch_add(1, Ordering::SeqCst);
+                state.obs.errors.inc();
+                let _ = http::write_error(&mut writer, &err);
+                return;
+            }
+        }
+    }
+}
+
+fn route(state: &ServerState, req: &Request) -> (u16, &'static str, Vec<u8>) {
+    let result: Result<(u16, &'static str, Vec<u8>), ServeError> =
+        match (req.path.as_str(), req.method.as_str()) {
+            ("/healthz", "GET") => Ok((200, "text/plain", b"ok\n".to_vec())),
+            ("/metrics", "GET") => Ok((200, "text/plain", render_metrics(state).into_bytes())),
+            ("/predict", "POST") => handle_predict(state, &req.body),
+            ("/predict_batch", "POST") => handle_predict_batch(state, &req.body),
+            ("/reload", "POST") => handle_reload(state, &req.body),
+            ("/healthz" | "/metrics" | "/predict" | "/predict_batch" | "/reload", m) => Err(
+                ServeError::method_not_allowed(format!("method {m} not allowed here")),
+            ),
+            (p, _) => Err(ServeError::not_found(format!("no such endpoint '{p}'"))),
+        };
+    match result {
+        Ok(resp) => resp,
+        Err(e) => (e.status, "text/plain", e.body().into_bytes()),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, ServeError> {
+    if body.is_empty() {
+        return Err(ServeError::bad_request("empty request body"));
+    }
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::bad_request("request body is not valid UTF-8"))?;
+    serde_json::from_str::<Value>(text)
+        .map_err(|e| ServeError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+fn usize_field(obj: &BTreeMap<String, Value>, name: &str) -> Result<Option<usize>, ServeError> {
+    match obj.get(name) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v.as_f64().ok_or_else(|| {
+                ServeError::bad_request(format!("field '{name}' must be a number"))
+            })?;
+            if !n.is_finite() || n < 0.0 || n.fract() != 0.0 || n > 1e9 {
+                return Err(ServeError::bad_request(format!(
+                    "field '{name}' must be a non-negative integer"
+                )));
+            }
+            Ok(Some(n as usize))
+        }
+    }
+}
+
+fn parse_spec(v: &Value) -> Result<PredictSpec, ServeError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| ServeError::bad_request("prediction spec must be a JSON object"))?;
+    for key in obj.keys() {
+        if !matches!(
+            key.as_str(),
+            "model" | "graph" | "batch" | "channels" | "seq" | "device"
+        ) {
+            return Err(ServeError::bad_request(format!(
+                "unknown field '{key}' (allowed: model, graph, batch, channels, seq, device)"
+            )));
+        }
+    }
+    let model = match obj.get("model") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| ServeError::bad_request("field 'model' must be a string"))?
+                .to_string(),
+        ),
+    };
+    let graph = obj.get("graph").cloned();
+    if model.is_some() && graph.is_some() {
+        return Err(ServeError::bad_request(
+            "give either 'model' or 'graph', not both",
+        ));
+    }
+    if model.is_none() && graph.is_none() {
+        return Err(ServeError::bad_request(
+            "spec needs a 'model' name or an inline 'graph'",
+        ));
+    }
+    let device = match obj.get("device") {
+        None => "a100".to_string(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ServeError::bad_request("field 'device' must be a string"))?
+            .to_ascii_lowercase(),
+    };
+    Ok(PredictSpec {
+        model,
+        graph,
+        batch: usize_field(obj, "batch")?,
+        channels: usize_field(obj, "channels")?,
+        seq: usize_field(obj, "seq")?,
+        device,
+    })
+}
+
+/// Resolves one spec: cache hit → `Done`; miss → featurize and submit
+/// to the collector, leaving a `Pending` reply to harvest.
+fn resolve_spec(state: &ServerState, spec: &PredictSpec) -> Result<Prepared, ServeError> {
+    let device = DeviceSpec::by_name(&spec.device).ok_or_else(|| {
+        ServeError::bad_request(format!(
+            "unknown device '{}' (built-ins: {BUILTIN_DEVICES})",
+            spec.device
+        ))
+    })?;
+    let version = state.registry.current().version;
+
+    let (key, graph) = if let Some(graph_value) = &spec.graph {
+        let text = serde_json::to_string(graph_value)
+            .map_err(|e| ServeError::internal(format!("re-encode graph: {e}")))?;
+        let graph = CompGraph::from_json(&text).map_err(ServeError::from)?;
+        let key = CacheKey::Graph {
+            fp: graph.fingerprint(),
+            device: spec.device.clone(),
+            version,
+        };
+        (key, Some(graph))
+    } else {
+        let name = spec.model.as_deref().unwrap_or_default();
+        let id = ModelId::from_name(name)
+            .ok_or_else(|| ServeError::not_found(format!("unknown model '{name}'")))?;
+        let defaults = id.default_config();
+        let batch = spec.batch.unwrap_or(defaults.batch_size);
+        let channels = spec.channels.unwrap_or(defaults.input_channels);
+        let seq = spec.seq.unwrap_or(defaults.seq_len);
+        if batch == 0 || batch > 4096 {
+            return Err(ServeError::unprocessable(format!(
+                "batch must be in 1..=4096, got {batch}"
+            )));
+        }
+        if channels > 512 {
+            return Err(ServeError::unprocessable(format!(
+                "channels must be at most 512, got {channels}"
+            )));
+        }
+        if seq > 4096 {
+            return Err(ServeError::unprocessable(format!(
+                "seq must be at most 4096, got {seq}"
+            )));
+        }
+        let key = CacheKey::Named {
+            model: id.name().to_string(),
+            batch,
+            channels,
+            seq,
+            device: spec.device.clone(),
+            version,
+        };
+        (key, None)
+    };
+
+    if let Some(hit) = state.lock_cache().get(&key).cloned() {
+        state.obs.cache_hits.inc();
+        return Ok(Prepared::Done(Outcome {
+            occupancy: hit.occupancy,
+            cached: true,
+            fingerprint: hit.fingerprint,
+            model: spec.model.clone(),
+            device: spec.device.clone(),
+            model_version: version,
+        }));
+    }
+    state.obs.cache_misses.inc();
+
+    // Miss: obtain the graph (building the named model now if the
+    // cache could not spare us), fingerprint it, featurize, submit.
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        let graph = match graph {
+            Some(g) => g,
+            None => {
+                let id = ModelId::from_name(spec.model.as_deref().unwrap_or_default())
+                    .expect("validated above");
+                let defaults = id.default_config();
+                let cfg = ModelConfig {
+                    batch_size: spec.batch.unwrap_or(defaults.batch_size),
+                    input_channels: spec.channels.unwrap_or(defaults.input_channels),
+                    seq_len: spec.seq.unwrap_or(defaults.seq_len),
+                    ..defaults
+                };
+                id.build(&cfg)
+            }
+        };
+        let fp = graph.fingerprint();
+        let features = featurize(&graph, &device);
+        (fp, features)
+    }))
+    .map_err(|_| {
+        ServeError::unprocessable("model cannot be constructed with this configuration")
+    })?;
+    let (fp, features) = built;
+
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    state
+        .job_tx
+        .send(PredictJob {
+            features,
+            reply: reply_tx,
+        })
+        .map_err(|_| ServeError::internal("prediction backend has stopped"))?;
+
+    Ok(Prepared::Pending {
+        key,
+        rx: reply_rx,
+        outcome: Outcome {
+            occupancy: f32::NAN,
+            cached: false,
+            fingerprint: fp.to_hex(),
+            model: spec.model.clone(),
+            device: spec.device.clone(),
+            model_version: version,
+        },
+    })
+}
+
+/// Runs a set of specs through resolve-then-collect so all cache
+/// misses sit in the collector window *together* — this is what makes
+/// `/predict_batch` an actual batch.
+fn predict_many(
+    state: &ServerState,
+    specs: &[Result<PredictSpec, ServeError>],
+) -> Vec<Result<Outcome, ServeError>> {
+    let prepared: Vec<Result<Prepared, ServeError>> = specs
+        .iter()
+        .map(|spec| match spec {
+            Ok(s) => resolve_spec(state, s),
+            Err(e) => Err(e.clone()),
+        })
+        .collect();
+    prepared
+        .into_iter()
+        .map(|p| match p {
+            Err(e) => Err(e),
+            Ok(Prepared::Done(outcome)) => Ok(outcome),
+            Ok(Prepared::Pending { key, rx, mut outcome }) => {
+                let occ = rx
+                    .recv_timeout(REPLY_TIMEOUT)
+                    .map_err(|_| ServeError::internal("prediction timed out"))?;
+                outcome.occupancy = occ;
+                state.lock_cache().insert(
+                    key,
+                    CachedPrediction {
+                        occupancy: occ,
+                        fingerprint: outcome.fingerprint.clone(),
+                    },
+                );
+                Ok(outcome)
+            }
+        })
+        .collect()
+}
+
+fn outcome_value(o: &Outcome) -> Value {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "predicted_occupancy".to_string(),
+        Value::Number(f64::from(o.occupancy)),
+    );
+    m.insert("cached".to_string(), Value::Bool(o.cached));
+    m.insert("fingerprint".to_string(), Value::String(o.fingerprint.clone()));
+    m.insert("device".to_string(), Value::String(o.device.clone()));
+    m.insert(
+        "model_version".to_string(),
+        Value::Number(o.model_version as f64),
+    );
+    if let Some(name) = &o.model {
+        m.insert("model".to_string(), Value::String(name.clone()));
+    }
+    Value::Object(m)
+}
+
+fn json_body(value: &Value) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
+    let mut text = serde_json::to_string(value)
+        .map_err(|e| ServeError::internal(format!("encode response: {e}")))?;
+    text.push('\n');
+    Ok((200, "application/json", text.into_bytes()))
+}
+
+fn handle_predict(
+    state: &ServerState,
+    body: &[u8],
+) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
+    let value = parse_body(body)?;
+    let spec = parse_spec(&value);
+    let mut results = predict_many(state, &[spec]);
+    let outcome = results
+        .pop()
+        .unwrap_or_else(|| Err(ServeError::internal("empty prediction result")))?;
+    json_body(&outcome_value(&outcome))
+}
+
+fn handle_predict_batch(
+    state: &ServerState,
+    body: &[u8],
+) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
+    let value = parse_body(body)?;
+    let items = match value.as_array() {
+        Some(a) => a,
+        None => value
+            .get("requests")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| {
+                ServeError::bad_request(
+                    "batch body must be a JSON array of specs or {\"requests\": [...]}",
+                )
+            })?,
+    };
+    if items.is_empty() {
+        return Err(ServeError::bad_request("batch is empty"));
+    }
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err(ServeError::too_large(format!(
+            "batch of {} specs exceeds limit of {MAX_BATCH_ITEMS}",
+            items.len()
+        )));
+    }
+    let specs: Vec<Result<PredictSpec, ServeError>> = items.iter().map(parse_spec).collect();
+    let results = predict_many(state, &specs);
+
+    let mut rendered = Vec::with_capacity(results.len());
+    let mut failures = 0u64;
+    for r in &results {
+        match r {
+            Ok(outcome) => rendered.push(outcome_value(outcome)),
+            Err(e) => {
+                failures += 1;
+                let mut m = BTreeMap::new();
+                m.insert("error".to_string(), Value::String(e.message.clone()));
+                m.insert("status".to_string(), Value::Number(f64::from(e.status)));
+                rendered.push(Value::Object(m));
+            }
+        }
+    }
+    let mut top = BTreeMap::new();
+    top.insert("results".to_string(), Value::Array(rendered));
+    top.insert("errors".to_string(), Value::Number(failures as f64));
+    json_body(&Value::Object(top))
+}
+
+fn handle_reload(
+    state: &ServerState,
+    body: &[u8],
+) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
+    let path: Option<String> = if body.is_empty() {
+        None
+    } else {
+        let value = parse_body(body)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| ServeError::bad_request("reload body must be a JSON object"))?;
+        for key in obj.keys() {
+            if key != "path" {
+                return Err(ServeError::bad_request(format!(
+                    "unknown field '{key}' (allowed: path)"
+                )));
+            }
+        }
+        match obj.get("path") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| ServeError::bad_request("field 'path' must be a string"))?
+                    .to_string(),
+            ),
+        }
+    };
+    let loaded = state
+        .registry
+        .reload(path.as_deref().map(Path::new))
+        .map_err(ServeError::from)?;
+    state.stats.reloads.fetch_add(1, Ordering::SeqCst);
+    occu_obs::counter("serve.reloads").inc();
+    occu_obs::gauge("serve.model_version").set(loaded.version as f64);
+    occu_obs::info!(
+        "serve: reloaded model v{} from {}",
+        loaded.version,
+        loaded.path.display()
+    );
+    // Old-version cache entries are unreachable (version is in the
+    // key) and will age out of the LRU naturally.
+    let mut m = BTreeMap::new();
+    m.insert("version".to_string(), Value::Number(loaded.version as f64));
+    m.insert(
+        "path".to_string(),
+        Value::String(loaded.path.display().to_string()),
+    );
+    json_body(&Value::Object(m))
+}
+
+/// Plain-text dump of the `occu-obs` registry, one metric per line.
+fn render_metrics(state: &ServerState) -> String {
+    // Mirror cache counters into gauges so they appear in the dump.
+    let cache = state.lock_cache().stats();
+    occu_obs::gauge("serve.cache.len").set(cache.len as f64);
+    occu_obs::gauge("serve.cache.evictions").set(cache.evictions as f64);
+    occu_obs::gauge("serve.cache.hit_rate").set(cache.hit_rate());
+
+    let snapshot = occu_obs::metrics_snapshot();
+    let mut out = String::with_capacity(1024);
+    out.push_str("# occu-serve metrics\n");
+    for (name, value) in &snapshot.entries {
+        match value {
+            occu_obs::MetricValue::Counter(v) => {
+                out.push_str(&format!("{name} counter {v}\n"));
+            }
+            occu_obs::MetricValue::Gauge(v) => {
+                out.push_str(&format!("{name} gauge {v}\n"));
+            }
+            occu_obs::MetricValue::Histogram { count, sum, .. } => {
+                let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                out.push_str(&format!(
+                    "{name} histogram count={count} sum={sum} mean={mean:.3}\n"
+                ));
+            }
+        }
+    }
+    out
+}

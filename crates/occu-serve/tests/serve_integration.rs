@@ -1,0 +1,266 @@
+//! End-to-end exercises of a live `occu-serve` server over real TCP:
+//! every endpoint, cache behavior (including fingerprint-keyed hits
+//! for re-ordered inline graphs), hot-reload semantics, and graceful
+//! drain accounting.
+
+use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+use occu_graph::{GraphBuilder, GraphMeta, Hyper, ModelFamily, OpKind};
+use occu_serve::{ModelRegistry, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tiny_model(seed: u64) -> DnnOccu {
+    let cfg = DnnOccuConfig {
+        hidden: 8,
+        ..DnnOccuConfig::fast()
+    };
+    DnnOccu::new(cfg, seed)
+}
+
+fn start_server() -> Server {
+    let registry = Arc::new(ModelRegistry::from_model(tiny_model(7), "in-memory.json"));
+    let cfg = ServeConfig {
+        workers: 2,
+        batch_window_us: 200,
+        ..ServeConfig::default()
+    };
+    Server::start(cfg, registry).expect("server start")
+}
+
+/// One-shot HTTP exchange; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write head");
+    s.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> (u16, String) {
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn healthz_metrics_and_routing() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Known route, wrong method.
+    let (status, _) = request(addr, "DELETE", "/healthz", "");
+    assert_eq!(status, 405);
+
+    // One prediction so the metrics dump has serve.* entries.
+    let (status, body) = request(addr, "POST", "/predict", r#"{"model": "LeNet"}"#);
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"predicted_occupancy\":"), "body: {body}");
+    assert!(body.contains("\"fingerprint\":"), "body: {body}");
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("serve.requests counter"), "dump: {metrics}");
+    assert!(metrics.contains("serve.cache.misses counter"), "dump: {metrics}");
+    assert!(metrics.contains("serve.request_us histogram"), "dump: {metrics}");
+
+    let stats = server.shutdown();
+    assert!(stats.requests >= 4);
+}
+
+#[test]
+fn named_predictions_hit_the_cache_on_repeat() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let spec = r#"{"model": "AlexNet", "batch": 2, "device": "v100"}"#;
+
+    let (status, first) = request(addr, "POST", "/predict", spec);
+    assert_eq!(status, 200, "body: {first}");
+    assert!(first.contains("\"cached\":false"), "body: {first}");
+
+    let (status, second) = request(addr, "POST", "/predict", spec);
+    assert_eq!(status, 200);
+    assert!(second.contains("\"cached\":true"), "body: {second}");
+    // Identical payload apart from the cached flag.
+    assert_eq!(
+        first.replace("\"cached\":false", ""),
+        second.replace("\"cached\":true", "")
+    );
+
+    // Same model on another device is a distinct entry.
+    let (_, other) = request(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"model": "AlexNet", "batch": 2, "device": "a100"}"#,
+    );
+    assert!(other.contains("\"cached\":false"), "body: {other}");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.cache.hits, 1);
+    assert!(stats.cache.misses >= 2);
+    assert_eq!(stats.errors, 0);
+}
+
+/// The same diamond graph built with two different node-insertion
+/// orders; the fingerprint must unify them in the cache.
+fn diamond_json(swap: bool) -> String {
+    let mut meta = GraphMeta::new(if swap { "variant-b" } else { "variant-a" }, ModelFamily::Cnn);
+    meta.batch_size = 4;
+    let mut b = GraphBuilder::new(meta);
+    let x = b.input("x", &[4, 8]);
+    let lin = || Hyper::new().with("in_features", 8.0).with("out_features", 8.0);
+    let (l, r) = if swap {
+        let r = b.add(OpKind::Linear, "right", lin(), &[x]);
+        let l = b.add(OpKind::Linear, "left", lin(), &[x]);
+        (l, r)
+    } else {
+        let l = b.add(OpKind::Linear, "left", lin(), &[x]);
+        let r = b.add(OpKind::Linear, "right", lin(), &[x]);
+        (l, r)
+    };
+    let add = b.add(OpKind::Add, "join", Hyper::new(), &[l, r]);
+    let _ = b.add(OpKind::Output, "out", Hyper::new(), &[add]);
+    b.finish().to_json()
+}
+
+#[test]
+fn inline_graphs_cache_by_canonical_fingerprint() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let body_a = format!("{{\"graph\": {}}}", diamond_json(false));
+    let (status, first) = request(addr, "POST", "/predict", &body_a);
+    assert_eq!(status, 200, "body: {first}");
+    assert!(first.contains("\"cached\":false"), "body: {first}");
+
+    // Different insertion order, different model_name — same structure.
+    let body_b = format!("{{\"graph\": {}}}", diamond_json(true));
+    let (status, second) = request(addr, "POST", "/predict", &body_b);
+    assert_eq!(status, 200);
+    assert!(second.contains("\"cached\":true"), "body: {second}");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.cache.hits, 1);
+}
+
+#[test]
+fn predict_batch_mixes_results_and_per_item_errors() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let body = r#"[
+        {"model": "LeNet"},
+        {"model": "LeNet"},
+        {"model": "NoSuchNet"}
+    ]"#;
+    let (status, resp) = request(addr, "POST", "/predict_batch", body);
+    assert_eq!(status, 200, "body: {resp}");
+    assert!(resp.contains("\"errors\":1"), "body: {resp}");
+    assert!(resp.contains("unknown model 'NoSuchNet'"), "body: {resp}");
+    assert_eq!(resp.matches("\"predicted_occupancy\":").count(), 2);
+    // The duplicate spec resolves in the same request: second copy is
+    // still a miss at resolve time (both were in flight together) or a
+    // hit — either way both succeed with the same value.
+    server.shutdown();
+}
+
+#[test]
+fn hot_reload_swaps_model_and_invalidates_cache_by_version() {
+    let dir = std::env::temp_dir().join(format!("occu_serve_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let weights: PathBuf = dir.join("model.json");
+    std::fs::write(&weights, tiny_model(1).to_json()).expect("write weights");
+
+    let registry = Arc::new(ModelRegistry::load(&weights).expect("load"));
+    let server = Server::start(
+        ServeConfig {
+            workers: 2,
+            batch_window_us: 200,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("start");
+    let addr = server.local_addr();
+
+    let spec = r#"{"model": "LeNet"}"#;
+    let (_, before) = request(addr, "POST", "/predict", spec);
+    assert!(before.contains("\"model_version\":1"), "body: {before}");
+
+    // Swap weights on disk and reload through the endpoint.
+    std::fs::write(&weights, tiny_model(2).to_json()).expect("rewrite weights");
+    let (status, reload) = request(addr, "POST", "/reload", "");
+    assert_eq!(status, 200, "body: {reload}");
+    assert!(reload.contains("\"version\":2"), "body: {reload}");
+
+    // Old cache entries are version-keyed: the same spec misses and
+    // runs on the new model.
+    let (_, after) = request(addr, "POST", "/predict", spec);
+    assert!(after.contains("\"model_version\":2"), "body: {after}");
+    assert!(after.contains("\"cached\":false"), "body: {after}");
+
+    // Reload from an explicit bad path fails without losing the model.
+    let (status, bad) = request(addr, "POST", "/reload", r#"{"path": "/nope/x.json"}"#);
+    assert_eq!(status, 500, "body: {bad}");
+    let (_, still) = request(addr, "POST", "/predict", spec);
+    assert!(still.contains("\"model_version\":2"), "body: {still}");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.reloads, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let body = r#"{"model": "LeNet"}"#;
+    for _ in 0..5 {
+        write!(
+            s,
+            "POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write");
+        // Read exactly one response: headers, then Content-Length bytes.
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            s.read_exact(&mut byte).expect("read header byte");
+            head.push(byte[0]);
+        }
+        let head = String::from_utf8(head).expect("utf8");
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("content-length");
+        let mut resp = vec![0u8; len];
+        s.read_exact(&mut resp).expect("read body");
+        assert!(String::from_utf8(resp)
+            .expect("utf8")
+            .contains("\"predicted_occupancy\":"));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 5);
+    assert_eq!(stats.cache.hits, 4, "repeats on one connection must hit");
+}

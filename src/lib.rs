@@ -36,6 +36,7 @@
 //! | [`core`] | `occu-core` | DNN-occu + baselines + experiments |
 //! | [`sched`] | `occu-sched` | co-location scheduler simulation |
 //! | [`obs`] | `occu-obs` | tracing, metrics, run manifests |
+//! | [`serve`] | `occu-serve` | batched, cached HTTP prediction server |
 
 pub use occu_core as core;
 pub use occu_error as error;
@@ -45,6 +46,7 @@ pub use occu_models as models;
 pub use occu_nn as nn;
 pub use occu_obs as obs;
 pub use occu_sched as sched;
+pub use occu_serve as serve;
 pub use occu_tensor as tensor;
 
 /// The most common imports in one place.
@@ -57,8 +59,12 @@ pub mod prelude {
     pub use occu_core::train::{OccuPredictor, Parallelism, TrainConfig, Trainer};
     pub use occu_error::{ErrContext, IoContext, OccuError};
     pub use occu_gpusim::{profile_graph, DeviceSpec, ProfileReport};
-    pub use occu_graph::{to_training_graph, CompGraph, GraphBuilder, GraphMeta, ModelFamily, OpKind};
+    pub use occu_graph::{
+        to_training_graph, CompGraph, GraphBuilder, GraphFingerprint, GraphMeta, ModelFamily,
+        OpKind,
+    };
     pub use occu_models::{ModelConfig, ModelId};
     pub use occu_sched::{simulate, GpuSpec, Job, PackingPolicy};
+    pub use occu_serve::{ModelRegistry, ServeConfig, Server};
     pub use occu_tensor::{Matrix, SeededRng};
 }
