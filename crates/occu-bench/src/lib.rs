@@ -11,11 +11,13 @@
 //! formatting shared by the binary and the benches.
 
 pub mod apps;
+pub mod kernels;
 pub mod loadgen;
 pub mod perf;
 pub mod report;
 
 pub use apps::{build_job_pool, fig7_study, table6, Table6Row};
+pub use kernels::{kernel_study, render_kernels, KernelPerfReport, KernelShapeRow};
 pub use loadgen::{render_loadgen, run_loadgen, LoadgenConfig, ServeReport};
 pub use perf::{
     obs_overhead_study, perf_study, render_obs_overhead, render_perf, validate_out_path,

@@ -68,6 +68,15 @@ pub struct ServeReport {
     pub reload_ok: bool,
     /// Model version reported after the reload (0 if none ran).
     pub model_version_after: u64,
+    /// `serve.batch.size` histogram sample count scraped from
+    /// `/metrics` after the run (0 if the scrape failed).
+    #[serde(default)]
+    pub metrics_batch_count: u64,
+    /// `serve.arena.allocated_bytes` gauge scraped from `/metrics`
+    /// after the run: the scratch-arena high-water mark across the
+    /// server's worker tapes.
+    #[serde(default)]
+    pub arena_allocated_bytes: u64,
 }
 
 /// One keep-alive HTTP/1.1 client connection.
@@ -95,6 +104,17 @@ impl Conn {
             body.len()
         )?;
         self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// One GET round-trip; returns (status, body).
+    fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        write!(self.writer, "GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
         let mut line = String::new();
         self.reader.read_line(&mut line)?;
         let status: u16 = line
@@ -208,6 +228,33 @@ fn client_thread(
         completed.fetch_add(1, Ordering::Relaxed);
     }
     tally
+}
+
+/// Scrapes `/metrics` and pulls out the two lines the smoke test
+/// gates on: the batcher's size histogram and the scratch-arena
+/// high-water gauge. Returns `(batch_count, arena_bytes)`, zeros on
+/// any scrape or parse failure — loadgen results still stand.
+fn scrape_metrics(addr: &str) -> (u64, u64) {
+    let Ok(mut conn) = Conn::open(addr) else {
+        return (0, 0);
+    };
+    let Ok((200, body)) = conn.get("/metrics") else {
+        return (0, 0);
+    };
+    let mut batch_count = 0u64;
+    let mut arena_bytes = 0u64;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("serve.batch.size histogram ") {
+            batch_count = rest
+                .split_whitespace()
+                .find_map(|f| f.strip_prefix("count="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+        } else if let Some(rest) = line.strip_prefix("serve.arena.allocated_bytes gauge ") {
+            arena_bytes = rest.trim().parse::<f64>().map(|v| v as u64).unwrap_or(0);
+        }
+    }
+    (batch_count, arena_bytes)
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -332,6 +379,10 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
         .join()
         .map_err(|_| OccuError::data("loadgen", "reload thread panicked"))?;
 
+    // Scrape /metrics before teardown so the report captures the
+    // batcher and scratch-arena state this run produced.
+    let (metrics_batch_count, arena_allocated_bytes) = scrape_metrics(&addr);
+
     if let Some((server, dir)) = local {
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
@@ -365,6 +416,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
         },
         reload_ok,
         model_version_after,
+        metrics_batch_count,
+        arena_allocated_bytes,
     })
 }
 

@@ -6,12 +6,16 @@
 //! ```
 //!
 //! Subcommands: `fig2 fig4 fig5 fig45 fig6 fig7 table4 table5 table6
-//! ablation aggr device-gen perf obs-overhead loadgen all`. `--quick` shrinks
+//! ablation aggr device-gen perf kernels obs-overhead loadgen all`.
+//! `--quick` shrinks
 //! dataset sizes and epochs for smoke runs; `--device <name>` restricts
 //! the multi-device experiments to one GPU (useful for piecewise
 //! archive runs) and also accepts a device-spec JSON path; `perf`
 //! times training at several worker counts and writes a throughput
-//! JSON report (`--out <path>`, default perf_report.json);
+//! JSON report (`--out <path>`, default perf_report.json); `kernels`
+//! times the blocked GEMM kernels against the naive oracles and fails
+//! when the blocked path regresses (default out
+//! reports/kernel_perf.json);
 //! `obs-overhead` measures the cost of enabling observability and
 //! fails when it exceeds its budget. All subcommands accept
 //! `--trace-out <spans.jsonl>`, `--metrics-out <metrics.json>`, and
@@ -23,7 +27,8 @@
 //! and exit with the `OccuError` code for the failure class: 3 io,
 //! 4 parse, 5 shape, 6 config, 7 data. `obs-overhead` exits 1 when
 //! the measured overhead blows its budget; `loadgen` exits 1 when any
-//! request errored or was dropped.
+//! request errored or was dropped; `kernels` exits 1 when the blocked
+//! GEMM regresses against the naive oracle.
 
 #![warn(clippy::unwrap_used)]
 
@@ -301,6 +306,23 @@ fn run_loadgen(quick: bool, args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+fn run_kernels(quick: bool, args: &[String]) -> Result<(), CliError> {
+    let out = flag_value(args, "--out")?.unwrap_or("reports/kernel_perf.json");
+    occu_bench::validate_out_path(out)?;
+    let rep = occu_bench::kernel_study(quick, 53);
+    print!("{}", occu_bench::render_kernels(&rep));
+    let json = serde_json::to_string_pretty(&rep).expect("kernel report serializes");
+    write_report(out, &json)?;
+    let failures = rep.gate_failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            occu_obs::error!("kernels: {f}");
+        }
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 fn run_obs_overhead(quick: bool, args: &[String]) -> Result<(), CliError> {
     let scale = scale_of(quick);
     let reps = if quick { 2 } else { 3 };
@@ -374,7 +396,7 @@ fn finish_obs(trace: Option<String>, metrics: Option<String>) -> Result<(), Occu
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|obs-overhead|loadgen|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
+    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|kernels|obs-overhead|loadgen|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
     eprintln!("observability: --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     eprintln!("loadgen: --url <host:port> --requests <n> --concurrency <n> --out reports/serve_perf.json");
     std::process::exit(2);
@@ -396,6 +418,7 @@ fn try_main(cmd: &str, quick: bool, args: &[String]) -> Result<(), CliError> {
         "aggr" => run_aggr(quick),
         "device-gen" => run_device_generalization(quick),
         "perf" => run_perf(quick, args)?,
+        "kernels" => run_kernels(quick, args)?,
         "obs-overhead" => run_obs_overhead(quick, args)?,
         "loadgen" => run_loadgen(quick, args)?,
         "all" => {

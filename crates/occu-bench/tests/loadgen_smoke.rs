@@ -23,6 +23,16 @@ fn loadgen_round_trip_in_process() {
     assert!(rep.model_version_after >= 2);
     assert!(rep.cache_hit_rate > 0.5, "rate: {}", rep.cache_hit_rate);
     assert!(rep.p99_us > 0 && rep.p50_us <= rep.p99_us);
+    // /metrics must expose the batcher histogram and the scratch-arena
+    // high-water gauge; the warmup misses alone force both nonzero.
+    assert!(
+        rep.metrics_batch_count > 0,
+        "serve.batch.size histogram missing from /metrics"
+    );
+    assert!(
+        rep.arena_allocated_bytes > 0,
+        "serve.arena.allocated_bytes gauge missing from /metrics"
+    );
     let json = serde_json::to_string_pretty(&rep).expect("serializes");
     let back: ServeReport = serde_json::from_str(&json).expect("round-trips");
     assert_eq!(back.requests, rep.requests);

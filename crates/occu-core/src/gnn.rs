@@ -76,7 +76,6 @@ pub struct AneeLayer {
     w_e: Linear,
     w_m: Linear,
     a: ParamId,
-    hidden: usize,
     slope: f32,
 }
 
@@ -97,7 +96,6 @@ impl AneeLayer {
             w_e: Linear::new_no_bias(store, &format!("{name}.w_e"), edge_in, hidden, rng),
             w_m: Linear::new_no_bias(store, &format!("{name}.w_m"), hidden, hidden, rng),
             a: store.register_xavier(format!("{name}.a"), 2 * hidden, 1, rng),
-            hidden,
             slope,
         }
     }
@@ -122,12 +120,10 @@ impl AneeLayer {
         let cat = tape.hcat(hs, hd);
         let a = tape.param(store, self.a);
         let alpha = tape.matmul(cat, a); // E x 1
-        // Broadcast the scalar across the hidden width.
-        let ones = tape.constant(Matrix::ones(1, self.hidden));
-        let alpha_wide = tape.matmul(alpha, ones); // E x hidden
-        // e' = σ(α ⊙ (W_e e))
+        // e' = σ(α ⊙ (W_e e)) — the per-edge scalar gates each row
+        // directly, without materializing an E x hidden broadcast of α.
         let e_trans = self.w_e.forward(tape, store, edges);
-        let gated = tape.mul(alpha_wide, e_trans);
+        let gated = tape.mul_col_broadcast(e_trans, alpha);
         let e_new = tape.sigmoid(gated);
         // f = Softmax(W_m e') ⊙ h̄_src ; aggregate at dst.
         let gate = self.w_m.forward(tape, store, e_new);
@@ -204,20 +200,18 @@ impl StructuralEncoding {
         let n = fg.num_nodes();
         let mut total: Option<Var> = None;
         for (b, &theta) in self.spd_theta.iter().enumerate() {
-            let mut ind = Matrix::zeros(n, n);
-            let mut any = false;
-            for i in 0..n {
-                for j in 0..n {
-                    if fg.spd[i * n + j] as usize == b {
-                        ind.set(i, j, 1.0);
-                        any = true;
-                    }
-                }
-            }
-            if !any {
+            if !fg.spd.iter().any(|&d| d as usize == b) {
                 continue;
             }
-            let ind_v = tape.constant(ind);
+            let ind_v = tape.constant_zeroed_with(n, n, |ind| {
+                for i in 0..n {
+                    for j in 0..n {
+                        if fg.spd[i * n + j] as usize == b {
+                            ind.set(i, j, 1.0);
+                        }
+                    }
+                }
+            });
             let theta_v = tape.param(store, theta);
             let term = tape.scale_by_scalar(ind_v, theta_v);
             total = Some(match total {
@@ -225,7 +219,7 @@ impl StructuralEncoding {
                 None => term,
             });
         }
-        total.unwrap_or_else(|| tape.constant(Matrix::zeros(n, n)))
+        total.unwrap_or_else(|| tape.constant_zeros(n, n))
     }
 
     /// Adds the degree (centrality) embedding to node embeddings.
@@ -423,8 +417,8 @@ impl OccuPredictor for DnnOccu {
     }
 
     fn forward(&self, tape: &mut Tape, fg: &FeaturizedGraph) -> Var {
-        let nodes = tape.constant(fg.node_feats.clone());
-        let edges = tape.constant(fg.edge_feats.clone());
+        let nodes = tape.constant_ref(&fg.node_feats);
+        let edges = tape.constant_ref(&fg.edge_feats);
         let (mut h, _e) = self.anee.forward(tape, &self.store, nodes, edges, &fg.edge_src, &fg.edge_dst);
         if self.cfg.use_degree_encoding {
             h = self.structural.add_degree(tape, &self.store, h, fg);
@@ -443,7 +437,7 @@ impl OccuPredictor for DnnOccu {
         } else {
             tape.mean_rows(h)
         };
-        let global = tape.constant(fg.global_feats.clone());
+        let global = tape.constant_ref(&fg.global_feats);
         let head_in = tape.hcat(pooled, global);
         self.head.forward(tape, &self.store, head_in)
     }
@@ -552,6 +546,30 @@ mod tests {
         let restored = DnnOccu::from_json(&model.to_json()).expect("valid doc");
         assert_eq!(restored.predict(&s.features), expected);
         assert_eq!(restored.config(), model.config());
+    }
+
+    #[test]
+    fn steady_state_forward_is_arena_allocation_free() {
+        let model = DnnOccu::new(DnnOccuConfig { hidden: 16, ..DnnOccuConfig::fast() }, 9);
+        let s = tiny_sample();
+        let mut tape = Tape::new();
+        // Two warm-up passes populate the arena free lists with every
+        // buffer shape the full network needs.
+        for _ in 0..2 {
+            tape.clear();
+            let _ = model.forward(&mut tape, &s.features);
+        }
+        let (_, fresh_before, bytes_before) = tape.arena_stats();
+        for _ in 0..4 {
+            tape.clear();
+            let _ = model.forward(&mut tape, &s.features);
+        }
+        let (_, fresh_after, bytes_after) = tape.arena_stats();
+        assert_eq!(
+            fresh_before, fresh_after,
+            "steady-state DnnOccu forward must not take fresh arena buffers"
+        );
+        assert_eq!(bytes_before, bytes_after, "arena high-water mark must stay flat");
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub fn target_to_occupancy(t: f32) -> f32 {
     ((t - 1.0) * scale).exp()
 }
 
+thread_local! {
+    /// Per-thread inference tape, reused across predictions so the
+    /// embedded scratch arena's free lists stay warm (see
+    /// [`OccuPredictor::predict_target`]).
+    static PREDICT_TAPE: std::cell::RefCell<Tape> = std::cell::RefCell::new(Tape::new());
+}
+
 /// Anything that maps a featurized graph to a scalar occupancy
 /// prediction on an autodiff tape. Implemented by [`crate::DnnOccu`]
 /// and every baseline. `Send + Sync` so experiment suites can train
@@ -56,10 +63,18 @@ pub trait OccuPredictor: Send + Sync {
     }
 
     /// Runs a forward pass and returns the raw log-scale target.
+    ///
+    /// Inference reuses one tape per thread: [`Tape::clear`] recycles
+    /// all node storage into the tape's scratch arena, so after the
+    /// first prediction of each shape the forward pass performs no
+    /// heap allocations. This is the hot path under `occu-serve`.
     fn predict_target(&self, fg: &FeaturizedGraph) -> f32 {
-        let mut tape = Tape::new();
-        let y = self.forward(&mut tape, fg);
-        tape.value(y).get(0, 0)
+        PREDICT_TAPE.with(|t| {
+            let mut tape = t.borrow_mut();
+            tape.clear();
+            let y = self.forward(&mut tape, fg);
+            tape.value(y).get(0, 0)
+        })
     }
 
     /// Predicts every sample of a dataset. Forward passes are

@@ -211,7 +211,13 @@ pub fn split_csv_row(line: &str) -> Vec<String> {
 /// low to hide latency (below ~25% resident warps the machine cannot
 /// keep pipelines full, a standard latency-hiding rule of thumb).
 pub fn kernel_duration_us(kernel: &Kernel, dev: &DeviceSpec) -> f64 {
-    let occ = achieved_occupancy(kernel, dev);
+    kernel_duration_us_with_occ(kernel, dev, achieved_occupancy(kernel, dev))
+}
+
+/// [`kernel_duration_us`] with the achieved occupancy already in
+/// hand, so [`profile_graph`] can reuse a memoized value instead of
+/// re-running the occupancy calculator per kernel.
+pub fn kernel_duration_us_with_occ(kernel: &Kernel, dev: &DeviceSpec, occ: f64) -> f64 {
     // Latency hiding: full efficiency above 25% occupancy, linear
     // degradation below (with a floor so duration stays finite).
     let hiding = (occ / 0.25).clamp(0.05, 1.0);
@@ -276,6 +282,25 @@ pub fn fits_memory(graph: &CompGraph, dev: &DeviceSpec) -> bool {
 /// (`gpusim.kernel_occupancy`): ten uniform buckets over `[0, 1]`.
 pub const OCCUPANCY_EDGES: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
+/// Achieved occupancy is a pure function of the launch configuration,
+/// the kernel category (scheduler efficiency), and the device —
+/// `flops`/`bytes` only enter the duration model. Lowered graphs
+/// repeat the same few configurations across hundreds of kernels
+/// (every 3x3 conv of a stage lowers identically), so profiling
+/// memoizes on exactly those inputs.
+type OccKey = (&'static str, u32, u32, u32, u64);
+
+/// Entry cap per device before the memo table is dropped and rebuilt;
+/// real graphs produce a few dozen distinct configurations, so this
+/// only guards against pathological generators.
+const OCC_CACHE_MAX: usize = 8192;
+
+thread_local! {
+    static OCC_CACHE: std::cell::RefCell<
+        std::collections::HashMap<String, std::collections::HashMap<OccKey, f64>>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
 /// Profiles one inference iteration of `graph` on `dev`.
 ///
 /// Deterministic: the same (graph, device) pair always produces the
@@ -297,22 +322,49 @@ pub fn profile_graph(graph: &CompGraph, dev: &DeviceSpec) -> ProfileReport {
     let mut arith = 0.0f64;
     let mut max_occ = 0.0f64;
     let mut min_occ = 1.0f64;
-    for k in &kernels {
-        let occ = achieved_occupancy(k, dev);
-        let dur = kernel_duration_us(k, dev);
-        busy += dur;
-        weighted += occ * dur;
-        arith += occ;
-        max_occ = max_occ.max(occ);
-        min_occ = min_occ.min(occ);
-        profiles.push(KernelProfile {
-            name: k.name.clone(),
-            occupancy: occ,
-            duration_us: dur,
-            grid_blocks: k.grid_blocks,
-            block_threads: k.block_threads,
-        });
-    }
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    OCC_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let memo = cache.entry(dev.name.clone()).or_default();
+        if memo.len() > OCC_CACHE_MAX {
+            memo.clear();
+        }
+        for k in &kernels {
+            let key: OccKey = (
+                k.category.as_str(),
+                k.block_threads,
+                k.regs_per_thread,
+                k.smem_per_block,
+                k.grid_blocks,
+            );
+            let occ = match memo.get(&key) {
+                Some(&occ) => {
+                    cache_hits += 1;
+                    occ
+                }
+                None => {
+                    cache_misses += 1;
+                    let occ = achieved_occupancy(k, dev);
+                    memo.insert(key, occ);
+                    occ
+                }
+            };
+            let dur = kernel_duration_us_with_occ(k, dev, occ);
+            busy += dur;
+            weighted += occ * dur;
+            arith += occ;
+            max_occ = max_occ.max(occ);
+            min_occ = min_occ.min(occ);
+            profiles.push(KernelProfile {
+                name: k.name.clone(),
+                occupancy: occ,
+                duration_us: dur,
+                grid_blocks: k.grid_blocks,
+                block_threads: k.block_threads,
+            });
+        }
+    });
     let n = profiles.len().max(1) as f64;
     // Wall time = busy time + launch gap per kernel + host-side input
     // pipeline time per iteration. The pipeline term models data
@@ -332,6 +384,8 @@ pub fn profile_graph(graph: &CompGraph, dev: &DeviceSpec) -> ProfileReport {
     let memory = memory_footprint_bytes(graph);
     if occu_obs::enabled() {
         occu_obs::counter("gpusim.profiles").inc();
+        occu_obs::counter("gpusim.occ_cache.hits").add(cache_hits);
+        occu_obs::counter("gpusim.occ_cache.misses").add(cache_misses);
         let hist = occu_obs::histogram("gpusim.kernel_occupancy", &OCCUPANCY_EDGES);
         let mut by_category: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
         for (k, p) in kernels.iter().zip(&profiles) {
@@ -613,6 +667,37 @@ mod tests {
             other => panic!("memory gauge missing: {other:?}"),
         }
         assert!(occu_obs::take_spans().iter().any(|s| s.name == "gpusim.profile"));
+    }
+
+    #[test]
+    fn occupancy_memo_matches_direct_computation_and_counts_hits() {
+        // Repeated identical conv launches in one graph, and a second
+        // profile of the same graph, must hit the memo table without
+        // perturbing a single reported value.
+        let g = cnn_block(8);
+        let dev = DeviceSpec::a100();
+        let direct: Vec<f64> = crate::lowering::lower_graph(&g, &dev)
+            .iter()
+            .map(|k| achieved_occupancy(k, &dev))
+            .collect();
+        occu_obs::enable();
+        let first = profile_graph(&g, &dev);
+        let second = profile_graph(&g, &dev);
+        occu_obs::disable();
+        for (p, d) in first.kernels.iter().zip(&direct) {
+            assert_eq!(p.occupancy, *d, "memoized occupancy must be bit-identical");
+        }
+        assert_eq!(first.mean_occupancy, second.mean_occupancy);
+        assert_eq!(first.busy_us, second.busy_us);
+        let snap = occu_obs::metrics_snapshot();
+        let count = |name: &str| match snap.get(name) {
+            Some(occu_obs::MetricValue::Counter(v)) => *v,
+            other => panic!("{name} missing: {other:?}"),
+        };
+        // The second profile (12 repeated conv layers) runs the
+        // calculator zero times for configs the first already saw.
+        assert!(count("gpusim.occ_cache.hits") >= first.kernels.len() as u64);
+        assert!(count("gpusim.occ_cache.misses") >= 1);
     }
 
     #[test]

@@ -82,13 +82,12 @@ impl Linear {
             tape.shape(x).1, self.in_dim
         );
         let w = tape.param(store, self.w);
-        let y = tape.matmul(x, w);
         match self.b {
             Some(b) => {
                 let bv = tape.param(store, b);
-                tape.add_row_broadcast(y, bv)
+                tape.matmul_bias(x, w, bv)
             }
-            None => y,
+            None => tape.matmul(x, w),
         }
     }
 }
@@ -109,14 +108,12 @@ impl LayerNorm {
         Self { gamma, beta, dim }
     }
 
-    /// Records `LN(x) * gamma + beta` on the tape.
+    /// Records `LN(x) * gamma + beta` on the tape as one fused op.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         assert_eq!(tape.shape(x).1, self.dim, "LayerNorm::forward: width mismatch");
-        let normed = tape.layer_norm_rows(x);
         let g = tape.param(store, self.gamma);
-        let scaled = tape.mul_row_broadcast(normed, g);
         let b = tape.param(store, self.beta);
-        tape.add_row_broadcast(scaled, b)
+        tape.layer_norm_affine(x, g, b)
     }
 }
 
@@ -325,8 +322,8 @@ impl LstmCell {
 
     /// Fresh zero state for a batch of `batch` sequences.
     pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> (Var, Var) {
-        let h = tape.constant(Matrix::zeros(batch, self.hidden));
-        let c = tape.constant(Matrix::zeros(batch, self.hidden));
+        let h = tape.constant_zeros(batch, self.hidden);
+        let c = tape.constant_zeros(batch, self.hidden);
         (h, c)
     }
 
@@ -393,7 +390,7 @@ impl GruCell {
 
     /// Fresh zero hidden state for `batch` sequences.
     pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> Var {
-        tape.constant(Matrix::zeros(batch, self.hidden))
+        tape.constant_zeros(batch, self.hidden)
     }
 
     /// One step: `h' = (1-z) ⊙ n + z ⊙ h` with
@@ -461,11 +458,11 @@ impl Dropout {
         let (r, c) = tape.shape(x);
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mut mask = Matrix::zeros(r, c);
-        for v in mask.data_mut() {
-            *v = if rng.chance(f64::from(keep)) { scale } else { 0.0 };
-        }
-        let m = tape.constant(mask);
+        let m = tape.constant_zeroed_with(r, c, |mask| {
+            for v in mask.data_mut() {
+                *v = if rng.chance(f64::from(keep)) { scale } else { 0.0 };
+            }
+        });
         tape.mul(x, m)
     }
 }

@@ -1,8 +1,18 @@
 //! The autodiff tape: a per-forward-pass record of operations with
 //! reverse-mode gradient propagation.
+//!
+//! Every tape owns a [`ScratchArena`]: node values, backward gradient
+//! slots, and backward temporaries are all taken from (and recycled
+//! into) the arena, so after a warm-up pass a reused tape performs
+//! zero heap allocations per forward/backward iteration — the arena's
+//! free lists already hold a buffer of every shape the model produces.
+//! [`Tape::clear`] returns all node storage to the arena between
+//! samples.
 
 use crate::params::{ParamId, ParamStore};
-use occu_tensor::Matrix;
+use occu_tensor::{Matrix, ScratchArena};
+use std::cell::RefCell;
+use std::collections::VecDeque;
 
 /// Handle to a value recorded on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +52,16 @@ enum Op {
     /// Row-wise layer normalization (no affine; compose with
     /// `mul_row_broadcast`/`add_row_broadcast` for gamma/beta).
     LayerNormRows(Var),
+    /// Fused row-wise layer normalization with affine transform:
+    /// `y = layernorm(x) * gamma + beta`, one op instead of three.
+    LayerNormAffine(Var, Var, Var),
+    /// Fused `a * w + broadcast(bias)` — the linear-layer forward as a
+    /// single op with no pre-bias intermediate.
+    MatmulBias(Var, Var, Var),
+    /// `y[i][j] = x[i][j] * col[i][0]` where `col` is `rows x 1` —
+    /// per-row gating (ANEE attention weights) without materializing
+    /// the broadcast.
+    MulColBroadcast(Var, Var),
     MeanAll(Var),
     SumAll(Var),
     MeanRows(Var),
@@ -140,15 +160,30 @@ impl GradBuffer {
 /// to populate parameter gradients in the [`ParamStore`], or
 /// [`Tape::backward_into`] to collect them in a [`GradBuffer`] without
 /// touching the store. Reuse one tape across samples with
-/// [`Tape::clear`] to keep the node arena's allocation.
+/// [`Tape::clear`]: node storage returns to the embedded scratch
+/// arena, so steady-state passes allocate nothing.
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Recycled storage for node values and backward temporaries. A
+    /// `RefCell` so `backward` can stay `&self` while drawing scratch.
+    arena: RefCell<ScratchArena>,
+    /// Reusable gradient-slot vector for the reverse sweep.
+    grad_slots: RefCell<Vec<Option<Matrix>>>,
+    /// Recycled index buffers for gather/scatter ops. FIFO so a
+    /// repeated op sequence gets back the same-capacity buffer it
+    /// recycled last pass.
+    free_indices: VecDeque<Vec<usize>>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            arena: RefCell::new(ScratchArena::new()),
+            grad_slots: RefCell::new(Vec::new()),
+            free_indices: VecDeque::new(),
+        }
     }
 
     /// Number of recorded nodes.
@@ -161,11 +196,29 @@ impl Tape {
         self.nodes.is_empty()
     }
 
-    /// Drops all recorded nodes but keeps the arena's capacity, so a
-    /// worker can run many forward/backward passes without reallocating
-    /// the node vector each time.
+    /// Arena-allocation counters `(takes, fresh_allocs, bytes)` for
+    /// this tape's scratch arena — the hook for zero-allocation
+    /// steady-state assertions and the serving high-water gauge.
+    pub fn arena_stats(&self) -> (u64, u64, usize) {
+        let a = self.arena.borrow();
+        (a.takes(), a.fresh_allocs(), a.allocated_bytes())
+    }
+
+    /// Drops all recorded nodes, returning their storage to the
+    /// scratch arena so the next pass reuses it instead of
+    /// reallocating.
     pub fn clear(&mut self) {
-        self.nodes.clear();
+        let mut arena = self.arena.borrow_mut();
+        for node in self.nodes.drain(..) {
+            arena.recycle(node.value);
+            match node.op {
+                Op::GatherRows(_, mut idx) | Op::ScatterAddRows(_, mut idx, _) => {
+                    idx.clear();
+                    self.free_indices.push_back(idx);
+                }
+                _ => {}
+            }
+        }
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
@@ -173,15 +226,56 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
-    /// Records a constant input.
+    /// Takes a zeroed `r x c` scratch matrix from the arena.
+    fn take(&self, r: usize, c: usize) -> Matrix {
+        self.arena.borrow_mut().take_zeroed(r, c)
+    }
+
+    /// Takes an arena matrix holding a copy of `src`.
+    fn take_copy(&self, src: &Matrix) -> Matrix {
+        self.arena.borrow_mut().take_copy(src)
+    }
+
+    /// Takes a recycled index buffer holding a copy of `indices`.
+    fn take_indices(&mut self, indices: &[usize]) -> Vec<usize> {
+        let mut v = self.free_indices.pop_front().unwrap_or_default();
+        v.extend_from_slice(indices);
+        v
+    }
+
+    /// Records a constant input, taking ownership of the matrix.
     pub fn constant(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Leaf)
+    }
+
+    /// Records a constant input by copying it into arena-managed
+    /// storage — the allocation-free form for hot-path callers that
+    /// hold the value elsewhere.
+    pub fn constant_ref(&mut self, value: &Matrix) -> Var {
+        let v = self.take_copy(value);
+        self.push(v, Op::Leaf)
+    }
+
+    /// Records an all-zero constant in arena-managed storage.
+    pub fn constant_zeros(&mut self, rows: usize, cols: usize) -> Var {
+        let v = self.take(rows, cols);
+        self.push(v, Op::Leaf)
+    }
+
+    /// Records a constant built in place: `fill` receives a zeroed
+    /// `rows x cols` arena matrix to populate. Lets callers construct
+    /// masks and indicator matrices without a fresh heap allocation.
+    pub fn constant_zeroed_with(&mut self, rows: usize, cols: usize, fill: impl FnOnce(&mut Matrix)) -> Var {
+        let mut v = self.take(rows, cols);
+        fill(&mut v);
+        self.push(v, Op::Leaf)
     }
 
     /// Records a trainable parameter by copying its current value from
     /// the store; backward accumulates into the store's grad buffer.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let v = self.take_copy(store.value(id));
+        self.push(v, Op::Param(id))
     }
 
     /// Current value of a recorded variable.
@@ -198,194 +292,306 @@ impl Tape {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(v, Op::Add(a, b))
+        let mut out = self.take(self.shape(a).0, self.shape(a).1);
+        self.value(a).zip_map_into(self.value(b), &mut out, |x, y| x + y);
+        self.push(out, Op::Add(a, b))
     }
 
     /// Elementwise difference `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v, Op::Sub(a, b))
+        let mut out = self.take(self.shape(a).0, self.shape(a).1);
+        self.value(a).zip_map_into(self.value(b), &mut out, |x, y| x - y);
+        self.push(out, Op::Sub(a, b))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push(v, Op::Mul(a, b))
+        let mut out = self.take(self.shape(a).0, self.shape(a).1);
+        self.value(a).zip_map_into(self.value(b), &mut out, |x, y| x * y);
+        self.push(out, Op::Mul(a, b))
     }
 
     /// Adds a `1 x cols` row vector to every row of `x`.
     pub fn add_row_broadcast(&mut self, x: Var, row: Var) -> Var {
-        let v = self.value(x).add_row_broadcast(self.value(row));
-        self.push(v, Op::AddRowBroadcast(x, row))
+        let mut out = self.take_copy(self.value(x));
+        out.add_bias_rowwise(self.value(row));
+        self.push(out, Op::AddRowBroadcast(x, row))
     }
 
     /// Multiplies every row of `x` elementwise by a `1 x cols` vector.
     pub fn mul_row_broadcast(&mut self, x: Var, row: Var) -> Var {
         let (r, c) = self.shape(x);
         assert_eq!(self.shape(row), (1, c), "mul_row_broadcast: width mismatch");
-        let mut out = self.value(x).clone();
-        let rowv = self.value(row).row(0).to_vec();
+        let mut out = self.take_copy(self.value(x));
+        let rowv = self.value(row);
         for i in 0..r {
-            for (o, &m) in out.row_mut(i).iter_mut().zip(rowv.iter()) {
+            for (o, &m) in out.row_mut(i).iter_mut().zip(rowv.row(0).iter()) {
                 *o *= m;
             }
         }
         self.push(out, Op::MulRowBroadcast(x, row))
     }
 
+    /// `y[i][j] = x[i][j] * col[i][0]`: gates each row of `x` by the
+    /// matching entry of an `rows x 1` column vector, fused (no
+    /// materialized broadcast of `col`). This is the ANEE
+    /// attention-weighting primitive.
+    pub fn mul_col_broadcast(&mut self, x: Var, col: Var) -> Var {
+        let r = self.shape(x).0;
+        assert_eq!(self.shape(col), (r, 1), "mul_col_broadcast: expected {r}x1 column");
+        let mut out = self.take_copy(self.value(x));
+        let colv = self.value(col);
+        for i in 0..r {
+            let m = colv.get(i, 0);
+            for o in out.row_mut(i).iter_mut() {
+                *o *= m;
+            }
+        }
+        self.push(out, Op::MulColBroadcast(x, col))
+    }
+
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::Matmul(a, b))
+        let mut out = self.take(self.shape(a).0, self.shape(b).1);
+        self.value(a).matmul_into(self.value(b), &mut out);
+        self.push(out, Op::Matmul(a, b))
     }
 
     /// `a * b^T`.
     pub fn matmul_transb(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul_transb(self.value(b));
-        self.push(v, Op::MatmulTransB(a, b))
+        let mut out = self.take(self.shape(a).0, self.shape(b).0);
+        self.value(a).matmul_transb_into(self.value(b), &mut out);
+        self.push(out, Op::MatmulTransB(a, b))
+    }
+
+    /// Fused linear layer: `a * w + broadcast(bias)` as one op. Saves
+    /// a tape node and an intermediate versus `matmul` followed by
+    /// `add_row_broadcast`.
+    pub fn matmul_bias(&mut self, a: Var, w: Var, bias: Var) -> Var {
+        let (m, _) = self.shape(a);
+        let n = self.shape(w).1;
+        assert_eq!(self.shape(bias), (1, n), "matmul_bias: bias must be 1x{n}");
+        let mut out = self.take(m, n);
+        self.value(a).matmul_into(self.value(w), &mut out);
+        out.add_bias_rowwise(self.value(bias));
+        self.push(out, Op::MatmulBias(a, w, bias))
     }
 
     /// Scalar multiple.
     pub fn scale(&mut self, x: Var, s: f32) -> Var {
-        let v = self.value(x).scale(s);
-        self.push(v, Op::Scale(x, s))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).map_into(&mut out, |e| e * s);
+        self.push(out, Op::Scale(x, s))
     }
 
     /// Adds a constant scalar to every element.
     pub fn add_scalar(&mut self, x: Var, s: f32) -> Var {
-        let v = self.value(x).map(|e| e + s);
-        self.push(v, Op::AddScalar(x, s))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).map_into(&mut out, |e| e + s);
+        self.push(out, Op::AddScalar(x, s))
     }
 
     /// Multiplies `x` by a learnable `1x1` scalar variable.
     pub fn scale_by_scalar(&mut self, x: Var, s: Var) -> Var {
         assert_eq!(self.shape(s), (1, 1), "scale_by_scalar: scalar must be 1x1");
         let sv = self.value(s).get(0, 0);
-        let v = self.value(x).scale(sv);
-        self.push(v, Op::ScaleByScalar(x, s))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).map_into(&mut out, |e| e * sv);
+        self.push(out, Op::ScaleByScalar(x, s))
     }
 
     // --- activations ---
 
     /// LeakyReLU with negative slope `alpha` (paper's ANEE uses this).
     pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
-        let v = self.value(x).map(|e| if e >= 0.0 { e } else { alpha * e });
-        self.push(v, Op::LeakyRelu(x, alpha))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).map_into(&mut out, |e| if e >= 0.0 { e } else { alpha * e });
+        self.push(out, Op::LeakyRelu(x, alpha))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|e| e.max(0.0));
-        self.push(v, Op::Relu(x))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).map_into(&mut out, |e| e.max(0.0));
+        self.push(out, Op::Relu(x))
     }
 
     /// GELU (tanh approximation), used inside transformer FFNs.
     pub fn gelu(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(gelu_fwd);
-        self.push(v, Op::Gelu(x))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).map_into(&mut out, gelu_fwd);
+        self.push(out, Op::Gelu(x))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|e| 1.0 / (1.0 + (-e).exp()));
-        self.push(v, Op::Sigmoid(x))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).map_into(&mut out, |e| 1.0 / (1.0 + (-e).exp()));
+        self.push(out, Op::Sigmoid(x))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(f32::tanh);
-        self.push(v, Op::Tanh(x))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).map_into(&mut out, f32::tanh);
+        self.push(out, Op::Tanh(x))
     }
 
     /// Numerically stable softmax over each row.
     pub fn softmax_rows(&mut self, x: Var) -> Var {
-        let v = self.value(x).softmax_rows();
-        self.push(v, Op::SoftmaxRows(x))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).softmax_rows_into(&mut out);
+        self.push(out, Op::SoftmaxRows(x))
     }
 
     /// Row-wise layer normalization with epsilon `1e-5`, no affine.
     pub fn layer_norm_rows(&mut self, x: Var) -> Var {
-        let v = layer_norm_fwd(self.value(x));
-        self.push(v, Op::LayerNormRows(x))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).layernorm_rows_into(LN_EPS, &mut out);
+        self.push(out, Op::LayerNormRows(x))
+    }
+
+    /// Fused `layernorm(x) * gamma + beta` where `gamma`/`beta` are
+    /// `1 x cols` rows: one op and one output instead of the
+    /// norm → scale → shift chain.
+    pub fn layer_norm_affine(&mut self, x: Var, gamma: Var, beta: Var) -> Var {
+        let (r, c) = self.shape(x);
+        assert_eq!(self.shape(gamma), (1, c), "layer_norm_affine: gamma must be 1x{c}");
+        assert_eq!(self.shape(beta), (1, c), "layer_norm_affine: beta must be 1x{c}");
+        let mut out = self.take(r, c);
+        self.value(x).layernorm_rows_into(LN_EPS, &mut out);
+        {
+            let gammav = self.value(gamma);
+            let betav = self.value(beta);
+            for i in 0..r {
+                for ((o, &g), &b) in out.row_mut(i).iter_mut().zip(gammav.row(0)).zip(betav.row(0)) {
+                    *o = *o * g + b;
+                }
+            }
+        }
+        self.push(out, Op::LayerNormAffine(x, gamma, beta))
     }
 
     // --- reductions & reshapes ---
 
     /// Mean of all elements, producing a `1x1` scalar.
     pub fn mean_all(&mut self, x: Var) -> Var {
-        let v = Matrix::from_vec(1, 1, vec![self.value(x).mean()]);
-        self.push(v, Op::MeanAll(x))
+        let mut out = self.take(1, 1);
+        out.set(0, 0, self.value(x).mean());
+        self.push(out, Op::MeanAll(x))
     }
 
     /// Sum of all elements, producing a `1x1` scalar.
     pub fn sum_all(&mut self, x: Var) -> Var {
-        let v = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
-        self.push(v, Op::SumAll(x))
+        let mut out = self.take(1, 1);
+        out.set(0, 0, self.value(x).sum());
+        self.push(out, Op::SumAll(x))
     }
 
     /// Column-wise mean, producing a `1 x cols` row vector (mean
     /// pooling over a set of row embeddings).
     pub fn mean_rows(&mut self, x: Var) -> Var {
-        let v = self.value(x).mean_rows();
-        self.push(v, Op::MeanRows(x))
+        let (r, c) = self.shape(x);
+        assert!(r > 0, "mean_rows: empty matrix");
+        let mut out = self.take(1, c);
+        {
+            let xv = self.value(x);
+            for row in 0..r {
+                for (o, &v) in out.row_mut(0).iter_mut().zip(xv.row(row).iter()) {
+                    *o += v;
+                }
+            }
+            let inv = 1.0 / r as f32;
+            for o in out.row_mut(0).iter_mut() {
+                *o *= inv;
+            }
+        }
+        self.push(out, Op::MeanRows(x))
     }
 
     /// Transpose.
     pub fn transpose(&mut self, x: Var) -> Var {
-        let v = self.value(x).transpose();
-        self.push(v, Op::Transpose(x))
+        let (r, c) = self.shape(x);
+        let mut out = self.take(c, r);
+        self.value(x).transpose_into(&mut out);
+        self.push(out, Op::Transpose(x))
     }
 
     /// Horizontal concatenation `[a | b]`.
     pub fn hcat(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).hcat(self.value(b));
-        self.push(v, Op::HCat(a, b))
+        let (r, ca) = self.shape(a);
+        let cb = self.shape(b).1;
+        assert_eq!(self.shape(b).0, r, "hcat: row mismatch");
+        let mut out = self.take(r, ca + cb);
+        {
+            let av = self.value(a);
+            let bv = self.value(b);
+            for row in 0..r {
+                out.row_mut(row)[..ca].copy_from_slice(av.row(row));
+                out.row_mut(row)[ca..].copy_from_slice(bv.row(row));
+            }
+        }
+        self.push(out, Op::HCat(a, b))
     }
 
     /// Vertical concatenation (a above b).
     pub fn vcat(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).vcat(self.value(b));
-        self.push(v, Op::VCat(a, b))
+        let (ra, c) = self.shape(a);
+        let rb = self.shape(b).0;
+        assert_eq!(self.shape(b).1, c, "vcat: column mismatch");
+        let mut out = self.take(ra + rb, c);
+        out.data_mut()[..ra * c].copy_from_slice(self.value(a).data());
+        out.data_mut()[ra * c..].copy_from_slice(self.value(b).data());
+        self.push(out, Op::VCat(a, b))
     }
 
     /// Column slice `[start, end)` of every row.
     pub fn slice_cols(&mut self, x: Var, start: usize, end: usize) -> Var {
-        let src = self.value(x);
-        assert!(start <= end && end <= src.cols(), "slice_cols: {}..{} out of {} cols", start, end, src.cols());
-        let mut out = Matrix::zeros(src.rows(), end - start);
-        for r in 0..src.rows() {
-            out.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
+        let (rows, cols) = self.shape(x);
+        assert!(start <= end && end <= cols, "slice_cols: {start}..{end} out of {cols} cols");
+        let mut out = self.take(rows, end - start);
+        {
+            let src = self.value(x);
+            for r in 0..rows {
+                out.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
+            }
         }
         self.push(out, Op::SliceCols(x, start, end))
     }
 
     /// Gathers rows by index (differentiable; backward scatter-adds).
     pub fn gather_rows(&mut self, x: Var, indices: &[usize]) -> Var {
-        let v = self.value(x).gather_rows(indices);
-        self.push(v, Op::GatherRows(x, indices.to_vec()))
+        let mut out = self.take(indices.len(), self.shape(x).1);
+        self.value(x).gather_rows_into(indices, &mut out);
+        let idx = self.take_indices(indices);
+        self.push(out, Op::GatherRows(x, idx))
     }
 
     /// Scatter-add: output has `out_rows` rows; row `i` of `x` is added
     /// into output row `indices[i]`. This is the message-aggregation
     /// primitive for GNN layers.
     pub fn scatter_add_rows(&mut self, x: Var, indices: &[usize], out_rows: usize) -> Var {
-        let src = self.value(x);
-        assert_eq!(indices.len(), src.rows(), "scatter_add_rows: one index per row required");
-        let mut out = Matrix::zeros(out_rows, src.cols());
-        for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < out_rows, "scatter_add_rows: index {} out of {}", idx, out_rows);
-            for (o, &v) in out.row_mut(idx).iter_mut().zip(src.row(i).iter()) {
-                *o += v;
+        let (src_rows, cols) = self.shape(x);
+        assert_eq!(indices.len(), src_rows, "scatter_add_rows: one index per row required");
+        let mut out = self.take(out_rows, cols);
+        {
+            let src = self.value(x);
+            for (i, &idx) in indices.iter().enumerate() {
+                assert!(idx < out_rows, "scatter_add_rows: index {idx} out of {out_rows}");
+                for (o, &v) in out.row_mut(idx).iter_mut().zip(src.row(i).iter()) {
+                    *o += v;
+                }
             }
         }
-        self.push(out, Op::ScatterAddRows(x, indices.to_vec(), out_rows))
+        let idx = self.take_indices(indices);
+        self.push(out, Op::ScatterAddRows(x, idx, out_rows))
     }
 
     /// Elementwise square.
     pub fn square(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|e| e * e);
-        self.push(v, Op::Square(x))
+        let mut out = self.take(self.shape(x).0, self.shape(x).1);
+        self.value(x).map_into(&mut out, |e| e * e);
+        self.push(out, Op::Square(x))
     }
 
     /// Mean-squared-error loss between prediction and target, as a
@@ -417,171 +623,361 @@ impl Tape {
         self.backward_impl(output, |id, g| buf.accumulate(id, g));
     }
 
+    /// Accumulates `g` into slot `idx` by reference: copies through the
+    /// arena on the first contribution, adds in place afterwards.
+    fn acc_ref(&self, grads: &mut [Option<Matrix>], idx: usize, g: &Matrix) {
+        match &mut grads[idx] {
+            Some(existing) => existing.add_assign(g),
+            slot @ None => *slot = Some(self.take_copy(g)),
+        }
+    }
+
+    /// Accumulates an owned gradient into slot `idx`, either moving it
+    /// into an empty slot (no copy) or adding and recycling its buffer.
+    /// Use for a node's *last* consumer so the temporary never leaks.
+    fn acc_owned(&self, grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
+        match &mut grads[idx] {
+            Some(existing) => {
+                existing.add_assign(&g);
+                self.arena.borrow_mut().recycle(g);
+            }
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    fn recycle(&self, g: Matrix) {
+        self.arena.borrow_mut().recycle(g);
+    }
+
     /// Shared reverse sweep; `sink` receives each parameter's gradient
     /// contribution (a parameter reached twice gets two calls).
+    ///
+    /// Every temporary comes from and returns to the tape arena, and the
+    /// per-node gradient slots are a reused buffer, so repeat sweeps
+    /// over same-shaped graphs are allocation-free. Summation orders are
+    /// identical to the naive implementation, keeping gradients
+    /// bit-stable across the refactor.
     fn backward_impl(&self, output: Var, mut sink: impl FnMut(ParamId, &Matrix)) {
         assert_eq!(self.shape(output), (1, 1), "backward: output must be a 1x1 scalar");
-        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[output.0] = Some(Matrix::ones(1, 1));
+        let mut slots = self.grad_slots.borrow_mut();
+        slots.clear();
+        slots.resize_with(self.nodes.len(), || None);
+        let grads = slots.as_mut_slice();
+        let mut seed = self.take(1, 1);
+        seed.set(0, 0, 1.0);
+        grads[output.0] = Some(seed);
 
         for i in (0..=output.0).rev() {
-            let g = match grads[i].take() {
+            let mut g = match grads[i].take() {
                 Some(g) => g,
                 None => continue,
             };
             match &self.nodes[i].op {
-                Op::Leaf => {}
+                Op::Leaf => self.recycle(g),
                 Op::Param(id) => {
                     sink(*id, &g);
+                    self.recycle(g);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, a.0, &g);
-                    accumulate(&mut grads, b.0, &g);
+                    self.acc_ref(grads, a.0, &g);
+                    self.acc_owned(grads, b.0, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, a.0, &g);
-                    accumulate(&mut grads, b.0, &g.scale(-1.0));
+                    self.acc_ref(grads, a.0, &g);
+                    for v in g.data_mut() {
+                        *v *= -1.0;
+                    }
+                    self.acc_owned(grads, b.0, g);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.mul(&self.nodes[b.0].value);
-                    let gb = g.mul(&self.nodes[a.0].value);
-                    accumulate(&mut grads, a.0, &ga);
-                    accumulate(&mut grads, b.0, &gb);
+                    let mut ga = self.take(g.rows(), g.cols());
+                    g.zip_map_into(&self.nodes[b.0].value, &mut ga, |gi, bi| gi * bi);
+                    // Reuse g itself for db = g ⊙ a.
+                    for (gi, &ai) in g.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
+                        *gi *= ai;
+                    }
+                    self.acc_owned(grads, a.0, ga);
+                    self.acc_owned(grads, b.0, g);
                 }
                 Op::AddRowBroadcast(x, row) => {
-                    accumulate(&mut grads, x.0, &g);
-                    accumulate(&mut grads, row.0, &g.sum_rows());
+                    self.acc_ref(grads, x.0, &g);
+                    let mut gr = self.take(1, g.cols());
+                    sum_rows_into(&g, &mut gr);
+                    self.acc_owned(grads, row.0, gr);
+                    self.recycle(g);
                 }
                 Op::MulRowBroadcast(x, row) => {
                     let rowv = &self.nodes[row.0].value;
                     let xv = &self.nodes[x.0].value;
-                    // dx = g * broadcast(row)
-                    let gx = g.zip_map(&broadcast_rows(rowv, g.rows()), |a, b| a * b);
-                    accumulate(&mut grads, x.0, &gx);
-                    // drow = sum_rows(g ⊙ x)
-                    accumulate(&mut grads, row.0, &g.mul(xv).sum_rows());
+                    // drow = sum_rows(g ⊙ x), accumulated row-by-row so
+                    // the order matches mul().sum_rows() exactly.
+                    let mut gr = self.take(1, g.cols());
+                    for r in 0..g.rows() {
+                        for ((o, &gi), &xi) in gr.row_mut(0).iter_mut().zip(g.row(r)).zip(xv.row(r)) {
+                            *o += gi * xi;
+                        }
+                    }
+                    // dx = g ⊙ broadcast(row), in place.
+                    for r in 0..g.rows() {
+                        for (gi, &m) in g.row_mut(r).iter_mut().zip(rowv.row(0)) {
+                            *gi *= m;
+                        }
+                    }
+                    self.acc_owned(grads, x.0, g);
+                    self.acc_owned(grads, row.0, gr);
+                }
+                Op::MulColBroadcast(x, col) => {
+                    let colv = &self.nodes[col.0].value;
+                    let xv = &self.nodes[x.0].value;
+                    // dcol[i] = Σ_j g[i][j] * x[i][j]
+                    let mut gc = self.take(g.rows(), 1);
+                    for r in 0..g.rows() {
+                        let mut acc = 0.0f32;
+                        for (&gi, &xi) in g.row(r).iter().zip(xv.row(r)) {
+                            acc += gi * xi;
+                        }
+                        gc.set(r, 0, acc);
+                    }
+                    // dx = g ⊙ broadcast_col(col), in place.
+                    for r in 0..g.rows() {
+                        let m = colv.get(r, 0);
+                        for gi in g.row_mut(r).iter_mut() {
+                            *gi *= m;
+                        }
+                    }
+                    self.acc_owned(grads, x.0, g);
+                    self.acc_owned(grads, col.0, gc);
                 }
                 Op::Matmul(a, b) => {
-                    let ga = g.matmul_transb(&self.nodes[b.0].value);
-                    let gb = self.nodes[a.0].value.matmul_transa(&g);
-                    accumulate(&mut grads, a.0, &ga);
-                    accumulate(&mut grads, b.0, &gb);
+                    let bv = &self.nodes[b.0].value;
+                    let av = &self.nodes[a.0].value;
+                    let mut ga = self.take(g.rows(), bv.rows());
+                    g.matmul_transb_into(bv, &mut ga);
+                    let mut gb = self.take(av.cols(), g.cols());
+                    av.matmul_transa_into(&g, &mut gb);
+                    self.acc_owned(grads, a.0, ga);
+                    self.acc_owned(grads, b.0, gb);
+                    self.recycle(g);
                 }
                 Op::MatmulTransB(a, b) => {
                     // y = a b^T : dA = g * b ; dB = g^T * a
-                    let ga = g.matmul(&self.nodes[b.0].value);
-                    let gb = g.matmul_transa(&self.nodes[a.0].value);
-                    accumulate(&mut grads, a.0, &ga);
-                    accumulate(&mut grads, b.0, &gb);
+                    let bv = &self.nodes[b.0].value;
+                    let av = &self.nodes[a.0].value;
+                    let mut ga = self.take(g.rows(), bv.cols());
+                    g.matmul_into(bv, &mut ga);
+                    let mut gb = self.take(g.cols(), av.cols());
+                    g.matmul_transa_into(av, &mut gb);
+                    self.acc_owned(grads, a.0, ga);
+                    self.acc_owned(grads, b.0, gb);
+                    self.recycle(g);
                 }
-                Op::Scale(x, s) => accumulate(&mut grads, x.0, &g.scale(*s)),
-                Op::AddScalar(x, _) => accumulate(&mut grads, x.0, &g),
+                Op::MatmulBias(a, w, bias) => {
+                    // Same math as Matmul followed by AddRowBroadcast.
+                    let wv = &self.nodes[w.0].value;
+                    let av = &self.nodes[a.0].value;
+                    let mut ga = self.take(g.rows(), wv.rows());
+                    g.matmul_transb_into(wv, &mut ga);
+                    let mut gw = self.take(av.cols(), g.cols());
+                    av.matmul_transa_into(&g, &mut gw);
+                    let mut gbias = self.take(1, g.cols());
+                    sum_rows_into(&g, &mut gbias);
+                    self.acc_owned(grads, a.0, ga);
+                    self.acc_owned(grads, w.0, gw);
+                    self.acc_owned(grads, bias.0, gbias);
+                    self.recycle(g);
+                }
+                Op::Scale(x, s) => {
+                    for v in g.data_mut() {
+                        *v *= *s;
+                    }
+                    self.acc_owned(grads, x.0, g);
+                }
+                Op::AddScalar(x, _) => self.acc_owned(grads, x.0, g),
                 Op::ScaleByScalar(x, s) => {
                     let sv = self.nodes[s.0].value.get(0, 0);
-                    accumulate(&mut grads, x.0, &g.scale(sv));
-                    let gs = g.mul(&self.nodes[x.0].value).sum();
-                    accumulate(&mut grads, s.0, &Matrix::from_vec(1, 1, vec![gs]));
+                    let mut gs_acc = 0.0f32;
+                    for (&gi, &xi) in g.data().iter().zip(self.nodes[x.0].value.data()) {
+                        gs_acc += gi * xi;
+                    }
+                    for v in g.data_mut() {
+                        *v *= sv;
+                    }
+                    self.acc_owned(grads, x.0, g);
+                    let mut gs = self.take(1, 1);
+                    gs.set(0, 0, gs_acc);
+                    self.acc_owned(grads, s.0, gs);
                 }
                 Op::LeakyRelu(x, alpha) => {
-                    let xv = &self.nodes[x.0].value;
-                    let gx = g.zip_map(xv, |gi, xi| if xi >= 0.0 { gi } else { *alpha * gi });
-                    accumulate(&mut grads, x.0, &gx);
+                    for (gi, &xi) in g.data_mut().iter_mut().zip(self.nodes[x.0].value.data()) {
+                        if xi < 0.0 {
+                            *gi *= *alpha;
+                        }
+                    }
+                    self.acc_owned(grads, x.0, g);
                 }
                 Op::Relu(x) => {
-                    let xv = &self.nodes[x.0].value;
-                    let gx = g.zip_map(xv, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
-                    accumulate(&mut grads, x.0, &gx);
+                    for (gi, &xi) in g.data_mut().iter_mut().zip(self.nodes[x.0].value.data()) {
+                        if xi <= 0.0 {
+                            *gi = 0.0;
+                        }
+                    }
+                    self.acc_owned(grads, x.0, g);
                 }
                 Op::Gelu(x) => {
-                    let xv = &self.nodes[x.0].value;
-                    let gx = g.zip_map(xv, |gi, xi| gi * gelu_bwd(xi));
-                    accumulate(&mut grads, x.0, &gx);
+                    for (gi, &xi) in g.data_mut().iter_mut().zip(self.nodes[x.0].value.data()) {
+                        *gi *= gelu_bwd(xi);
+                    }
+                    self.acc_owned(grads, x.0, g);
                 }
                 Op::Sigmoid(x) => {
-                    let yv = &self.nodes[i].value;
-                    let gx = g.zip_map(yv, |gi, yi| gi * yi * (1.0 - yi));
-                    accumulate(&mut grads, x.0, &gx);
+                    for (gi, &yi) in g.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
+                        *gi *= yi * (1.0 - yi);
+                    }
+                    self.acc_owned(grads, x.0, g);
                 }
                 Op::Tanh(x) => {
-                    let yv = &self.nodes[i].value;
-                    let gx = g.zip_map(yv, |gi, yi| gi * (1.0 - yi * yi));
-                    accumulate(&mut grads, x.0, &gx);
+                    for (gi, &yi) in g.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
+                        *gi *= 1.0 - yi * yi;
+                    }
+                    self.acc_owned(grads, x.0, g);
                 }
                 Op::SoftmaxRows(x) => {
                     let yv = &self.nodes[i].value;
-                    let mut gx = Matrix::zeros(g.rows(), g.cols());
                     for r in 0..g.rows() {
                         let dot: f32 = g.row(r).iter().zip(yv.row(r).iter()).map(|(a, b)| a * b).sum();
-                        for ((o, &gi), &yi) in gx.row_mut(r).iter_mut().zip(g.row(r)).zip(yv.row(r)) {
-                            *o = yi * (gi - dot);
+                        for (gi, &yi) in g.row_mut(r).iter_mut().zip(yv.row(r)) {
+                            *gi = yi * (*gi - dot);
                         }
                     }
-                    accumulate(&mut grads, x.0, &gx);
+                    self.acc_owned(grads, x.0, g);
                 }
                 Op::LayerNormRows(x) => {
+                    layer_norm_bwd_inplace(&self.nodes[x.0].value, &mut g);
+                    self.acc_owned(grads, x.0, g);
+                }
+                Op::LayerNormAffine(x, gamma, beta) => {
                     let xv = &self.nodes[x.0].value;
-                    let gx = layer_norm_bwd(xv, &g);
-                    accumulate(&mut grads, x.0, &gx);
+                    let gammav = &self.nodes[gamma.0].value;
+                    let cols = xv.cols() as f32;
+                    // dgamma = Σ_r g ⊙ xhat ; dbeta = Σ_r g (xhat is
+                    // recomputed per row — no materialized buffer).
+                    let mut dgamma = self.take(1, xv.cols());
+                    let mut dbeta = self.take(1, xv.cols());
+                    for r in 0..xv.rows() {
+                        let xr = xv.row(r);
+                        let mean: f32 = xr.iter().sum::<f32>() / cols;
+                        let var: f32 = xr.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols;
+                        let inv = 1.0 / (var + LN_EPS).sqrt();
+                        for (((dg, db), &gi), &xi) in dgamma
+                            .row_mut(0)
+                            .iter_mut()
+                            .zip(dbeta.row_mut(0).iter_mut())
+                            .zip(g.row(r))
+                            .zip(xr)
+                        {
+                            *dg += gi * (xi - mean) * inv;
+                            *db += gi;
+                        }
+                    }
+                    // dx = layernorm-backward of (g ⊙ broadcast(gamma)).
+                    for r in 0..g.rows() {
+                        for (gi, &ga) in g.row_mut(r).iter_mut().zip(gammav.row(0)) {
+                            *gi *= ga;
+                        }
+                    }
+                    layer_norm_bwd_inplace(xv, &mut g);
+                    self.acc_owned(grads, x.0, g);
+                    self.acc_owned(grads, gamma.0, dgamma);
+                    self.acc_owned(grads, beta.0, dbeta);
                 }
                 Op::MeanAll(x) => {
                     let (r, c) = self.nodes[x.0].value.shape();
                     let gi = g.get(0, 0) / (r * c) as f32;
-                    accumulate(&mut grads, x.0, &Matrix::full(r, c, gi));
+                    let mut gx = self.take(r, c);
+                    gx.fill(gi);
+                    self.acc_owned(grads, x.0, gx);
+                    self.recycle(g);
                 }
                 Op::SumAll(x) => {
                     let (r, c) = self.nodes[x.0].value.shape();
-                    accumulate(&mut grads, x.0, &Matrix::full(r, c, g.get(0, 0)));
+                    let mut gx = self.take(r, c);
+                    gx.fill(g.get(0, 0));
+                    self.acc_owned(grads, x.0, gx);
+                    self.recycle(g);
                 }
                 Op::MeanRows(x) => {
                     let (r, c) = self.nodes[x.0].value.shape();
-                    let gx = broadcast_rows(&g, r).scale(1.0 / r as f32);
-                    debug_assert_eq!(gx.shape(), (r, c));
-                    accumulate(&mut grads, x.0, &gx);
+                    let inv = 1.0 / r as f32;
+                    let mut gx = self.take(r, c);
+                    for row in 0..r {
+                        for (o, &gi) in gx.row_mut(row).iter_mut().zip(g.row(0)) {
+                            *o = gi * inv;
+                        }
+                    }
+                    self.acc_owned(grads, x.0, gx);
+                    self.recycle(g);
                 }
-                Op::Transpose(x) => accumulate(&mut grads, x.0, &g.transpose()),
+                Op::Transpose(x) => {
+                    let mut gx = self.take(g.cols(), g.rows());
+                    g.transpose_into(&mut gx);
+                    self.acc_owned(grads, x.0, gx);
+                    self.recycle(g);
+                }
                 Op::HCat(a, b) => {
                     let ca = self.nodes[a.0].value.cols();
-                    let mut ga = Matrix::zeros(g.rows(), ca);
-                    let mut gb = Matrix::zeros(g.rows(), g.cols() - ca);
+                    let mut ga = self.take(g.rows(), ca);
+                    let mut gb = self.take(g.rows(), g.cols() - ca);
                     for r in 0..g.rows() {
                         ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
                         gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
                     }
-                    accumulate(&mut grads, a.0, &ga);
-                    accumulate(&mut grads, b.0, &gb);
+                    self.acc_owned(grads, a.0, ga);
+                    self.acc_owned(grads, b.0, gb);
+                    self.recycle(g);
                 }
                 Op::VCat(a, b) => {
                     let ra = self.nodes[a.0].value.rows();
-                    accumulate(&mut grads, a.0, &g.slice_rows(0, ra));
-                    accumulate(&mut grads, b.0, &g.slice_rows(ra, g.rows()));
+                    let c = g.cols();
+                    let mut ga = self.take(ra, c);
+                    ga.data_mut().copy_from_slice(&g.data()[..ra * c]);
+                    let mut gb = self.take(g.rows() - ra, c);
+                    gb.data_mut().copy_from_slice(&g.data()[ra * c..]);
+                    self.acc_owned(grads, a.0, ga);
+                    self.acc_owned(grads, b.0, gb);
+                    self.recycle(g);
                 }
                 Op::SliceCols(x, start, end) => {
                     let (r, c) = self.nodes[x.0].value.shape();
-                    let mut gx = Matrix::zeros(r, c);
+                    let mut gx = self.take(r, c);
                     for row in 0..r {
                         gx.row_mut(row)[*start..*end].copy_from_slice(g.row(row));
                     }
-                    accumulate(&mut grads, x.0, &gx);
+                    self.acc_owned(grads, x.0, gx);
+                    self.recycle(g);
                 }
                 Op::GatherRows(x, indices) => {
                     let (r, c) = self.nodes[x.0].value.shape();
-                    let mut gx = Matrix::zeros(r, c);
+                    let mut gx = self.take(r, c);
                     for (i2, &idx) in indices.iter().enumerate() {
                         for (o, &v) in gx.row_mut(idx).iter_mut().zip(g.row(i2).iter()) {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, x.0, &gx);
+                    self.acc_owned(grads, x.0, gx);
+                    self.recycle(g);
                 }
                 Op::ScatterAddRows(x, indices, _) => {
                     // Backward of scatter-add is gather.
-                    let gx = g.gather_rows(indices);
-                    accumulate(&mut grads, x.0, &gx);
+                    let mut gx = self.take(indices.len(), g.cols());
+                    g.gather_rows_into(indices, &mut gx);
+                    self.acc_owned(grads, x.0, gx);
+                    self.recycle(g);
                 }
                 Op::Square(x) => {
-                    let xv = &self.nodes[x.0].value;
-                    let gx = g.zip_map(xv, |gi, xi| 2.0 * gi * xi);
-                    accumulate(&mut grads, x.0, &gx);
+                    for (gi, &xi) in g.data_mut().iter_mut().zip(self.nodes[x.0].value.data()) {
+                        *gi *= 2.0 * xi;
+                    }
+                    self.acc_owned(grads, x.0, g);
                 }
             }
         }
@@ -594,56 +990,42 @@ impl Default for Tape {
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: &Matrix) {
-    match &mut grads[idx] {
-        Some(existing) => existing.add_assign(g),
-        slot @ None => *slot = Some(g.clone()),
+/// Column sums of `g` accumulated into a `1 x cols` row, in the same
+/// row-ascending order as [`Matrix::sum_rows`].
+fn sum_rows_into(g: &Matrix, out: &mut Matrix) {
+    debug_assert_eq!(out.shape(), (1, g.cols()));
+    for r in 0..g.rows() {
+        for (o, &x) in out.row_mut(0).iter_mut().zip(g.row(r).iter()) {
+            *o += x;
+        }
     }
-}
-
-fn broadcast_rows(row: &Matrix, rows: usize) -> Matrix {
-    debug_assert_eq!(row.rows(), 1);
-    let mut out = Matrix::zeros(rows, row.cols());
-    for r in 0..rows {
-        out.row_mut(r).copy_from_slice(row.row(0));
-    }
-    out
 }
 
 const LN_EPS: f32 = 1e-5;
 
-fn layer_norm_fwd(x: &Matrix) -> Matrix {
-    let mut out = x.clone();
+/// In-place layer-norm backward: replaces `g` with `dL/dx`. The
+/// normalized values are recomputed per element instead of being
+/// buffered, keeping the sweep allocation-free while summing in the
+/// same order as the previous buffered implementation.
+fn layer_norm_bwd_inplace(x: &Matrix, g: &mut Matrix) {
     let cols = x.cols() as f32;
-    for r in 0..x.rows() {
-        let row = out.row_mut(r);
-        let mean: f32 = row.iter().sum::<f32>() / cols;
-        let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols;
-        let inv = 1.0 / (var + LN_EPS).sqrt();
-        for v in row.iter_mut() {
-            *v = (*v - mean) * inv;
-        }
-    }
-    out
-}
-
-fn layer_norm_bwd(x: &Matrix, g: &Matrix) -> Matrix {
-    let cols = x.cols() as f32;
-    let mut out = Matrix::zeros(x.rows(), x.cols());
     for r in 0..x.rows() {
         let xr = x.row(r);
-        let gr = g.row(r);
         let mean: f32 = xr.iter().sum::<f32>() / cols;
         let var: f32 = xr.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols;
         let inv = 1.0 / (var + LN_EPS).sqrt();
-        let xhat: Vec<f32> = xr.iter().map(|v| (v - mean) * inv).collect();
-        let g_mean: f32 = gr.iter().sum::<f32>() / cols;
-        let gx_mean: f32 = gr.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum::<f32>() / cols;
-        for ((o, &gi), &xh) in out.row_mut(r).iter_mut().zip(gr).zip(xhat.iter()) {
-            *o = inv * (gi - g_mean - xh * gx_mean);
+        let g_mean: f32 = g.row(r).iter().sum::<f32>() / cols;
+        let gx_mean: f32 = g
+            .row(r)
+            .iter()
+            .zip(xr.iter())
+            .map(|(a, v)| a * ((v - mean) * inv))
+            .sum::<f32>()
+            / cols;
+        for (gi, &v) in g.row_mut(r).iter_mut().zip(xr) {
+            *gi = inv * (*gi - g_mean - ((v - mean) * inv) * gx_mean);
         }
     }
-    out
 }
 
 fn gelu_fwd(x: f32) -> f32 {
@@ -907,6 +1289,149 @@ mod tests {
 
         assert_eq!(want.grad(w).data(), got.grad(w).data());
         assert_eq!(want.grad(b).data(), got.grad(b).data());
+    }
+
+    #[test]
+    fn matmul_bias_matches_unfused_composition() {
+        let mut rng = SeededRng::new(7);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::randn(3, 4, 0.5, &mut rng));
+        let b = store.register("b", Matrix::randn(1, 4, 0.5, &mut rng));
+        let x = Matrix::randn(2, 3, 0.5, &mut rng);
+
+        let mut fused = Tape::new();
+        let wv = fused.param(&store, w);
+        let bv = fused.param(&store, b);
+        let xv = fused.constant_ref(&x);
+        let y = fused.matmul_bias(xv, wv, bv);
+        let sq = fused.square(y);
+        let loss = fused.mean_all(sq);
+        let mut got = GradBuffer::for_store(&store);
+        fused.backward_into(loss, &store, &mut got);
+
+        let mut plain = Tape::new();
+        let wv2 = plain.param(&store, w);
+        let bv2 = plain.param(&store, b);
+        let xv2 = plain.constant_ref(&x);
+        let mm = plain.matmul(xv2, wv2);
+        let y2 = plain.add_row_broadcast(mm, bv2);
+        let sq2 = plain.square(y2);
+        let loss2 = plain.mean_all(sq2);
+        let mut want = GradBuffer::for_store(&store);
+        plain.backward_into(loss2, &store, &mut want);
+
+        assert_eq!(fused.value(y).data(), plain.value(y2).data());
+        assert_eq!(got.grad(w).data(), want.grad(w).data());
+        assert_eq!(got.grad(b).data(), want.grad(b).data());
+    }
+
+    #[test]
+    fn layer_norm_affine_matches_unfused_composition() {
+        let mut rng = SeededRng::new(11);
+        let mut store = ParamStore::new();
+        let gamma = store.register("gamma", Matrix::randn(1, 5, 0.5, &mut rng));
+        let beta = store.register("beta", Matrix::randn(1, 5, 0.5, &mut rng));
+        let x = Matrix::randn(3, 5, 1.0, &mut rng);
+
+        let mut fused = Tape::new();
+        let gv = fused.param(&store, gamma);
+        let bv = fused.param(&store, beta);
+        let xv = fused.constant_ref(&x);
+        let y = fused.layer_norm_affine(xv, gv, bv);
+        let sq = fused.square(y);
+        let loss = fused.mean_all(sq);
+        let mut got = GradBuffer::for_store(&store);
+        fused.backward_into(loss, &store, &mut got);
+
+        let mut plain = Tape::new();
+        let gv2 = plain.param(&store, gamma);
+        let bv2 = plain.param(&store, beta);
+        let xv2 = plain.constant_ref(&x);
+        let ln = plain.layer_norm_rows(xv2);
+        let scaled = plain.mul_row_broadcast(ln, gv2);
+        let y2 = plain.add_row_broadcast(scaled, bv2);
+        let sq2 = plain.square(y2);
+        let loss2 = plain.mean_all(sq2);
+        let mut want = GradBuffer::for_store(&store);
+        plain.backward_into(loss2, &store, &mut want);
+
+        assert_eq!(fused.value(y).data(), plain.value(y2).data());
+        assert_close(got.grad(gamma), want.grad(gamma), 1e-6);
+        assert_close(got.grad(beta), want.grad(beta), 1e-6);
+    }
+
+    #[test]
+    fn mul_col_broadcast_matches_explicit_broadcast() {
+        let mut rng = SeededRng::new(13);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::randn(4, 3, 0.8, &mut rng));
+        let col = Matrix::from_vec(4, 1, vec![0.5, -1.0, 2.0, 0.0]);
+
+        let mut fused = Tape::new();
+        let wv = fused.param(&store, w);
+        let cv = fused.constant_ref(&col);
+        let y = fused.mul_col_broadcast(wv, cv);
+        let loss = fused.mean_all(y);
+        let mut got = GradBuffer::for_store(&store);
+        fused.backward_into(loss, &store, &mut got);
+
+        // Reference: materialize broadcast(col) and use elementwise mul.
+        let mut wide = Matrix::zeros(4, 3);
+        for r in 0..4 {
+            wide.row_mut(r).fill(col.get(r, 0));
+        }
+        let mut plain = Tape::new();
+        let wv2 = plain.param(&store, w);
+        let bc = plain.constant_ref(&wide);
+        let y2 = plain.mul(wv2, bc);
+        let loss2 = plain.mean_all(y2);
+        let mut want = GradBuffer::for_store(&store);
+        plain.backward_into(loss2, &store, &mut want);
+
+        assert_eq!(fused.value(y).data(), plain.value(y2).data());
+        assert_eq!(got.grad(w).data(), want.grad(w).data());
+    }
+
+    #[test]
+    fn reused_tape_reaches_zero_fresh_allocations() {
+        let mut rng = SeededRng::new(3);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::randn(6, 4, 0.5, &mut rng));
+        let b = store.register("b", Matrix::randn(1, 4, 0.5, &mut rng));
+        let x = Matrix::randn(5, 6, 0.5, &mut rng);
+        let idx = [0usize, 2, 4, 1];
+
+        let mut tape = Tape::new();
+        let mut buf = GradBuffer::for_store(&store);
+        let run = |tape: &mut Tape, buf: &mut GradBuffer| {
+            tape.clear();
+            let wv = tape.param(&store, w);
+            let bv = tape.param(&store, b);
+            let xv = tape.constant_ref(&x);
+            let h = tape.matmul_bias(xv, wv, bv);
+            let act = tape.gelu(h);
+            let ln = tape.layer_norm_rows(act);
+            let gathered = tape.gather_rows(ln, &idx);
+            let sm = tape.softmax_rows(gathered);
+            let loss = tape.mean_all(sm);
+            buf.zero();
+            tape.backward_into(loss, &store, buf);
+        };
+
+        // Warm up twice (first pass allocates, second proves the free
+        // lists already cover every shape), then demand zero growth.
+        run(&mut tape, &mut buf);
+        run(&mut tape, &mut buf);
+        let (_, fresh_before, bytes_before) = tape.arena_stats();
+        for _ in 0..5 {
+            run(&mut tape, &mut buf);
+        }
+        let (_, fresh_after, bytes_after) = tape.arena_stats();
+        assert_eq!(
+            fresh_before, fresh_after,
+            "steady-state forward/backward must not allocate fresh arena buffers"
+        );
+        assert_eq!(bytes_before, bytes_after, "arena high-water mark must stay flat");
     }
 
     #[test]

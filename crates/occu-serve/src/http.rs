@@ -297,7 +297,7 @@ mod tests {
     #[test]
     fn unbounded_header_line_is_413() {
         let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
-        raw.extend(std::iter::repeat(b'a').take(MAX_HEADER_BYTES as usize + 64));
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES as usize + 64));
         assert_eq!(expect_status(&raw), 413);
     }
 

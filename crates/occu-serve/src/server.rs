@@ -850,6 +850,12 @@ fn render_metrics(state: &ServerState) -> String {
     occu_obs::gauge("serve.cache.len").set(cache.len as f64);
     occu_obs::gauge("serve.cache.evictions").set(cache.evictions as f64);
     occu_obs::gauge("serve.cache.hit_rate").set(cache.hit_rate());
+    // Scratch-arena high-water mark across all worker tapes. Flat after
+    // warmup == the steady-state forward path is allocation-free.
+    occu_obs::gauge("serve.arena.allocated_bytes")
+        .set(occu_tensor::arena_total_allocated_bytes() as f64);
+    occu_obs::gauge("serve.arena.fresh_allocs")
+        .set(occu_tensor::arena_total_fresh_allocs() as f64);
 
     let snapshot = occu_obs::metrics_snapshot();
     let mut out = String::with_capacity(1024);

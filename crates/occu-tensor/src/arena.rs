@@ -1,0 +1,183 @@
+//! Grow-only scratch-buffer arena for allocation-free hot paths.
+//!
+//! A [`ScratchArena`] recycles the `Vec<f32>` storage behind
+//! [`Matrix`] values. Call sites take a buffer sized for the matrix
+//! they are about to produce and recycle it (or the whole matrix) when
+//! the value dies — typically when an autodiff tape is cleared between
+//! samples. Buffers are keyed by capacity, so a workload with a stable
+//! set of shapes hits the free lists on every take after the first
+//! pass: steady-state training and inference perform zero heap
+//! allocations on the tensor hot path.
+//!
+//! The arena is deliberately *not* thread-safe — each worker thread
+//! owns one (the tape embeds one per instance). Global atomics track
+//! fleet-wide totals so serving can export an arena high-water-mark
+//! gauge without walking threads.
+
+use crate::Matrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+static TOTAL_ALLOCATED_BYTES: AtomicUsize = AtomicUsize::new(0);
+static TOTAL_FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_TAKES: AtomicU64 = AtomicU64::new(0);
+
+/// Total bytes ever handed out fresh by every arena in the process.
+/// Arenas are grow-only, so this is also the fleet-wide high-water
+/// mark of arena-managed scratch memory.
+pub fn arena_total_allocated_bytes() -> usize {
+    TOTAL_ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of takes that missed the free lists and had to
+/// allocate. Flat across steady-state iterations.
+pub fn arena_total_fresh_allocs() -> u64 {
+    TOTAL_FRESH_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of buffer takes (hits and misses).
+pub fn arena_total_takes() -> u64 {
+    TOTAL_TAKES.load(Ordering::Relaxed)
+}
+
+/// A per-thread pool of reusable `f32` buffers, keyed by capacity.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    /// Free buffers by exact capacity.
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    takes: u64,
+    fresh_allocs: u64,
+    allocated_bytes: usize,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared buffer with capacity exactly `len` (freshly
+    /// allocated on a miss). Fill it with `extend`/`resize` up to
+    /// `len` — growing past `len` reallocates and defeats reuse.
+    pub fn take_vec(&mut self, len: usize) -> Vec<f32> {
+        self.takes += 1;
+        TOTAL_TAKES.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.buckets.get_mut(&len).and_then(Vec::pop) {
+            return v;
+        }
+        self.fresh_allocs += 1;
+        self.allocated_bytes += len * std::mem::size_of::<f32>();
+        TOTAL_FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        TOTAL_ALLOCATED_BYTES.fetch_add(len * std::mem::size_of::<f32>(), Ordering::Relaxed);
+        Vec::with_capacity(len)
+    }
+
+    /// Takes a zero-filled `rows x cols` matrix backed by a recycled
+    /// buffer.
+    pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        let mut v = self.take_vec(len);
+        v.resize(len, 0.0);
+        Matrix::from_vec(rows, cols, v)
+    }
+
+    /// Takes a `rows x cols` matrix holding a copy of `src`'s data.
+    pub fn take_copy(&mut self, src: &Matrix) -> Matrix {
+        let mut v = self.take_vec(src.len());
+        v.extend_from_slice(src.data());
+        Matrix::from_vec(src.rows(), src.cols(), v)
+    }
+
+    /// Returns a matrix's storage to the free lists.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.recycle_vec(m.into_vec());
+    }
+
+    /// Returns a raw buffer to the free lists.
+    pub fn recycle_vec(&mut self, mut v: Vec<f32>) {
+        let cap = v.capacity();
+        if cap == 0 {
+            return;
+        }
+        v.clear();
+        self.buckets.entry(cap).or_default().push(v);
+    }
+
+    /// Takes that hit or missed the free lists since construction.
+    pub fn takes(&self) -> u64 {
+        self.takes
+    }
+
+    /// Takes that had to allocate. A steady-state workload holds this
+    /// flat — the zero-allocation tests assert exactly that.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
+    /// Bytes this arena has ever allocated (its high-water mark).
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_is_allocation_free_after_warmup() {
+        let mut arena = ScratchArena::new();
+        for _ in 0..3 {
+            let a = arena.take_zeroed(4, 8);
+            let b = arena.take_zeroed(2, 2);
+            arena.recycle(a);
+            arena.recycle(b);
+        }
+        assert_eq!(arena.fresh_allocs(), 2, "only the first pass allocates");
+        assert_eq!(arena.takes(), 6);
+        assert_eq!(arena.allocated_bytes(), (32 + 4) * 4);
+    }
+
+    #[test]
+    fn same_length_buffers_share_a_bucket() {
+        let mut arena = ScratchArena::new();
+        let a = arena.take_zeroed(4, 8);
+        arena.recycle(a);
+        // A 8x4 matrix has the same element count: reuses the buffer.
+        let b = arena.take_zeroed(8, 4);
+        assert_eq!(arena.fresh_allocs(), 1);
+        assert_eq!(b.shape(), (8, 4));
+        assert!(b.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn take_copy_round_trips_values() {
+        let mut arena = ScratchArena::new();
+        let src = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let cp = arena.take_copy(&src);
+        assert_eq!(cp, src);
+        arena.recycle(cp);
+        let again = arena.take_copy(&src);
+        assert_eq!(again, src);
+        assert_eq!(arena.fresh_allocs(), 1);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let mut arena = ScratchArena::new();
+        let e = arena.take_zeroed(0, 5);
+        arena.recycle(e);
+        assert_eq!(arena.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn global_counters_monotone() {
+        let before = arena_total_fresh_allocs();
+        let mut arena = ScratchArena::new();
+        let m = arena.take_zeroed(7, 7);
+        arena.recycle(m);
+        assert!(arena_total_fresh_allocs() > before);
+        assert!(arena_total_allocated_bytes() >= 49 * 4);
+        assert!(arena_total_takes() >= 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Cache-blocked, register-tiled GEMM with packed panels.
+//!
+//! The kernel follows the classic BLIS/GotoBLAS decomposition: the
+//! output is swept in `NC`-wide column blocks, the shared dimension in
+//! `KC`-deep panels, and the rows in `MC`-tall blocks. For each
+//! `(jc, pc)` pair the corresponding `kc x nc` slab of `B` is packed
+//! into a contiguous buffer laid out as `NR`-wide column panels; for
+//! each `ic` the `mc x kc` slab of `A` is packed into `MR`-tall row
+//! strips. The innermost micro-kernel then multiplies one `MR x kc`
+//! strip against one `kc x NR` panel entirely out of those packed
+//! buffers, keeping an `MR x NR` accumulator tile in registers. All
+//! loops are plain safe Rust over `chunks_exact` slices, which LLVM
+//! auto-vectorizes into packed mul/add.
+//!
+//! # Determinism
+//!
+//! Every output element accumulates its `k` products in strictly
+//! ascending `k` order through a single accumulator chain: the micro
+//! kernel loads the current `C` tile, adds the `kc` products of the
+//! current panel in order, and stores the tile back, so successive
+//! `pc` panels extend the same left-to-right summation chain. Rust
+//! does not licence FP contraction or reassociation, so the blocked
+//! kernel produces results bit-identical to a scalar
+//! `s += a[i][k] * b[k][j]` loop — see the `naive_` oracles in
+//! `ops.rs` and the equivalence proptests.
+//!
+//! The strided `View` type lets all three transpose variants
+//! (`A*B`, `A*B^T`, `A^T*B`) route through the same packed kernel;
+//! transposition is absorbed by the packing step.
+
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Row-block height processed per A-packing step (fits L2 with KC).
+pub const MC: usize = 64;
+/// Depth of one packed panel pair (the k-extent held in cache).
+pub const KC: usize = 256;
+/// Column-block width of one packed B slab (fits L2/L3).
+pub const NC: usize = 256;
+/// Micro-kernel tile height (rows per packed A strip).
+pub const MR: usize = 4;
+/// Micro-kernel tile width (columns per packed B panel).
+pub const NR: usize = 8;
+
+/// Multiply-add count above which the blocked/packed kernel beats the
+/// streaming loop's lower fixed cost.
+pub(crate) const BLOCKED_MIN_MULADDS: usize = 16 * 1024;
+
+/// Multiply-add count above which fanning rows out across the rayon
+/// pool amortizes the fork. Counting `m*k*n` (not `m` alone) means a
+/// tall-skinny product like `(4, 2048) x (2048, 4)` still qualifies:
+/// each of its few rows carries `k*n` work.
+pub(crate) const PAR_MIN_MULADDS: usize = 32 * 1024;
+
+/// Whether a `(m, k) x (k, n)` product is worth parallelizing.
+///
+/// The decision weighs total multiply-adds so the shared dimension
+/// `k` counts; the old heuristic gated on `m` alone and never
+/// parallelized tall-skinny products.
+pub fn should_parallelize(m: usize, k: usize, n: usize) -> bool {
+    m >= 2 && m.saturating_mul(k).saturating_mul(n) >= PAR_MIN_MULADDS
+}
+
+/// A strided read-only view of a row-major buffer; element `(r, c)`
+/// lives at `data[r * row_stride + c * col_stride]`. Transposed
+/// operands swap the strides instead of materializing the transpose.
+#[derive(Clone, Copy)]
+pub(crate) struct View<'a> {
+    data: &'a [f32],
+    row_stride: usize,
+    col_stride: usize,
+}
+
+impl<'a> View<'a> {
+    /// Plain row-major view of a `rows x cols` buffer.
+    pub(crate) fn normal(data: &'a [f32], cols: usize) -> Self {
+        Self { data, row_stride: cols, col_stride: 1 }
+    }
+
+    /// Logical transpose of a row-major buffer whose storage has
+    /// `storage_cols` columns: element `(r, c)` of the view reads
+    /// element `(c, r)` of the storage.
+    pub(crate) fn transposed(data: &'a [f32], storage_cols: usize) -> Self {
+        Self { data, row_stride: 1, col_stride: storage_cols }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.row_stride + c * self.col_stride]
+    }
+}
+
+thread_local! {
+    /// Per-thread packing buffers (A strips, B panels); grow-only, so
+    /// steady-state GEMM performs no heap allocation.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Packs the `mc x kc` slab of `a` starting at `(row0, pc)` into
+/// `MR`-tall row strips, k-major within a strip:
+/// `buf[strip*(kc*MR) + kk*MR + i]`. Short final strips are
+/// zero-padded so the micro-kernel never branches on `k`.
+fn pack_a(a: View, row0: usize, mc: usize, pc: usize, kc: usize, buf: &mut Vec<f32>) {
+    let strips = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(strips * kc * MR, 0.0);
+    for s in 0..strips {
+        let i0 = s * MR;
+        let rows = MR.min(mc - i0);
+        let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
+        for (kk, dst) in strip.chunks_exact_mut(MR).enumerate() {
+            for (i, d) in dst.iter_mut().take(rows).enumerate() {
+                *d = a.at(row0 + i0 + i, pc + kk);
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` slab of `b` starting at `(pc, jc)` into
+/// `NR`-wide column panels, k-major within a panel:
+/// `buf[panel*(kc*NR) + kk*NR + j]`. Short final panels are
+/// zero-padded.
+fn pack_b(b: View, pc: usize, kc: usize, jc: usize, nc: usize, buf: &mut Vec<f32>) {
+    let panels = nc.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * kc * NR, 0.0);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let cols = NR.min(nc - j0);
+        let panel = &mut buf[p * kc * NR..(p + 1) * kc * NR];
+        for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            for (j, d) in dst.iter_mut().take(cols).enumerate() {
+                *d = b.at(pc + kk, jc + j0 + j);
+            }
+        }
+    }
+}
+
+/// `C[0..mr, 0..nr] += strip * panel` for one packed `MR x kc` strip
+/// and `kc x NR` panel. The accumulator tile is loaded from `c`,
+/// extended in ascending-`k` order, and stored back, so repeated calls
+/// over successive `pc` panels continue a single summation chain per
+/// element. Padded lanes (`i >= mr` / `j >= nr`) accumulate zeros and
+/// are never stored.
+#[inline]
+fn micro_kernel(mr: usize, nr: usize, pa_strip: &[f32], pb_panel: &[f32], c: &mut [f32], ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (i, row) in acc.iter_mut().enumerate().take(mr) {
+        row[..nr].copy_from_slice(&c[i * ldc..i * ldc + nr]);
+    }
+    for (a, b) in pa_strip.chunks_exact(MR).zip(pb_panel.chunks_exact(NR)) {
+        for (i, row) in acc.iter_mut().enumerate() {
+            let ai = a[i];
+            for (j, acc_ij) in row.iter_mut().enumerate() {
+                *acc_ij += ai * b[j];
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(mr) {
+        c[i * ldc..i * ldc + nr].copy_from_slice(&row[..nr]);
+    }
+}
+
+/// Runs the full blocked sweep for the output rows in `rows`,
+/// accumulating into `out` (which holds those rows, `n` wide).
+/// `bufs` is the `(packed A, packed B)` scratch pair.
+fn gemm_rows(
+    a: View,
+    b: View,
+    out: &mut [f32],
+    rows: std::ops::Range<usize>,
+    n: usize,
+    kdim: usize,
+    bufs: &mut (Vec<f32>, Vec<f32>),
+) {
+    let row0 = rows.start;
+    let mrows = rows.len();
+    let (pa_buf, pb_buf) = bufs;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let panels = nc.div_ceil(NR);
+        for pc in (0..kdim).step_by(KC) {
+            let kc = KC.min(kdim - pc);
+            pack_b(b, pc, kc, jc, nc, pb_buf);
+            for ic in (0..mrows).step_by(MC) {
+                let mc = MC.min(mrows - ic);
+                pack_a(a, row0 + ic, mc, pc, kc, pa_buf);
+                let strips = mc.div_ceil(MR);
+                for s in 0..strips {
+                    let i0 = s * MR;
+                    let mr = MR.min(mc - i0);
+                    let pa_strip = &pa_buf[s * kc * MR..(s + 1) * kc * MR];
+                    for p in 0..panels {
+                        let j0 = p * NR;
+                        let nr = NR.min(nc - j0);
+                        let pb_panel = &pb_buf[p * kc * NR..(p + 1) * kc * NR];
+                        let c_off = (ic + i0) * n + jc + j0;
+                        micro_kernel(mr, nr, pa_strip, pb_panel, &mut out[c_off..], n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out += A * B` through the packed blocked kernel, where `A` is the
+/// `m x kdim` view `a` and `B` the `kdim x n` view `b`. `out` must be
+/// the full `m x n` row-major buffer (zeroed by the caller for a plain
+/// product). Rows fan out across the rayon pool when the product is
+/// large enough; the per-element summation order is independent of the
+/// row partition, so results are bit-identical at any thread count.
+pub(crate) fn gemm_into(a: View, b: View, m: usize, kdim: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let threads = rayon::current_num_threads();
+    if threads > 1 && should_parallelize(m, kdim, n) {
+        let chunk_rows = m.div_ceil(threads).max(MR);
+        out.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(ci, chunk)| {
+            let row0 = ci * chunk_rows;
+            let mrows = chunk.len() / n;
+            PACK_BUFS.with(|bufs| {
+                gemm_rows(a, b, chunk, row0..row0 + mrows, n, kdim, &mut bufs.borrow_mut());
+            });
+        });
+    } else {
+        PACK_BUFS.with(|bufs| {
+            gemm_rows(a, b, out, 0..m, n, kdim, &mut bufs.borrow_mut());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_accounts_for_k() {
+        // Tall-skinny: few rows, huge shared dimension. The old
+        // rows-only gate never parallelized this shape.
+        assert!(should_parallelize(4, 2048, 4));
+        // Plain large product still qualifies.
+        assert!(should_parallelize(128, 64, 96));
+        // Tiny products stay serial.
+        assert!(!should_parallelize(8, 8, 8));
+        // A single row cannot be split across threads.
+        assert!(!should_parallelize(1, 1 << 20, 64));
+    }
+
+    #[test]
+    fn views_index_transposes() {
+        // 2x3 storage; transposed view reads it as 3x2.
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let v = View::normal(&data, 3);
+        assert_eq!(v.at(1, 2), 6.0);
+        let t = View::transposed(&data, 3);
+        assert_eq!(t.at(2, 1), 6.0);
+        assert_eq!(t.at(0, 1), 4.0);
+    }
+}

@@ -17,10 +17,16 @@
 //! explicitly seeded RNGs ([`Matrix::randn`]) so that experiments in
 //! the paper reproduction are repeatable bit-for-bit on one machine.
 
+mod arena;
+mod gemm;
 mod matrix;
 mod ops;
 mod random;
 
+pub use arena::{
+    arena_total_allocated_bytes, arena_total_fresh_allocs, arena_total_takes, ScratchArena,
+};
+pub use gemm::{should_parallelize, KC, MC, MR, NC, NR};
 pub use matrix::Matrix;
 pub use random::{xavier_uniform, he_normal, SeededRng};
 

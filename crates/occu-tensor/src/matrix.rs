@@ -234,6 +234,43 @@ impl Matrix {
         out
     }
 
+    /// Overwrites `self` with the contents of `src` (same shape).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from: shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// `transpose` writing into a caller-provided `cols x rows` output
+    /// matrix. Previous contents are discarded.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose_into: bad output shape");
+        const B: usize = 32;
+        for rb in (0..self.rows).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                for r in rb..(rb + B).min(self.rows) {
+                    for c in cb..(cb + B).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+    }
+
+    /// `gather_rows` writing into a caller-provided
+    /// `indices.len() x cols` output matrix.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert_eq!(out.shape(), (indices.len(), self.cols), "gather_rows_into: bad output shape");
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather_rows: index {} out of {} rows", idx, self.rows);
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+    }
+
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         Matrix {
@@ -250,6 +287,14 @@ impl Matrix {
         }
     }
 
+    /// `map` writing into a caller-provided same-shaped output matrix.
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+        assert_eq!(self.shape(), out.shape(), "map_into: shape mismatch");
+        for (o, &x) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(x);
+        }
+    }
+
     /// Elementwise combination of two equally-shaped matrices.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "zip_map: shape mismatch");
@@ -257,6 +302,16 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `zip_map` writing into a caller-provided same-shaped output
+    /// matrix.
+    pub fn zip_map_into(&self, other: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), other.shape(), "zip_map: shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "zip_map_into: bad output shape");
+        for ((o, &a), &b) in out.data.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = f(a, b);
         }
     }
 }

@@ -1,11 +1,15 @@
-//! Arithmetic, reductions, and the blocked parallel matmul.
+//! Arithmetic, reductions, and the GEMM entry points.
+//!
+//! The three matmul variants dispatch between a streaming loop (small
+//! products, where packing overhead dominates) and the cache-blocked
+//! packed kernel in [`crate::gemm`] (everything else, with rayon row
+//! parallelism above a total-work threshold). Both paths, and the
+//! `naive_*` oracles kept for benchmarking and equivalence tests,
+//! accumulate every output element in ascending-`k` order through a
+//! single chain, so all of them produce bit-identical results.
 
+use crate::gemm::{self, View};
 use crate::Matrix;
-use rayon::prelude::*;
-
-/// Row count above which matmul fans out across the rayon pool.
-/// Below this the parallel dispatch overhead dominates.
-const PAR_THRESHOLD_ROWS: usize = 64;
 
 impl Matrix {
     /// Elementwise sum.
@@ -59,29 +63,52 @@ impl Matrix {
         }
     }
 
+    /// In-place `self += s * other` under its BLAS name.
+    pub fn axpy(&mut self, s: f32, other: &Matrix) {
+        self.add_scaled_assign(other, s);
+    }
+
     /// Adds a 1 x cols row vector to every row (broadcast add).
     pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
-        assert_eq!(row.rows(), 1, "add_row_broadcast: expected row vector");
-        assert_eq!(row.cols(), self.cols(), "add_row_broadcast: width mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows() {
-            for (a, b) in out.row_mut(r).iter_mut().zip(row.row(0).iter()) {
+        out.add_bias_rowwise(row);
+        out
+    }
+
+    /// In-place broadcast add of a 1 x cols bias row to every row —
+    /// the fused form of `add_row_broadcast` that materializes no
+    /// intermediate.
+    pub fn add_bias_rowwise(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows(), 1, "add_bias_rowwise: expected row vector");
+        assert_eq!(bias.cols(), self.cols(), "add_bias_rowwise: width mismatch");
+        for r in 0..self.rows() {
+            for (a, b) in self.row_mut(r).iter_mut().zip(bias.row(0).iter()) {
                 *a += *b;
             }
         }
-        out
     }
 
     /// Matrix product `self * other`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams both the `B`
-    /// row and the output row, which auto-vectorizes well; rows of the
-    /// output are computed independently in parallel across the rayon
-    /// pool once the matrix is large enough to amortize the fork.
+    /// Small products take a streaming i-k-j loop; larger ones route
+    /// through the cache-blocked packed kernel, with rows fanned out
+    /// across the rayon pool when the total multiply-add count clears
+    /// [`gemm::should_parallelize`]. All paths accumulate each output
+    /// element in ascending-`k` order, so the result is bit-identical
+    /// regardless of the path or thread count.
     ///
     /// # Panics
     /// If `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `matmul` writing into a caller-provided (e.g. arena-recycled)
+    /// output matrix, which must already have shape
+    /// `self.rows() x other.cols()`. Previous contents are discarded.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -90,39 +117,40 @@ impl Matrix {
         );
         let (m, k) = self.shape();
         let n = other.cols();
-        let mut out = Matrix::zeros(m, n);
-
-        let body = |r: usize, out_row: &mut [f32]| {
-            let a_row = self.row(r);
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data()[kk * n..kk * n + n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        };
-
-        if m >= PAR_THRESHOLD_ROWS && k * n >= 4096 {
-            out.data_mut()
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(r, out_row)| body(r, out_row));
+        assert_eq!(out.shape(), (m, n), "matmul_into: bad output shape");
+        out.data_mut().fill(0.0);
+        if m >= gemm::MR && m * k * n >= gemm::BLOCKED_MIN_MULADDS {
+            gemm::gemm_into(
+                View::normal(self.data(), k),
+                View::normal(other.data(), n),
+                m, k, n,
+                out.data_mut(),
+            );
         } else {
             for r in 0..m {
-                let start = r * n;
-                // Split borrow: take the row slice out of `out` manually.
-                let (_, rest) = out.data_mut().split_at_mut(start);
-                body(r, &mut rest[..n]);
+                let a_row = self.row(r);
+                let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    let b_row = &other.data()[kk * n..kk * n + n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
+                }
             }
         }
-        out
     }
 
     /// Computes `self * other^T` without materializing the transpose.
     pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        self.matmul_transb_into(other, &mut out);
+        out
+    }
+
+    /// `matmul_transb` writing into a caller-provided output matrix of
+    /// shape `self.rows() x other.rows()`. Previous contents are
+    /// discarded.
+    pub fn matmul_transb_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -130,32 +158,39 @@ impl Matrix {
             self.rows(), self.cols(), other.rows(), other.cols()
         );
         let m = self.rows();
+        let k = self.cols();
         let n = other.rows();
-        let mut out = Matrix::zeros(m, n);
-        let compute_row = |r: usize, out_row: &mut [f32]| {
-            let a_row = self.row(r);
-            for (c, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(c);
-                *o = dot(a_row, b_row);
-            }
-        };
-        if m >= PAR_THRESHOLD_ROWS && self.cols() * n >= 4096 {
-            out.data_mut()
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(r, row)| compute_row(r, row));
+        assert_eq!(out.shape(), (m, n), "matmul_transb_into: bad output shape");
+        out.data_mut().fill(0.0);
+        if m >= gemm::MR && m * k * n >= gemm::BLOCKED_MIN_MULADDS {
+            gemm::gemm_into(
+                View::normal(self.data(), k),
+                View::transposed(other.data(), k),
+                m, k, n,
+                out.data_mut(),
+            );
         } else {
             for r in 0..m {
-                let start = r * n;
-                let (_, rest) = out.data_mut().split_at_mut(start);
-                compute_row(r, &mut rest[..n]);
+                let a_row = self.row(r);
+                let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
+                for (c, o) in out_row.iter_mut().enumerate() {
+                    *o = dot(a_row, other.row(c));
+                }
             }
         }
-        out
     }
 
     /// Computes `self^T * other` without materializing the transpose.
     pub fn matmul_transa(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        self.matmul_transa_into(other, &mut out);
+        out
+    }
+
+    /// `matmul_transa` writing into a caller-provided output matrix of
+    /// shape `self.cols() x other.cols()`. Previous contents are
+    /// discarded.
+    pub fn matmul_transa_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows(),
             other.rows(),
@@ -165,20 +200,83 @@ impl Matrix {
         let m = self.cols();
         let n = other.cols();
         let k = self.rows();
-        let mut out = Matrix::zeros(m, n);
-        // out[i][j] = sum_k self[k][i] * other[k][j]; accumulate row by row of
-        // the inputs so both reads stream.
-        for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = other.row(kk);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        assert_eq!(out.shape(), (m, n), "matmul_transa_into: bad output shape");
+        out.data_mut().fill(0.0);
+        if m >= gemm::MR && m * k * n >= gemm::BLOCKED_MIN_MULADDS {
+            gemm::gemm_into(
+                View::transposed(self.data(), self.cols()),
+                View::normal(other.data(), n),
+                m, k, n,
+                out.data_mut(),
+            );
+        } else {
+            // out[i][j] = sum_k self[k][i] * other[k][j]; accumulate
+            // row by row of the inputs so both reads stream. The k
+            // loop is outermost, so each element still sums in
+            // ascending-k order.
+            for kk in 0..k {
+                let a_row = self.row(kk);
+                for (i, &a) in a_row.iter().enumerate() {
+                    let out_row = &mut out.data_mut()[i * n..i * n + n];
+                    for (o, &b) in out_row.iter_mut().zip(other.row(kk).iter()) {
+                        *o += a * b;
+                    }
                 }
-                let out_row = &mut out.data_mut()[i * n..i * n + n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+            }
+        }
+    }
+
+    /// Reference `self * other`: scalar i-j-k triple loop with strided
+    /// column reads of `B`. Kept as the correctness oracle and the
+    /// benchmark baseline for the blocked kernel; bit-identical to
+    /// [`Matrix::matmul`] because both sum in ascending-`k` order.
+    pub fn naive_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "naive_matmul: inner dimensions differ ({}x{} * {}x{})",
+            self.rows(), self.cols(), other.rows(), other.cols()
+        );
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        for i in 0..self.rows() {
+            for j in 0..other.cols() {
+                let mut s = 0.0;
+                for kk in 0..self.cols() {
+                    s += self.get(i, kk) * other.get(kk, j);
                 }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    /// Reference `self * other^T` triple loop (oracle/baseline).
+    pub fn naive_matmul_transb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols(), other.cols(), "naive_matmul_transb: inner dimensions differ");
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        for i in 0..self.rows() {
+            for j in 0..other.rows() {
+                let mut s = 0.0;
+                for kk in 0..self.cols() {
+                    s += self.get(i, kk) * other.get(j, kk);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    /// Reference `self^T * other` triple loop (oracle/baseline).
+    pub fn naive_matmul_transa(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows(), other.rows(), "naive_matmul_transa: inner dimensions differ");
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        for i in 0..self.cols() {
+            for j in 0..other.cols() {
+                let mut s = 0.0;
+                for kk in 0..self.rows() {
+                    s += self.get(kk, i) * other.get(kk, j);
+                }
+                out.set(i, j, s);
             }
         }
         out
@@ -254,6 +352,44 @@ impl Matrix {
         out
     }
 
+    /// `softmax_rows` writing into a caller-provided output matrix of
+    /// the same shape. Previous contents are discarded.
+    pub fn softmax_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(self.shape(), out.shape(), "softmax_rows_into: shape mismatch");
+        out.data_mut().copy_from_slice(self.data());
+        for r in 0..out.rows() {
+            softmax_in_place(out.row_mut(r));
+        }
+    }
+
+    /// Row-wise layer normalization: each row is centred on its mean
+    /// and scaled by `1 / sqrt(var + eps)` (population variance), in
+    /// one fused pass with no materialized mean/variance intermediates.
+    pub fn layernorm_rows(&self, eps: f32) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        self.layernorm_rows_into(eps, &mut out);
+        out
+    }
+
+    /// `layernorm_rows` writing into a caller-provided output matrix
+    /// of the same shape. Previous contents are discarded.
+    pub fn layernorm_rows_into(&self, eps: f32, out: &mut Matrix) {
+        assert_eq!(self.shape(), out.shape(), "layernorm_rows_into: shape mismatch");
+        let n = self.cols();
+        if n == 0 {
+            return;
+        }
+        for r in 0..self.rows() {
+            let x = self.row(r);
+            let mean = x.iter().sum::<f32>() / n as f32;
+            let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            for (o, &v) in out.row_mut(r).iter_mut().zip(x.iter()) {
+                *o = (v - mean) * inv_std;
+            }
+        }
+    }
+
     /// Index of the largest element in each row.
     pub fn argmax_rows(&self) -> Vec<usize> {
         (0..self.rows())
@@ -302,47 +438,73 @@ mod tests {
     use super::*;
     use crate::assert_close;
 
-    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(a.rows(), b.cols());
-        for i in 0..a.rows() {
-            for j in 0..b.cols() {
-                let mut s = 0.0;
-                for k in 0..a.cols() {
-                    s += a.get(i, k) * b.get(k, j);
-                }
-                out.set(i, j, s);
-            }
-        }
-        out
-    }
-
     #[test]
-    fn matmul_matches_naive() {
+    fn matmul_matches_naive_exactly() {
+        // Small product: streaming path.
         let a = Matrix::from_fn(7, 5, |r, c| ((r * 31 + c * 7) % 11) as f32 - 5.0);
         let b = Matrix::from_fn(5, 9, |r, c| ((r * 13 + c * 3) % 7) as f32 - 3.0);
-        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-5);
+        assert_eq!(a.matmul(&b), a.naive_matmul(&b));
     }
 
     #[test]
-    fn matmul_parallel_path_matches() {
-        // Big enough to take the rayon path.
-        let a = Matrix::from_fn(128, 64, |r, c| ((r + 2 * c) % 17) as f32 * 0.25 - 1.0);
-        let b = Matrix::from_fn(64, 96, |r, c| ((3 * r + c) % 13) as f32 * 0.5 - 2.0);
-        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3);
+    fn blocked_path_matches_naive_exactly() {
+        // 41*35*39 multiply-adds > BLOCKED_MIN_MULADDS: packed kernel,
+        // with ragged edge tiles in every dimension. Ascending-k
+        // accumulation makes the result bit-identical to the scalar
+        // triple loop.
+        let a = Matrix::from_fn(41, 35, |r, c| ((r + 2 * c) % 17) as f32 * 0.25 - 1.0);
+        let b = Matrix::from_fn(35, 39, |r, c| ((3 * r + c) % 13) as f32 * 0.5 - 2.0);
+        assert!(a.rows() * a.cols() * b.cols() >= crate::gemm::BLOCKED_MIN_MULADDS);
+        assert_eq!(a.matmul(&b), a.naive_matmul(&b));
+    }
+
+    #[test]
+    fn blocked_path_spans_multiple_panels() {
+        // k and n beyond KC/NC force multiple packed panels per
+        // element; the summation chain must still match the oracle
+        // bit for bit.
+        let a = Matrix::from_fn(9, 300, |r, c| ((r * 7 + c) % 23) as f32 * 0.125 - 1.0);
+        let b = Matrix::from_fn(300, 270, |r, c| ((r + 5 * c) % 19) as f32 * 0.25 - 2.0);
+        assert_eq!(a.matmul(&b), a.naive_matmul(&b));
     }
 
     #[test]
     fn matmul_transb_matches() {
         let a = Matrix::from_fn(6, 4, |r, c| (r as f32) - (c as f32) * 0.5);
         let b = Matrix::from_fn(8, 4, |r, c| (c as f32) * 0.3 - (r as f32) * 0.1);
-        assert_close(&a.matmul_transb(&b), &naive_matmul(&a, &b.transpose()), 1e-5);
+        assert_eq!(a.matmul_transb(&b), a.naive_matmul_transb(&b));
+        assert_close(&a.matmul_transb(&b), &a.naive_matmul(&b.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn matmul_transb_blocked_matches() {
+        let a = Matrix::from_fn(37, 64, |r, c| ((r * 3 + c) % 29) as f32 * 0.2 - 2.0);
+        let b = Matrix::from_fn(33, 64, |r, c| ((r + 7 * c) % 31) as f32 * 0.1 - 1.0);
+        assert_eq!(a.matmul_transb(&b), a.naive_matmul_transb(&b));
     }
 
     #[test]
     fn matmul_transa_matches() {
         let a = Matrix::from_fn(4, 6, |r, c| (r * c) as f32 * 0.1 - 0.5);
         let b = Matrix::from_fn(4, 5, |r, c| (r + c) as f32 * 0.2);
-        assert_close(&a.matmul_transa(&b), &naive_matmul(&a.transpose(), &b), 1e-5);
+        assert_eq!(a.matmul_transa(&b), a.naive_matmul_transa(&b));
+        assert_close(&a.matmul_transa(&b), &a.transpose().naive_matmul(&b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_transa_blocked_matches() {
+        let a = Matrix::from_fn(64, 37, |r, c| ((r + 11 * c) % 13) as f32 * 0.3 - 1.5);
+        let b = Matrix::from_fn(64, 35, |r, c| ((5 * r + c) % 17) as f32 * 0.25 - 2.0);
+        assert_eq!(a.matmul_transa(&b), a.naive_matmul_transa(&b));
+    }
+
+    #[test]
+    fn into_variants_reuse_output() {
+        let a = Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.5);
+        let b = Matrix::from_fn(4, 6, |r, c| (r as f32) - (c as f32) * 0.25);
+        let mut out = Matrix::full(5, 6, 99.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.naive_matmul(&b));
     }
 
     #[test]
@@ -397,6 +559,42 @@ mod tests {
         let mut acc = Matrix::ones(2, 2);
         acc.add_scaled_assign(&Matrix::ones(2, 2), 0.5);
         assert_eq!(acc.data(), &[1.5; 4]);
+
+        let mut ax = Matrix::ones(2, 2);
+        ax.axpy(0.5, &Matrix::ones(2, 2));
+        assert_eq!(ax.data(), &[1.5; 4]);
+
+        let mut biased = Matrix::zeros(2, 2);
+        biased.add_bias_rowwise(&Matrix::row_vector(&[3.0, 4.0]));
+        assert_eq!(biased.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn softmax_rows_into_matches_allocating_form() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r as f32) - (c as f32) * 0.7);
+        let mut out = Matrix::full(3, 5, -1.0);
+        m.softmax_rows_into(&mut out);
+        assert_eq!(out, m.softmax_rows());
+    }
+
+    #[test]
+    fn layernorm_rows_centres_and_scales() {
+        let m = Matrix::from_fn(4, 6, |r, c| (r * 6 + c) as f32 * 0.3 - 2.0);
+        let ln = m.layernorm_rows(1e-5);
+        for r in 0..ln.rows() {
+            let mean: f32 = ln.row(r).iter().sum::<f32>() / 6.0;
+            let var: f32 = ln.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 6.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_single_column_is_zero() {
+        // One column: variance 0, output (x - x) * inv_std = 0.
+        let m = Matrix::col_vector(&[5.0, -3.0, 0.25]);
+        let ln = m.layernorm_rows(1e-5);
+        assert_eq!(ln.data(), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

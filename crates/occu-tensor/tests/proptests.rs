@@ -37,6 +37,56 @@ fn threshold_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
     })
 }
 
+/// Shapes straddling BOTH blocked-GEMM dispatch gates: `m` spans the
+/// `MR = 4` skinny-row cutoff and `m * k * n` spans
+/// `BLOCKED_MIN_MULADDS = 16384`, so generated cases land on the
+/// streaming path, the packed cache-blocked path, and the exact
+/// boundaries between them.
+fn blocked_threshold_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (2usize..=6, 24usize..=40, 96usize..=160).prop_flat_map(|(m, k, n)| {
+        let a = prop::collection::vec(-2.0f32..2.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = prop::collection::vec(-2.0f32..2.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+/// Unfused softmax reference: shift, exponentiate, sum, and divide as
+/// four separate passes (vs the fused single sweep of
+/// `softmax_rows_into`).
+fn unfused_softmax(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let x = m.row(r);
+        let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = x.iter().map(|&v| (v - max).exp()).collect();
+        let total: f32 = exps.iter().sum();
+        for (c, e) in exps.iter().enumerate() {
+            out.set(r, c, e / total);
+        }
+    }
+    out
+}
+
+/// Unfused layernorm reference: materialized mean and variance
+/// passes, then a normalization pass.
+fn unfused_layernorm(m: &Matrix, eps: f32) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    let n = m.cols() as f32;
+    for r in 0..m.rows() {
+        let x = m.row(r);
+        let mean: f32 = x.iter().sum::<f32>() / n;
+        let centered: Vec<f32> = x.iter().map(|&v| v - mean).collect();
+        let var: f32 = centered.iter().map(|&d| d * d).sum::<f32>() / n;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for (c, d) in centered.iter().enumerate() {
+            out.set(r, c, d * inv_std);
+        }
+    }
+    out
+}
+
 /// Textbook i-j-k triple loop: the unambiguous reference both matmul
 /// dispatch paths (serial i-k-j and row-parallel) must agree with.
 fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
@@ -165,5 +215,64 @@ proptest! {
         let scaled = m.scale(s).norm();
         let expect = m.norm() * s.abs();
         prop_assert!((scaled - expect).abs() <= 1e-3 * (1.0 + expect));
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_equal_to_naive((a, b) in blocked_threshold_pair()) {
+        // Not a tolerance check: the packed cache-blocked kernel keeps
+        // every output element on one ascending-k accumulation chain,
+        // so it must reproduce the scalar oracle bit for bit on both
+        // sides of the dispatch thresholds.
+        prop_assert_eq!(a.matmul(&b), a.naive_matmul(&b));
+    }
+
+    #[test]
+    fn blocked_matmul_transb_is_bitwise_equal_to_naive((a, b) in blocked_threshold_pair()) {
+        let bt = b.transpose();
+        prop_assert_eq!(a.matmul_transb(&bt), a.naive_matmul(&b));
+    }
+
+    #[test]
+    fn blocked_matmul_transa_is_bitwise_equal_to_naive((a, b) in blocked_threshold_pair()) {
+        let at = a.transpose();
+        prop_assert_eq!(at.matmul_transa(&b), a.naive_matmul(&b));
+    }
+
+    #[test]
+    fn softmax_rows_into_is_bitwise_equal_to_allocating(m in small_matrix(9)) {
+        let mut out = Matrix::zeros(m.rows(), m.cols());
+        m.softmax_rows_into(&mut out);
+        prop_assert_eq!(out, m.softmax_rows());
+    }
+
+    #[test]
+    fn fused_softmax_matches_unfused_reference(m in small_matrix(9)) {
+        // small_matrix starts at dimension 1, so 1-row and 1-column
+        // degenerates are generated here too.
+        let mut fused = Matrix::zeros(m.rows(), m.cols());
+        m.softmax_rows_into(&mut fused);
+        assert_close(&fused, &unfused_softmax(&m), 1e-5);
+    }
+
+    #[test]
+    fn fused_layernorm_matches_unfused_reference(m in small_matrix(9)) {
+        let mut fused = Matrix::zeros(m.rows(), m.cols());
+        m.layernorm_rows_into(1e-5, &mut fused);
+        assert_close(&fused, &unfused_layernorm(&m, 1e-5), 1e-4);
+        prop_assert_eq!(m.layernorm_rows(1e-5), fused);
+    }
+
+    #[test]
+    fn one_column_softmax_and_layernorm_are_exact(col in prop::collection::vec(-4.0f32..4.0, 1..=8)) {
+        // Single-column rows are fully determined: softmax of one
+        // element is exactly 1, and centering one element gives
+        // exactly 0 — no tolerance allowed.
+        let m = Matrix::from_vec(col.len(), 1, col);
+        let mut s = Matrix::zeros(m.rows(), 1);
+        m.softmax_rows_into(&mut s);
+        prop_assert!(s.data().iter().all(|&x| x == 1.0));
+        let mut l = Matrix::zeros(m.rows(), 1);
+        m.layernorm_rows_into(1e-5, &mut l);
+        prop_assert!(l.data().iter().all(|&x| x == 0.0));
     }
 }
