@@ -15,13 +15,18 @@ use occu_core::features::{EDGE_FEAT_DIM, GLOBAL_FEAT_DIM, NODE_FEAT_DIM};
 use occu_core::gnn::{DnnOccu, DnnOccuConfig};
 use occu_core::train::{OccuPredictor, TrainConfig, Trainer};
 use occu_gpusim::DeviceSpec;
-use occu_tensor::{Matrix, SeededRng};
+use occu_tensor::{Isa, Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Multiply-add floor above which the blocked kernel must win: the
 /// `64^3` gate from the performance acceptance criteria.
 pub const GATE_MIN_MULADDS: usize = 64 * 64 * 64;
+
+/// Speedup the dispatched SIMD kernel must reach over the forced-scalar
+/// blocked kernel at the `cube:256` reference shape (gated only when an
+/// AVX tier actually dispatched).
+pub const SIMD_GATE_MIN_SPEEDUP: f64 = 2.0;
 
 /// One timed GEMM shape.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -46,6 +51,26 @@ pub struct KernelShapeRow {
     pub speedup: f64,
     /// Blocked output was bit-identical to the naive oracle.
     pub exact_match: bool,
+    /// Best-of-reps wall time of the blocked kernel pinned to the
+    /// scalar micro-kernel (`Isa::Scalar`), ms — the per-ISA ladder's
+    /// baseline rung.
+    #[serde(default)]
+    pub scalar_ms: f64,
+    /// ISA the dispatched (`blocked_ms`) run actually selected.
+    #[serde(default)]
+    pub isa: String,
+    /// `scalar_ms / blocked_ms`: what runtime SIMD dispatch buys over
+    /// the scalar blocked kernel at this shape.
+    #[serde(default)]
+    pub simd_speedup: f64,
+    /// Dispatched output was bit-identical to the forced-scalar
+    /// blocked output. Always `true` when the dispatched ISA carries
+    /// the bitwise contract; set `true` vacuously under `OCCU_FMA=1`
+    /// (FMA is validated by an error budget, not bit equality).
+    /// Absent in pre-SIMD reports; those deserialize as `false` and
+    /// must be regenerated before gating.
+    #[serde(default)]
+    pub simd_exact: bool,
 }
 
 impl KernelShapeRow {
@@ -62,6 +87,10 @@ pub struct KernelPerfReport {
     pub host_cores: usize,
     /// Quick (smoke) scale was used.
     pub quick: bool,
+    /// ISA runtime dispatch selected for this process
+    /// (`scalar`/`avx2`/`avx2+fma`/`avx512`/`neon`).
+    #[serde(default)]
+    pub kernel_isa: String,
     /// One row per timed shape.
     pub shapes: Vec<KernelShapeRow>,
     /// Hidden width of the end-to-end model runs.
@@ -83,7 +112,10 @@ pub struct KernelPerfReport {
 impl KernelPerfReport {
     /// Regression-gate violations: shapes at or above the `64^3`
     /// multiply-add floor where the blocked kernel was slower than
-    /// naive, or any shape whose outputs were not bit-identical.
+    /// naive, any shape whose outputs were not bit-identical (against
+    /// the naive oracle *and* against the forced-scalar blocked run),
+    /// and — when an AVX tier dispatched — a dispatched `cube:256`
+    /// slower than [`SIMD_GATE_MIN_SPEEDUP`] times the scalar kernel.
     pub fn gate_failures(&self) -> Vec<String> {
         let mut failures = Vec::new();
         for row in &self.shapes {
@@ -93,10 +125,29 @@ impl KernelPerfReport {
                     row.label, row.m, row.k, row.n
                 ));
             }
+            if !row.simd_exact {
+                failures.push(format!(
+                    "{} ({}x{}x{}): {} result differs from the forced-scalar blocked kernel",
+                    row.label, row.m, row.k, row.n, row.isa
+                ));
+            }
             if row.muladds() >= GATE_MIN_MULADDS && row.speedup < 1.0 {
                 failures.push(format!(
                     "{} ({}x{}x{}): blocked {:.3} ms is slower than naive {:.3} ms ({:.2}x)",
                     row.label, row.m, row.k, row.n, row.blocked_ms, row.naive_ms, row.speedup
+                ));
+            }
+            // The SIMD bar applies only where a wide x86 unit actually
+            // dispatched: forced-scalar and NEON runs are exempt.
+            if row.label == "cube:256"
+                && row.isa.starts_with("avx")
+                && row.simd_speedup < SIMD_GATE_MIN_SPEEDUP
+            {
+                failures.push(format!(
+                    "{} ({}x{}x{}): {} kernel is only {:.2}x over the scalar blocked kernel \
+                     (needs {:.1}x)",
+                    row.label, row.m, row.k, row.n, row.isa, row.simd_speedup,
+                    SIMD_GATE_MIN_SPEEDUP
                 ));
             }
         }
@@ -148,6 +199,7 @@ pub fn kernel_study(quick: bool, seed: u64) -> KernelPerfReport {
     let mut rng = SeededRng::new(seed);
     let reps = if quick { 3 } else { 5 };
 
+    let active = occu_tensor::active_isa();
     let mut rows = Vec::new();
     for (label, m, k, n) in study_shapes(quick) {
         let a = Matrix::randn(m, k, 1.0, &mut rng);
@@ -155,6 +207,12 @@ pub fn kernel_study(quick: bool, seed: u64) -> KernelPerfReport {
         let blocked = a.matmul(&b);
         let naive = a.naive_matmul(&b);
         let exact_match = blocked == naive;
+        // Per-ISA ladder: the same blocked sweep pinned to the scalar
+        // micro-kernel. Bitwise-exact tiers must reproduce it exactly;
+        // the FMA opt-in is covered by an error budget instead.
+        let mut scalar_out = Matrix::zeros(m, n);
+        a.matmul_into_isa(&b, &mut scalar_out, Isa::Scalar);
+        let simd_exact = !active.is_bitwise_exact() || blocked == scalar_out;
         let naive_ms = best_of_ms(reps, || {
             std::hint::black_box(a.naive_matmul(std::hint::black_box(&b)));
         });
@@ -163,6 +221,9 @@ pub fn kernel_study(quick: bool, seed: u64) -> KernelPerfReport {
         let mut out = Matrix::zeros(m, n);
         let blocked_ms = best_of_ms(reps, || {
             a.matmul_into(std::hint::black_box(&b), std::hint::black_box(&mut out));
+        });
+        let scalar_ms = best_of_ms(reps, || {
+            a.matmul_into_isa(std::hint::black_box(&b), std::hint::black_box(&mut out), Isa::Scalar);
         });
         let gflops = |ms: f64| (2.0 * (m * k * n) as f64) / (ms * 1e6);
         rows.push(KernelShapeRow {
@@ -176,6 +237,10 @@ pub fn kernel_study(quick: bool, seed: u64) -> KernelPerfReport {
             blocked_gflops: gflops(blocked_ms),
             speedup: naive_ms / blocked_ms,
             exact_match,
+            scalar_ms,
+            isa: active.name().to_string(),
+            simd_speedup: scalar_ms / blocked_ms,
+            simd_exact,
         });
     }
 
@@ -207,6 +272,7 @@ pub fn kernel_study(quick: bool, seed: u64) -> KernelPerfReport {
     KernelPerfReport {
         host_cores: std::thread::available_parallelism().map_or(1, usize::from),
         quick,
+        kernel_isa: active.name().to_string(),
         shapes: rows,
         hidden: cfg.hidden,
         train_samples: data.len(),
@@ -224,26 +290,29 @@ pub fn render_kernels(rep: &KernelPerfReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "== GEMM kernels: blocked/packed vs naive oracle ({} host cores{}) ==",
+        "== GEMM kernels: blocked/packed vs naive oracle ({} host cores, isa {}{}) ==",
         rep.host_cores,
+        if rep.kernel_isa.is_empty() { "?" } else { &rep.kernel_isa },
         if rep.quick { ", quick" } else { "" }
     );
     let _ = writeln!(
         out,
-        "{:<22} {:>14} {:>11} {:>12} {:>10} {:>9} {:>7}",
-        "shape", "m x k x n", "naive(ms)", "blocked(ms)", "GFLOP/s", "speedup", "exact"
+        "{:<22} {:>14} {:>11} {:>12} {:>11} {:>10} {:>9} {:>8} {:>7}",
+        "shape", "m x k x n", "naive(ms)", "scalar(ms)", "simd(ms)", "GFLOP/s", "speedup", "simd-x", "exact"
     );
     for r in &rep.shapes {
         let _ = writeln!(
             out,
-            "{:<22} {:>14} {:>11.3} {:>12.3} {:>10.2} {:>8.2}x {:>7}",
+            "{:<22} {:>14} {:>11.3} {:>12.3} {:>11.3} {:>10.2} {:>8.2}x {:>7.2}x {:>7}",
             r.label,
             format!("{}x{}x{}", r.m, r.k, r.n),
             r.naive_ms,
+            r.scalar_ms,
             r.blocked_ms,
             r.blocked_gflops,
             r.speedup,
-            if r.exact_match { "yes" } else { "NO" }
+            r.simd_speedup,
+            if r.exact_match && r.simd_exact { "yes" } else { "NO" }
         );
     }
     let _ = writeln!(
@@ -284,18 +353,26 @@ mod tests {
         let rep = kernel_study(true, 91);
         assert!(!rep.shapes.is_empty());
         assert!(rep.shapes.iter().all(|r| r.exact_match), "blocked must match naive bitwise");
+        assert!(
+            rep.shapes.iter().all(|r| r.simd_exact),
+            "dispatched kernel must match the forced-scalar blocked kernel bitwise"
+        );
+        assert!(!rep.kernel_isa.is_empty());
+        assert!(rep.shapes.iter().all(|r| r.isa == rep.kernel_isa));
         assert!(rep.train_epoch_ms > 0.0 && rep.serve_predict_rps > 0.0);
         let json = serde_json::to_string_pretty(&rep).unwrap();
         let back: KernelPerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.shapes.len(), rep.shapes.len());
+        assert_eq!(back.kernel_isa, rep.kernel_isa);
     }
 
     #[test]
     fn gate_flags_slow_and_inexact_rows() {
         let mut rep = kernel_study(true, 92);
         assert!(rep.gate_failures().iter().all(|f| f.is_empty()) || rep.gate_failures().is_empty());
-        // Forge a regression: a big shape where blocked lost.
-        rep.shapes.push(KernelShapeRow {
+        // Forge regressions: a big shape where blocked lost, an
+        // inexact row, and a cube:256 where SIMD missed its bar.
+        let template = KernelShapeRow {
             label: "forged".into(),
             m: 64,
             k: 64,
@@ -306,7 +383,12 @@ mod tests {
             blocked_gflops: 0.5,
             speedup: 0.5,
             exact_match: true,
-        });
+            scalar_ms: 2.0,
+            isa: "avx2".into(),
+            simd_speedup: 1.0,
+            simd_exact: true,
+        };
+        rep.shapes.push(template.clone());
         rep.shapes.push(KernelShapeRow {
             label: "forged-inexact".into(),
             m: 4,
@@ -318,9 +400,33 @@ mod tests {
             blocked_gflops: 2.0,
             speedup: 2.0,
             exact_match: false,
+            simd_exact: false,
+            ..template.clone()
+        });
+        rep.shapes.push(KernelShapeRow {
+            label: "cube:256".into(),
+            m: 256,
+            k: 256,
+            n: 256,
+            speedup: 5.0,
+            simd_speedup: 1.4,
+            ..template.clone()
+        });
+        // A forced-scalar (or NEON) run is exempt from the SIMD bar.
+        rep.shapes.push(KernelShapeRow {
+            label: "cube:256".into(),
+            isa: "scalar".into(),
+            speedup: 5.0,
+            simd_speedup: 1.0,
+            ..template
         });
         let failures = rep.gate_failures();
         assert!(failures.iter().any(|f| f.contains("forged (")));
         assert!(failures.iter().any(|f| f.contains("forged-inexact")));
+        assert_eq!(
+            failures.iter().filter(|f| f.contains("needs 2.0x")).count(),
+            1,
+            "exactly the avx cube:256 row trips the SIMD bar: {failures:?}"
+        );
     }
 }

@@ -77,6 +77,18 @@ pub struct ServeReport {
     /// server's worker tapes.
     #[serde(default)]
     pub arena_allocated_bytes: u64,
+    /// `tensor.kernel_isa` scraped from `/metrics`: the SIMD tier the
+    /// server's kernels dispatched to (empty if the scrape failed).
+    #[serde(default)]
+    pub kernel_isa: String,
+    /// Sum of the `tensor.dispatch.{avx2,fma,avx512,neon}` gauges —
+    /// kernel-level primitive calls that ran on a SIMD path.
+    #[serde(default)]
+    pub dispatch_simd: u64,
+    /// `tensor.dispatch.scalar` gauge: primitive calls that ran the
+    /// portable scalar path (including sub-gate streaming products).
+    #[serde(default)]
+    pub dispatch_scalar: u64,
 }
 
 /// One keep-alive HTTP/1.1 client connection.
@@ -230,31 +242,50 @@ fn client_thread(
     tally
 }
 
-/// Scrapes `/metrics` and pulls out the two lines the smoke test
-/// gates on: the batcher's size histogram and the scratch-arena
-/// high-water gauge. Returns `(batch_count, arena_bytes)`, zeros on
+/// The `/metrics` lines the smoke test and report care about.
+#[derive(Default)]
+struct ScrapedMetrics {
+    batch_count: u64,
+    arena_bytes: u64,
+    kernel_isa: String,
+    dispatch_simd: u64,
+    dispatch_scalar: u64,
+}
+
+/// Scrapes `/metrics` and pulls out the lines the smoke test gates
+/// on: the batcher's size histogram, the scratch-arena high-water
+/// gauge, and the kernel ISA / dispatch counters. Returns defaults on
 /// any scrape or parse failure — loadgen results still stand.
-fn scrape_metrics(addr: &str) -> (u64, u64) {
+fn scrape_metrics(addr: &str) -> ScrapedMetrics {
+    let mut scraped = ScrapedMetrics::default();
     let Ok(mut conn) = Conn::open(addr) else {
-        return (0, 0);
+        return scraped;
     };
     let Ok((200, body)) = conn.get("/metrics") else {
-        return (0, 0);
+        return scraped;
     };
-    let mut batch_count = 0u64;
-    let mut arena_bytes = 0u64;
+    let gauge_u64 = |rest: &str| rest.trim().parse::<f64>().map(|v| v as u64).unwrap_or(0);
     for line in body.lines() {
         if let Some(rest) = line.strip_prefix("serve.batch.size histogram ") {
-            batch_count = rest
+            scraped.batch_count = rest
                 .split_whitespace()
                 .find_map(|f| f.strip_prefix("count="))
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0);
         } else if let Some(rest) = line.strip_prefix("serve.arena.allocated_bytes gauge ") {
-            arena_bytes = rest.trim().parse::<f64>().map(|v| v as u64).unwrap_or(0);
+            scraped.arena_bytes = gauge_u64(rest);
+        } else if let Some(rest) = line.strip_prefix("tensor.kernel_isa info ") {
+            scraped.kernel_isa = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("tensor.dispatch.scalar gauge ") {
+            scraped.dispatch_scalar = gauge_u64(rest);
+        } else if let Some(rest) = line.strip_prefix("tensor.dispatch.") {
+            // Any other dispatch counter is a SIMD tier.
+            if let Some((_, v)) = rest.split_once(" gauge ") {
+                scraped.dispatch_simd += gauge_u64(v);
+            }
         }
     }
-    (batch_count, arena_bytes)
+    scraped
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -380,8 +411,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
         .map_err(|_| OccuError::data("loadgen", "reload thread panicked"))?;
 
     // Scrape /metrics before teardown so the report captures the
-    // batcher and scratch-arena state this run produced.
-    let (metrics_batch_count, arena_allocated_bytes) = scrape_metrics(&addr);
+    // batcher, scratch-arena, and kernel-dispatch state this run
+    // produced.
+    let scraped = scrape_metrics(&addr);
 
     if let Some((server, dir)) = local {
         server.shutdown();
@@ -416,8 +448,11 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
         },
         reload_ok,
         model_version_after,
-        metrics_batch_count,
-        arena_allocated_bytes,
+        metrics_batch_count: scraped.batch_count,
+        arena_allocated_bytes: scraped.arena_bytes,
+        kernel_isa: scraped.kernel_isa,
+        dispatch_simd: scraped.dispatch_simd,
+        dispatch_scalar: scraped.dispatch_scalar,
     })
 }
 
@@ -441,6 +476,13 @@ pub fn render_loadgen(rep: &ServeReport) -> String {
         rep.p50_us, rep.p99_us
     );
     let _ = writeln!(out, "cache hit rate: {:>12.1}%", rep.cache_hit_rate * 100.0);
+    let _ = writeln!(
+        out,
+        "kernel isa:     {:>12}   dispatch simd/scalar: {}/{}",
+        if rep.kernel_isa.is_empty() { "(unscraped)" } else { &rep.kernel_isa },
+        rep.dispatch_simd,
+        rep.dispatch_scalar
+    );
     let _ = writeln!(
         out,
         "ok/errors/dropped: {}/{}/{}   hot-reload: {} (model v{})",

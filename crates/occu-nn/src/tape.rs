@@ -497,9 +497,7 @@ impl Tape {
         {
             let xv = self.value(x);
             for row in 0..r {
-                for (o, &v) in out.row_mut(0).iter_mut().zip(xv.row(row).iter()) {
-                    *o += v;
-                }
+                occu_tensor::add_into(out.row_mut(0), xv.row(row));
             }
             let inv = 1.0 / r as f32;
             for o in out.row_mut(0).iter_mut() {
@@ -578,9 +576,7 @@ impl Tape {
             let src = self.value(x);
             for (i, &idx) in indices.iter().enumerate() {
                 assert!(idx < out_rows, "scatter_add_rows: index {idx} out of {out_rows}");
-                for (o, &v) in out.row_mut(idx).iter_mut().zip(src.row(i).iter()) {
-                    *o += v;
-                }
+                occu_tensor::add_into(out.row_mut(idx), src.row(i));
             }
         }
         let idx = self.take_indices(indices);
@@ -959,9 +955,7 @@ impl Tape {
                     let (r, c) = self.nodes[x.0].value.shape();
                     let mut gx = self.take(r, c);
                     for (i2, &idx) in indices.iter().enumerate() {
-                        for (o, &v) in gx.row_mut(idx).iter_mut().zip(g.row(i2).iter()) {
-                            *o += v;
-                        }
+                        occu_tensor::add_into(gx.row_mut(idx), g.row(i2));
                     }
                     self.acc_owned(grads, x.0, gx);
                     self.recycle(g);
@@ -995,9 +989,7 @@ impl Default for Tape {
 fn sum_rows_into(g: &Matrix, out: &mut Matrix) {
     debug_assert_eq!(out.shape(), (1, g.cols()));
     for r in 0..g.rows() {
-        for (o, &x) in out.row_mut(0).iter_mut().zip(g.row(r).iter()) {
-            *o += x;
-        }
+        occu_tensor::add_into(out.row_mut(0), g.row(r));
     }
 }
 

@@ -856,10 +856,19 @@ fn render_metrics(state: &ServerState) -> String {
         .set(occu_tensor::arena_total_allocated_bytes() as f64);
     occu_obs::gauge("serve.arena.fresh_allocs")
         .set(occu_tensor::arena_total_fresh_allocs() as f64);
+    // Per-ISA kernel dispatch counters from occu-tensor, so operators
+    // can confirm which SIMD tier predictions actually ran on.
+    let disp = occu_tensor::dispatch_counts();
+    occu_obs::gauge("tensor.dispatch.scalar").set(disp.scalar as f64);
+    occu_obs::gauge("tensor.dispatch.avx2").set(disp.avx2 as f64);
+    occu_obs::gauge("tensor.dispatch.fma").set(disp.fma as f64);
+    occu_obs::gauge("tensor.dispatch.avx512").set(disp.avx512 as f64);
+    occu_obs::gauge("tensor.dispatch.neon").set(disp.neon as f64);
 
     let snapshot = occu_obs::metrics_snapshot();
     let mut out = String::with_capacity(1024);
     out.push_str("# occu-serve metrics\n");
+    out.push_str(&format!("tensor.kernel_isa info {}\n", occu_tensor::active_isa().name()));
     for (name, value) in &snapshot.entries {
         match value {
             occu_obs::MetricValue::Counter(v) => {

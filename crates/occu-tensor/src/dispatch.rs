@@ -1,0 +1,216 @@
+//! Runtime CPU-feature dispatch for the SIMD kernels.
+//!
+//! The workspace compiles for the baseline target (x86-64 means SSE2
+//! only), so AVX2/NEON kernels cannot be selected at compile time
+//! without producing a binary that faults on older machines. Instead,
+//! the first kernel invocation probes the CPU once
+//! ([`std::arch::is_x86_feature_detected!`] on x86-64, the aarch64
+//! equivalent on ARM), caches the verdict in a [`OnceLock`], and every
+//! hot-path primitive branches on that cached [`Isa`]. The same binary
+//! therefore runs everywhere and uses the widest unit the host offers.
+//!
+//! Two environment variables steer the choice, read once at first use:
+//!
+//! * `OCCU_FORCE_SCALAR=1` pins [`Isa::Scalar`] regardless of the CPU.
+//!   The scalar kernels are the bitwise oracle — a forced-scalar run
+//!   must reproduce the SIMD run exactly, which `repro kernels` and
+//!   the proptests in `tests/proptests.rs` verify.
+//! * `OCCU_FMA=1` upgrades AVX2 to [`Isa::Avx2Fma`] when the CPU has
+//!   FMA. Fused multiply-add keeps the intermediate product at full
+//!   precision, so it is *not* bitwise-equal to the scalar chain; the
+//!   opt-in is validated against a relative-error budget instead.
+//!
+//! When the CPU additionally reports AVX-512 (F and DQ), the GEMM
+//! micro-kernel is upgraded to the 16-lane paired-panel kernel — still
+//! separate mul-then-add per lane, so still bitwise-equal to the
+//! scalar oracle. On a 2×512-bit-FPU core that roughly doubles GEMM
+//! throughput over the AVX2 kernel, whose 4×8 tile is port-limited.
+//!
+//! Per-ISA dispatch counters (one increment per dispatched primitive
+//! call, not per element) feed the `tensor.dispatch.{avx2,fma,avx512,
+//! neon,scalar}` metrics that `occu-serve` exports and `repro kernels`
+//! reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Instruction set a kernel invocation was dispatched to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable scalar Rust — the always-available bitwise oracle.
+    Scalar,
+    /// x86-64 AVX2: 8-lane `f32`, separate mul-then-add (bitwise-equal
+    /// to scalar).
+    Avx2,
+    /// x86-64 AVX2 + FMA: fused multiply-add, opt-in via `OCCU_FMA=1`;
+    /// validated by a relative-error budget, not bitwise equality.
+    Avx2Fma,
+    /// x86-64 AVX-512 (F+DQ): 16-lane `f32` GEMM micro-kernel covering
+    /// two packed `NR`-panels per step, separate mul-then-add per lane
+    /// (bitwise-equal to scalar). Row-wise primitives stay on the AVX2
+    /// code — they are memory-bound and gain nothing from wider lanes.
+    Avx512,
+    /// aarch64 NEON: 4-lane `f32`, mul-then-add (bitwise-equal to
+    /// scalar).
+    Neon,
+}
+
+impl Isa {
+    /// Stable lower-case name used in metrics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx2Fma => "avx2+fma",
+            Isa::Avx512 => "avx512",
+            Isa::Neon => "neon",
+        }
+    }
+
+    /// Whether results on this ISA are bitwise-equal to the scalar
+    /// oracle (everything except the FMA opt-in).
+    pub fn is_bitwise_exact(self) -> bool {
+        !matches!(self, Isa::Avx2Fma)
+    }
+}
+
+static ACTIVE: OnceLock<Isa> = OnceLock::new();
+
+/// True when `var` is set to something other than empty or `0`.
+fn env_flag(var: &str) -> bool {
+    std::env::var(var).map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+fn detect() -> Isa {
+    if env_flag("OCCU_FORCE_SCALAR") {
+        return Isa::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // The FMA opt-in is explicit, so it wins even over AVX-512
+            // (the user asked for fused arithmetic, not the widest unit).
+            if env_flag("OCCU_FMA") && std::arch::is_x86_feature_detected!("fma") {
+                return Isa::Avx2Fma;
+            }
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+            {
+                return Isa::Avx512;
+            }
+            return Isa::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Isa::Neon;
+        }
+    }
+    Isa::Scalar
+}
+
+/// The ISA every dispatched primitive in this process uses, probed
+/// once on first call (honouring `OCCU_FORCE_SCALAR` / `OCCU_FMA`).
+pub fn active_isa() -> Isa {
+    *ACTIVE.get_or_init(detect)
+}
+
+static DISPATCH_SCALAR: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_AVX2: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_FMA: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_AVX512: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_NEON: AtomicU64 = AtomicU64::new(0);
+
+/// Records one dispatched primitive call on `isa`.
+#[inline]
+pub(crate) fn note_dispatch(isa: Isa) {
+    let c = match isa {
+        Isa::Scalar => &DISPATCH_SCALAR,
+        Isa::Avx2 => &DISPATCH_AVX2,
+        Isa::Avx2Fma => &DISPATCH_FMA,
+        Isa::Avx512 => &DISPATCH_AVX512,
+        Isa::Neon => &DISPATCH_NEON,
+    };
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide dispatch counters: how many kernel-level primitive
+/// calls (GEMM sweeps, fused row passes) ran on each ISA.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchCounts {
+    /// Calls that ran the portable scalar path (including small
+    /// products below the blocked-GEMM gate, which always stream).
+    pub scalar: u64,
+    /// Calls that ran the AVX2 mul-then-add kernels.
+    pub avx2: u64,
+    /// Calls that ran the opt-in AVX2+FMA kernel.
+    pub fma: u64,
+    /// Calls that ran the AVX-512 paired-panel GEMM kernel.
+    pub avx512: u64,
+    /// Calls that ran the NEON kernels.
+    pub neon: u64,
+}
+
+impl DispatchCounts {
+    /// Sum over all ISAs.
+    pub fn total(&self) -> u64 {
+        self.scalar + self.avx2 + self.fma + self.avx512 + self.neon
+    }
+
+    /// Calls that took any SIMD path.
+    pub fn simd(&self) -> u64 {
+        self.avx2 + self.fma + self.avx512 + self.neon
+    }
+}
+
+/// Snapshot of the per-ISA dispatch counters.
+pub fn dispatch_counts() -> DispatchCounts {
+    DispatchCounts {
+        scalar: DISPATCH_SCALAR.load(Ordering::Relaxed),
+        avx2: DISPATCH_AVX2.load(Ordering::Relaxed),
+        fma: DISPATCH_FMA.load(Ordering::Relaxed),
+        avx512: DISPATCH_AVX512.load(Ordering::Relaxed),
+        neon: DISPATCH_NEON.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Isa::Scalar.name(), "scalar");
+        assert_eq!(Isa::Avx2.name(), "avx2");
+        assert_eq!(Isa::Avx2Fma.name(), "avx2+fma");
+        assert_eq!(Isa::Avx512.name(), "avx512");
+        assert_eq!(Isa::Neon.name(), "neon");
+    }
+
+    #[test]
+    fn exactness_contract() {
+        assert!(Isa::Scalar.is_bitwise_exact());
+        assert!(Isa::Avx2.is_bitwise_exact());
+        assert!(Isa::Avx512.is_bitwise_exact());
+        assert!(Isa::Neon.is_bitwise_exact());
+        assert!(!Isa::Avx2Fma.is_bitwise_exact());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let before = dispatch_counts();
+        note_dispatch(Isa::Scalar);
+        note_dispatch(Isa::Avx2);
+        let after = dispatch_counts();
+        assert!(after.scalar > before.scalar);
+        assert!(after.avx2 > before.avx2);
+        assert_eq!(after.total(), after.scalar + after.avx2 + after.fma + after.neon);
+    }
+
+    #[test]
+    fn active_isa_is_sticky() {
+        // Whatever the first probe decided, later calls agree.
+        assert_eq!(active_isa(), active_isa());
+    }
+}

@@ -8,9 +8,16 @@
 //! each `ic` the `mc x kc` slab of `A` is packed into `MR`-tall row
 //! strips. The innermost micro-kernel then multiplies one `MR x kc`
 //! strip against one `kc x NR` panel entirely out of those packed
-//! buffers, keeping an `MR x NR` accumulator tile in registers. All
-//! loops are plain safe Rust over `chunks_exact` slices, which LLVM
-//! auto-vectorizes into packed mul/add.
+//! buffers, keeping an `MR x NR` accumulator tile in registers.
+//!
+//! The micro-kernel itself is dispatched at runtime via
+//! [`micro_kernel_for`]: explicit AVX2 (or NEON) kernels from
+//! [`crate::simd`] when the CPU has them, otherwise the scalar
+//! fallback below — plain safe Rust over `chunks_exact` slices, which
+//! LLVM auto-vectorizes to whatever the *compile-time* target allows
+//! (baseline x86-64 means SSE2). The explicit kernels exist precisely
+//! because the same binary must run on the baseline target yet use
+//! the wide units when present.
 //!
 //! # Determinism
 //!
@@ -28,6 +35,7 @@
 //! (`A*B`, `A*B^T`, `A^T*B`) route through the same packed kernel;
 //! transposition is absorbed by the packing step.
 
+use crate::dispatch::Isa;
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -44,7 +52,19 @@ pub const NR: usize = 8;
 
 /// Multiply-add count above which the blocked/packed kernel beats the
 /// streaming loop's lower fixed cost.
-pub(crate) const BLOCKED_MIN_MULADDS: usize = 16 * 1024;
+pub const BLOCKED_MIN_MULADDS: usize = 16 * 1024;
+
+/// Whether a `(m, k) x (k, n)` product routes to the blocked packed
+/// kernel (versus the streaming loop): enough rows to fill a
+/// micro-kernel strip and enough total work to amortize packing.
+///
+/// This is the single definition of the dispatch gate — the three
+/// `matmul*_into` entry points, the kernel study in `occu-bench`, and
+/// the gate-straddling proptests all call it, so the boundary cannot
+/// drift between the kernel and its tests.
+pub const fn use_blocked(m: usize, k: usize, n: usize) -> bool {
+    m >= MR && m.saturating_mul(k).saturating_mul(n) >= BLOCKED_MIN_MULADDS
+}
 
 /// Multiply-add count above which fanning rows out across the rayon
 /// pool amortizes the fork. Counting `m*k*n` (not `m` alone) means a
@@ -142,8 +162,80 @@ fn pack_b(b: View, pc: usize, kc: usize, jc: usize, nc: usize, buf: &mut Vec<f32
 /// over successive `pc` panels continue a single summation chain per
 /// element. Padded lanes (`i >= mr` / `j >= nr`) accumulate zeros and
 /// are never stored.
+/// The micro-kernel signature shared by the scalar oracle and the
+/// SIMD kernels: `C[0..mr, 0..nr] += strip * panels`, where the packed
+/// `B` slice spans [`KernelSel::panel_step`] adjacent panels (so `nr`
+/// can reach `panel_step * NR`).
+///
+/// Declared `unsafe` because the SIMD entries carry `#[target_feature]`
+/// attributes; the pointer a call site holds is only ever produced by
+/// [`micro_kernel_for`], which verifies the feature at runtime before
+/// handing out anything but the scalar kernel.
+pub(crate) type MicroKernelFn =
+    unsafe fn(usize, usize, &[f32], &[f32], &mut [f32], usize);
+
+/// A resolved micro-kernel: the ISA actually selected, the kernel
+/// entry point, and how many packed `NR`-panels one call consumes
+/// (1 for the 8-wide kernels, 2 for the 512-bit and paired-FMA tiles).
+#[derive(Clone, Copy)]
+pub(crate) struct KernelSel {
+    pub(crate) isa: Isa,
+    pub(crate) kernel: MicroKernelFn,
+    pub(crate) panel_step: usize,
+}
+
+/// Resolves the micro-kernel for `isa`, degrading down the ladder
+/// (AVX-512 → AVX2 → scalar) when the requested feature is absent on
+/// this host — which also makes handing the returned pointer to
+/// [`gemm_into`] sound.
+pub(crate) fn micro_kernel_for(isa: Isa) -> KernelSel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if isa == Isa::Avx512
+            && std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+        {
+            return KernelSel {
+                isa,
+                kernel: crate::simd::x86::micro_kernel_avx512,
+                panel_step: 2,
+            };
+        }
+        if isa == Isa::Avx2Fma
+            && std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return KernelSel { isa, kernel: crate::simd::x86::micro_kernel_fma, panel_step: 2 };
+        }
+        if matches!(isa, Isa::Avx2 | Isa::Avx2Fma | Isa::Avx512)
+            && std::arch::is_x86_feature_detected!("avx2")
+        {
+            return KernelSel {
+                isa: Isa::Avx2,
+                kernel: crate::simd::x86::micro_kernel_avx2,
+                panel_step: 1,
+            };
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if isa == Isa::Neon && std::arch::is_aarch64_feature_detected!("neon") {
+            return KernelSel {
+                isa,
+                kernel: crate::simd::arm::micro_kernel_neon,
+                panel_step: 1,
+            };
+        }
+    }
+    let _ = isa;
+    KernelSel { isa: Isa::Scalar, kernel: micro_kernel_scalar as MicroKernelFn, panel_step: 1 }
+}
+
+/// Scalar form of the micro-kernel — the always-available bitwise
+/// oracle the SIMD kernels in [`crate::simd`] are validated against.
+/// (Safe fn items coerce to the `unsafe` [`MicroKernelFn`] pointer.)
 #[inline]
-fn micro_kernel(mr: usize, nr: usize, pa_strip: &[f32], pb_panel: &[f32], c: &mut [f32], ldc: usize) {
+fn micro_kernel_scalar(mr: usize, nr: usize, pa_strip: &[f32], pb_panel: &[f32], c: &mut [f32], ldc: usize) {
     let mut acc = [[0.0f32; NR]; MR];
     for (i, row) in acc.iter_mut().enumerate().take(mr) {
         row[..nr].copy_from_slice(&c[i * ldc..i * ldc + nr]);
@@ -163,7 +255,9 @@ fn micro_kernel(mr: usize, nr: usize, pa_strip: &[f32], pb_panel: &[f32], c: &mu
 
 /// Runs the full blocked sweep for the output rows in `rows`,
 /// accumulating into `out` (which holds those rows, `n` wide).
-/// `bufs` is the `(packed A, packed B)` scratch pair.
+/// `bufs` is the `(packed A, packed B)` scratch pair; `sel` is the
+/// micro-kernel resolved by [`micro_kernel_for`].
+#[allow(clippy::too_many_arguments)]
 fn gemm_rows(
     a: View,
     b: View,
@@ -172,6 +266,7 @@ fn gemm_rows(
     n: usize,
     kdim: usize,
     bufs: &mut (Vec<f32>, Vec<f32>),
+    sel: KernelSel,
 ) {
     let row0 = rows.start;
     let mrows = rows.len();
@@ -190,12 +285,21 @@ fn gemm_rows(
                     let i0 = s * MR;
                     let mr = MR.min(mc - i0);
                     let pa_strip = &pa_buf[s * kc * MR..(s + 1) * kc * MR];
-                    for p in 0..panels {
+                    // Wide kernels consume `panel_step` adjacent panels
+                    // per call; a trailing odd panel goes down alone
+                    // and the kernel narrows itself to one panel.
+                    let mut p = 0;
+                    while p < panels {
+                        let take = sel.panel_step.min(panels - p);
                         let j0 = p * NR;
-                        let nr = NR.min(nc - j0);
-                        let pb_panel = &pb_buf[p * kc * NR..(p + 1) * kc * NR];
+                        let nr = (take * NR).min(nc - j0);
+                        let pb_panels = &pb_buf[p * kc * NR..(p + take) * kc * NR];
                         let c_off = (ic + i0) * n + jc + j0;
-                        micro_kernel(mr, nr, pa_strip, pb_panel, &mut out[c_off..], n);
+                        // SAFETY: `sel` comes from `micro_kernel_for`,
+                        // which only returns a `#[target_feature]` kernel
+                        // after runtime detection confirmed the feature.
+                        unsafe { (sel.kernel)(mr, nr, pa_strip, pb_panels, &mut out[c_off..], n) };
+                        p += take;
                     }
                 }
             }
@@ -209,7 +313,15 @@ fn gemm_rows(
 /// product). Rows fan out across the rayon pool when the product is
 /// large enough; the per-element summation order is independent of the
 /// row partition, so results are bit-identical at any thread count.
-pub(crate) fn gemm_into(a: View, b: View, m: usize, kdim: usize, n: usize, out: &mut [f32]) {
+pub(crate) fn gemm_into(
+    a: View,
+    b: View,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    out: &mut [f32],
+    sel: KernelSel,
+) {
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 {
         return;
@@ -221,12 +333,12 @@ pub(crate) fn gemm_into(a: View, b: View, m: usize, kdim: usize, n: usize, out: 
             let row0 = ci * chunk_rows;
             let mrows = chunk.len() / n;
             PACK_BUFS.with(|bufs| {
-                gemm_rows(a, b, chunk, row0..row0 + mrows, n, kdim, &mut bufs.borrow_mut());
+                gemm_rows(a, b, chunk, row0..row0 + mrows, n, kdim, &mut bufs.borrow_mut(), sel);
             });
         });
     } else {
         PACK_BUFS.with(|bufs| {
-            gemm_rows(a, b, out, 0..m, n, kdim, &mut bufs.borrow_mut());
+            gemm_rows(a, b, out, 0..m, n, kdim, &mut bufs.borrow_mut(), sel);
         });
     }
 }
@@ -246,6 +358,52 @@ mod tests {
         assert!(!should_parallelize(8, 8, 8));
         // A single row cannot be split across threads.
         assert!(!should_parallelize(1, 1 << 20, 64));
+    }
+
+    #[test]
+    fn blocked_gate_is_single_sourced() {
+        // Exactly at the muladd floor with enough rows: blocked.
+        assert!(use_blocked(MR, 64, 64));
+        // One muladd short of the floor: streaming.
+        assert!(!use_blocked(MR, 64, 63));
+        // Too few rows to fill a strip, however much total work.
+        assert!(!use_blocked(MR - 1, 1 << 12, 1 << 12));
+        // The gate must not overflow on absurd shapes.
+        assert!(use_blocked(usize::MAX, usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn scalar_isa_resolves_to_scalar_kernel() {
+        let sel = micro_kernel_for(Isa::Scalar);
+        assert_eq!(sel.isa, Isa::Scalar);
+        assert_eq!(sel.panel_step, 1);
+        // Requesting an ISA this arch/host lacks degrades down the
+        // ladder rather than handing out an uncallable kernel.
+        #[cfg(not(target_arch = "aarch64"))]
+        {
+            let sel = micro_kernel_for(Isa::Neon);
+            assert_eq!(sel.isa, Isa::Scalar);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let sel = micro_kernel_for(Isa::Avx2);
+            assert_eq!(sel.isa, Isa::Scalar);
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            // AVX-512 resolution: the paired-panel kernel on hosts
+            // that have it, otherwise the AVX2 or scalar rung.
+            let sel = micro_kernel_for(Isa::Avx512);
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+            {
+                assert_eq!(sel.isa, Isa::Avx512);
+                assert_eq!(sel.panel_step, 2);
+            } else {
+                assert_ne!(sel.isa, Isa::Avx512);
+                assert_eq!(sel.panel_step, 1);
+            }
+        }
     }
 
     #[test]

@@ -12,22 +12,31 @@
 //! * Elementwise and row-wise primitives (softmax, layer-norm
 //!   statistics, reductions) needed by the neural-network layers in
 //!   `occu-nn`.
+//! * Runtime CPU-feature dispatch ([`active_isa`], [`dispatch_counts`])
+//!   selecting explicit AVX2/NEON micro-kernels for the GEMM inner
+//!   loop and the fused row primitives, with `OCCU_FORCE_SCALAR=1`
+//!   pinning the bitwise scalar oracle and `OCCU_FMA=1` opting into
+//!   the (not bitwise-reproducible) fused-multiply-add GEMM kernel.
 //!
 //! Everything is pure CPU code; determinism is preserved by using
 //! explicitly seeded RNGs ([`Matrix::randn`]) so that experiments in
 //! the paper reproduction are repeatable bit-for-bit on one machine.
 
 mod arena;
+mod dispatch;
 mod gemm;
 mod matrix;
 mod ops;
 mod random;
+mod simd;
 
 pub use arena::{
     arena_total_allocated_bytes, arena_total_fresh_allocs, arena_total_takes, ScratchArena,
 };
-pub use gemm::{should_parallelize, KC, MC, MR, NC, NR};
+pub use dispatch::{active_isa, dispatch_counts, DispatchCounts, Isa};
+pub use gemm::{should_parallelize, use_blocked, BLOCKED_MIN_MULADDS, KC, MC, MR, NC, NR};
 pub use matrix::Matrix;
+pub use ops::{add_into, axpy_into, softmax_in_place};
 pub use random::{xavier_uniform, he_normal, SeededRng};
 
 /// Numerical tolerance used across the workspace for float comparisons

@@ -7,9 +7,123 @@
 //! `naive_*` oracles kept for benchmarking and equivalence tests,
 //! accumulate every output element in ascending-`k` order through a
 //! single chain, so all of them produce bit-identical results.
+//!
+//! # SIMD dispatch and the lane-sum contract
+//!
+//! The fused row-wise primitives (`add_bias_rowwise`, `axpy`,
+//! `softmax_rows_into`, `layernorm_rows_into`) and the blocked GEMM
+//! route through the runtime [`crate::dispatch`] table: explicit AVX2
+//! kernels from [`crate::simd`] where the CPU has them, the scalar
+//! code below otherwise, with `OCCU_FORCE_SCALAR=1` pinning the
+//! scalar oracle. To keep the two paths bitwise-equal, every row
+//! reduction uses the same *lane-structured* summation on both sides:
+//! eight partial sums where lane `j` accumulates elements
+//! `j, j+8, j+16, ...`, combined by the fixed [`combine_lanes`] tree.
+//! The scalar code spells that structure out by hand; the AVX2 code
+//! holds the eight lanes in one register. Elementwise passes map one
+//! scalar op to one SIMD lane, so they are trivially identical.
 
+use crate::dispatch::{self, Isa};
 use crate::gemm::{self, View};
 use crate::Matrix;
+
+/// Fixed pairwise tree that folds the eight lane partials into one
+/// value. Every reduction — scalar or SIMD — funnels through this
+/// exact expression, which is what makes the paths bitwise-equal.
+#[inline]
+pub(crate) fn combine_lanes(l: &[f32; 8]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Lane-structured sum (see the module docs): the scalar side of the
+/// contract shared with `simd::x86::lane_sum_avx2`.
+#[inline]
+fn lane_sum_scalar(xs: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut it = xs.chunks_exact(8);
+    for c in &mut it {
+        for (lane, &x) in lanes.iter_mut().zip(c.iter()) {
+            *lane += x;
+        }
+    }
+    for (lane, &x) in lanes.iter_mut().zip(it.remainder().iter()) {
+        *lane += x;
+    }
+    combine_lanes(&lanes)
+}
+
+/// Lane-structured `sum((x - mean)^2)`; scalar side of
+/// `simd::x86::lane_sumsq_dev_avx2`.
+#[inline]
+fn lane_sumsq_dev_scalar(xs: &[f32], mean: f32) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut it = xs.chunks_exact(8);
+    for c in &mut it {
+        for (lane, &x) in lanes.iter_mut().zip(c.iter()) {
+            let d = x - mean;
+            *lane += d * d;
+        }
+    }
+    for (lane, &x) in lanes.iter_mut().zip(it.remainder().iter()) {
+        let d = x - mean;
+        *lane += d * d;
+    }
+    combine_lanes(&lanes)
+}
+
+/// The ISA the row-wise primitives run on. The FMA opt-in only
+/// affects the GEMM micro-kernel (row passes stay on the bitwise
+/// mul-then-add AVX2 code), and the NEON port currently covers only
+/// the GEMM kernel, so those map down.
+#[inline]
+fn rowwise_isa() -> Isa {
+    match dispatch::active_isa() {
+        // AVX-512 hosts also run the row passes on the AVX2 code: the
+        // fused row primitives are memory-bound, so wider lanes buy
+        // nothing there (only the GEMM micro-kernel is 512-bit).
+        Isa::Avx2 | Isa::Avx2Fma | Isa::Avx512 => Isa::Avx2,
+        Isa::Neon | Isa::Scalar => Isa::Scalar,
+    }
+}
+
+/// `dst[i] += src[i]` through the dispatched kernel. Free-function
+/// form so `occu-nn`'s tape can route gradient row accumulations
+/// through the same SIMD path the matrix methods use.
+pub fn add_into(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_into: length mismatch");
+    let isa = rowwise_isa();
+    dispatch::note_dispatch(isa);
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `rowwise_isa` returns Avx2 only after runtime
+        // feature detection succeeded.
+        Isa::Avx2 => unsafe { crate::simd::x86::add_slices_avx2(dst, src) },
+        _ => {
+            for (a, b) in dst.iter_mut().zip(src.iter()) {
+                *a += *b;
+            }
+        }
+    }
+}
+
+/// `dst[i] += s * src[i]` (axpy) through the dispatched kernel; the
+/// SIMD lane performs the same mul-then-add as the scalar loop, so
+/// both paths are bitwise-equal.
+pub fn axpy_into(dst: &mut [f32], s: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "axpy_into: length mismatch");
+    let isa = rowwise_isa();
+    dispatch::note_dispatch(isa);
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies runtime detection succeeded.
+        Isa::Avx2 => unsafe { crate::simd::x86::axpy_avx2(dst, s, src) },
+        _ => {
+            for (a, b) in dst.iter_mut().zip(src.iter()) {
+                *a += s * *b;
+            }
+        }
+    }
+}
 
 impl Matrix {
     /// Elementwise sum.
@@ -47,20 +161,17 @@ impl Matrix {
         self.map(|x| x.clamp(lo, hi))
     }
 
-    /// In-place `self += other`.
+    /// In-place `self += other`, through the dispatched SIMD kernel.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
-        for (a, b) in self.data_mut().iter_mut().zip(other.data().iter()) {
-            *a += *b;
-        }
+        add_into(self.data_mut(), other.data());
     }
 
-    /// In-place `self += s * other` (axpy).
+    /// In-place `self += s * other` (axpy), through the dispatched
+    /// SIMD kernel.
     pub fn add_scaled_assign(&mut self, other: &Matrix, s: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
-        for (a, b) in self.data_mut().iter_mut().zip(other.data().iter()) {
-            *a += s * *b;
-        }
+        axpy_into(self.data_mut(), s, other.data());
     }
 
     /// In-place `self += s * other` under its BLAS name.
@@ -77,13 +188,24 @@ impl Matrix {
 
     /// In-place broadcast add of a 1 x cols bias row to every row —
     /// the fused form of `add_row_broadcast` that materializes no
-    /// intermediate.
+    /// intermediate. Rows go through the dispatched SIMD add.
     pub fn add_bias_rowwise(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows(), 1, "add_bias_rowwise: expected row vector");
         assert_eq!(bias.cols(), self.cols(), "add_bias_rowwise: width mismatch");
+        let isa = rowwise_isa();
+        dispatch::note_dispatch(isa);
         for r in 0..self.rows() {
-            for (a, b) in self.row_mut(r).iter_mut().zip(bias.row(0).iter()) {
-                *a += *b;
+            match isa {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: Avx2 implies runtime detection succeeded.
+                Isa::Avx2 => unsafe {
+                    crate::simd::x86::add_slices_avx2(self.row_mut(r), bias.row(0))
+                },
+                _ => {
+                    for (a, b) in self.row_mut(r).iter_mut().zip(bias.row(0).iter()) {
+                        *a += *b;
+                    }
+                }
             }
         }
     }
@@ -109,6 +231,15 @@ impl Matrix {
     /// output matrix, which must already have shape
     /// `self.rows() x other.cols()`. Previous contents are discarded.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_isa(other, out, dispatch::active_isa());
+    }
+
+    /// `matmul_into` with the blocked kernel's ISA pinned instead of
+    /// taken from the runtime dispatch table. Bench/test hook: lets
+    /// `repro kernels` time the scalar oracle and the SIMD kernel in
+    /// one process, and lets the proptests compare them bitwise. An
+    /// ISA the host lacks degrades to scalar.
+    pub fn matmul_into_isa(&self, other: &Matrix, out: &mut Matrix, isa: Isa) {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -119,14 +250,18 @@ impl Matrix {
         let n = other.cols();
         assert_eq!(out.shape(), (m, n), "matmul_into: bad output shape");
         out.data_mut().fill(0.0);
-        if m >= gemm::MR && m * k * n >= gemm::BLOCKED_MIN_MULADDS {
+        if gemm::use_blocked(m, k, n) {
+            let sel = gemm::micro_kernel_for(isa);
+            dispatch::note_dispatch(sel.isa);
             gemm::gemm_into(
                 View::normal(self.data(), k),
                 View::normal(other.data(), n),
                 m, k, n,
                 out.data_mut(),
+                sel,
             );
         } else {
+            dispatch::note_dispatch(Isa::Scalar);
             for r in 0..m {
                 let a_row = self.row(r);
                 let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
@@ -151,6 +286,12 @@ impl Matrix {
     /// shape `self.rows() x other.rows()`. Previous contents are
     /// discarded.
     pub fn matmul_transb_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_transb_into_isa(other, out, dispatch::active_isa());
+    }
+
+    /// `matmul_transb_into` with the kernel ISA pinned (bench/test
+    /// hook; see [`Matrix::matmul_into_isa`]).
+    pub fn matmul_transb_into_isa(&self, other: &Matrix, out: &mut Matrix, isa: Isa) {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -162,14 +303,18 @@ impl Matrix {
         let n = other.rows();
         assert_eq!(out.shape(), (m, n), "matmul_transb_into: bad output shape");
         out.data_mut().fill(0.0);
-        if m >= gemm::MR && m * k * n >= gemm::BLOCKED_MIN_MULADDS {
+        if gemm::use_blocked(m, k, n) {
+            let sel = gemm::micro_kernel_for(isa);
+            dispatch::note_dispatch(sel.isa);
             gemm::gemm_into(
                 View::normal(self.data(), k),
                 View::transposed(other.data(), k),
                 m, k, n,
                 out.data_mut(),
+                sel,
             );
         } else {
+            dispatch::note_dispatch(Isa::Scalar);
             for r in 0..m {
                 let a_row = self.row(r);
                 let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
@@ -191,6 +336,12 @@ impl Matrix {
     /// shape `self.cols() x other.cols()`. Previous contents are
     /// discarded.
     pub fn matmul_transa_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_transa_into_isa(other, out, dispatch::active_isa());
+    }
+
+    /// `matmul_transa_into` with the kernel ISA pinned (bench/test
+    /// hook; see [`Matrix::matmul_into_isa`]).
+    pub fn matmul_transa_into_isa(&self, other: &Matrix, out: &mut Matrix, isa: Isa) {
         assert_eq!(
             self.rows(),
             other.rows(),
@@ -202,14 +353,18 @@ impl Matrix {
         let k = self.rows();
         assert_eq!(out.shape(), (m, n), "matmul_transa_into: bad output shape");
         out.data_mut().fill(0.0);
-        if m >= gemm::MR && m * k * n >= gemm::BLOCKED_MIN_MULADDS {
+        if gemm::use_blocked(m, k, n) {
+            let sel = gemm::micro_kernel_for(isa);
+            dispatch::note_dispatch(sel.isa);
             gemm::gemm_into(
                 View::transposed(self.data(), self.cols()),
                 View::normal(other.data(), n),
                 m, k, n,
                 out.data_mut(),
+                sel,
             );
         } else {
+            dispatch::note_dispatch(Isa::Scalar);
             // out[i][j] = sum_k self[k][i] * other[k][j]; accumulate
             // row by row of the inputs so both reads stream. The k
             // loop is outermost, so each element still sums in
@@ -346,19 +501,25 @@ impl Matrix {
     /// Numerically stable softmax applied independently to each row.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
+        let isa = rowwise_isa();
+        dispatch::note_dispatch(isa);
         for r in 0..out.rows() {
-            softmax_in_place(out.row_mut(r));
+            softmax_row(out.row_mut(r), isa);
         }
         out
     }
 
     /// `softmax_rows` writing into a caller-provided output matrix of
-    /// the same shape. Previous contents are discarded.
+    /// the same shape. Previous contents are discarded. The max
+    /// reduction, exp-sum, and divide pass run on the dispatched SIMD
+    /// kernel (the exp itself stays scalar libm).
     pub fn softmax_rows_into(&self, out: &mut Matrix) {
         assert_eq!(self.shape(), out.shape(), "softmax_rows_into: shape mismatch");
         out.data_mut().copy_from_slice(self.data());
+        let isa = rowwise_isa();
+        dispatch::note_dispatch(isa);
         for r in 0..out.rows() {
-            softmax_in_place(out.row_mut(r));
+            softmax_row(out.row_mut(r), isa);
         }
     }
 
@@ -372,20 +533,37 @@ impl Matrix {
     }
 
     /// `layernorm_rows` writing into a caller-provided output matrix
-    /// of the same shape. Previous contents are discarded.
+    /// of the same shape. Previous contents are discarded. The mean
+    /// and variance reductions use the lane-structured sum (see the
+    /// module docs) and the normalize pass is elementwise, so the
+    /// scalar and SIMD paths agree bit for bit.
     pub fn layernorm_rows_into(&self, eps: f32, out: &mut Matrix) {
         assert_eq!(self.shape(), out.shape(), "layernorm_rows_into: shape mismatch");
         let n = self.cols();
         if n == 0 {
             return;
         }
+        let isa = rowwise_isa();
+        dispatch::note_dispatch(isa);
         for r in 0..self.rows() {
             let x = self.row(r);
-            let mean = x.iter().sum::<f32>() / n as f32;
-            let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-            let inv_std = 1.0 / (var + eps).sqrt();
-            for (o, &v) in out.row_mut(r).iter_mut().zip(x.iter()) {
-                *o = (v - mean) * inv_std;
+            match isa {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: Avx2 implies runtime detection succeeded.
+                Isa::Avx2 => unsafe {
+                    let mean = crate::simd::x86::lane_sum_avx2(x) / n as f32;
+                    let var = crate::simd::x86::lane_sumsq_dev_avx2(x, mean) / n as f32;
+                    let inv_std = 1.0 / (var + eps).sqrt();
+                    crate::simd::x86::normalize_avx2(x, out.row_mut(r), mean, inv_std);
+                },
+                _ => {
+                    let mean = lane_sum_scalar(x) / n as f32;
+                    let var = lane_sumsq_dev_scalar(x, mean) / n as f32;
+                    let inv_std = 1.0 / (var + eps).sqrt();
+                    for (o, &v) in out.row_mut(r).iter_mut().zip(x.iter()) {
+                        *o = (v - mean) * inv_std;
+                    }
+                }
             }
         }
     }
@@ -415,20 +593,47 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
-/// Numerically stable in-place softmax over a slice.
+/// Numerically stable in-place softmax over a slice, through the
+/// dispatched kernel.
 pub fn softmax_in_place(xs: &mut [f32]) {
+    let isa = rowwise_isa();
+    dispatch::note_dispatch(isa);
+    softmax_row(xs, isa);
+}
+
+/// One softmax row on an already-resolved ISA: shift by the row max,
+/// exponentiate (scalar libm on both paths), lane-structured sum,
+/// divide. The SIMD and scalar paths produce bitwise-identical
+/// output; the only value that may differ is the sign of a zero row
+/// max, which `exp` erases.
+fn softmax_row(xs: &mut [f32], isa: Isa) {
     if xs.is_empty() {
         return;
     }
-    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
-    for x in xs.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    if sum > 0.0 {
-        for x in xs.iter_mut() {
-            *x /= sum;
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 implies runtime detection succeeded.
+        Isa::Avx2 => unsafe {
+            let max = crate::simd::x86::max_avx2(xs);
+            for x in xs.iter_mut() {
+                *x = (*x - max).exp();
+            }
+            let sum = crate::simd::x86::lane_sum_avx2(xs);
+            if sum > 0.0 {
+                crate::simd::x86::div_scalar_avx2(xs, sum);
+            }
+        },
+        _ => {
+            let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            for x in xs.iter_mut() {
+                *x = (*x - max).exp();
+            }
+            let sum = lane_sum_scalar(xs);
+            if sum > 0.0 {
+                for x in xs.iter_mut() {
+                    *x /= sum;
+                }
+            }
         }
     }
 }
@@ -466,6 +671,67 @@ mod tests {
         let a = Matrix::from_fn(9, 300, |r, c| ((r * 7 + c) % 23) as f32 * 0.125 - 1.0);
         let b = Matrix::from_fn(300, 270, |r, c| ((r + 5 * c) % 19) as f32 * 0.25 - 2.0);
         assert_eq!(a.matmul(&b), a.naive_matmul(&b));
+    }
+
+    #[test]
+    fn every_isa_path_matches_the_scalar_oracle_bitwise() {
+        // Ragged in all three dimensions so the SIMD kernel sweeps
+        // partial strips and partial panels. Unavailable ISAs degrade
+        // to scalar, so this test is meaningful exactly where a SIMD
+        // unit exists and trivially true elsewhere.
+        let a = Matrix::from_fn(41, 83, |r, c| ((r * 13 + c * 5) % 23) as f32 * 0.25 - 2.0);
+        let b = Matrix::from_fn(83, 51, |r, c| ((r * 7 + c * 11) % 19) as f32 * 0.5 - 4.0);
+        assert!(crate::gemm::use_blocked(41, 83, 51));
+        let mut scalar = Matrix::zeros(41, 51);
+        a.matmul_into_isa(&b, &mut scalar, Isa::Scalar);
+        assert_eq!(scalar, a.naive_matmul(&b));
+        for isa in [Isa::Avx2, Isa::Avx512, Isa::Neon] {
+            let mut out = Matrix::zeros(41, 51);
+            a.matmul_into_isa(&b, &mut out, isa);
+            assert_eq!(out, scalar, "{} kernel diverged from the scalar oracle", isa.name());
+        }
+    }
+
+    #[test]
+    fn fma_kernel_stays_within_relative_error_budget() {
+        // The FMA kernel never rounds the product before the add, so
+        // it is validated against a tolerance, not bit equality.
+        let a = Matrix::from_fn(37, 95, |r, c| ((r * 3 + c) % 31) as f32 * 0.125 - 1.5);
+        let b = Matrix::from_fn(95, 44, |r, c| ((r + 5 * c) % 29) as f32 * 0.25 - 3.0);
+        let mut scalar = Matrix::zeros(37, 44);
+        a.matmul_into_isa(&b, &mut scalar, Isa::Scalar);
+        let mut fma = Matrix::zeros(37, 44);
+        a.matmul_into_isa(&b, &mut fma, Isa::Avx2Fma);
+        crate::assert_close(&fma, &scalar, 1e-5);
+    }
+
+    #[test]
+    fn dispatched_matmul_agrees_with_forced_scalar() {
+        // Whatever `active_isa` resolved to on this host, the default
+        // path must reproduce the scalar oracle bit for bit (the FMA
+        // kernel is opt-in and never the default unless OCCU_FMA is
+        // set, in which case this assertion is exactly the point at
+        // which that misconfiguration would surface).
+        if !crate::active_isa().is_bitwise_exact() {
+            return; // explicit OCCU_FMA run: exactness is waived
+        }
+        let a = Matrix::from_fn(64, 72, |r, c| ((r + 3 * c) % 17) as f32 * 0.5 - 2.0);
+        let b = Matrix::from_fn(72, 40, |r, c| ((2 * r + c) % 13) as f32 * 0.25 - 1.0);
+        let mut dispatched = Matrix::zeros(64, 40);
+        a.matmul_into(&b, &mut dispatched);
+        let mut scalar = Matrix::zeros(64, 40);
+        a.matmul_into_isa(&b, &mut scalar, Isa::Scalar);
+        assert_eq!(dispatched, scalar);
+    }
+
+    #[test]
+    fn dispatch_counters_move_on_matmul() {
+        let before = crate::dispatch_counts();
+        let a = Matrix::from_fn(64, 64, |r, c| (r + c) as f32 * 0.1);
+        let b = Matrix::from_fn(64, 64, |r, c| (r as f32) - (c as f32) * 0.2);
+        let _ = a.matmul(&b);
+        let after = crate::dispatch_counts();
+        assert!(after.total() > before.total(), "a blocked matmul must count one dispatch");
     }
 
     #[test]

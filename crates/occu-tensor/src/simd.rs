@@ -1,0 +1,464 @@
+//! `std::arch` SIMD implementations of the GEMM micro-kernel and the
+//! fused row-wise primitives, selected at runtime by
+//! [`crate::dispatch`].
+//!
+//! # Determinism contract
+//!
+//! Every kernel here except the FMA variant is **bitwise-equal** to
+//! its scalar counterpart in `gemm.rs`/`ops.rs`:
+//!
+//! * The GEMM micro-kernels vectorize across the output columns — one
+//!   lane per output element (`NR = 8` for AVX2/NEON, two adjacent
+//!   `NR`-panels at once for AVX-512) — while each lane still performs
+//!   a separate round-to-nearest multiply followed by a separate add,
+//!   in ascending `k` order. That is exactly the scalar
+//!   `acc += a[i] * b[j]` chain, so the result is identical bit for
+//!   bit (IEEE-754 ops are deterministic; lanes never interact). The
+//!   tile *width* only decides how many elements advance per
+//!   instruction, never the per-element summation order.
+//! * The row-wise reductions (`lane_sum`, `lane_sumsq_dev`) accumulate
+//!   lane `j` over elements `j, j+8, j+16, ...` and combine the eight
+//!   partials with the fixed tree in [`crate::ops::combine_lanes`] —
+//!   the scalar path uses the *same* lane structure, so both orders
+//!   coincide.
+//! * Elementwise passes (bias add, axpy, the softmax divide, the
+//!   layernorm normalize) map one scalar op to one lane.
+//!
+//! The `fma` micro-kernel fuses the multiply into the add
+//! (`_mm256_fmadd_ps`), keeping the intermediate product unrounded.
+//! That is usually *more* accurate but not bitwise-reproducible
+//! against the scalar oracle, so it is opt-in (`OCCU_FMA=1`) and
+//! validated against a relative-error budget in the proptests.
+//!
+//! # Safety
+//!
+//! All functions are `unsafe fn` with a `#[target_feature]` attribute:
+//! the caller must guarantee the host CPU supports the named feature.
+//! The only callers are the dispatch sites in `gemm.rs`/`ops.rs`,
+//! which select these kernels strictly after
+//! `is_x86_feature_detected!` (or the aarch64 equivalent) succeeds.
+
+use crate::gemm::{MR, NR};
+use crate::ops::combine_lanes;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    // The AVX2 kernels hardcode one 8-lane register per accumulator
+    // row and a 4-row strip (the AVX-512 and paired-FMA kernels, one
+    // 16-lane row over two panels); fail the build if the blocking
+    // changes.
+    const _: () = assert!(NR == 8 && MR == 4, "AVX2 micro-kernel assumes a 4x8 tile");
+
+    /// AVX2 micro-kernel: `C[0..mr, 0..nr] += strip * panel`, bitwise
+    /// equal to the scalar [`crate::gemm`] kernel (separate mul then
+    /// add per lane, ascending `k`).
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn micro_kernel_avx2(
+        mr: usize,
+        nr: usize,
+        pa_strip: &[f32],
+        pb_panel: &[f32],
+        c: &mut [f32],
+        ldc: usize,
+    ) {
+        // Stage the C tile through a stack array exactly like the
+        // scalar kernel: partial tiles never read or write lanes
+        // outside `mr x nr`, and padded lanes only ever accumulate
+        // zeros from the zero-padded packing.
+        let mut acc = [[0.0f32; NR]; MR];
+        for (i, row) in acc.iter_mut().enumerate().take(mr) {
+            row[..nr].copy_from_slice(&c[i * ldc..i * ldc + nr]);
+        }
+        let mut v0 = _mm256_loadu_ps(acc[0].as_ptr());
+        let mut v1 = _mm256_loadu_ps(acc[1].as_ptr());
+        let mut v2 = _mm256_loadu_ps(acc[2].as_ptr());
+        let mut v3 = _mm256_loadu_ps(acc[3].as_ptr());
+        for (a, b) in pa_strip.chunks_exact(MR).zip(pb_panel.chunks_exact(NR)) {
+            let vb = _mm256_loadu_ps(b.as_ptr());
+            v0 = _mm256_add_ps(v0, _mm256_mul_ps(_mm256_set1_ps(a[0]), vb));
+            v1 = _mm256_add_ps(v1, _mm256_mul_ps(_mm256_set1_ps(a[1]), vb));
+            v2 = _mm256_add_ps(v2, _mm256_mul_ps(_mm256_set1_ps(a[2]), vb));
+            v3 = _mm256_add_ps(v3, _mm256_mul_ps(_mm256_set1_ps(a[3]), vb));
+        }
+        _mm256_storeu_ps(acc[0].as_mut_ptr(), v0);
+        _mm256_storeu_ps(acc[1].as_mut_ptr(), v1);
+        _mm256_storeu_ps(acc[2].as_mut_ptr(), v2);
+        _mm256_storeu_ps(acc[3].as_mut_ptr(), v3);
+        for (i, row) in acc.iter().enumerate().take(mr) {
+            c[i * ldc..i * ldc + nr].copy_from_slice(&row[..nr]);
+        }
+    }
+
+    /// AVX-512 micro-kernel: covers **two** adjacent packed `NR`-panels
+    /// per call (`C[0..mr, 0..nr] += strip * [panel | panel']`,
+    /// `nr <= 16`), one 16-lane register per accumulator row. Each
+    /// lane still performs a separate round-to-nearest multiply then a
+    /// separate add in ascending `k`, so the result stays bitwise-equal
+    /// to the scalar oracle — the wider tile only changes how many
+    /// output elements advance per instruction. A trailing odd panel
+    /// (`pb` holding a single panel) drops to the 8-lane AVX2 path,
+    /// which follows the identical chain.
+    ///
+    /// Why this kernel exists: the 4x8 AVX2 tile has only four
+    /// accumulator chains and saturates the two 256-bit FP ports at
+    /// 16 flops/cycle — almost exactly 2x the SSE2 auto-vectorized
+    /// scalar kernel, leaving no headroom once packing overhead is
+    /// paid. The 4x16 tile doubles the arithmetic width per chain on
+    /// 512-bit FPUs without touching the summation order.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX-512F and AVX-512DQ (and thus
+    /// AVX2, which those imply).
+    #[target_feature(enable = "avx512f,avx512dq,avx2")]
+    pub(crate) unsafe fn micro_kernel_avx512(
+        mr: usize,
+        nr: usize,
+        pa_strip: &[f32],
+        pb: &[f32],
+        c: &mut [f32],
+        ldc: usize,
+    ) {
+        let kc = pa_strip.len() / MR;
+        if pb.len() < 2 * kc * NR {
+            // Odd trailing panel: 8 columns at most, same chain.
+            return micro_kernel_avx2(mr, nr, pa_strip, pb, c, ldc);
+        }
+        let (pb0, pb1) = pb.split_at(kc * NR);
+        let mut acc = [[0.0f32; 2 * NR]; MR];
+        for (i, row) in acc.iter_mut().enumerate().take(mr) {
+            row[..nr].copy_from_slice(&c[i * ldc..i * ldc + nr]);
+        }
+        let mut v0 = _mm512_loadu_ps(acc[0].as_ptr());
+        let mut v1 = _mm512_loadu_ps(acc[1].as_ptr());
+        let mut v2 = _mm512_loadu_ps(acc[2].as_ptr());
+        let mut v3 = _mm512_loadu_ps(acc[3].as_ptr());
+        let steps = pa_strip
+            .chunks_exact(MR)
+            .zip(pb0.chunks_exact(NR).zip(pb1.chunks_exact(NR)));
+        for (a, (b0, b1)) in steps {
+            // One 16-lane B row from the two panels' k-th rows.
+            let vb = _mm512_insertf32x8(
+                _mm512_castps256_ps512(_mm256_loadu_ps(b0.as_ptr())),
+                _mm256_loadu_ps(b1.as_ptr()),
+                1,
+            );
+            v0 = _mm512_add_ps(v0, _mm512_mul_ps(_mm512_set1_ps(a[0]), vb));
+            v1 = _mm512_add_ps(v1, _mm512_mul_ps(_mm512_set1_ps(a[1]), vb));
+            v2 = _mm512_add_ps(v2, _mm512_mul_ps(_mm512_set1_ps(a[2]), vb));
+            v3 = _mm512_add_ps(v3, _mm512_mul_ps(_mm512_set1_ps(a[3]), vb));
+        }
+        _mm512_storeu_ps(acc[0].as_mut_ptr(), v0);
+        _mm512_storeu_ps(acc[1].as_mut_ptr(), v1);
+        _mm512_storeu_ps(acc[2].as_mut_ptr(), v2);
+        _mm512_storeu_ps(acc[3].as_mut_ptr(), v3);
+        for (i, row) in acc.iter().enumerate().take(mr) {
+            c[i * ldc..i * ldc + nr].copy_from_slice(&row[..nr]);
+        }
+    }
+
+    /// AVX2+FMA micro-kernel: fused multiply-adds over **two** adjacent
+    /// packed panels (`nr <= 16`) so the eight accumulator chains hide
+    /// the fmadd latency — four chains alone leave the FMA units half
+    /// idle and measure *slower* than the plain AVX2 kernel. Not
+    /// bitwise-equal to the scalar chain (the product is never rounded
+    /// before the add); gated behind `OCCU_FMA=1` and a relative-error
+    /// budget.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2 and FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn micro_kernel_fma(
+        mr: usize,
+        nr: usize,
+        pa_strip: &[f32],
+        pb: &[f32],
+        c: &mut [f32],
+        ldc: usize,
+    ) {
+        let kc = pa_strip.len() / MR;
+        if pb.len() < 2 * kc * NR {
+            return fma_single_panel(mr, nr, pa_strip, pb, c, ldc);
+        }
+        let (pb0, pb1) = pb.split_at(kc * NR);
+        let mut acc = [[0.0f32; 2 * NR]; MR];
+        for (i, row) in acc.iter_mut().enumerate().take(mr) {
+            row[..nr].copy_from_slice(&c[i * ldc..i * ldc + nr]);
+        }
+        let mut lo = [
+            _mm256_loadu_ps(acc[0].as_ptr()),
+            _mm256_loadu_ps(acc[1].as_ptr()),
+            _mm256_loadu_ps(acc[2].as_ptr()),
+            _mm256_loadu_ps(acc[3].as_ptr()),
+        ];
+        let mut hi = [
+            _mm256_loadu_ps(acc[0].as_ptr().add(NR)),
+            _mm256_loadu_ps(acc[1].as_ptr().add(NR)),
+            _mm256_loadu_ps(acc[2].as_ptr().add(NR)),
+            _mm256_loadu_ps(acc[3].as_ptr().add(NR)),
+        ];
+        let steps = pa_strip
+            .chunks_exact(MR)
+            .zip(pb0.chunks_exact(NR).zip(pb1.chunks_exact(NR)));
+        for (a, (b0, b1)) in steps {
+            let vb0 = _mm256_loadu_ps(b0.as_ptr());
+            let vb1 = _mm256_loadu_ps(b1.as_ptr());
+            for i in 0..MR {
+                let ai = _mm256_set1_ps(a[i]);
+                lo[i] = _mm256_fmadd_ps(ai, vb0, lo[i]);
+                hi[i] = _mm256_fmadd_ps(ai, vb1, hi[i]);
+            }
+        }
+        for i in 0..MR {
+            _mm256_storeu_ps(acc[i].as_mut_ptr(), lo[i]);
+            _mm256_storeu_ps(acc[i].as_mut_ptr().add(NR), hi[i]);
+        }
+        for (i, row) in acc.iter().enumerate().take(mr) {
+            c[i * ldc..i * ldc + nr].copy_from_slice(&row[..nr]);
+        }
+    }
+
+    /// Single-panel FMA tile walk, used by [`micro_kernel_fma`] for the
+    /// trailing odd panel of a block.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2 and FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn fma_single_panel(
+        mr: usize,
+        nr: usize,
+        pa_strip: &[f32],
+        pb_panel: &[f32],
+        c: &mut [f32],
+        ldc: usize,
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (i, row) in acc.iter_mut().enumerate().take(mr) {
+            row[..nr].copy_from_slice(&c[i * ldc..i * ldc + nr]);
+        }
+        let mut v0 = _mm256_loadu_ps(acc[0].as_ptr());
+        let mut v1 = _mm256_loadu_ps(acc[1].as_ptr());
+        let mut v2 = _mm256_loadu_ps(acc[2].as_ptr());
+        let mut v3 = _mm256_loadu_ps(acc[3].as_ptr());
+        for (a, b) in pa_strip.chunks_exact(MR).zip(pb_panel.chunks_exact(NR)) {
+            let vb = _mm256_loadu_ps(b.as_ptr());
+            v0 = _mm256_fmadd_ps(_mm256_set1_ps(a[0]), vb, v0);
+            v1 = _mm256_fmadd_ps(_mm256_set1_ps(a[1]), vb, v1);
+            v2 = _mm256_fmadd_ps(_mm256_set1_ps(a[2]), vb, v2);
+            v3 = _mm256_fmadd_ps(_mm256_set1_ps(a[3]), vb, v3);
+        }
+        _mm256_storeu_ps(acc[0].as_mut_ptr(), v0);
+        _mm256_storeu_ps(acc[1].as_mut_ptr(), v1);
+        _mm256_storeu_ps(acc[2].as_mut_ptr(), v2);
+        _mm256_storeu_ps(acc[3].as_mut_ptr(), v3);
+        for (i, row) in acc.iter().enumerate().take(mr) {
+            c[i * ldc..i * ldc + nr].copy_from_slice(&row[..nr]);
+        }
+    }
+
+    /// `dst[i] += src[i]`, one lane per element.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn add_slices_avx2(dst: &mut [f32], src: &[f32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let mut dc = dst.chunks_exact_mut(8);
+        let mut sc = src.chunks_exact(8);
+        for (d, s) in (&mut dc).zip(&mut sc) {
+            let v = _mm256_add_ps(_mm256_loadu_ps(d.as_ptr()), _mm256_loadu_ps(s.as_ptr()));
+            _mm256_storeu_ps(d.as_mut_ptr(), v);
+        }
+        for (d, s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            *d += *s;
+        }
+    }
+
+    /// `dst[i] += s * src[i]` (axpy), one mul-then-add per lane —
+    /// bitwise the scalar chain.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn axpy_avx2(dst: &mut [f32], s: f32, src: &[f32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let vs = _mm256_set1_ps(s);
+        let mut dc = dst.chunks_exact_mut(8);
+        let mut sc = src.chunks_exact(8);
+        for (d, b) in (&mut dc).zip(&mut sc) {
+            let prod = _mm256_mul_ps(vs, _mm256_loadu_ps(b.as_ptr()));
+            let v = _mm256_add_ps(_mm256_loadu_ps(d.as_ptr()), prod);
+            _mm256_storeu_ps(d.as_mut_ptr(), v);
+        }
+        for (d, b) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            *d += s * *b;
+        }
+    }
+
+    /// Maximum element of `xs` (`-inf` for empty). Lane-wise max then
+    /// a horizontal fold; max is order-insensitive for non-NaN input,
+    /// so this matches the scalar left fold.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn max_avx2(xs: &[f32]) -> f32 {
+        let mut vmax = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut it = xs.chunks_exact(8);
+        for c in &mut it {
+            vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(c.as_ptr()));
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), vmax);
+        let mut m = lanes.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for &x in it.remainder() {
+            m = m.max(x);
+        }
+        m
+    }
+
+    /// Eight-lane-structured sum matching `ops::lane_sum_scalar` bit
+    /// for bit: vector partials over full chunks, the tail added
+    /// lane-wise, the fixed [`combine_lanes`] tree at the end.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn lane_sum_avx2(xs: &[f32]) -> f32 {
+        let mut acc = _mm256_setzero_ps();
+        let mut it = xs.chunks_exact(8);
+        for c in &mut it {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(c.as_ptr()));
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for (j, &x) in it.remainder().iter().enumerate() {
+            lanes[j] += x;
+        }
+        combine_lanes(&lanes)
+    }
+
+    /// Lane-structured sum of squared deviations
+    /// `sum((x - mean)^2)`, matching `ops::lane_sumsq_dev_scalar`.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn lane_sumsq_dev_avx2(xs: &[f32], mean: f32) -> f32 {
+        let vm = _mm256_set1_ps(mean);
+        let mut acc = _mm256_setzero_ps();
+        let mut it = xs.chunks_exact(8);
+        for c in &mut it {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(c.as_ptr()), vm);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for (j, &x) in it.remainder().iter().enumerate() {
+            let d = x - mean;
+            lanes[j] += d * d;
+        }
+        combine_lanes(&lanes)
+    }
+
+    /// `xs[i] /= denom`, one IEEE division per lane (identical to the
+    /// scalar divide; no reciprocal approximation).
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn div_scalar_avx2(xs: &mut [f32], denom: f32) {
+        let vd = _mm256_set1_ps(denom);
+        let mut it = xs.chunks_exact_mut(8);
+        for c in &mut it {
+            let v = _mm256_div_ps(_mm256_loadu_ps(c.as_ptr()), vd);
+            _mm256_storeu_ps(c.as_mut_ptr(), v);
+        }
+        for x in it.into_remainder() {
+            *x /= denom;
+        }
+    }
+
+    /// `out[i] = (x[i] - mean) * inv_std` — the layernorm normalize
+    /// pass, sub-then-mul per lane like the scalar loop.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn normalize_avx2(x: &[f32], out: &mut [f32], mean: f32, inv_std: f32) {
+        debug_assert_eq!(x.len(), out.len());
+        let vm = _mm256_set1_ps(mean);
+        let vi = _mm256_set1_ps(inv_std);
+        let mut oc = out.chunks_exact_mut(8);
+        let mut xc = x.chunks_exact(8);
+        for (o, c) in (&mut oc).zip(&mut xc) {
+            let v = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(c.as_ptr()), vm), vi);
+            _mm256_storeu_ps(o.as_mut_ptr(), v);
+        }
+        for (o, &v) in oc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *o = (v - mean) * inv_std;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod arm {
+    use super::*;
+    use core::arch::aarch64::*;
+
+    const _: () = assert!(NR == 8 && MR == 4, "NEON micro-kernel assumes a 4x8 tile");
+
+    /// NEON micro-kernel: the 8-wide panel is processed as two 4-lane
+    /// halves per accumulator row, each lane on the scalar
+    /// mul-then-add chain (bitwise-equal to the scalar kernel).
+    ///
+    /// # Safety
+    /// The host CPU must support NEON.
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn micro_kernel_neon(
+        mr: usize,
+        nr: usize,
+        pa_strip: &[f32],
+        pb_panel: &[f32],
+        c: &mut [f32],
+        ldc: usize,
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (i, row) in acc.iter_mut().enumerate().take(mr) {
+            row[..nr].copy_from_slice(&c[i * ldc..i * ldc + nr]);
+        }
+        let mut lo = [
+            vld1q_f32(acc[0].as_ptr()),
+            vld1q_f32(acc[1].as_ptr()),
+            vld1q_f32(acc[2].as_ptr()),
+            vld1q_f32(acc[3].as_ptr()),
+        ];
+        let mut hi = [
+            vld1q_f32(acc[0].as_ptr().add(4)),
+            vld1q_f32(acc[1].as_ptr().add(4)),
+            vld1q_f32(acc[2].as_ptr().add(4)),
+            vld1q_f32(acc[3].as_ptr().add(4)),
+        ];
+        for (a, b) in pa_strip.chunks_exact(MR).zip(pb_panel.chunks_exact(NR)) {
+            let b_lo = vld1q_f32(b.as_ptr());
+            let b_hi = vld1q_f32(b.as_ptr().add(4));
+            for i in 0..MR {
+                let ai = vdupq_n_f32(a[i]);
+                lo[i] = vaddq_f32(lo[i], vmulq_f32(ai, b_lo));
+                hi[i] = vaddq_f32(hi[i], vmulq_f32(ai, b_hi));
+            }
+        }
+        for i in 0..MR {
+            vst1q_f32(acc[i].as_mut_ptr(), lo[i]);
+            vst1q_f32(acc[i].as_mut_ptr().add(4), hi[i]);
+        }
+        for (i, row) in acc.iter().enumerate().take(mr) {
+            c[i * ldc..i * ldc + nr].copy_from_slice(&row[..nr]);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests for the tensor kernels.
 
-use occu_tensor::{assert_close, Matrix};
+use occu_tensor::{assert_close, Isa, Matrix};
 use proptest::prelude::*;
 
 /// Strategy: a matrix with dimensions in [1, 12] and small-valued
@@ -44,6 +44,25 @@ fn threshold_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
 /// boundaries between them.
 fn blocked_threshold_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
     (2usize..=6, 24usize..=40, 96usize..=160).prop_flat_map(|(m, k, n)| {
+        let a = prop::collection::vec(-2.0f32..2.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = prop::collection::vec(-2.0f32..2.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+/// Ragged shapes for the SIMD-vs-scalar equality sweep: `m` spans the
+/// `MR = 4` strip tail (including `m < MR`, which streams), `k`
+/// includes the `k = 1` degenerate, and `n` is never a multiple of
+/// the 8/16-lane vector widths — so the wide kernels sweep partial
+/// strips, odd trailing panels, and masked column tails. The products
+/// straddle `BLOCKED_MIN_MULADDS`, landing on both the streaming and
+/// packed paths.
+fn ragged_simd_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    // `pick == 0` forces the `k = 1` degenerate (one in six cases).
+    (1usize..=9, 0usize..=5, 48usize..=80, 33usize..=47).prop_flat_map(|(m, pick, kbase, n)| {
+        let k = if pick == 0 { 1 } else { kbase };
         let a = prop::collection::vec(-2.0f32..2.0, m * k)
             .prop_map(move |d| Matrix::from_vec(m, k, d));
         let b = prop::collection::vec(-2.0f32..2.0, k * n)
@@ -236,6 +255,41 @@ proptest! {
     fn blocked_matmul_transa_is_bitwise_equal_to_naive((a, b) in blocked_threshold_pair()) {
         let at = a.transpose();
         prop_assert_eq!(at.matmul_transa(&b), a.naive_matmul(&b));
+    }
+
+    #[test]
+    fn simd_kernels_are_bitwise_equal_to_scalar_on_ragged_shapes((a, b) in ragged_simd_pair()) {
+        // Every bitwise-exact ISA must reproduce the forced-scalar
+        // blocked kernel exactly — ISAs absent on this host degrade
+        // down the dispatch ladder and the property holds trivially.
+        let (m, _) = a.shape();
+        let n = b.cols();
+        let mut scalar = Matrix::zeros(m, n);
+        a.matmul_into_isa(&b, &mut scalar, Isa::Scalar);
+        let bt = b.transpose();
+        let mut scalar_tb = Matrix::zeros(m, n);
+        a.matmul_transb_into_isa(&bt, &mut scalar_tb, Isa::Scalar);
+        for isa in [Isa::Avx2, Isa::Avx512, Isa::Neon] {
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_into_isa(&b, &mut out, isa);
+            prop_assert_eq!(&out, &scalar, "{} matmul diverged from scalar", isa.name());
+            let mut out_tb = Matrix::zeros(m, n);
+            a.matmul_transb_into_isa(&bt, &mut out_tb, isa);
+            prop_assert_eq!(&out_tb, &scalar_tb, "{} matmul_transb diverged from scalar", isa.name());
+        }
+    }
+
+    #[test]
+    fn fma_matmul_stays_within_error_budget((a, b) in ragged_simd_pair()) {
+        // The FMA kernel keeps products unrounded, so it is held to a
+        // relative-error budget against the naive oracle instead of
+        // bit equality. On hosts without FMA it degrades to a bitwise
+        // tier and passes trivially.
+        let (m, _) = a.shape();
+        let n = b.cols();
+        let mut fma = Matrix::zeros(m, n);
+        a.matmul_into_isa(&b, &mut fma, Isa::Avx2Fma);
+        assert_close(&fma, &a.naive_matmul(&b), 1e-4);
     }
 
     #[test]
