@@ -18,8 +18,11 @@ pub mod report;
 
 pub use apps::{build_job_pool, fig7_study, table6, Table6Row};
 pub use kernels::{kernel_study, render_kernels, KernelPerfReport, KernelShapeRow};
-pub use loadgen::{render_loadgen, run_loadgen, LoadgenConfig, ServeReport};
+pub use loadgen::{
+    render_loadgen, run_loadgen, LoadgenConfig, ServeReport, SlowTrace, StageDur,
+    StagePercentiles,
+};
 pub use perf::{
-    obs_overhead_study, perf_study, render_obs_overhead, render_perf, validate_out_path,
-    ObsOverheadReport, PerfReport,
+    obs_overhead_study, perf_study, render_obs_overhead, render_perf, serve_overhead_study,
+    validate_out_path, ObsOverheadReport, PerfReport, SERVE_OVERHEAD_BUDGET,
 };

@@ -28,6 +28,10 @@ pub struct LoadgenConfig {
     pub requests: usize,
     /// Concurrent keep-alive client connections.
     pub concurrency: usize,
+    /// Request telemetry on the in-process server (`ServeConfig
+    /// record`). `false` is the inert baseline the obs-overhead gate
+    /// compares against; ignored with `--url`.
+    pub telemetry: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -36,6 +40,7 @@ impl Default for LoadgenConfig {
             url: None,
             requests: 40_000,
             concurrency: 8,
+            telemetry: true,
         }
     }
 }
@@ -89,6 +94,80 @@ pub struct ServeReport {
     /// portable scalar path (including sub-gate streaming products).
     #[serde(default)]
     pub dispatch_scalar: u64,
+    /// 99.9th-percentile client-observed latency, microseconds.
+    #[serde(default)]
+    pub p999_us: u64,
+    /// Whether the server ran with request telemetry recording.
+    #[serde(default)]
+    pub telemetry: bool,
+    /// Server-side per-stage rolling percentiles scraped from the
+    /// `serve_stage_us` summaries on `/metrics` (pipeline order;
+    /// empty if the scrape failed or telemetry was off).
+    #[serde(default)]
+    pub stages: Vec<StagePercentiles>,
+    /// Server-side end-to-end percentiles (`serve_request_total_us`).
+    #[serde(default)]
+    pub server_total: StagePercentiles,
+    /// Sum of the per-stage p50s, microseconds.
+    #[serde(default)]
+    pub stage_sum_p50_us: f64,
+    /// `stage_sum_p50_us / server_total.p50_us` — how much of the
+    /// end-to-end median the stage breakdown accounts for. The
+    /// acceptance bar is within 10% of 1.0 (0 when unscraped).
+    #[serde(default)]
+    pub attribution_ratio: f64,
+    /// Slowest completed requests from `/debug/tracez` (flight
+    /// recorder), slowest first.
+    #[serde(default)]
+    pub slowest: Vec<SlowTrace>,
+}
+
+/// One rolling-percentile summary scraped from `/metrics`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StagePercentiles {
+    /// Stage name (`queue_wait` … `write`, or `total`).
+    pub stage: String,
+    /// Median, microseconds.
+    #[serde(default)]
+    pub p50_us: f64,
+    /// 90th percentile, microseconds.
+    #[serde(default)]
+    pub p90_us: f64,
+    /// 99th percentile, microseconds.
+    #[serde(default)]
+    pub p99_us: f64,
+    /// 99.9th percentile, microseconds.
+    #[serde(default)]
+    pub p999_us: f64,
+    /// Samples recorded into the window over the whole run.
+    #[serde(default)]
+    pub count: u64,
+}
+
+/// One flight-recorder trace surfaced in the report.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SlowTrace {
+    /// Monotonic request id.
+    pub id: u64,
+    /// Request path.
+    pub path: String,
+    /// HTTP status.
+    #[serde(default)]
+    pub status: u64,
+    /// Accept-to-write wall time, microseconds.
+    pub total_us: f64,
+    /// Per-stage breakdown, pipeline order.
+    #[serde(default)]
+    pub stages: Vec<StageDur>,
+}
+
+/// One stage duration inside a [`SlowTrace`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StageDur {
+    /// Stage name.
+    pub stage: String,
+    /// Time spent in the stage, microseconds.
+    pub us: f64,
 }
 
 /// One keep-alive HTTP/1.1 client connection.
@@ -242,7 +321,7 @@ fn client_thread(
     tally
 }
 
-/// The `/metrics` lines the smoke test and report care about.
+/// The `/metrics` series the smoke test and report care about.
 #[derive(Default)]
 struct ScrapedMetrics {
     batch_count: u64,
@@ -250,42 +329,187 @@ struct ScrapedMetrics {
     kernel_isa: String,
     dispatch_simd: u64,
     dispatch_scalar: u64,
+    /// Per-stage summaries, in exposition (= pipeline) order.
+    stages: Vec<StagePercentiles>,
+    /// The `serve_request_total_us` end-to-end summary.
+    server_total: StagePercentiles,
 }
 
-/// Scrapes `/metrics` and pulls out the lines the smoke test gates
-/// on: the batcher's size histogram, the scratch-arena high-water
-/// gauge, and the kernel ISA / dispatch counters. Returns defaults on
-/// any scrape or parse failure — loadgen results still stand.
+/// Labels of one scraped Prometheus sample, as (name, value) pairs.
+type PromLabels<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits one Prometheus sample line into (name, labels, value).
+/// Minimal on purpose: the series scraped here never carry escaped
+/// label values. Comment lines return `None`.
+fn parse_prom_sample(line: &str) -> Option<(&str, PromLabels<'_>, f64)> {
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let name_end = line.find(|c: char| c == '{' || c.is_ascii_whitespace())?;
+    let name = &line[..name_end];
+    let rest = &line[name_end..];
+    let (labels, value_str) = match rest.strip_prefix('{') {
+        Some(inner) => {
+            let (label_str, value_str) = inner.split_once('}')?;
+            let labels = label_str
+                .split(',')
+                .filter_map(|pair| {
+                    let (k, v) = pair.split_once('=')?;
+                    Some((k.trim(), v.trim().trim_matches('"')))
+                })
+                .collect();
+            (labels, value_str)
+        }
+        None => (Vec::new(), rest),
+    };
+    let value = match value_str.trim() {
+        "NaN" => f64::NAN,
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        other => other.parse().ok()?,
+    };
+    Some((name, labels, value))
+}
+
+/// Folds one summary sample (`quantile` row or `_count`) into a
+/// [`StagePercentiles`]. NaN quantiles (empty window) stay 0.
+fn fold_summary(into: &mut StagePercentiles, labels: &[(&str, &str)], value: f64, count: bool) {
+    if count {
+        into.count = value as u64;
+        return;
+    }
+    let Some((_, q)) = labels.iter().find(|(k, _)| *k == "quantile") else {
+        return;
+    };
+    let value = if value.is_finite() { value } else { 0.0 };
+    match *q {
+        "0.5" => into.p50_us = value,
+        "0.9" => into.p90_us = value,
+        "0.99" => into.p99_us = value,
+        "0.999" => into.p999_us = value,
+        _ => {}
+    }
+}
+
+/// Scrapes `/metrics` (Prometheus text exposition) and pulls out the
+/// series the smoke test and report gate on: the batcher's size
+/// histogram, the scratch-arena high-water gauge, the kernel ISA /
+/// dispatch counters, and the per-stage + end-to-end latency
+/// summaries. Returns defaults on any scrape or parse failure —
+/// loadgen results still stand.
 fn scrape_metrics(addr: &str) -> ScrapedMetrics {
     let mut scraped = ScrapedMetrics::default();
+    scraped.server_total.stage = "total".to_string();
     let Ok(mut conn) = Conn::open(addr) else {
         return scraped;
     };
     let Ok((200, body)) = conn.get("/metrics") else {
         return scraped;
     };
-    let gauge_u64 = |rest: &str| rest.trim().parse::<f64>().map(|v| v as u64).unwrap_or(0);
     for line in body.lines() {
-        if let Some(rest) = line.strip_prefix("serve.batch.size histogram ") {
-            scraped.batch_count = rest
-                .split_whitespace()
-                .find_map(|f| f.strip_prefix("count="))
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0);
-        } else if let Some(rest) = line.strip_prefix("serve.arena.allocated_bytes gauge ") {
-            scraped.arena_bytes = gauge_u64(rest);
-        } else if let Some(rest) = line.strip_prefix("tensor.kernel_isa info ") {
-            scraped.kernel_isa = rest.trim().to_string();
-        } else if let Some(rest) = line.strip_prefix("tensor.dispatch.scalar gauge ") {
-            scraped.dispatch_scalar = gauge_u64(rest);
-        } else if let Some(rest) = line.strip_prefix("tensor.dispatch.") {
-            // Any other dispatch counter is a SIMD tier.
-            if let Some((_, v)) = rest.split_once(" gauge ") {
-                scraped.dispatch_simd += gauge_u64(v);
+        let Some((name, labels, value)) = parse_prom_sample(line) else {
+            continue;
+        };
+        let stage_entry = |stages: &mut Vec<StagePercentiles>, labels: &[(&str, &str)]| {
+            let stage = labels.iter().find(|(k, _)| *k == "stage")?.1;
+            if let Some(i) = stages.iter().position(|s| s.stage == stage) {
+                return Some(i);
             }
+            stages.push(StagePercentiles { stage: stage.to_string(), ..Default::default() });
+            Some(stages.len() - 1)
+        };
+        match name {
+            "serve_batch_size_count" => scraped.batch_count = value as u64,
+            "serve_arena_allocated_bytes" => scraped.arena_bytes = value as u64,
+            "tensor_kernel_isa" => {
+                if let Some((_, isa)) = labels.iter().find(|(k, _)| *k == "isa") {
+                    scraped.kernel_isa = (*isa).to_string();
+                }
+            }
+            "tensor_dispatch_scalar" => scraped.dispatch_scalar = value as u64,
+            n if n.starts_with("tensor_dispatch_") => scraped.dispatch_simd += value as u64,
+            "serve_stage_us" => {
+                if let Some(i) = stage_entry(&mut scraped.stages, &labels) {
+                    fold_summary(&mut scraped.stages[i], &labels, value, false);
+                }
+            }
+            "serve_stage_us_count" => {
+                if let Some(i) = stage_entry(&mut scraped.stages, &labels) {
+                    fold_summary(&mut scraped.stages[i], &labels, value, true);
+                }
+            }
+            "serve_request_total_us" => {
+                fold_summary(&mut scraped.server_total, &labels, value, false)
+            }
+            "serve_request_total_us_count" => {
+                fold_summary(&mut scraped.server_total, &labels, value, true)
+            }
+            _ => {}
         }
     }
     scraped
+}
+
+/// How many flight-recorder traces the report keeps.
+const SLOWEST_KEPT: usize = 3;
+
+/// Scrapes `/debug/tracez` and returns the slowest completed
+/// requests, slowest first. Empty on any scrape or parse failure.
+fn scrape_tracez(addr: &str) -> Vec<SlowTrace> {
+    let Ok(mut conn) = Conn::open(addr) else {
+        return Vec::new();
+    };
+    let Ok((200, body)) = conn.get("/debug/tracez") else {
+        return Vec::new();
+    };
+    let Ok(parsed) = serde_json::from_str::<serde_json::Value>(&body) else {
+        return Vec::new();
+    };
+    let mut traces: Vec<SlowTrace> = Vec::new();
+    for ring in ["recent", "notable"] {
+        let Some(arr) = parsed.get(ring).and_then(|v| v.as_array()) else {
+            continue;
+        };
+        for t in arr {
+            let (Some(id), Some(path), Some(total_us)) = (
+                t.get("id").and_then(|v| v.as_f64()),
+                t.get("path").and_then(|v| v.as_str()),
+                t.get("total_us").and_then(|v| v.as_f64()),
+            ) else {
+                continue;
+            };
+            let id = id as u64;
+            if traces.iter().any(|s| s.id == id) {
+                continue;
+            }
+            let mut stages: Vec<StageDur> = t
+                .get("stages")
+                .and_then(|v| v.as_object())
+                .map(|m| {
+                    m.iter()
+                        .filter_map(|(k, v)| {
+                            Some(StageDur { stage: k.clone(), us: v.as_f64()? })
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            // JSON objects arrive alphabetized; restore pipeline order.
+            let order = |s: &str| {
+                occu_serve::STAGE_NAMES.iter().position(|n| *n == s).unwrap_or(usize::MAX)
+            };
+            stages.sort_by_key(|s| order(&s.stage));
+            traces.push(SlowTrace {
+                id,
+                path: path.to_string(),
+                status: t.get("status").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+                total_us,
+                stages,
+            });
+        }
+    }
+    traces.sort_by(|a, b| b.total_us.total_cmp(&a.total_us));
+    traces.truncate(SLOWEST_KEPT);
+    traces
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -322,6 +546,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
                 ServeConfig {
                     workers: cfg.concurrency.clamp(2, 16),
                     batch_window_us: 200,
+                    record: cfg.telemetry,
                     ..ServeConfig::default()
                 },
                 registry,
@@ -410,10 +635,11 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
         .join()
         .map_err(|_| OccuError::data("loadgen", "reload thread panicked"))?;
 
-    // Scrape /metrics before teardown so the report captures the
-    // batcher, scratch-arena, and kernel-dispatch state this run
-    // produced.
+    // Scrape /metrics and /debug/tracez before teardown so the report
+    // captures the batcher, scratch-arena, kernel-dispatch, and
+    // stage-latency state this run produced.
     let scraped = scrape_metrics(&addr);
+    let slowest = scrape_tracez(&addr);
 
     if let Some((server, dir)) = local {
         server.shutdown();
@@ -426,6 +652,17 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
     let errors: usize = tallies.iter().map(|t| t.errors).sum();
     let dropped: usize = tallies.iter().map(|t| t.dropped).sum();
     let cache_hits: usize = tallies.iter().map(|t| t.cache_hits).sum();
+
+    // Tail attribution: how much of the server-side end-to-end median
+    // the per-stage medians account for. Both sides come from the same
+    // rolling windows (same sample population, zeros recorded for
+    // skipped stages), so the ratio should sit near 1.0.
+    let stage_sum_p50_us: f64 = scraped.stages.iter().map(|s| s.p50_us).sum();
+    let attribution_ratio = if scraped.server_total.p50_us > 0.0 {
+        stage_sum_p50_us / scraped.server_total.p50_us
+    } else {
+        0.0
+    };
 
     Ok(ServeReport {
         requests: total,
@@ -441,6 +678,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
         },
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
         cache_hit_rate: if ok > 0 {
             cache_hits as f64 / ok as f64
         } else {
@@ -453,6 +691,12 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
         kernel_isa: scraped.kernel_isa,
         dispatch_simd: scraped.dispatch_simd,
         dispatch_scalar: scraped.dispatch_scalar,
+        telemetry: cfg.telemetry,
+        stages: scraped.stages,
+        server_total: scraped.server_total,
+        stage_sum_p50_us,
+        attribution_ratio,
+        slowest,
     })
 }
 
@@ -472,10 +716,56 @@ pub fn render_loadgen(rep: &ServeReport) -> String {
     );
     let _ = writeln!(
         out,
-        "latency:        {:>9} us p50   {:>9} us p99",
-        rep.p50_us, rep.p99_us
+        "latency:        {:>9} us p50   {:>9} us p99   {:>9} us p999  (client-observed)",
+        rep.p50_us, rep.p99_us, rep.p999_us
     );
     let _ = writeln!(out, "cache hit rate: {:>12.1}%", rep.cache_hit_rate * 100.0);
+    if !rep.stages.is_empty() {
+        let _ = writeln!(out, "server stage breakdown (rolling-window percentiles, us):");
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "p50", "p90", "p99", "p999", "samples"
+        );
+        for s in &rep.stages {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+                s.stage, s.p50_us, s.p90_us, s.p99_us, s.p999_us, s.count
+            );
+        }
+        let t = &rep.server_total;
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+            "total", t.p50_us, t.p90_us, t.p99_us, t.p999_us, t.count
+        );
+        let _ = writeln!(
+            out,
+            "  stage-sum p50 {:.1} us / total p50 {:.1} us = {:.3} attribution",
+            rep.stage_sum_p50_us, t.p50_us, rep.attribution_ratio
+        );
+    }
+    if !rep.slowest.is_empty() {
+        let _ = writeln!(out, "slowest requests (flight recorder):");
+        for s in &rep.slowest {
+            let breakdown: Vec<String> = s
+                .stages
+                .iter()
+                .filter(|d| d.us > 0.0)
+                .map(|d| format!("{} {:.0}", d.stage, d.us))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  #{:<8} {:<16} {:>4}  {:>9.0} us  [{}]",
+                s.id,
+                s.path,
+                s.status,
+                s.total_us,
+                breakdown.join(", ")
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "kernel isa:     {:>12}   dispatch simd/scalar: {}/{}",
@@ -508,6 +798,32 @@ mod tests {
         assert_eq!(percentile(&v, 0.50), 51);
         assert_eq!(percentile(&v, 0.99), 99);
         assert_eq!(percentile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn prom_sample_parsing_handles_labels_and_specials() {
+        assert_eq!(parse_prom_sample("# TYPE x counter"), None);
+        assert_eq!(parse_prom_sample(""), None);
+        let (name, labels, value) = parse_prom_sample("serve_requests 42").expect("bare sample");
+        assert_eq!((name, labels.len(), value), ("serve_requests", 0, 42.0));
+        let (name, labels, value) =
+            parse_prom_sample("serve_stage_us{stage=\"predict\",quantile=\"0.99\"} 12.5")
+                .expect("labeled sample");
+        assert_eq!(name, "serve_stage_us");
+        assert_eq!(labels, vec![("stage", "predict"), ("quantile", "0.99")]);
+        assert_eq!(value, 12.5);
+        let (_, _, nan) = parse_prom_sample("x{q=\"0.5\"} NaN").expect("NaN sample");
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn fold_summary_collects_quantiles_and_count() {
+        let mut s = StagePercentiles { stage: "predict".into(), ..Default::default() };
+        fold_summary(&mut s, &[("quantile", "0.5")], 10.0, false);
+        fold_summary(&mut s, &[("quantile", "0.99")], 90.0, false);
+        fold_summary(&mut s, &[("quantile", "0.999")], f64::NAN, false);
+        fold_summary(&mut s, &[], 128.0, true);
+        assert_eq!((s.p50_us, s.p99_us, s.p999_us, s.count), (10.0, 90.0, 0.0, 128));
     }
 
     #[test]

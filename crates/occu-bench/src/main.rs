@@ -16,10 +16,13 @@
 //! times the blocked GEMM kernels against the naive oracles and fails
 //! when the blocked path regresses (default out
 //! reports/kernel_perf.json);
-//! `obs-overhead` measures the cost of enabling observability and
-//! fails when it exceeds its budget. All subcommands accept
-//! `--trace-out <spans.jsonl>`, `--metrics-out <metrics.json>`, and
-//! `--log-level <level>`.
+//! `obs-overhead` measures the cost of enabling observability (both
+//! the training span/metric layer and the serving-path request
+//! telemetry, via back-to-back loadgen passes with telemetry off and
+//! on) and fails when either exceeds its budget; `loadgen` accepts
+//! `--telemetry on|off` to toggle the server's request telemetry. All
+//! subcommands accept `--trace-out <spans.jsonl>`,
+//! `--metrics-out <metrics.json>`, and `--log-level <level>`.
 //!
 //! ## Exit codes
 //!
@@ -27,8 +30,11 @@
 //! and exit with the `OccuError` code for the failure class: 3 io,
 //! 4 parse, 5 shape, 6 config, 7 data. `obs-overhead` exits 1 when
 //! the measured overhead blows its budget; `loadgen` exits 1 when any
-//! request errored or was dropped; `kernels` exits 1 when the blocked
-//! GEMM regresses against the naive oracle.
+//! request errored or was dropped, or (full-size local runs) when
+//! throughput regresses >5% below the recorded baseline, the
+//! per-stage percentile breakdown fails to account for the end-to-end
+//! median within 10%, or `/debug/tracez` yields no traces; `kernels`
+//! exits 1 when the blocked GEMM regresses against the naive oracle.
 
 #![warn(clippy::unwrap_used)]
 
@@ -271,6 +277,11 @@ fn run_perf(quick: bool, args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Reference throughput for the full-size local loadgen run (PR-6
+/// baseline, this container). The non-quick gate fails when a run
+/// regresses more than 5% below it.
+const SERVE_BASELINE_RPS: f64 = 14_943.0;
+
 fn run_loadgen(quick: bool, args: &[String]) -> Result<(), CliError> {
     let out = flag_value(args, "--out")?.unwrap_or("reports/serve_perf.json");
     occu_bench::validate_out_path(out)?;
@@ -291,16 +302,52 @@ fn run_loadgen(quick: bool, args: &[String]) -> Result<(), CliError> {
             .parse()
             .map_err(|_| format!("--concurrency: '{n}' is not an integer"))?;
     }
+    if let Some(v) = flag_value(args, "--telemetry")? {
+        cfg.telemetry = match v {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("--telemetry expects on|off, got '{other}'").into()),
+        };
+    }
     let rep = occu_bench::run_loadgen(&cfg)?;
     print!("{}", occu_bench::render_loadgen(&rep));
     let json = serde_json::to_string_pretty(&rep).expect("serve report serializes");
     write_report(out, &json)?;
+    let mut failures: Vec<String> = Vec::new();
     if rep.errors > 0 || rep.dropped > 0 {
-        occu_obs::error!(
-            "loadgen: {} errors, {} dropped requests",
-            rep.errors,
-            rep.dropped
-        );
+        failures.push(format!(
+            "{} errors, {} dropped requests",
+            rep.errors, rep.dropped
+        ));
+    }
+    // Gates below need the full-size local run: remote targets have
+    // their own baseline, and quick runs are too noisy to gate.
+    let gated = !quick && cfg.url.is_none();
+    if gated && rep.telemetry {
+        // The stage breakdown must account for the end-to-end median
+        // (within 10%): every stage recorded, nothing double counted.
+        if rep.attribution_ratio <= 0.0 {
+            failures.push("stage percentiles were not scraped from /metrics".to_string());
+        } else if (rep.attribution_ratio - 1.0).abs() > 0.10 {
+            failures.push(format!(
+                "stage attribution {:.3} outside 1.0 +/- 0.10 (stage-sum p50 {:.1} us vs total p50 {:.1} us)",
+                rep.attribution_ratio, rep.stage_sum_p50_us, rep.server_total.p50_us
+            ));
+        }
+        if rep.slowest.is_empty() {
+            failures.push("no traces scraped from /debug/tracez".to_string());
+        }
+    }
+    if gated && rep.throughput_rps < SERVE_BASELINE_RPS * 0.95 {
+        failures.push(format!(
+            "throughput {:.0} pred/s regressed >5% below the {:.0} baseline",
+            rep.throughput_rps, SERVE_BASELINE_RPS
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            occu_obs::error!("loadgen: {f}");
+        }
         std::process::exit(1);
     }
     Ok(())
@@ -328,16 +375,35 @@ fn run_obs_overhead(quick: bool, args: &[String]) -> Result<(), CliError> {
     let reps = if quick { 2 } else { 3 };
     let out = flag_value(args, "--out")?.unwrap_or("reports/obs_overhead.json");
     occu_bench::validate_out_path(out)?;
-    let rep = occu_bench::obs_overhead_study(scale, reps, 52);
+    let mut rep = occu_bench::obs_overhead_study(scale, reps, 52);
+    // Serving-path telemetry overhead: the same loadgen run with
+    // request telemetry off and on, best-of-N per mode.
+    let (serve_requests, serve_conc, serve_reps) =
+        if quick { (2_000, 4, 2) } else { (20_000, 8, 3) };
+    occu_bench::serve_overhead_study(&mut rep, serve_requests, serve_conc, serve_reps)?;
     print!("{}", occu_bench::render_obs_overhead(&rep));
     let json = serde_json::to_string_pretty(&rep).expect("overhead report serializes");
     write_report(out, &json)?;
+    let mut over_budget = false;
     if !rep.within_budget() {
         occu_obs::error!(
             "obs-overhead: factor {:.3}x exceeds the {:.1}x budget",
             rep.overhead_factor,
             rep.budget_factor
         );
+        over_budget = true;
+    }
+    if !rep.serve_within_budget() {
+        occu_obs::error!(
+            "obs-overhead: serve telemetry factor {:.3}x exceeds the {:.2}x budget",
+            rep.serve_overhead_factor,
+            rep.serve_budget_factor
+        );
+        // Quick passes are too short to gate on a 5% margin; the
+        // full run enforces it.
+        over_budget |= !quick;
+    }
+    if over_budget {
         std::process::exit(1);
     }
     Ok(())

@@ -167,13 +167,78 @@ pub struct ObsOverheadReport {
     pub metrics_entries: usize,
     /// Largest acceptable `overhead_factor`.
     pub budget_factor: f64,
+    /// Requests per loadgen pass in the serve-telemetry section
+    /// (0 = section skipped).
+    #[serde(default)]
+    pub serve_requests: usize,
+    /// Best loadgen throughput with request telemetry off, pred/s.
+    #[serde(default)]
+    pub serve_baseline_rps: f64,
+    /// Best loadgen throughput with request telemetry on, pred/s.
+    #[serde(default)]
+    pub serve_instrumented_rps: f64,
+    /// `serve_baseline_rps / serve_instrumented_rps` — the serving
+    /// slowdown attributable to per-request telemetry.
+    #[serde(default)]
+    pub serve_overhead_factor: f64,
+    /// Largest acceptable `serve_overhead_factor` (1.05: telemetry
+    /// must cost under 5% of serving throughput).
+    #[serde(default)]
+    pub serve_budget_factor: f64,
 }
 
 impl ObsOverheadReport {
-    /// True when the measured overhead is inside the budget.
+    /// True when the measured training overhead is inside the budget.
     pub fn within_budget(&self) -> bool {
         self.overhead_factor <= self.budget_factor
     }
+
+    /// True when the serve-telemetry overhead is inside its budget
+    /// (vacuously true when the section was skipped).
+    pub fn serve_within_budget(&self) -> bool {
+        self.serve_requests == 0 || self.serve_overhead_factor <= self.serve_budget_factor
+    }
+}
+
+/// Acceptable serving slowdown with request telemetry on: the whole
+/// point of the wait-free windows/recorder is that recording is
+/// effectively free, so the budget is 5%.
+pub const SERVE_OVERHEAD_BUDGET: f64 = 1.05;
+
+/// Measures serving-path telemetry overhead: the same in-process
+/// loadgen run with request telemetry off and on, interleaved
+/// best-of-`reps` per mode, written into `rep`'s serve section.
+pub fn serve_overhead_study(
+    rep: &mut ObsOverheadReport,
+    requests: usize,
+    concurrency: usize,
+    reps: usize,
+) -> Result<(), occu_error::OccuError> {
+    let run = |telemetry: bool| -> Result<f64, occu_error::OccuError> {
+        let cfg = crate::LoadgenConfig {
+            url: None,
+            requests,
+            concurrency,
+            telemetry,
+        };
+        Ok(crate::run_loadgen(&cfg)?.throughput_rps)
+    };
+    let mut baseline_rps = 0.0f64;
+    let mut instrumented_rps = 0.0f64;
+    for _ in 0..reps.max(1) {
+        baseline_rps = baseline_rps.max(run(false)?);
+        instrumented_rps = instrumented_rps.max(run(true)?);
+    }
+    rep.serve_requests = requests;
+    rep.serve_baseline_rps = baseline_rps;
+    rep.serve_instrumented_rps = instrumented_rps;
+    rep.serve_overhead_factor = if instrumented_rps > 0.0 {
+        baseline_rps / instrumented_rps
+    } else {
+        f64::INFINITY
+    };
+    rep.serve_budget_factor = SERVE_OVERHEAD_BUDGET;
+    Ok(())
 }
 
 /// Times `Trainer::fit` with recording off and on (best of `reps`
@@ -241,6 +306,12 @@ pub fn obs_overhead_study(scale: ExperimentScale, reps: usize, seed: u64) -> Obs
         // the quick scale, where batches are tiny and overhead is
         // proportionally largest.
         budget_factor: 3.0,
+        // The serve section is filled by `serve_overhead_study`.
+        serve_requests: 0,
+        serve_baseline_rps: 0.0,
+        serve_instrumented_rps: 0.0,
+        serve_overhead_factor: 0.0,
+        serve_budget_factor: SERVE_OVERHEAD_BUDGET,
     }
 }
 
@@ -262,6 +333,25 @@ pub fn render_obs_overhead(rep: &ObsOverheadReport) -> String {
         rep.budget_factor,
         if rep.within_budget() { "OK" } else { "OVER BUDGET" }
     );
+    if rep.serve_requests > 0 {
+        let _ = writeln!(
+            out,
+            "serve baseline (telemetry off): {:>10.0} pred/s  ({} requests/pass)",
+            rep.serve_baseline_rps, rep.serve_requests
+        );
+        let _ = writeln!(
+            out,
+            "serve instrumented (on):        {:>10.0} pred/s",
+            rep.serve_instrumented_rps
+        );
+        let _ = writeln!(
+            out,
+            "serve overhead factor:          {:>10.3}x  (budget {:.2}x) {}",
+            rep.serve_overhead_factor,
+            rep.serve_budget_factor,
+            if rep.serve_within_budget() { "OK" } else { "OVER BUDGET" }
+        );
+    }
     out
 }
 

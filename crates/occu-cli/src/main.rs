@@ -99,7 +99,7 @@ fn die_usage(msg: &str) -> ! {
     eprintln!("  occu train    [--out model.json] [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0] [--test-fraction 0.2]");
     eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100]");
     eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--trace jobs.csv] [--save-trace jobs.csv] [--seed 1]");
-    eprintln!("  occu serve    --weights model.json [--addr 127.0.0.1] [--port 7071] [--threads 4] [--queue 128] [--batch-window-us 1000] [--max-batch 32] [--cache 4096]");
+    eprintln!("  occu serve    --weights model.json [--addr 127.0.0.1] [--port 7071] [--threads 4] [--queue 128] [--batch-window-us 1000] [--max-batch 32] [--cache 4096] [--slo-us 5000] [--recorder 256]");
     eprintln!("--device takes a built-in name or a device-spec JSON path");
     eprintln!("observability (any command): --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     std::process::exit(2);
@@ -388,13 +388,15 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         batch_window_us: args.usize_or("batch-window-us", 1000)? as u64,
         max_batch: args.usize_or("max-batch", 32)?,
         cache_cap: args.usize_or("cache", 4096)?,
+        slo_us: args.f64_or("slo-us", occu_serve::ServeConfig::default().slo_us)?,
+        recorder_cap: args.usize_or("recorder", occu_serve::ServeConfig::default().recorder_cap)?,
         ..occu_serve::ServeConfig::default()
     };
     let registry = std::sync::Arc::new(occu_serve::ModelRegistry::load(weights)?);
     occu_serve::signal::install();
     let server = occu_serve::Server::start(cfg, registry)?;
     occu_obs::info!(
-        "serving predictions on http://{} ({}); POST /predict, /predict_batch, /reload; GET /healthz, /metrics",
+        "serving predictions on http://{} ({}); POST /predict, /predict_batch, /reload; GET /healthz, /metrics, /debug/{{statusz,tracez,varz}}",
         server.local_addr(),
         weights
     );

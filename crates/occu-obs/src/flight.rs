@@ -1,0 +1,337 @@
+//! The flight recorder: a bounded ring of the last N completed
+//! request traces, plus a second "notable" ring that pins anything
+//! slow or failed.
+//!
+//! The recorder exists because unbounded span buffers cannot run in a
+//! long-lived server: `occu-serve` completes tens of thousands of
+//! requests per second, and keeping every trace until someone drains
+//! them would grow without limit. Instead the last `cap` traces are
+//! always available for `/debug/tracez`, and any trace that crossed
+//! the latency SLO or ended in an error is copied into the notable
+//! ring, where only *other* notable traces can displace it — a p999
+//! outlier survives the million fast requests that follow it.
+//!
+//! ## Write path
+//!
+//! A writer claims a slot with one `fetch_add` and then `try_lock`s
+//! that slot's mutex to swap the trace in. The claim is wait-free;
+//! the swap never blocks — if a reader (or a lapped writer) holds the
+//! slot, the trace is dropped and a skip counter incremented. The
+//! request path therefore never waits on the recorder.
+
+use crate::percentile::RollingWindow;
+use crate::sink::push_json_str;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One completed request, with its per-stage timing breakdown.
+#[derive(Clone, Debug)]
+pub struct RequestTrace {
+    /// Monotonic request id assigned at accept/arrival.
+    pub id: u64,
+    /// Arrival time in microseconds since the trace origin
+    /// ([`crate::span::now_us`] clock).
+    pub start_us: f64,
+    /// End-to-end handling duration, microseconds.
+    pub total_us: f64,
+    /// HTTP status the request was answered with.
+    pub status: u16,
+    /// Endpoint path (e.g. `/predict`).
+    pub path: String,
+    /// `(stage, duration_us)` breakdown in pipeline order. Stages the
+    /// request skipped (e.g. `predict` on a cache hit) carry 0.0.
+    pub stages: Vec<(&'static str, f64)>,
+    /// Error message for non-2xx outcomes.
+    pub error: Option<String>,
+}
+
+impl RequestTrace {
+    /// One-line JSON rendering (an element of the JSONL dump).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        let _ = write!(
+            out,
+            "{{\"id\": {}, \"start_us\": {:.1}, \"total_us\": {:.1}, \"status\": {}, \"path\": ",
+            self.id, self.start_us, self.total_us, self.status
+        );
+        push_json_str(&mut out, &self.path);
+        out.push_str(", \"stages\": {");
+        for (i, (stage, us)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_json_str(&mut out, stage);
+            let _ = write!(out, ": {us:.1}");
+        }
+        out.push('}');
+        if let Some(err) = &self.error {
+            out.push_str(", \"error\": ");
+            push_json_str(&mut out, err);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A bounded trace ring: wait-free slot claim, non-blocking swap.
+struct TraceRing {
+    slots: Box<[Mutex<Option<RequestTrace>>]>,
+    cursor: AtomicU64,
+    skipped: AtomicU64,
+}
+
+impl TraceRing {
+    fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, trace: RequestTrace) {
+        let idx = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
+        match self.slots[idx].try_lock() {
+            Ok(mut slot) => *slot = Some(trace),
+            // Contended slot (dump in progress or a lapped writer):
+            // drop rather than block the request path.
+            Err(_) => {
+                self.skipped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn dump(&self) -> Vec<RequestTrace> {
+        let mut out: Vec<RequestTrace> = self
+            .slots
+            .iter()
+            .filter_map(|slot| match slot.try_lock() {
+                Ok(guard) => guard.clone(),
+                Err(_) => None,
+            })
+            .collect();
+        out.sort_by_key(|t| t.id);
+        out
+    }
+}
+
+/// Bounded recorder of recent + notable request traces.
+pub struct FlightRecorder {
+    recent: TraceRing,
+    notable: TraceRing,
+    slo_us: f64,
+    recorded: AtomicU64,
+    pinned: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `cap` traces, pinning traces that
+    /// exceed `slo_us` (or erred) into a `cap`-sized notable ring.
+    pub fn new(cap: usize, slo_us: f64) -> Self {
+        Self {
+            recent: TraceRing::new(cap),
+            notable: TraceRing::new(cap),
+            slo_us,
+            recorded: AtomicU64::new(0),
+            pinned: AtomicU64::new(0),
+        }
+    }
+
+    /// The SLO threshold (microseconds) above which a trace is pinned.
+    pub fn slo_us(&self) -> f64 {
+        self.slo_us
+    }
+
+    /// Ring capacity (same for both rings).
+    pub fn capacity(&self) -> usize {
+        self.recent.slots.len()
+    }
+
+    /// True when `trace` would be pinned into the notable ring.
+    pub fn is_notable(&self, trace: &RequestTrace) -> bool {
+        trace.status >= 400 || trace.error.is_some() || trace.total_us > self.slo_us
+    }
+
+    /// Records one completed trace; never blocks.
+    pub fn record(&self, trace: RequestTrace) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if self.is_notable(&trace) {
+            self.pinned.fetch_add(1, Ordering::Relaxed);
+            self.notable.push(trace.clone());
+        }
+        self.recent.push(trace);
+    }
+
+    /// Traces recorded over the recorder's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Traces pinned as notable over the recorder's lifetime.
+    pub fn pinned(&self) -> u64 {
+        self.pinned.load(Ordering::Relaxed)
+    }
+
+    /// The current recent ring, oldest first.
+    pub fn recent(&self) -> Vec<RequestTrace> {
+        self.recent.dump()
+    }
+
+    /// The current notable ring, oldest first.
+    pub fn notable(&self) -> Vec<RequestTrace> {
+        self.notable.dump()
+    }
+
+    /// Renders a trace list as JSONL (one trace per line).
+    pub fn to_jsonl(traces: &[RequestTrace]) -> String {
+        let mut out = String::new();
+        for t in traces {
+            out.push_str(&t.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A per-stage rolling percentile bank: one [`RollingWindow`] per
+/// stage name plus one for the end-to-end total, so `sum(stage p50)`
+/// and `total p50` come from the same sample population.
+pub struct StageWindows {
+    stages: Vec<(&'static str, RollingWindow)>,
+    total: RollingWindow,
+}
+
+impl StageWindows {
+    /// Windows of `cap` samples for `stages` (pipeline order is
+    /// preserved in exports).
+    pub fn new(stages: &[&'static str], cap: usize) -> Self {
+        Self {
+            stages: stages.iter().map(|s| (*s, RollingWindow::new(cap))).collect(),
+            total: RollingWindow::new(cap),
+        }
+    }
+
+    /// The stage names, in construction order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Records one request: `durations` aligns with the constructor's
+    /// stage order (missing tail entries record 0.0), `total_us` goes
+    /// to the total window.
+    pub fn record(&self, durations: &[f64], total_us: f64) {
+        for (i, (_, w)) in self.stages.iter().enumerate() {
+            w.record(durations.get(i).copied().unwrap_or(0.0));
+        }
+        self.total.record(total_us);
+    }
+
+    /// `(name, window)` pairs for exporters.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &RollingWindow)> {
+        self.stages.iter().map(|(n, w)| (*n, w))
+    }
+
+    /// The end-to-end total window.
+    pub fn total(&self) -> &RollingWindow {
+        &self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, total_us: f64, status: u16) -> RequestTrace {
+        RequestTrace {
+            id,
+            start_us: id as f64 * 10.0,
+            total_us,
+            status,
+            path: "/predict".to_string(),
+            stages: vec![("parse", 1.0), ("predict", total_us - 1.0)],
+            error: if status >= 400 { Some("boom".to_string()) } else { None },
+        }
+    }
+
+    #[test]
+    fn recent_ring_keeps_last_n_in_order() {
+        let fr = FlightRecorder::new(4, 1e9);
+        for id in 1..=10 {
+            fr.record(trace(id, 5.0, 200));
+        }
+        let recent = fr.recent();
+        let ids: Vec<u64> = recent.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10]);
+        assert_eq!(fr.recorded(), 10);
+        assert_eq!(fr.pinned(), 0);
+        assert!(fr.notable().is_empty());
+    }
+
+    #[test]
+    fn slow_and_errored_traces_are_pinned() {
+        let fr = FlightRecorder::new(8, 100.0);
+        fr.record(trace(1, 5.0, 200)); // fast, fine
+        fr.record(trace(2, 250.0, 200)); // over SLO
+        fr.record(trace(3, 5.0, 500)); // error
+        for id in 4..=40 {
+            fr.record(trace(id, 5.0, 200)); // a flood of fast successes
+        }
+        let notable = fr.notable();
+        let ids: Vec<u64> = notable.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![2, 3], "outliers survive the fast flood");
+        assert_eq!(fr.pinned(), 2);
+        // The recent ring has long since lapped them.
+        assert!(fr.recent().iter().all(|t| t.id > 3));
+    }
+
+    #[test]
+    fn jsonl_dump_parses_and_carries_stages() {
+        let fr = FlightRecorder::new(4, 100.0);
+        fr.record(trace(1, 250.0, 200));
+        fr.record(trace(2, 5.0, 422));
+        let jsonl = FlightRecorder::to_jsonl(&fr.notable());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"stages\": {\"parse\": 1.0"), "{line}");
+        }
+        assert!(jsonl.contains("\"error\": \"boom\""));
+    }
+
+    #[test]
+    fn concurrent_recording_never_blocks_or_loses_the_count() {
+        let fr = FlightRecorder::new(16, 50.0);
+        const THREADS: u64 = 8;
+        const PER: u64 = 2_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let fr = &fr;
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let id = t * PER + i;
+                        fr.record(trace(id, if id.is_multiple_of(100) { 99.0 } else { 1.0 }, 200));
+                    }
+                });
+            }
+        });
+        assert_eq!(fr.recorded(), THREADS * PER);
+        assert!(fr.recent().len() <= 16);
+        assert!(fr.notable().len() <= 16);
+    }
+
+    #[test]
+    fn stage_windows_align_names_and_totals() {
+        let sw = StageWindows::new(&["a", "b"], 32);
+        sw.record(&[1.0, 2.0], 3.5);
+        sw.record(&[3.0], 3.0); // missing tail -> 0.0 for "b"
+        let names = sw.stage_names();
+        assert_eq!(names, vec!["a", "b"]);
+        let snaps: Vec<_> = sw.iter().map(|(n, w)| (n, w.snapshot())).collect();
+        assert_eq!(snaps[0].1.quantile(1.0), 3.0);
+        assert_eq!(snaps[1].1.quantile(0.0), 0.0);
+        assert_eq!(sw.total().snapshot().quantile(1.0), 3.5);
+    }
+}

@@ -16,6 +16,11 @@
 //!   atomics in a global [`Registry`]. Counters and gauges are single
 //!   atomic words; histograms are fixed-bucket atomic arrays, so hot
 //!   paths never allocate after the first lookup.
+//! * **Request telemetry** ([`RollingWindow`], [`FlightRecorder`],
+//!   [`StageWindows`], [`prom`]) — bounded-memory latency telemetry
+//!   for long-lived servers: fixed-size sample rings answering
+//!   p50..p999, a ring of recent + notable request traces, and
+//!   Prometheus text-format rendering of it all.
 //! * **Sinks** — [`spans_to_jsonl`] (one JSON object per span),
 //!   [`MetricsSnapshot::to_json`], and [`render_summary`] (the
 //!   human-readable end-of-run report).
@@ -34,15 +39,22 @@
 //! any state, so the disabled path is a near-no-op. `repro
 //! obs-overhead` enforces this with a measured budget.
 
+pub mod flight;
 pub mod log;
 pub mod manifest;
 pub mod metrics;
+pub mod percentile;
+pub mod prom;
 pub mod sink;
 pub mod span;
 
+pub use crate::flight::{FlightRecorder, RequestTrace, StageWindows};
 pub use crate::log::{set_level, set_level_from_str, Level};
 pub use crate::manifest::{version_string, RunManifest};
-pub use crate::metrics::{Counter, Gauge, Histogram, MetricValue, MetricsSnapshot, Registry};
+pub use crate::metrics::{
+    Counter, EdgeMismatch, Gauge, Histogram, MetricValue, MetricsSnapshot, Registry,
+};
+pub use crate::percentile::{RollingWindow, WindowSnapshot};
 pub use crate::sink::{render_summary, spans_to_jsonl};
 pub use crate::span::{take_spans, FieldVal, SpanGuard, SpanRecord};
 

@@ -143,6 +143,30 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+/// Typed warning: a histogram was looked up with bucket edges that
+/// differ from the ones it was registered with. The registered edges
+/// stay in effect — silently honoring the new ones would skew every
+/// dashboard reading the old buckets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeMismatch {
+    /// The histogram's name.
+    pub name: String,
+    /// The edges the histogram was created with (still in effect).
+    pub registered: Vec<f64>,
+    /// The differing edges this caller passed.
+    pub requested: Vec<f64>,
+}
+
+impl std::fmt::Display for EdgeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "histogram '{}' requested with edges {:?} but registered with {:?}; keeping the registered buckets",
+            self.name, self.requested, self.registered
+        )
+    }
+}
+
 /// A point-in-time value of one metric.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MetricValue {
@@ -239,12 +263,13 @@ pub(crate) fn json_f64(v: f64) -> String {
 #[derive(Default)]
 pub struct Registry {
     inner: Mutex<BTreeMap<String, Metric>>,
+    edge_mismatches: AtomicU64,
 }
 
 impl Registry {
     /// An empty registry.
     pub const fn new() -> Self {
-        Self { inner: Mutex::new(BTreeMap::new()) }
+        Self { inner: Mutex::new(BTreeMap::new()), edge_mismatches: AtomicU64::new(0) }
     }
 
     /// Get-or-create a counter. Panics if `name` already holds a
@@ -273,16 +298,54 @@ impl Registry {
     }
 
     /// Get-or-create a histogram. `edges` (strictly increasing bucket
-    /// upper bounds) only apply on first creation.
+    /// upper bounds) only apply on first creation. Passing *different*
+    /// edges for an existing histogram logs a warning, bumps
+    /// [`Registry::edge_mismatches`], and `debug_assert`s — the
+    /// registered buckets stay in effect either way. Use
+    /// [`Registry::histogram_checked`] to handle the mismatch
+    /// programmatically.
     pub fn histogram(&self, name: &str, edges: &[f64]) -> Arc<Histogram> {
+        let (h, mismatch) = self.histogram_checked(name, edges);
+        if let Some(warning) = mismatch {
+            crate::warn!("{warning}");
+            debug_assert!(false, "{warning}");
+        }
+        h
+    }
+
+    /// Like [`Registry::histogram`], but returns the mismatch as a
+    /// typed warning instead of logging/asserting, so callers can
+    /// surface it their own way.
+    pub fn histogram_checked(
+        &self,
+        name: &str,
+        edges: &[f64],
+    ) -> (Arc<Histogram>, Option<EdgeMismatch>) {
         let mut map = self.inner.lock().expect("metrics registry poisoned");
-        match map
+        let existed = map.contains_key(name);
+        let h = match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(edges))))
         {
             Metric::Histogram(h) => Arc::clone(h),
             _ => panic!("metric '{name}' is not a histogram"),
-        }
+        };
+        drop(map);
+        let mismatch = (existed && h.edges() != edges).then(|| {
+            self.edge_mismatches.fetch_add(1, Ordering::Relaxed);
+            EdgeMismatch {
+                name: name.to_string(),
+                registered: h.edges().to_vec(),
+                requested: edges.to_vec(),
+            }
+        });
+        (h, mismatch)
+    }
+
+    /// How many histogram lookups passed edges differing from the
+    /// registered ones.
+    pub fn edge_mismatches(&self) -> u64 {
+        self.edge_mismatches.load(Ordering::Relaxed)
     }
 
     /// Point-in-time copy of every metric (does not reset anything).
@@ -318,4 +381,47 @@ impl Registry {
 pub fn global() -> &'static Registry {
     static GLOBAL: Registry = Registry::new();
     &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_checked_flags_differing_edges_and_keeps_originals() {
+        let reg = Registry::new();
+        let (h1, warn1) = reg.histogram_checked("lat", &[1.0, 2.0]);
+        assert!(warn1.is_none());
+        let (h2, warn2) = reg.histogram_checked("lat", &[5.0, 10.0]);
+        let warning = warn2.expect("differing edges must be flagged");
+        assert_eq!(warning.name, "lat");
+        assert_eq!(warning.registered, vec![1.0, 2.0]);
+        assert_eq!(warning.requested, vec![5.0, 10.0]);
+        assert!(warning.to_string().contains("keeping the registered buckets"));
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(h2.edges(), &[1.0, 2.0], "registered edges stay in effect");
+        assert_eq!(reg.edge_mismatches(), 1);
+        let (_, warn3) = reg.histogram_checked("lat", &[1.0, 2.0]);
+        assert!(warn3.is_none(), "matching edges are not a mismatch");
+        assert_eq!(reg.edge_mismatches(), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "keeping the registered buckets")]
+    fn histogram_debug_asserts_on_edge_mismatch() {
+        let reg = Registry::new();
+        let _ = reg.histogram("lat2", &[1.0]);
+        let _ = reg.histogram("lat2", &[2.0]);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn histogram_warns_but_returns_original_in_release() {
+        let reg = Registry::new();
+        let _ = reg.histogram("lat2", &[1.0]);
+        let h = reg.histogram("lat2", &[2.0]);
+        assert_eq!(h.edges(), &[1.0]);
+        assert_eq!(reg.edge_mismatches(), 1);
+    }
 }

@@ -1,0 +1,196 @@
+//! Prometheus text-exposition rendering for the metrics registry and
+//! the rolling-percentile windows.
+//!
+//! Output follows the Prometheus text format version 0.0.4: each
+//! metric family gets one `# TYPE` line, histograms expand into
+//! cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, and
+//! rolling windows render as `summary` families with
+//! `quantile="0.5|0.9|0.99|0.999"` labels. Metric names are sanitized
+//! (`serve.cache.hits` → `serve_cache_hits`) and label values are
+//! escaped per the spec (`\\`, `\"`, `\n`).
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::percentile::RollingWindow;
+use std::fmt::Write as _;
+
+/// Maps an internal metric name onto the Prometheus grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — every other byte becomes `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline get backslash escapes; everything else is
+/// verbatim UTF-8.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a sample value: finite floats in shortest round-trip form,
+/// non-finite as the spec's `NaN` / `+Inf` / `-Inf` literals.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a whole [`MetricsSnapshot`] in Prometheus text format.
+/// Counters and gauges become single samples; histograms expand into
+/// cumulative buckets (`le` upper bounds, closing with `+Inf`),
+/// `_sum`, and `_count`.
+pub fn render_snapshot(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    for (name, value) in &snap.entries {
+        let pname = sanitize_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {pname} counter");
+                let _ = writeln!(out, "{pname} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {pname} gauge");
+                let _ = writeln!(out, "{pname} {}", fmt_value(*v));
+            }
+            MetricValue::Histogram { edges, counts, sum, count } => {
+                let _ = writeln!(out, "# TYPE {pname} histogram");
+                let mut cumulative = 0u64;
+                for (edge, c) in edges.iter().zip(counts.iter()) {
+                    cumulative += c;
+                    let _ = writeln!(
+                        out,
+                        "{pname}_bucket{{le=\"{}\"}} {cumulative}",
+                        fmt_value(*edge)
+                    );
+                }
+                let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {count}");
+                let _ = writeln!(out, "{pname}_sum {}", fmt_value(*sum));
+                let _ = writeln!(out, "{pname}_count {count}");
+            }
+        }
+    }
+    out
+}
+
+/// The quantiles every summary family exports.
+pub const SUMMARY_QUANTILES: [(f64, &str); 4] =
+    [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+/// Appends one `# TYPE <family> summary` header. Call once per
+/// family, before any [`append_summary`] rows that share it.
+pub fn append_summary_type(out: &mut String, family: &str) {
+    let _ = writeln!(out, "# TYPE {} summary", sanitize_name(family));
+}
+
+/// Appends one summary series from a rolling window: a
+/// `quantile="..."` sample per entry of [`SUMMARY_QUANTILES`] over
+/// the window, plus cumulative `_sum`/`_count`. `label` attaches an
+/// extra `key="value"` pair to every sample (pass `None` for a bare
+/// family).
+pub fn append_summary(
+    out: &mut String,
+    family: &str,
+    label: Option<(&str, &str)>,
+    window: &RollingWindow,
+) {
+    let pname = sanitize_name(family);
+    let snap = window.snapshot();
+    let base = match label {
+        Some((k, v)) => format!("{}=\"{}\",", sanitize_name(k), escape_label_value(v)),
+        None => String::new(),
+    };
+    for (q, qlabel) in SUMMARY_QUANTILES {
+        let _ = writeln!(
+            out,
+            "{pname}{{{base}quantile=\"{qlabel}\"}} {}",
+            fmt_value(snap.quantile(q))
+        );
+    }
+    let suffix = match label {
+        Some((k, v)) => format!("{{{}=\"{}\"}}", sanitize_name(k), escape_label_value(v)),
+        None => String::new(),
+    };
+    let _ = writeln!(out, "{pname}_sum{suffix} {}", fmt_value(snap.total_sum()));
+    let _ = writeln!(out, "{pname}_count{suffix} {}", snap.total_count());
+}
+
+/// Appends an info-style gauge: constant value 1 with the payload in
+/// a label (`tensor_kernel_isa{isa="avx512"} 1`).
+pub fn append_info(out: &mut String, family: &str, key: &str, value: &str) {
+    let pname = sanitize_name(family);
+    let _ = writeln!(out, "# TYPE {pname} gauge");
+    let _ = writeln!(
+        out,
+        "{pname}{{{}=\"{}\"}} 1",
+        sanitize_name(key),
+        escape_label_value(value)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn sanitizes_names_and_escapes_labels() {
+        assert_eq!(sanitize_name("serve.cache.hits"), "serve_cache_hits");
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        assert_eq!(sanitize_name("a-b c9"), "a_b_c9");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_with_inf() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat.us", &[1.0, 5.0]);
+        h.observe(0.5);
+        h.observe(3.0);
+        h.observe(9.0);
+        let text = render_snapshot(&reg.snapshot());
+        assert!(text.contains("# TYPE lat_us histogram"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"5\"} 2"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_us_sum 12.5"), "{text}");
+        assert!(text.contains("lat_us_count 3"), "{text}");
+    }
+
+    #[test]
+    fn summary_rows_carry_quantile_and_stage_labels() {
+        let w = RollingWindow::new(64);
+        for v in 1..=100 {
+            w.record(v as f64);
+        }
+        let mut out = String::new();
+        append_summary_type(&mut out, "serve.stage.us");
+        append_summary(&mut out, "serve.stage.us", Some(("stage", "predict")), &w);
+        assert!(out.contains("# TYPE serve_stage_us summary"), "{out}");
+        assert!(
+            out.contains("serve_stage_us{stage=\"predict\",quantile=\"0.5\"}"),
+            "{out}"
+        );
+        assert!(out.contains("serve_stage_us_count{stage=\"predict\"} 100"), "{out}");
+        assert!(out.contains("serve_stage_us_sum{stage=\"predict\"} 5050"), "{out}");
+    }
+}

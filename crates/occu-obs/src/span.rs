@@ -206,6 +206,34 @@ pub fn take_spans() -> Vec<SpanRecord> {
     out
 }
 
+/// Reserves a fresh process-wide span id without opening a guard.
+/// Pair with [`submit`] to record externally timed spans that link to
+/// each other through `parent`.
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Appends an externally synthesized span to the calling thread's
+/// buffer (no-op when recording is off). The serving pipeline uses
+/// this for per-stage request spans it timed itself — each stage is
+/// measured exactly once and then emitted as a record, instead of
+/// being double-measured by a RAII guard. The record's `thread` field
+/// is overwritten with the calling thread's id so synthesized and
+/// guard-recorded spans share one timeline.
+pub fn submit(mut rec: SpanRecord) {
+    if !crate::enabled() {
+        return;
+    }
+    CTX.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let ctx = slot.get_or_insert_with(ThreadCtx::new);
+        rec.thread = ctx.tid;
+        if let Ok(mut buf) = ctx.buf.lock() {
+            buf.push(rec);
+        };
+    });
+}
+
 /// Opens a [`SpanGuard`]: `span!("name")` or
 /// `span!("name", key = value, label = "x")`. Field keys become JSON
 /// keys in the trace export; values are anything `Into<FieldVal>`

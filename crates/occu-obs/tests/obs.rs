@@ -126,6 +126,94 @@ fn spans_record_across_worker_threads_without_loss() {
 }
 
 #[test]
+fn retired_thread_buffers_drain_without_duplication() {
+    let _lock = GLOBAL_OBS.lock().unwrap();
+    occu_obs::take_spans();
+    occu_obs::enable();
+    // Wave 1: short-lived workers that have already been joined —
+    // their buffers sit in the retired pool — before anyone drains.
+    for w in 0..4 {
+        std::thread::spawn(move || {
+            let _s = span!("wave1", idx = w);
+        })
+        .join()
+        .expect("wave1 worker");
+    }
+    let first = occu_obs::take_spans();
+    assert_eq!(
+        first.iter().filter(|s| s.name == "wave1").count(),
+        4,
+        "spans of exited threads are drained from the retired pool"
+    );
+    // Wave 2 after the drain: retirement keeps working once the pool
+    // has been emptied, and wave 1 must not reappear.
+    for w in 0..3 {
+        std::thread::spawn(move || {
+            let _s = span!("wave2", idx = w);
+        })
+        .join()
+        .expect("wave2 worker");
+    }
+    occu_obs::disable();
+    let second = occu_obs::take_spans();
+    assert_eq!(second.iter().filter(|s| s.name == "wave2").count(), 3);
+    assert_eq!(
+        second.iter().filter(|s| s.name == "wave1").count(),
+        0,
+        "retired records must not duplicate across drains"
+    );
+    assert!(occu_obs::take_spans().is_empty());
+}
+
+#[test]
+fn synthesized_spans_join_the_timeline() {
+    use occu_obs::span::{next_span_id, now_us, submit};
+    use occu_obs::SpanRecord;
+    let _lock = GLOBAL_OBS.lock().unwrap();
+    occu_obs::take_spans();
+    occu_obs::enable();
+    let parent_id = next_span_id();
+    let start = now_us();
+    submit(SpanRecord {
+        id: parent_id,
+        parent: None,
+        thread: u64::MAX, // overwritten on submit
+        name: "serve.request".to_string(),
+        fields: vec![("status".to_string(), 200u32.into())],
+        start_us: start,
+        dur_us: 25.0,
+    });
+    let child_id = next_span_id();
+    assert!(child_id > parent_id);
+    submit(SpanRecord {
+        id: child_id,
+        parent: Some(parent_id),
+        thread: u64::MAX,
+        name: "serve.stage.predict".to_string(),
+        fields: vec![],
+        start_us: start + 5.0,
+        dur_us: 10.0,
+    });
+    occu_obs::disable();
+    submit(SpanRecord {
+        id: next_span_id(),
+        parent: None,
+        thread: 0,
+        name: "ignored.when.off".to_string(),
+        fields: vec![],
+        start_us: now_us(),
+        dur_us: 1.0,
+    });
+    let spans = occu_obs::take_spans();
+    let parent = spans.iter().find(|s| s.name == "serve.request").expect("parent present");
+    let child = spans.iter().find(|s| s.name == "serve.stage.predict").expect("child present");
+    assert_eq!(child.parent, Some(parent.id));
+    assert_eq!(parent.thread, child.thread);
+    assert_ne!(parent.thread, u64::MAX, "thread id is stamped by submit");
+    assert!(!spans.iter().any(|s| s.name == "ignored.when.off"));
+}
+
+#[test]
 fn disabled_spans_record_nothing() {
     let _lock = GLOBAL_OBS.lock().unwrap();
     occu_obs::take_spans();

@@ -33,9 +33,25 @@ pub struct BatchConfig {
 pub struct PredictJob {
     /// Featurized input, ready for the forward pass.
     pub features: FeaturizedGraph,
-    /// Where the scalar occupancy goes. Send failures are ignored —
-    /// the requester may have timed out and hung up.
-    pub reply: SyncSender<f32>,
+    /// When the worker submitted the job — the collector measures
+    /// batch-window dwell against this.
+    pub submitted_at: Instant,
+    /// Where the prediction goes. Send failures are ignored — the
+    /// requester may have timed out and hung up.
+    pub reply: SyncSender<PredictReply>,
+}
+
+/// A prediction plus the collector-side timing the worker charges to
+/// the request's stage breakdown.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictReply {
+    /// The predicted occupancy.
+    pub occupancy: f32,
+    /// Submit → model-invocation wait (batch-window dwell), µs.
+    pub dwell_us: f64,
+    /// This job's share of the batch's `predict_batch` wall time
+    /// (total divided evenly across the batch), µs.
+    pub predict_us: f64,
 }
 
 /// Handle to the collector thread.
@@ -89,14 +105,27 @@ impl Batcher {
 
                     // Snapshot the model once for the whole batch.
                     let loaded = registry.current();
-                    let (feats, replies): (Vec<_>, Vec<_>) =
-                        jobs.into_iter().map(|j| (j.features, j.reply)).unzip();
+                    let exec_start = Instant::now();
+                    let (feats, meta): (Vec<_>, Vec<_>) = jobs
+                        .into_iter()
+                        .map(|j| (j.features, (j.reply, j.submitted_at)))
+                        .unzip();
                     let preds = loaded.model.predict_batch(&feats);
+                    let predict_us =
+                        exec_start.elapsed().as_secs_f64() * 1e6 / preds.len().max(1) as f64;
                     batches.inc();
                     predictions.add(preds.len() as u64);
                     batch_size.observe(preds.len() as f64);
-                    for (reply, pred) in replies.into_iter().zip(preds) {
-                        let _ = reply.send(pred);
+                    for ((reply, submitted_at), pred) in meta.into_iter().zip(preds) {
+                        let dwell_us = exec_start
+                            .saturating_duration_since(submitted_at)
+                            .as_secs_f64()
+                            * 1e6;
+                        let _ = reply.send(PredictReply {
+                            occupancy: pred,
+                            dwell_us,
+                            predict_us,
+                        });
                     }
                 }
             })

@@ -42,8 +42,17 @@
 //! | `/predict`       | POST   | `{"model": "...", "batch": N, ...}` or `{"graph": {...}}` |
 //! | `/predict_batch` | POST   | array of the same specs                   |
 //! | `/healthz`       | GET    | —                                         |
-//! | `/metrics`       | GET    | — (text dump of the `occu-obs` registry)  |
+//! | `/metrics`       | GET    | — (Prometheus text exposition: typed families, histogram buckets, per-stage `serve_stage_us` summaries) |
 //! | `/reload`        | POST   | optional `{"path": "model.json"}`         |
+//! | `/debug/statusz` | GET    | — (uptime, model, ISA, config, counters)  |
+//! | `/debug/tracez`  | GET    | — (recent + notable request traces)       |
+//! | `/debug/varz`    | GET    | — (raw `occu-obs` metrics snapshot JSON)  |
+//!
+//! Every request is threaded through a [`telemetry::RequestCtx`]
+//! recording a per-stage breakdown (queue-wait → parse → cache →
+//! featurize → batch-dwell → predict → serialize → write) into
+//! rolling percentile windows and a flight recorder — see
+//! [`telemetry`].
 //!
 //! Every failure maps to a 4xx/5xx with a single-line `error: ...`
 //! body, mirroring the CLI's `occu-error` exit-code taxonomy.
@@ -55,10 +64,12 @@ pub mod cache;
 pub mod http;
 pub mod registry;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::{CacheStats, LruCache};
 pub use registry::{LoadedModel, ModelRegistry};
 pub use server::{DrainStats, ServeConfig, Server};
+pub use telemetry::{RequestCtx, Stage, Telemetry, STAGE_NAMES};
 
 use occu_error::OccuError;
 use std::fmt;

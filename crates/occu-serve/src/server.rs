@@ -15,10 +15,11 @@
 //! `Connection: close` — and finally the collector. Nothing accepted
 //! is ever dropped.
 
-use crate::batch::{BatchConfig, Batcher, PredictJob};
+use crate::batch::{BatchConfig, Batcher, PredictJob, PredictReply};
 use crate::cache::{CacheStats, LruCache};
 use crate::http::{self, ReadOutcome, Request};
 use crate::registry::ModelRegistry;
+use crate::telemetry::{RequestCtx, Stage, Telemetry};
 use crate::ServeError;
 use occu_core::features::featurize;
 use occu_error::{IoContext, OccuError};
@@ -65,6 +66,19 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Max accepted request-body size in bytes.
     pub max_body_bytes: usize,
+    /// Latency SLO in microseconds; requests over this (or erroring)
+    /// are pinned into the flight recorder's notable ring.
+    pub slo_us: f64,
+    /// Flight-recorder ring capacity (traces kept per ring).
+    pub recorder_cap: usize,
+    /// Emit per-request linked `occu-obs` spans. Off by default: a
+    /// long-lived server never drains span buffers, so only sessions
+    /// that do (tests, trace captures) should turn this on.
+    pub trace_spans: bool,
+    /// Master switch for request telemetry (stage timing, rolling
+    /// windows, flight recorder). `false` is the overhead baseline
+    /// measured by `repro obs-overhead`.
+    pub record: bool,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +91,10 @@ impl Default for ServeConfig {
             max_batch: 32,
             cache_cap: 4096,
             max_body_bytes: 4 * 1024 * 1024,
+            slo_us: 5000.0,
+            recorder_cap: 256,
+            trace_spans: false,
+            record: true,
         }
     }
 }
@@ -103,6 +121,18 @@ impl ServeConfig {
             return Err(OccuError::config(
                 "serve max body size",
                 "must be at least 1024 bytes",
+            ));
+        }
+        if !self.slo_us.is_finite() || self.slo_us <= 0.0 {
+            return Err(OccuError::config(
+                "serve --slo-us",
+                format!("must be a positive number of microseconds, got {}", self.slo_us),
+            ));
+        }
+        if self.recorder_cap == 0 || self.recorder_cap > 65536 {
+            return Err(OccuError::config(
+                "serve --recorder",
+                format!("must be in 1..=65536, got {}", self.recorder_cap),
             ));
         }
         Ok(())
@@ -180,9 +210,16 @@ enum Prepared {
     Done(Outcome),
     Pending {
         key: CacheKey,
-        rx: Receiver<f32>,
+        rx: Receiver<PredictReply>,
         outcome: Outcome, // occupancy filled in on reply
     },
+}
+
+/// An accepted connection waiting for a worker, stamped so the first
+/// request can be charged its accept-queue wait.
+struct QueuedConn {
+    stream: TcpStream,
+    accepted_at: Instant,
 }
 
 #[derive(Default)]
@@ -228,6 +265,7 @@ struct ServerState {
     shutdown: Arc<AtomicBool>,
     stats: Stats,
     obs: ObsHandles,
+    telemetry: Telemetry,
 }
 
 impl ServerState {
@@ -247,6 +285,7 @@ pub struct Server {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     batcher: Option<Batcher>,
+    ticker: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -272,7 +311,8 @@ impl Server {
             Arc::clone(&shutdown),
         );
 
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.queue_cap);
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<QueuedConn>(cfg.queue_cap);
+        let telemetry = Telemetry::new(cfg.record, cfg.trace_spans, cfg.slo_us, cfg.recorder_cap);
         let state = Arc::new(ServerState {
             cache: Mutex::new(LruCache::new(cfg.cache_cap)),
             job_tx: batcher.sender(),
@@ -280,6 +320,7 @@ impl Server {
             shutdown,
             stats: Stats::default(),
             obs: ObsHandles::new(),
+            telemetry,
             cfg,
         });
 
@@ -301,6 +342,13 @@ impl Server {
                 .spawn(move || accept_loop(&state, &listener, &conn_tx))
                 .io_context("spawn accept thread")?
         };
+        let ticker = {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("occu-serve-ticker".to_string())
+                .spawn(move || ticker_loop(&state))
+                .io_context("spawn ticker thread")?
+        };
 
         occu_obs::info!("serve: listening on {addr} with {} workers", state.cfg.workers);
         Ok(Server {
@@ -309,6 +357,7 @@ impl Server {
             accept: Some(accept),
             workers,
             batcher: Some(batcher),
+            ticker: Some(ticker),
         })
     }
 
@@ -338,6 +387,9 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
         // Workers are gone, so no new jobs can arrive; the collector
         // exits at its next idle poll.
         self.batcher = None;
@@ -356,7 +408,7 @@ fn snapshot_stats(state: &ServerState) -> DrainStats {
     }
 }
 
-fn accept_loop(state: &ServerState, listener: &TcpListener, conn_tx: &SyncSender<TcpStream>) {
+fn accept_loop(state: &ServerState, listener: &TcpListener, conn_tx: &SyncSender<QueuedConn>) {
     while !state.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -364,9 +416,11 @@ fn accept_loop(state: &ServerState, listener: &TcpListener, conn_tx: &SyncSender
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
-                match conn_tx.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(mut stream)) => {
+                let conn = QueuedConn { stream, accepted_at: Instant::now() };
+                match conn_tx.try_send(conn) {
+                    Ok(()) => state.telemetry.queue_push(),
+                    Err(TrySendError::Full(conn)) => {
+                        let mut stream = conn.stream;
                         state.stats.rejected.fetch_add(1, Ordering::SeqCst);
                         state.obs.rejected.inc();
                         let err = ServeError::unavailable("accept queue full, retry later");
@@ -383,7 +437,7 @@ fn accept_loop(state: &ServerState, listener: &TcpListener, conn_tx: &SyncSender
     }
 }
 
-fn worker_loop(state: &ServerState, conn_rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(state: &ServerState, conn_rx: &Mutex<Receiver<QueuedConn>>) {
     loop {
         let next = {
             let guard = match conn_rx.lock() {
@@ -393,7 +447,10 @@ fn worker_loop(state: &ServerState, conn_rx: &Mutex<Receiver<TcpStream>>) {
             guard.recv_timeout(Duration::from_millis(100))
         };
         match next {
-            Ok(stream) => handle_connection(state, stream),
+            Ok(conn) => {
+                state.telemetry.queue_pop();
+                handle_connection(state, conn);
+            }
             Err(RecvTimeoutError::Timeout) => {
                 // Keep draining until the accept thread drops the
                 // sender; that is the authoritative end-of-queue.
@@ -404,7 +461,26 @@ fn worker_loop(state: &ServerState, conn_rx: &Mutex<Receiver<TcpStream>>) {
     }
 }
 
-fn handle_connection(state: &ServerState, stream: TcpStream) {
+/// Background sampler: mirrors queue depth and in-flight counts into
+/// gauges so `/metrics` reflects live load, not just request-path
+/// counters.
+fn ticker_loop(state: &ServerState) {
+    let queue_depth = occu_obs::gauge("serve.queue.depth");
+    let inflight = occu_obs::gauge("serve.inflight");
+    let uptime = occu_obs::gauge("serve.uptime_s");
+    while !state.shutdown.load(Ordering::SeqCst) {
+        queue_depth.set(state.telemetry.queue_depth() as f64);
+        inflight.set(state.telemetry.inflight() as f64);
+        uptime.set(state.telemetry.uptime_s());
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn handle_connection(state: &ServerState, conn: QueuedConn) {
+    let QueuedConn { stream, accepted_at } = conn;
+    // Accept-queue wait is a connection-level cost; the first request
+    // on the connection absorbs it, keep-alive follow-ups queue-wait 0.
+    let mut queue_wait_us = Some(accepted_at.elapsed().as_secs_f64() * 1e6);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let Ok(read_half) = stream.try_clone() else {
@@ -419,53 +495,77 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
                 state.stats.requests.fetch_add(1, Ordering::SeqCst);
                 state.obs.requests.inc();
                 let started = Instant::now();
+                let mut ctx = state.telemetry.begin();
+                ctx.add(Stage::QueueWait, queue_wait_us.take().unwrap_or(0.0));
                 let keep = !req.wants_close() && !state.shutdown.load(Ordering::SeqCst);
                 // Safety net: a panic in a handler must cost one 500,
                 // not a worker thread.
                 let (status, ctype, body) =
-                    match catch_unwind(AssertUnwindSafe(|| route(state, &req))) {
+                    match catch_unwind(AssertUnwindSafe(|| route(state, &req, &mut ctx))) {
                         Ok(resp) => resp,
                         Err(_) => {
                             let err = ServeError::internal("handler panicked");
                             (err.status, "text/plain", err.body().into_bytes())
                         }
                     };
-                if status >= 400 {
+                let error = if status >= 400 {
                     state.stats.errors.fetch_add(1, Ordering::SeqCst);
                     state.obs.errors.inc();
-                }
+                    Some(String::from_utf8_lossy(&body).trim_end().to_string())
+                } else {
+                    None
+                };
+                let write_ok = ctx
+                    .time(Stage::Write, || {
+                        http::write_response(&mut writer, status, ctype, &body, keep)
+                    })
+                    .is_ok();
+                // The end-to-end clock stops after the socket write.
                 state
                     .obs
                     .request_us
                     .observe(started.elapsed().as_micros() as f64);
-                if http::write_response(&mut writer, status, ctype, &body, keep).is_err() {
-                    return;
-                }
-                if !keep {
+                state.telemetry.finish(ctx, &req.path, status, error);
+                if !write_ok || !keep {
                     return;
                 }
             }
             Err(err) => {
                 state.stats.errors.fetch_add(1, Ordering::SeqCst);
                 state.obs.errors.inc();
-                let _ = http::write_error(&mut writer, &err);
+                let mut ctx = state.telemetry.begin();
+                ctx.add(Stage::QueueWait, queue_wait_us.take().unwrap_or(0.0));
+                let _ = ctx.time(Stage::Write, || http::write_error(&mut writer, &err));
+                state.telemetry.finish(ctx, "<framing>", err.status, Some(err.message.clone()));
                 return;
             }
         }
     }
 }
 
-fn route(state: &ServerState, req: &Request) -> (u16, &'static str, Vec<u8>) {
+fn route(state: &ServerState, req: &Request, ctx: &mut RequestCtx) -> (u16, &'static str, Vec<u8>) {
     let result: Result<(u16, &'static str, Vec<u8>), ServeError> =
         match (req.path.as_str(), req.method.as_str()) {
             ("/healthz", "GET") => Ok((200, "text/plain", b"ok\n".to_vec())),
             ("/metrics", "GET") => Ok((200, "text/plain", render_metrics(state).into_bytes())),
-            ("/predict", "POST") => handle_predict(state, &req.body),
-            ("/predict_batch", "POST") => handle_predict_batch(state, &req.body),
+            ("/predict", "POST") => handle_predict(state, &req.body, ctx),
+            ("/predict_batch", "POST") => handle_predict_batch(state, &req.body, ctx),
             ("/reload", "POST") => handle_reload(state, &req.body),
-            ("/healthz" | "/metrics" | "/predict" | "/predict_batch" | "/reload", m) => Err(
-                ServeError::method_not_allowed(format!("method {m} not allowed here")),
-            ),
+            ("/debug/statusz", "GET") => render_statusz(state),
+            ("/debug/tracez", "GET") => {
+                Ok((200, "application/json", render_tracez(state).into_bytes()))
+            }
+            ("/debug/varz", "GET") => {
+                mirror_gauges(state);
+                let mut text = occu_obs::metrics_snapshot().to_json();
+                text.push('\n');
+                Ok((200, "application/json", text.into_bytes()))
+            }
+            (
+                "/healthz" | "/metrics" | "/predict" | "/predict_batch" | "/reload"
+                | "/debug/statusz" | "/debug/tracez" | "/debug/varz",
+                m,
+            ) => Err(ServeError::method_not_allowed(format!("method {m} not allowed here"))),
             (p, _) => Err(ServeError::not_found(format!("no such endpoint '{p}'"))),
         };
     match result {
@@ -553,7 +653,11 @@ fn parse_spec(v: &Value) -> Result<PredictSpec, ServeError> {
 
 /// Resolves one spec: cache hit → `Done`; miss → featurize and submit
 /// to the collector, leaving a `Pending` reply to harvest.
-fn resolve_spec(state: &ServerState, spec: &PredictSpec) -> Result<Prepared, ServeError> {
+fn resolve_spec(
+    state: &ServerState,
+    spec: &PredictSpec,
+    ctx: &mut RequestCtx,
+) -> Result<Prepared, ServeError> {
     let device = DeviceSpec::by_name(&spec.device).ok_or_else(|| {
         ServeError::bad_request(format!(
             "unknown device '{}' (built-ins: {BUILTIN_DEVICES})",
@@ -563,14 +667,18 @@ fn resolve_spec(state: &ServerState, spec: &PredictSpec) -> Result<Prepared, Ser
     let version = state.registry.current().version;
 
     let (key, graph) = if let Some(graph_value) = &spec.graph {
-        let text = serde_json::to_string(graph_value)
-            .map_err(|e| ServeError::internal(format!("re-encode graph: {e}")))?;
-        let graph = CompGraph::from_json(&text).map_err(ServeError::from)?;
-        let key = CacheKey::Graph {
+        // Inline-graph decode is parse work; the fingerprint that
+        // keys the cache is charged to the lookup below.
+        let graph = ctx.time(Stage::Parse, || {
+            let text = serde_json::to_string(graph_value)
+                .map_err(|e| ServeError::internal(format!("re-encode graph: {e}")))?;
+            CompGraph::from_json(&text).map_err(ServeError::from)
+        })?;
+        let key = ctx.time(Stage::CacheLookup, || CacheKey::Graph {
             fp: graph.fingerprint(),
             device: spec.device.clone(),
             version,
-        };
+        });
         (key, Some(graph))
     } else {
         let name = spec.model.as_deref().unwrap_or_default();
@@ -606,7 +714,7 @@ fn resolve_spec(state: &ServerState, spec: &PredictSpec) -> Result<Prepared, Ser
         (key, None)
     };
 
-    if let Some(hit) = state.lock_cache().get(&key).cloned() {
+    if let Some(hit) = ctx.time(Stage::CacheLookup, || state.lock_cache().get(&key).cloned()) {
         state.obs.cache_hits.inc();
         return Ok(Prepared::Done(Outcome {
             occupancy: hit.occupancy,
@@ -621,26 +729,28 @@ fn resolve_spec(state: &ServerState, spec: &PredictSpec) -> Result<Prepared, Ser
 
     // Miss: obtain the graph (building the named model now if the
     // cache could not spare us), fingerprint it, featurize, submit.
-    let built = catch_unwind(AssertUnwindSafe(|| {
-        let graph = match graph {
-            Some(g) => g,
-            None => {
-                let id = ModelId::from_name(spec.model.as_deref().unwrap_or_default())
-                    .expect("validated above");
-                let defaults = id.default_config();
-                let cfg = ModelConfig {
-                    batch_size: spec.batch.unwrap_or(defaults.batch_size),
-                    input_channels: spec.channels.unwrap_or(defaults.input_channels),
-                    seq_len: spec.seq.unwrap_or(defaults.seq_len),
-                    ..defaults
-                };
-                id.build(&cfg)
-            }
-        };
-        let fp = graph.fingerprint();
-        let features = featurize(&graph, &device);
-        (fp, features)
-    }))
+    let built = ctx.time(Stage::Featurize, || {
+        catch_unwind(AssertUnwindSafe(|| {
+            let graph = match graph {
+                Some(g) => g,
+                None => {
+                    let id = ModelId::from_name(spec.model.as_deref().unwrap_or_default())
+                        .expect("validated above");
+                    let defaults = id.default_config();
+                    let cfg = ModelConfig {
+                        batch_size: spec.batch.unwrap_or(defaults.batch_size),
+                        input_channels: spec.channels.unwrap_or(defaults.input_channels),
+                        seq_len: spec.seq.unwrap_or(defaults.seq_len),
+                        ..defaults
+                    };
+                    id.build(&cfg)
+                }
+            };
+            let fp = graph.fingerprint();
+            let features = featurize(&graph, &device);
+            (fp, features)
+        }))
+    })
     .map_err(|_| {
         ServeError::unprocessable("model cannot be constructed with this configuration")
     })?;
@@ -651,6 +761,7 @@ fn resolve_spec(state: &ServerState, spec: &PredictSpec) -> Result<Prepared, Ser
         .job_tx
         .send(PredictJob {
             features,
+            submitted_at: Instant::now(),
             reply: reply_tx,
         })
         .map_err(|_| ServeError::internal("prediction backend has stopped"))?;
@@ -675,11 +786,12 @@ fn resolve_spec(state: &ServerState, spec: &PredictSpec) -> Result<Prepared, Ser
 fn predict_many(
     state: &ServerState,
     specs: &[Result<PredictSpec, ServeError>],
+    ctx: &mut RequestCtx,
 ) -> Vec<Result<Outcome, ServeError>> {
     let prepared: Vec<Result<Prepared, ServeError>> = specs
         .iter()
         .map(|spec| match spec {
-            Ok(s) => resolve_spec(state, s),
+            Ok(s) => resolve_spec(state, s, ctx),
             Err(e) => Err(e.clone()),
         })
         .collect();
@@ -689,17 +801,28 @@ fn predict_many(
             Err(e) => Err(e),
             Ok(Prepared::Done(outcome)) => Ok(outcome),
             Ok(Prepared::Pending { key, rx, mut outcome }) => {
-                let occ = rx
+                let wait_start = ctx.recording().then(Instant::now);
+                let reply = rx
                     .recv_timeout(REPLY_TIMEOUT)
                     .map_err(|_| ServeError::internal("prediction timed out"))?;
-                outcome.occupancy = occ;
-                state.lock_cache().insert(
-                    key,
-                    CachedPrediction {
-                        occupancy: occ,
-                        fingerprint: outcome.fingerprint.clone(),
-                    },
-                );
+                if let Some(t0) = wait_start {
+                    // The collector reports this job's compute share;
+                    // the rest of the wait is batch-window dwell (plus
+                    // channel overhead, charged to dwell as well).
+                    let waited_us = t0.elapsed().as_secs_f64() * 1e6;
+                    ctx.add(Stage::Predict, reply.predict_us);
+                    ctx.add(Stage::BatchDwell, (waited_us - reply.predict_us).max(0.0));
+                }
+                outcome.occupancy = reply.occupancy;
+                ctx.time(Stage::CacheLookup, || {
+                    state.lock_cache().insert(
+                        key,
+                        CachedPrediction {
+                            occupancy: reply.occupancy,
+                            fingerprint: outcome.fingerprint.clone(),
+                        },
+                    );
+                });
                 Ok(outcome)
             }
         })
@@ -735,21 +858,23 @@ fn json_body(value: &Value) -> Result<(u16, &'static str, Vec<u8>), ServeError> 
 fn handle_predict(
     state: &ServerState,
     body: &[u8],
+    ctx: &mut RequestCtx,
 ) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
-    let value = parse_body(body)?;
-    let spec = parse_spec(&value);
-    let mut results = predict_many(state, &[spec]);
+    let value = ctx.time(Stage::Parse, || parse_body(body))?;
+    let spec = ctx.time(Stage::Parse, || parse_spec(&value));
+    let mut results = predict_many(state, &[spec], ctx);
     let outcome = results
         .pop()
         .unwrap_or_else(|| Err(ServeError::internal("empty prediction result")))?;
-    json_body(&outcome_value(&outcome))
+    ctx.time(Stage::Serialize, || json_body(&outcome_value(&outcome)))
 }
 
 fn handle_predict_batch(
     state: &ServerState,
     body: &[u8],
+    ctx: &mut RequestCtx,
 ) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
-    let value = parse_body(body)?;
+    let value = ctx.time(Stage::Parse, || parse_body(body))?;
     let items = match value.as_array() {
         Some(a) => a,
         None => value
@@ -770,27 +895,30 @@ fn handle_predict_batch(
             items.len()
         )));
     }
-    let specs: Vec<Result<PredictSpec, ServeError>> = items.iter().map(parse_spec).collect();
-    let results = predict_many(state, &specs);
+    let specs: Vec<Result<PredictSpec, ServeError>> =
+        ctx.time(Stage::Parse, || items.iter().map(parse_spec).collect());
+    let results = predict_many(state, &specs, ctx);
 
-    let mut rendered = Vec::with_capacity(results.len());
-    let mut failures = 0u64;
-    for r in &results {
-        match r {
-            Ok(outcome) => rendered.push(outcome_value(outcome)),
-            Err(e) => {
-                failures += 1;
-                let mut m = BTreeMap::new();
-                m.insert("error".to_string(), Value::String(e.message.clone()));
-                m.insert("status".to_string(), Value::Number(f64::from(e.status)));
-                rendered.push(Value::Object(m));
+    ctx.time(Stage::Serialize, || {
+        let mut rendered = Vec::with_capacity(results.len());
+        let mut failures = 0u64;
+        for r in &results {
+            match r {
+                Ok(outcome) => rendered.push(outcome_value(outcome)),
+                Err(e) => {
+                    failures += 1;
+                    let mut m = BTreeMap::new();
+                    m.insert("error".to_string(), Value::String(e.message.clone()));
+                    m.insert("status".to_string(), Value::Number(f64::from(e.status)));
+                    rendered.push(Value::Object(m));
+                }
             }
         }
-    }
-    let mut top = BTreeMap::new();
-    top.insert("results".to_string(), Value::Array(rendered));
-    top.insert("errors".to_string(), Value::Number(failures as f64));
-    json_body(&Value::Object(top))
+        let mut top = BTreeMap::new();
+        top.insert("results".to_string(), Value::Array(rendered));
+        top.insert("errors".to_string(), Value::Number(failures as f64));
+        json_body(&Value::Object(top))
+    })
 }
 
 fn handle_reload(
@@ -843,9 +971,10 @@ fn handle_reload(
     json_body(&Value::Object(m))
 }
 
-/// Plain-text dump of the `occu-obs` registry, one metric per line.
-fn render_metrics(state: &ServerState) -> String {
-    // Mirror cache counters into gauges so they appear in the dump.
+/// Mirrors point-in-time state (cache, arena, kernel dispatch) into
+/// gauges so `/metrics` and `/debug/varz` expose it alongside the
+/// request-path counters.
+fn mirror_gauges(state: &ServerState) {
     let cache = state.lock_cache().stats();
     occu_obs::gauge("serve.cache.len").set(cache.len as f64);
     occu_obs::gauge("serve.cache.evictions").set(cache.evictions as f64);
@@ -864,26 +993,113 @@ fn render_metrics(state: &ServerState) -> String {
     occu_obs::gauge("tensor.dispatch.fma").set(disp.fma as f64);
     occu_obs::gauge("tensor.dispatch.avx512").set(disp.avx512 as f64);
     occu_obs::gauge("tensor.dispatch.neon").set(disp.neon as f64);
+}
 
-    let snapshot = occu_obs::metrics_snapshot();
-    let mut out = String::with_capacity(1024);
-    out.push_str("# occu-serve metrics\n");
-    out.push_str(&format!("tensor.kernel_isa info {}\n", occu_tensor::active_isa().name()));
-    for (name, value) in &snapshot.entries {
-        match value {
-            occu_obs::MetricValue::Counter(v) => {
-                out.push_str(&format!("{name} counter {v}\n"));
-            }
-            occu_obs::MetricValue::Gauge(v) => {
-                out.push_str(&format!("{name} gauge {v}\n"));
-            }
-            occu_obs::MetricValue::Histogram { count, sum, .. } => {
-                let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
-                out.push_str(&format!(
-                    "{name} histogram count={count} sum={sum} mean={mean:.3}\n"
-                ));
-            }
-        }
+/// Prometheus text exposition: the typed registry dump plus the
+/// per-stage and end-to-end rolling-percentile summaries.
+fn render_metrics(state: &ServerState) -> String {
+    use occu_obs::prom;
+    mirror_gauges(state);
+    let mut out = String::with_capacity(8192);
+    out.push_str(&prom::render_snapshot(&occu_obs::metrics_snapshot()));
+    prom::append_info(&mut out, "tensor.kernel_isa", "isa", occu_tensor::active_isa().name());
+    prom::append_summary_type(&mut out, "serve.stage.us");
+    for (name, window) in state.telemetry.stages.iter() {
+        prom::append_summary(&mut out, "serve.stage.us", Some(("stage", name)), window);
     }
+    prom::append_summary_type(&mut out, "serve.request.total_us");
+    prom::append_summary(&mut out, "serve.request.total_us", None, state.telemetry.stages.total());
     out
+}
+
+/// `/debug/statusz`: one JSON object describing the running server —
+/// uptime, model, ISA, config, live counters.
+fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
+    let num = Value::Number;
+    let loaded = state.registry.current();
+    let cache = state.lock_cache().stats();
+    let disp = occu_tensor::dispatch_counts();
+
+    let mut model = BTreeMap::new();
+    model.insert("version".to_string(), num(loaded.version as f64));
+    model.insert("path".to_string(), Value::String(loaded.path.display().to_string()));
+
+    let mut cfg = BTreeMap::new();
+    cfg.insert("workers".to_string(), num(state.cfg.workers as f64));
+    cfg.insert("queue_cap".to_string(), num(state.cfg.queue_cap as f64));
+    cfg.insert("batch_window_us".to_string(), num(state.cfg.batch_window_us as f64));
+    cfg.insert("max_batch".to_string(), num(state.cfg.max_batch as f64));
+    cfg.insert("cache_cap".to_string(), num(state.cfg.cache_cap as f64));
+    cfg.insert("max_body_bytes".to_string(), num(state.cfg.max_body_bytes as f64));
+    cfg.insert("slo_us".to_string(), num(state.cfg.slo_us));
+    cfg.insert("recorder_cap".to_string(), num(state.cfg.recorder_cap as f64));
+    cfg.insert("record".to_string(), Value::Bool(state.cfg.record));
+    cfg.insert("trace_spans".to_string(), Value::Bool(state.cfg.trace_spans));
+
+    let mut counters = BTreeMap::new();
+    counters.insert("requests".to_string(), num(state.stats.requests.load(Ordering::SeqCst) as f64));
+    counters.insert("errors".to_string(), num(state.stats.errors.load(Ordering::SeqCst) as f64));
+    counters.insert("rejected".to_string(), num(state.stats.rejected.load(Ordering::SeqCst) as f64));
+    counters.insert("reloads".to_string(), num(state.stats.reloads.load(Ordering::SeqCst) as f64));
+
+    let mut cache_obj = BTreeMap::new();
+    cache_obj.insert("len".to_string(), num(cache.len as f64));
+    cache_obj.insert("hits".to_string(), num(cache.hits as f64));
+    cache_obj.insert("misses".to_string(), num(cache.misses as f64));
+    cache_obj.insert("evictions".to_string(), num(cache.evictions as f64));
+    cache_obj.insert("hit_rate".to_string(), num(cache.hit_rate()));
+
+    let mut arena = BTreeMap::new();
+    arena.insert(
+        "allocated_bytes".to_string(),
+        num(occu_tensor::arena_total_allocated_bytes() as f64),
+    );
+    arena.insert("fresh_allocs".to_string(), num(occu_tensor::arena_total_fresh_allocs() as f64));
+
+    let mut dispatch = BTreeMap::new();
+    dispatch.insert("scalar".to_string(), num(disp.scalar as f64));
+    dispatch.insert("avx2".to_string(), num(disp.avx2 as f64));
+    dispatch.insert("fma".to_string(), num(disp.fma as f64));
+    dispatch.insert("avx512".to_string(), num(disp.avx512 as f64));
+    dispatch.insert("neon".to_string(), num(disp.neon as f64));
+
+    let mut recorder = BTreeMap::new();
+    recorder.insert("capacity".to_string(), num(state.telemetry.recorder.capacity() as f64));
+    recorder.insert("recorded".to_string(), num(state.telemetry.recorder.recorded() as f64));
+    recorder.insert("pinned".to_string(), num(state.telemetry.recorder.pinned() as f64));
+    recorder.insert("slo_us".to_string(), num(state.telemetry.recorder.slo_us()));
+
+    let mut top = BTreeMap::new();
+    top.insert("uptime_s".to_string(), num(state.telemetry.uptime_s()));
+    top.insert("model".to_string(), Value::Object(model));
+    top.insert("isa".to_string(), Value::String(occu_tensor::active_isa().name().to_string()));
+    top.insert("telemetry".to_string(), Value::Bool(state.telemetry.enabled()));
+    top.insert("config".to_string(), Value::Object(cfg));
+    top.insert("counters".to_string(), Value::Object(counters));
+    top.insert("cache".to_string(), Value::Object(cache_obj));
+    top.insert("arena".to_string(), Value::Object(arena));
+    top.insert("dispatch".to_string(), Value::Object(dispatch));
+    top.insert("recorder".to_string(), Value::Object(recorder));
+    top.insert("queue_depth".to_string(), num(state.telemetry.queue_depth() as f64));
+    top.insert("inflight".to_string(), num(state.telemetry.inflight() as f64));
+    json_body(&Value::Object(top))
+}
+
+/// `/debug/tracez`: the flight recorder's recent + notable request
+/// traces as one JSON object (each trace already rendered by
+/// `RequestTrace::to_json`).
+fn render_tracez(state: &ServerState) -> String {
+    let rec = &state.telemetry.recorder;
+    let join = |traces: Vec<occu_obs::RequestTrace>| {
+        traces.iter().map(occu_obs::RequestTrace::to_json).collect::<Vec<_>>().join(", ")
+    };
+    format!(
+        "{{\"slo_us\": {}, \"capacity\": {}, \"recorded\": {}, \"pinned\": {}, \"recent\": [{}], \"notable\": [{}]}}\n",
+        rec.slo_us(),
+        rec.capacity(),
+        rec.recorded(),
+        rec.pinned(),
+        join(rec.recent()),
+        join(rec.notable()),
+    )
 }

@@ -77,12 +77,108 @@ fn healthz_metrics_and_routing() {
 
     let (status, metrics) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
-    assert!(metrics.contains("serve.requests counter"), "dump: {metrics}");
-    assert!(metrics.contains("serve.cache.misses counter"), "dump: {metrics}");
-    assert!(metrics.contains("serve.request_us histogram"), "dump: {metrics}");
+    // Prometheus text exposition: typed families, histogram series,
+    // per-stage summaries with labels.
+    assert!(metrics.contains("# TYPE serve_requests counter"), "dump: {metrics}");
+    assert!(metrics.contains("# TYPE serve_cache_misses counter"), "dump: {metrics}");
+    assert!(metrics.contains("# TYPE serve_request_us histogram"), "dump: {metrics}");
+    assert!(metrics.contains("serve_request_us_bucket{le=\"+Inf\"}"), "dump: {metrics}");
+    assert!(metrics.contains("serve_request_us_count"), "dump: {metrics}");
+    assert!(metrics.contains("# TYPE serve_stage_us summary"), "dump: {metrics}");
+    assert!(
+        metrics.contains("serve_stage_us{stage=\"predict\",quantile=\"0.5\"}"),
+        "dump: {metrics}"
+    );
+    assert!(
+        metrics.contains("serve_request_total_us{quantile=\"0.99\"}"),
+        "dump: {metrics}"
+    );
+    assert!(metrics.contains("tensor_kernel_isa{isa=\""), "dump: {metrics}");
 
     let stats = server.shutdown();
     assert!(stats.requests >= 4);
+}
+
+#[test]
+fn debug_endpoints_expose_status_traces_and_vars() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // One success and one error so the flight recorder has a recent
+    // trace and a pinned notable trace.
+    let (status, _) = request(addr, "POST", "/predict", r#"{"model": "LeNet"}"#);
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "POST", "/predict", r#"{"model": "NoSuchNet"}"#);
+    assert_eq!(status, 404);
+
+    let (status, statusz) = request(addr, "GET", "/debug/statusz", "");
+    assert_eq!(status, 200, "body: {statusz}");
+    let parsed: serde_json::Value = serde_json::from_str(&statusz).expect("statusz is JSON");
+    let obj = parsed.as_object().expect("statusz object");
+    for key in ["uptime_s", "model", "isa", "config", "counters", "cache", "recorder"] {
+        assert!(obj.contains_key(key), "statusz missing '{key}': {statusz}");
+    }
+
+    let (status, tracez) = request(addr, "GET", "/debug/tracez", "");
+    assert_eq!(status, 200, "body: {tracez}");
+    let parsed: serde_json::Value = serde_json::from_str(&tracez).expect("tracez is JSON");
+    let recent = parsed.get("recent").and_then(|v| v.as_array()).expect("recent array");
+    assert!(!recent.is_empty(), "tracez recorded no traces: {tracez}");
+    // Every trace carries the complete stage breakdown, zeros included.
+    for trace in recent {
+        let stages = trace.get("stages").and_then(|v| v.as_object()).expect("stages object");
+        for name in occu_serve::STAGE_NAMES {
+            assert!(stages.contains_key(name), "trace missing stage '{name}': {trace:?}");
+        }
+        assert!(trace.get("total_us").and_then(|v| v.as_f64()).expect("total_us") > 0.0);
+    }
+    // The 404 is pinned in the notable ring with its error line.
+    let notable = parsed.get("notable").and_then(|v| v.as_array()).expect("notable array");
+    assert!(
+        notable.iter().any(|t| t.get("status").and_then(|v| v.as_f64()) == Some(404.0)),
+        "404 not pinned: {tracez}"
+    );
+
+    let (status, varz) = request(addr, "GET", "/debug/varz", "");
+    assert_eq!(status, 200, "body: {varz}");
+    // One flat map keyed by metric name: the raw registry snapshot.
+    let parsed: serde_json::Value = serde_json::from_str(&varz).expect("varz is JSON");
+    let vars = parsed.as_object().expect("varz object");
+    for key in ["serve.requests", "serve.errors", "serve.model_version"] {
+        assert!(vars.contains_key(key), "varz missing '{key}': {varz}");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_off_still_serves_with_empty_traces() {
+    let registry = Arc::new(ModelRegistry::from_model(tiny_model(7), "in-memory.json"));
+    let cfg = ServeConfig {
+        workers: 2,
+        batch_window_us: 200,
+        record: false,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, registry).expect("server start");
+    let addr = server.local_addr();
+
+    let (status, body) = request(addr, "POST", "/predict", r#"{"model": "LeNet"}"#);
+    assert_eq!(status, 200, "body: {body}");
+
+    // No traces, no stage samples — the request path was inert.
+    let (status, tracez) = request(addr, "GET", "/debug/tracez", "");
+    assert_eq!(status, 200);
+    let parsed: serde_json::Value = serde_json::from_str(&tracez).expect("tracez is JSON");
+    assert_eq!(parsed.get("recorded").and_then(|v| v.as_f64()), Some(0.0), "tracez: {tracez}");
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("serve_request_total_us_count 0"),
+        "windows must stay empty with record=false: {metrics}"
+    );
+    server.shutdown();
 }
 
 #[test]
