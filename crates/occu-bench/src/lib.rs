@@ -14,6 +14,7 @@ pub mod apps;
 pub mod kernels;
 pub mod loadgen;
 pub mod perf;
+pub mod planperf;
 pub mod report;
 
 pub use apps::{build_job_pool, fig7_study, table6, Table6Row};
@@ -22,6 +23,7 @@ pub use loadgen::{
     render_loadgen, run_loadgen, LoadgenConfig, ServeReport, SlowTrace, StageDur,
     StagePercentiles,
 };
+pub use planperf::{plan_study, render_plan, PlanModelRow, PlanPerfReport, PLAN_SPEEDUP_GATE};
 pub use perf::{
     obs_overhead_study, perf_study, render_obs_overhead, render_perf, serve_overhead_study,
     validate_out_path, ObsOverheadReport, PerfReport, SERVE_OVERHEAD_BUDGET,

@@ -32,6 +32,10 @@ pub struct LoadgenConfig {
     /// record`). `false` is the inert baseline the obs-overhead gate
     /// compares against; ignored with `--url`.
     pub telemetry: bool,
+    /// Execute predictions through compiled plans on the in-process
+    /// server (`ServeConfig plan`); `false` runs the tape
+    /// interpreter. Ignored with `--url`.
+    pub plan: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -41,6 +45,7 @@ impl Default for LoadgenConfig {
             requests: 40_000,
             concurrency: 8,
             telemetry: true,
+            plan: true,
         }
     }
 }
@@ -100,6 +105,10 @@ pub struct ServeReport {
     /// Whether the server ran with request telemetry recording.
     #[serde(default)]
     pub telemetry: bool,
+    /// Whether the in-process server executed compiled plans (always
+    /// false when `--url` drove an external server).
+    #[serde(default)]
+    pub plan: bool,
     /// Server-side per-stage rolling percentiles scraped from the
     /// `serve_stage_us` summaries on `/metrics` (pipeline order;
     /// empty if the scrape failed or telemetry was off).
@@ -547,6 +556,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
                     workers: cfg.concurrency.clamp(2, 16),
                     batch_window_us: 200,
                     record: cfg.telemetry,
+                    plan: cfg.plan,
                     ..ServeConfig::default()
                 },
                 registry,
@@ -692,6 +702,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServeReport, OccuError> {
         dispatch_simd: scraped.dispatch_simd,
         dispatch_scalar: scraped.dispatch_scalar,
         telemetry: cfg.telemetry,
+        plan: cfg.plan && cfg.url.is_none(),
         stages: scraped.stages,
         server_total: scraped.server_total,
         stage_sum_p50_us,
@@ -775,12 +786,13 @@ pub fn render_loadgen(rep: &ServeReport) -> String {
     );
     let _ = writeln!(
         out,
-        "ok/errors/dropped: {}/{}/{}   hot-reload: {} (model v{})",
+        "ok/errors/dropped: {}/{}/{}   hot-reload: {} (model v{})   executor: {}",
         rep.ok,
         rep.errors,
         rep.dropped,
         if rep.reload_ok { "ok" } else { "FAILED" },
-        rep.model_version_after
+        rep.model_version_after,
+        if rep.plan { "compiled plans" } else { "tape interpreter" }
     );
     out
 }

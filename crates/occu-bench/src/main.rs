@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `fig2 fig4 fig5 fig45 fig6 fig7 table4 table5 table6
-//! ablation aggr device-gen perf kernels obs-overhead loadgen all`.
+//! ablation aggr device-gen perf kernels plan obs-overhead loadgen all`.
 //! `--quick` shrinks
 //! dataset sizes and epochs for smoke runs; `--device <name>` restricts
 //! the multi-device experiments to one GPU (useful for piecewise
@@ -34,7 +34,10 @@
 //! throughput regresses >5% below the recorded baseline, the
 //! per-stage percentile breakdown fails to account for the end-to-end
 //! median within 10%, or `/debug/tracez` yields no traces; `kernels`
-//! exits 1 when the blocked GEMM regresses against the naive oracle.
+//! exits 1 when the blocked GEMM regresses against the naive oracle;
+//! `plan` exits 1 when any zoo model's compiled plan diverges bitwise
+//! from the tape interpreter, or (full runs) when the plan executor's
+//! aggregate throughput falls below its speedup gate.
 
 #![warn(clippy::unwrap_used)]
 
@@ -309,6 +312,13 @@ fn run_loadgen(quick: bool, args: &[String]) -> Result<(), CliError> {
             other => return Err(format!("--telemetry expects on|off, got '{other}'").into()),
         };
     }
+    if let Some(v) = flag_value(args, "--plan")? {
+        cfg.plan = match v {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("--plan expects on|off, got '{other}'").into()),
+        };
+    }
     let rep = occu_bench::run_loadgen(&cfg)?;
     print!("{}", occu_bench::render_loadgen(&rep));
     let json = serde_json::to_string_pretty(&rep).expect("serve report serializes");
@@ -347,6 +357,27 @@ fn run_loadgen(quick: bool, args: &[String]) -> Result<(), CliError> {
     if !failures.is_empty() {
         for f in &failures {
             occu_obs::error!("loadgen: {f}");
+        }
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `repro plan` — the compiled-plan gate: bitwise plan-vs-interpreter
+/// exactness on every zoo model plus a direct model-level throughput
+/// comparison. Quick runs still enforce exactness but treat the
+/// (noisy) timing as advisory; the full run gates the speedup.
+fn run_plan(quick: bool, args: &[String]) -> Result<(), CliError> {
+    let out = flag_value(args, "--out")?.unwrap_or("reports/plan_perf.json");
+    occu_bench::validate_out_path(out)?;
+    let rep = occu_bench::plan_study(quick, 54);
+    print!("{}", occu_bench::render_plan(&rep));
+    let json = serde_json::to_string_pretty(&rep).expect("plan report serializes");
+    write_report(out, &json)?;
+    let failures = rep.gate_failures(!quick);
+    if !failures.is_empty() {
+        for f in &failures {
+            occu_obs::error!("plan: {f}");
         }
         std::process::exit(1);
     }
@@ -462,9 +493,10 @@ fn finish_obs(trace: Option<String>, metrics: Option<String>) -> Result<(), Occu
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|kernels|obs-overhead|loadgen|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
+    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|kernels|plan|obs-overhead|loadgen|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
     eprintln!("observability: --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
-    eprintln!("loadgen: --url <host:port> --requests <n> --concurrency <n> --out reports/serve_perf.json");
+    eprintln!("loadgen: --url <host:port> --requests <n> --concurrency <n> --telemetry on|off --plan on|off --out reports/serve_perf.json");
+    eprintln!("plan: --out reports/plan_perf.json  (bitwise plan-vs-interpreter gate + throughput gate)");
     std::process::exit(2);
 }
 
@@ -485,6 +517,7 @@ fn try_main(cmd: &str, quick: bool, args: &[String]) -> Result<(), CliError> {
         "device-gen" => run_device_generalization(quick),
         "perf" => run_perf(quick, args)?,
         "kernels" => run_kernels(quick, args)?,
+        "plan" => run_plan(quick, args)?,
         "obs-overhead" => run_obs_overhead(quick, args)?,
         "loadgen" => run_loadgen(quick, args)?,
         "all" => {
@@ -530,6 +563,8 @@ fn main() {
             || a == "--url"
             || a == "--requests"
             || a == "--concurrency"
+            || a == "--telemetry"
+            || a == "--plan"
             || a == "--trace-out"
             || a == "--metrics-out"
             || a == "--log-level"

@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Boolean switches the CLI understands (no value follows them).
-const SWITCHES: &[&str] = &["training", "kernels", "json", "quiet"];
+const SWITCHES: &[&str] = &["training", "kernels", "json", "quiet", "plan", "no-plan"];
 
 impl Args {
     /// Parses an iterator of arguments (excluding argv[0]).

@@ -5,9 +5,9 @@
 //! occu devices                                   # list built-in GPUs
 //! occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]
 //! occu train    --out model.json --device a100 --configs 8 --epochs 50 --workers 0
-//! occu predict  --weights model.json --model ResNet-50 --batch 32 --device a100
+//! occu predict  --weights model.json --model ResNet-50 --batch 32 --device a100 [--plan]
 //! occu schedule --jobs 24 --gpus 4 [--weights model.json] [--trace jobs.csv] [--seed 1]
-//! occu serve    --weights model.json --port 7071 --threads 4     # batched, cached HTTP server
+//! occu serve    --weights model.json --port 7071 --threads 4 [--no-plan]   # batched, cached HTTP server
 //! ```
 //!
 //! `--device` accepts a built-in name (`a100`) or a path to a device
@@ -97,9 +97,9 @@ fn die_usage(msg: &str) -> ! {
     eprintln!("usage: occu <models|devices|profile|train|predict|schedule|serve> [flags]");
     eprintln!("  occu profile  --model ResNet-50 --batch 32 --device a100 [--training] [--kernels] [--json]");
     eprintln!("  occu train    [--out model.json] [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0] [--test-fraction 0.2]");
-    eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100]");
+    eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100] [--plan]");
     eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--trace jobs.csv] [--save-trace jobs.csv] [--seed 1]");
-    eprintln!("  occu serve    --weights model.json [--addr 127.0.0.1] [--port 7071] [--threads 4] [--queue 128] [--batch-window-us 1000] [--max-batch 32] [--cache 4096] [--slo-us 5000] [--recorder 256]");
+    eprintln!("  occu serve    --weights model.json [--addr 127.0.0.1] [--port 7071] [--threads 4] [--queue 128] [--batch-window-us 1000] [--max-batch 32] [--cache 4096] [--slo-us 5000] [--recorder 256] [--no-plan]");
     eprintln!("--device takes a built-in name or a device-spec JSON path");
     eprintln!("observability (any command): --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     std::process::exit(2);
@@ -350,7 +350,14 @@ fn cmd_predict(args: &Args) -> Result<(), CliError> {
     let cfg = config_from(args, model)?;
     let graph = model.build(&cfg);
     let feats = featurize(&graph, &device);
-    let predicted = predictor.predict(&feats);
+    // `--plan` runs the compiled-plan executor instead of the tape
+    // interpreter; the two are bitwise-identical, so this is a speed
+    // knob (and a way to smoke-test the plan path from the CLI).
+    let predicted = if args.has("plan") {
+        predictor.compile_plan_for(&feats).predict(&feats)
+    } else {
+        predictor.predict(&feats)
+    };
     if args.has("json") {
         println!(
             "{}",
@@ -359,6 +366,7 @@ fn cmd_predict(args: &Args) -> Result<(), CliError> {
                 "device": device.name,
                 "batch_size": cfg.batch_size,
                 "predicted_occupancy": predicted,
+                "plan": args.has("plan"),
             })
         );
     } else {
@@ -390,6 +398,9 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         cache_cap: args.usize_or("cache", 4096)?,
         slo_us: args.f64_or("slo-us", occu_serve::ServeConfig::default().slo_us)?,
         recorder_cap: args.usize_or("recorder", occu_serve::ServeConfig::default().recorder_cap)?,
+        // Compiled plans are the default; `--no-plan` falls back to
+        // the tape interpreter for every batch.
+        plan: !args.has("no-plan"),
         ..occu_serve::ServeConfig::default()
     };
     let registry = std::sync::Arc::new(occu_serve::ModelRegistry::load(weights)?);

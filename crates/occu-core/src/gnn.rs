@@ -72,11 +72,11 @@ impl Default for DnnOccuConfig {
 /// h_u  = LeakyReLU(Σ_{l=(u',u)} f(u', l))      (aggregate at target)
 /// ```
 pub struct AneeLayer {
-    w_u: Linear,
-    w_e: Linear,
-    w_m: Linear,
-    a: ParamId,
-    slope: f32,
+    pub(crate) w_u: Linear,
+    pub(crate) w_e: Linear,
+    pub(crate) w_m: Linear,
+    pub(crate) a: ParamId,
+    pub(crate) slope: f32,
 }
 
 impl AneeLayer {
@@ -144,10 +144,10 @@ impl AneeLayer {
 /// One Graphormer layer (§III-D): pre-norm MHA and FFN with residual
 /// connections, plus the shortest-path spatial bias hook.
 pub struct GraphormerLayer {
-    ln1: LayerNorm,
-    mha: MultiHeadAttention,
-    ln2: LayerNorm,
-    ffn: FeedForward,
+    pub(crate) ln1: LayerNorm,
+    pub(crate) mha: MultiHeadAttention,
+    pub(crate) ln2: LayerNorm,
+    pub(crate) ffn: FeedForward,
 }
 
 impl GraphormerLayer {
@@ -177,9 +177,9 @@ impl GraphormerLayer {
 /// degree bucket (added to node embeddings).
 pub struct StructuralEncoding {
     /// `SPD_CAP + 1` scalars θ_b.
-    spd_theta: Vec<ParamId>,
+    pub(crate) spd_theta: Vec<ParamId>,
     /// `DEGREE_BUCKETS x hidden` centrality table.
-    degree_embed: ParamId,
+    pub(crate) degree_embed: ParamId,
 }
 
 impl StructuralEncoding {
@@ -233,10 +233,10 @@ impl StructuralEncoding {
 /// Multihead Attention Block: `MAB(X, Y) = LN(H̄ + FFN(H̄))` with
 /// `H̄ = LN(X + MHA(X, Y, Y))` (§III-D).
 pub struct Mab {
-    mha: MultiHeadAttention,
-    ln1: LayerNorm,
-    ffn: FeedForward,
-    ln2: LayerNorm,
+    pub(crate) mha: MultiHeadAttention,
+    pub(crate) ln1: LayerNorm,
+    pub(crate) ffn: FeedForward,
+    pub(crate) ln2: LayerNorm,
 }
 
 impl Mab {
@@ -265,11 +265,11 @@ impl Mab {
 /// `Decoder(H) = FFN(SAB(PMA_k(H)))` with
 /// `PMA_k(H) = MAB(S, FFN(H))` over `k` learnable seeds `S`.
 pub struct SetTransformerDecoder {
-    seeds: ParamId,
-    pre_ffn: FeedForward,
-    pma: Mab,
-    sabs: Vec<Mab>,
-    post_ffn: FeedForward,
+    pub(crate) seeds: ParamId,
+    pub(crate) pre_ffn: FeedForward,
+    pub(crate) pma: Mab,
+    pub(crate) sabs: Vec<Mab>,
+    pub(crate) post_ffn: FeedForward,
 }
 
 impl SetTransformerDecoder {
@@ -308,13 +308,13 @@ impl SetTransformerDecoder {
 
 /// The full DNN-occu predictor.
 pub struct DnnOccu {
-    cfg: DnnOccuConfig,
-    store: ParamStore,
-    anee: AneeLayer,
-    structural: StructuralEncoding,
-    graphormer: Vec<GraphormerLayer>,
-    decoder: SetTransformerDecoder,
-    head: Mlp,
+    pub(crate) cfg: DnnOccuConfig,
+    pub(crate) store: ParamStore,
+    pub(crate) anee: AneeLayer,
+    pub(crate) structural: StructuralEncoding,
+    pub(crate) graphormer: Vec<GraphormerLayer>,
+    pub(crate) decoder: SetTransformerDecoder,
+    pub(crate) head: Mlp,
 }
 
 impl DnnOccu {

@@ -32,10 +32,12 @@ pub mod experiments;
 pub mod features;
 pub mod gnn;
 pub mod metrics;
+pub mod plan;
 pub mod train;
 
 pub use dataset::{Dataset, Sample};
 pub use features::{FeaturizedGraph, EDGE_FEAT_DIM, NODE_FEAT_DIM, SPD_CAP};
 pub use gnn::{DnnOccu, DnnOccuConfig};
 pub use metrics::{floored_targets, mre, mse, EvalResult, MRE_FLOOR};
+pub use plan::CompiledPlan;
 pub use train::{OccuPredictor, Parallelism, TrainConfig, Trainer};

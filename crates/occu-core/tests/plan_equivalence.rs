@@ -1,0 +1,93 @@
+//! Plan-vs-interpreter exactness across the whole model zoo.
+//!
+//! The compiled plan path ([`occu_core::plan`]) promises *bitwise*
+//! equality with the tape interpreter: same kernels, same operation
+//! order, weights snapshotted verbatim. These tests pin that promise
+//! on every zoo architecture and on ragged hidden widths that
+//! straddle SIMD register boundaries, so a drift in either executor
+//! (or in the GEMM packing) fails loudly.
+//!
+//! The suite must also pass with `OCCU_FORCE_SCALAR=1` (the scalar
+//! GEMM fallback): both paths call the same dispatched kernels, so
+//! the ISA choice cancels out of the comparison. CI runs it both
+//! ways via `repro plan`.
+
+use occu_core::dataset::make_sample;
+use occu_core::gnn::{DnnOccu, DnnOccuConfig};
+use occu_core::{FeaturizedGraph, OccuPredictor};
+use occu_gpusim::DeviceSpec;
+use occu_models::ModelId;
+
+fn graph(id: ModelId) -> FeaturizedGraph {
+    make_sample(id, id.default_config(), &DeviceSpec::a100()).features
+}
+
+/// Every zoo model, fast config: `predict_target` must agree to the
+/// last mantissa bit between the compiled plan and the interpreter.
+#[test]
+fn plan_matches_interpreter_bitwise_on_every_zoo_model() {
+    let model = DnnOccu::new(DnnOccuConfig::fast(), 42);
+    for &id in ModelId::ALL {
+        let fg = graph(id);
+        let plan = model.compile_plan_for(&fg);
+        assert_eq!(
+            plan.predict_target(&fg).to_bits(),
+            model.predict_target(&fg).to_bits(),
+            "plan diverged from interpreter on {id:?}"
+        );
+        assert_eq!(
+            plan.predict(&fg).to_bits(),
+            model.predict(&fg).to_bits(),
+            "occupancy mapping diverged on {id:?}"
+        );
+    }
+}
+
+/// Ragged hidden widths that do not fill SIMD registers evenly —
+/// odd head dims and widths straddling the 8- and 16-lane boundaries
+/// — exercise the GEMM tail paths in both executors.
+#[test]
+fn plan_stays_bitwise_equal_at_ragged_hidden_sizes() {
+    let cases = [
+        // (hidden, heads): head_dim 7/9/17 plus single-head odd widths.
+        (7usize, 1usize),
+        (9, 1),
+        (17, 1),
+        (33, 1),
+        (20, 4),
+        (36, 4),
+        (68, 4),
+    ];
+    let probes = [ModelId::LeNet, ModelId::Gpt2];
+    for (hidden, heads) in cases {
+        let cfg = DnnOccuConfig {
+            hidden,
+            heads,
+            ..DnnOccuConfig::fast()
+        };
+        let model = DnnOccu::new(cfg, 1000 + hidden as u64);
+        for &id in &probes {
+            let fg = graph(id);
+            let plan = model.compile_plan_for(&fg);
+            assert_eq!(
+                plan.predict_target(&fg).to_bits(),
+                model.predict_target(&fg).to_bits(),
+                "plan diverged at hidden={hidden} heads={heads} on {id:?}"
+            );
+        }
+    }
+}
+
+/// A plan compiled for one graph shape keeps working across many
+/// executions and distinct inputs of that shape — the executor's
+/// register recycling must not leak state between runs.
+#[test]
+fn repeated_executions_are_deterministic() {
+    let model = DnnOccu::new(DnnOccuConfig::fast(), 3);
+    let fg = graph(ModelId::ResNet18);
+    let plan = model.compile_plan_for(&fg);
+    let first = plan.predict_target(&fg).to_bits();
+    for _ in 0..5 {
+        assert_eq!(plan.predict_target(&fg).to_bits(), first);
+    }
+}

@@ -73,6 +73,17 @@ impl Linear {
         self.out_dim
     }
 
+    /// Weight parameter handle (`in_dim x out_dim`). Exposed so the
+    /// plan compiler can snapshot and pre-pack the weight.
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// Bias parameter handle (`1 x out_dim`), if the layer has one.
+    pub fn bias_id(&self) -> Option<ParamId> {
+        self.b
+    }
+
     /// Records `x W (+ b)` on the tape.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         assert_eq!(
@@ -108,6 +119,21 @@ impl LayerNorm {
         Self { gamma, beta, dim }
     }
 
+    /// Gain parameter handle (`1 x dim`).
+    pub fn gamma_id(&self) -> ParamId {
+        self.gamma
+    }
+
+    /// Shift parameter handle (`1 x dim`).
+    pub fn beta_id(&self) -> ParamId {
+        self.beta
+    }
+
+    /// Normalized feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Records `LN(x) * gamma + beta` on the tape as one fused op.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         assert_eq!(tape.shape(x).1, self.dim, "LayerNorm::forward: width mismatch");
@@ -133,6 +159,21 @@ impl FeedForward {
             l2: Linear::new(store, &format!("{name}.ff2"), hidden, dim, rng),
             act,
         }
+    }
+
+    /// First (expanding) linear layer.
+    pub fn linear1(&self) -> &Linear {
+        &self.l1
+    }
+
+    /// Second (contracting) linear layer.
+    pub fn linear2(&self) -> &Linear {
+        &self.l2
+    }
+
+    /// The activation between the two linears.
+    pub fn activation(&self) -> Activation {
+        self.act
     }
 
     /// Records the block on the tape.
@@ -182,6 +223,31 @@ impl MultiHeadAttention {
     /// Number of attention heads.
     pub fn heads(&self) -> usize {
         self.heads
+    }
+
+    /// Per-head feature width (`dim / heads`).
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Query projection.
+    pub fn wq(&self) -> &Linear {
+        &self.wq
+    }
+
+    /// Key projection.
+    pub fn wk(&self) -> &Linear {
+        &self.wk
+    }
+
+    /// Value projection.
+    pub fn wv(&self) -> &Linear {
+        &self.wv
+    }
+
+    /// Output projection.
+    pub fn wo(&self) -> &Linear {
+        &self.wo
     }
 
     /// Self-attention: `MHA(x, x, x)`.
@@ -264,6 +330,21 @@ impl Mlp {
     /// Output width of the last layer.
     pub fn out_dim(&self) -> usize {
         self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// The affine layers, first to last.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Activation applied after every layer but the last.
+    pub fn hidden_activation(&self) -> Activation {
+        self.hidden_act
+    }
+
+    /// Activation applied after the final layer.
+    pub fn output_activation(&self) -> Activation {
+        self.output_act
     }
 
     /// Records the full MLP on the tape.

@@ -174,6 +174,15 @@ impl FlightRecorder {
         self.pinned.load(Ordering::Relaxed)
     }
 
+    /// Traces silently discarded by a contended slot swap, summed
+    /// across both rings. Non-zero means `/debug/tracez` dumps (or
+    /// lapped writers) raced the request path; a single-threaded
+    /// harness must observe zero.
+    pub fn dropped(&self) -> u64 {
+        self.recent.skipped.load(Ordering::Relaxed)
+            + self.notable.skipped.load(Ordering::Relaxed)
+    }
+
     /// The current recent ring, oldest first.
     pub fn recent(&self) -> Vec<RequestTrace> {
         self.recent.dump()
@@ -266,7 +275,17 @@ mod tests {
         assert_eq!(ids, vec![7, 8, 9, 10]);
         assert_eq!(fr.recorded(), 10);
         assert_eq!(fr.pinned(), 0);
+        assert_eq!(fr.dropped(), 0, "uncontended recording never drops");
         assert!(fr.notable().is_empty());
+    }
+
+    #[test]
+    fn contended_slot_counts_a_drop() {
+        let fr = FlightRecorder::new(1, 1e9);
+        let _guard = fr.recent.slots[0].lock().expect("lock");
+        fr.record(trace(1, 5.0, 200));
+        assert_eq!(fr.dropped(), 1);
+        assert_eq!(fr.recorded(), 1);
     }
 
     #[test]

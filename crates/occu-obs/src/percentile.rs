@@ -121,16 +121,29 @@ impl WindowSnapshot {
         self.sum
     }
 
-    /// Nearest-rank quantile: the smallest windowed sample such that
-    /// at least `q` of the window is `<=` it. 0.0 on an empty window;
-    /// `q` is clamped into `[0, 1]`.
-    pub fn quantile(&self, q: f64) -> f64 {
-        if self.sorted.is_empty() {
-            return 0.0;
+    /// Nearest-rank quantile: the smallest windowed sample whose rank
+    /// strictly exceeds `q * n`, i.e. more than a `q` fraction of the
+    /// window lies at or below it. `None` on an empty window; `q` is
+    /// clamped into `[0, 1]`.
+    ///
+    /// The rank is `floor(q * n) + 1` clamped into `[1, n]`. The old
+    /// `ceil(q * n)` formulation under-ranked on exact multiples:
+    /// p50 of 2 samples hit rank `ceil(1.0) = 1` and returned the
+    /// *minimum* as the median.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        let n = self.sorted.len();
+        if n == 0 {
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
-        let rank = (q * self.sorted.len() as f64).ceil() as usize;
-        self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)]
+        let rank = ((q * n as f64).floor() as usize + 1).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// [`Self::try_quantile`] with the empty-window sentinel folded to
+    /// 0.0, for exporters that must always render a number.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.try_quantile(q).unwrap_or(0.0)
     }
 
     /// Median.
@@ -172,14 +185,58 @@ mod tests {
         let s = w.snapshot();
         assert_eq!(s.len(), 100);
         assert_eq!(s.total_count(), 100);
-        assert_eq!(s.p50(), 50.0);
-        assert_eq!(s.p90(), 90.0);
-        assert_eq!(s.p99(), 99.0);
+        // floor(q*n)+1 ranks: more than q of the window sits at or
+        // below the answer (51 of 100 <= 51, 91 of 100 <= 91, ...).
+        assert_eq!(s.p50(), 51.0);
+        assert_eq!(s.p90(), 91.0);
+        assert_eq!(s.p99(), 100.0);
         assert_eq!(s.p999(), 100.0);
         assert_eq!(s.quantile(0.0), 1.0);
         assert_eq!(s.quantile(1.0), 100.0);
         assert_eq!(s.max(), 100.0);
         assert_eq!(s.total_sum(), 5050.0);
+    }
+
+    #[test]
+    fn boundary_quantiles_at_tiny_window_sizes() {
+        // n = 1: every quantile is the single sample.
+        let w = RollingWindow::new(8);
+        w.record(7.0);
+        let s = w.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 7.0, "n=1 q={q}");
+        }
+
+        // n = 2: the median must be the upper sample, not the min
+        // (the ceil() formulation regressed exactly here).
+        let w = RollingWindow::new(8);
+        w.record(1.0);
+        w.record(2.0);
+        let s = w.snapshot();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.p50(), 2.0);
+        assert_eq!(s.quantile(1.0), 2.0);
+
+        // n = 4: exact-multiple ranks step up, q=1 clamps to the max.
+        let w = RollingWindow::new(8);
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            w.record(v);
+        }
+        let s = w.snapshot();
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(0.25), 20.0);
+        assert_eq!(s.p50(), 30.0);
+        assert_eq!(s.quantile(0.75), 40.0);
+        assert_eq!(s.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn empty_window_sentinel_is_explicit() {
+        let s = RollingWindow::new(8).snapshot();
+        assert_eq!(s.try_quantile(0.5), None);
+        let w = RollingWindow::new(8);
+        w.record(3.0);
+        assert_eq!(w.snapshot().try_quantile(0.5), Some(3.0));
     }
 
     #[test]

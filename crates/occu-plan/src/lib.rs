@@ -1,0 +1,1134 @@
+//! # occu-plan
+//!
+//! Shape-specialized inference plans. A *plan* is a flat instruction
+//! program compiled once per (model version, graph shape) pair and
+//! executed by a small register VM:
+//!
+//! * Every intermediate gets a numbered register whose shape is known
+//!   at compile time, so the executor's [`ScratchArena`] reaches a
+//!   zero-fresh-allocation steady state after the first run.
+//! * Weight matrices that sit on the right-hand side of a matmul are
+//!   pre-packed once into BLIS-style panels ([`PackedB`]) at compile
+//!   time, eliminating the per-request `pack_b` sweep the interpreter
+//!   pays on every forward.
+//! * A liveness pass records the last instruction that reads each
+//!   register, so buffers recycle mid-program instead of at the end.
+//!
+//! Every instruction mirrors the corresponding tape-interpreter op in
+//! `occu-nn` *by construction*: the executor calls the same public
+//! `occu-tensor` kernels (`matmul_into`, `softmax_rows_into`,
+//! `layernorm_rows_into`, ...) with operands in the same order, so a
+//! compiled plan is bitwise-equal to the interpreted forward pass on
+//! every ISA rung, including `OCCU_FORCE_SCALAR=1`. The one deliberate
+//! deviation is [`Instr::SpdBias`], which gathers the shortest-path
+//! bias per element instead of summing per-bucket indicator matrices;
+//! the two differ only in the sign of zero when a theta parameter is
+//! exactly `-0.0`, and that sign cannot survive the downstream
+//! softmax's `exp` (see the instruction docs).
+//!
+//! The crate depends only on `occu-tensor`; the model-aware compiler
+//! that lowers a `DnnOccu` forward pass into a [`Program`] lives in
+//! `occu-core` and drives [`ProgramBuilder`].
+
+use occu_tensor::{Matrix, PackedB, ScratchArena};
+
+/// Layer-norm epsilon. Must match `occu-nn`'s tape constant so the
+/// fused `LayerNormAffine` instruction is bitwise-identical to the
+/// interpreter's `layer_norm_affine` op.
+const LN_EPS: f32 = 1e-5;
+
+/// Exact tanh-approximation GELU used by the tape interpreter.
+/// Replicated verbatim (same constant, same operation order) so the
+/// plan's `Gelu` unary is bit-identical.
+#[inline]
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2 / pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// A per-request input matrix, referenced by an instruction operand
+/// instead of being baked into the program. Plans are keyed only on
+/// graph *shape*; the feature values flow in at execution time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputRef {
+    /// `n_nodes x node_feat_dim` node feature matrix.
+    NodeFeats,
+    /// `n_edges x edge_feat_dim` edge feature matrix.
+    EdgeFeats,
+    /// `1 x global_feat_dim` graph-level feature row.
+    GlobalFeats,
+}
+
+/// A per-request index array operand (gather/scatter sources).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdxRef {
+    /// Source node index of each edge (`n_edges` entries).
+    EdgeSrc,
+    /// Destination node index of each edge (`n_edges` entries).
+    EdgeDst,
+    /// Degree bucket of each node (`n_nodes` entries).
+    DegreeBucket,
+}
+
+/// A matrix operand: an intermediate register, a per-request input,
+/// or a compile-time weight snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Src {
+    /// Intermediate produced by an earlier instruction.
+    Reg(u16),
+    /// Per-request input matrix.
+    Input(InputRef),
+    /// Plain (unpacked) weight baked into the program at compile time.
+    Weight(u16),
+}
+
+/// Elementwise unary applied by [`Instr::Unary`]. Each closure body
+/// replicates the tape interpreter's exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UnaryOp {
+    /// `e.max(0.0)`.
+    Relu,
+    /// `if e >= 0.0 { e } else { alpha * e }`.
+    LeakyRelu(f32),
+    /// Tanh-approximation GELU (see [`gelu_fwd`]).
+    Gelu,
+    /// `1.0 / (1.0 + (-e).exp())`.
+    Sigmoid,
+    /// `e.tanh()`.
+    Tanh,
+    /// `e * s` — covers both the tape's `scale` and `scale_by_scalar`
+    /// (the scalar is resolved at compile time).
+    Scale(f32),
+}
+
+/// One VM instruction. `dst` is always a fresh register (plans are in
+/// SSA form — nothing writes a register twice), taken zeroed from the
+/// arena to mirror the tape's `take` discipline.
+#[derive(Clone, Debug)]
+pub enum Instr {
+    /// `dst = a * packed[w] (+ bias broadcast per row)`. The packed
+    /// operand reuses the exact panel layout `matmul_into` packs on
+    /// the fly, so the product is bitwise-identical; `bias` is a
+    /// `1 x n` plain weight applied via `add_bias_rowwise`.
+    MatmulPacked {
+        /// Left operand.
+        a: Src,
+        /// Index into the program's packed-weight table.
+        w: u16,
+        /// Optional row-broadcast bias (plain-weight index).
+        bias: Option<u16>,
+        /// Destination register.
+        dst: u16,
+    },
+    /// `dst = a * b` for runtime right-hand sides (attention values,
+    /// small parameter vectors).
+    Matmul {
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Destination register.
+        dst: u16,
+    },
+    /// `dst = a * b^T` (attention score products).
+    MatmulTransB {
+        /// Left operand.
+        a: Src,
+        /// Right operand, used transposed.
+        b: Src,
+        /// Destination register.
+        dst: u16,
+    },
+    /// Elementwise `dst = a + b`.
+    Add {
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Destination register.
+        dst: u16,
+    },
+    /// Elementwise `dst = a * b` (Hadamard).
+    Mul {
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Destination register.
+        dst: u16,
+    },
+    /// `dst[i][j] = a[i][j] * col[i][0]` — broadcast a column vector
+    /// across each row.
+    MulColBroadcast {
+        /// Matrix operand.
+        a: Src,
+        /// `rows x 1` column operand.
+        col: Src,
+        /// Destination register.
+        dst: u16,
+    },
+    /// Elementwise unary `dst = op(a)`.
+    Unary {
+        /// Operand.
+        a: Src,
+        /// The unary to apply.
+        op: UnaryOp,
+        /// Destination register.
+        dst: u16,
+    },
+    /// Row-wise softmax.
+    SoftmaxRows {
+        /// Operand.
+        a: Src,
+        /// Destination register.
+        dst: u16,
+    },
+    /// Fused layer-norm + affine: normalize rows (eps [`LN_EPS`]),
+    /// then `dst = dst * gamma + beta` broadcast per row.
+    LayerNormAffine {
+        /// Operand.
+        a: Src,
+        /// `1 x cols` gain row (plain-weight index).
+        gamma: u16,
+        /// `1 x cols` shift row (plain-weight index).
+        beta: u16,
+        /// Destination register.
+        dst: u16,
+    },
+    /// `dst[i] = a[idx[i]]` row gather.
+    GatherRows {
+        /// Row source.
+        a: Src,
+        /// Per-request index array.
+        idx: IdxRef,
+        /// Destination register.
+        dst: u16,
+    },
+    /// `dst[idx[i]] += a[i]` row scatter-add into a zeroed output
+    /// with `out_rows` rows, accumulating in index order.
+    ScatterAddRows {
+        /// Row source.
+        a: Src,
+        /// Per-request index array.
+        idx: IdxRef,
+        /// Number of output rows.
+        out_rows: usize,
+        /// Destination register.
+        dst: u16,
+    },
+    /// Horizontal concatenation `dst = [a | b]`.
+    HCat {
+        /// Left block.
+        a: Src,
+        /// Right block.
+        b: Src,
+        /// Destination register.
+        dst: u16,
+    },
+    /// Column slice `dst = a[:, lo..hi]`.
+    SliceCols {
+        /// Operand.
+        a: Src,
+        /// First column (inclusive).
+        lo: usize,
+        /// Last column (exclusive).
+        hi: usize,
+        /// Destination register.
+        dst: u16,
+    },
+    /// `1 x cols` mean over rows: accumulate rows in order with the
+    /// dispatched `add_into`, then scale by `1.0 / rows`.
+    MeanRows {
+        /// Operand.
+        a: Src,
+        /// Destination register.
+        dst: u16,
+    },
+    /// Shortest-path-distance attention bias:
+    /// `dst[i][j] = thetas[spd[i * n + j]]` over the flattened
+    /// `n_nodes x n_nodes` SPD bucket map. Theta values are snapshot
+    /// at compile time (plans are invalidated on reload). Deviates
+    /// from the interpreter's indicator-sum only in the sign of zero
+    /// when a theta is exactly `-0.0`; the bias feeds attention
+    /// scores whose softmax `exp` erases that sign.
+    SpdBias {
+        /// Per-bucket bias values, indexed by SPD bucket.
+        thetas: Vec<f32>,
+        /// Destination register.
+        dst: u16,
+    },
+}
+
+impl Instr {
+    fn dst(&self) -> u16 {
+        match *self {
+            Instr::MatmulPacked { dst, .. }
+            | Instr::Matmul { dst, .. }
+            | Instr::MatmulTransB { dst, .. }
+            | Instr::Add { dst, .. }
+            | Instr::Mul { dst, .. }
+            | Instr::MulColBroadcast { dst, .. }
+            | Instr::Unary { dst, .. }
+            | Instr::SoftmaxRows { dst, .. }
+            | Instr::LayerNormAffine { dst, .. }
+            | Instr::GatherRows { dst, .. }
+            | Instr::ScatterAddRows { dst, .. }
+            | Instr::HCat { dst, .. }
+            | Instr::SliceCols { dst, .. }
+            | Instr::MeanRows { dst, .. }
+            | Instr::SpdBias { dst, .. } => dst,
+        }
+    }
+
+    fn for_each_src(&self, mut f: impl FnMut(Src)) {
+        match *self {
+            Instr::MatmulPacked { a, .. }
+            | Instr::Unary { a, .. }
+            | Instr::SoftmaxRows { a, .. }
+            | Instr::LayerNormAffine { a, .. }
+            | Instr::GatherRows { a, .. }
+            | Instr::ScatterAddRows { a, .. }
+            | Instr::SliceCols { a, .. }
+            | Instr::MeanRows { a, .. } => f(a),
+            Instr::Matmul { a, b, .. }
+            | Instr::MatmulTransB { a, b, .. }
+            | Instr::Add { a, b, .. }
+            | Instr::Mul { a, b, .. }
+            | Instr::HCat { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Instr::MulColBroadcast { a, col, .. } => {
+                f(a);
+                f(col);
+            }
+            Instr::SpdBias { .. } => {}
+        }
+    }
+}
+
+/// Per-request input shapes a program is specialized to. Execution
+/// validates the actual inputs against these before running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InputShapes {
+    /// Number of graph nodes.
+    pub n_nodes: usize,
+    /// Number of edge rows (the featurizer pads empty graphs to one
+    /// zero edge, so this is `max(edges, 1)`).
+    pub n_edges: usize,
+    /// Node feature width.
+    pub node_feat_dim: usize,
+    /// Edge feature width.
+    pub edge_feat_dim: usize,
+    /// Global feature width.
+    pub global_feat_dim: usize,
+}
+
+/// Borrowed per-request inputs for one execution.
+#[derive(Clone, Copy)]
+pub struct PlanInputs<'a> {
+    /// `n_nodes x node_feat_dim` node features.
+    pub node_feats: &'a Matrix,
+    /// `n_edges x edge_feat_dim` edge features.
+    pub edge_feats: &'a Matrix,
+    /// `1 x global_feat_dim` graph-level features.
+    pub global_feats: &'a Matrix,
+    /// Source node of each edge.
+    pub edge_src: &'a [usize],
+    /// Destination node of each edge.
+    pub edge_dst: &'a [usize],
+    /// Degree bucket of each node.
+    pub degree_bucket: &'a [usize],
+    /// Flattened `n_nodes x n_nodes` SPD bucket map.
+    pub spd: &'a [u8],
+}
+
+/// Summary counters for observability (`/statusz` plan section).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Instruction count.
+    pub instrs: usize,
+    /// Register count.
+    pub registers: usize,
+    /// Pre-packed weight panels.
+    pub packed_weights: usize,
+    /// Plain weight snapshots.
+    pub plain_weights: usize,
+    /// Total bytes held by weight snapshots (packed + plain).
+    pub weight_bytes: usize,
+    /// Node count the program is specialized to.
+    pub n_nodes: usize,
+    /// Edge-row count the program is specialized to.
+    pub n_edges: usize,
+}
+
+/// A compiled, shape-specialized instruction stream plus its weight
+/// snapshots. Immutable after [`ProgramBuilder::finish`]; safe to
+/// share across threads behind an `Arc` (executors are per-thread).
+#[derive(Clone, Debug)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    packed: Vec<PackedB>,
+    plain: Vec<Matrix>,
+    reg_shapes: Vec<(usize, usize)>,
+    /// Registers whose last read is instruction `i`, recycled right
+    /// after it executes.
+    free_after: Vec<Vec<u16>>,
+    output: u16,
+    shapes: InputShapes,
+}
+
+impl Program {
+    /// The input shapes this program is specialized to.
+    pub fn input_shapes(&self) -> InputShapes {
+        self.shapes
+    }
+
+    /// Shape of the final output register.
+    pub fn output_shape(&self) -> (usize, usize) {
+        self.reg_shapes[self.output as usize]
+    }
+
+    /// Summary counters for telemetry.
+    pub fn stats(&self) -> ProgramStats {
+        let packed_bytes: usize = self.packed.iter().map(|p| p.bytes()).sum();
+        let plain_bytes: usize = self.plain.iter().map(|m| m.len() * 4).sum();
+        ProgramStats {
+            instrs: self.instrs.len(),
+            registers: self.reg_shapes.len(),
+            packed_weights: self.packed.len(),
+            plain_weights: self.plain.len(),
+            weight_bytes: packed_bytes + plain_bytes,
+            n_nodes: self.shapes.n_nodes,
+            n_edges: self.shapes.n_edges,
+        }
+    }
+
+    fn validate(&self, inp: &PlanInputs<'_>) {
+        let s = &self.shapes;
+        assert_eq!(
+            inp.node_feats.shape(),
+            (s.n_nodes, s.node_feat_dim),
+            "plan: node feature shape mismatch"
+        );
+        assert_eq!(
+            inp.edge_feats.shape(),
+            (s.n_edges, s.edge_feat_dim),
+            "plan: edge feature shape mismatch"
+        );
+        assert_eq!(
+            inp.global_feats.shape(),
+            (1, s.global_feat_dim),
+            "plan: global feature shape mismatch"
+        );
+        assert_eq!(inp.edge_src.len(), s.n_edges, "plan: edge_src length mismatch");
+        assert_eq!(inp.edge_dst.len(), s.n_edges, "plan: edge_dst length mismatch");
+        assert_eq!(inp.degree_bucket.len(), s.n_nodes, "plan: degree_bucket length mismatch");
+        assert_eq!(inp.spd.len(), s.n_nodes * s.n_nodes, "plan: spd length mismatch");
+    }
+}
+
+/// Incrementally builds a [`Program`], checking operand shapes at
+/// every emit so shape bugs surface at compile time rather than as
+/// kernel panics mid-request. Emit methods return the [`Src`] of the
+/// new register.
+pub struct ProgramBuilder {
+    shapes: InputShapes,
+    instrs: Vec<Instr>,
+    packed: Vec<PackedB>,
+    plain: Vec<Matrix>,
+    reg_shapes: Vec<(usize, usize)>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program specialized to the given input shapes.
+    pub fn new(shapes: InputShapes) -> Self {
+        ProgramBuilder {
+            shapes,
+            instrs: Vec::new(),
+            packed: Vec::new(),
+            plain: Vec::new(),
+            reg_shapes: Vec::new(),
+        }
+    }
+
+    /// Shape of any operand (register, input, or plain weight).
+    pub fn shape(&self, s: Src) -> (usize, usize) {
+        match s {
+            Src::Reg(r) => self.reg_shapes[r as usize],
+            Src::Input(InputRef::NodeFeats) => (self.shapes.n_nodes, self.shapes.node_feat_dim),
+            Src::Input(InputRef::EdgeFeats) => (self.shapes.n_edges, self.shapes.edge_feat_dim),
+            Src::Input(InputRef::GlobalFeats) => (1, self.shapes.global_feat_dim),
+            Src::Weight(w) => self.plain[w as usize].shape(),
+        }
+    }
+
+    fn idx_len(&self, idx: IdxRef) -> usize {
+        match idx {
+            IdxRef::EdgeSrc | IdxRef::EdgeDst => self.shapes.n_edges,
+            IdxRef::DegreeBucket => self.shapes.n_nodes,
+        }
+    }
+
+    fn push_reg(&mut self, shape: (usize, usize)) -> u16 {
+        let id = self.reg_shapes.len();
+        assert!(id < u16::MAX as usize, "plan: register count overflow");
+        self.reg_shapes.push(shape);
+        id as u16
+    }
+
+    fn emit(&mut self, shape: (usize, usize), make: impl FnOnce(u16) -> Instr) -> Src {
+        let dst = self.push_reg(shape);
+        self.instrs.push(make(dst));
+        Src::Reg(dst)
+    }
+
+    /// Snapshots and pre-packs a matmul right-hand-side weight,
+    /// returning its packed-table index for [`Self::matmul_packed`].
+    pub fn packed_weight(&mut self, w: &Matrix) -> u16 {
+        let id = self.packed.len();
+        assert!(id < u16::MAX as usize, "plan: packed weight count overflow");
+        self.packed.push(w.prepack_b());
+        id as u16
+    }
+
+    /// Snapshots a plain weight (bias rows, norm gains, embedding
+    /// tables, seed matrices), returning its plain-table index. Use
+    /// [`Src::Weight`] to reference it as a general operand.
+    pub fn plain_weight(&mut self, w: Matrix) -> u16 {
+        let id = self.plain.len();
+        assert!(id < u16::MAX as usize, "plan: plain weight count overflow");
+        self.plain.push(w);
+        id as u16
+    }
+
+    /// Emits `a * packed[w] (+ bias)`.
+    pub fn matmul_packed(&mut self, a: Src, w: u16, bias: Option<u16>) -> Src {
+        let (ar, ac) = self.shape(a);
+        let (k, n) = self.packed[w as usize].shape();
+        assert_eq!(ac, k, "plan: matmul_packed inner dim mismatch");
+        if let Some(b) = bias {
+            assert_eq!(
+                self.plain[b as usize].shape(),
+                (1, n),
+                "plan: matmul_packed bias shape mismatch"
+            );
+        }
+        self.emit((ar, n), |dst| Instr::MatmulPacked { a, w, bias, dst })
+    }
+
+    /// Emits `a * b`.
+    pub fn matmul(&mut self, a: Src, b: Src) -> Src {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ac, br, "plan: matmul inner dim mismatch");
+        self.emit((ar, bc), |dst| Instr::Matmul { a, b, dst })
+    }
+
+    /// Emits `a * b^T`.
+    pub fn matmul_transb(&mut self, a: Src, b: Src) -> Src {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ac, bc, "plan: matmul_transb inner dim mismatch");
+        self.emit((ar, br), |dst| Instr::MatmulTransB { a, b, dst })
+    }
+
+    /// Emits elementwise `a + b`.
+    pub fn add(&mut self, a: Src, b: Src) -> Src {
+        let sa = self.shape(a);
+        assert_eq!(sa, self.shape(b), "plan: add shape mismatch");
+        self.emit(sa, |dst| Instr::Add { a, b, dst })
+    }
+
+    /// Emits elementwise `a * b`.
+    pub fn mul(&mut self, a: Src, b: Src) -> Src {
+        let sa = self.shape(a);
+        assert_eq!(sa, self.shape(b), "plan: mul shape mismatch");
+        self.emit(sa, |dst| Instr::Mul { a, b, dst })
+    }
+
+    /// Emits the column-broadcast product.
+    pub fn mul_col_broadcast(&mut self, a: Src, col: Src) -> Src {
+        let sa = self.shape(a);
+        assert_eq!(self.shape(col), (sa.0, 1), "plan: mul_col_broadcast column shape mismatch");
+        self.emit(sa, |dst| Instr::MulColBroadcast { a, col, dst })
+    }
+
+    /// Emits an elementwise unary.
+    pub fn unary(&mut self, a: Src, op: UnaryOp) -> Src {
+        let sa = self.shape(a);
+        self.emit(sa, |dst| Instr::Unary { a, op, dst })
+    }
+
+    /// Emits a row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Src) -> Src {
+        let sa = self.shape(a);
+        self.emit(sa, |dst| Instr::SoftmaxRows { a, dst })
+    }
+
+    /// Emits fused layer-norm + affine.
+    pub fn layer_norm_affine(&mut self, a: Src, gamma: u16, beta: u16) -> Src {
+        let sa = self.shape(a);
+        assert_eq!(
+            self.plain[gamma as usize].shape(),
+            (1, sa.1),
+            "plan: layer_norm gamma shape mismatch"
+        );
+        assert_eq!(
+            self.plain[beta as usize].shape(),
+            (1, sa.1),
+            "plan: layer_norm beta shape mismatch"
+        );
+        self.emit(sa, |dst| Instr::LayerNormAffine { a, gamma, beta, dst })
+    }
+
+    /// Emits a row gather through a per-request index array.
+    pub fn gather_rows(&mut self, a: Src, idx: IdxRef) -> Src {
+        let (_, cols) = self.shape(a);
+        let rows = self.idx_len(idx);
+        self.emit((rows, cols), |dst| Instr::GatherRows { a, idx, dst })
+    }
+
+    /// Emits a row scatter-add into `out_rows` zeroed rows.
+    pub fn scatter_add_rows(&mut self, a: Src, idx: IdxRef, out_rows: usize) -> Src {
+        let (ar, cols) = self.shape(a);
+        assert_eq!(ar, self.idx_len(idx), "plan: scatter_add_rows index length mismatch");
+        self.emit((out_rows, cols), |dst| Instr::ScatterAddRows { a, idx, out_rows, dst })
+    }
+
+    /// Emits horizontal concatenation.
+    pub fn hcat(&mut self, a: Src, b: Src) -> Src {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ar, br, "plan: hcat row mismatch");
+        self.emit((ar, ac + bc), |dst| Instr::HCat { a, b, dst })
+    }
+
+    /// Emits a column slice `[lo, hi)`.
+    pub fn slice_cols(&mut self, a: Src, lo: usize, hi: usize) -> Src {
+        let (ar, ac) = self.shape(a);
+        assert!(lo < hi && hi <= ac, "plan: slice_cols out of range");
+        self.emit((ar, hi - lo), |dst| Instr::SliceCols { a, lo, hi, dst })
+    }
+
+    /// Emits the row mean.
+    pub fn mean_rows(&mut self, a: Src) -> Src {
+        let (ar, ac) = self.shape(a);
+        assert!(ar > 0, "plan: mean_rows over zero rows");
+        self.emit((1, ac), |dst| Instr::MeanRows { a, dst })
+    }
+
+    /// Emits the SPD attention-bias gather (`n_nodes x n_nodes`).
+    pub fn spd_bias(&mut self, thetas: Vec<f32>) -> Src {
+        assert!(!thetas.is_empty(), "plan: spd_bias needs at least one bucket");
+        let n = self.shapes.n_nodes;
+        self.emit((n, n), |dst| Instr::SpdBias { thetas, dst })
+    }
+
+    /// Runs the liveness pass and seals the program. `output` must be
+    /// a register.
+    pub fn finish(self, output: Src) -> Program {
+        let out_reg = match output {
+            Src::Reg(r) => r,
+            other => panic!("plan: program output must be a register, got {other:?}"),
+        };
+        assert!((out_reg as usize) < self.reg_shapes.len(), "plan: output register undefined");
+        // Last instruction that reads each register; a register never
+        // read dies right after its producer.
+        let mut last_use: Vec<usize> = vec![0; self.reg_shapes.len()];
+        for (i, instr) in self.instrs.iter().enumerate() {
+            last_use[instr.dst() as usize] = i;
+            instr.for_each_src(|s| {
+                if let Src::Reg(r) = s {
+                    last_use[r as usize] = i;
+                }
+            });
+        }
+        let mut free_after: Vec<Vec<u16>> = vec![Vec::new(); self.instrs.len()];
+        for (r, &at) in last_use.iter().enumerate() {
+            if r as u16 != out_reg {
+                free_after[at].push(r as u16);
+            }
+        }
+        Program {
+            instrs: self.instrs,
+            packed: self.packed,
+            plain: self.plain,
+            reg_shapes: self.reg_shapes,
+            free_after,
+            output: out_reg,
+            shapes: self.shapes,
+        }
+    }
+}
+
+fn resolve<'r>(
+    regs: &'r [Option<Matrix>],
+    program: &'r Program,
+    inp: &PlanInputs<'r>,
+    s: Src,
+) -> &'r Matrix {
+    match s {
+        Src::Reg(r) => regs[r as usize].as_ref().expect("plan: register read before write"),
+        Src::Input(InputRef::NodeFeats) => inp.node_feats,
+        Src::Input(InputRef::EdgeFeats) => inp.edge_feats,
+        Src::Input(InputRef::GlobalFeats) => inp.global_feats,
+        Src::Weight(w) => &program.plain[w as usize],
+    }
+}
+
+fn indices<'r>(inp: &PlanInputs<'r>, idx: IdxRef) -> &'r [usize] {
+    match idx {
+        IdxRef::EdgeSrc => inp.edge_src,
+        IdxRef::EdgeDst => inp.edge_dst,
+        IdxRef::DegreeBucket => inp.degree_bucket,
+    }
+}
+
+/// Executes [`Program`]s against a private [`ScratchArena`]. One
+/// executor per thread; after the first run at a given shape, every
+/// register take is served from recycled buffers (zero fresh
+/// allocations per request).
+pub struct Executor {
+    arena: ScratchArena,
+    regs: Vec<Option<Matrix>>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with an empty arena.
+    pub fn new() -> Self {
+        Executor { arena: ScratchArena::new(), regs: Vec::new() }
+    }
+
+    /// Runs a program whose output is a `1 x 1` scalar and returns
+    /// its value. Panics on input-shape mismatch or a non-scalar
+    /// output register.
+    pub fn run_scalar(&mut self, program: &Program, inp: &PlanInputs<'_>) -> f32 {
+        assert_eq!(program.output_shape(), (1, 1), "plan: run_scalar on non-scalar program");
+        let out = self.run(program, inp);
+        let v = out.get(0, 0);
+        self.arena.recycle(out);
+        v
+    }
+
+    /// Runs a program and returns the output matrix. The caller may
+    /// hand the matrix back via [`Self::recycle`] to keep the arena
+    /// warm, or keep it (it is an owned `Matrix`).
+    pub fn run(&mut self, program: &Program, inp: &PlanInputs<'_>) -> Matrix {
+        program.validate(inp);
+        self.regs.clear();
+        self.regs.resize_with(program.reg_shapes.len(), || None);
+        for (i, instr) in program.instrs.iter().enumerate() {
+            let dst_id = instr.dst();
+            let dst = self.exec(program, inp, instr);
+            debug_assert_eq!(dst.shape(), program.reg_shapes[dst_id as usize]);
+            self.regs[dst_id as usize] = Some(dst);
+            for &r in &program.free_after[i] {
+                if let Some(m) = self.regs[r as usize].take() {
+                    self.arena.recycle(m);
+                }
+            }
+        }
+        self.regs[program.output as usize].take().expect("plan: program produced no output")
+    }
+
+    /// Returns a matrix obtained from [`Self::run`] to the arena.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.arena.recycle(m);
+    }
+
+    /// Fresh-allocation counter of the private arena (steady-state
+    /// executions should not move it).
+    pub fn fresh_allocs(&self) -> u64 {
+        self.arena.fresh_allocs()
+    }
+
+    fn exec(&mut self, p: &Program, inp: &PlanInputs<'_>, instr: &Instr) -> Matrix {
+        let regs = &self.regs;
+        match instr {
+            Instr::MatmulPacked { a, w, bias, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let pb = &p.packed[*w as usize];
+                let mut out = self.arena.take_zeroed(p.reg_shapes[*dst as usize].0, pb.shape().1);
+                av.matmul_prepacked_into(pb, &mut out);
+                if let Some(b) = bias {
+                    out.add_bias_rowwise(&p.plain[*b as usize]);
+                }
+                out
+            }
+            Instr::Matmul { a, b, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let bv = resolve(regs, p, inp, *b);
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                av.matmul_into(bv, &mut out);
+                out
+            }
+            Instr::MatmulTransB { a, b, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let bv = resolve(regs, p, inp, *b);
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                av.matmul_transb_into(bv, &mut out);
+                out
+            }
+            Instr::Add { a, b, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let bv = resolve(regs, p, inp, *b);
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                av.zip_map_into(bv, &mut out, |x, y| x + y);
+                out
+            }
+            Instr::Mul { a, b, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let bv = resolve(regs, p, inp, *b);
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                av.zip_map_into(bv, &mut out, |x, y| x * y);
+                out
+            }
+            Instr::MulColBroadcast { a, col, .. } => {
+                let av = resolve(regs, p, inp, *a);
+                let cv = resolve(regs, p, inp, *col);
+                let mut out = self.arena.take_copy(av);
+                for i in 0..out.rows() {
+                    let s = cv.get(i, 0);
+                    for o in out.row_mut(i) {
+                        *o *= s;
+                    }
+                }
+                out
+            }
+            Instr::Unary { a, op, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                match *op {
+                    UnaryOp::Relu => av.map_into(&mut out, |e| e.max(0.0)),
+                    UnaryOp::LeakyRelu(alpha) => {
+                        av.map_into(&mut out, |e| if e >= 0.0 { e } else { alpha * e })
+                    }
+                    UnaryOp::Gelu => av.map_into(&mut out, gelu_fwd),
+                    UnaryOp::Sigmoid => av.map_into(&mut out, |e| 1.0 / (1.0 + (-e).exp())),
+                    UnaryOp::Tanh => av.map_into(&mut out, f32::tanh),
+                    UnaryOp::Scale(s) => av.map_into(&mut out, |e| e * s),
+                }
+                out
+            }
+            Instr::SoftmaxRows { a, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                av.softmax_rows_into(&mut out);
+                out
+            }
+            Instr::LayerNormAffine { a, gamma, beta, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                av.layernorm_rows_into(LN_EPS, &mut out);
+                let g = &p.plain[*gamma as usize];
+                let b = &p.plain[*beta as usize];
+                for row in 0..out.rows() {
+                    for ((o, &gv), &bv) in
+                        out.row_mut(row).iter_mut().zip(g.row(0).iter()).zip(b.row(0).iter())
+                    {
+                        *o = *o * gv + bv;
+                    }
+                }
+                out
+            }
+            Instr::GatherRows { a, idx, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let ids = indices(inp, *idx);
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                av.gather_rows_into(ids, &mut out);
+                out
+            }
+            Instr::ScatterAddRows { a, idx, out_rows, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let ids = indices(inp, *idx);
+                let (_, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(*out_rows, c);
+                for (i, &target) in ids.iter().enumerate() {
+                    occu_tensor::add_into(out.row_mut(target), av.row(i));
+                }
+                out
+            }
+            Instr::HCat { a, b, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let bv = resolve(regs, p, inp, *b);
+                let ca = av.cols();
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                for row in 0..r {
+                    out.row_mut(row)[..ca].copy_from_slice(av.row(row));
+                    out.row_mut(row)[ca..].copy_from_slice(bv.row(row));
+                }
+                out
+            }
+            Instr::SliceCols { a, lo, hi, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                for row in 0..r {
+                    out.row_mut(row).copy_from_slice(&av.row(row)[*lo..*hi]);
+                }
+                out
+            }
+            Instr::MeanRows { a, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let (_, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(1, c);
+                for row in 0..av.rows() {
+                    occu_tensor::add_into(out.row_mut(0), av.row(row));
+                }
+                let inv = 1.0 / av.rows() as f32;
+                for o in out.row_mut(0) {
+                    *o *= inv;
+                }
+                out
+            }
+            Instr::SpdBias { thetas, dst } => {
+                let (r, c) = p.reg_shapes[*dst as usize];
+                let mut out = self.arena.take_zeroed(r, c);
+                for (o, &bucket) in out.data_mut().iter_mut().zip(inp.spd.iter()) {
+                    *o = thetas[bucket as usize];
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occu_tensor::SeededRng;
+
+    fn rand_matrix(rng: &mut SeededRng, r: usize, c: usize) -> Matrix {
+        Matrix::from_fn(r, c, |_, _| rng.uniform(-1.0, 1.0))
+    }
+
+    struct Fixture {
+        node_feats: Matrix,
+        edge_feats: Matrix,
+        global_feats: Matrix,
+        edge_src: Vec<usize>,
+        edge_dst: Vec<usize>,
+        degree_bucket: Vec<usize>,
+        spd: Vec<u8>,
+        shapes: InputShapes,
+    }
+
+    impl Fixture {
+        fn new(seed: u64, n_nodes: usize, n_edges: usize) -> Self {
+            let mut rng = SeededRng::new(seed);
+            let (nf, ef, gf) = (5, 3, 4);
+            let node_feats = rand_matrix(&mut rng, n_nodes, nf);
+            let edge_feats = rand_matrix(&mut rng, n_edges, ef);
+            let global_feats = rand_matrix(&mut rng, 1, gf);
+            let edge_src = (0..n_edges).map(|_| rng.index(n_nodes)).collect();
+            let edge_dst = (0..n_edges).map(|_| rng.index(n_nodes)).collect();
+            let degree_bucket = (0..n_nodes).map(|_| rng.index(4)).collect();
+            let spd = (0..n_nodes * n_nodes).map(|_| rng.index(3) as u8).collect();
+            let shapes = InputShapes {
+                n_nodes,
+                n_edges,
+                node_feat_dim: nf,
+                edge_feat_dim: ef,
+                global_feat_dim: gf,
+            };
+            Fixture { node_feats, edge_feats, global_feats, edge_src, edge_dst, degree_bucket, spd, shapes }
+        }
+
+        fn inputs(&self) -> PlanInputs<'_> {
+            PlanInputs {
+                node_feats: &self.node_feats,
+                edge_feats: &self.edge_feats,
+                global_feats: &self.global_feats,
+                edge_src: &self.edge_src,
+                edge_dst: &self.edge_dst,
+                degree_bucket: &self.degree_bucket,
+                spd: &self.spd,
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matmul_program_matches_direct_matmul_bitwise() {
+        let fx = Fixture::new(0xAB, 6, 4);
+        let mut rng = SeededRng::new(7);
+        let w = rand_matrix(&mut rng, 5, 8);
+        let bias = rand_matrix(&mut rng, 1, 8);
+
+        let mut b = ProgramBuilder::new(fx.shapes);
+        let wid = b.packed_weight(&w);
+        let bid = b.plain_weight(bias.clone());
+        let y = b.matmul_packed(Src::Input(InputRef::NodeFeats), wid, Some(bid));
+        let prog = b.finish(y);
+
+        let mut ex = Executor::new();
+        let got = ex.run(&prog, &fx.inputs());
+
+        let mut want = fx.node_feats.matmul(&w);
+        want.add_bias_rowwise(&bias);
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data().iter()) {
+            assert_eq!(g.to_bits(), w.to_bits(), "packed matmul diverged from direct matmul");
+        }
+    }
+
+    #[test]
+    fn structured_ops_match_reference_semantics_bitwise() {
+        let fx = Fixture::new(0xC0FFEE, 5, 7);
+        let mut rng = SeededRng::new(11);
+        let gamma = rand_matrix(&mut rng, 1, 5);
+        let beta = rand_matrix(&mut rng, 1, 5);
+        let thetas = vec![0.25_f32, -0.5, 1.5];
+
+        let mut b = ProgramBuilder::new(fx.shapes);
+        let gid = b.plain_weight(gamma.clone());
+        let bid = b.plain_weight(beta.clone());
+
+        // gather node rows per edge source, scatter them back onto
+        // destinations, normalize, softmax the SPD-biased self-product,
+        // then mean-pool and concatenate with the global features.
+        let nodes = Src::Input(InputRef::NodeFeats);
+        let gathered = b.gather_rows(nodes, IdxRef::EdgeSrc);
+        let scattered = b.scatter_add_rows(gathered, IdxRef::EdgeDst, fx.shapes.n_nodes);
+        let summed = b.add(scattered, nodes);
+        let normed = b.layer_norm_affine(summed, gid, bid);
+        let scores = b.matmul_transb(normed, normed);
+        let bias = b.spd_bias(thetas.clone());
+        let biased = b.add(scores, bias);
+        let attn = b.softmax_rows(biased);
+        let mixed = b.matmul(attn, normed);
+        let act = b.unary(mixed, UnaryOp::Gelu);
+        let pooled = b.mean_rows(act);
+        let wide = b.hcat(pooled, Src::Input(InputRef::GlobalFeats));
+        let out = b.slice_cols(wide, 0, 6);
+        let prog = b.finish(out);
+
+        let mut ex = Executor::new();
+        let got = ex.run(&prog, &fx.inputs());
+
+        // Reference path: same kernels invoked directly, mirroring the
+        // tape interpreter's op-by-op recipes.
+        let n = fx.shapes.n_nodes;
+        let mut gathered_r = Matrix::zeros(fx.shapes.n_edges, 5);
+        fx.node_feats.gather_rows_into(&fx.edge_src, &mut gathered_r);
+        let mut scattered_r = Matrix::zeros(n, 5);
+        for (i, &d) in fx.edge_dst.iter().enumerate() {
+            occu_tensor::add_into(scattered_r.row_mut(d), gathered_r.row(i));
+        }
+        let summed_r = scattered_r.zip_map(&fx.node_feats, |x, y| x + y);
+        let mut normed_r = Matrix::zeros(n, 5);
+        summed_r.layernorm_rows_into(1e-5, &mut normed_r);
+        for row in 0..n {
+            for ((o, &gv), &bv) in
+                normed_r.row_mut(row).iter_mut().zip(gamma.row(0).iter()).zip(beta.row(0).iter())
+            {
+                *o = *o * gv + bv;
+            }
+        }
+        let scores_r = normed_r.matmul_transb(&normed_r);
+        let bias_r = Matrix::from_fn(n, n, |i, j| thetas[fx.spd[i * n + j] as usize]);
+        let biased_r = scores_r.zip_map(&bias_r, |x, y| x + y);
+        let attn_r = biased_r.softmax_rows();
+        let mixed_r = attn_r.matmul(&normed_r);
+        let act_r = mixed_r.map(gelu_fwd);
+        let mut pooled_r = Matrix::zeros(1, 5);
+        for row in 0..act_r.rows() {
+            occu_tensor::add_into(pooled_r.row_mut(0), act_r.row(row));
+        }
+        let inv = 1.0 / act_r.rows() as f32;
+        for o in pooled_r.row_mut(0) {
+            *o *= inv;
+        }
+        let wide_r = pooled_r.hcat(&fx.global_feats);
+        let want = Matrix::from_fn(1, 6, |_, j| wide_r.get(0, j));
+
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data().iter()) {
+            assert_eq!(g.to_bits(), w.to_bits(), "structured program diverged from reference");
+        }
+        assert_eq!(prog.stats().instrs, 13);
+    }
+
+    #[test]
+    fn steady_state_runs_make_no_fresh_allocations() {
+        let fx = Fixture::new(0xFEED, 8, 10);
+        let mut rng = SeededRng::new(3);
+        let w = rand_matrix(&mut rng, 5, 16);
+
+        let mut b = ProgramBuilder::new(fx.shapes);
+        let wid = b.packed_weight(&w);
+        let h = b.matmul_packed(Src::Input(InputRef::NodeFeats), wid, None);
+        let act = b.unary(h, UnaryOp::Relu);
+        let scores = b.matmul_transb(act, act);
+        let attn = b.softmax_rows(scores);
+        let mixed = b.matmul(attn, act);
+        let pooled = b.mean_rows(mixed);
+        let prog = b.finish(pooled);
+
+        let mut ex = Executor::new();
+        let first = ex.run(&prog, &fx.inputs());
+        ex.recycle(first);
+        let warm = ex.fresh_allocs();
+        for _ in 0..5 {
+            let out = ex.run(&prog, &fx.inputs());
+            ex.recycle(out);
+        }
+        assert_eq!(
+            ex.fresh_allocs(),
+            warm,
+            "steady-state plan execution should be allocation-free"
+        );
+    }
+
+    #[test]
+    fn liveness_frees_registers_after_last_use() {
+        let fx = Fixture::new(1, 4, 3);
+        let mut b = ProgramBuilder::new(fx.shapes);
+        let nodes = Src::Input(InputRef::NodeFeats);
+        let a = b.unary(nodes, UnaryOp::Relu); // reg 0, last used by instr 2
+        let c = b.unary(nodes, UnaryOp::Tanh); // reg 1, last used by instr 2
+        let s = b.add(a, c); // reg 2 (output)
+        let prog = b.finish(s);
+        // Registers 0 and 1 die at instruction 2; the output register
+        // must never appear in a free list.
+        assert_eq!(prog.free_after[2], vec![0, 1]);
+        assert!(prog.free_after.iter().all(|f| !f.contains(&2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dim mismatch")]
+    fn builder_rejects_shape_mismatches_at_compile_time() {
+        let fx = Fixture::new(2, 4, 3);
+        let mut b = ProgramBuilder::new(fx.shapes);
+        let nodes = Src::Input(InputRef::NodeFeats); // 4 x 5
+        let edges = Src::Input(InputRef::EdgeFeats); // 3 x 3
+        b.matmul(nodes, edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "node feature shape mismatch")]
+    fn executor_rejects_wrong_shaped_inputs() {
+        let fx = Fixture::new(3, 4, 3);
+        let mut b = ProgramBuilder::new(fx.shapes);
+        let out = b.unary(Src::Input(InputRef::NodeFeats), UnaryOp::Relu);
+        let prog = b.finish(out);
+
+        let other = Fixture::new(3, 5, 3);
+        Executor::new().run(&prog, &other.inputs());
+    }
+}

@@ -10,9 +10,18 @@
 //! The model `Arc` is snapshotted once per batch, so a hot-reload
 //! that lands mid-batch takes effect on the *next* batch; jobs
 //! already collected finish on the model they were batched under.
+//!
+//! With a [`PlanCache`] attached, each forward pass executes a
+//! compiled plan (shape-specialized instruction stream with
+//! pre-packed weights) instead of re-recording the interpreter tape.
+//! Plans are keyed on the snapshotted model version, so the
+//! mid-batch-reload guarantee holds identically: the whole batch
+//! runs on plans compiled from the model it was batched under.
 
+use crate::plan_cache::PlanCache;
 use crate::registry::ModelRegistry;
 use occu_core::{FeaturizedGraph, OccuPredictor};
+use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
@@ -66,8 +75,15 @@ const JOB_QUEUE_DEPTH: usize = 1024;
 
 impl Batcher {
     /// Spawns the collector thread. It runs until `shutdown` is set
-    /// *and* the queue is drained, or every sender is dropped.
-    pub fn start(cfg: BatchConfig, registry: Arc<ModelRegistry>, shutdown: Arc<AtomicBool>) -> Self {
+    /// *and* the queue is drained, or every sender is dropped. With
+    /// `plan_cache` set, batches execute compiled plans; without it,
+    /// they run the tape interpreter (`predict_batch`).
+    pub fn start(
+        cfg: BatchConfig,
+        registry: Arc<ModelRegistry>,
+        shutdown: Arc<AtomicBool>,
+        plan_cache: Option<Arc<PlanCache>>,
+    ) -> Self {
         let (tx, rx) = mpsc::sync_channel::<PredictJob>(JOB_QUEUE_DEPTH);
         let max_batch = cfg.max_batch.max(1);
         let window = cfg.window;
@@ -110,7 +126,21 @@ impl Batcher {
                         .into_iter()
                         .map(|j| (j.features, (j.reply, j.submitted_at)))
                         .unzip();
-                    let preds = loaded.model.predict_batch(&feats);
+                    let preds: Vec<f32> = match &plan_cache {
+                        // Same fan-out shape as `predict_batch`, but
+                        // each forward executes the cached compiled
+                        // plan for its graph shape (bitwise-equal to
+                        // the interpreter; see `occu-core::plan`).
+                        Some(plans) => feats
+                            .par_iter()
+                            .map(|fg| {
+                                plans
+                                    .get_or_compile(&loaded.model, loaded.version, fg)
+                                    .predict(fg)
+                            })
+                            .collect(),
+                        None => loaded.model.predict_batch(&feats),
+                    };
                     let predict_us =
                         exec_start.elapsed().as_secs_f64() * 1e6 / preds.len().max(1) as f64;
                     batches.inc();

@@ -101,6 +101,13 @@ impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
         }
     }
 
+    /// Looks up `key` without touching recency or the hit/miss
+    /// counters — for double-checked insert patterns where the first
+    /// `get` already recorded the lookup's outcome.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slots[idx].value)
+    }
+
     /// Inserts or refreshes `key`, evicting the least-recently-used
     /// entry when at capacity. Returns `true` iff an eviction happened.
     pub fn insert(&mut self, key: K, value: V) -> bool {

@@ -133,14 +133,30 @@ pub fn read_request<R: BufRead>(
         .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
         .map(|(_, v)| v.as_str());
     if let Some(raw) = content_length {
-        let len: usize = raw
-            .parse()
-            .map_err(|_| ServeError::bad_request(format!("invalid content-length '{raw}'")))?;
-        if len > max_body_bytes {
+        // Parse as u64 and compare in u64 space so a 32-bit `usize`
+        // can never silently truncate an oversized announcement; the
+        // final checked conversion is the belt-and-braces 413.
+        let len: u64 = match raw.trim().parse() {
+            Ok(n) => n,
+            // All-digit but beyond u64 is an absurdly large length,
+            // not a syntax error: answer 413 like any oversized body.
+            Err(_) if !raw.trim().is_empty() && raw.trim().bytes().all(|b| b.is_ascii_digit()) => {
+                return Err(ServeError::too_large(format!(
+                    "content-length '{raw}' exceeds any supported body size"
+                )))
+            }
+            Err(_) => {
+                return Err(ServeError::bad_request(format!("invalid content-length '{raw}'")))
+            }
+        };
+        if len > max_body_bytes as u64 {
             return Err(ServeError::too_large(format!(
                 "body of {len} bytes exceeds limit of {max_body_bytes}"
             )));
         }
+        let len = usize::try_from(len).map_err(|_| {
+            ServeError::too_large(format!("body of {len} bytes exceeds addressable memory"))
+        })?;
         body.resize(len, 0);
         reader
             .read_exact(&mut body)
@@ -283,6 +299,25 @@ mod tests {
         assert_eq!(
             expect_status(b"POST /p HTTP/1.1\r\nContent-Length: soon\r\n\r\n"),
             400
+        );
+        assert_eq!(
+            expect_status(b"POST /p HTTP/1.1\r\nContent-Length: -4\r\n\r\n"),
+            400
+        );
+    }
+
+    #[test]
+    fn huge_content_length_is_413_not_truncated() {
+        // u64::MAX parses but exceeds the limit.
+        assert_eq!(
+            expect_status(b"POST /p HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\n"),
+            413
+        );
+        // Beyond u64 entirely: still a size rejection, not a parse 400
+        // (and never a silent wraparound into a small allocation).
+        assert_eq!(
+            expect_status(b"POST /p HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n"),
+            413
         );
     }
 

@@ -62,11 +62,13 @@
 pub mod batch;
 pub mod cache;
 pub mod http;
+pub mod plan_cache;
 pub mod registry;
 pub mod server;
 pub mod telemetry;
 
 pub use cache::{CacheStats, LruCache};
+pub use plan_cache::PlanCache;
 pub use registry::{LoadedModel, ModelRegistry};
 pub use server::{DrainStats, ServeConfig, Server};
 pub use telemetry::{RequestCtx, Stage, Telemetry, STAGE_NAMES};

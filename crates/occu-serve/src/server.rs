@@ -18,6 +18,7 @@
 use crate::batch::{BatchConfig, Batcher, PredictJob, PredictReply};
 use crate::cache::{CacheStats, LruCache};
 use crate::http::{self, ReadOutcome, Request};
+use crate::plan_cache::PlanCache;
 use crate::registry::ModelRegistry;
 use crate::telemetry::{RequestCtx, Stage, Telemetry};
 use crate::ServeError;
@@ -79,6 +80,12 @@ pub struct ServeConfig {
     /// windows, flight recorder). `false` is the overhead baseline
     /// measured by `repro obs-overhead`.
     pub record: bool,
+    /// Execute predictions through compiled inference plans (one
+    /// shape-specialized instruction stream per `(graph shape, model
+    /// version)`, with pre-packed weights) instead of the tape
+    /// interpreter. Bitwise-identical results; `false` falls back to
+    /// the interpreter everywhere.
+    pub plan: bool,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +102,7 @@ impl Default for ServeConfig {
             recorder_cap: 256,
             trace_spans: false,
             record: true,
+            plan: true,
         }
     }
 }
@@ -261,6 +269,7 @@ struct ServerState {
     cfg: ServeConfig,
     registry: Arc<ModelRegistry>,
     cache: Mutex<LruCache<CacheKey, CachedPrediction>>,
+    plan_cache: Option<Arc<PlanCache>>,
     job_tx: SyncSender<PredictJob>,
     shutdown: Arc<AtomicBool>,
     stats: Stats,
@@ -302,6 +311,8 @@ impl Server {
         occu_obs::gauge("serve.model_version").set(registry.current().version as f64);
 
         let shutdown = Arc::new(AtomicBool::new(false));
+        let plan_cache =
+            cfg.plan.then(|| Arc::new(PlanCache::new(crate::plan_cache::PLAN_CACHE_CAPACITY)));
         let batcher = Batcher::start(
             BatchConfig {
                 window: Duration::from_micros(cfg.batch_window_us),
@@ -309,12 +320,14 @@ impl Server {
             },
             Arc::clone(&registry),
             Arc::clone(&shutdown),
+            plan_cache.clone(),
         );
 
         let (conn_tx, conn_rx) = mpsc::sync_channel::<QueuedConn>(cfg.queue_cap);
         let telemetry = Telemetry::new(cfg.record, cfg.trace_spans, cfg.slo_us, cfg.recorder_cap);
         let state = Arc::new(ServerState {
             cache: Mutex::new(LruCache::new(cfg.cache_cap)),
+            plan_cache,
             job_tx: batcher.sender(),
             registry,
             shutdown,
@@ -960,8 +973,13 @@ fn handle_reload(
         loaded.version,
         loaded.path.display()
     );
-    // Old-version cache entries are unreachable (version is in the
-    // key) and will age out of the LRU naturally.
+    // Old-version prediction-cache entries are unreachable (version
+    // is in the key) and will age out of the LRU naturally. Compiled
+    // plans carry snapshotted weights, so besides the same version
+    // keying they are dropped eagerly to release their packed panels.
+    if let Some(plans) = &state.plan_cache {
+        plans.clear();
+    }
     let mut m = BTreeMap::new();
     m.insert("version".to_string(), Value::Number(loaded.version as f64));
     m.insert(
@@ -993,6 +1011,20 @@ fn mirror_gauges(state: &ServerState) {
     occu_obs::gauge("tensor.dispatch.fma").set(disp.fma as f64);
     occu_obs::gauge("tensor.dispatch.avx512").set(disp.avx512 as f64);
     occu_obs::gauge("tensor.dispatch.neon").set(disp.neon as f64);
+    // Traces the flight recorder discarded on slot contention. Must
+    // stay 0 under a single-threaded harness; under load it bounds
+    // how much `/debug/tracez` raced the request path.
+    occu_obs::gauge("flight.dropped").set(state.telemetry.recorder.dropped() as f64);
+    // Compiled-plan cache: how many shapes are resident and how often
+    // the batch path reused a plan vs compiled one.
+    occu_obs::gauge("serve.plan.enabled").set(state.plan_cache.is_some() as u8 as f64);
+    if let Some(plans) = &state.plan_cache {
+        let ps = plans.stats();
+        occu_obs::gauge("serve.plan.cached").set(ps.len as f64);
+        occu_obs::gauge("serve.plan.hits").set(ps.hits as f64);
+        occu_obs::gauge("serve.plan.compiles").set(ps.misses as f64);
+        occu_obs::gauge("serve.plan.evictions").set(ps.evictions as f64);
+    }
 }
 
 /// Prometheus text exposition: the typed registry dump plus the
@@ -1035,6 +1067,7 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
     cfg.insert("recorder_cap".to_string(), num(state.cfg.recorder_cap as f64));
     cfg.insert("record".to_string(), Value::Bool(state.cfg.record));
     cfg.insert("trace_spans".to_string(), Value::Bool(state.cfg.trace_spans));
+    cfg.insert("plan".to_string(), Value::Bool(state.cfg.plan));
 
     let mut counters = BTreeMap::new();
     counters.insert("requests".to_string(), num(state.stats.requests.load(Ordering::SeqCst) as f64));
@@ -1063,10 +1096,21 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
     dispatch.insert("avx512".to_string(), num(disp.avx512 as f64));
     dispatch.insert("neon".to_string(), num(disp.neon as f64));
 
+    let mut plan = BTreeMap::new();
+    plan.insert("enabled".to_string(), Value::Bool(state.plan_cache.is_some()));
+    if let Some(plans) = &state.plan_cache {
+        let ps = plans.stats();
+        plan.insert("cached".to_string(), num(ps.len as f64));
+        plan.insert("hits".to_string(), num(ps.hits as f64));
+        plan.insert("compiles".to_string(), num(ps.misses as f64));
+        plan.insert("evictions".to_string(), num(ps.evictions as f64));
+    }
+
     let mut recorder = BTreeMap::new();
     recorder.insert("capacity".to_string(), num(state.telemetry.recorder.capacity() as f64));
     recorder.insert("recorded".to_string(), num(state.telemetry.recorder.recorded() as f64));
     recorder.insert("pinned".to_string(), num(state.telemetry.recorder.pinned() as f64));
+    recorder.insert("dropped".to_string(), num(state.telemetry.recorder.dropped() as f64));
     recorder.insert("slo_us".to_string(), num(state.telemetry.recorder.slo_us()));
 
     let mut top = BTreeMap::new();
@@ -1077,6 +1121,7 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
     top.insert("config".to_string(), Value::Object(cfg));
     top.insert("counters".to_string(), Value::Object(counters));
     top.insert("cache".to_string(), Value::Object(cache_obj));
+    top.insert("plan".to_string(), Value::Object(plan));
     top.insert("arena".to_string(), Value::Object(arena));
     top.insert("dispatch".to_string(), Value::Object(dispatch));
     top.insert("recorder".to_string(), Value::Object(recorder));
@@ -1094,11 +1139,12 @@ fn render_tracez(state: &ServerState) -> String {
         traces.iter().map(occu_obs::RequestTrace::to_json).collect::<Vec<_>>().join(", ")
     };
     format!(
-        "{{\"slo_us\": {}, \"capacity\": {}, \"recorded\": {}, \"pinned\": {}, \"recent\": [{}], \"notable\": [{}]}}\n",
+        "{{\"slo_us\": {}, \"capacity\": {}, \"recorded\": {}, \"pinned\": {}, \"dropped\": {}, \"recent\": [{}], \"notable\": [{}]}}\n",
         rec.slo_us(),
         rec.capacity(),
         rec.recorded(),
         rec.pinned(),
+        rec.dropped(),
         join(rec.recent()),
         join(rec.notable()),
     )

@@ -115,7 +115,7 @@ fn debug_endpoints_expose_status_traces_and_vars() {
     assert_eq!(status, 200, "body: {statusz}");
     let parsed: serde_json::Value = serde_json::from_str(&statusz).expect("statusz is JSON");
     let obj = parsed.as_object().expect("statusz object");
-    for key in ["uptime_s", "model", "isa", "config", "counters", "cache", "recorder"] {
+    for key in ["uptime_s", "model", "isa", "config", "counters", "cache", "plan", "recorder"] {
         assert!(obj.contains_key(key), "statusz missing '{key}': {statusz}");
     }
 
@@ -138,6 +138,16 @@ fn debug_endpoints_expose_status_traces_and_vars() {
         notable.iter().any(|t| t.get("status").and_then(|v| v.as_f64()) == Some(404.0)),
         "404 not pinned: {tracez}"
     );
+    // This harness drives the server one request at a time, so the
+    // recorder's contention-drop counter must read exactly zero.
+    assert_eq!(
+        parsed.get("dropped").and_then(|v| v.as_f64()),
+        Some(0.0),
+        "flight recorder dropped traces single-threaded: {tracez}"
+    );
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("flight_dropped 0"), "dump: {metrics}");
 
     let (status, varz) = request(addr, "GET", "/debug/varz", "");
     assert_eq!(status, 200, "body: {varz}");
@@ -320,6 +330,79 @@ fn hot_reload_swaps_model_and_invalidates_cache_by_version() {
 
     let stats = server.shutdown();
     assert_eq!(stats.reloads, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Extracts the `predicted_occupancy` scalar from a /predict body.
+fn occupancy_of(body: &str) -> f64 {
+    let parsed: serde_json::Value = serde_json::from_str(body).expect("predict body is JSON");
+    parsed
+        .get("predicted_occupancy")
+        .and_then(|v| v.as_f64())
+        .expect("predicted_occupancy field")
+}
+
+#[test]
+fn reload_never_serves_stale_plans() {
+    let dir = std::env::temp_dir().join(format!("occu_serve_plan_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let weights: PathBuf = dir.join("model.json");
+    std::fs::write(&weights, tiny_model(1).to_json()).expect("write weights");
+
+    // Plans are on by default; this server compiles a plan for the
+    // LeNet graph shape on the first prediction.
+    let registry = Arc::new(ModelRegistry::load(&weights).expect("load"));
+    let server = Server::start(
+        ServeConfig {
+            workers: 2,
+            batch_window_us: 200,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("start");
+    let addr = server.local_addr();
+
+    let spec = r#"{"model": "LeNet"}"#;
+    let (_, before) = request(addr, "POST", "/predict", spec);
+    let before_occ = occupancy_of(&before);
+
+    // Swap weights and reload. The same graph shape now needs a plan
+    // compiled from the *new* weights — a stale plan would replay the
+    // old model's prediction.
+    std::fs::write(&weights, tiny_model(2).to_json()).expect("rewrite weights");
+    let (status, _) = request(addr, "POST", "/reload", "");
+    assert_eq!(status, 200);
+    let (_, after) = request(addr, "POST", "/predict", spec);
+    let after_occ = occupancy_of(&after);
+    assert!(after.contains("\"cached\":false"), "body: {after}");
+    assert_ne!(
+        before_occ, after_occ,
+        "prediction unchanged across reload — stale plan served"
+    );
+
+    // The post-reload prediction must match a plan-disabled server
+    // running the interpreter on the same new weights.
+    let interp_registry = Arc::new(ModelRegistry::from_model(tiny_model(2), "interp.json"));
+    let interp = Server::start(
+        ServeConfig {
+            workers: 2,
+            batch_window_us: 200,
+            plan: false,
+            ..ServeConfig::default()
+        },
+        interp_registry,
+    )
+    .expect("start interpreter server");
+    let (_, interp_body) = request(interp.local_addr(), "POST", "/predict", spec);
+    assert_eq!(
+        after_occ.to_bits(),
+        occupancy_of(&interp_body).to_bits(),
+        "recompiled plan diverged from the interpreter: {after} vs {interp_body}"
+    );
+
+    interp.shutdown();
+    server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -253,6 +253,56 @@ fn micro_kernel_scalar(mr: usize, nr: usize, pa_strip: &[f32], pb_panel: &[f32],
     }
 }
 
+/// The inner row sweep for one `(jc, pc)` block whose `B` slab is
+/// already packed in `pb_buf`: packs `A` strips and fires the micro
+/// kernel over every `(strip, panel-group)` pair. Shared verbatim by
+/// the pack-on-the-fly path ([`gemm_rows`]) and the prepacked-weight
+/// path ([`gemm_prepacked_into`]), so the two are the same summation
+/// chain by construction.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    a: View,
+    pb_buf: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    mrows: usize,
+    n: usize,
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+    pa_buf: &mut Vec<f32>,
+    sel: KernelSel,
+) {
+    let panels = nc.div_ceil(NR);
+    for ic in (0..mrows).step_by(MC) {
+        let mc = MC.min(mrows - ic);
+        pack_a(a, row0 + ic, mc, pc, kc, pa_buf);
+        let strips = mc.div_ceil(MR);
+        for s in 0..strips {
+            let i0 = s * MR;
+            let mr = MR.min(mc - i0);
+            let pa_strip = &pa_buf[s * kc * MR..(s + 1) * kc * MR];
+            // Wide kernels consume `panel_step` adjacent panels
+            // per call; a trailing odd panel goes down alone
+            // and the kernel narrows itself to one panel.
+            let mut p = 0;
+            while p < panels {
+                let take = sel.panel_step.min(panels - p);
+                let j0 = p * NR;
+                let nr = (take * NR).min(nc - j0);
+                let pb_panels = &pb_buf[p * kc * NR..(p + take) * kc * NR];
+                let c_off = (ic + i0) * n + jc + j0;
+                // SAFETY: `sel` comes from `micro_kernel_for`,
+                // which only returns a `#[target_feature]` kernel
+                // after runtime detection confirmed the feature.
+                unsafe { (sel.kernel)(mr, nr, pa_strip, pb_panels, &mut out[c_off..], n) };
+                p += take;
+            }
+        }
+    }
+}
+
 /// Runs the full blocked sweep for the output rows in `rows`,
 /// accumulating into `out` (which holds those rows, `n` wide).
 /// `bufs` is the `(packed A, packed B)` scratch pair; `sel` is the
@@ -273,37 +323,100 @@ fn gemm_rows(
     let (pa_buf, pb_buf) = bufs;
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
-        let panels = nc.div_ceil(NR);
         for pc in (0..kdim).step_by(KC) {
             let kc = KC.min(kdim - pc);
             pack_b(b, pc, kc, jc, nc, pb_buf);
-            for ic in (0..mrows).step_by(MC) {
-                let mc = MC.min(mrows - ic);
-                pack_a(a, row0 + ic, mc, pc, kc, pa_buf);
-                let strips = mc.div_ceil(MR);
-                for s in 0..strips {
-                    let i0 = s * MR;
-                    let mr = MR.min(mc - i0);
-                    let pa_strip = &pa_buf[s * kc * MR..(s + 1) * kc * MR];
-                    // Wide kernels consume `panel_step` adjacent panels
-                    // per call; a trailing odd panel goes down alone
-                    // and the kernel narrows itself to one panel.
-                    let mut p = 0;
-                    while p < panels {
-                        let take = sel.panel_step.min(panels - p);
-                        let j0 = p * NR;
-                        let nr = (take * NR).min(nc - j0);
-                        let pb_panels = &pb_buf[p * kc * NR..(p + take) * kc * NR];
-                        let c_off = (ic + i0) * n + jc + j0;
-                        // SAFETY: `sel` comes from `micro_kernel_for`,
-                        // which only returns a `#[target_feature]` kernel
-                        // after runtime detection confirmed the feature.
-                        unsafe { (sel.kernel)(mr, nr, pa_strip, pb_panels, &mut out[c_off..], n) };
-                        p += take;
-                    }
-                }
+            gemm_block(a, pb_buf, out, row0, mrows, n, jc, nc, pc, kc, pa_buf, sel);
+        }
+    }
+}
+
+/// A `B` operand packed once, ahead of time, into the exact `(jc, pc)`
+/// slab sequence [`gemm_rows`] would produce on the fly — plus the raw
+/// row-major values so small products can still take the streaming
+/// loop bit-identically. Built by [`crate::Matrix::prepack_b`]; plans
+/// compiled by `occu-plan` hold one per weight matrix so the per-call
+/// `pack_b` cost disappears from the serving path.
+///
+/// The panel layout depends only on the blocking constants (`NR`-wide
+/// k-major panels), never on the micro-kernel ISA: one packing serves
+/// every rung of the dispatch ladder, including `OCCU_FORCE_SCALAR=1`.
+#[derive(Clone, Debug)]
+pub struct PackedB {
+    pub(crate) k: usize,
+    pub(crate) n: usize,
+    /// Row-major copy of the original operand for the streaming path.
+    pub(crate) raw: Vec<f32>,
+    /// Packed slabs indexed `jc_index * kblocks + pc_index`, matching
+    /// the `jc`-outer / `pc`-inner traversal of [`gemm_rows`].
+    slabs: Vec<Vec<f32>>,
+}
+
+impl PackedB {
+    /// Packs the `k x n` view `b` (raw row-major copy in `raw`).
+    pub(crate) fn pack(b: View, k: usize, n: usize, raw: Vec<f32>) -> Self {
+        debug_assert_eq!(raw.len(), k * n);
+        let mut slabs = Vec::new();
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                let mut buf = Vec::new();
+                pack_b(b, pc, kc, jc, nc, &mut buf);
+                slabs.push(buf);
             }
         }
+        Self { k, n, raw, slabs }
+    }
+
+    /// Operand shape `(k, n)` this packing was built for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// Heap bytes held (raw copy + packed slabs).
+    pub fn bytes(&self) -> usize {
+        (self.raw.len() + self.slabs.iter().map(Vec::len).sum::<usize>())
+            * std::mem::size_of::<f32>()
+    }
+}
+
+/// [`gemm_into`] against a prepacked `B`: identical block traversal
+/// and micro-kernel calls, with the per-call `pack_b` replaced by a
+/// slab lookup. Bitwise-equal to the pack-on-the-fly path.
+pub(crate) fn gemm_prepacked_into(
+    a: View,
+    pb: &PackedB,
+    m: usize,
+    out: &mut [f32],
+    sel: KernelSel,
+) {
+    let (kdim, n) = (pb.k, pb.n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let kblocks = kdim.div_ceil(KC).max(1);
+    let sweep = |out: &mut [f32], row0: usize, mrows: usize, pa_buf: &mut Vec<f32>| {
+        for (jci, jc) in (0..n).step_by(NC).enumerate() {
+            let nc = NC.min(n - jc);
+            for (pci, pc) in (0..kdim).step_by(KC).enumerate() {
+                let kc = KC.min(kdim - pc);
+                let pb_buf = &pb.slabs[jci * kblocks + pci];
+                gemm_block(a, pb_buf, out, row0, mrows, n, jc, nc, pc, kc, pa_buf, sel);
+            }
+        }
+    };
+    let threads = rayon::current_num_threads();
+    if threads > 1 && should_parallelize(m, kdim, n) {
+        let chunk_rows = m.div_ceil(threads).max(MR);
+        out.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(ci, chunk)| {
+            let row0 = ci * chunk_rows;
+            let mrows = chunk.len() / n;
+            PACK_BUFS.with(|bufs| sweep(chunk, row0, mrows, &mut bufs.borrow_mut().0));
+        });
+    } else {
+        PACK_BUFS.with(|bufs| sweep(out, 0, m, &mut bufs.borrow_mut().0));
     }
 }
 

@@ -34,7 +34,7 @@ pub use arena::{
     arena_total_allocated_bytes, arena_total_fresh_allocs, arena_total_takes, ScratchArena,
 };
 pub use dispatch::{active_isa, dispatch_counts, DispatchCounts, Isa};
-pub use gemm::{should_parallelize, use_blocked, BLOCKED_MIN_MULADDS, KC, MC, MR, NC, NR};
+pub use gemm::{should_parallelize, use_blocked, PackedB, BLOCKED_MIN_MULADDS, KC, MC, MR, NC, NR};
 pub use matrix::Matrix;
 pub use ops::{add_into, axpy_into, softmax_in_place};
 pub use random::{xavier_uniform, he_normal, SeededRng};

@@ -275,6 +275,69 @@ impl Matrix {
         }
     }
 
+    /// Packs `self` once as the `B` operand of future products (the
+    /// `(jc, pc)` slab sequence the blocked kernel consumes, plus a
+    /// raw copy for the streaming path). Compiled plans hold one per
+    /// weight matrix; see [`Matrix::matmul_prepacked_into`].
+    pub fn prepack_b(&self) -> gemm::PackedB {
+        gemm::PackedB::pack(
+            View::normal(self.data(), self.cols()),
+            self.rows(),
+            self.cols(),
+            self.data().to_vec(),
+        )
+    }
+
+    /// [`Matrix::matmul_into`] against a prepacked `B`: bit-identical
+    /// output (same dispatch gate, same micro-kernels, same summation
+    /// order), with the per-call `B` packing already paid for.
+    pub fn matmul_prepacked_into(&self, packed: &gemm::PackedB, out: &mut Matrix) {
+        self.matmul_prepacked_into_isa(packed, out, dispatch::active_isa());
+    }
+
+    /// `matmul_prepacked_into` with the kernel ISA pinned (bench/test
+    /// hook; see [`Matrix::matmul_into_isa`]).
+    pub fn matmul_prepacked_into_isa(
+        &self,
+        packed: &gemm::PackedB,
+        out: &mut Matrix,
+        isa: Isa,
+    ) {
+        let (kb, n) = packed.shape();
+        assert_eq!(
+            self.cols(),
+            kb,
+            "matmul_prepacked: inner dimensions differ ({}x{} * {}x{})",
+            self.rows(), self.cols(), kb, n
+        );
+        let (m, k) = self.shape();
+        assert_eq!(out.shape(), (m, n), "matmul_prepacked_into: bad output shape");
+        out.data_mut().fill(0.0);
+        if gemm::use_blocked(m, k, n) {
+            let sel = gemm::micro_kernel_for(isa);
+            dispatch::note_dispatch(sel.isa);
+            gemm::gemm_prepacked_into(
+                View::normal(self.data(), k),
+                packed,
+                m,
+                out.data_mut(),
+                sel,
+            );
+        } else {
+            dispatch::note_dispatch(Isa::Scalar);
+            for r in 0..m {
+                let a_row = self.row(r);
+                let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    let b_row = &packed.raw[kk * n..kk * n + n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+    }
+
     /// Computes `self * other^T` without materializing the transpose.
     pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows(), other.rows());

@@ -156,6 +156,29 @@ proptest! {
     }
 
     #[test]
+    fn prepacked_matmul_is_bitwise_equal((a, b) in blocked_threshold_pair()) {
+        // Shapes straddle both dispatch gates, so the prepacked path
+        // must agree bit-for-bit on the streaming loop, the packed
+        // kernel, and the boundary between them.
+        let packed = b.prepack_b();
+        let mut plain = Matrix::zeros(a.rows(), b.cols());
+        let mut pre = Matrix::zeros(a.rows(), b.cols());
+        a.matmul_into(&b, &mut plain);
+        a.matmul_prepacked_into(&packed, &mut pre);
+        prop_assert_eq!(plain, pre);
+    }
+
+    #[test]
+    fn prepacked_matmul_is_bitwise_equal_on_ragged_shapes((a, b) in ragged_simd_pair()) {
+        let packed = b.prepack_b();
+        let mut plain = Matrix::zeros(a.rows(), b.cols());
+        let mut pre = Matrix::zeros(a.rows(), b.cols());
+        a.matmul_into(&b, &mut plain);
+        a.matmul_prepacked_into(&packed, &mut pre);
+        prop_assert_eq!(plain, pre);
+    }
+
+    #[test]
     fn matmul_transb_consistent((a, b) in matmul_pair()) {
         let bt = b.transpose();
         assert_close(&a.matmul_transb(&bt), &a.matmul(&b), 1e-4);
@@ -329,4 +352,23 @@ proptest! {
         m.layernorm_rows_into(1e-5, &mut l);
         prop_assert!(l.data().iter().all(|&x| x == 0.0));
     }
+}
+
+#[test]
+fn prepacked_matmul_crosses_slab_boundaries_bitwise() {
+    // k and n both exceed KC/NC = 256, so the prepacked B spans a
+    // 2x2 grid of slabs — the slab indexing must reproduce the
+    // jc-outer / pc-inner traversal exactly.
+    let mut rng = occu_tensor::SeededRng::new(0xB10C);
+    let (m, k, n) = (37, 300, 300);
+    let a = Matrix::from_fn(m, k, |_, _| rng.uniform(-0.5, 0.5));
+    let b = Matrix::from_fn(k, n, |_, _| rng.uniform(-0.5, 0.5));
+    let packed = b.prepack_b();
+    assert_eq!(packed.shape(), (k, n));
+    assert!(packed.bytes() > k * n * 4);
+    let mut plain = Matrix::zeros(m, n);
+    let mut pre = Matrix::zeros(m, n);
+    a.matmul_into(&b, &mut plain);
+    a.matmul_prepacked_into(&packed, &mut pre);
+    assert_eq!(plain, pre);
 }
