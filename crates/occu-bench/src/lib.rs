@@ -11,18 +11,25 @@
 //! formatting shared by the binary and the benches.
 
 pub mod apps;
+pub mod fleetgen;
 pub mod kernels;
 pub mod loadgen;
 pub mod perf;
 pub mod planperf;
 pub mod report;
+pub mod zipf;
 
 pub use apps::{build_job_pool, fig7_study, table6, Table6Row};
+pub use fleetgen::{
+    render_fleet, run_fleetgen, FleetPerfReport, FleetRung, FleetgenConfig, TenantTally,
+    ThrottleSummary,
+};
 pub use kernels::{kernel_study, render_kernels, KernelPerfReport, KernelShapeRow};
 pub use loadgen::{
     render_loadgen, run_loadgen, LoadgenConfig, ServeReport, SlowTrace, StageDur,
     StagePercentiles,
 };
+pub use zipf::ZipfSampler;
 pub use planperf::{plan_study, render_plan, PlanModelRow, PlanPerfReport, PLAN_SPEEDUP_GATE};
 pub use perf::{
     obs_overhead_study, perf_study, render_obs_overhead, render_perf, serve_overhead_study,

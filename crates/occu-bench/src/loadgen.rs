@@ -179,14 +179,15 @@ pub struct StageDur {
     pub us: f64,
 }
 
-/// One keep-alive HTTP/1.1 client connection.
-struct Conn {
+/// One keep-alive HTTP/1.1 client connection (shared with the fleet
+/// load generator in [`crate::fleetgen`]).
+pub(crate) struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl Conn {
-    fn open(addr: &str) -> std::io::Result<Conn> {
+    pub(crate) fn open(addr: &str) -> std::io::Result<Conn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
@@ -197,7 +198,19 @@ impl Conn {
     }
 
     /// One POST round-trip; returns (status, body).
-    fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    pub(crate) fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        let (status, _, body) = self.post_full(path, body)?;
+        Ok((status, body))
+    }
+
+    /// One POST round-trip that also surfaces the `Retry-After`
+    /// header (seconds) when the server sent one — the fleet loadgen
+    /// asserts throttled tenants receive it.
+    pub(crate) fn post_full(
+        &mut self,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Option<u64>, String)> {
         write!(
             self.writer,
             "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
@@ -208,13 +221,14 @@ impl Conn {
     }
 
     /// One GET round-trip; returns (status, body).
-    fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+    pub(crate) fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
         write!(self.writer, "GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n")?;
         self.writer.flush()?;
-        self.read_response()
+        let (status, _, body) = self.read_response()?;
+        Ok((status, body))
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    fn read_response(&mut self) -> std::io::Result<(u16, Option<u64>, String)> {
         let mut line = String::new();
         self.reader.read_line(&mut line)?;
         let status: u16 = line
@@ -225,6 +239,7 @@ impl Conn {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
             })?;
         let mut content_length = 0usize;
+        let mut retry_after = None;
         loop {
             let mut header = String::new();
             self.reader.read_line(&mut header)?;
@@ -232,18 +247,25 @@ impl Conn {
             if trimmed.is_empty() {
                 break;
             }
-            if let Some(v) = trimmed
-                .to_ascii_lowercase()
+            let lower = trimmed.to_ascii_lowercase();
+            if let Some(v) = lower
                 .strip_prefix("content-length:")
                 .map(str::trim)
                 .and_then(|v| v.parse().ok())
             {
                 content_length = v;
             }
+            if let Some(v) = lower
+                .strip_prefix("retry-after:")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok())
+            {
+                retry_after = Some(v);
+            }
         }
         let mut body = vec![0u8; content_length];
         std::io::Read::read_exact(&mut self.reader, &mut body)?;
-        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+        Ok((status, retry_after, String::from_utf8_lossy(&body).into_owned()))
     }
 }
 

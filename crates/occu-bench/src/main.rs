@@ -363,6 +363,109 @@ fn run_loadgen(quick: bool, args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `repro fleet` — the multi-tenant smoke gate: >=2 resident models
+/// under Zipfian traffic through a concurrency ladder with one
+/// rolling per-model reload per rung, a post-reload bitwise
+/// stale-plan check, and a throttle phase proving per-tenant
+/// admission isolation (429 + Retry-After on the limited tenant
+/// only). The full run additionally gates top-rung aggregate
+/// throughput within 10% of the single-model loadgen baseline.
+fn run_fleet(quick: bool, args: &[String]) -> Result<(), CliError> {
+    let out = flag_value(args, "--out")?.unwrap_or("reports/fleet_perf.json");
+    occu_bench::validate_out_path(out)?;
+    let mut cfg = occu_bench::FleetgenConfig {
+        baseline_rps: SERVE_BASELINE_RPS,
+        ..occu_bench::FleetgenConfig::default()
+    };
+    if quick {
+        cfg.base_requests = 250;
+        cfg.rungs = vec![2, 4];
+        cfg.throttle_requests = 200;
+    }
+    if let Some(n) = flag_value(args, "--requests")? {
+        cfg.base_requests = n
+            .parse()
+            .map_err(|_| format!("--requests: '{n}' is not an integer"))?;
+    }
+    if let Some(list) = flag_value(args, "--rungs")? {
+        cfg.rungs = list
+            .split(',')
+            .map(|r| {
+                r.trim()
+                    .parse()
+                    .map_err(|_| format!("--rungs: '{r}' is not an integer"))
+            })
+            .collect::<Result<_, String>>()?;
+    }
+    if let Some(s) = flag_value(args, "--zipf")? {
+        cfg.zipf_exponent = s
+            .parse()
+            .map_err(|_| format!("--zipf: '{s}' is not a number"))?;
+    }
+    let rep = occu_bench::run_fleetgen(&cfg)?;
+    print!("{}", occu_bench::render_fleet(&rep));
+    let json = serde_json::to_string_pretty(&rep).expect("fleet report serializes");
+    write_report(out, &json)?;
+    let mut failures: Vec<String> = Vec::new();
+    for r in &rep.rungs {
+        if r.errors > 0 || r.dropped > 0 || r.throttled > 0 {
+            failures.push(format!(
+                "rung c={}: {} errors, {} dropped, {} throttled (ladder tenants are unlimited)",
+                r.concurrency, r.errors, r.dropped, r.throttled
+            ));
+        }
+        if !r.reload_ok {
+            failures.push(format!("rung c={}: reload of '{}' failed", r.concurrency, r.reload_tenant));
+        }
+        if !r.stale_check_ok {
+            failures.push(format!(
+                "rung c={}: '{}' served predictions not matching the reloaded weights",
+                r.concurrency, r.reload_tenant
+            ));
+        }
+    }
+    if rep.stale_serves > 0 {
+        failures.push(format!("{} stale serves after reloads", rep.stale_serves));
+    }
+    if rep.throttle.limited_throttled == 0 {
+        failures.push(format!(
+            "limited tenant '{}' was never throttled",
+            rep.throttle.limited_tenant
+        ));
+    }
+    if !rep.throttle.retry_after_present {
+        failures.push("a 429 response was missing its Retry-After header".to_string());
+    }
+    if rep.throttle.unlimited_throttled > 0 {
+        failures.push(format!(
+            "unlimited tenant '{}' collected {} x 429 — admission is not isolated",
+            rep.throttle.unlimited_tenant, rep.throttle.unlimited_throttled
+        ));
+    }
+    if !rep.statusz_models_ok {
+        failures.push("/debug/statusz does not list every resident model".to_string());
+    }
+    // Quick ladders are too short to gate throughput; the full run
+    // must hold within 10% of the single-model baseline at the
+    // shared concurrency-8 rung.
+    if !quick
+        && rep.rungs.last().is_some_and(|r| r.concurrency == 8)
+        && rep.aggregate_rps < SERVE_BASELINE_RPS * 0.90
+    {
+        failures.push(format!(
+            "aggregate {:.0} pred/s fell >10% below the {:.0} single-model baseline",
+            rep.aggregate_rps, SERVE_BASELINE_RPS
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            occu_obs::error!("fleet: {f}");
+        }
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 /// `repro plan` — the compiled-plan gate: bitwise plan-vs-interpreter
 /// exactness on every zoo model plus a direct model-level throughput
 /// comparison. Quick runs still enforce exactness but treat the
@@ -493,9 +596,10 @@ fn finish_obs(trace: Option<String>, metrics: Option<String>) -> Result<(), Occu
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|kernels|plan|obs-overhead|loadgen|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
+    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|kernels|plan|obs-overhead|loadgen|fleet|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
     eprintln!("observability: --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     eprintln!("loadgen: --url <host:port> --requests <n> --concurrency <n> --telemetry on|off --plan on|off --out reports/serve_perf.json");
+    eprintln!("fleet: --requests <per-conn> --rungs 2,4,8 --zipf <s> --out reports/fleet_perf.json  (multi-tenant ladder + reload + throttle gate)");
     eprintln!("plan: --out reports/plan_perf.json  (bitwise plan-vs-interpreter gate + throughput gate)");
     std::process::exit(2);
 }
@@ -520,6 +624,7 @@ fn try_main(cmd: &str, quick: bool, args: &[String]) -> Result<(), CliError> {
         "plan" => run_plan(quick, args)?,
         "obs-overhead" => run_obs_overhead(quick, args)?,
         "loadgen" => run_loadgen(quick, args)?,
+        "fleet" => run_fleet(quick, args)?,
         "all" => {
             run_fig2();
             run_fig6();
@@ -565,6 +670,8 @@ fn main() {
             || a == "--concurrency"
             || a == "--telemetry"
             || a == "--plan"
+            || a == "--rungs"
+            || a == "--zipf"
             || a == "--trace-out"
             || a == "--metrics-out"
             || a == "--log-level"

@@ -1,0 +1,163 @@
+//! Seedable Zipfian key sampler for the multi-tenant load generator.
+//!
+//! Serving traffic against a model fleet is never uniform: a handful
+//! of (tenant, spec) keys dominate while a long tail keeps the caches
+//! honest. The fleet loadgen draws its keys from this sampler so the
+//! skew is controlled by one exponent and every run is reproducible
+//! from its seed.
+//!
+//! Implementation: the rank weights `1/k^s` are precomputed into a
+//! normalized CDF at construction; each draw is one xorshift64*
+//! step plus a binary search — no per-sample `pow`, no external RNG
+//! dependency.
+
+/// A deterministic sampler over ranks `0..n` where rank `k` is drawn
+/// with probability proportional to `1 / (k + 1)^exponent`.
+///
+/// `exponent = 0` degenerates to the uniform distribution;
+/// `exponent = 1` is the classic Zipf law where rank 0 receives a
+/// `1 / H_n` share of the traffic.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    /// Cumulative rank probabilities, last entry forced to 1.0.
+    cdf: Vec<f64>,
+    /// xorshift64* state; never zero.
+    state: u64,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks (clamped to at least 1) with
+    /// the given skew exponent (clamped to be finite and `>= 0`).
+    pub fn new(n: usize, exponent: f64, seed: u64) -> Self {
+        let n = n.max(1);
+        let s = if exponent.is_finite() { exponent.max(0.0) } else { 1.0 };
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard the binary search against floating-point shortfall.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf, state: seed | 1 }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has a single rank (always drawn).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// One uniform draw in `[0, 1)` (xorshift64*).
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // Top 53 bits give a uniform double in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Draws the next rank.
+    pub fn sample(&mut self) -> usize {
+        let u = self.next_f64();
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass assigned to `rank` (0 outside the range).
+    pub fn mass(&self, rank: usize) -> f64 {
+        match rank {
+            0 => self.cdf.first().copied().unwrap_or(0.0),
+            r if r < self.cdf.len() => self.cdf[r] - self.cdf[r - 1],
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(n: usize, exponent: f64, seed: u64, draws: usize) -> Vec<f64> {
+        let mut z = ZipfSampler::new(n, exponent, seed);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[z.sample()] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn empirical_skew_matches_the_exponent() {
+        // s = 1 over 8 ranks: rank 0 carries 1/H_8 ~ 36.8% of the
+        // mass, rank 7 carries (1/8)/H_8 ~ 4.6%.
+        let freq = empirical(8, 1.0, 42, 200_000);
+        let h8: f64 = (1..=8).map(|k| 1.0 / k as f64).sum();
+        for (rank, f) in freq.iter().enumerate() {
+            let expected = 1.0 / ((rank + 1) as f64 * h8);
+            assert!(
+                (f - expected).abs() < 0.01,
+                "rank {rank}: empirical {f:.4} vs analytic {expected:.4}"
+            );
+        }
+        // Heavier exponent concentrates more mass on the head.
+        let heavy = empirical(8, 2.0, 42, 200_000);
+        assert!(heavy[0] > freq[0] + 0.1, "s=2 head {} vs s=1 head {}", heavy[0], freq[0]);
+        // Frequencies are non-increasing in rank for any s > 0.
+        for w in heavy.windows(2) {
+            assert!(w[0] >= w[1] - 0.005, "mass must decay with rank: {w:?}");
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let freq = empirical(10, 0.0, 7, 100_000);
+        for (rank, f) in freq.iter().enumerate() {
+            assert!((f - 0.1).abs() < 0.01, "rank {rank}: {f:.4} should be ~0.1");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let mut a = ZipfSampler::new(16, 1.1, 99);
+        let mut b = ZipfSampler::new(16, 1.1, 99);
+        let mut c = ZipfSampler::new(16, 1.1, 100);
+        let sa: Vec<usize> = (0..64).map(|_| a.sample()).collect();
+        let sb: Vec<usize> = (0..64).map(|_| b.sample()).collect();
+        let sc: Vec<usize> = (0..64).map(|_| c.sample()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn mass_sums_to_one_and_matches_cdf() {
+        let z = ZipfSampler::new(12, 1.3, 5);
+        let total: f64 = (0..z.len()).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.mass(12), 0.0);
+        assert!(z.mass(0) > z.mass(11));
+    }
+
+    #[test]
+    fn degenerate_sizes_are_clamped() {
+        let mut z = ZipfSampler::new(0, 1.0, 1);
+        assert_eq!(z.len(), 1);
+        assert_eq!(z.sample(), 0);
+        // A non-finite exponent falls back to s = 1 instead of NaN.
+        let mut weird = ZipfSampler::new(4, f64::NAN, 1);
+        for _ in 0..100 {
+            assert!(weird.sample() < 4);
+        }
+    }
+}

@@ -3,12 +3,14 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: subcommand + flags.
+/// Parsed command line: subcommand + flags. A flag may repeat
+/// (`--model a=x.json --model b=y.json`); single-value accessors read
+/// the last occurrence, [`Args::get_all`] returns every one in order.
 #[derive(Clone, Debug, Default)]
 pub struct Args {
     /// First positional argument.
     pub command: Option<String>,
-    flags: BTreeMap<String, String>,
+    flags: BTreeMap<String, Vec<String>>,
     switches: Vec<String>,
 }
 
@@ -28,7 +30,7 @@ impl Args {
                     let value = it
                         .next()
                         .ok_or_else(|| format!("flag --{name} expects a value"))?;
-                    out.flags.insert(name.to_string(), value);
+                    out.flags.entry(name.to_string()).or_default().push(value);
                 }
             } else if out.command.is_none() {
                 out.command = Some(a);
@@ -41,25 +43,28 @@ impl Args {
 
     /// String flag with a default.
     pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
-        self.flags.get(key).map(String::as_str).unwrap_or(default)
+        self.get(key).unwrap_or(default)
     }
 
-    /// Optional string flag.
+    /// Optional string flag (last occurrence wins when repeated).
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.flags.get(key).map(String::as_str)
+        self.flags.get(key).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable flag, in command-line order.
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.flags.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Required string flag.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.flags
-            .get(key)
-            .map(String::as_str)
+        self.get(key)
             .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     /// Numeric flag with a default.
     pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
-        match self.flags.get(key) {
+        match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not an integer")),
         }
@@ -69,7 +74,7 @@ impl Args {
     /// numbers at all; range checks (NaN, out-of-bounds) belong to
     /// the consumer, which reports them as `Config` errors.
     pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
-        match self.flags.get(key) {
+        match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not a number")),
         }
@@ -127,6 +132,15 @@ mod tests {
         // NaN parses here; the pipeline rejects it as a Config error.
         let nan = parse("train --test-fraction NaN").unwrap();
         assert!(nan.f64_or("test-fraction", 0.2).unwrap().is_nan());
+    }
+
+    #[test]
+    fn repeated_flags_accumulate_and_last_wins() {
+        let a = parse("serve --model a=x.json --model b=y.json --rate b=50").unwrap();
+        assert_eq!(a.get_all("model"), ["a=x.json".to_string(), "b=y.json".to_string()]);
+        assert_eq!(a.get("model"), Some("b=y.json"));
+        assert_eq!(a.get_all("rate"), ["b=50".to_string()]);
+        assert!(a.get_all("weight").is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! occu predict  --weights model.json --model ResNet-50 --batch 32 --device a100 [--plan]
 //! occu schedule --jobs 24 --gpus 4 [--weights model.json] [--trace jobs.csv] [--seed 1]
 //! occu serve    --weights model.json --port 7071 --threads 4 [--no-plan]   # batched, cached HTTP server
+//! occu serve    --model a=x.json --model b=y.json --rate b=200 --weight b=3 --shards 4   # multi-model fleet
 //! ```
 //!
 //! `--device` accepts a built-in name (`a100`) or a path to a device
@@ -99,7 +100,8 @@ fn die_usage(msg: &str) -> ! {
     eprintln!("  occu train    [--out model.json] [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0] [--test-fraction 0.2]");
     eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100] [--plan]");
     eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--trace jobs.csv] [--save-trace jobs.csv] [--seed 1]");
-    eprintln!("  occu serve    --weights model.json [--addr 127.0.0.1] [--port 7071] [--threads 4] [--queue 128] [--batch-window-us 1000] [--max-batch 32] [--cache 4096] [--slo-us 5000] [--recorder 256] [--no-plan]");
+    eprintln!("  occu serve    --weights model.json [--addr 127.0.0.1] [--port 7071] [--threads 4] [--queue 128] [--batch-window-us 1000] [--max-batch 32] [--cache 4096] [--l2-cache 8192] [--shards 2] [--slo-us 5000] [--recorder 256] [--no-plan]");
+    eprintln!("  occu serve    --model a=x.json --model b=y.json [--weight b=3] [--rate b=200] ...   # multi-model fleet (repeatable)");
     eprintln!("--device takes a built-in name or a device-spec JSON path");
     eprintln!("observability (any command): --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     std::process::exit(2);
@@ -381,10 +383,84 @@ fn cmd_predict(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `occu serve` — runs the batched, cached prediction server until
-/// SIGTERM/SIGINT, then drains in-flight work and reports counters.
+/// Splits one `name=value` occurrence of a repeatable flag.
+fn name_value<'a>(flag: &str, spec: &'a str) -> Result<(&'a str, &'a str), CliError> {
+    spec.split_once('=')
+        .filter(|(name, value)| !name.is_empty() && !value.is_empty())
+        .ok_or_else(|| CliError::Usage(format!("--{flag} expects name=value, got '{spec}'")))
+}
+
+/// Builds the model fleet from the command line: either the classic
+/// single `--weights model.json` (served as tenant `default`) or one
+/// or more `--model name=path` entries, with optional per-tenant
+/// `--weight name=N` fair-share weights and `--rate name=RPS` token
+/// buckets. The first `--model` is the default tenant for requests
+/// that do not name one.
+fn build_fleet(args: &Args) -> Result<std::sync::Arc<occu_serve::FleetRegistry>, CliError> {
+    let model_flags = args.get_all("model");
+    if model_flags.is_empty() {
+        let weights = args.require("weights")?;
+        if !args.get_all("rate").is_empty() || !args.get_all("weight").is_empty() {
+            return Err(CliError::Usage(
+                "--rate/--weight need named tenants; use --model name=path".to_string(),
+            ));
+        }
+        let registry = std::sync::Arc::new(occu_serve::ModelRegistry::load(weights)?);
+        return Ok(occu_serve::FleetRegistry::single(registry));
+    }
+    if args.get("weights").is_some() {
+        return Err(CliError::Usage(
+            "give either --weights (single model) or --model name=path (fleet), not both"
+                .to_string(),
+        ));
+    }
+    let mut rates = std::collections::BTreeMap::new();
+    for spec in args.get_all("rate") {
+        let (name, value) = name_value("rate", spec)?;
+        let rps: f64 = value
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--rate {name}: '{value}' is not a number")))?;
+        rates.insert(name.to_string(), rps);
+    }
+    let mut weights_by_name = std::collections::BTreeMap::new();
+    for spec in args.get_all("weight") {
+        let (name, value) = name_value("weight", spec)?;
+        let w: u32 = value
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--weight {name}: '{value}' is not an integer")))?;
+        weights_by_name.insert(name.to_string(), w);
+    }
+    let mut builder = occu_serve::FleetRegistry::builder();
+    let mut names = Vec::with_capacity(model_flags.len());
+    for spec in model_flags {
+        let (name, path) = name_value("model", spec)?;
+        let registry = std::sync::Arc::new(occu_serve::ModelRegistry::load(path)?);
+        builder = builder.model(
+            name,
+            registry,
+            weights_by_name.get(name).copied().unwrap_or(1),
+            rates.get(name).copied(),
+        );
+        names.push(name.to_string());
+    }
+    // A --rate/--weight naming a tenant that was never registered is
+    // a silent no-op otherwise; fail loudly.
+    for name in rates.keys().chain(weights_by_name.keys()) {
+        if !names.iter().any(|n| n == name) {
+            return Err(CliError::Usage(format!(
+                "--rate/--weight references unknown model '{name}' (registered: {})",
+                names.join(", ")
+            )));
+        }
+    }
+    Ok(builder.build()?)
+}
+
+/// `occu serve` — runs the sharded, batched, cached multi-model
+/// prediction server until SIGTERM/SIGINT, then drains in-flight work
+/// and reports counters.
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
-    let weights = args.require("weights")?;
+    let defaults = occu_serve::ServeConfig::default();
     let cfg = occu_serve::ServeConfig {
         addr: format!(
             "{}:{}",
@@ -396,20 +472,27 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         batch_window_us: args.usize_or("batch-window-us", 1000)? as u64,
         max_batch: args.usize_or("max-batch", 32)?,
         cache_cap: args.usize_or("cache", 4096)?,
-        slo_us: args.f64_or("slo-us", occu_serve::ServeConfig::default().slo_us)?,
-        recorder_cap: args.usize_or("recorder", occu_serve::ServeConfig::default().recorder_cap)?,
+        l2_cache_cap: args.usize_or("l2-cache", defaults.l2_cache_cap)?,
+        shards: args.usize_or("shards", defaults.shards)?,
+        slo_us: args.f64_or("slo-us", defaults.slo_us)?,
+        recorder_cap: args.usize_or("recorder", defaults.recorder_cap)?,
         // Compiled plans are the default; `--no-plan` falls back to
         // the tape interpreter for every batch.
         plan: !args.has("no-plan"),
-        ..occu_serve::ServeConfig::default()
+        ..defaults
     };
-    let registry = std::sync::Arc::new(occu_serve::ModelRegistry::load(weights)?);
+    let fleet = build_fleet(args)?;
+    let resident: Vec<String> = fleet
+        .slots()
+        .iter()
+        .map(|s| format!("{}={}", s.name, s.registry.current().path.display()))
+        .collect();
     occu_serve::signal::install();
-    let server = occu_serve::Server::start(cfg, registry)?;
+    let server = occu_serve::Server::start_fleet(cfg, fleet)?;
     occu_obs::info!(
         "serving predictions on http://{} ({}); POST /predict, /predict_batch, /reload; GET /healthz, /metrics, /debug/{{statusz,tracez,varz}}",
         server.local_addr(),
-        weights
+        resident.join(", ")
     );
     while !occu_serve::signal::shutdown_requested() {
         std::thread::sleep(std::time::Duration::from_millis(200));
@@ -417,10 +500,11 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     occu_obs::info!("shutdown requested; draining in-flight requests...");
     let stats = server.shutdown();
     occu_obs::info!(
-        "drained: {} requests ({} errors, {} rejected, {} reloads), cache {:.1}% hit rate",
+        "drained: {} requests ({} errors, {} rejected, {} throttled, {} reloads), cache {:.1}% hit rate",
         stats.requests,
         stats.errors,
         stats.rejected,
+        stats.throttled,
         stats.reloads,
         stats.cache.hit_rate() * 100.0
     );

@@ -1,0 +1,144 @@
+//! Token-bucket admission control for per-tenant rate limits.
+//!
+//! The bucket refills lazily: each acquisition attempt first credits
+//! `elapsed × rate` tokens (capped at `burst`), then tries to spend
+//! one. No background thread, no timer wheel — cost is one short
+//! mutex hold per admitted request, and tenants without a limit carry
+//! `None` instead of a bucket, making "unlimited" literally free.
+//!
+//! A failed acquisition reports how long until a token will be
+//! available, which the server surfaces as a `Retry-After` header on
+//! the 429 so well-behaved clients back off by exactly the right
+//! amount instead of hammering.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct BucketState {
+    tokens: f64,
+    last: Instant,
+}
+
+/// A lazily-refilled token bucket: `rate` tokens/second, holding at
+/// most `burst` tokens.
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    state: Mutex<BucketState>,
+}
+
+impl TokenBucket {
+    /// A bucket admitting `rate` requests/second with `burst`
+    /// immediately spendable. Both are clamped to small positive
+    /// floors so a misconfigured zero cannot divide-by-zero or
+    /// deadlock admission forever.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        let rate = if rate.is_finite() && rate > 0.0 { rate } else { 1e-6 };
+        let burst = if burst.is_finite() && burst >= 1.0 { burst } else { 1.0 };
+        Self {
+            rate,
+            burst,
+            state: Mutex::new(BucketState { tokens: burst, last: Instant::now() }),
+        }
+    }
+
+    /// A bucket with `burst == rate` (one second of headroom), the
+    /// CLI default for `--rate name=rps`.
+    pub fn per_second(rate: f64) -> Self {
+        Self::new(rate, rate.ceil().max(1.0))
+    }
+
+    /// Configured tokens/second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Tries to spend one token. `Err(secs)` is the time until the
+    /// next token accrues — the `Retry-After` value.
+    pub fn try_acquire(&self) -> std::result::Result<(), f64> {
+        self.try_acquire_at(Instant::now())
+    }
+
+    /// Deterministic core of [`TokenBucket::try_acquire`], taking the
+    /// clock reading as an argument so tests can replay exact
+    /// timelines. `now` readings earlier than the last observed one
+    /// refill nothing (the bucket never runs backwards).
+    pub fn try_acquire_at(&self, now: Instant) -> std::result::Result<(), f64> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let elapsed = now.saturating_duration_since(st.last).as_secs_f64();
+        st.tokens = (st.tokens + elapsed * self.rate).min(self.burst);
+        st.last = now;
+        if st.tokens >= 1.0 {
+            st.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err((1.0 - st.tokens) / self.rate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_admits_then_throttles_with_accurate_retry_after() {
+        let bucket = TokenBucket::new(10.0, 3.0);
+        let t0 = Instant::now();
+        for i in 0..3 {
+            assert!(bucket.try_acquire_at(t0).is_ok(), "burst token {i} must admit");
+        }
+        let retry = match bucket.try_acquire_at(t0) {
+            Err(r) => r,
+            Ok(()) => panic!("bucket must be empty after the burst"),
+        };
+        // Exactly one token is owed at 10/s: 0.1 s away.
+        assert!((retry - 0.1).abs() < 1e-9, "retry_after {retry} != 0.1");
+    }
+
+    #[test]
+    fn refill_restores_admission_at_the_configured_rate() {
+        let bucket = TokenBucket::new(10.0, 1.0);
+        let t0 = Instant::now();
+        assert!(bucket.try_acquire_at(t0).is_ok());
+        assert!(bucket.try_acquire_at(t0).is_err(), "no tokens immediately after spend");
+        // 0.05 s refills half a token: still throttled, retry halves.
+        let half = t0 + Duration::from_millis(50);
+        let retry = bucket.try_acquire_at(half).expect_err("half a token cannot admit");
+        assert!((retry - 0.05).abs() < 1e-9);
+        // A full 0.1 s from the spend admits again.
+        assert!(bucket.try_acquire_at(t0 + Duration::from_millis(100)).is_ok());
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let bucket = TokenBucket::new(100.0, 2.0);
+        let t0 = Instant::now();
+        // An hour idle still only banks `burst` tokens.
+        let later = t0 + Duration::from_secs(3600);
+        assert!(bucket.try_acquire_at(later).is_ok());
+        assert!(bucket.try_acquire_at(later).is_ok());
+        assert!(bucket.try_acquire_at(later).is_err(), "burst cap must bound banked tokens");
+    }
+
+    #[test]
+    fn clock_going_backwards_refills_nothing() {
+        let bucket = TokenBucket::new(10.0, 1.0);
+        let t0 = Instant::now() + Duration::from_secs(10);
+        assert!(bucket.try_acquire_at(t0).is_ok());
+        // An earlier reading must not mint tokens or panic.
+        assert!(bucket.try_acquire_at(t0 - Duration::from_secs(5)).is_err());
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let bucket = TokenBucket::new(0.0, 0.0);
+        assert!(bucket.rate() > 0.0);
+        assert!(bucket.try_acquire().is_ok(), "clamped burst of 1 admits once");
+        assert!(bucket.try_acquire().is_err());
+    }
+}

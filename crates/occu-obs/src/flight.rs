@@ -39,6 +39,10 @@ pub struct RequestTrace {
     pub status: u16,
     /// Endpoint path (e.g. `/predict`).
     pub path: String,
+    /// Tenant (fleet model name) the request resolved to, when the
+    /// serving tier is multi-tenant. `None` for requests that never
+    /// reached tenant resolution (framing errors, debug endpoints).
+    pub tenant: Option<String>,
     /// `(stage, duration_us)` breakdown in pipeline order. Stages the
     /// request skipped (e.g. `predict` on a cache hit) carry 0.0.
     pub stages: Vec<(&'static str, f64)>,
@@ -56,6 +60,10 @@ impl RequestTrace {
             self.id, self.start_us, self.total_us, self.status
         );
         push_json_str(&mut out, &self.path);
+        if let Some(tenant) = &self.tenant {
+            out.push_str(", \"tenant\": ");
+            push_json_str(&mut out, tenant);
+        }
         out.push_str(", \"stages\": {");
         for (i, (stage, us)) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -259,6 +267,7 @@ mod tests {
             total_us,
             status,
             path: "/predict".to_string(),
+            tenant: if id.is_multiple_of(2) { Some("default".to_string()) } else { None },
             stages: vec![("parse", 1.0), ("predict", total_us - 1.0)],
             error: if status >= 400 { Some("boom".to_string()) } else { None },
         }

@@ -1,29 +1,29 @@
-//! The micro-batch collector.
+//! The per-shard micro-batch collectors.
 //!
-//! Worker threads submit one [`PredictJob`] per cache miss. A single
-//! collector thread drains the job channel, coalescing everything
-//! that arrives within a short window (or until `max_batch`) into one
-//! call to [`OccuPredictor::predict_batch`] — the same parallel
-//! inference path the offline pipeline uses — then fans the scalars
-//! back out over per-job reply channels.
+//! Worker threads submit one [`PredictJob`] per cache miss onto the
+//! owning shard's bounded [`FairQueue`] (one lane per tenant). Each
+//! shard runs one collector thread that drains its queue under the
+//! weighted round-robin policy, coalescing everything that arrives
+//! within a short window (or until `max_batch`) — then groups the
+//! batch *by tenant*, snapshots each tenant's model once, runs one
+//! `predict_batch` (or compiled-plan sweep) per group, and fans the
+//! scalars back out over per-job reply channels.
 //!
-//! The model `Arc` is snapshotted once per batch, so a hot-reload
-//! that lands mid-batch takes effect on the *next* batch; jobs
-//! already collected finish on the model they were batched under.
-//!
-//! With a [`PlanCache`] attached, each forward pass executes a
-//! compiled plan (shape-specialized instruction stream with
-//! pre-packed weights) instead of re-recording the interpreter tape.
-//! Plans are keyed on the snapshotted model version, so the
-//! mid-batch-reload guarantee holds identically: the whole batch
-//! runs on plans compiled from the model it was batched under.
+//! The per-tenant model `Arc` is snapshotted once per group, so a
+//! hot-reload that lands mid-batch takes effect on the *next* batch;
+//! jobs already collected finish on the model they were batched
+//! under. Compiled plans live in the tenant's own [`PlanCache`] and
+//! are keyed on the snapshotted version, so the mid-batch-reload
+//! guarantee holds identically: a group runs entirely on plans
+//! compiled from the model it was batched under — stale plans are
+//! unreachable by construction.
 
-use crate::plan_cache::PlanCache;
-use crate::registry::ModelRegistry;
-use occu_core::{FeaturizedGraph, OccuPredictor};
+use occu_core::OccuPredictor;
+use occu_core::FeaturizedGraph;
+use occu_fleet::{FairQueue, FleetRegistry};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -36,9 +36,12 @@ pub struct BatchConfig {
     pub window: Duration,
     /// Upper bound on jobs per batch; reached → run immediately.
     pub max_batch: usize,
+    /// Execute through the tenant's compiled-plan cache instead of
+    /// the tape interpreter.
+    pub use_plans: bool,
 }
 
-/// One cache-missed prediction waiting for the model.
+/// One cache-missed prediction waiting for its tenant's model.
 pub struct PredictJob {
     /// Featurized input, ready for the forward pass.
     pub features: FeaturizedGraph,
@@ -58,37 +61,32 @@ pub struct PredictReply {
     pub occupancy: f32,
     /// Submit → model-invocation wait (batch-window dwell), µs.
     pub dwell_us: f64,
-    /// This job's share of the batch's `predict_batch` wall time
-    /// (total divided evenly across the batch), µs.
+    /// This job's share of its group's `predict_batch` wall time
+    /// (total divided evenly across the group), µs.
     pub predict_us: f64,
 }
 
-/// Handle to the collector thread.
-pub struct Batcher {
-    tx: SyncSender<PredictJob>,
+/// Handle to one shard's collector thread.
+pub struct ShardCollector {
     handle: Option<JoinHandle<()>>,
 }
 
-/// Depth of the job channel. Submitters block (backpressure) once
-/// this many jobs are queued ahead of the collector.
-const JOB_QUEUE_DEPTH: usize = 1024;
-
-impl Batcher {
-    /// Spawns the collector thread. It runs until `shutdown` is set
-    /// *and* the queue is drained, or every sender is dropped. With
-    /// `plan_cache` set, batches execute compiled plans; without it,
-    /// they run the tape interpreter (`predict_batch`).
+impl ShardCollector {
+    /// Spawns the collector for `queue` (whose lanes index the
+    /// fleet's tenants). It runs until `shutdown` is set *and* the
+    /// queue is drained, so every job a worker managed to enqueue is
+    /// answered.
     pub fn start(
+        shard_id: u32,
         cfg: BatchConfig,
-        registry: Arc<ModelRegistry>,
+        fleet: Arc<FleetRegistry>,
+        queue: Arc<FairQueue<PredictJob>>,
         shutdown: Arc<AtomicBool>,
-        plan_cache: Option<Arc<PlanCache>>,
     ) -> Self {
-        let (tx, rx) = mpsc::sync_channel::<PredictJob>(JOB_QUEUE_DEPTH);
         let max_batch = cfg.max_batch.max(1);
         let window = cfg.window;
         let handle = thread::Builder::new()
-            .name("occu-serve-batcher".into())
+            .name(format!("occu-serve-shard-{shard_id}"))
             .spawn(move || {
                 let batches = occu_obs::counter("serve.batches");
                 let predictions = occu_obs::counter("serve.predictions");
@@ -96,15 +94,14 @@ impl Batcher {
                     occu_obs::histogram("serve.batch.size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]);
                 loop {
                     // Block for the first job of the next batch.
-                    let first = match rx.recv_timeout(Duration::from_millis(50)) {
-                        Ok(job) => job,
-                        Err(RecvTimeoutError::Timeout) => {
-                            if shutdown.load(Ordering::SeqCst) {
+                    let first = match queue.pop_timeout(Duration::from_millis(50)) {
+                        Some(job) => job,
+                        None => {
+                            if shutdown.load(Ordering::SeqCst) && queue.is_empty() {
                                 return;
                             }
                             continue;
                         }
-                        Err(RecvTimeoutError::Disconnected) => return,
                     };
                     let mut jobs = vec![first];
                     let deadline = Instant::now() + window;
@@ -113,70 +110,72 @@ impl Batcher {
                         if now >= deadline {
                             break;
                         }
-                        match rx.recv_timeout(deadline - now) {
-                            Ok(job) => jobs.push(job),
-                            Err(_) => break,
+                        match queue.pop_timeout(deadline - now) {
+                            Some(job) => jobs.push(job),
+                            None => break,
                         }
                     }
-
-                    // Snapshot the model once for the whole batch.
-                    let loaded = registry.current();
-                    let exec_start = Instant::now();
-                    let (feats, meta): (Vec<_>, Vec<_>) = jobs
-                        .into_iter()
-                        .map(|j| (j.features, (j.reply, j.submitted_at)))
-                        .unzip();
-                    let preds: Vec<f32> = match &plan_cache {
-                        // Same fan-out shape as `predict_batch`, but
-                        // each forward executes the cached compiled
-                        // plan for its graph shape (bitwise-equal to
-                        // the interpreter; see `occu-core::plan`).
-                        Some(plans) => feats
-                            .par_iter()
-                            .map(|fg| {
-                                plans
-                                    .get_or_compile(&loaded.model, loaded.version, fg)
-                                    .predict(fg)
-                            })
-                            .collect(),
-                        None => loaded.model.predict_batch(&feats),
-                    };
-                    let predict_us =
-                        exec_start.elapsed().as_secs_f64() * 1e6 / preds.len().max(1) as f64;
                     batches.inc();
-                    predictions.add(preds.len() as u64);
-                    batch_size.observe(preds.len() as f64);
-                    for ((reply, submitted_at), pred) in meta.into_iter().zip(preds) {
-                        let dwell_us = exec_start
-                            .saturating_duration_since(submitted_at)
-                            .as_secs_f64()
-                            * 1e6;
-                        let _ = reply.send(PredictReply {
-                            occupancy: pred,
-                            dwell_us,
-                            predict_us,
-                        });
+                    predictions.add(jobs.len() as u64);
+                    batch_size.observe(jobs.len() as f64);
+
+                    // Group by tenant lane; each group snapshots its
+                    // own model once and executes together.
+                    let mut groups: Vec<Vec<PredictJob>> =
+                        (0..fleet.len()).map(|_| Vec::new()).collect();
+                    for (lane, job) in jobs {
+                        groups[lane].push(job);
+                    }
+                    for (lane, group) in groups.into_iter().enumerate() {
+                        if group.is_empty() {
+                            continue;
+                        }
+                        run_group(&fleet, lane, group, cfg.use_plans);
                     }
                 }
             })
-            .expect("spawn batcher thread");
-        Self {
-            tx,
-            handle: Some(handle),
-        }
+            .expect("spawn shard collector thread");
+        Self { handle: Some(handle) }
     }
-
-    /// A sender for submitting jobs (cheap to clone per worker).
-    pub fn sender(&self) -> SyncSender<PredictJob> {
-        self.tx.clone()
-    }
-
 }
 
-impl Drop for Batcher {
+/// Executes one tenant's slice of a batch and fans replies out.
+fn run_group(fleet: &FleetRegistry, lane: usize, group: Vec<PredictJob>, use_plans: bool) {
+    let slot = &fleet.slots()[lane];
+    let loaded = slot.registry.current();
+    let exec_start = Instant::now();
+    let (feats, meta): (Vec<_>, Vec<_>) = group
+        .into_iter()
+        .map(|j| (j.features, (j.reply, j.submitted_at)))
+        .unzip();
+    let preds: Vec<f32> = if use_plans {
+        // Same fan-out shape as `predict_batch`, but each forward
+        // executes the cached compiled plan for its graph shape
+        // (bitwise-equal to the interpreter; see `occu-core::plan`).
+        feats
+            .par_iter()
+            .map(|fg| {
+                slot.plan_cache
+                    .get_or_compile(&loaded.model, loaded.version, fg)
+                    .predict(fg)
+            })
+            .collect()
+    } else {
+        loaded.model.predict_batch(&feats)
+    };
+    let predict_us = exec_start.elapsed().as_secs_f64() * 1e6 / preds.len().max(1) as f64;
+    slot.predictions.fetch_add(preds.len() as u64, Ordering::Relaxed);
+    for ((reply, submitted_at), pred) in meta.into_iter().zip(preds) {
+        let dwell_us =
+            exec_start.saturating_duration_since(submitted_at).as_secs_f64() * 1e6;
+        let _ = reply.send(PredictReply { occupancy: pred, dwell_us, predict_us });
+    }
+}
+
+impl Drop for ShardCollector {
     /// Joins the collector. Set the shutdown flag (and join the
-    /// workers holding sender clones) before dropping, or this blocks
-    /// until the collector's next idle poll observes the flag.
+    /// workers submitting jobs) before dropping, or this blocks until
+    /// the collector's next idle poll observes the flag.
     fn drop(&mut self) {
         if let Some(h) = self.handle.take() {
             let _ = h.join();

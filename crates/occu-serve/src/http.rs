@@ -198,6 +198,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -213,23 +214,53 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(writer, status, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra `name: value` headers (e.g.
+/// `Retry-After` on a 429). Names and values must already be valid
+/// header tokens — this layer does no escaping.
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
         content_type,
         body.len(),
         connection,
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
     writer.flush()
 }
 
+/// Renders a `Retry-After` header value from fractional seconds:
+/// integral seconds per the HTTP spec, rounded up so clients never
+/// retry early, floor 1.
+pub fn retry_after_value(secs: f64) -> String {
+    format!("{}", (secs.ceil().max(1.0)) as u64)
+}
+
 /// Writes the one-line error body for `err` and requests close.
+/// Throttling errors carry their `Retry-After` header.
 pub fn write_error<W: Write>(writer: &mut W, err: &ServeError) -> io::Result<()> {
-    write_response(writer, err.status, "text/plain", err.body().as_bytes(), false)
+    let extra: Vec<(&str, String)> = match err.retry_after {
+        Some(secs) => vec![("Retry-After", retry_after_value(secs))],
+        None => Vec::new(),
+    };
+    write_response_with(writer, err.status, "text/plain", &extra, err.body().as_bytes(), false)
 }
 
 #[cfg(test)]
@@ -334,6 +365,20 @@ mod tests {
         let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
         raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES as usize + 64));
         assert_eq!(expect_status(&raw), 413);
+    }
+
+    #[test]
+    fn throttled_error_carries_retry_after_header() {
+        assert_eq!(retry_after_value(0.02), "1", "sub-second waits round up to 1");
+        assert_eq!(retry_after_value(2.1), "3");
+        let mut out = Vec::new();
+        let err = ServeError::throttled("tenant over rate limit", 0.25);
+        write_error(&mut out, &err).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("error: tenant over rate limit\n"), "{text}");
     }
 
     #[test]

@@ -14,37 +14,48 @@
 //!        ┌─────────┼─────────┐
 //!     worker    worker    worker        fixed pool, keep-alive HTTP/1.1
 //!        │         │         │
-//!        ├── LRU prediction cache ──┐   key: graph fingerprint/config
-//!        │   (hit: no model call)   │         + device + model version
-//!        └────────┬─────────────────┘
-//!           batch collector            coalesces misses into
-//!                 │                    micro-batches (window/max)
-//!          predict_batch()             the parallel predict path
+//!        │   FleetRegistry: tenant      `{"tenant": ...}` selector;
+//!        │   lookup + token-bucket      over-rate -> 429 Retry-After
+//!        │   admission (occu-fleet)
+//!        │         │
+//!        │    consistent-hash ring      fingerprint -> shard (stable
+//!        │         │                    across reloads)
+//!        ├── shard L1 LRU cache ───┐    key: tenant + fingerprint/
+//!        │   miss -> shared L2 ────┤         config + device + version
+//!        └────────┬────────────────┘
+//!        per-shard fair queue           bounded; weighted round-robin
+//!                 │                     across tenants; full -> 429
+//!          shard collector              coalesces misses into
+//!                 │                     micro-batches (window/max)
+//!          predict_batch()              the parallel predict path
 //!                 │
-//!          ModelRegistry               Arc swap on POST /reload;
-//!                                      in-flight work finishes on
-//!                                      the old model
+//!          ModelRegistry (per tenant)   Arc swap on POST /reload;
+//!                                       in-flight work finishes on
+//!                                       the old model
 //! ```
 //!
 //! * [`http`] — minimal HTTP/1.1 request/response framing with hard
 //!   header/body limits; anything outside the subset is a clean 4xx.
-//! * [`cache`] — an order-tracked LRU with hit/miss/eviction counters.
-//! * [`registry`] — the hot-reloadable model slot.
-//! * [`batch`] — the micro-batch collector thread.
-//! * [`server`] — the listener, worker pool, router, and graceful
-//!   drain ([`Server::shutdown`] completes every accepted request
-//!   before returning).
+//! * [`cache`] — an order-tracked LRU with hit/miss/eviction counters
+//!   (re-exported from `occu-fleet`, which also provides the
+//!   consistent-hash ring, fair queue, and token buckets).
+//! * [`registry`] — the hot-reloadable model slot and the
+//!   multi-tenant [`FleetRegistry`] (re-exported from `occu-fleet`).
+//! * [`batch`] — the per-shard micro-batch collector threads.
+//! * [`server`] — the listener, worker pool, router, shards, and
+//!   graceful drain ([`Server::shutdown`] completes every accepted
+//!   request before returning).
 //!
 //! ## Endpoints
 //!
 //! | endpoint         | method | body                                      |
 //! |------------------|--------|-------------------------------------------|
-//! | `/predict`       | POST   | `{"model": "...", "batch": N, ...}` or `{"graph": {...}}` |
+//! | `/predict`       | POST   | `{"model": "...", "batch": N, ...}` or `{"graph": {...}}`; optional `"tenant"` selects a fleet model |
 //! | `/predict_batch` | POST   | array of the same specs                   |
 //! | `/healthz`       | GET    | —                                         |
-//! | `/metrics`       | GET    | — (Prometheus text exposition: typed families, histogram buckets, per-stage `serve_stage_us` summaries) |
-//! | `/reload`        | POST   | optional `{"path": "model.json"}`         |
-//! | `/debug/statusz` | GET    | — (uptime, model, ISA, config, counters)  |
+//! | `/metrics`       | GET    | — (Prometheus text exposition: typed families, histogram buckets, per-stage `serve_stage_us` summaries, per-tenant/per-shard families) |
+//! | `/reload`        | POST   | optional `{"path": "model.json", "model": "tenant"}` |
+//! | `/debug/statusz` | GET    | — (uptime, per-model fleet info, ISA, config, counters, shards) |
 //! | `/debug/tracez`  | GET    | — (recent + notable request traces)       |
 //! | `/debug/varz`    | GET    | — (raw `occu-obs` metrics snapshot JSON)  |
 //!
@@ -60,14 +71,17 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod batch;
-pub mod cache;
 pub mod http;
-pub mod plan_cache;
-pub mod registry;
 pub mod server;
 pub mod telemetry;
 
+// The cache, plan-cache, and registry layers moved to `occu-fleet`
+// so the fleet primitives and the server share one implementation;
+// module re-exports keep every pre-fleet path working.
+pub use occu_fleet::{cache, plan_cache, registry};
+
 pub use cache::{CacheStats, LruCache};
+pub use occu_fleet::{FairQueue, FleetBuilder, FleetRegistry, HashRing, TenantSlot, TokenBucket};
 pub use plan_cache::PlanCache;
 pub use registry::{LoadedModel, ModelRegistry};
 pub use server::{DrainStats, ServeConfig, Server};
@@ -84,6 +98,10 @@ pub struct ServeError {
     pub status: u16,
     /// One-line description (never contains a newline).
     pub message: String,
+    /// Seconds the client should wait before retrying. Set only by
+    /// [`ServeError::throttled`] (429) and rendered as a
+    /// `Retry-After` header.
+    pub retry_after: Option<f64>,
 }
 
 impl ServeError {
@@ -91,7 +109,7 @@ impl ServeError {
         let mut message = message.into();
         // The one-line contract is part of the wire format.
         message.retain(|c| c != '\n' && c != '\r');
-        Self { status, message }
+        Self { status, message, retry_after: None }
     }
 
     /// 400 — the request itself is malformed.
@@ -117,6 +135,15 @@ impl ServeError {
     /// 422 — well-formed input with impossible values.
     pub fn unprocessable(msg: impl Into<String>) -> Self {
         Self::new(422, msg)
+    }
+
+    /// 429 — per-tenant admission control rejected the request
+    /// (token bucket exhausted or the tenant's shard queue is full).
+    /// `retry_after_s` is surfaced as the `Retry-After` header.
+    pub fn throttled(msg: impl Into<String>, retry_after_s: f64) -> Self {
+        let mut e = Self::new(429, msg);
+        e.retry_after = Some(if retry_after_s.is_finite() { retry_after_s.max(0.0) } else { 1.0 });
+        e
     }
 
     /// 500 — the server failed, not the request.

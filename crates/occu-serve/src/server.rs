@@ -1,4 +1,5 @@
-//! The server proper: listener, worker pool, router, graceful drain.
+//! The server proper: listener, worker pool, router, shards, and
+//! graceful drain.
 //!
 //! Threading model:
 //!
@@ -7,23 +8,35 @@
 //!   of growing memory (backpressure by construction);
 //! * `workers` threads each pulling connections off the queue and
 //!   speaking keep-alive HTTP/1.1;
-//! * one batch-collector thread (see [`crate::batch`]).
+//! * `shards` collector threads (see [`crate::batch`]), each draining
+//!   its own weighted-fair miss queue.
+//!
+//! Request routing: the worker resolves the spec's tenant against the
+//! [`FleetRegistry`] (token-bucket admission, over-rate → `429` with
+//! `Retry-After`), builds the tenant-scoped cache key, and routes it
+//! over a consistent-hash [`HashRing`] to one shard. The route hash
+//! deliberately excludes the model *version*, so a tenant's keys keep
+//! their shard across hot-reloads and the shard's L1 stays warm for
+//! everything the reload did not invalidate. Misses fall through the
+//! shard L1 to a shared L2 (hits promote back into the L1), then
+//! enqueue on the shard's fair queue for the collector.
 //!
 //! Shutdown: [`Server::shutdown`] flips the shared flag, joins the
 //! accept thread (no new connections), then joins the workers — which
 //! first drain every connection already queued, answering each with
-//! `Connection: close` — and finally the collector. Nothing accepted
-//! is ever dropped.
+//! `Connection: close` — and finally the collectors, which drain
+//! their queues before exiting. Nothing accepted is ever dropped.
 
-use crate::batch::{BatchConfig, Batcher, PredictJob, PredictReply};
+use crate::batch::{BatchConfig, PredictJob, PredictReply, ShardCollector};
 use crate::cache::{CacheStats, LruCache};
 use crate::http::{self, ReadOutcome, Request};
-use crate::plan_cache::PlanCache;
 use crate::registry::ModelRegistry;
 use crate::telemetry::{RequestCtx, Stage, Telemetry};
 use crate::ServeError;
 use occu_core::features::featurize;
 use occu_error::{IoContext, OccuError};
+use occu_fleet::ring::splitmix64;
+use occu_fleet::{FairQueue, FleetRegistry, HashRing, TenantSlot};
 use occu_gpusim::DeviceSpec;
 use occu_graph::{CompGraph, GraphFingerprint};
 use occu_models::{ModelConfig, ModelId};
@@ -50,6 +63,15 @@ const MAX_BATCH_ITEMS: usize = 256;
 /// the client a 500. Far above any sane batch latency.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Per-shard miss-queue depth. Workers that find their shard's queue
+/// full answer `429` — the shard is genuinely saturated, and the
+/// bounded queue is what keeps a flood from growing memory.
+const SHARD_QUEUE_DEPTH: usize = 1024;
+
+/// The `/metrics` Content-Type mandated by the Prometheus text
+/// exposition format.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 /// Server tuning knobs; `Default` is sized for local use.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -63,8 +85,14 @@ pub struct ServeConfig {
     pub batch_window_us: u64,
     /// Max predictions folded into one batch.
     pub max_batch: usize,
-    /// LRU prediction-cache capacity (0 disables caching).
+    /// Total L1 prediction-cache budget, split evenly across shards
+    /// (0 disables both cache tiers).
     pub cache_cap: usize,
+    /// Shared L2 prediction-cache capacity, probed on shard-L1 miss.
+    pub l2_cache_cap: usize,
+    /// In-process shard count: each shard owns one L1 cache slice,
+    /// one fair queue, and one collector thread.
+    pub shards: usize,
     /// Max accepted request-body size in bytes.
     pub max_body_bytes: usize,
     /// Latency SLO in microseconds; requests over this (or erroring)
@@ -97,6 +125,8 @@ impl Default for ServeConfig {
             batch_window_us: 1000,
             max_batch: 32,
             cache_cap: 4096,
+            l2_cache_cap: 8192,
+            shards: 2,
             max_body_bytes: 4 * 1024 * 1024,
             slo_us: 5000.0,
             recorder_cap: 256,
@@ -123,6 +153,12 @@ impl ServeConfig {
             return Err(OccuError::config(
                 "serve --max-batch",
                 format!("must be in 1..=1024, got {}", self.max_batch),
+            ));
+        }
+        if self.shards == 0 || self.shards > 64 {
+            return Err(OccuError::config(
+                "serve --shards",
+                format!("must be in 1..=64, got {}", self.shards),
             ));
         }
         if self.max_body_bytes < 1024 {
@@ -157,18 +193,27 @@ pub struct DrainStats {
     pub errors: u64,
     /// Connections bounced with 503 at the accept queue.
     pub rejected: u64,
+    /// Predictions bounced with 429 by per-tenant admission control
+    /// (token bucket exhausted or shard queue full).
+    pub throttled: u64,
     /// Successful model reloads.
     pub reloads: u64,
-    /// Prediction-cache counters.
+    /// Prediction-cache counters, aggregated over the shard L1s and
+    /// the shared L2: `hits` counts a hit in either tier, `misses`
+    /// counts full misses (L2 misses — every L1 miss probes the L2,
+    /// so an L1-miss/L2-hit is *not* a miss).
     pub cache: CacheStats,
 }
 
-/// What one prediction spec resolves to in the cache.
+/// What one prediction spec resolves to in the cache. The tenant is
+/// part of the key, so two fleet models never share predictions even
+/// for identical graphs.
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum CacheKey {
     /// Named-model request: the config tuple identifies the graph, so
     /// cache hits skip graph construction entirely.
     Named {
+        tenant: Arc<str>,
         model: String,
         batch: usize,
         channels: usize,
@@ -180,10 +225,40 @@ enum CacheKey {
     /// fingerprint (order-independent, so re-serialized or re-ordered
     /// submissions of the same graph still hit).
     Graph {
+        tenant: Arc<str>,
         fp: GraphFingerprint,
         device: String,
         version: u64,
     },
+}
+
+/// The shard-routing hash: everything identifying in the cache key
+/// **except the model version**, finished through `splitmix64`.
+/// Excluding the version keeps a key on the same shard across
+/// hot-reloads, so the shard's L1 and collector affinity survive a
+/// version bump instead of re-shuffling the whole fleet.
+fn route_hash(key: &CacheKey) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    match key {
+        CacheKey::Named { tenant, model, batch, channels, seq, device, version: _ } => {
+            0u8.hash(&mut h);
+            tenant.hash(&mut h);
+            model.hash(&mut h);
+            batch.hash(&mut h);
+            channels.hash(&mut h);
+            seq.hash(&mut h);
+            device.hash(&mut h);
+        }
+        CacheKey::Graph { tenant, fp, device, version: _ } => {
+            1u8.hash(&mut h);
+            tenant.hash(&mut h);
+            fp.hash(&mut h);
+            device.hash(&mut h);
+        }
+    }
+    splitmix64(h.finish())
 }
 
 #[derive(Clone)]
@@ -194,6 +269,7 @@ struct CachedPrediction {
 
 /// One parsed `/predict` spec.
 struct PredictSpec {
+    tenant: Option<String>,
     model: Option<String>,
     graph: Option<Value>,
     batch: Option<usize>,
@@ -207,17 +283,19 @@ struct Outcome {
     occupancy: f32,
     cached: bool,
     fingerprint: String,
+    tenant: Arc<str>,
     model: Option<String>,
     device: String,
     model_version: u64,
 }
 
-/// Spec resolution result: answered from cache, or waiting on the
-/// batch collector.
+/// Spec resolution result: answered from cache, or waiting on a
+/// shard collector.
 enum Prepared {
     Done(Outcome),
     Pending {
         key: CacheKey,
+        shard: usize,
         rx: Receiver<PredictReply>,
         outcome: Outcome, // occupancy filled in on reply
     },
@@ -235,6 +313,7 @@ struct Stats {
     requests: AtomicU64,
     errors: AtomicU64,
     rejected: AtomicU64,
+    throttled: AtomicU64,
     reloads: AtomicU64,
 }
 
@@ -244,6 +323,7 @@ struct ObsHandles {
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     rejected: Arc<Counter>,
+    throttled: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     request_us: Arc<Histogram>,
@@ -255,6 +335,7 @@ impl ObsHandles {
             requests: occu_obs::counter("serve.requests"),
             errors: occu_obs::counter("serve.errors"),
             rejected: occu_obs::counter("serve.rejected"),
+            throttled: occu_obs::counter("serve.throttled"),
             cache_hits: occu_obs::counter("serve.cache.hits"),
             cache_misses: occu_obs::counter("serve.cache.misses"),
             request_us: occu_obs::histogram(
@@ -265,12 +346,28 @@ impl ObsHandles {
     }
 }
 
+/// One shard: an L1 cache slice plus the bounded fair queue its
+/// collector drains. Shard identity comes from the consistent-hash
+/// ring, so a key always lands on the same shard.
+struct Shard {
+    queue: Arc<FairQueue<PredictJob>>,
+    l1: Mutex<LruCache<CacheKey, CachedPrediction>>,
+}
+
+impl Shard {
+    fn lock_l1(&self) -> MutexGuard<'_, LruCache<CacheKey, CachedPrediction>> {
+        // A poisoned cache lock only means a panicking thread held it;
+        // the LRU structure is updated atomically enough to reuse.
+        self.l1.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
 struct ServerState {
     cfg: ServeConfig,
-    registry: Arc<ModelRegistry>,
-    cache: Mutex<LruCache<CacheKey, CachedPrediction>>,
-    plan_cache: Option<Arc<PlanCache>>,
-    job_tx: SyncSender<PredictJob>,
+    fleet: Arc<FleetRegistry>,
+    shards: Vec<Shard>,
+    ring: HashRing,
+    l2: Mutex<LruCache<CacheKey, CachedPrediction>>,
     shutdown: Arc<AtomicBool>,
     stats: Stats,
     obs: ObsHandles,
@@ -278,10 +375,8 @@ struct ServerState {
 }
 
 impl ServerState {
-    fn lock_cache(&self) -> MutexGuard<'_, LruCache<CacheKey, CachedPrediction>> {
-        // A poisoned cache lock only means a panicking thread held it;
-        // the LRU structure is updated atomically enough to reuse.
-        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    fn lock_l2(&self) -> MutexGuard<'_, LruCache<CacheKey, CachedPrediction>> {
+        self.l2.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -293,13 +388,21 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    batcher: Option<Batcher>,
+    collectors: Vec<ShardCollector>,
     ticker: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the thread pool, and starts serving.
+    /// Binds and serves a single-model fleet — the pre-fleet entry
+    /// point, kept verbatim: the model becomes the `"default"` tenant
+    /// with no rate limit.
     pub fn start(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> occu_error::Result<Server> {
+        Self::start_fleet(cfg, FleetRegistry::single(registry))
+    }
+
+    /// Binds, spawns the thread pool and per-shard collectors, and
+    /// starts serving the whole fleet.
+    pub fn start_fleet(cfg: ServeConfig, fleet: Arc<FleetRegistry>) -> occu_error::Result<Server> {
         cfg.validate()?;
         let listener = TcpListener::bind(&cfg.addr).io_context(format!("bind {}", cfg.addr))?;
         listener
@@ -308,28 +411,43 @@ impl Server {
         let addr = listener.local_addr().io_context("listener local_addr")?;
 
         occu_obs::enable();
-        occu_obs::gauge("serve.model_version").set(registry.current().version as f64);
+        occu_obs::gauge("serve.model_version")
+            .set(fleet.default_slot().registry.current().version as f64);
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let plan_cache =
-            cfg.plan.then(|| Arc::new(PlanCache::new(crate::plan_cache::PLAN_CACHE_CAPACITY)));
-        let batcher = Batcher::start(
-            BatchConfig {
-                window: Duration::from_micros(cfg.batch_window_us),
-                max_batch: cfg.max_batch,
-            },
-            Arc::clone(&registry),
-            Arc::clone(&shutdown),
-            plan_cache.clone(),
-        );
+        let weights = fleet.weights();
+        let batch_cfg = BatchConfig {
+            window: Duration::from_micros(cfg.batch_window_us),
+            max_batch: cfg.max_batch,
+            use_plans: cfg.plan,
+        };
+        // cache_cap 0 disables caching outright, both tiers; otherwise
+        // the L1 budget is split evenly and every shard gets at least
+        // one slot.
+        let l1_cap = if cfg.cache_cap == 0 { 0 } else { (cfg.cache_cap / cfg.shards).max(1) };
+        let l2_cap = if cfg.cache_cap == 0 { 0 } else { cfg.l2_cache_cap };
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut collectors = Vec::with_capacity(cfg.shards);
+        for shard_id in 0..cfg.shards {
+            let queue = Arc::new(FairQueue::new(SHARD_QUEUE_DEPTH, &weights));
+            collectors.push(ShardCollector::start(
+                shard_id as u32,
+                batch_cfg,
+                Arc::clone(&fleet),
+                Arc::clone(&queue),
+                Arc::clone(&shutdown),
+            ));
+            shards.push(Shard { queue, l1: Mutex::new(LruCache::new(l1_cap)) });
+        }
+        let ring = HashRing::new(cfg.shards as u32);
 
         let (conn_tx, conn_rx) = mpsc::sync_channel::<QueuedConn>(cfg.queue_cap);
         let telemetry = Telemetry::new(cfg.record, cfg.trace_spans, cfg.slo_us, cfg.recorder_cap);
         let state = Arc::new(ServerState {
-            cache: Mutex::new(LruCache::new(cfg.cache_cap)),
-            plan_cache,
-            job_tx: batcher.sender(),
-            registry,
+            fleet,
+            shards,
+            ring,
+            l2: Mutex::new(LruCache::new(l2_cap)),
             shutdown,
             stats: Stats::default(),
             obs: ObsHandles::new(),
@@ -363,13 +481,18 @@ impl Server {
                 .io_context("spawn ticker thread")?
         };
 
-        occu_obs::info!("serve: listening on {addr} with {} workers", state.cfg.workers);
+        occu_obs::info!(
+            "serve: listening on {addr} with {} workers, {} models, {} shards",
+            state.cfg.workers,
+            state.fleet.len(),
+            state.cfg.shards
+        );
         Ok(Server {
             state,
             addr,
             accept: Some(accept),
             workers,
-            batcher: Some(batcher),
+            collectors,
             ticker: Some(ticker),
         })
     }
@@ -377,6 +500,11 @@ impl Server {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The fleet this server routes over.
+    pub fn fleet(&self) -> &Arc<FleetRegistry> {
+        &self.state.fleet
     }
 
     /// Flags shutdown without blocking (signal-handler path); follow
@@ -403,21 +531,36 @@ impl Server {
         if let Some(h) = self.ticker.take() {
             let _ = h.join();
         }
-        // Workers are gone, so no new jobs can arrive; the collector
-        // exits at its next idle poll.
-        self.batcher = None;
+        // Workers are gone, so no new jobs can arrive; each collector
+        // drains its queue and exits at its next idle poll.
+        self.collectors.clear();
         occu_obs::info!("serve: drained and stopped");
         snapshot_stats(&self.state)
     }
 }
 
 fn snapshot_stats(state: &ServerState) -> DrainStats {
+    let mut cache = CacheStats::default();
+    for shard in &state.shards {
+        let s = shard.lock_l1().stats();
+        cache.hits += s.hits;
+        cache.evictions += s.evictions;
+        cache.len += s.len;
+        cache.capacity += s.capacity;
+    }
+    let l2 = state.lock_l2().stats();
+    cache.hits += l2.hits;
+    cache.misses = l2.misses; // every L1 miss probes the L2
+    cache.evictions += l2.evictions;
+    cache.len += l2.len;
+    cache.capacity += l2.capacity;
     DrainStats {
         requests: state.stats.requests.load(Ordering::SeqCst),
         errors: state.stats.errors.load(Ordering::SeqCst),
         rejected: state.stats.rejected.load(Ordering::SeqCst),
+        throttled: state.stats.throttled.load(Ordering::SeqCst),
         reloads: state.stats.reloads.load(Ordering::SeqCst),
-        cache: state.lock_cache().stats(),
+        cache,
     }
 }
 
@@ -513,12 +656,12 @@ fn handle_connection(state: &ServerState, conn: QueuedConn) {
                 let keep = !req.wants_close() && !state.shutdown.load(Ordering::SeqCst);
                 // Safety net: a panic in a handler must cost one 500,
                 // not a worker thread.
-                let (status, ctype, body) =
+                let (status, ctype, body, retry_after) =
                     match catch_unwind(AssertUnwindSafe(|| route(state, &req, &mut ctx))) {
                         Ok(resp) => resp,
                         Err(_) => {
                             let err = ServeError::internal("handler panicked");
-                            (err.status, "text/plain", err.body().into_bytes())
+                            (err.status, "text/plain", err.body().into_bytes(), None)
                         }
                     };
                 let error = if status >= 400 {
@@ -528,9 +671,13 @@ fn handle_connection(state: &ServerState, conn: QueuedConn) {
                 } else {
                     None
                 };
+                let extra: Vec<(&str, String)> = retry_after
+                    .map(|secs| ("Retry-After", http::retry_after_value(secs)))
+                    .into_iter()
+                    .collect();
                 let write_ok = ctx
                     .time(Stage::Write, || {
-                        http::write_response(&mut writer, status, ctype, &body, keep)
+                        http::write_response_with(&mut writer, status, ctype, &extra, &body, keep)
                     })
                     .is_ok();
                 // The end-to-end clock stops after the socket write.
@@ -556,11 +703,17 @@ fn handle_connection(state: &ServerState, conn: QueuedConn) {
     }
 }
 
-fn route(state: &ServerState, req: &Request, ctx: &mut RequestCtx) -> (u16, &'static str, Vec<u8>) {
+fn route(
+    state: &ServerState,
+    req: &Request,
+    ctx: &mut RequestCtx,
+) -> (u16, &'static str, Vec<u8>, Option<f64>) {
     let result: Result<(u16, &'static str, Vec<u8>), ServeError> =
         match (req.path.as_str(), req.method.as_str()) {
             ("/healthz", "GET") => Ok((200, "text/plain", b"ok\n".to_vec())),
-            ("/metrics", "GET") => Ok((200, "text/plain", render_metrics(state).into_bytes())),
+            ("/metrics", "GET") => {
+                Ok((200, METRICS_CONTENT_TYPE, render_metrics(state).into_bytes()))
+            }
             ("/predict", "POST") => handle_predict(state, &req.body, ctx),
             ("/predict_batch", "POST") => handle_predict_batch(state, &req.body, ctx),
             ("/reload", "POST") => handle_reload(state, &req.body),
@@ -582,8 +735,8 @@ fn route(state: &ServerState, req: &Request, ctx: &mut RequestCtx) -> (u16, &'st
             (p, _) => Err(ServeError::not_found(format!("no such endpoint '{p}'"))),
         };
     match result {
-        Ok(resp) => resp,
-        Err(e) => (e.status, "text/plain", e.body().into_bytes()),
+        Ok((status, ctype, body)) => (status, ctype, body, None),
+        Err(e) => (e.status, "text/plain", e.body().into_bytes(), e.retry_after),
     }
 }
 
@@ -621,13 +774,21 @@ fn parse_spec(v: &Value) -> Result<PredictSpec, ServeError> {
     for key in obj.keys() {
         if !matches!(
             key.as_str(),
-            "model" | "graph" | "batch" | "channels" | "seq" | "device"
+            "tenant" | "model" | "graph" | "batch" | "channels" | "seq" | "device"
         ) {
             return Err(ServeError::bad_request(format!(
-                "unknown field '{key}' (allowed: model, graph, batch, channels, seq, device)"
+                "unknown field '{key}' (allowed: tenant, model, graph, batch, channels, seq, device)"
             )));
         }
     }
+    let tenant = match obj.get("tenant") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| ServeError::bad_request("field 'tenant' must be a string"))?
+                .to_string(),
+        ),
+    };
     let model = match obj.get("model") {
         None => None,
         Some(v) => Some(
@@ -655,6 +816,7 @@ fn parse_spec(v: &Value) -> Result<PredictSpec, ServeError> {
             .to_ascii_lowercase(),
     };
     Ok(PredictSpec {
+        tenant,
         model,
         graph,
         batch: usize_field(obj, "batch")?,
@@ -664,8 +826,20 @@ fn parse_spec(v: &Value) -> Result<PredictSpec, ServeError> {
     })
 }
 
-/// Resolves one spec: cache hit → `Done`; miss → featurize and submit
-/// to the collector, leaving a `Pending` reply to harvest.
+/// The comma-separated resident tenant names, for 404 bodies.
+fn tenant_names(state: &ServerState) -> String {
+    state
+        .fleet
+        .slots()
+        .iter()
+        .map(|s| s.name.as_ref())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Resolves one spec: tenant lookup → admission → cache tiers →
+/// featurize-and-submit. Cache hit → `Done`; miss → a `Pending` reply
+/// to harvest from the owning shard's collector.
 fn resolve_spec(
     state: &ServerState,
     spec: &PredictSpec,
@@ -677,7 +851,36 @@ fn resolve_spec(
             spec.device
         ))
     })?;
-    let version = state.registry.current().version;
+
+    // Tenant lookup and admission control happen before any real
+    // work: a throttled request must cost its tenant almost nothing.
+    let slot: &Arc<TenantSlot> = match spec.tenant.as_deref() {
+        Some(name) => state.fleet.get(name).ok_or_else(|| {
+            ServeError::not_found(format!(
+                "unknown tenant model '{name}' (resident: {})",
+                tenant_names(state)
+            ))
+        })?,
+        None => state.fleet.default_slot(),
+    };
+    ctx.set_tenant(&slot.name);
+    if let Some(bucket) = &slot.bucket {
+        if let Err(retry_after_s) = bucket.try_acquire() {
+            slot.throttled.fetch_add(1, Ordering::Relaxed);
+            state.stats.throttled.fetch_add(1, Ordering::SeqCst);
+            state.obs.throttled.inc();
+            return Err(ServeError::throttled(
+                format!(
+                    "tenant '{}' over its rate limit of {:.1} req/s",
+                    slot.name,
+                    bucket.rate()
+                ),
+                retry_after_s,
+            ));
+        }
+    }
+    slot.requests.fetch_add(1, Ordering::Relaxed);
+    let version = slot.registry.current().version;
 
     let (key, graph) = if let Some(graph_value) = &spec.graph {
         // Inline-graph decode is parse work; the fingerprint that
@@ -688,6 +891,7 @@ fn resolve_spec(
             CompGraph::from_json(&text).map_err(ServeError::from)
         })?;
         let key = ctx.time(Stage::CacheLookup, || CacheKey::Graph {
+            tenant: Arc::clone(&slot.name),
             fp: graph.fingerprint(),
             device: spec.device.clone(),
             version,
@@ -717,6 +921,7 @@ fn resolve_spec(
             )));
         }
         let key = CacheKey::Named {
+            tenant: Arc::clone(&slot.name),
             model: id.name().to_string(),
             batch,
             channels,
@@ -727,21 +932,36 @@ fn resolve_spec(
         (key, None)
     };
 
-    if let Some(hit) = ctx.time(Stage::CacheLookup, || state.lock_cache().get(&key).cloned()) {
+    let shard = state.ring.route(route_hash(&key)) as usize;
+    let outcome = |occupancy: f32, cached: bool, fingerprint: String| Outcome {
+        occupancy,
+        cached,
+        fingerprint,
+        tenant: Arc::clone(&slot.name),
+        model: spec.model.clone(),
+        device: spec.device.clone(),
+        model_version: version,
+    };
+
+    // L1: this shard's slice.
+    if let Some(hit) =
+        ctx.time(Stage::CacheLookup, || state.shards[shard].lock_l1().get(&key).cloned())
+    {
         state.obs.cache_hits.inc();
-        return Ok(Prepared::Done(Outcome {
-            occupancy: hit.occupancy,
-            cached: true,
-            fingerprint: hit.fingerprint,
-            model: spec.model.clone(),
-            device: spec.device.clone(),
-            model_version: version,
-        }));
+        return Ok(Prepared::Done(outcome(hit.occupancy, true, hit.fingerprint)));
+    }
+    // L2: the shared tier; a hit promotes back into the shard L1 so
+    // the next lookup short-circuits (counter-neutral insert).
+    if let Some(hit) = ctx.time(Stage::CacheLookup, || state.lock_l2().get(&key).cloned()) {
+        state.shards[shard].lock_l1().insert(key, hit.clone());
+        state.obs.cache_hits.inc();
+        return Ok(Prepared::Done(outcome(hit.occupancy, true, hit.fingerprint)));
     }
     state.obs.cache_misses.inc();
 
-    // Miss: obtain the graph (building the named model now if the
-    // cache could not spare us), fingerprint it, featurize, submit.
+    // Full miss: obtain the graph (building the named model now if
+    // the caches could not spare us), fingerprint, featurize, submit
+    // to the owning shard's fair queue under the tenant's lane.
     let built = ctx.time(Stage::Featurize, || {
         catch_unwind(AssertUnwindSafe(|| {
             let graph = match graph {
@@ -770,27 +990,23 @@ fn resolve_spec(
     let (fp, features) = built;
 
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-    state
-        .job_tx
-        .send(PredictJob {
-            features,
-            submitted_at: Instant::now(),
-            reply: reply_tx,
-        })
-        .map_err(|_| ServeError::internal("prediction backend has stopped"))?;
+    let job = PredictJob {
+        features,
+        submitted_at: Instant::now(),
+        reply: reply_tx,
+    };
+    if state.shards[shard].queue.push(slot.index, job).is_err() {
+        slot.throttled.fetch_add(1, Ordering::Relaxed);
+        state.stats.throttled.fetch_add(1, Ordering::SeqCst);
+        state.obs.throttled.inc();
+        return Err(ServeError::throttled(
+            format!("shard {shard} queue is full, retry later"),
+            1.0,
+        ));
+    }
 
-    Ok(Prepared::Pending {
-        key,
-        rx: reply_rx,
-        outcome: Outcome {
-            occupancy: f32::NAN,
-            cached: false,
-            fingerprint: fp.to_hex(),
-            model: spec.model.clone(),
-            device: spec.device.clone(),
-            model_version: version,
-        },
-    })
+    let pending = outcome(f32::NAN, false, fp.to_hex());
+    Ok(Prepared::Pending { key, shard, rx: reply_rx, outcome: pending })
 }
 
 /// Runs a set of specs through resolve-then-collect so all cache
@@ -813,7 +1029,7 @@ fn predict_many(
         .map(|p| match p {
             Err(e) => Err(e),
             Ok(Prepared::Done(outcome)) => Ok(outcome),
-            Ok(Prepared::Pending { key, rx, mut outcome }) => {
+            Ok(Prepared::Pending { key, shard, rx, mut outcome }) => {
                 let wait_start = ctx.recording().then(Instant::now);
                 let reply = rx
                     .recv_timeout(REPLY_TIMEOUT)
@@ -828,13 +1044,15 @@ fn predict_many(
                 }
                 outcome.occupancy = reply.occupancy;
                 ctx.time(Stage::CacheLookup, || {
-                    state.lock_cache().insert(
-                        key,
-                        CachedPrediction {
-                            occupancy: reply.occupancy,
-                            fingerprint: outcome.fingerprint.clone(),
-                        },
-                    );
+                    let cached = CachedPrediction {
+                        occupancy: reply.occupancy,
+                        fingerprint: outcome.fingerprint.clone(),
+                    };
+                    // Fill both tiers: the L1 for this shard's next
+                    // lookup, the L2 so other shards' Graph-keyed
+                    // duplicates (and post-eviction retries) hit.
+                    state.shards[shard].lock_l1().insert(key.clone(), cached.clone());
+                    state.lock_l2().insert(key, cached);
                 });
                 Ok(outcome)
             }
@@ -850,6 +1068,7 @@ fn outcome_value(o: &Outcome) -> Value {
     );
     m.insert("cached".to_string(), Value::Bool(o.cached));
     m.insert("fingerprint".to_string(), Value::String(o.fingerprint.clone()));
+    m.insert("tenant".to_string(), Value::String(o.tenant.to_string()));
     m.insert("device".to_string(), Value::String(o.device.clone()));
     m.insert(
         "model_version".to_string(),
@@ -938,49 +1157,67 @@ fn handle_reload(
     state: &ServerState,
     body: &[u8],
 ) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
-    let path: Option<String> = if body.is_empty() {
-        None
+    let (path, model): (Option<String>, Option<String>) = if body.is_empty() {
+        (None, None)
     } else {
         let value = parse_body(body)?;
         let obj = value
             .as_object()
             .ok_or_else(|| ServeError::bad_request("reload body must be a JSON object"))?;
         for key in obj.keys() {
-            if key != "path" {
+            if key != "path" && key != "model" {
                 return Err(ServeError::bad_request(format!(
-                    "unknown field '{key}' (allowed: path)"
+                    "unknown field '{key}' (allowed: path, model)"
                 )));
             }
         }
-        match obj.get("path") {
-            None => None,
-            Some(v) => Some(
-                v.as_str()
-                    .ok_or_else(|| ServeError::bad_request("field 'path' must be a string"))?
-                    .to_string(),
-            ),
-        }
+        let str_field = |name: &str| -> Result<Option<String>, ServeError> {
+            match obj.get(name) {
+                None => Ok(None),
+                Some(v) => Ok(Some(
+                    v.as_str()
+                        .ok_or_else(|| {
+                            ServeError::bad_request(format!("field '{name}' must be a string"))
+                        })?
+                        .to_string(),
+                )),
+            }
+        };
+        (str_field("path")?, str_field("model")?)
     };
-    let loaded = state
+    let slot = match model.as_deref() {
+        Some(name) => state.fleet.get(name).ok_or_else(|| {
+            ServeError::not_found(format!(
+                "unknown tenant model '{name}' (resident: {})",
+                tenant_names(state)
+            ))
+        })?,
+        None => state.fleet.default_slot(),
+    };
+    let loaded = slot
         .registry
         .reload(path.as_deref().map(Path::new))
         .map_err(ServeError::from)?;
     state.stats.reloads.fetch_add(1, Ordering::SeqCst);
+    slot.reloads.fetch_add(1, Ordering::Relaxed);
     occu_obs::counter("serve.reloads").inc();
-    occu_obs::gauge("serve.model_version").set(loaded.version as f64);
+    if slot.name.as_ref() == state.fleet.default_name() {
+        occu_obs::gauge("serve.model_version").set(loaded.version as f64);
+    }
     occu_obs::info!(
-        "serve: reloaded model v{} from {}",
+        "serve: reloaded model '{}' v{} from {}",
+        slot.name,
         loaded.version,
         loaded.path.display()
     );
     // Old-version prediction-cache entries are unreachable (version
-    // is in the key) and will age out of the LRU naturally. Compiled
+    // is in the key) and will age out of the LRUs naturally. Compiled
     // plans carry snapshotted weights, so besides the same version
     // keying they are dropped eagerly to release their packed panels.
-    if let Some(plans) = &state.plan_cache {
-        plans.clear();
-    }
+    // Only this tenant's plans: the rest of the fleet keeps its heat.
+    slot.plan_cache.clear();
     let mut m = BTreeMap::new();
+    m.insert("model".to_string(), Value::String(slot.name.to_string()));
     m.insert("version".to_string(), Value::Number(loaded.version as f64));
     m.insert(
         "path".to_string(),
@@ -989,14 +1226,28 @@ fn handle_reload(
     json_body(&Value::Object(m))
 }
 
-/// Mirrors point-in-time state (cache, arena, kernel dispatch) into
-/// gauges so `/metrics` and `/debug/varz` expose it alongside the
-/// request-path counters.
+/// Sums plan-cache stats across every tenant slot.
+fn plan_stats_total(state: &ServerState) -> CacheStats {
+    let mut total = CacheStats::default();
+    for slot in state.fleet.slots() {
+        let ps = slot.plan_cache.stats();
+        total.hits += ps.hits;
+        total.misses += ps.misses;
+        total.evictions += ps.evictions;
+        total.len += ps.len;
+        total.capacity += ps.capacity;
+    }
+    total
+}
+
+/// Mirrors point-in-time state (cache tiers, arena, kernel dispatch)
+/// into gauges so `/metrics` and `/debug/varz` expose it alongside
+/// the request-path counters.
 fn mirror_gauges(state: &ServerState) {
-    let cache = state.lock_cache().stats();
-    occu_obs::gauge("serve.cache.len").set(cache.len as f64);
-    occu_obs::gauge("serve.cache.evictions").set(cache.evictions as f64);
-    occu_obs::gauge("serve.cache.hit_rate").set(cache.hit_rate());
+    let stats = snapshot_stats(state);
+    occu_obs::gauge("serve.cache.len").set(stats.cache.len as f64);
+    occu_obs::gauge("serve.cache.evictions").set(stats.cache.evictions as f64);
+    occu_obs::gauge("serve.cache.hit_rate").set(stats.cache.hit_rate());
     // Scratch-arena high-water mark across all worker tapes. Flat after
     // warmup == the steady-state forward path is allocation-free.
     occu_obs::gauge("serve.arena.allocated_bytes")
@@ -1015,22 +1266,23 @@ fn mirror_gauges(state: &ServerState) {
     // stay 0 under a single-threaded harness; under load it bounds
     // how much `/debug/tracez` raced the request path.
     occu_obs::gauge("flight.dropped").set(state.telemetry.recorder.dropped() as f64);
-    // Compiled-plan cache: how many shapes are resident and how often
-    // the batch path reused a plan vs compiled one.
-    occu_obs::gauge("serve.plan.enabled").set(state.plan_cache.is_some() as u8 as f64);
-    if let Some(plans) = &state.plan_cache {
-        let ps = plans.stats();
-        occu_obs::gauge("serve.plan.cached").set(ps.len as f64);
-        occu_obs::gauge("serve.plan.hits").set(ps.hits as f64);
-        occu_obs::gauge("serve.plan.compiles").set(ps.misses as f64);
-        occu_obs::gauge("serve.plan.evictions").set(ps.evictions as f64);
-    }
+    // Compiled-plan caches, summed across tenants: how many shapes
+    // are resident and how often the shard collectors reused a plan
+    // vs compiled one.
+    occu_obs::gauge("serve.plan.enabled").set(state.cfg.plan as u8 as f64);
+    let ps = plan_stats_total(state);
+    occu_obs::gauge("serve.plan.cached").set(ps.len as f64);
+    occu_obs::gauge("serve.plan.hits").set(ps.hits as f64);
+    occu_obs::gauge("serve.plan.compiles").set(ps.misses as f64);
+    occu_obs::gauge("serve.plan.evictions").set(ps.evictions as f64);
 }
 
-/// Prometheus text exposition: the typed registry dump plus the
-/// per-stage and end-to-end rolling-percentile summaries.
+/// Prometheus text exposition: the typed registry dump, the per-stage
+/// and end-to-end rolling-percentile summaries, and the labeled
+/// per-tenant / per-shard fleet families.
 fn render_metrics(state: &ServerState) -> String {
     use occu_obs::prom;
+    use std::fmt::Write as _;
     mirror_gauges(state);
     let mut out = String::with_capacity(8192);
     out.push_str(&prom::render_snapshot(&occu_obs::metrics_snapshot()));
@@ -1041,20 +1293,114 @@ fn render_metrics(state: &ServerState) -> String {
     }
     prom::append_summary_type(&mut out, "serve.request.total_us");
     prom::append_summary(&mut out, "serve.request.total_us", None, state.telemetry.stages.total());
+
+    // Per-tenant families. One line per resident model, labeled with
+    // the tenant name (escaped per the exposition format).
+    let mut tenant_family = |name: &str, kind: &str, value: &dyn Fn(&TenantSlot) -> f64| {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for slot in state.fleet.slots() {
+            let _ = writeln!(
+                out,
+                "{name}{{tenant=\"{}\"}} {}",
+                prom::escape_label_value(&slot.name),
+                value(slot)
+            );
+        }
+    };
+    tenant_family("serve_tenant_requests", "counter", &|s| {
+        s.requests.load(Ordering::Relaxed) as f64
+    });
+    tenant_family("serve_tenant_throttled", "counter", &|s| {
+        s.throttled.load(Ordering::Relaxed) as f64
+    });
+    tenant_family("serve_tenant_predictions", "counter", &|s| {
+        s.predictions.load(Ordering::Relaxed) as f64
+    });
+    tenant_family("serve_tenant_reloads", "counter", &|s| {
+        s.reloads.load(Ordering::Relaxed) as f64
+    });
+    tenant_family("serve_tenant_model_version", "gauge", &|s| {
+        s.registry.current().version as f64
+    });
+    tenant_family("serve_tenant_weight", "gauge", &|s| f64::from(s.weight));
+    tenant_family("serve_tenant_plan_cached", "gauge", &|s| s.plan_cache.stats().len as f64);
+
+    // Per-shard families: queue depth and the L1 slice.
+    let mut shard_family = |name: &str, kind: &str, value: &dyn Fn(&Shard) -> f64| {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (i, shard) in state.shards.iter().enumerate() {
+            let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {}", value(shard));
+        }
+    };
+    shard_family("serve_shard_queue_depth", "gauge", &|s| s.queue.len() as f64);
+    shard_family("serve_shard_l1_len", "gauge", &|s| s.lock_l1().stats().len as f64);
+    shard_family("serve_shard_l1_hits", "counter", &|s| s.lock_l1().stats().hits as f64);
+
+    // The shared L2 tier.
+    let l2 = state.lock_l2().stats();
+    let _ = writeln!(out, "# TYPE serve_l2_len gauge\nserve_l2_len {}", l2.len);
+    let _ = writeln!(out, "# TYPE serve_l2_hits counter\nserve_l2_hits {}", l2.hits);
+    let _ = writeln!(out, "# TYPE serve_l2_misses counter\nserve_l2_misses {}", l2.misses);
     out
 }
 
 /// `/debug/statusz`: one JSON object describing the running server —
-/// uptime, model, ISA, config, live counters.
+/// uptime, the whole resident fleet, ISA, config, live counters.
 fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
     let num = Value::Number;
-    let loaded = state.registry.current();
-    let cache = state.lock_cache().stats();
+    let default_loaded = state.fleet.default_slot().registry.current();
+    let stats = snapshot_stats(state);
+    let cache = stats.cache;
     let disp = occu_tensor::dispatch_counts();
 
+    // "model" stays the default tenant for pre-fleet consumers;
+    // "models" describes every resident tenant.
     let mut model = BTreeMap::new();
-    model.insert("version".to_string(), num(loaded.version as f64));
-    model.insert("path".to_string(), Value::String(loaded.path.display().to_string()));
+    model.insert("version".to_string(), num(default_loaded.version as f64));
+    model.insert("path".to_string(), Value::String(default_loaded.path.display().to_string()));
+
+    let mut models = BTreeMap::new();
+    for slot in state.fleet.slots() {
+        let loaded = slot.registry.current();
+        let ps = slot.plan_cache.stats();
+        let mut m = BTreeMap::new();
+        m.insert("path".to_string(), Value::String(loaded.path.display().to_string()));
+        m.insert("version".to_string(), num(loaded.version as f64));
+        m.insert("loaded_at_unix_s".to_string(), num(loaded.loaded_at_unix_s as f64));
+        m.insert("weight".to_string(), num(f64::from(slot.weight)));
+        m.insert(
+            "rate_limit_rps".to_string(),
+            slot.bucket.as_ref().map_or(Value::Null, |b| num(b.rate())),
+        );
+        m.insert("requests".to_string(), num(slot.requests.load(Ordering::Relaxed) as f64));
+        m.insert("throttled".to_string(), num(slot.throttled.load(Ordering::Relaxed) as f64));
+        m.insert("predictions".to_string(), num(slot.predictions.load(Ordering::Relaxed) as f64));
+        m.insert("reloads".to_string(), num(slot.reloads.load(Ordering::Relaxed) as f64));
+        m.insert("plan_cached".to_string(), num(ps.len as f64));
+        m.insert("plan_capacity".to_string(), num(ps.capacity as f64));
+        models.insert(slot.name.to_string(), Value::Object(m));
+    }
+
+    let shards: Vec<Value> = state
+        .shards
+        .iter()
+        .map(|shard| {
+            let l1 = shard.lock_l1().stats();
+            let mut m = BTreeMap::new();
+            m.insert("queue_depth".to_string(), num(shard.queue.len() as f64));
+            m.insert("l1_len".to_string(), num(l1.len as f64));
+            m.insert("l1_hits".to_string(), num(l1.hits as f64));
+            m.insert("l1_evictions".to_string(), num(l1.evictions as f64));
+            Value::Object(m)
+        })
+        .collect();
+
+    let l2 = state.lock_l2().stats();
+    let mut l2_obj = BTreeMap::new();
+    l2_obj.insert("len".to_string(), num(l2.len as f64));
+    l2_obj.insert("hits".to_string(), num(l2.hits as f64));
+    l2_obj.insert("misses".to_string(), num(l2.misses as f64));
+    l2_obj.insert("evictions".to_string(), num(l2.evictions as f64));
 
     let mut cfg = BTreeMap::new();
     cfg.insert("workers".to_string(), num(state.cfg.workers as f64));
@@ -1062,6 +1408,8 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
     cfg.insert("batch_window_us".to_string(), num(state.cfg.batch_window_us as f64));
     cfg.insert("max_batch".to_string(), num(state.cfg.max_batch as f64));
     cfg.insert("cache_cap".to_string(), num(state.cfg.cache_cap as f64));
+    cfg.insert("l2_cache_cap".to_string(), num(state.cfg.l2_cache_cap as f64));
+    cfg.insert("shards".to_string(), num(state.cfg.shards as f64));
     cfg.insert("max_body_bytes".to_string(), num(state.cfg.max_body_bytes as f64));
     cfg.insert("slo_us".to_string(), num(state.cfg.slo_us));
     cfg.insert("recorder_cap".to_string(), num(state.cfg.recorder_cap as f64));
@@ -1070,10 +1418,11 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
     cfg.insert("plan".to_string(), Value::Bool(state.cfg.plan));
 
     let mut counters = BTreeMap::new();
-    counters.insert("requests".to_string(), num(state.stats.requests.load(Ordering::SeqCst) as f64));
-    counters.insert("errors".to_string(), num(state.stats.errors.load(Ordering::SeqCst) as f64));
-    counters.insert("rejected".to_string(), num(state.stats.rejected.load(Ordering::SeqCst) as f64));
-    counters.insert("reloads".to_string(), num(state.stats.reloads.load(Ordering::SeqCst) as f64));
+    counters.insert("requests".to_string(), num(stats.requests as f64));
+    counters.insert("errors".to_string(), num(stats.errors as f64));
+    counters.insert("rejected".to_string(), num(stats.rejected as f64));
+    counters.insert("throttled".to_string(), num(stats.throttled as f64));
+    counters.insert("reloads".to_string(), num(stats.reloads as f64));
 
     let mut cache_obj = BTreeMap::new();
     cache_obj.insert("len".to_string(), num(cache.len as f64));
@@ -1097,14 +1446,12 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
     dispatch.insert("neon".to_string(), num(disp.neon as f64));
 
     let mut plan = BTreeMap::new();
-    plan.insert("enabled".to_string(), Value::Bool(state.plan_cache.is_some()));
-    if let Some(plans) = &state.plan_cache {
-        let ps = plans.stats();
-        plan.insert("cached".to_string(), num(ps.len as f64));
-        plan.insert("hits".to_string(), num(ps.hits as f64));
-        plan.insert("compiles".to_string(), num(ps.misses as f64));
-        plan.insert("evictions".to_string(), num(ps.evictions as f64));
-    }
+    plan.insert("enabled".to_string(), Value::Bool(state.cfg.plan));
+    let ps = plan_stats_total(state);
+    plan.insert("cached".to_string(), num(ps.len as f64));
+    plan.insert("hits".to_string(), num(ps.hits as f64));
+    plan.insert("compiles".to_string(), num(ps.misses as f64));
+    plan.insert("evictions".to_string(), num(ps.evictions as f64));
 
     let mut recorder = BTreeMap::new();
     recorder.insert("capacity".to_string(), num(state.telemetry.recorder.capacity() as f64));
@@ -1116,6 +1463,9 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
     let mut top = BTreeMap::new();
     top.insert("uptime_s".to_string(), num(state.telemetry.uptime_s()));
     top.insert("model".to_string(), Value::Object(model));
+    top.insert("models".to_string(), Value::Object(models));
+    top.insert("shards".to_string(), Value::Array(shards));
+    top.insert("l2".to_string(), Value::Object(l2_obj));
     top.insert("isa".to_string(), Value::String(occu_tensor::active_isa().name().to_string()));
     top.insert("telemetry".to_string(), Value::Bool(state.telemetry.enabled()));
     top.insert("config".to_string(), Value::Object(cfg));

@@ -29,6 +29,7 @@
 use occu_obs::span::{next_span_id, now_us, submit};
 use occu_obs::{FlightRecorder, RequestTrace, SpanRecord, StageWindows};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pipeline stages, in order. `Write` is last: the request clock
@@ -80,13 +81,27 @@ pub struct RequestCtx {
     /// Arrival time on the span clock (`now_us`).
     pub start_us: f64,
     started: Option<Instant>,
+    tenant: Option<Arc<str>>,
     durs: [f64; STAGE_NAMES.len()],
 }
 
 impl RequestCtx {
     /// An inert context: all recording methods are no-ops.
     fn disabled() -> Self {
-        Self { id: 0, start_us: 0.0, started: None, durs: [0.0; STAGE_NAMES.len()] }
+        Self { id: 0, start_us: 0.0, started: None, tenant: None, durs: [0.0; STAGE_NAMES.len()] }
+    }
+
+    /// Tags the request with the tenant it resolved to (first tenant
+    /// wins for multi-spec batches). No-op when not recording.
+    pub fn set_tenant(&mut self, tenant: &Arc<str>) {
+        if self.started.is_some() && self.tenant.is_none() {
+            self.tenant = Some(Arc::clone(tenant));
+        }
+    }
+
+    /// The tenant recorded by [`RequestCtx::set_tenant`], if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// True when this context is recording.
@@ -172,6 +187,7 @@ impl Telemetry {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             start_us: now_us(),
             started: Some(Instant::now()),
+            tenant: None,
             durs: [0.0; STAGE_NAMES.len()],
         }
     }
@@ -199,6 +215,7 @@ impl Telemetry {
             total_us,
             status,
             path: path.to_string(),
+            tenant: ctx.tenant.as_ref().map(|t| t.to_string()),
             stages,
             error,
         });
@@ -312,6 +329,26 @@ mod tests {
         assert_eq!(t.recorder.pinned(), 1);
         let notable = t.recorder.notable();
         assert_eq!(notable[0].error.as_deref(), Some("bad spec"));
+    }
+
+    #[test]
+    fn tenant_tag_reaches_the_trace_and_first_tenant_wins() {
+        let t = Telemetry::new(true, false, 1e9, 8);
+        let mut ctx = t.begin();
+        let alpha: Arc<str> = Arc::from("alpha");
+        let beta: Arc<str> = Arc::from("beta");
+        ctx.set_tenant(&alpha);
+        ctx.set_tenant(&beta); // later specs in a batch do not override
+        assert_eq!(ctx.tenant(), Some("alpha"));
+        t.finish(ctx, "/predict", 200, None);
+        let trace = t.recorder.recent().pop().expect("trace recorded");
+        assert_eq!(trace.tenant.as_deref(), Some("alpha"));
+        assert!(trace.to_json().contains("\"tenant\": \"alpha\""));
+        // Disabled contexts stay untagged.
+        let t_off = Telemetry::new(false, false, 1e9, 8);
+        let mut ctx = t_off.begin();
+        ctx.set_tenant(&alpha);
+        assert_eq!(ctx.tenant(), None);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use occu_core::gnn::{DnnOccu, DnnOccuConfig};
 use occu_graph::{GraphBuilder, GraphMeta, Hyper, ModelFamily, OpKind};
-use occu_serve::{ModelRegistry, ServeConfig, Server};
+use occu_serve::{FleetRegistry, ModelRegistry, ServeConfig, Server};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
@@ -31,6 +31,13 @@ fn start_server() -> Server {
 
 /// One-shot HTTP exchange; returns (status, body).
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = request_full(addr, method, path, body);
+    (status, body)
+}
+
+/// One-shot HTTP exchange keeping the raw header block; returns
+/// (status, headers, body).
+fn request_full(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     write!(
         s,
@@ -41,20 +48,24 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
     s.write_all(body.as_bytes()).expect("write body");
     let mut raw = String::new();
     s.read_to_string(&mut raw).expect("read response");
-    parse_response(&raw)
-}
-
-fn parse_response(raw: &str) -> (u16, String) {
     let status: u16 = raw
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .expect("status line");
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
-    (status, body)
+    (status, head, body)
+}
+
+/// The value of `header` in a raw response head, if present.
+fn header_value<'a>(head: &'a str, header: &str) -> Option<&'a str> {
+    head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case(header).then(|| value.trim())
+    })
 }
 
 #[test]
@@ -442,4 +453,210 @@ fn keep_alive_connection_serves_many_requests() {
     let stats = server.shutdown();
     assert_eq!(stats.requests, 5);
     assert_eq!(stats.cache.hits, 4, "repeats on one connection must hit");
+}
+
+/// A three-tenant fleet over tiny models: `alpha` and `bravo` carry
+/// different weights (and alpha is file-backed so it can hot-reload);
+/// `limited` shares alpha's weights behind a 1 req/s admission limit.
+fn start_fleet(dir: &std::path::Path) -> Server {
+    std::fs::create_dir_all(dir).expect("mkdir");
+    let alpha_weights = dir.join("alpha.json");
+    std::fs::write(&alpha_weights, tiny_model(1).to_json()).expect("write alpha weights");
+    let fleet = FleetRegistry::builder()
+        .model("alpha", Arc::new(ModelRegistry::load(&alpha_weights).expect("load")), 2, None)
+        .model("bravo", Arc::new(ModelRegistry::from_model(tiny_model(2), "bravo.json")), 1, None)
+        .model(
+            "limited",
+            Arc::new(ModelRegistry::from_model(tiny_model(1), "limited.json")),
+            1,
+            Some(1.0),
+        )
+        .build()
+        .expect("fleet");
+    Server::start_fleet(
+        ServeConfig {
+            workers: 2,
+            batch_window_us: 200,
+            ..ServeConfig::default()
+        },
+        fleet,
+    )
+    .expect("fleet server start")
+}
+
+#[test]
+fn fleet_routes_by_tenant_and_reloads_one_model_at_a_time() {
+    let dir = std::env::temp_dir().join(format!("occu_serve_fleet_{}", std::process::id()));
+    let server = start_fleet(&dir);
+    let addr = server.local_addr();
+
+    // Same spec, different tenants, different weights — the answers
+    // must differ, and the tenant must echo back in the response.
+    let (status, alpha) =
+        request(addr, "POST", "/predict", r#"{"tenant": "alpha", "model": "LeNet"}"#);
+    assert_eq!(status, 200, "body: {alpha}");
+    let (status, bravo) =
+        request(addr, "POST", "/predict", r#"{"tenant": "bravo", "model": "LeNet"}"#);
+    assert_eq!(status, 200, "body: {bravo}");
+    assert_ne!(
+        occupancy_of(&alpha).to_bits(),
+        occupancy_of(&bravo).to_bits(),
+        "tenants with different weights answered identically"
+    );
+
+    // No tenant field routes to the first registered model.
+    let (status, default_body) = request(addr, "POST", "/predict", r#"{"model": "LeNet"}"#);
+    assert_eq!(status, 200);
+    assert_eq!(occupancy_of(&default_body).to_bits(), occupancy_of(&alpha).to_bits());
+
+    // Unknown tenants are a 404 naming the residents.
+    let (status, missing) =
+        request(addr, "POST", "/predict", r#"{"tenant": "nope", "model": "LeNet"}"#);
+    assert_eq!(status, 404, "body: {missing}");
+    assert!(missing.contains("alpha"), "404 should list residents: {missing}");
+
+    // The per-tenant cache is isolated: a bravo repeat hits.
+    let (_, bravo_again) =
+        request(addr, "POST", "/predict", r#"{"tenant": "bravo", "model": "LeNet"}"#);
+    assert!(bravo_again.contains("\"cached\":true"), "body: {bravo_again}");
+
+    // Reload only alpha: its version moves, its answer changes, and
+    // bravo's cached entry survives untouched.
+    std::fs::write(dir.join("alpha.json"), tiny_model(3).to_json()).expect("rewrite weights");
+    let (status, reload) = request(addr, "POST", "/reload", r#"{"model": "alpha"}"#);
+    assert_eq!(status, 200, "body: {reload}");
+    assert!(reload.contains("\"model\":\"alpha\""), "body: {reload}");
+    assert!(reload.contains("\"version\":2"), "body: {reload}");
+
+    let (_, alpha_after) =
+        request(addr, "POST", "/predict", r#"{"tenant": "alpha", "model": "LeNet"}"#);
+    assert!(alpha_after.contains("\"model_version\":2"), "body: {alpha_after}");
+    assert!(alpha_after.contains("\"cached\":false"), "body: {alpha_after}");
+    assert_ne!(
+        occupancy_of(&alpha).to_bits(),
+        occupancy_of(&alpha_after).to_bits(),
+        "alpha still answers with pre-reload weights"
+    );
+    let (_, bravo_after) =
+        request(addr, "POST", "/predict", r#"{"tenant": "bravo", "model": "LeNet"}"#);
+    assert!(bravo_after.contains("\"model_version\":1"), "body: {bravo_after}");
+    assert!(bravo_after.contains("\"cached\":true"), "bravo lost its cache: {bravo_after}");
+
+    // Reload of an unknown tenant is a 404, not a default fallback.
+    let (status, bad) = request(addr, "POST", "/reload", r#"{"model": "nope"}"#);
+    assert_eq!(status, 404, "body: {bad}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_throttles_only_the_limited_tenant_with_retry_after() {
+    let dir = std::env::temp_dir().join(format!("occu_serve_fleet_rl_{}", std::process::id()));
+    let server = start_fleet(&dir);
+    let addr = server.local_addr();
+
+    // The 1 req/s bucket admits one request, then throttles. Other
+    // tenants on the same server stay unaffected.
+    let limited = r#"{"tenant": "limited", "model": "LeNet"}"#;
+    let (status, body) = request(addr, "POST", "/predict", limited);
+    assert_eq!(status, 200, "burst allowance should admit: {body}");
+    let (status, head, body) = request_full(addr, "POST", "/predict", limited);
+    assert_eq!(status, 429, "body: {body}");
+    assert!(body.contains("rate limit"), "body: {body}");
+    let retry_after: u64 = header_value(&head, "Retry-After")
+        .expect("429 must carry Retry-After")
+        .parse()
+        .expect("Retry-After is integer seconds");
+    assert!(retry_after >= 1, "Retry-After must be at least 1s: {head}");
+
+    let (status, _) =
+        request(addr, "POST", "/predict", r#"{"tenant": "alpha", "model": "LeNet"}"#);
+    assert_eq!(status, 200, "unlimited tenant must not be throttled");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.throttled, 1, "exactly one request was throttled");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_metrics_content_type_and_per_tenant_families() {
+    let dir = std::env::temp_dir().join(format!("occu_serve_fleet_m_{}", std::process::id()));
+    let server = start_fleet(&dir);
+    let addr = server.local_addr();
+
+    let (status, _) =
+        request(addr, "POST", "/predict", r#"{"tenant": "bravo", "model": "LeNet"}"#);
+    assert_eq!(status, 200);
+
+    let (status, head, metrics) = request_full(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    // Prometheus text exposition format version, as scrapers expect.
+    assert_eq!(
+        header_value(&head, "Content-Type"),
+        Some("text/plain; version=0.0.4"),
+        "head: {head}"
+    );
+    // Every resident model shows up in the labeled tenant families.
+    for tenant in ["alpha", "bravo", "limited"] {
+        assert!(
+            metrics.contains(&format!("serve_tenant_requests{{tenant=\"{tenant}\"}}")),
+            "missing tenant series for '{tenant}': {metrics}"
+        );
+    }
+    assert!(metrics.contains("serve_tenant_requests{tenant=\"bravo\"} 1"), "dump: {metrics}");
+    assert!(metrics.contains("# TYPE serve_tenant_model_version gauge"), "dump: {metrics}");
+    assert!(metrics.contains("serve_shard_queue_depth{shard=\"0\"}"), "dump: {metrics}");
+    assert!(metrics.contains("# TYPE serve_l2_hits counter"), "dump: {metrics}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_statusz_reports_every_resident_model() {
+    let dir = std::env::temp_dir().join(format!("occu_serve_fleet_s_{}", std::process::id()));
+    let server = start_fleet(&dir);
+    let addr = server.local_addr();
+
+    let (status, statusz) = request(addr, "GET", "/debug/statusz", "");
+    assert_eq!(status, 200, "body: {statusz}");
+    let parsed: serde_json::Value = serde_json::from_str(&statusz).expect("statusz is JSON");
+    let models = parsed
+        .get("models")
+        .and_then(|v| v.as_object())
+        .expect("statusz models object");
+    assert_eq!(models.len(), 3, "all residents listed: {statusz}");
+    for tenant in ["alpha", "bravo", "limited"] {
+        let m = models
+            .get(tenant)
+            .and_then(|v| v.as_object())
+            .unwrap_or_else(|| panic!("statusz missing model '{tenant}': {statusz}"));
+        for key in
+            ["path", "version", "loaded_at_unix_s", "weight", "plan_cached", "plan_capacity"]
+        {
+            assert!(m.contains_key(key), "model '{tenant}' missing '{key}': {statusz}");
+        }
+        assert!(
+            m.get("loaded_at_unix_s").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0,
+            "load timestamp must be set: {statusz}"
+        );
+    }
+    // Only the limited tenant advertises a rate limit.
+    assert_eq!(
+        models["limited"].get("rate_limit_rps").and_then(|v| v.as_f64()),
+        Some(1.0),
+        "statusz: {statusz}"
+    );
+    assert!(
+        models["alpha"].get("rate_limit_rps").is_some_and(|v| v.is_null()),
+        "unlimited tenants report null: {statusz}"
+    );
+    // Shard and shared-cache tiers are visible too.
+    let shards = parsed.get("shards").and_then(|v| v.as_array()).expect("shards array");
+    assert_eq!(shards.len(), 2, "default shard count: {statusz}");
+    assert!(parsed.get("l2").and_then(|v| v.as_object()).is_some(), "l2 object: {statusz}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
