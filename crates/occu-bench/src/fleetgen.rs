@@ -47,6 +47,10 @@ pub struct FleetgenConfig {
     pub rungs: Vec<usize>,
     /// Zipf exponent over the (tenant, spec) keyspace.
     pub zipf_exponent: f64,
+    /// Base seed for the per-thread Zipf streams (`--seed`). Each
+    /// client thread derives `seed + rung*64 + thread`, so a rerun
+    /// with the same seed replays the exact key sequence.
+    pub seed: u64,
     /// Requests per tenant in the throttle phase.
     pub throttle_requests: usize,
     /// Token-bucket rate for the limited tenant, requests/second.
@@ -62,6 +66,7 @@ impl Default for FleetgenConfig {
             base_requests: 5_000,
             rungs: vec![2, 4, 8],
             zipf_exponent: 1.1,
+            seed: 0xF1EE7,
             throttle_requests: 400,
             rate_limit_rps: 50.0,
             baseline_rps: 0.0,
@@ -76,6 +81,8 @@ pub struct FleetPerfReport {
     pub models: Vec<String>,
     /// Zipf exponent the keyspace was sampled with.
     pub zipf_exponent: f64,
+    /// Base Zipf seed the run used (replay with `--seed` this).
+    pub seed: u64,
     /// Single-model baseline used for the ratio (0 = none).
     pub baseline_rps: f64,
     /// One entry per concurrency rung, in run order.
@@ -467,7 +474,7 @@ pub fn run_fleetgen(cfg: &FleetgenConfig) -> Result<FleetPerfReport, OccuError> 
             let zipf = ZipfSampler::new(
                 keys.len(),
                 cfg.zipf_exponent,
-                0xF1EE7 + (r as u64) * 64 + t as u64,
+                cfg.seed + (r as u64) * 64 + t as u64,
             );
             let n_tenants = ladder_tenants.len();
             handles.push(std::thread::spawn(move || {
@@ -615,6 +622,7 @@ pub fn run_fleetgen(cfg: &FleetgenConfig) -> Result<FleetPerfReport, OccuError> 
     Ok(FleetPerfReport {
         models: all_tenants.iter().map(|t| (*t).to_string()).collect(),
         zipf_exponent: cfg.zipf_exponent,
+        seed: cfg.seed,
         baseline_rps: cfg.baseline_rps,
         rungs,
         aggregate_rps,
@@ -633,9 +641,10 @@ pub fn render_fleet(rep: &FleetPerfReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "== Fleet load test: {} models, Zipf s={:.2} ==",
+        "== Fleet load test: {} models, Zipf s={:.2} seed={} ==",
         rep.models.len(),
-        rep.zipf_exponent
+        rep.zipf_exponent,
+        rep.seed
     );
     let _ = writeln!(
         out,

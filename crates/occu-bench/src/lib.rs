@@ -16,6 +16,7 @@ pub mod kernels;
 pub mod loadgen;
 pub mod perf;
 pub mod planperf;
+pub mod quantperf;
 pub mod report;
 pub mod zipf;
 
@@ -31,6 +32,10 @@ pub use loadgen::{
 };
 pub use zipf::ZipfSampler;
 pub use planperf::{plan_study, render_plan, PlanModelRow, PlanPerfReport, PLAN_SPEEDUP_GATE};
+pub use quantperf::{
+    quant_study, render_quant, QuantModelRow, QuantPerfReport, QUANT_MRE_DELTA_GATE_PP,
+    QUANT_SPEEDUP_GATE,
+};
 pub use perf::{
     obs_overhead_study, perf_study, render_obs_overhead, render_perf, serve_overhead_study,
     validate_out_path, ObsOverheadReport, PerfReport, SERVE_OVERHEAD_BUDGET,

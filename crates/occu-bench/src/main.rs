@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Subcommands: `fig2 fig4 fig5 fig45 fig6 fig7 table4 table5 table6
-//! ablation aggr device-gen perf kernels plan obs-overhead loadgen all`.
+//! ablation aggr device-gen perf kernels plan quant obs-overhead
+//! loadgen fleet all`.
 //! `--quick` shrinks
 //! dataset sizes and epochs for smoke runs; `--device <name>` restricts
 //! the multi-device experiments to one GPU (useful for piecewise
@@ -37,7 +38,13 @@
 //! exits 1 when the blocked GEMM regresses against the naive oracle;
 //! `plan` exits 1 when any zoo model's compiled plan diverges bitwise
 //! from the tape interpreter, or (full runs) when the plan executor's
-//! aggregate throughput falls below its speedup gate.
+//! aggregate throughput falls below its speedup gate; `quant` exits 1
+//! when any zoo model's int8 absolute error drifts more than 0.5
+//! occupancy points from f32, when (full SIMD runs) the aggregate
+//! int8 speedup falls
+//! below 1.5x, or when `--compare <report.json>` finds int8
+//! predictions whose bits differ from a prior run's (the cross-ISA
+//! stability check against an `OCCU_FORCE_SCALAR=1` rerun).
 
 #![warn(clippy::unwrap_used)]
 
@@ -240,8 +247,12 @@ fn run_aggr(quick: bool) {
     println!();
 }
 
-/// Writes a JSON report to `out`, creating parent directories.
+/// Writes a JSON report to `out`, creating parent directories. The
+/// clobber guard runs here too — every caller validates early (so a
+/// bad `--out` fails before the expensive study), but the write
+/// itself re-checks so no future report writer can skip the guard.
 fn write_report(out: &str, json: &str) -> Result<(), OccuError> {
+    occu_bench::validate_out_path(out)?;
     if let Some(dir) = std::path::Path::new(out).parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir).io_context(dir.display().to_string())?;
     }
@@ -402,6 +413,14 @@ fn run_fleet(quick: bool, args: &[String]) -> Result<(), CliError> {
             .parse()
             .map_err(|_| format!("--zipf: '{s}' is not a number"))?;
     }
+    // `--seed` replays a recorded run's traffic pattern: the report
+    // stores the base seed, and every client thread derives its own
+    // stream from it deterministically.
+    if let Some(s) = flag_value(args, "--seed")? {
+        cfg.seed = s
+            .parse()
+            .map_err(|_| format!("--seed: '{s}' is not an unsigned integer"))?;
+    }
     let rep = occu_bench::run_fleetgen(&cfg)?;
     print!("{}", occu_bench::render_fleet(&rep));
     let json = serde_json::to_string_pretty(&rep).expect("fleet report serializes");
@@ -481,6 +500,46 @@ fn run_plan(quick: bool, args: &[String]) -> Result<(), CliError> {
     if !failures.is_empty() {
         for f in &failures {
             occu_obs::error!("plan: {f}");
+        }
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `repro quant` — the quantized-inference gate: per-model int8
+/// accuracy drift vs f32 (≤0.5 occupancy pp, always enforced) plus an aggregate
+/// int8-over-f32 throughput gate on SIMD hosts (full runs only;
+/// scalar hosts carry no speedup promise). `--compare <report.json>`
+/// additionally asserts this run's int8 prediction bits match a prior
+/// run's — rerun under `OCCU_FORCE_SCALAR=1` to prove the dispatched
+/// and scalar int8 kernels agree bitwise.
+fn run_quant(quick: bool, args: &[String]) -> Result<(), CliError> {
+    let out = flag_value(args, "--out")?.unwrap_or("reports/quant_perf.json");
+    occu_bench::validate_out_path(out)?;
+    let rep = occu_bench::quant_study(quick, 55);
+    print!("{}", occu_bench::render_quant(&rep));
+    let json = serde_json::to_string_pretty(&rep).expect("quant report serializes");
+    write_report(out, &json)?;
+    let mut failures = rep.gate_failures(!quick);
+    if let Some(path) = flag_value(args, "--compare")? {
+        let prior = std::fs::read_to_string(path).io_context(path)?;
+        let prior: occu_bench::QuantPerfReport = serde_json::from_str(&prior)
+            .map_err(|e| OccuError::parse(path, e.to_string()))?;
+        let mismatches = rep.bitwise_mismatches(&prior);
+        if mismatches.is_empty() {
+            println!(
+                "bitwise: {} models identical across {} and {}",
+                rep.models, rep.quant_isa, prior.quant_isa
+            );
+            println!();
+        }
+        failures.extend(
+            mismatches.into_iter().map(|m| format!("int8 bits diverged across ISAs: {m}")),
+        );
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            occu_obs::error!("quant: {f}");
         }
         std::process::exit(1);
     }
@@ -596,11 +655,12 @@ fn finish_obs(trace: Option<String>, metrics: Option<String>) -> Result<(), Occu
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|kernels|plan|obs-overhead|loadgen|fleet|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
+    eprintln!("usage: repro [fig2|fig4|fig5|fig45|fig6|fig7|table4|table5|table6|ablation|aggr|device-gen|perf|kernels|plan|quant|obs-overhead|loadgen|fleet|all] [--quick] [--device <name-or-json>] [--out perf_report.json]");
     eprintln!("observability: --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     eprintln!("loadgen: --url <host:port> --requests <n> --concurrency <n> --telemetry on|off --plan on|off --out reports/serve_perf.json");
-    eprintln!("fleet: --requests <per-conn> --rungs 2,4,8 --zipf <s> --out reports/fleet_perf.json  (multi-tenant ladder + reload + throttle gate)");
+    eprintln!("fleet: --requests <per-conn> --rungs 2,4,8 --zipf <s> --seed <u64> --out reports/fleet_perf.json  (multi-tenant ladder + reload + throttle gate)");
     eprintln!("plan: --out reports/plan_perf.json  (bitwise plan-vs-interpreter gate + throughput gate)");
+    eprintln!("quant: --out reports/quant_perf.json --compare <prior.json>  (int8 accuracy-drift + speedup gate; --compare checks cross-ISA bitwise stability)");
     std::process::exit(2);
 }
 
@@ -622,6 +682,7 @@ fn try_main(cmd: &str, quick: bool, args: &[String]) -> Result<(), CliError> {
         "perf" => run_perf(quick, args)?,
         "kernels" => run_kernels(quick, args)?,
         "plan" => run_plan(quick, args)?,
+        "quant" => run_quant(quick, args)?,
         "obs-overhead" => run_obs_overhead(quick, args)?,
         "loadgen" => run_loadgen(quick, args)?,
         "fleet" => run_fleet(quick, args)?,
@@ -672,6 +733,8 @@ fn main() {
             || a == "--plan"
             || a == "--rungs"
             || a == "--zipf"
+            || a == "--seed"
+            || a == "--compare"
             || a == "--trace-out"
             || a == "--metrics-out"
             || a == "--log-level"

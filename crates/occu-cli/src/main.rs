@@ -7,8 +7,8 @@
 //! occu train    --out model.json --device a100 --configs 8 --epochs 50 --workers 0
 //! occu predict  --weights model.json --model ResNet-50 --batch 32 --device a100 [--plan]
 //! occu schedule --jobs 24 --gpus 4 [--weights model.json] [--trace jobs.csv] [--seed 1]
-//! occu serve    --weights model.json --port 7071 --threads 4 [--no-plan]   # batched, cached HTTP server
-//! occu serve    --model a=x.json --model b=y.json --rate b=200 --weight b=3 --shards 4   # multi-model fleet
+//! occu serve    --weights model.json --port 7071 --threads 4 [--no-plan] [--precision int8]   # batched, cached HTTP server
+//! occu serve    --model a=x.json --model b=y.json --rate b=200 --weight b=3 --precision b=int8 --shards 4   # multi-model fleet
 //! ```
 //!
 //! `--device` accepts a built-in name (`a100`) or a path to a device
@@ -100,8 +100,8 @@ fn die_usage(msg: &str) -> ! {
     eprintln!("  occu train    [--out model.json] [--device a100] [--configs 8] [--epochs 50] [--hidden 64] [--workers 0] [--test-fraction 0.2]");
     eprintln!("  occu predict  --weights model.json --model ResNet-50 [--batch 32] [--device a100] [--plan]");
     eprintln!("  occu schedule [--jobs 24] [--gpus 4] [--weights model.json] [--trace jobs.csv] [--save-trace jobs.csv] [--seed 1]");
-    eprintln!("  occu serve    --weights model.json [--addr 127.0.0.1] [--port 7071] [--threads 4] [--queue 128] [--batch-window-us 1000] [--max-batch 32] [--cache 4096] [--l2-cache 8192] [--shards 2] [--slo-us 5000] [--recorder 256] [--no-plan]");
-    eprintln!("  occu serve    --model a=x.json --model b=y.json [--weight b=3] [--rate b=200] ...   # multi-model fleet (repeatable)");
+    eprintln!("  occu serve    --weights model.json [--addr 127.0.0.1] [--port 7071] [--threads 4] [--queue 128] [--batch-window-us 1000] [--max-batch 32] [--cache 4096] [--l2-cache 8192] [--shards 2] [--slo-us 5000] [--recorder 256] [--no-plan] [--precision f32|f16|int8]");
+    eprintln!("  occu serve    --model a=x.json --model b=y.json [--weight b=3] [--rate b=200] [--precision b=int8] ...   # multi-model fleet (repeatable)");
     eprintln!("--device takes a built-in name or a device-spec JSON path");
     eprintln!("observability (any command): --trace-out spans.jsonl --metrics-out metrics.json --log-level info");
     std::process::exit(2);
@@ -390,13 +390,38 @@ fn name_value<'a>(flag: &str, spec: &'a str) -> Result<(&'a str, &'a str), CliEr
         .ok_or_else(|| CliError::Usage(format!("--{flag} expects name=value, got '{spec}'")))
 }
 
+/// Parses one `--precision` value (the part after `name=`, or the
+/// whole global value).
+fn parse_precision(value: &str) -> Result<occu_serve::Precision, CliError> {
+    occu_serve::Precision::parse(value).ok_or_else(|| {
+        CliError::Usage(format!("--precision: unknown precision '{value}' (f32, f16, int8)"))
+    })
+}
+
 /// Builds the model fleet from the command line: either the classic
 /// single `--weights model.json` (served as tenant `default`) or one
 /// or more `--model name=path` entries, with optional per-tenant
-/// `--weight name=N` fair-share weights and `--rate name=RPS` token
-/// buckets. The first `--model` is the default tenant for requests
-/// that do not name one.
+/// `--weight name=N` fair-share weights, `--rate name=RPS` token
+/// buckets, and `--precision [name=]f32|f16|int8` plan lowering (bare
+/// value = every tenant, `name=value` = that tenant; per-tenant wins).
+/// The first `--model` is the default tenant for requests that do not
+/// name one.
 fn build_fleet(args: &Args) -> Result<std::sync::Arc<occu_serve::FleetRegistry>, CliError> {
+    let mut global_precision = occu_serve::Precision::F32;
+    let mut precisions = std::collections::BTreeMap::new();
+    for spec in args.get_all("precision") {
+        match spec.split_once('=') {
+            Some((name, value)) if !name.is_empty() && !value.is_empty() => {
+                precisions.insert(name.to_string(), parse_precision(value)?);
+            }
+            Some(_) => {
+                return Err(CliError::Usage(format!(
+                    "--precision expects f32|f16|int8 or name=value, got '{spec}'"
+                )))
+            }
+            None => global_precision = parse_precision(spec)?,
+        }
+    }
     let model_flags = args.get_all("model");
     if model_flags.is_empty() {
         let weights = args.require("weights")?;
@@ -405,8 +430,16 @@ fn build_fleet(args: &Args) -> Result<std::sync::Arc<occu_serve::FleetRegistry>,
                 "--rate/--weight need named tenants; use --model name=path".to_string(),
             ));
         }
+        if !precisions.is_empty() {
+            return Err(CliError::Usage(
+                "per-tenant --precision name=value needs named tenants; use --model name=path"
+                    .to_string(),
+            ));
+        }
         let registry = std::sync::Arc::new(occu_serve::ModelRegistry::load(weights)?);
-        return Ok(occu_serve::FleetRegistry::single(registry));
+        return Ok(occu_serve::FleetRegistry::builder()
+            .model_with_precision("default", registry, 1, None, global_precision)
+            .build()?);
     }
     if args.get("weights").is_some() {
         return Err(CliError::Usage(
@@ -435,20 +468,21 @@ fn build_fleet(args: &Args) -> Result<std::sync::Arc<occu_serve::FleetRegistry>,
     for spec in model_flags {
         let (name, path) = name_value("model", spec)?;
         let registry = std::sync::Arc::new(occu_serve::ModelRegistry::load(path)?);
-        builder = builder.model(
+        builder = builder.model_with_precision(
             name,
             registry,
             weights_by_name.get(name).copied().unwrap_or(1),
             rates.get(name).copied(),
+            precisions.get(name).copied().unwrap_or(global_precision),
         );
         names.push(name.to_string());
     }
-    // A --rate/--weight naming a tenant that was never registered is
-    // a silent no-op otherwise; fail loudly.
-    for name in rates.keys().chain(weights_by_name.keys()) {
+    // A --rate/--weight/--precision naming a tenant that was never
+    // registered is a silent no-op otherwise; fail loudly.
+    for name in rates.keys().chain(weights_by_name.keys()).chain(precisions.keys()) {
         if !names.iter().any(|n| n == name) {
             return Err(CliError::Usage(format!(
-                "--rate/--weight references unknown model '{name}' (registered: {})",
+                "--rate/--weight/--precision references unknown model '{name}' (registered: {})",
                 names.join(", ")
             )));
         }

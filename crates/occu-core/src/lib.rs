@@ -39,5 +39,6 @@ pub use dataset::{Dataset, Sample};
 pub use features::{FeaturizedGraph, EDGE_FEAT_DIM, NODE_FEAT_DIM, SPD_CAP};
 pub use gnn::{DnnOccu, DnnOccuConfig};
 pub use metrics::{floored_targets, mre, mse, EvalResult, MRE_FLOOR};
+pub use occu_plan::Precision;
 pub use plan::CompiledPlan;
 pub use train::{OccuPredictor, Parallelism, TrainConfig, Trainer};

@@ -21,8 +21,8 @@ use crate::gnn::{AneeLayer, DnnOccu, GraphormerLayer, Mab, SetTransformerDecoder
 use crate::train::{target_to_occupancy, OccuPredictor};
 use occu_nn::{Activation, FeedForward, LayerNorm, Linear, Mlp, MultiHeadAttention, ParamStore};
 use occu_plan::{
-    Executor, IdxRef, InputRef, InputShapes, PlanInputs, Program, ProgramBuilder, ProgramStats,
-    Src, UnaryOp,
+    Executor, IdxRef, InputRef, InputShapes, PlanInputs, Precision, Program, ProgramBuilder,
+    ProgramStats, Src, UnaryOp,
 };
 
 thread_local! {
@@ -49,6 +49,11 @@ impl CompiledPlan {
     /// Program counters for telemetry.
     pub fn stats(&self) -> ProgramStats {
         self.program.stats()
+    }
+
+    /// The numeric tier this plan's weight matmuls run at.
+    pub fn precision(&self) -> Precision {
+        self.program.precision()
     }
 
     /// Predicts the raw log-scale target — the plan-compiled
@@ -81,13 +86,32 @@ impl CompiledPlan {
 struct PlanCompiler<'m> {
     b: ProgramBuilder,
     store: &'m ParamStore,
+    precision: Precision,
 }
 
 impl PlanCompiler<'_> {
+    /// The precision-lowering hook: every `Linear` weight (the only
+    /// compile-time matmul right-hand sides) is snapshot at the
+    /// compiler's precision. Activation-by-activation products
+    /// (attention scores/values) have no compile-time operand and
+    /// stay f32 at every tier.
     fn linear(&mut self, l: &Linear, x: Src) -> Src {
-        let w = self.b.packed_weight(self.store.value(l.weight_id()));
+        let wm = self.store.value(l.weight_id());
         let bias = l.bias_id().map(|id| self.b.plain_weight(self.store.value(id).clone()));
-        self.b.matmul_packed(x, w, bias)
+        match self.precision {
+            Precision::F32 => {
+                let w = self.b.packed_weight(wm);
+                self.b.matmul_packed(x, w, bias)
+            }
+            Precision::F16 => {
+                let w = self.b.f16_weight(wm);
+                self.b.matmul_f16(x, w, bias)
+            }
+            Precision::Int8 => {
+                let w = self.b.packed_weight_i8(wm);
+                self.b.matmul_packed_i8(x, w, bias)
+            }
+        }
     }
 
     fn activation(&mut self, act: Activation, x: Src) -> Src {
@@ -221,6 +245,19 @@ impl DnnOccu {
     /// `n_edges` edge rows (the featurizer pads empty graphs to one
     /// zero edge, so `n_edges` is `max(edges, 1)`).
     pub fn compile_plan(&self, n_nodes: usize, n_edges: usize) -> CompiledPlan {
+        self.compile_plan_with(n_nodes, n_edges, Precision::F32)
+    }
+
+    /// [`Self::compile_plan`] with the weight matmuls lowered to the
+    /// given numeric tier. `Precision::F32` keeps the bitwise
+    /// plan-vs-interpreter contract; `F16`/`Int8` are accuracy-
+    /// budgeted tiers (see `repro quant`).
+    pub fn compile_plan_with(
+        &self,
+        n_nodes: usize,
+        n_edges: usize,
+        precision: Precision,
+    ) -> CompiledPlan {
         assert!(n_nodes > 0, "compile_plan: graphs have at least one node");
         assert!(n_edges > 0, "compile_plan: the featurizer pads to at least one edge row");
         let shapes = InputShapes {
@@ -230,7 +267,9 @@ impl DnnOccu {
             edge_feat_dim: EDGE_FEAT_DIM,
             global_feat_dim: GLOBAL_FEAT_DIM,
         };
-        let mut c = PlanCompiler { b: ProgramBuilder::new(shapes), store: self.store() };
+        let mut builder = ProgramBuilder::new(shapes);
+        builder.set_precision(precision);
+        let mut c = PlanCompiler { b: builder, store: self.store(), precision };
         let nodes = Src::Input(InputRef::NodeFeats);
         let edges = Src::Input(InputRef::EdgeFeats);
         let mut h = c.anee(&self.anee, nodes, edges, n_nodes);
@@ -259,6 +298,11 @@ impl DnnOccu {
     /// Compiles a plan matching the shape of one featurized graph.
     pub fn compile_plan_for(&self, fg: &FeaturizedGraph) -> CompiledPlan {
         self.compile_plan(fg.num_nodes(), fg.edge_src.len())
+    }
+
+    /// [`Self::compile_plan_for`] at a chosen numeric tier.
+    pub fn compile_plan_for_with(&self, fg: &FeaturizedGraph, precision: Precision) -> CompiledPlan {
+        self.compile_plan_with(fg.num_nodes(), fg.edge_src.len(), precision)
     }
 }
 
@@ -313,6 +357,45 @@ mod tests {
                 "ablation {i} diverged"
             );
         }
+    }
+
+    #[test]
+    fn quantized_plans_track_the_f32_plan_closely_but_not_bitwise() {
+        let model = DnnOccu::new(DnnOccuConfig::fast(), 41);
+        let fg = sample_graph(3);
+        let f32_plan = model.compile_plan_for(&fg);
+        let base = f32_plan.predict(&fg);
+        assert_eq!(f32_plan.precision(), Precision::F32);
+        for precision in [Precision::F16, Precision::Int8] {
+            let plan = model.compile_plan_for_with(&fg, precision);
+            assert_eq!(plan.precision(), precision);
+            let got = plan.predict(&fg);
+            // Occupancy is in (0, 1]; the quantized tiers must stay
+            // within a small absolute budget of the f32 plan.
+            assert!(
+                (got - base).abs() < 0.05,
+                "{} plan drifted: {got} vs f32 {base}",
+                precision.name()
+            );
+        }
+        // The int8 tier snapshots different weights: identical output
+        // bits would mean the lowering silently fell back to f32.
+        let i8_plan = model.compile_plan_for_with(&fg, Precision::Int8);
+        assert_eq!(i8_plan.stats().packed_i8_weights, f32_plan.stats().packed_weights);
+        assert_eq!(i8_plan.stats().packed_weights, 0);
+    }
+
+    #[test]
+    fn int8_plan_is_bitwise_reproducible_across_runs() {
+        let model = DnnOccu::new(DnnOccuConfig::fast(), 43);
+        let fg = sample_graph(4);
+        let plan = model.compile_plan_for_with(&fg, Precision::Int8);
+        let first = plan.predict_target(&fg);
+        for _ in 0..3 {
+            assert_eq!(plan.predict_target(&fg).to_bits(), first.to_bits());
+        }
+        let recompiled = model.compile_plan_for_with(&fg, Precision::Int8);
+        assert_eq!(recompiled.predict_target(&fg).to_bits(), first.to_bits());
     }
 
     #[test]

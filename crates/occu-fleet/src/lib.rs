@@ -52,5 +52,6 @@ pub use bucket::TokenBucket;
 pub use cache::{CacheStats, LruCache};
 pub use fair::FairQueue;
 pub use plan_cache::{PlanCache, PLAN_CACHE_CAPACITY};
+pub use occu_core::Precision;
 pub use registry::{FleetBuilder, FleetRegistry, LoadedModel, ModelRegistry, TenantSlot};
 pub use ring::HashRing;

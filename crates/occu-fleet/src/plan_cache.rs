@@ -1,5 +1,5 @@
-//! Cache of compiled inference plans, keyed by graph shape and model
-//! version.
+//! Cache of compiled inference plans, keyed by graph shape, model
+//! version, and numeric precision.
 //!
 //! A [`CompiledPlan`] snapshots weight values (pre-packed for the
 //! blocked GEMM), so it is only valid for the model version it was
@@ -11,11 +11,14 @@
 //! Shapes alone determine a plan's register layout: the featurized
 //! node/edge/global matrices and index arrays are execution-time
 //! inputs, never baked in, so every request with the same
-//! `(n_nodes, n_edges)` reuses one plan.
+//! `(n_nodes, n_edges)` reuses one plan. [`Precision`] is in the key
+//! because the lowering bakes differently-encoded weight snapshots
+//! into the program — two tenants sharing a model file at different
+//! precisions must never share a plan.
 
 use crate::cache::{CacheStats, LruCache};
 use occu_core::gnn::DnnOccu;
-use occu_core::{CompiledPlan, FeaturizedGraph};
+use occu_core::{CompiledPlan, FeaturizedGraph, Precision};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// How many distinct graph shapes keep their compiled plan resident.
@@ -24,7 +27,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// weight copies held alive.
 pub const PLAN_CACHE_CAPACITY: usize = 64;
 
-type Key = (usize, usize, u64);
+type Key = (usize, usize, u64, Precision);
 
 /// Shared, thread-safe LRU of compiled plans.
 pub struct PlanCache {
@@ -53,12 +56,13 @@ impl PlanCache {
         model: &DnnOccu,
         version: u64,
         fg: &FeaturizedGraph,
+        precision: Precision,
     ) -> Arc<CompiledPlan> {
-        let key = (fg.num_nodes(), fg.edge_src.len(), version);
+        let key = (fg.num_nodes(), fg.edge_src.len(), version, precision);
         if let Some(plan) = self.lock().get(&key) {
             return Arc::clone(plan);
         }
-        let plan = Arc::new(model.compile_plan_for(fg));
+        let plan = Arc::new(model.compile_plan_for_with(fg, precision));
         let mut guard = self.lock();
         // Counter-neutral re-check: the first `get` already recorded
         // this lookup as a miss, and misses map to the `compiles`
@@ -99,11 +103,11 @@ mod tests {
         let fg = graph(ModelId::LeNet);
         let cache = PlanCache::new(8);
 
-        let p1 = cache.get_or_compile(&model, 1, &fg);
-        let p2 = cache.get_or_compile(&model, 1, &fg);
+        let p1 = cache.get_or_compile(&model, 1, &fg, Precision::F32);
+        let p2 = cache.get_or_compile(&model, 1, &fg, Precision::F32);
         assert!(Arc::ptr_eq(&p1, &p2), "same shape+version must share one plan");
 
-        let p3 = cache.get_or_compile(&model, 2, &fg);
+        let p3 = cache.get_or_compile(&model, 2, &fg, Precision::F32);
         assert!(!Arc::ptr_eq(&p1, &p3), "a new model version must not reuse old plans");
 
         let s = cache.stats();
@@ -113,13 +117,32 @@ mod tests {
     }
 
     #[test]
+    fn distinct_precisions_get_distinct_plan_entries() {
+        let model = DnnOccu::new(DnnOccuConfig { hidden: 8, ..DnnOccuConfig::fast() }, 5);
+        let fg = graph(ModelId::LeNet);
+        let cache = PlanCache::new(8);
+
+        let f32_plan = cache.get_or_compile(&model, 1, &fg, Precision::F32);
+        let i8_plan = cache.get_or_compile(&model, 1, &fg, Precision::Int8);
+        let f16_plan = cache.get_or_compile(&model, 1, &fg, Precision::F16);
+        assert!(!Arc::ptr_eq(&f32_plan, &i8_plan), "precision must be part of the cache key");
+        assert_eq!(f32_plan.precision(), Precision::F32);
+        assert_eq!(i8_plan.precision(), Precision::Int8);
+        assert_eq!(f16_plan.precision(), Precision::F16);
+        assert_eq!(cache.stats().len, 3);
+
+        let again = cache.get_or_compile(&model, 1, &fg, Precision::Int8);
+        assert!(Arc::ptr_eq(&i8_plan, &again), "same precision must hit its own entry");
+    }
+
+    #[test]
     fn cached_plan_predictions_match_interpreter_bitwise() {
         use occu_core::OccuPredictor;
         let model = DnnOccu::new(DnnOccuConfig::fast(), 7);
         let cache = PlanCache::new(8);
         for id in [ModelId::LeNet, ModelId::AlexNet] {
             let fg = graph(id);
-            let plan = cache.get_or_compile(&model, 1, &fg);
+            let plan = cache.get_or_compile(&model, 1, &fg, Precision::F32);
             assert_eq!(plan.predict(&fg).to_bits(), model.predict(&fg).to_bits());
         }
     }
@@ -128,7 +151,7 @@ mod tests {
     fn clear_empties_the_cache() {
         let model = DnnOccu::new(DnnOccuConfig { hidden: 8, ..DnnOccuConfig::fast() }, 9);
         let cache = PlanCache::new(8);
-        cache.get_or_compile(&model, 1, &graph(ModelId::LeNet));
+        cache.get_or_compile(&model, 1, &graph(ModelId::LeNet), Precision::F32);
         assert_eq!(cache.stats().len, 1);
         cache.clear();
         assert_eq!(cache.stats().len, 0);

@@ -19,10 +19,11 @@
 use crate::bucket::TokenBucket;
 use crate::plan_cache::{PlanCache, PLAN_CACHE_CAPACITY};
 use occu_core::gnn::DnnOccu;
+use occu_core::Precision;
 use occu_error::{IoContext, OccuError, Result};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -138,6 +139,28 @@ pub struct TenantSlot {
     pub predictions: AtomicU64,
     /// Successful `/reload`s targeting this tenant.
     pub reloads: AtomicU64,
+    /// Numeric precision the plan compiler lowers to for this tenant,
+    /// stored as [`Precision`]'s discriminant so `/reload` can switch
+    /// it without locking. Plans at the old precision stay cached but
+    /// unreachable (precision is part of the plan-cache key).
+    precision: AtomicU8,
+}
+
+/// [`Precision`] ↔ `AtomicU8` codes for the tenant slot.
+fn precision_code(p: Precision) -> u8 {
+    match p {
+        Precision::F32 => 0,
+        Precision::F16 => 1,
+        Precision::Int8 => 2,
+    }
+}
+
+fn precision_from_code(code: u8) -> Precision {
+    match code {
+        1 => Precision::F16,
+        2 => Precision::Int8,
+        _ => Precision::F32,
+    }
 }
 
 impl TenantSlot {
@@ -146,6 +169,7 @@ impl TenantSlot {
         registry: Arc<ModelRegistry>,
         weight: u32,
         bucket: Option<TokenBucket>,
+        precision: Precision,
         plan_cache_cap: usize,
         index: usize,
     ) -> Self {
@@ -160,7 +184,20 @@ impl TenantSlot {
             throttled: AtomicU64::new(0),
             predictions: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            precision: AtomicU8::new(precision_code(precision)),
         }
+    }
+
+    /// The precision new plan compiles for this tenant use.
+    pub fn precision(&self) -> Precision {
+        precision_from_code(self.precision.load(Ordering::Relaxed))
+    }
+
+    /// Switches the tenant's serving precision. Takes effect on the
+    /// next plan-cache lookup; in-flight batches keep the plan they
+    /// already resolved.
+    pub fn set_precision(&self, p: Precision) {
+        self.precision.store(precision_code(p), Ordering::Relaxed);
     }
 }
 
@@ -233,8 +270,8 @@ impl FleetRegistry {
 }
 
 /// One pending tenant registration: name, loaded model slot,
-/// fair-dequeue weight, optional admission bucket.
-type PendingTenant = (Arc<str>, Arc<ModelRegistry>, u32, Option<TokenBucket>);
+/// fair-dequeue weight, optional admission bucket, plan precision.
+type PendingTenant = (Arc<str>, Arc<ModelRegistry>, u32, Option<TokenBucket>, Precision);
 
 /// Accumulates tenants for a [`FleetRegistry`].
 pub struct FleetBuilder {
@@ -245,16 +282,30 @@ pub struct FleetBuilder {
 impl FleetBuilder {
     /// Registers `name` with an already-loaded model slot, a
     /// fair-dequeue `weight` (clamped to ≥ 1), and an optional
-    /// requests-per-second admission limit.
+    /// requests-per-second admission limit. Serves full-precision
+    /// (f32) plans; see [`FleetBuilder::model_with_precision`].
     pub fn model(
-        mut self,
+        self,
         name: impl Into<String>,
         registry: Arc<ModelRegistry>,
         weight: u32,
         rate_rps: Option<f64>,
     ) -> Self {
+        self.model_with_precision(name, registry, weight, rate_rps, Precision::F32)
+    }
+
+    /// Like [`FleetBuilder::model`] but also selects the numeric
+    /// precision the tenant's plans are lowered to.
+    pub fn model_with_precision(
+        mut self,
+        name: impl Into<String>,
+        registry: Arc<ModelRegistry>,
+        weight: u32,
+        rate_rps: Option<f64>,
+        precision: Precision,
+    ) -> Self {
         let bucket = rate_rps.map(TokenBucket::per_second);
-        self.entries.push((Arc::from(name.into()), registry, weight, bucket));
+        self.entries.push((Arc::from(name.into()), registry, weight, bucket, precision));
         self
     }
 
@@ -275,12 +326,15 @@ impl FleetBuilder {
         let default = Arc::clone(&self.entries[0].0);
         let mut by_name = BTreeMap::new();
         let mut slots = Vec::with_capacity(self.entries.len());
-        for (index, (name, registry, weight, bucket)) in self.entries.into_iter().enumerate() {
+        for (index, (name, registry, weight, bucket, precision)) in
+            self.entries.into_iter().enumerate()
+        {
             let slot = Arc::new(TenantSlot::new(
                 Arc::clone(&name),
                 registry,
                 weight,
                 bucket,
+                precision,
                 self.plan_cache_cap,
                 index,
             ));
@@ -376,6 +430,27 @@ mod tests {
             .build();
         assert!(dup.is_err(), "duplicate tenant names must be rejected");
         assert!(FleetRegistry::builder().build().is_err(), "empty fleet must be rejected");
+    }
+
+    #[test]
+    fn tenant_precision_defaults_to_f32_and_is_switchable() {
+        let fleet = FleetRegistry::builder()
+            .model("plain", Arc::new(ModelRegistry::from_model(tiny_model(1), "p.json")), 1, None)
+            .model_with_precision(
+                "quant",
+                Arc::new(ModelRegistry::from_model(tiny_model(2), "q.json")),
+                1,
+                None,
+                Precision::Int8,
+            )
+            .build()
+            .expect("build");
+        let plain = fleet.get("plain").expect("plain");
+        let quant = fleet.get("quant").expect("quant");
+        assert_eq!(plain.precision(), Precision::F32);
+        assert_eq!(quant.precision(), Precision::Int8);
+        plain.set_precision(Precision::F16);
+        assert_eq!(plain.precision(), Precision::F16);
     }
 
     #[test]

@@ -30,7 +30,53 @@
 //! that lowers a `DnnOccu` forward pass into a [`Program`] lives in
 //! `occu-core` and drives [`ProgramBuilder`].
 
-use occu_tensor::{Matrix, PackedB, ScratchArena};
+use occu_tensor::{matmul_f16_into, matmul_i8_into, F16Matrix, Matrix, PackedB, PackedI8, ScratchArena};
+
+/// Numeric tier a plan's weight matmuls were lowered to. Tagged on
+/// every [`Program`] so plan caches can key on it — two tenants
+/// serving the same weights at different precisions must compile
+/// distinct plans.
+///
+/// `F32` is the default and keeps the bitwise plan-vs-interpreter
+/// contract. `F16` and `Int8` trade bit equality for memory
+/// (and, for `Int8`, integer-factor throughput) and are validated
+/// against an accuracy budget instead (`repro quant`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full-precision packed-panel matmuls; bitwise-equal to the
+    /// interpreter.
+    #[default]
+    F32,
+    /// Weights stored as IEEE binary16, widened exactly at multiply
+    /// time; equals the f32 product of the f16-rounded weights.
+    F16,
+    /// Symmetric per-output-channel int8 weights with dynamic per-row
+    /// activation quantization; cross-ISA bitwise-stable but not
+    /// bitwise-equal to f32.
+    Int8,
+}
+
+impl Precision {
+    /// Stable lowercase name (flag values, metric labels, statusz).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Parses a flag/config value; accepts exactly the [`Self::name`]
+    /// forms.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(Precision::F32),
+            "f16" => Some(Precision::F16),
+            "int8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+}
 
 /// Layer-norm epsilon. Must match `occu-nn`'s tape constant so the
 /// fused `LayerNormAffine` instruction is bitwise-identical to the
@@ -114,6 +160,34 @@ pub enum Instr {
         /// Left operand.
         a: Src,
         /// Index into the program's packed-weight table.
+        w: u16,
+        /// Optional row-broadcast bias (plain-weight index).
+        bias: Option<u16>,
+        /// Destination register.
+        dst: u16,
+    },
+    /// `dst = a * packed_i8[w] (+ bias)` — the int8 tier's matmul.
+    /// The weight was quantized per output channel at compile time;
+    /// activations are quantized per row on the fly inside
+    /// `matmul_i8_into`. Cross-ISA bitwise-stable, accuracy-budgeted
+    /// against f32.
+    MatmulPackedI8 {
+        /// Left operand (f32 activations).
+        a: Src,
+        /// Index into the program's int8 packed-weight table.
+        w: u16,
+        /// Optional row-broadcast bias (plain-weight index).
+        bias: Option<u16>,
+        /// Destination register.
+        dst: u16,
+    },
+    /// `dst = a * widen(f16[w]) (+ bias)` — the f16 storage tier.
+    /// Equals the f32 product of the f16-rounded weight bit for bit
+    /// on every bitwise-exact ISA.
+    MatmulF16 {
+        /// Left operand.
+        a: Src,
+        /// Index into the program's f16 weight table.
         w: u16,
         /// Optional row-broadcast bias (plain-weight index).
         bias: Option<u16>,
@@ -263,6 +337,8 @@ impl Instr {
     fn dst(&self) -> u16 {
         match *self {
             Instr::MatmulPacked { dst, .. }
+            | Instr::MatmulPackedI8 { dst, .. }
+            | Instr::MatmulF16 { dst, .. }
             | Instr::Matmul { dst, .. }
             | Instr::MatmulTransB { dst, .. }
             | Instr::Add { dst, .. }
@@ -283,6 +359,8 @@ impl Instr {
     fn for_each_src(&self, mut f: impl FnMut(Src)) {
         match *self {
             Instr::MatmulPacked { a, .. }
+            | Instr::MatmulPackedI8 { a, .. }
+            | Instr::MatmulF16 { a, .. }
             | Instr::Unary { a, .. }
             | Instr::SoftmaxRows { a, .. }
             | Instr::LayerNormAffine { a, .. }
@@ -350,11 +428,16 @@ pub struct ProgramStats {
     pub instrs: usize,
     /// Register count.
     pub registers: usize,
-    /// Pre-packed weight panels.
+    /// Pre-packed f32 weight panels.
     pub packed_weights: usize,
+    /// Pre-packed int8 weight panels.
+    pub packed_i8_weights: usize,
+    /// f16 weight snapshots.
+    pub f16_weights: usize,
     /// Plain weight snapshots.
     pub plain_weights: usize,
-    /// Total bytes held by weight snapshots (packed + plain).
+    /// Total bytes held by weight snapshots (packed + quantized +
+    /// plain).
     pub weight_bytes: usize,
     /// Node count the program is specialized to.
     pub n_nodes: usize,
@@ -369,6 +452,8 @@ pub struct ProgramStats {
 pub struct Program {
     instrs: Vec<Instr>,
     packed: Vec<PackedB>,
+    packed_i8: Vec<PackedI8>,
+    f16: Vec<F16Matrix>,
     plain: Vec<Matrix>,
     reg_shapes: Vec<(usize, usize)>,
     /// Registers whose last read is instruction `i`, recycled right
@@ -376,12 +461,18 @@ pub struct Program {
     free_after: Vec<Vec<u16>>,
     output: u16,
     shapes: InputShapes,
+    precision: Precision,
 }
 
 impl Program {
     /// The input shapes this program is specialized to.
     pub fn input_shapes(&self) -> InputShapes {
         self.shapes
+    }
+
+    /// The numeric tier this program's weight matmuls were lowered to.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Shape of the final output register.
@@ -392,13 +483,17 @@ impl Program {
     /// Summary counters for telemetry.
     pub fn stats(&self) -> ProgramStats {
         let packed_bytes: usize = self.packed.iter().map(|p| p.bytes()).sum();
+        let i8_bytes: usize = self.packed_i8.iter().map(|p| p.bytes()).sum();
+        let f16_bytes: usize = self.f16.iter().map(|m| m.bytes()).sum();
         let plain_bytes: usize = self.plain.iter().map(|m| m.len() * 4).sum();
         ProgramStats {
             instrs: self.instrs.len(),
             registers: self.reg_shapes.len(),
             packed_weights: self.packed.len(),
+            packed_i8_weights: self.packed_i8.len(),
+            f16_weights: self.f16.len(),
             plain_weights: self.plain.len(),
-            weight_bytes: packed_bytes + plain_bytes,
+            weight_bytes: packed_bytes + i8_bytes + f16_bytes + plain_bytes,
             n_nodes: self.shapes.n_nodes,
             n_edges: self.shapes.n_edges,
         }
@@ -436,20 +531,33 @@ pub struct ProgramBuilder {
     shapes: InputShapes,
     instrs: Vec<Instr>,
     packed: Vec<PackedB>,
+    packed_i8: Vec<PackedI8>,
+    f16: Vec<F16Matrix>,
     plain: Vec<Matrix>,
     reg_shapes: Vec<(usize, usize)>,
+    precision: Precision,
 }
 
 impl ProgramBuilder {
-    /// Starts a program specialized to the given input shapes.
+    /// Starts a program specialized to the given input shapes, tagged
+    /// [`Precision::F32`] until [`Self::set_precision`] says otherwise.
     pub fn new(shapes: InputShapes) -> Self {
         ProgramBuilder {
             shapes,
             instrs: Vec::new(),
             packed: Vec::new(),
+            packed_i8: Vec::new(),
+            f16: Vec::new(),
             plain: Vec::new(),
             reg_shapes: Vec::new(),
+            precision: Precision::F32,
         }
+    }
+
+    /// Records the numeric tier the compiler lowered weight matmuls
+    /// to; carried onto the finished [`Program`] as its tag.
+    pub fn set_precision(&mut self, p: Precision) {
+        self.precision = p;
     }
 
     /// Shape of any operand (register, input, or plain weight).
@@ -492,6 +600,24 @@ impl ProgramBuilder {
         id as u16
     }
 
+    /// Quantizes and packs a matmul weight into int8 panels, returning
+    /// its table index for [`Self::matmul_packed_i8`].
+    pub fn packed_weight_i8(&mut self, w: &Matrix) -> u16 {
+        let id = self.packed_i8.len();
+        assert!(id < u16::MAX as usize, "plan: int8 weight count overflow");
+        self.packed_i8.push(PackedI8::pack(w));
+        id as u16
+    }
+
+    /// Rounds a matmul weight to f16 storage, returning its table
+    /// index for [`Self::matmul_f16`].
+    pub fn f16_weight(&mut self, w: &Matrix) -> u16 {
+        let id = self.f16.len();
+        assert!(id < u16::MAX as usize, "plan: f16 weight count overflow");
+        self.f16.push(F16Matrix::from_matrix(w));
+        id as u16
+    }
+
     /// Snapshots a plain weight (bias rows, norm gains, embedding
     /// tables, seed matrices), returning its plain-table index. Use
     /// [`Src::Weight`] to reference it as a general operand.
@@ -515,6 +641,36 @@ impl ProgramBuilder {
             );
         }
         self.emit((ar, n), |dst| Instr::MatmulPacked { a, w, bias, dst })
+    }
+
+    /// Emits `a * packed_i8[w] (+ bias)`.
+    pub fn matmul_packed_i8(&mut self, a: Src, w: u16, bias: Option<u16>) -> Src {
+        let (ar, ac) = self.shape(a);
+        let (k, n) = self.packed_i8[w as usize].shape();
+        assert_eq!(ac, k, "plan: matmul_packed_i8 inner dim mismatch");
+        if let Some(b) = bias {
+            assert_eq!(
+                self.plain[b as usize].shape(),
+                (1, n),
+                "plan: matmul_packed_i8 bias shape mismatch"
+            );
+        }
+        self.emit((ar, n), |dst| Instr::MatmulPackedI8 { a, w, bias, dst })
+    }
+
+    /// Emits `a * widen(f16[w]) (+ bias)`.
+    pub fn matmul_f16(&mut self, a: Src, w: u16, bias: Option<u16>) -> Src {
+        let (ar, ac) = self.shape(a);
+        let (k, n) = self.f16[w as usize].shape();
+        assert_eq!(ac, k, "plan: matmul_f16 inner dim mismatch");
+        if let Some(b) = bias {
+            assert_eq!(
+                self.plain[b as usize].shape(),
+                (1, n),
+                "plan: matmul_f16 bias shape mismatch"
+            );
+        }
+        self.emit((ar, n), |dst| Instr::MatmulF16 { a, w, bias, dst })
     }
 
     /// Emits `a * b`.
@@ -653,11 +809,14 @@ impl ProgramBuilder {
         Program {
             instrs: self.instrs,
             packed: self.packed,
+            packed_i8: self.packed_i8,
+            f16: self.f16,
             plain: self.plain,
             reg_shapes: self.reg_shapes,
             free_after,
             output: out_reg,
             shapes: self.shapes,
+            precision: self.precision,
         }
     }
 }
@@ -757,6 +916,26 @@ impl Executor {
                 let pb = &p.packed[*w as usize];
                 let mut out = self.arena.take_zeroed(p.reg_shapes[*dst as usize].0, pb.shape().1);
                 av.matmul_prepacked_into(pb, &mut out);
+                if let Some(b) = bias {
+                    out.add_bias_rowwise(&p.plain[*b as usize]);
+                }
+                out
+            }
+            Instr::MatmulPackedI8 { a, w, bias, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let pw = &p.packed_i8[*w as usize];
+                let mut out = self.arena.take_zeroed(p.reg_shapes[*dst as usize].0, pw.shape().1);
+                matmul_i8_into(av, pw, &mut out);
+                if let Some(b) = bias {
+                    out.add_bias_rowwise(&p.plain[*b as usize]);
+                }
+                out
+            }
+            Instr::MatmulF16 { a, w, bias, dst } => {
+                let av = resolve(regs, p, inp, *a);
+                let fw = &p.f16[*w as usize];
+                let mut out = self.arena.take_zeroed(p.reg_shapes[*dst as usize].0, fw.shape().1);
+                matmul_f16_into(av, fw, &mut out);
                 if let Some(b) = bias {
                     out.add_bias_rowwise(&p.plain[*b as usize]);
                 }
@@ -1062,6 +1241,67 @@ mod tests {
             assert_eq!(g.to_bits(), w.to_bits(), "structured program diverged from reference");
         }
         assert_eq!(prog.stats().instrs, 13);
+    }
+
+    #[test]
+    fn int8_program_matches_direct_int8_matmul_bitwise() {
+        let fx = Fixture::new(0x18, 6, 4);
+        let mut rng = SeededRng::new(21);
+        let w = rand_matrix(&mut rng, 5, 8);
+        let bias = rand_matrix(&mut rng, 1, 8);
+
+        let mut b = ProgramBuilder::new(fx.shapes);
+        b.set_precision(Precision::Int8);
+        let wid = b.packed_weight_i8(&w);
+        let bid = b.plain_weight(bias.clone());
+        let y = b.matmul_packed_i8(Src::Input(InputRef::NodeFeats), wid, Some(bid));
+        let prog = b.finish(y);
+        assert_eq!(prog.precision(), Precision::Int8);
+        assert_eq!(prog.stats().packed_i8_weights, 1);
+
+        let mut ex = Executor::new();
+        let got = ex.run(&prog, &fx.inputs());
+
+        let packed = PackedI8::pack(&w);
+        let mut want = Matrix::zeros(6, 8);
+        matmul_i8_into(&fx.node_feats, &packed, &mut want);
+        want.add_bias_rowwise(&bias);
+        assert_eq!(got, want, "int8 plan diverged from direct int8 matmul");
+    }
+
+    #[test]
+    fn f16_program_matches_f32_matmul_of_rounded_weights_bitwise() {
+        let fx = Fixture::new(0x16, 6, 4);
+        let mut rng = SeededRng::new(22);
+        let w = rand_matrix(&mut rng, 5, 8);
+
+        let mut b = ProgramBuilder::new(fx.shapes);
+        b.set_precision(Precision::F16);
+        let wid = b.f16_weight(&w);
+        let y = b.matmul_f16(Src::Input(InputRef::NodeFeats), wid, None);
+        let prog = b.finish(y);
+        assert_eq!(prog.precision(), Precision::F16);
+        assert_eq!(prog.stats().f16_weights, 1);
+
+        let mut ex = Executor::new();
+        let got = ex.run(&prog, &fx.inputs());
+
+        let widened = F16Matrix::from_matrix(&w).to_matrix();
+        let want = fx.node_feats.matmul(&widened);
+        assert_eq!(got, want, "f16 plan diverged from the f32 product of rounded weights");
+    }
+
+    #[test]
+    fn precision_defaults_to_f32_and_names_are_stable() {
+        let fx = Fixture::new(0x33, 3, 2);
+        let mut b = ProgramBuilder::new(fx.shapes);
+        let out = b.unary(Src::Input(InputRef::NodeFeats), UnaryOp::Relu);
+        let prog = b.finish(out);
+        assert_eq!(prog.precision(), Precision::F32);
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            assert_eq!(Precision::parse(p.name()), Some(p));
+        }
+        assert_eq!(Precision::parse("int4"), None);
     }
 
     #[test]

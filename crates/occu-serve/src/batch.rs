@@ -156,7 +156,7 @@ fn run_group(fleet: &FleetRegistry, lane: usize, group: Vec<PredictJob>, use_pla
             .par_iter()
             .map(|fg| {
                 slot.plan_cache
-                    .get_or_compile(&loaded.model, loaded.version, fg)
+                    .get_or_compile(&loaded.model, loaded.version, fg, slot.precision())
                     .predict(fg)
             })
             .collect()

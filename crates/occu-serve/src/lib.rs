@@ -81,7 +81,9 @@ pub mod telemetry;
 pub use occu_fleet::{cache, plan_cache, registry};
 
 pub use cache::{CacheStats, LruCache};
-pub use occu_fleet::{FairQueue, FleetBuilder, FleetRegistry, HashRing, TenantSlot, TokenBucket};
+pub use occu_fleet::{
+    FairQueue, FleetBuilder, FleetRegistry, HashRing, Precision, TenantSlot, TokenBucket,
+};
 pub use plan_cache::PlanCache;
 pub use registry::{LoadedModel, ModelRegistry};
 pub use server::{DrainStats, ServeConfig, Server};

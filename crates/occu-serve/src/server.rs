@@ -34,6 +34,7 @@ use crate::registry::ModelRegistry;
 use crate::telemetry::{RequestCtx, Stage, Telemetry};
 use crate::ServeError;
 use occu_core::features::featurize;
+use occu_core::Precision;
 use occu_error::{IoContext, OccuError};
 use occu_fleet::ring::splitmix64;
 use occu_fleet::{FairQueue, FleetRegistry, HashRing, TenantSlot};
@@ -1157,34 +1158,43 @@ fn handle_reload(
     state: &ServerState,
     body: &[u8],
 ) -> Result<(u16, &'static str, Vec<u8>), ServeError> {
-    let (path, model): (Option<String>, Option<String>) = if body.is_empty() {
-        (None, None)
-    } else {
-        let value = parse_body(body)?;
-        let obj = value
-            .as_object()
-            .ok_or_else(|| ServeError::bad_request("reload body must be a JSON object"))?;
-        for key in obj.keys() {
-            if key != "path" && key != "model" {
-                return Err(ServeError::bad_request(format!(
-                    "unknown field '{key}' (allowed: path, model)"
-                )));
+    let (path, model, precision): (Option<String>, Option<String>, Option<Precision>) =
+        if body.is_empty() {
+            (None, None, None)
+        } else {
+            let value = parse_body(body)?;
+            let obj = value
+                .as_object()
+                .ok_or_else(|| ServeError::bad_request("reload body must be a JSON object"))?;
+            for key in obj.keys() {
+                if key != "path" && key != "model" && key != "precision" {
+                    return Err(ServeError::bad_request(format!(
+                        "unknown field '{key}' (allowed: path, model, precision)"
+                    )));
+                }
             }
-        }
-        let str_field = |name: &str| -> Result<Option<String>, ServeError> {
-            match obj.get(name) {
-                None => Ok(None),
-                Some(v) => Ok(Some(
-                    v.as_str()
-                        .ok_or_else(|| {
-                            ServeError::bad_request(format!("field '{name}' must be a string"))
-                        })?
-                        .to_string(),
-                )),
-            }
+            let str_field = |name: &str| -> Result<Option<String>, ServeError> {
+                match obj.get(name) {
+                    None => Ok(None),
+                    Some(v) => Ok(Some(
+                        v.as_str()
+                            .ok_or_else(|| {
+                                ServeError::bad_request(format!("field '{name}' must be a string"))
+                            })?
+                            .to_string(),
+                    )),
+                }
+            };
+            let precision = match str_field("precision")? {
+                None => None,
+                Some(text) => Some(Precision::parse(&text).ok_or_else(|| {
+                    ServeError::bad_request(format!(
+                        "unknown precision '{text}' (allowed: f32, f16, int8)"
+                    ))
+                })?),
+            };
+            (str_field("path")?, str_field("model")?, precision)
         };
-        (str_field("path")?, str_field("model")?)
-    };
     let slot = match model.as_deref() {
         Some(name) => state.fleet.get(name).ok_or_else(|| {
             ServeError::not_found(format!(
@@ -1198,6 +1208,11 @@ fn handle_reload(
         .registry
         .reload(path.as_deref().map(Path::new))
         .map_err(ServeError::from)?;
+    // Precision switches only after the weights load: a failed reload
+    // leaves both the model and the serving precision untouched.
+    if let Some(p) = precision {
+        slot.set_precision(p);
+    }
     state.stats.reloads.fetch_add(1, Ordering::SeqCst);
     slot.reloads.fetch_add(1, Ordering::Relaxed);
     occu_obs::counter("serve.reloads").inc();
@@ -1223,6 +1238,7 @@ fn handle_reload(
         "path".to_string(),
         Value::String(loaded.path.display().to_string()),
     );
+    m.insert("precision".to_string(), Value::String(slot.precision().name().to_string()));
     json_body(&Value::Object(m))
 }
 
@@ -1262,6 +1278,12 @@ fn mirror_gauges(state: &ServerState) {
     occu_obs::gauge("tensor.dispatch.fma").set(disp.fma as f64);
     occu_obs::gauge("tensor.dispatch.avx512").set(disp.avx512 as f64);
     occu_obs::gauge("tensor.dispatch.neon").set(disp.neon as f64);
+    // Same thing for the int8 quantized GEMM tier, which has its own
+    // (narrower) ISA ladder: scalar / avx2-maddubs / avx512-vnni.
+    let qdisp = occu_tensor::quant_dispatch_counts();
+    occu_obs::gauge("tensor.dispatch.i8_scalar").set(qdisp.scalar as f64);
+    occu_obs::gauge("tensor.dispatch.i8_avx2").set(qdisp.avx2 as f64);
+    occu_obs::gauge("tensor.dispatch.i8_vnni").set(qdisp.vnni as f64);
     // Traces the flight recorder discarded on slot contention. Must
     // stay 0 under a single-threaded harness; under load it bounds
     // how much `/debug/tracez` raced the request path.
@@ -1287,6 +1309,7 @@ fn render_metrics(state: &ServerState) -> String {
     let mut out = String::with_capacity(8192);
     out.push_str(&prom::render_snapshot(&occu_obs::metrics_snapshot()));
     prom::append_info(&mut out, "tensor.kernel_isa", "isa", occu_tensor::active_isa().name());
+    prom::append_info(&mut out, "tensor.quant_isa", "isa", occu_tensor::quant_isa().name());
     prom::append_summary_type(&mut out, "serve.stage.us");
     for (name, window) in state.telemetry.stages.iter() {
         prom::append_summary(&mut out, "serve.stage.us", Some(("stage", name)), window);
@@ -1324,6 +1347,18 @@ fn render_metrics(state: &ServerState) -> String {
     });
     tenant_family("serve_tenant_weight", "gauge", &|s| f64::from(s.weight));
     tenant_family("serve_tenant_plan_cached", "gauge", &|s| s.plan_cache.stats().len as f64);
+
+    // Info-style precision family: constant 1, the payload is the
+    // `precision` label. One line per tenant.
+    let _ = writeln!(out, "# TYPE serve_tenant_precision gauge");
+    for slot in state.fleet.slots() {
+        let _ = writeln!(
+            out,
+            "serve_tenant_precision{{tenant=\"{}\",precision=\"{}\"}} 1",
+            prom::escape_label_value(&slot.name),
+            slot.precision().name()
+        );
+    }
 
     // Per-shard families: queue depth and the L1 slice.
     let mut shard_family = |name: &str, kind: &str, value: &dyn Fn(&Shard) -> f64| {
@@ -1378,6 +1413,7 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
         m.insert("reloads".to_string(), num(slot.reloads.load(Ordering::Relaxed) as f64));
         m.insert("plan_cached".to_string(), num(ps.len as f64));
         m.insert("plan_capacity".to_string(), num(ps.capacity as f64));
+        m.insert("precision".to_string(), Value::String(slot.precision().name().to_string()));
         models.insert(slot.name.to_string(), Value::Object(m));
     }
 
@@ -1444,6 +1480,10 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
     dispatch.insert("fma".to_string(), num(disp.fma as f64));
     dispatch.insert("avx512".to_string(), num(disp.avx512 as f64));
     dispatch.insert("neon".to_string(), num(disp.neon as f64));
+    let qdisp = occu_tensor::quant_dispatch_counts();
+    dispatch.insert("i8_scalar".to_string(), num(qdisp.scalar as f64));
+    dispatch.insert("i8_avx2".to_string(), num(qdisp.avx2 as f64));
+    dispatch.insert("i8_vnni".to_string(), num(qdisp.vnni as f64));
 
     let mut plan = BTreeMap::new();
     plan.insert("enabled".to_string(), Value::Bool(state.cfg.plan));
@@ -1467,6 +1507,10 @@ fn render_statusz(state: &ServerState) -> Result<(u16, &'static str, Vec<u8>), S
     top.insert("shards".to_string(), Value::Array(shards));
     top.insert("l2".to_string(), Value::Object(l2_obj));
     top.insert("isa".to_string(), Value::String(occu_tensor::active_isa().name().to_string()));
+    top.insert(
+        "quant_isa".to_string(),
+        Value::String(occu_tensor::quant_isa().name().to_string()),
+    );
     top.insert("telemetry".to_string(), Value::Bool(state.telemetry.enabled()));
     top.insert("config".to_string(), Value::Object(cfg));
     top.insert("counters".to_string(), Value::Object(counters));

@@ -614,6 +614,105 @@ fn fleet_metrics_content_type_and_per_tenant_families() {
 }
 
 #[test]
+fn fleet_tenants_share_weights_but_not_plans_across_precisions() {
+    use occu_core::Precision;
+    let dir = std::env::temp_dir().join(format!("occu_serve_fleet_q_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let weights = dir.join("shared.json");
+    std::fs::write(&weights, tiny_model(5).to_json()).expect("write weights");
+
+    // Two tenants over the *same* weights file; only the precision
+    // differs. cache_cap 0 disables the prediction caches so every
+    // request reaches the collector and therefore the plan cache.
+    let fleet = FleetRegistry::builder()
+        .model("full", Arc::new(ModelRegistry::load(&weights).expect("load")), 1, None)
+        .model_with_precision(
+            "quant",
+            Arc::new(ModelRegistry::load(&weights).expect("load")),
+            1,
+            None,
+            Precision::Int8,
+        )
+        .build()
+        .expect("fleet");
+    let server = Server::start_fleet(
+        ServeConfig {
+            workers: 2,
+            batch_window_us: 200,
+            cache_cap: 0,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&fleet),
+    )
+    .expect("fleet server start");
+    let addr = server.local_addr();
+
+    let (status, full_body) =
+        request(addr, "POST", "/predict", r#"{"tenant": "full", "model": "LeNet"}"#);
+    assert_eq!(status, 200, "body: {full_body}");
+    for _ in 0..2 {
+        let (status, body) =
+            request(addr, "POST", "/predict", r#"{"tenant": "quant", "model": "LeNet"}"#);
+        assert_eq!(status, 200, "body: {body}");
+    }
+
+    // Each tenant compiled its own plan: the caches are per-tenant,
+    // and the int8 tenant's single resident plan is the quantized one
+    // (the second quant request reused it — one compile, one hit).
+    let full_slot = fleet.get("full").expect("full slot");
+    let quant_slot = fleet.get("quant").expect("quant slot");
+    assert_eq!(full_slot.precision(), Precision::F32);
+    assert_eq!(quant_slot.precision(), Precision::Int8);
+    assert_eq!(full_slot.plan_cache.stats().len, 1, "one f32 plan resident");
+    assert_eq!(quant_slot.plan_cache.stats().len, 1, "one int8 plan resident");
+    assert_eq!(quant_slot.plan_cache.stats().hits, 1, "repeat must reuse the int8 plan");
+
+    // The per-tenant serving counters diverge with the traffic split,
+    // and the precision shows up as a labeled metric family.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("serve_tenant_requests{tenant=\"full\"} 1"), "dump: {metrics}");
+    assert!(metrics.contains("serve_tenant_requests{tenant=\"quant\"} 2"), "dump: {metrics}");
+    assert!(metrics.contains("serve_tenant_predictions{tenant=\"full\"} 1"), "dump: {metrics}");
+    assert!(metrics.contains("serve_tenant_predictions{tenant=\"quant\"} 2"), "dump: {metrics}");
+    assert!(
+        metrics.contains("serve_tenant_precision{tenant=\"full\",precision=\"f32\"} 1"),
+        "dump: {metrics}"
+    );
+    assert!(
+        metrics.contains("serve_tenant_precision{tenant=\"quant\",precision=\"int8\"} 1"),
+        "dump: {metrics}"
+    );
+
+    // `/reload` can switch a tenant's precision in place; the swap is
+    // visible in statusz and the next compile is at the new precision.
+    let (status, reload) =
+        request(addr, "POST", "/reload", r#"{"model": "quant", "precision": "f16"}"#);
+    assert_eq!(status, 200, "body: {reload}");
+    assert!(reload.contains("\"precision\":\"f16\""), "body: {reload}");
+    assert_eq!(quant_slot.precision(), Precision::F16);
+    let (status, statusz) = request(addr, "GET", "/debug/statusz", "");
+    assert_eq!(status, 200);
+    let parsed: serde_json::Value = serde_json::from_str(&statusz).expect("statusz is JSON");
+    assert_eq!(
+        parsed
+            .get("models")
+            .and_then(|m| m.get("quant"))
+            .and_then(|m| m.get("precision"))
+            .and_then(|v| v.as_str()),
+        Some("f16"),
+        "statusz: {statusz}"
+    );
+    // Bad precision strings are a 400, not a silent default.
+    let (status, bad) =
+        request(addr, "POST", "/reload", r#"{"model": "quant", "precision": "int4"}"#);
+    assert_eq!(status, 400, "body: {bad}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn fleet_statusz_reports_every_resident_model() {
     let dir = std::env::temp_dir().join(format!("occu_serve_fleet_s_{}", std::process::id()));
     let server = start_fleet(&dir);

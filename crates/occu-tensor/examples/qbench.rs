@@ -1,0 +1,24 @@
+use occu_tensor::{matmul_i8_into, Matrix, PackedI8, SeededRng};
+use std::time::Instant;
+
+fn main() {
+    for (m, k, n) in [(64usize, 256usize, 256usize), (256, 256, 256), (32, 128, 128), (128, 512, 256)] {
+        let mut rng = SeededRng::new(7);
+        let a = Matrix::from_fn(m, k, |_, _| rng.uniform(-1.0, 1.0));
+        let w = Matrix::from_fn(k, n, |_, _| rng.uniform(-1.0, 1.0));
+        let packed = w.prepack_b();
+        let p8 = PackedI8::pack(&w);
+        let mut out = Matrix::zeros(m, n);
+        let reps = 200;
+        // warmup
+        for _ in 0..20 { a.matmul_prepacked_into(&packed, &mut out); }
+        let t0 = Instant::now();
+        for _ in 0..reps { a.matmul_prepacked_into(&packed, &mut out); }
+        let f32_us = t0.elapsed().as_micros() as f64 / reps as f64;
+        for _ in 0..20 { matmul_i8_into(&a, &p8, &mut out); }
+        let t1 = Instant::now();
+        for _ in 0..reps { matmul_i8_into(&a, &p8, &mut out); }
+        let i8_us = t1.elapsed().as_micros() as f64 / reps as f64;
+        println!("{}x{}x{}: f32 {:.1}us  i8 {:.1}us  ratio {:.2}x", m, k, n, f32_us, i8_us, f32_us / i8_us);
+    }
+}

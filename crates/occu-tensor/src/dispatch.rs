@@ -116,11 +116,73 @@ pub fn active_isa() -> Isa {
     *ACTIVE.get_or_init(detect)
 }
 
+/// Instruction set an int8 GEMM invocation was dispatched to. The
+/// int8 kernels live on their own ladder because the units involved
+/// (`maddubs`/`dpbusd`) are detected independently of the f32 tiers:
+/// a host can have AVX-512F without VNNI, and the scalar i32 oracle
+/// must stay reachable via `OCCU_FORCE_SCALAR=1` exactly like the f32
+/// oracle. Every tier accumulates in exact i32 arithmetic, so all
+/// three are bitwise-equal by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantIsa {
+    /// Portable scalar i32 accumulation — the always-available oracle.
+    Scalar,
+    /// x86-64 AVX2 `_mm256_maddubs_epi16` + `_mm256_madd_epi16`.
+    Avx2,
+    /// x86-64 AVX-512 VNNI `_mm512_dpbusd_epi32` over paired panels.
+    Vnni,
+}
+
+impl QuantIsa {
+    /// Stable lower-case name used in metrics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantIsa::Scalar => "scalar",
+            QuantIsa::Avx2 => "avx2",
+            QuantIsa::Vnni => "avx512vnni",
+        }
+    }
+}
+
+static QUANT_ACTIVE: OnceLock<QuantIsa> = OnceLock::new();
+
+fn detect_quant() -> QuantIsa {
+    // Follow the f32 verdict so OCCU_FORCE_SCALAR pins both ladders
+    // with one switch, then probe the integer units on top.
+    match active_isa() {
+        Isa::Scalar | Isa::Neon => QuantIsa::Scalar,
+        #[allow(unreachable_patterns)] // x86-only arms on non-x86 targets
+        _ => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512vnni")
+                {
+                    return QuantIsa::Vnni;
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    return QuantIsa::Avx2;
+                }
+            }
+            QuantIsa::Scalar
+        }
+    }
+}
+
+/// The ISA every dispatched int8 GEMM in this process uses, probed
+/// once on first call (honouring `OCCU_FORCE_SCALAR`).
+pub fn quant_isa() -> QuantIsa {
+    *QUANT_ACTIVE.get_or_init(detect_quant)
+}
+
 static DISPATCH_SCALAR: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_AVX2: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_FMA: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_AVX512: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_NEON: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_I8_SCALAR: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_I8_AVX2: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_I8_VNNI: AtomicU64 = AtomicU64::new(0);
 
 /// Records one dispatched primitive call on `isa`.
 #[inline]
@@ -175,6 +237,45 @@ pub fn dispatch_counts() -> DispatchCounts {
     }
 }
 
+/// Records one dispatched int8 GEMM call on `isa`.
+#[inline]
+pub(crate) fn note_quant_dispatch(isa: QuantIsa) {
+    let c = match isa {
+        QuantIsa::Scalar => &DISPATCH_I8_SCALAR,
+        QuantIsa::Avx2 => &DISPATCH_I8_AVX2,
+        QuantIsa::Vnni => &DISPATCH_I8_VNNI,
+    };
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide int8 dispatch counters, feeding the
+/// `tensor.dispatch.i8_*` gauges `occu-serve` exports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuantDispatchCounts {
+    /// Calls that ran the scalar i32-accumulate oracle.
+    pub scalar: u64,
+    /// Calls that ran the AVX2 `maddubs` kernel.
+    pub avx2: u64,
+    /// Calls that ran the AVX-512 VNNI `dpbusd` kernel.
+    pub vnni: u64,
+}
+
+impl QuantDispatchCounts {
+    /// Sum over all int8 tiers.
+    pub fn total(&self) -> u64 {
+        self.scalar + self.avx2 + self.vnni
+    }
+}
+
+/// Snapshot of the per-ISA int8 dispatch counters.
+pub fn quant_dispatch_counts() -> QuantDispatchCounts {
+    QuantDispatchCounts {
+        scalar: DISPATCH_I8_SCALAR.load(Ordering::Relaxed),
+        avx2: DISPATCH_I8_AVX2.load(Ordering::Relaxed),
+        vnni: DISPATCH_I8_VNNI.load(Ordering::Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +313,35 @@ mod tests {
     fn active_isa_is_sticky() {
         // Whatever the first probe decided, later calls agree.
         assert_eq!(active_isa(), active_isa());
+    }
+
+    #[test]
+    fn quant_names_are_stable() {
+        assert_eq!(QuantIsa::Scalar.name(), "scalar");
+        assert_eq!(QuantIsa::Avx2.name(), "avx2");
+        assert_eq!(QuantIsa::Vnni.name(), "avx512vnni");
+    }
+
+    #[test]
+    fn quant_counters_accumulate() {
+        let before = quant_dispatch_counts();
+        note_quant_dispatch(QuantIsa::Scalar);
+        note_quant_dispatch(QuantIsa::Avx2);
+        note_quant_dispatch(QuantIsa::Vnni);
+        let after = quant_dispatch_counts();
+        assert!(after.scalar > before.scalar);
+        assert!(after.avx2 > before.avx2);
+        assert!(after.vnni > before.vnni);
+        assert_eq!(after.total(), after.scalar + after.avx2 + after.vnni);
+    }
+
+    #[test]
+    fn quant_isa_follows_scalar_pin() {
+        // The int8 ladder derives from the f32 verdict: a scalar f32
+        // pin (OCCU_FORCE_SCALAR) must pin int8 to the oracle too.
+        if active_isa() == Isa::Scalar {
+            assert_eq!(quant_isa(), QuantIsa::Scalar);
+        }
+        assert_eq!(quant_isa(), quant_isa());
     }
 }

@@ -27,16 +27,24 @@ mod dispatch;
 mod gemm;
 mod matrix;
 mod ops;
+mod quant;
 mod random;
 mod simd;
 
 pub use arena::{
     arena_total_allocated_bytes, arena_total_fresh_allocs, arena_total_takes, ScratchArena,
 };
-pub use dispatch::{active_isa, dispatch_counts, DispatchCounts, Isa};
+pub use dispatch::{
+    active_isa, dispatch_counts, quant_dispatch_counts, quant_isa, DispatchCounts,
+    Isa, QuantDispatchCounts, QuantIsa,
+};
 pub use gemm::{should_parallelize, use_blocked, PackedB, BLOCKED_MIN_MULADDS, KC, MC, MR, NC, NR};
 pub use matrix::Matrix;
 pub use ops::{add_into, axpy_into, softmax_in_place};
+pub use quant::{
+    f16_to_f32, f32_to_f16, matmul_f16_into, matmul_i8_into, matmul_i8_into_isa, F16Matrix,
+    PackedI8, QuantizedMatrix, QMAX_A, QMAX_W,
+};
 pub use random::{xavier_uniform, he_normal, SeededRng};
 
 /// Numerical tolerance used across the workspace for float comparisons

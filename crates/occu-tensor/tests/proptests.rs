@@ -1,6 +1,8 @@
 //! Property-based tests for the tensor kernels.
 
-use occu_tensor::{assert_close, Isa, Matrix};
+use occu_tensor::{
+    assert_close, matmul_i8_into_isa, Isa, Matrix, PackedI8, QuantIsa, QuantizedMatrix,
+};
 use proptest::prelude::*;
 
 /// Strategy: a matrix with dimensions in [1, 12] and small-valued
@@ -68,6 +70,21 @@ fn ragged_simd_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
         let b = prop::collection::vec(-2.0f32..2.0, k * n)
             .prop_map(move |d| Matrix::from_vec(k, n, d));
         (a, b)
+    })
+}
+
+/// A matrix for the quantize→dequantize round-trip property. Zero
+/// rows are forced one in four cases so the exact-zero property is
+/// exercised, not just stumbled into.
+fn quant_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=9, 1usize..=40, 0usize..=3).prop_flat_map(|(r, c, zero_row)| {
+        prop::collection::vec(-8.0f32..8.0, r * c).prop_map(move |mut data| {
+            if zero_row == 0 {
+                let zr = (r - 1).min(1);
+                data[zr * c..(zr + 1) * c].fill(0.0);
+            }
+            Matrix::from_vec(r, c, data)
+        })
     })
 }
 
@@ -337,6 +354,50 @@ proptest! {
         m.layernorm_rows_into(1e-5, &mut fused);
         assert_close(&fused, &unfused_layernorm(&m, 1e-5), 1e-4);
         prop_assert_eq!(m.layernorm_rows(1e-5), fused);
+    }
+
+    #[test]
+    fn quantize_dequantize_round_trip_is_bounded(m in quant_matrix()) {
+        // Per-row symmetric quantization with half-away-from-zero
+        // rounding: the round-trip error never exceeds half a scale
+        // step, zero rows survive exactly (scale 0), and the
+        // asymmetric i8::MIN code point is never emitted.
+        let q = QuantizedMatrix::quantize(&m, 127);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            let bound = q.scales()[r] * 0.5 + q.scales()[r] * 1e-5;
+            if row.iter().all(|&v| v == 0.0) {
+                prop_assert_eq!(q.scales()[r], 0.0);
+                prop_assert!(back.row(r).iter().all(|&v| v == 0.0));
+                continue;
+            }
+            for (c, (&orig, &rt)) in row.iter().zip(back.row(r)).enumerate() {
+                let err = (orig - rt).abs();
+                prop_assert!(err <= bound, "row {} col {}: err {} > scale/2 {}", r, c, err, bound);
+            }
+        }
+        prop_assert!(q.data().iter().all(|&v| v != i8::MIN));
+    }
+
+    #[test]
+    fn int8_simd_is_bitwise_equal_to_scalar_on_ragged_shapes((a, b) in ragged_simd_pair()) {
+        // ragged_simd_pair gives n % 16 != 0 (33..=47), the k = 1
+        // degenerate, and m < MR strips — partial panels, padded
+        // quads, and short row tiles all in play. The integer
+        // accumulation is exact on every tier, so the SIMD kernels
+        // must match the scalar i32 oracle bit for bit; absent tiers
+        // degrade down the ladder and pass trivially.
+        let (m, _) = a.shape();
+        let n = b.cols();
+        let p = PackedI8::pack(&b);
+        let mut scalar = Matrix::zeros(m, n);
+        matmul_i8_into_isa(&a, &p, &mut scalar, QuantIsa::Scalar);
+        for isa in [QuantIsa::Avx2, QuantIsa::Vnni] {
+            let mut out = Matrix::zeros(m, n);
+            matmul_i8_into_isa(&a, &p, &mut out, isa);
+            prop_assert_eq!(&out, &scalar, "{} int8 kernel diverged from scalar", isa.name());
+        }
     }
 
     #[test]
